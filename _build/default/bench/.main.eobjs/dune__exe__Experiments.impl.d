@@ -1,0 +1,1 @@
+bench/experiments.ml: Cost Experiment Int64 List Nginx_bench Perms Printf Protocol Semper_harness Semperos System Table Vpe Workloads

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Experiments Hashtbl Instance List Measure Printf Semper_harness Semperos Staged Sys Test Time Toolkit

@@ -1,0 +1,350 @@
+(** Regenerates every table and figure of the paper's evaluation
+    (§5). Each function prints the same rows or series the paper
+    reports; EXPERIMENTS.md records paper-vs-measured. *)
+
+open Semperos
+module T = Table
+
+let pct = Printf.sprintf "%.1f"
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: runtimes of capability operations                          *)
+
+let table3 () =
+  let sx, sr = Semper_harness.Microbench.exchange_revoke ~mode:Cost.Semperos ~spanning:false in
+  let gx, gr = Semper_harness.Microbench.exchange_revoke ~mode:Cost.Semperos ~spanning:true in
+  let mx, mr = Semper_harness.Microbench.exchange_revoke ~mode:Cost.M3 ~spanning:false in
+  let row op scope measured paper m3_measured m3_paper =
+    [ op; scope; Int64.to_string measured; paper; m3_measured; m3_paper ]
+  in
+  T.print ~title:"Table 3: runtimes of capability operations (cycles)"
+    ~header:[ "Operation"; "Scope"; "SemperOS"; "paper"; "M3"; "paper" ]
+    [
+      row "Exchange" "Local" sx "3597" (Int64.to_string mx) "3250";
+      row "Exchange" "Spanning" gx "6484" "-" "-";
+      row "Revoke" "Local" sr "1997" (Int64.to_string mr) "1423";
+      row "Revoke" "Spanning" gr "3876" "-" "-";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: chain revocation                                          *)
+
+let fig4 () =
+  let lengths = [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ] in
+  let series =
+    T.Series.create ~x_label:"chain_len"
+      ~labels:[ "local_semperos_kcyc"; "spanning_semperos_kcyc"; "local_m3_kcyc" ]
+  in
+  List.iter
+    (fun len ->
+      let local = Semper_harness.Microbench.chain_revocation ~mode:Cost.Semperos ~spanning:false ~len in
+      let spanning = Semper_harness.Microbench.chain_revocation ~mode:Cost.Semperos ~spanning:true ~len in
+      let m3 = Semper_harness.Microbench.chain_revocation ~mode:Cost.M3 ~spanning:false ~len in
+      let k c = Some (Int64.to_float c /. 1000.0) in
+      T.Series.add_row series ~x:(float_of_int len) [ k local; k spanning; k m3 ])
+    lengths;
+  T.Series.print
+    ~title:
+      "Figure 4: revoking capability chains (K cycles; paper @100: local ~95, spanning ~240, M3 ~45)"
+    series
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: tree revocation across kernels                            *)
+
+let fig5 ?(batching = false) () =
+  let counts = [ 0; 16; 32; 48; 64; 80; 96; 112; 128 ] in
+  let kernel_sets = [ 0; 1; 4; 8; 12 ] in
+  let series =
+    T.Series.create ~x_label:"children"
+      ~labels:(List.map (fun k -> Printf.sprintf "1+%d_kernels_us" k) kernel_sets)
+  in
+  List.iter
+    (fun children ->
+      let row =
+        List.map
+          (fun extra_kernels ->
+            let cycles = Semper_harness.Microbench.tree_revocation ~batching ~extra_kernels ~children () in
+            Some (Int64.to_float cycles /. 2000.0))
+          kernel_sets
+      in
+      T.Series.add_row series ~x:(float_of_int children) row)
+    counts;
+  let title =
+    if batching then "Figure 5 ablation: tree revocation WITH message batching (us)"
+    else "Figure 5: parallel revocation of capability trees (us; paper: break-even at 80 children)"
+  in
+  T.Series.print ~title series
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: capability operations of the applications                  *)
+
+let run_single spec = Experiment.run (Experiment.config ~kernels:1 ~services:1 ~instances:1 spec)
+
+let run_512 spec = Experiment.run (Experiment.config ~kernels:64 ~services:64 ~instances:512 spec)
+
+let table4 () =
+  let rows =
+    List.map
+      (fun spec ->
+        let s1 = run_single spec in
+        let s512 = run_512 spec in
+        [
+          spec.Workloads.name;
+          string_of_int s1.Experiment.cap_ops;
+          string_of_int spec.Workloads.paper_cap_ops;
+          Printf.sprintf "%.0f" s1.Experiment.cap_ops_per_s;
+          string_of_int spec.Workloads.paper_cap_ops_per_s;
+          string_of_int s512.Experiment.cap_ops;
+          Printf.sprintf "%.0f" s512.Experiment.cap_ops_per_s;
+        ])
+      Workloads.all
+  in
+  T.print
+    ~title:
+      "Table 4: capability operations (single instance and 512 instances on 64 kernels + 64 services)"
+    ~header:[ "Benchmark"; "ops(1)"; "paper"; "ops/s(1)"; "paper"; "ops(512)"; "ops/s(512)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figures 6-9: parallel and system efficiency                         *)
+
+let instance_counts = [ 64; 128; 192; 256; 320; 384; 448; 512 ]
+
+let efficiency spec ~kernels ~services ~instances ~single =
+  let p = Experiment.run (Experiment.config ~kernels ~services ~instances spec) in
+  100.0 *. Experiment.parallel_efficiency ~single ~parallel:p
+
+let fig6 () =
+  let series =
+    T.Series.create ~x_label:"instances"
+      ~labels:(List.map (fun s -> s.Workloads.name ^ "_pct" ) Workloads.all)
+  in
+  let singles =
+    List.map
+      (fun spec -> Experiment.run (Experiment.config ~kernels:32 ~services:32 ~instances:1 spec))
+      Workloads.all
+  in
+  List.iter
+    (fun n ->
+      let row =
+        List.map2
+          (fun spec single ->
+            Some (efficiency spec ~kernels:32 ~services:32 ~instances:n ~single))
+          Workloads.all singles
+      in
+      T.Series.add_row series ~x:(float_of_int n) row)
+    instance_counts;
+  T.Series.print
+    ~title:
+      "Figure 6: parallel efficiency, 32 kernels + 32 services (paper @512: 70% (SQLite) .. 78% (tar))"
+    series
+
+let sweep_series ~title ~x_label ~configs ~points ~value =
+  let series = T.Series.create ~x_label ~labels:(List.map fst configs) in
+  List.iter
+    (fun x ->
+      let row = List.map (fun (_, cfgv) -> value cfgv x) configs in
+      T.Series.add_row series ~x:(float_of_int x) row)
+    points;
+  T.Series.print ~title series
+
+(* Figure 7: service dependence (64 kernels, varying services). *)
+let fig7 () =
+  let service_counts = [ 4; 8; 16; 32; 48; 64 ] in
+  let points = [ 128; 256; 384; 512 ] in
+  List.iter
+    (fun spec ->
+      let single =
+        Experiment.run (Experiment.config ~kernels:64 ~services:64 ~instances:1 spec)
+      in
+      sweep_series
+        ~title:
+          (Printf.sprintf "Figure 7 (%s): parallel efficiency with 64 kernels, varying services"
+             spec.Workloads.name)
+        ~x_label:"instances"
+        ~configs:
+          (List.map
+             (fun s -> (Printf.sprintf "%ds_pct" s, s))
+             service_counts)
+        ~points
+        ~value:(fun services n ->
+          Some (efficiency spec ~kernels:64 ~services ~instances:n ~single)))
+    [ Workloads.tar; Workloads.sqlite ]
+
+(* Figure 8: kernel dependence (64 services, varying kernels). *)
+let fig8 () =
+  let kernel_counts = [ 4; 8; 16; 32; 48; 64 ] in
+  let points = [ 128; 256; 384; 512 ] in
+  List.iter
+    (fun spec ->
+      let single =
+        Experiment.run (Experiment.config ~kernels:64 ~services:64 ~instances:1 spec)
+      in
+      sweep_series
+        ~title:
+          (Printf.sprintf "Figure 8 (%s): parallel efficiency with 64 services, varying kernels"
+             spec.Workloads.name)
+        ~x_label:"instances"
+        ~configs:(List.map (fun k -> (Printf.sprintf "%dk_pct" k, k)) kernel_counts)
+        ~points
+        ~value:(fun kernels n ->
+          Some (efficiency spec ~kernels ~services:64 ~instances:n ~single)))
+    [ Workloads.postmark; Workloads.leveldb ]
+
+(* Figure 9: system efficiency — OS PEs count as zero. *)
+let fig9 () =
+  let configs = [ (8, 8); (16, 16); (32, 16); (32, 32); (48, 32); (64, 32) ] in
+  let pe_counts = [ 128; 256; 384; 512; 640 ] in
+  List.iter
+    (fun spec ->
+      let series =
+        T.Series.create ~x_label:"PEs"
+          ~labels:(List.map (fun (k, s) -> Printf.sprintf "%dk%ds_pct" k s) configs)
+      in
+      List.iter
+        (fun pes ->
+          let row =
+            List.map
+              (fun (kernels, services) ->
+                let instances = pes - kernels - services in
+                if instances < kernels then None
+                else begin
+                  let single =
+                    Experiment.run (Experiment.config ~kernels ~services ~instances:1 spec)
+                  in
+                  let p =
+                    Experiment.run (Experiment.config ~kernels ~services ~instances spec)
+                  in
+                  Some (100.0 *. Experiment.system_efficiency ~single ~parallel:p)
+                end)
+              configs
+          in
+          T.Series.add_row series ~x:(float_of_int pes) row)
+        pe_counts;
+      T.Series.print
+        ~title:
+          (Printf.sprintf
+             "Figure 9 (%s): system efficiency (OS PEs at zero; paper band 62-72%%)"
+             spec.Workloads.name)
+        series)
+    [ Workloads.postmark; Workloads.sqlite ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: Nginx webserver                                          *)
+
+let fig10 () =
+  let configs =
+    [ (8, 8); (8, 16); (8, 32); (16, 16); (32, 16); (32, 32) ]
+  in
+  let server_counts = [ 32; 64; 96; 128; 160; 192; 224; 256 ] in
+  let series =
+    T.Series.create ~x_label:"servers"
+      ~labels:(List.map (fun (k, s) -> Printf.sprintf "%dk%ds_kreq" k s) configs)
+  in
+  List.iter
+    (fun servers ->
+      let row =
+        List.map
+          (fun (kernels, services) ->
+            let o = Nginx_bench.run (Nginx_bench.config ~kernels ~services ~servers ()) in
+            Some (o.Nginx_bench.requests_per_s /. 1000.0))
+          configs
+      in
+      T.Series.add_row series ~x:(float_of_int servers) row)
+    server_counts;
+  T.Series.print
+    ~title:
+      "Figure 10: Nginx requests/s (x1000; paper: near-linear with 32k/32s, flattening below)"
+    series
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md)                                               *)
+
+let ablation_batching () =
+  let counts = [ 16; 48; 80; 128 ] in
+  let series =
+    T.Series.create ~x_label:"children"
+      ~labels:[ "no_batching_us"; "batching_us" ]
+  in
+  List.iter
+    (fun children ->
+      let plain = Semper_harness.Microbench.tree_revocation ~extra_kernels:12 ~children () in
+      let batched = Semper_harness.Microbench.tree_revocation ~batching:true ~extra_kernels:12 ~children () in
+      T.Series.add_row series ~x:(float_of_int children)
+        [ Some (Int64.to_float plain /. 2000.0); Some (Int64.to_float batched /. 2000.0) ])
+    counts;
+  T.Series.print
+    ~title:"Ablation: revoke message batching, 1+12 kernels (paper suggests batching in 5.2)"
+    series
+
+(* Barrelfish-style broadcast revocation (paper §6): relations are not
+   stored explicitly, so a revoke broadcasts to every kernel and each
+   scans its database. SemperOS's explicit DDL links only message the
+   kernels actually holding descendants. *)
+let ablation_broadcast () =
+  let children = 64 in
+  let background_caps = 2000 in
+  let series =
+    T.Series.create ~x_label:"kernels"
+      ~labels:[ "targeted_us"; "targeted_batched_us"; "broadcast_us" ]
+  in
+  List.iter
+    (fun extra_kernels ->
+      let t ?batching ?broadcast () =
+        Int64.to_float
+          (Semper_harness.Microbench.tree_revocation ?batching ?broadcast ~background_caps
+             ~extra_kernels ~children ())
+        /. 2000.0
+      in
+      T.Series.add_row series
+        ~x:(float_of_int (1 + extra_kernels))
+        [ Some (t ()); Some (t ~batching:true ()); Some (t ~broadcast:true ()) ])
+    [ 1; 3; 7; 15; 31; 63 ];
+  T.Series.print
+    ~title:
+      "Ablation: targeted (DDL links) vs Barrelfish-style broadcast revocation, 64 children, 2000 background caps/kernel"
+    series
+
+let ablation_inflight () =
+  (* Spanning-exchange throughput under the 4-message in-flight limit:
+     measured as the makespan of a burst of spanning obtains. *)
+  let burst = 32 in
+  let run () =
+    let sys = System.create (System.config ~kernels:2 ~user_pes_per_kernel:(burst + 2) ()) in
+    let donor = System.spawn_vpe sys ~kernel:0 in
+    let r = System.syscall_sync sys donor (Protocol.Sys_alloc_mem { size = 4096L; perms = Perms.rw }) in
+    let sel = match r with Protocol.R_sel s -> s | _ -> failwith "alloc" in
+    let vpes = List.init burst (fun _ -> System.spawn_vpe sys ~kernel:1) in
+    let t0 = System.now sys in
+    List.iter
+      (fun v ->
+        System.syscall sys v (Protocol.Sys_obtain_from { donor_vpe = donor.Vpe.id; donor_sel = sel })
+          (fun _ -> ()))
+      vpes;
+    ignore (System.run sys);
+    Int64.sub (System.now sys) t0
+  in
+  let cycles = run () in
+  T.print ~title:"Ablation: burst of spanning obtains under the 4-in-flight IKC credit limit"
+    ~header:[ "burst"; "makespan_cycles"; "per_op_cycles" ]
+    [ [ string_of_int burst; Int64.to_string cycles;
+        Int64.to_string (Int64.div cycles (Int64.of_int burst)) ] ]
+
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  ablation_batching ();
+  ablation_broadcast ();
+  ablation_inflight ()
+
+let all () =
+  table3 ();
+  fig4 ();
+  fig5 ();
+  table4 ();
+  fig6 ();
+  fig7 ();
+  fig8 ();
+  fig9 ();
+  fig10 ();
+  ablations ()

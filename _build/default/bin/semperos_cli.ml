@@ -1,0 +1,276 @@
+(* Command-line front end for the SemperOS simulator.
+
+   semperos_cli micro   — Table 3 style capability-operation timings
+   semperos_cli chain   — chain revocation timing (Figure 4 point)
+   semperos_cli tree    — tree revocation timing (Figure 5 point)
+   semperos_cli run     — run an application workload at scale
+   semperos_cli nginx   — run the webserver benchmark *)
+
+open Cmdliner
+open Semperos
+
+let mode_arg =
+  let doc = "Run the single-kernel M3 baseline instead of SemperOS." in
+  Term.app
+    (Term.const (fun m3 -> if m3 then Cost.M3 else Cost.Semperos))
+    Arg.(value & flag & info [ "m3" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+
+let micro_cmd =
+  let run mode spanning =
+    let exchange, revoke = Semper_harness.Microbench.exchange_revoke ~mode ~spanning in
+    Table.print ~title:"Capability operation runtimes (cycles)"
+      ~header:[ "operation"; "scope"; "cycles" ]
+      [
+        [ "exchange"; (if spanning then "spanning" else "local"); Int64.to_string exchange ];
+        [ "revoke"; (if spanning then "spanning" else "local"); Int64.to_string revoke ];
+      ]
+  in
+  let spanning =
+    Arg.(value & flag & info [ "spanning" ] ~doc:"Cross PE-group boundaries (two kernels).")
+  in
+  Cmd.v
+    (Cmd.info "micro" ~doc:"Time one capability exchange and revoke (Table 3).")
+    Term.(const run $ mode_arg $ spanning)
+
+let chain_cmd =
+  let run mode spanning len =
+    let cycles = Semper_harness.Microbench.chain_revocation ~mode ~spanning ~len in
+    Fmt.pr "chain of %d: revoked in %Ld cycles (%.1f us)@." len cycles
+      (Int64.to_float cycles /. 2000.0)
+  in
+  let spanning = Arg.(value & flag & info [ "spanning" ] ~doc:"Alternate between two kernels.") in
+  let len =
+    Arg.(value & opt int 100 & info [ "length" ] ~docv:"N" ~doc:"Chain length (exchanges).")
+  in
+  Cmd.v
+    (Cmd.info "chain" ~doc:"Time revoking a capability chain (Figure 4).")
+    Term.(const run $ mode_arg $ spanning $ len)
+
+let tree_cmd =
+  let run children extra_kernels batching =
+    let cycles = Semper_harness.Microbench.tree_revocation ~batching ~extra_kernels ~children () in
+    Fmt.pr "tree of %d children over 1+%d kernels%s: revoked in %Ld cycles (%.1f us)@." children
+      extra_kernels
+      (if batching then " (batched)" else "")
+      cycles
+      (Int64.to_float cycles /. 2000.0)
+  in
+  let children =
+    Arg.(value & opt int 128 & info [ "children" ] ~docv:"N" ~doc:"Child capabilities.")
+  in
+  let extra =
+    Arg.(value & opt int 12 & info [ "kernels" ] ~docv:"K" ~doc:"Extra kernels holding children.")
+  in
+  let batching =
+    Arg.(value & flag & info [ "batching" ] ~doc:"Enable revoke message batching (ablation).")
+  in
+  Cmd.v
+    (Cmd.info "tree" ~doc:"Time revoking a capability tree (Figure 5).")
+    Term.(const run $ children $ extra $ batching)
+
+(* ------------------------------------------------------------------ *)
+
+let workload_arg =
+  let parse s =
+    match Workloads.by_name s with
+    | Some spec -> Ok spec
+    | None ->
+      Error
+        (`Msg
+          (Fmt.str "unknown workload %S (expected one of: %s)" s
+             (String.concat ", " (List.map (fun w -> w.Workloads.name) Workloads.all))))
+  in
+  let print ppf w = Fmt.string ppf w.Workloads.name in
+  Arg.conv (parse, print)
+
+let run_cmd =
+  let run mode workload kernels services instances contention =
+    let cfg =
+      Experiment.config ~mode ?mem_contention:contention ~kernels ~services ~instances workload
+    in
+    let single = Experiment.run { cfg with Experiment.instances = 1 } in
+    let o = Experiment.run cfg in
+    let eff = 100.0 *. Experiment.parallel_efficiency ~single ~parallel:o in
+    let sys_eff = 100.0 *. Experiment.system_efficiency ~single ~parallel:o in
+    Table.print
+      ~title:
+        (Fmt.str "%s x%d on %d kernels + %d services (%s)" workload.Workloads.name instances
+           kernels services
+           (match mode with Cost.Semperos -> "SemperOS" | Cost.M3 -> "M3"))
+      ~header:[ "metric"; "value" ]
+      [
+        [ "mean runtime (ms)"; Fmt.str "%.3f" (o.Experiment.mean_runtime /. 2.0e6) ];
+        [ "makespan (ms)"; Fmt.str "%.3f" (Int64.to_float o.Experiment.max_runtime /. 2.0e6) ];
+        [ "capability ops"; string_of_int o.Experiment.cap_ops ];
+        [ "capability ops/s"; Fmt.str "%.0f" o.Experiment.cap_ops_per_s ];
+        [ "spanning exchanges"; string_of_int o.Experiment.exchanges_spanning ];
+        [ "spanning revokes"; string_of_int o.Experiment.revokes_spanning ];
+        [ "parallel efficiency"; Fmt.str "%.1f%%" eff ];
+        [ "system efficiency"; Fmt.str "%.1f%%" sys_eff ];
+        [ "kernel utilisation"; Fmt.str "%.1f%%" (100.0 *. o.Experiment.kernel_utilisation) ];
+        [ "service utilisation"; Fmt.str "%.1f%%" (100.0 *. o.Experiment.service_utilisation) ];
+      ]
+  in
+  let workload =
+    Arg.(required & opt (some workload_arg) None & info [ "workload"; "w" ] ~docv:"NAME"
+           ~doc:"Application workload (tar, untar, find, sqlite, leveldb, postmark).")
+  in
+  let kernels = Arg.(value & opt int 32 & info [ "kernels"; "k" ] ~docv:"K" ~doc:"PE groups.") in
+  let services =
+    Arg.(value & opt int 32 & info [ "services"; "s" ] ~docv:"S" ~doc:"m3fs instances.")
+  in
+  let instances =
+    Arg.(value & opt int 512 & info [ "instances"; "n" ] ~docv:"N" ~doc:"Benchmark instances.")
+  in
+  let contention =
+    Arg.(value & opt (some float) None
+         & info [ "contention" ] ~docv:"C" ~doc:"Memory-contention coefficient (default 0.35).")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an application benchmark at scale (Figures 6-9).")
+    Term.(const run $ mode_arg $ workload $ kernels $ services $ instances $ contention)
+
+let trace_dump_cmd =
+  let run workload out =
+    let t = workload.Workloads.build () in
+    (match out with
+    | Some path ->
+      Trace_io.save path t;
+      Fmt.pr "wrote %s (%d ops, %d files)@." path (List.length t.Trace.ops)
+        (List.length t.Trace.files)
+    | None -> print_string (Trace_io.to_string t))
+  in
+  let workload =
+    Arg.(required & opt (some workload_arg) None & info [ "workload"; "w" ] ~docv:"NAME"
+           ~doc:"Workload whose trace to dump.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
+           ~doc:"Write to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "trace-dump" ~doc:"Dump a workload's syscall trace in the text format.")
+    Term.(const run $ workload $ out)
+
+let trace_replay_cmd =
+  let run path kernels =
+    match Trace_io.load path with
+    | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+    | Ok trace ->
+      let sys = System.create (System.config ~kernels ~user_pes_per_kernel:4 ()) in
+      let fs = M3fs.create sys ~kernel:0 ~name:"m3fs" ~files:trace.Trace.files () in
+      let vpe = System.spawn_vpe sys ~kernel:(kernels - 1) in
+      let result = ref None in
+      Replay.run sys fs ~vpe trace (fun r -> result := Some r);
+      ignore (System.run sys);
+      (match !result with
+      | None ->
+        Fmt.epr "replay did not complete@.";
+        exit 1
+      | Some r ->
+        List.iter (Fmt.pr "replay error: %s@.") r.Replay.errors;
+        Fmt.pr "%s: %d I/O ops, %d client capability ops, %.3f ms, %d errors@." r.Replay.trace
+          r.Replay.io_ops r.Replay.client_cap_ops
+          (Int64.to_float (Replay.runtime r) /. 2.0e6)
+          (List.length r.Replay.errors);
+        let report = Audit.run sys in
+        Fmt.pr "post-replay audit: %a@." Audit.pp_report report)
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace file to replay.")
+  in
+  let kernels = Arg.(value & opt int 2 & info [ "kernels"; "k" ] ~docv:"K" ~doc:"PE groups.") in
+  Cmd.v
+    (Cmd.info "trace-replay" ~doc:"Replay a saved syscall trace against a fresh system.")
+    Term.(const run $ path $ kernels)
+
+let latency_cmd =
+  let run workload kernels services instances =
+    let trace = Trace.with_prefix "/i0" (workload.Workloads.build ()) in
+    ignore trace;
+    (* Run the workload and print each kernel's per-syscall latency
+       profile. *)
+    let sys =
+      System.create (System.config ~kernels ~user_pes_per_kernel:((instances / kernels) + 2) ())
+    in
+    let fs =
+      M3fs.create ~config:workload.Workloads.fs_config sys ~kernel:0 ~name:"m3fs"
+        ~files:
+          (List.concat
+             (List.init instances (fun i ->
+                  (Trace.with_prefix (Fmt.str "/i%d" i) (workload.Workloads.build ())).Trace.files)))
+        ()
+    in
+    ignore services;
+    for i = 0 to instances - 1 do
+      let vpe = System.spawn_vpe sys ~kernel:(i mod kernels) in
+      Replay.run sys fs ~vpe
+        (Trace.with_prefix (Fmt.str "/i%d" i) (workload.Workloads.build ()))
+        (fun _ -> ())
+    done;
+    ignore (System.run sys);
+    List.iter
+      (fun k ->
+        let stats = Kernel.stats k in
+        let rows = ref [] in
+        Hashtbl.iter
+          (fun name acc ->
+            rows :=
+              [
+                name;
+                string_of_int (Stats.Acc.count acc);
+                Fmt.str "%.0f" (Stats.Acc.mean acc);
+                Fmt.str "%.0f" (Stats.Acc.min acc);
+                Fmt.str "%.0f" (Stats.Acc.max acc);
+              ]
+              :: !rows)
+          stats.Kernel.latencies;
+        if !rows <> [] then
+          Table.print
+            ~title:(Fmt.str "kernel %d syscall latencies (cycles)" (Kernel.id k))
+            ~header:[ "syscall"; "count"; "mean"; "min"; "max" ]
+            (List.sort compare !rows))
+      (System.kernels sys)
+  in
+  let workload =
+    Arg.(required & opt (some workload_arg) None & info [ "workload"; "w" ] ~docv:"NAME"
+           ~doc:"Workload to profile.")
+  in
+  let kernels = Arg.(value & opt int 2 & info [ "kernels"; "k" ] ~docv:"K" ~doc:"PE groups.") in
+  let services = Arg.(value & opt int 1 & info [ "services"; "s" ] ~docv:"S" ~doc:"(unused, single service)") in
+  let instances = Arg.(value & opt int 8 & info [ "instances"; "n" ] ~docv:"N" ~doc:"Instances.") in
+  Cmd.v
+    (Cmd.info "latency" ~doc:"Per-syscall latency profile of a workload run.")
+    Term.(const run $ workload $ kernels $ services $ instances)
+
+let nginx_cmd =
+  let run mode kernels services servers =
+    let o = Nginx_bench.run (Nginx_bench.config ~mode ~kernels ~services ~servers ()) in
+    Fmt.pr "%d server processes on %d kernels + %d services: %.0f requests/s (%d errors)@." servers
+      kernels services o.Nginx_bench.requests_per_s o.Nginx_bench.errors
+  in
+  let kernels = Arg.(value & opt int 32 & info [ "kernels"; "k" ] ~docv:"K" ~doc:"PE groups.") in
+  let services =
+    Arg.(value & opt int 32 & info [ "services"; "s" ] ~docv:"S" ~doc:"m3fs instances.")
+  in
+  let servers =
+    Arg.(value & opt int 128 & info [ "servers"; "n" ] ~docv:"N" ~doc:"Webserver processes.")
+  in
+  Cmd.v
+    (Cmd.info "nginx" ~doc:"Run the Nginx webserver benchmark (Figure 10).")
+    Term.(const run $ mode_arg $ kernels $ services $ servers)
+
+let () =
+  let info =
+    Cmd.info "semperos_cli" ~version:Semperos.version
+      ~doc:"SemperOS distributed capability system — simulator CLI"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ micro_cmd; chain_cmd; tree_cmd; run_cmd; nginx_cmd; latency_cmd; trace_dump_cmd;
+            trace_replay_cmd ]))

@@ -1,0 +1,1 @@
+examples/cow_snapshot.ml: Format Int64 List Perms Protocol Semperos System Vpe

@@ -1,0 +1,1 @@
+examples/file_workload.ml: Experiment Format Fs_client List M3fs Semperos System Workloads

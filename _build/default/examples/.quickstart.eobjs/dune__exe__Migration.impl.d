@@ -1,0 +1,1 @@
+examples/migration.ml: Audit Capspace Format Int64 List Perms Protocol Semperos System Vpe

@@ -1,0 +1,1 @@
+examples/pipeline.ml: Format Int64 Pipe Semperos System

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Int64 Kernel List Perms Protocol Semperos System Vpe

@@ -1,0 +1,1 @@
+examples/shared_memory.ml: Dtu Format Fun Int64 Kernel List Mapdb Perms Protocol Semperos System Vpe

@@ -1,0 +1,1 @@
+examples/webserver.ml: Format Nginx_bench Semperos

@@ -1,0 +1,74 @@
+(* A two-stage pipeline over the zero-copy pipe service: a producer in
+   one PE group streams data to a consumer in another, through a shared
+   ring buffer obtained as a memory capability. The kernel is involved
+   only to establish the channel; the bytes never touch it.
+
+   Run with: dune exec examples/pipeline.exe *)
+
+open Semperos
+
+let total_bytes = 1024 * 1024
+let chunk = 16 * 1024
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith e
+
+let () =
+  let sys = System.create (System.config ~kernels:2 ~user_pes_per_kernel:4 ()) in
+  let service = Pipe.create sys ~kernel:0 ~name:"pipes" () in
+
+  let producer_vpe = System.spawn_vpe sys ~kernel:0 in
+  let consumer_vpe = System.spawn_vpe sys ~kernel:1 in
+
+  let consumed = ref 0 in
+  let finished = ref false in
+  Pipe.Endpoint.connect sys service ~vpe:producer_vpe (fun p ->
+      let producer = ok p in
+      Pipe.Endpoint.create_pipe producer "stage1" (fun r ->
+          ok r;
+          Pipe.Endpoint.open_pipe producer "stage1" ~role:`Producer (fun wp ->
+              let wp = ok wp in
+              Pipe.Endpoint.connect sys service ~vpe:consumer_vpe (fun c ->
+                  let consumer = ok c in
+                  Pipe.Endpoint.open_pipe consumer "stage1" ~role:`Consumer (fun rp ->
+                      let rp = ok rp in
+                      (* Producer: pump chunks until done, then close. *)
+                      let rec produce sent =
+                        if sent >= total_bytes then
+                          Pipe.Endpoint.close producer ~pipe:wp (fun r -> ok r)
+                        else
+                          Pipe.Endpoint.send producer ~pipe:wp ~bytes:chunk (fun r ->
+                              ok r;
+                              produce (sent + chunk))
+                      in
+                      (* Consumer: drain until EOF. *)
+                      let rec consume () =
+                        Pipe.Endpoint.recv consumer ~pipe:rp ~bytes:chunk (fun r ->
+                            match ok r with
+                            | 0 ->
+                              Pipe.Endpoint.close consumer ~pipe:rp (fun r ->
+                                  ok r;
+                                  finished := true)
+                            | n ->
+                              consumed := !consumed + n;
+                              consume ())
+                      in
+                      produce 0;
+                      consume ())))));
+  let t0 = System.now sys in
+  ignore (System.run sys);
+  assert !finished;
+  let cycles = Int64.sub (System.now sys) t0 in
+  Format.printf "streamed %d KiB across PE groups in %.1f us (%.1f MiB/s at 2 GHz)@."
+    (!consumed / 1024)
+    (Int64.to_float cycles /. 2000.0)
+    (float_of_int !consumed /. (Int64.to_float cycles /. 2.0e9) /. 1048576.0);
+  let s = Pipe.stats service in
+  Format.printf "service work: %d pipe, %d capability grants, %d revocations — zero data touched@."
+    s.Pipe.pipes_created s.Pipe.grants s.Pipe.revoke_calls;
+
+  (* Tear the whole system down: every capability must come back. *)
+  let leaked = System.shutdown sys in
+  Format.printf "graceful shutdown: %d capabilities leaked@." leaked;
+  assert (leaked = 0)

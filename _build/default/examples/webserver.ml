@@ -1,0 +1,23 @@
+(* The Nginx scenario (paper §5.3.3): webserver processes on dedicated
+   PEs serve static files out of m3fs; every request costs one
+   capability obtain and one revoke besides the service IPC. Compare a
+   starved OS configuration with a provisioned one.
+
+   Run with: dune exec examples/webserver.exe *)
+
+open Semperos
+
+let () =
+  let servers = 48 in
+  let run ~kernels ~services =
+    let o =
+      Nginx_bench.run (Nginx_bench.config ~kernels ~services ~servers ~duration:2_000_000L ())
+    in
+    Format.printf "%2d kernels, %2d services, %d server processes: %8.0f requests/s (%d errors)@."
+      kernels services servers o.Nginx_bench.requests_per_s o.Nginx_bench.errors;
+    o.Nginx_bench.requests_per_s
+  in
+  let starved = run ~kernels:2 ~services:2 in
+  let provisioned = run ~kernels:8 ~services:8 in
+  Format.printf "provisioning the OS with 4x the PEs buys %.1f%% more throughput@."
+    (100.0 *. ((provisioned /. starved) -. 1.0))

@@ -1,0 +1,1 @@
+lib/caps/cap.ml: Format List Perms Printf Semper_ddl

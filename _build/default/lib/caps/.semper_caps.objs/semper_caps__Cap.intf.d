@@ -1,0 +1,1 @@
+lib/caps/cap.mli: Format Perms Semper_ddl

@@ -1,0 +1,1 @@
+lib/caps/capspace.ml: Hashtbl Semper_ddl

@@ -1,0 +1,1 @@
+lib/caps/capspace.mli: Semper_ddl

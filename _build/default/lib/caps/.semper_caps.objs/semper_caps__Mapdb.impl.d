@@ -1,0 +1,1 @@
+lib/caps/mapdb.ml: Cap List Printf Semper_ddl

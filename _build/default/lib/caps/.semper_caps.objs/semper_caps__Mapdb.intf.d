@@ -1,0 +1,1 @@
+lib/caps/mapdb.mli: Cap Semper_ddl

@@ -1,0 +1,1 @@
+lib/caps/perms.mli: Format

@@ -1,0 +1,60 @@
+module Key = Semper_ddl.Key
+
+type kind =
+  | Vpe_cap of { vpe : int }
+  | Mem_cap of { host_pe : int; addr : int64; size : int64; perms : Perms.t }
+  | Srv_cap of { name : string }
+  | Sess_cap of { srv : Key.t; ident : int }
+  | Sgate_cap of { target_pe : int; target_ep : int; label : int; credits : int }
+  | Rgate_cap of { ep : int; slots : int }
+  | Kernel_cap of { kernel : int }
+
+let kind_to_key_kind = function
+  | Vpe_cap _ -> Key.Vpe_obj
+  | Mem_cap _ -> Key.Mem_obj
+  | Srv_cap _ -> Key.Srv_obj
+  | Sess_cap _ -> Key.Sess_obj
+  | Sgate_cap _ -> Key.Sgate_obj
+  | Rgate_cap _ -> Key.Rgate_obj
+  | Kernel_cap _ -> Key.Kernel_obj
+
+let pp_kind ppf = function
+  | Vpe_cap { vpe } -> Format.fprintf ppf "vpe(%d)" vpe
+  | Mem_cap { host_pe; addr; size; perms } ->
+    Format.fprintf ppf "mem(pe=%d,@%Ld+%Ld,%a)" host_pe addr size Perms.pp perms
+  | Srv_cap { name } -> Format.fprintf ppf "srv(%s)" name
+  | Sess_cap { srv; ident } -> Format.fprintf ppf "sess(%a,#%d)" Key.pp srv ident
+  | Sgate_cap { target_pe; target_ep; label; credits } ->
+    Format.fprintf ppf "sgate(%d.%d,l=%d,c=%d)" target_pe target_ep label credits
+  | Rgate_cap { ep; slots } -> Format.fprintf ppf "rgate(ep=%d,slots=%d)" ep slots
+  | Kernel_cap { kernel } -> Format.fprintf ppf "kernel(%d)" kernel
+
+type state = Alive | Marked of { revoke_op : int }
+
+type t = {
+  key : Key.t;
+  kind : kind;
+  owner_vpe : int;
+  mutable parent : Key.t option;
+  mutable children : Key.t list;
+  mutable state : state;
+  mutable pending_replies : int;
+}
+
+let make ~key ~kind ~owner_vpe ?parent () =
+  { key; kind; owner_vpe; parent; children = []; state = Alive; pending_replies = 0 }
+
+let is_marked t = match t.state with Alive -> false | Marked _ -> true
+
+let has_child t k = List.exists (Key.equal k) t.children
+
+let add_child t k =
+  if has_child t k then invalid_arg "Cap.add_child: duplicate child";
+  t.children <- t.children @ [ k ]
+
+let remove_child t k = t.children <- List.filter (fun c -> not (Key.equal c k)) t.children
+
+let pp ppf t =
+  Format.fprintf ppf "cap{%a %a vpe=%d children=%d%s}" Key.pp t.key pp_kind t.kind t.owner_vpe
+    (List.length t.children)
+    (match t.state with Alive -> "" | Marked { revoke_op } -> Printf.sprintf " MARKED#%d" revoke_op)

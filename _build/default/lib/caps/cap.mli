@@ -1,0 +1,51 @@
+(** Capability records.
+
+    A capability references a kernel object, the VPE holding the rights,
+    and — to enable recursive revocation — its parent and children in
+    the global sharing tree. Because the tree can span kernels, links
+    are stored as DDL keys, never as pointers (paper §3.2, §4.3). *)
+
+type kind =
+  | Vpe_cap of { vpe : int }  (** control over a VPE *)
+  | Mem_cap of { host_pe : int; addr : int64; size : int64; perms : Perms.t }
+      (** byte-granular memory range *)
+  | Srv_cap of { name : string }  (** a registered service *)
+  | Sess_cap of { srv : Semper_ddl.Key.t; ident : int }
+      (** a client session with a service *)
+  | Sgate_cap of { target_pe : int; target_ep : int; label : int; credits : int }
+      (** right to send to a receive gate *)
+  | Rgate_cap of { ep : int; slots : int }  (** an owned receive endpoint *)
+  | Kernel_cap of { kernel : int }  (** kernel self-capability *)
+
+val kind_to_key_kind : kind -> Semper_ddl.Key.kind
+val pp_kind : Format.formatter -> kind -> unit
+
+(** Revocation state (Algorithm 1): a capability is [Marked] during
+    phase 1 of a revoke; exchanges touching it are denied. *)
+type state = Alive | Marked of { revoke_op : int }
+
+type t = {
+  key : Semper_ddl.Key.t;
+  kind : kind;
+  owner_vpe : int;
+  mutable parent : Semper_ddl.Key.t option;
+  mutable children : Semper_ddl.Key.t list;
+  mutable state : state;
+  mutable pending_replies : int;
+      (** outstanding remote revoke replies for this capability *)
+}
+
+val make :
+  key:Semper_ddl.Key.t -> kind:kind -> owner_vpe:int -> ?parent:Semper_ddl.Key.t -> unit -> t
+
+val is_marked : t -> bool
+
+(** [add_child t k] appends; raises [Invalid_argument] on duplicates. *)
+val add_child : t -> Semper_ddl.Key.t -> unit
+
+(** [remove_child t k] is a no-op if absent. *)
+val remove_child : t -> Semper_ddl.Key.t -> unit
+
+val has_child : t -> Semper_ddl.Key.t -> bool
+
+val pp : Format.formatter -> t -> unit

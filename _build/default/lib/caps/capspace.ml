@@ -1,0 +1,38 @@
+module Key = Semper_ddl.Key
+
+type selector = int
+
+type t = { slots : (selector, Key.t) Hashtbl.t; mutable next_hint : int }
+
+let create () = { slots = Hashtbl.create 16; next_hint = 0 }
+
+let insert t key =
+  let rec free sel = if Hashtbl.mem t.slots sel then free (sel + 1) else sel in
+  let sel = free t.next_hint in
+  Hashtbl.add t.slots sel key;
+  t.next_hint <- sel + 1;
+  sel
+
+let insert_at t sel key =
+  if sel < 0 then invalid_arg "Capspace.insert_at: negative selector";
+  if Hashtbl.mem t.slots sel then invalid_arg "Capspace.insert_at: selector taken";
+  Hashtbl.add t.slots sel key
+
+let find t sel = Hashtbl.find_opt t.slots sel
+
+let selector_of t key =
+  Hashtbl.fold
+    (fun sel k acc -> match acc with Some _ -> acc | None -> if Key.equal k key then Some sel else None)
+    t.slots None
+
+let remove t sel =
+  Hashtbl.remove t.slots sel;
+  if sel < t.next_hint then t.next_hint <- sel
+
+let remove_key t key =
+  match selector_of t key with
+  | Some sel -> remove t sel
+  | None -> ()
+
+let count t = Hashtbl.length t.slots
+let iter f t = Hashtbl.iter f t.slots

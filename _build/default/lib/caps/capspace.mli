@@ -1,0 +1,31 @@
+(** Per-VPE capability space: selector → DDL key.
+
+    Applications name capabilities by small integer selectors, exactly
+    like file descriptors; the kernel resolves selectors through the
+    VPE's capability space before touching the mapping database. *)
+
+type selector = int
+
+type t
+
+val create : unit -> t
+
+(** Allocate the lowest free selector for [key]. *)
+val insert : t -> Semper_ddl.Key.t -> selector
+
+(** Bind a specific selector. Raises [Invalid_argument] if taken. *)
+val insert_at : t -> selector -> Semper_ddl.Key.t -> unit
+
+val find : t -> selector -> Semper_ddl.Key.t option
+
+(** Reverse lookup (linear). *)
+val selector_of : t -> Semper_ddl.Key.t -> selector option
+
+(** [remove t sel] is a no-op if unbound. *)
+val remove : t -> selector -> unit
+
+(** Remove the binding of [key] if present. *)
+val remove_key : t -> Semper_ddl.Key.t -> unit
+
+val count : t -> int
+val iter : (selector -> Semper_ddl.Key.t -> unit) -> t -> unit

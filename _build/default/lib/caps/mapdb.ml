@@ -1,0 +1,62 @@
+module Key = Semper_ddl.Key
+
+type t = { caps : Cap.t Key.Table.t; mutable next_obj : int }
+
+let create () = { caps = Key.Table.create 64; next_obj = 0 }
+
+let insert t cap =
+  if Key.Table.mem t.caps cap.Cap.key then invalid_arg "Mapdb.insert: duplicate key";
+  Key.Table.add t.caps cap.Cap.key cap
+
+let find t key = Key.Table.find_opt t.caps key
+
+let get t key =
+  match find t key with
+  | Some c -> c
+  | None -> raise Not_found
+
+let mem t key = Key.Table.mem t.caps key
+let remove t key = Key.Table.remove t.caps key
+let count t = Key.Table.length t.caps
+let iter f t = Key.Table.iter (fun _ c -> f c) t.caps
+let fold f acc t = Key.Table.fold (fun _ c acc -> f acc c) t.caps acc
+
+let caps_of_vpe t ~vpe = fold (fun acc c -> if c.Cap.owner_vpe = vpe then c :: acc else acc) [] t
+
+let fresh_obj t =
+  let obj = t.next_obj in
+  t.next_obj <- obj + 1;
+  obj
+
+let bump_obj t n = if n >= t.next_obj then t.next_obj <- n + 1
+
+let check_local_links t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  iter
+    (fun cap ->
+      List.iter
+        (fun child_key ->
+          match find t child_key with
+          | None -> () (* remote child: checked by the owning kernel *)
+          | Some child -> (
+            match child.Cap.parent with
+            | Some p when Key.equal p cap.Cap.key -> ()
+            | Some p ->
+              err "child %s of %s has parent %s" (Key.to_string child_key)
+                (Key.to_string cap.Cap.key) (Key.to_string p)
+            | None ->
+              err "child %s of %s has no parent" (Key.to_string child_key)
+                (Key.to_string cap.Cap.key)))
+        cap.Cap.children;
+      match cap.Cap.parent with
+      | None -> ()
+      | Some parent_key -> (
+        match find t parent_key with
+        | None -> () (* remote parent *)
+        | Some parent ->
+          if not (Cap.has_child parent cap.Cap.key) then
+            err "parent %s does not list child %s" (Key.to_string parent_key)
+              (Key.to_string cap.Cap.key)))
+    t;
+  !errors

@@ -1,0 +1,44 @@
+(** Mapping database: one per kernel.
+
+    Stores every capability owned by this kernel and the local part of
+    the sharing tree. Cross-kernel parent/child links are DDL keys
+    whose records live in another kernel's mapping database; the
+    distributed protocols in [Semper_kernel] keep both sides coherent. *)
+
+type t
+
+val create : unit -> t
+
+(** Raises [Invalid_argument] if the key is already present. *)
+val insert : t -> Cap.t -> unit
+
+val find : t -> Semper_ddl.Key.t -> Cap.t option
+
+(** Raises [Not_found]. *)
+val get : t -> Semper_ddl.Key.t -> Cap.t
+
+val mem : t -> Semper_ddl.Key.t -> bool
+
+(** Remove the record; no-op if absent. Does not touch links. *)
+val remove : t -> Semper_ddl.Key.t -> unit
+
+val count : t -> int
+val iter : (Cap.t -> unit) -> t -> unit
+val fold : ('acc -> Cap.t -> 'acc) -> 'acc -> t -> 'acc
+
+(** Capabilities owned by a VPE (linear scan; used on VPE teardown). *)
+val caps_of_vpe : t -> vpe:int -> Cap.t list
+
+(** Allocate a fresh object id for keys minted by this kernel on behalf
+    of creator [(pe, vpe)]. Monotonic per database. *)
+val fresh_obj : t -> int
+
+(** [bump_obj t n] ensures future [fresh_obj] results are strictly
+    greater than [n] — needed when capability records minted elsewhere
+    move into this database (PE migration). *)
+val bump_obj : t -> int -> unit
+
+(** Internal consistency check used by tests and assertions: every
+    locally-stored child whose parent is also local must appear in that
+    parent's child list, and vice versa. Returns error strings. *)
+val check_local_links : t -> string list

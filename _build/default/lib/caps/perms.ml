@@ -1,0 +1,21 @@
+type t = { read : bool; write : bool; exec : bool }
+
+let none = { read = false; write = false; exec = false }
+let r = { read = true; write = false; exec = false }
+let rw = { read = true; write = true; exec = false }
+let rx = { read = true; write = false; exec = true }
+let rwx = { read = true; write = true; exec = true }
+
+let implies a b = (not a) || b
+
+let subset a ~of_ = implies a.read of_.read && implies a.write of_.write && implies a.exec of_.exec
+
+let inter a b = { read = a.read && b.read; write = a.write && b.write; exec = a.exec && b.exec }
+
+let equal a b = a = b
+
+let to_string t =
+  let c flag ch = if flag then ch else "-" in
+  c t.read "r" ^ c t.write "w" ^ c t.exec "x"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

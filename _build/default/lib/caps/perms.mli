@@ -1,0 +1,20 @@
+(** Access permissions carried by memory capabilities. *)
+
+type t = { read : bool; write : bool; exec : bool }
+
+val none : t
+val r : t
+val rw : t
+val rx : t
+val rwx : t
+
+(** [subset a ~of_:b]: every right in [a] is also in [b]. Capability
+    exchange may only narrow rights, never widen them. *)
+val subset : t -> of_:t -> bool
+
+(** Intersection of rights. *)
+val inter : t -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/cowfs/cowfs.ml: Format Hashtbl Int64 List Queue Semper_caps Semper_ddl Semper_kernel Semper_m3fs Semper_noc Semper_sim

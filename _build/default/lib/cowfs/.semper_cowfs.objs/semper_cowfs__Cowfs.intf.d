@@ -1,0 +1,1 @@
+lib/cowfs/cowfs.mli: Semper_kernel Semper_sim

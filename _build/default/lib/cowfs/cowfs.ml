@@ -1,0 +1,409 @@
+module P = Semper_kernel.Protocol
+module System = Semper_kernel.System
+module Kernel = Semper_kernel.Kernel
+module Vpe = Semper_kernel.Vpe
+module Cap = Semper_caps.Cap
+module Perms = Semper_caps.Perms
+module Capspace = Semper_caps.Capspace
+module Engine = Semper_sim.Engine
+module Server = Semper_sim.Server
+module Fabric = Semper_noc.Fabric
+module Fs_image = Semper_m3fs.Fs_image
+module Key = Semper_ddl.Key
+
+type config = {
+  extent_size : int64;
+  cost_meta : int64;
+  cost_grant : int64;
+  mem_bytes_per_cycle : int;
+}
+
+let default_config =
+  { extent_size = Int64.of_int (256 * 1024); cost_meta = 2200L; cost_grant = 1600L;
+    mem_bytes_per_cycle = 8 }
+
+type stats = {
+  mutable meta_ops : int;
+  mutable grants : int;
+  mutable snapshots : int;
+  mutable cow_breaks : int;
+  mutable revoke_calls : int;
+}
+
+type open_file = { of_path : string; of_file : Fs_image.file; of_write : bool }
+
+type session = { s_ident : int; s_opens : (int, open_file) Hashtbl.t }
+
+type t = {
+  sys : System.t;
+  cfg : config;
+  name : string;
+  vpe : Vpe.t;
+  server : Server.t;
+  image : Fs_image.t;
+  (* Extents shared by more than one file, keyed by their capability. *)
+  shared : unit Key.Table.t;
+  sessions : (int, session) Hashtbl.t;
+  stats : stats;
+  mutable next_ident : int;
+  mutable next_fd : int;
+  mutable next_addr : int64;
+  sys_queue : (P.syscall * (P.reply -> unit)) Queue.t;
+  mutable sys_busy : bool;
+}
+
+let name t = t.name
+let server t = t.server
+let stats t = t.stats
+
+let shared_extents t path =
+  match Fs_image.find_file t.image path with
+  | Error _ -> 0
+  | Ok f ->
+    List.length
+      (List.filter
+         (fun (e : Fs_image.extent) ->
+           match e.Fs_image.e_key with
+           | Some key -> Key.Table.mem t.shared key
+           | None -> false)
+         f.Fs_image.extents)
+
+(* Serialised service syscalls. *)
+let rec pump t =
+  if (not t.sys_busy) && not (Queue.is_empty t.sys_queue) then begin
+    let call, k = Queue.pop t.sys_queue in
+    t.sys_busy <- true;
+    System.syscall t.sys t.vpe call (fun r ->
+        t.sys_busy <- false;
+        k r;
+        pump t)
+  end
+
+let service_syscall t call k =
+  Queue.push (call, k) t.sys_queue;
+  pump t
+
+let attach_extent_boot t kernel (e : Fs_image.extent) =
+  let kind =
+    Cap.Mem_cap { host_pe = t.vpe.Vpe.pe; addr = t.next_addr; size = e.Fs_image.e_len; perms = Perms.rw }
+  in
+  t.next_addr <- Int64.add t.next_addr e.Fs_image.e_len;
+  let sel, key = Kernel.install_new_cap kernel ~owner:t.vpe ~kind () in
+  e.Fs_image.e_sel <- sel;
+  e.Fs_image.e_key <- Some key
+
+(* Allocate a fresh private extent through the kernel. *)
+let alloc_extent t ~len k =
+  service_syscall t (P.Sys_alloc_mem { size = len; perms = Perms.rw }) (fun r ->
+      match r with
+      | P.R_sel sel -> (
+        match Capspace.find t.vpe.Vpe.capspace sel with
+        | Some key -> k (Ok (sel, key))
+        | None -> k (Error "allocated capability vanished"))
+      | P.R_ok | P.R_vpe _ | P.R_sess _ -> k (Error "unexpected alloc reply")
+      | P.R_err e -> k (Error (P.error_to_string e)))
+
+(* The COW break: privatise a shared extent for [file].
+   1. allocate a private copy;
+   2. revoke every capability handed out on the original
+      ("access to the original data has to be revoked");
+   3. rebind the file's extent to the copy. *)
+let cow_break t (file : Fs_image.file) (e : Fs_image.extent) k =
+  alloc_extent t ~len:e.Fs_image.e_len (fun r ->
+      match r with
+      | Error e -> k (Error e)
+      | Ok (new_sel, new_key) ->
+        let old_sel = e.Fs_image.e_sel in
+        t.stats.revoke_calls <- t.stats.revoke_calls + 1;
+        t.stats.cow_breaks <- t.stats.cow_breaks + 1;
+        service_syscall t (P.Sys_revoke { sel = old_sel; own = false }) (fun r ->
+            match r with
+            | P.R_ok | P.R_err P.E_no_such_cap ->
+              let private_extent =
+                {
+                  Fs_image.e_off = e.Fs_image.e_off;
+                  e_len = e.Fs_image.e_len;
+                  e_sel = new_sel;
+                  e_key = Some new_key;
+                }
+              in
+              file.Fs_image.extents <-
+                List.map
+                  (fun x -> if x == e then private_extent else x)
+                  file.Fs_image.extents;
+              (* The copy is private; the original may still be shared
+                 among the remaining snapshot files (or not — we keep
+                 the conservative marking, it only costs a future
+                 no-op break). *)
+              k (Ok private_extent)
+            | P.R_sel _ | P.R_vpe _ | P.R_sess _ -> k (Error "unexpected revoke reply")
+            | P.R_err err -> k (Error (P.error_to_string err))))
+
+(* ------------------------------------------------------------------ *)
+(* Kernel upcalls                                                       *)
+
+let grant t (session : session) ~fd ~pos ~write k =
+  match Hashtbl.find_opt session.s_opens fd with
+  | None -> k (P.Srs_reject P.E_no_such_session)
+  | Some opened ->
+    if write && not opened.of_write then k (P.Srs_reject P.E_denied)
+    else (
+      match Fs_image.extent_for opened.of_file ~pos:(Int64.of_int pos) with
+      | None -> k (P.Srs_reject P.E_invalid)
+      | Some e ->
+        let deliver (e : Fs_image.extent) =
+          match e.Fs_image.e_key with
+          | None -> k (P.Srs_reject P.E_no_such_cap)
+          | Some key ->
+            t.stats.grants <- t.stats.grants + 1;
+            let perms = if write then Perms.rw else Perms.r in
+            let kind =
+              Cap.Mem_cap { host_pe = t.vpe.Vpe.pe; addr = 0L; size = e.Fs_image.e_len; perms }
+            in
+            k (P.Srs_grant { parent = key; kind })
+        in
+        let is_shared =
+          match e.Fs_image.e_key with
+          | Some key -> Key.Table.mem t.shared key
+          | None -> false
+        in
+        if write && is_shared then
+          cow_break t opened.of_file e (fun r ->
+              match r with
+              | Ok private_extent -> deliver private_extent
+              | Error _ -> k (P.Srs_reject P.E_invalid))
+        else deliver e)
+
+let handle_upcall t (req : P.service_request) k =
+  match req with
+  | P.Srq_open_session _ ->
+    Server.submit t.server ~cost:t.cfg.cost_meta (fun () ->
+        let ident = t.next_ident in
+        t.next_ident <- ident + 1;
+        Hashtbl.add t.sessions ident { s_ident = ident; s_opens = Hashtbl.create 8 };
+        k (P.Srs_session { ident }))
+  | P.Srq_obtain { ident; args } ->
+    Server.submit t.server ~cost:t.cfg.cost_grant (fun () ->
+        match Hashtbl.find_opt t.sessions ident with
+        | None -> k (P.Srs_reject P.E_no_such_session)
+        | Some session -> (
+          match args with
+          | [ fd; pos; write ] -> grant t session ~fd ~pos ~write:(write <> 0) k
+          | [] | [ _ ] | [ _; _ ] | _ :: _ :: _ :: _ -> k (P.Srs_reject P.E_invalid)))
+  | P.Srq_delegate _ ->
+    Server.submit t.server ~cost:t.cfg.cost_grant (fun () -> k (P.Srs_reject P.E_invalid))
+
+(* ------------------------------------------------------------------ *)
+(* Metadata IPC                                                         *)
+
+type meta_req =
+  | M_open of { ident : int; path : string; write : bool }
+  | M_snapshot of { src : string; dst : string }
+  | M_close of { ident : int; fd : int }
+
+type meta_resp = M_ok | M_fd of { fd : int; size : int64 } | M_err of string
+
+let handle_meta t req k =
+  t.stats.meta_ops <- t.stats.meta_ops + 1;
+  match req with
+  | M_open { ident; path; write } -> (
+    match Hashtbl.find_opt t.sessions ident with
+    | None -> k (M_err "no such session")
+    | Some session -> (
+      match Fs_image.find_file t.image path with
+      | Error e -> k (M_err e)
+      | Ok file ->
+        let fd = t.next_fd in
+        t.next_fd <- fd + 1;
+        Hashtbl.add session.s_opens fd { of_path = path; of_file = file; of_write = write };
+        k (M_fd { fd; size = file.Fs_image.size })))
+  | M_snapshot { src; dst } -> (
+    match Fs_image.find_file t.image src with
+    | Error e -> k (M_err e)
+    | Ok src_file -> (
+      match Fs_image.add_file t.image dst ~size:0L with
+      | Error e -> k (M_err e)
+      | Ok dst_file ->
+        (* Constant-time snapshot: alias the extent records and mark
+           every one of them shared. *)
+        dst_file.Fs_image.extents <- src_file.Fs_image.extents;
+        dst_file.Fs_image.size <- src_file.Fs_image.size;
+        List.iter
+          (fun (e : Fs_image.extent) ->
+            match e.Fs_image.e_key with
+            | Some key -> Key.Table.replace t.shared key ()
+            | None -> ())
+          src_file.Fs_image.extents;
+        t.stats.snapshots <- t.stats.snapshots + 1;
+        k M_ok))
+  | M_close { ident; fd } -> (
+    match Hashtbl.find_opt t.sessions ident with
+    | None -> k (M_err "no such session")
+    | Some session -> (
+      match Hashtbl.find_opt session.s_opens fd with
+      | None -> k (M_err "bad fd")
+      | Some opened ->
+        Hashtbl.remove session.s_opens fd;
+        (* Revoke the capabilities handed out for this file's extents
+           (children-only: the service keeps its own). Clients of other
+           opens re-obtain on their next access. *)
+        List.iter
+          (fun (e : Fs_image.extent) ->
+            if e.Fs_image.e_sel >= 0 then begin
+              t.stats.revoke_calls <- t.stats.revoke_calls + 1;
+              service_syscall t (P.Sys_revoke { sel = e.Fs_image.e_sel; own = false }) (fun _ -> ())
+            end)
+          opened.of_file.Fs_image.extents;
+        k M_ok))
+
+let rpc t ~client_pe req k =
+  let fabric = System.fabric t.sys in
+  Fabric.send fabric ~src:client_pe ~dst:t.vpe.Vpe.pe ~bytes:64 (fun () ->
+      Server.submit t.server ~cost:t.cfg.cost_meta (fun () ->
+          handle_meta t req (fun resp ->
+              Fabric.send fabric ~src:t.vpe.Vpe.pe ~dst:client_pe ~bytes:64 (fun () -> k resp))))
+
+(* ------------------------------------------------------------------ *)
+(* Boot                                                                 *)
+
+let ensure_dirs image path =
+  let components = Fs_image.split_path path in
+  let rec go prefix = function
+    | [] | [ _ ] -> ()
+    | dir :: rest ->
+      let p = prefix ^ "/" ^ dir in
+      (match Fs_image.lookup image p with
+      | Some _ -> ()
+      | None -> ignore (Fs_image.mkdir image p));
+      go p rest
+  in
+  go "" components
+
+let create ?(config = default_config) sys ~kernel:kid ~name ~files () =
+  let vpe = System.spawn_vpe sys ~kernel:kid in
+  let kernel = System.kernel sys kid in
+  let image = Fs_image.create ~extent_size:config.extent_size in
+  let t =
+    {
+      sys;
+      cfg = config;
+      name;
+      vpe;
+      server = Server.create (System.engine sys) ~name:("cowfs:" ^ name);
+      image;
+      shared = Key.Table.create 32;
+      sessions = Hashtbl.create 16;
+      stats = { meta_ops = 0; grants = 0; snapshots = 0; cow_breaks = 0; revoke_calls = 0 };
+      next_ident = 0;
+      next_fd = 3;
+      next_addr = 0x4000_0000L;
+      sys_queue = Queue.create ();
+      sys_busy = false;
+    }
+  in
+  Kernel.register_service_handler kernel ~name (fun req k -> handle_upcall t req k);
+  (match System.syscall_sync sys vpe (P.Sys_create_srv { name }) with
+  | P.R_sel _ -> ()
+  | r -> invalid_arg (Format.asprintf "Cowfs.create: create_srv failed: %a" P.pp_reply r));
+  List.iter
+    (fun (path, size) ->
+      ensure_dirs image path;
+      match Fs_image.add_file image path ~size with
+      | Ok file -> List.iter (attach_extent_boot t kernel) file.Fs_image.extents
+      | Error e -> invalid_arg ("Cowfs.create: " ^ e))
+    files;
+  ignore (System.run sys);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                               *)
+
+module Client = struct
+  type cowfs = t
+
+  type t = {
+    c_sys : System.t;
+    c_fs : cowfs;
+    c_vpe : Vpe.t;
+    c_sess : P.selector;
+    c_ident : int;
+    c_sizes : (int, int64) Hashtbl.t;
+    mutable c_cap_ops : int;
+  }
+
+  let cap_ops t = t.c_cap_ops
+
+  let connect sys fs ~vpe k =
+    System.syscall sys vpe (P.Sys_open_session { service = fs.name }) (fun r ->
+        match r with
+        | P.R_sess { sel; ident } ->
+          k (Ok { c_sys = sys; c_fs = fs; c_vpe = vpe; c_sess = sel; c_ident = ident;
+                  c_sizes = Hashtbl.create 8; c_cap_ops = 1 })
+        | P.R_err e -> k (Error (P.error_to_string e))
+        | P.R_ok | P.R_sel _ | P.R_vpe _ -> k (Error "unexpected open_session reply"))
+
+  let open_ t path ~write k =
+    rpc t.c_fs ~client_pe:t.c_vpe.Vpe.pe (M_open { ident = t.c_ident; path; write }) (fun r ->
+        match r with
+        | M_fd { fd; size } ->
+          Hashtbl.replace t.c_sizes fd size;
+          k (Ok fd)
+        | M_err e -> k (Error e)
+        | M_ok -> k (Error "unexpected reply"))
+
+  let snapshot t ~src ~dst k =
+    rpc t.c_fs ~client_pe:t.c_vpe.Vpe.pe (M_snapshot { src; dst }) (fun r ->
+        match r with
+        | M_ok -> k (Ok ())
+        | M_err e -> k (Error e)
+        | M_fd _ -> k (Error "unexpected reply"))
+
+  let charge t bytes k =
+    let bw = t.c_fs.cfg.mem_bytes_per_cycle in
+    Engine.after (System.engine t.c_sys) (Int64.of_int ((bytes + bw - 1) / bw)) k
+
+  (* Every access re-obtains its extent capability: a COW break may
+     have revoked the previous one at any time. *)
+  let access t ~fd ~pos ~bytes ~write k =
+    t.c_cap_ops <- t.c_cap_ops + 1;
+    System.syscall t.c_sys t.c_vpe
+      (P.Sys_obtain
+         { sess = t.c_sess; args = [ fd; Int64.to_int pos; (if write then 1 else 0) ] })
+      (fun r ->
+        match r with
+        | P.R_sel _ -> charge t bytes (fun () -> k (Ok ()))
+        | P.R_err e -> k (Error (P.error_to_string e))
+        | P.R_ok | P.R_vpe _ | P.R_sess _ -> k (Error "unexpected obtain reply"))
+
+  let read t ~fd ~pos ~bytes k =
+    match Hashtbl.find_opt t.c_sizes fd with
+    | None -> k (Error "bad fd")
+    | Some size ->
+      if Int64.compare pos size >= 0 then k (Ok 0)
+      else begin
+        let n = Int64.to_int (min (Int64.of_int bytes) (Int64.sub size pos)) in
+        access t ~fd ~pos ~bytes:n ~write:false (fun r ->
+            match r with
+            | Ok () -> k (Ok n)
+            | Error e -> k (Error e))
+      end
+
+  let write t ~fd ~pos ~bytes k =
+    match Hashtbl.find_opt t.c_sizes fd with
+    | None -> k (Error "bad fd")
+    | Some size ->
+      if Int64.compare (Int64.add pos (Int64.of_int bytes)) size > 0 then
+        k (Error "cowfs: writes must stay within the file")
+      else access t ~fd ~pos ~bytes ~write:true k
+
+  let close t ~fd k =
+    match Hashtbl.find_opt t.c_sizes fd with
+    | None -> k (Error "bad fd")
+    | Some _ ->
+      Hashtbl.remove t.c_sizes fd;
+      rpc t.c_fs ~client_pe:t.c_vpe.Vpe.pe (M_close { ident = t.c_ident; fd }) (fun r ->
+          match r with
+          | M_ok -> k (Ok ())
+          | M_err e -> k (Error e)
+          | M_fd _ -> k (Error "unexpected reply"))
+end

@@ -1,0 +1,80 @@
+(** Copy-on-write filesystem service.
+
+    The paper motivates its fast distributed revoke with exactly this
+    service (§3): "A copy-on-write filesystem can be implemented
+    efficiently on top of a capability system with a sufficiently fast
+    revoke operation. When an application performs a write it receives
+    a mapping to its own copy of data and access to the original data
+    has to be revoked."
+
+    Snapshots share extents between files; readers hold read-only
+    capabilities on shared extents. The first write to a shared extent
+    triggers the COW break: the service allocates a private copy,
+    *revokes every outstanding capability on the original extent* (the
+    performance-critical step), rebinds the writer's file to the copy,
+    and grants a writable capability on it. *)
+
+type config = {
+  extent_size : int64;
+  cost_meta : int64;   (** open/close/stat/snapshot service processing *)
+  cost_grant : int64;  (** obtain upcall processing *)
+  mem_bytes_per_cycle : int;
+}
+
+val default_config : config
+
+type stats = {
+  mutable meta_ops : int;
+  mutable grants : int;
+  mutable snapshots : int;
+  mutable cow_breaks : int;   (** shared extents privatised by a write *)
+  mutable revoke_calls : int; (** revocations issued (COW breaks + closes) *)
+}
+
+type t
+
+(** Spawn the service VPE in [kernel]'s group with the given initial
+    files; boot-time call (runs the engine to finish registration). *)
+val create :
+  ?config:config ->
+  Semper_kernel.System.t ->
+  kernel:int ->
+  name:string ->
+  files:(string * int64) list ->
+  unit ->
+  t
+
+val name : t -> string
+val server : t -> Semper_sim.Server.t
+val stats : t -> stats
+
+(** How many extents of [path] are currently shared with a snapshot. *)
+val shared_extents : t -> string -> int
+
+(** Client-side library. Unlike the m3fs client, extent capabilities
+    are re-obtained per read/write call: a concurrent COW break revokes
+    them at any time, so nothing may be cached across calls. *)
+module Client : sig
+  type cowfs = t
+
+  type t
+
+  val connect :
+    Semper_kernel.System.t -> cowfs -> vpe:Semper_kernel.Vpe.t -> ((t, string) result -> unit) -> unit
+
+  (** Kernel capability operations this client triggered. *)
+  val cap_ops : t -> int
+
+  val open_ : t -> string -> write:bool -> ((int, string) result -> unit) -> unit
+
+  (** [snapshot t ~src ~dst k]: create [dst] sharing all of [src]'s
+      extents (constant time, no data copied). *)
+  val snapshot : t -> src:string -> dst:string -> ((unit, string) result -> unit) -> unit
+
+  val read : t -> fd:int -> pos:int64 -> bytes:int -> ((int, string) result -> unit) -> unit
+
+  (** Writing into a shared extent triggers the COW break. *)
+  val write : t -> fd:int -> pos:int64 -> bytes:int -> ((unit, string) result -> unit) -> unit
+
+  val close : t -> fd:int -> ((unit, string) result -> unit) -> unit
+end

@@ -1,0 +1,1 @@
+lib/ddl/key.ml: Format Hashtbl Int64 Printf

@@ -1,0 +1,1 @@
+lib/ddl/key.mli: Format Hashtbl

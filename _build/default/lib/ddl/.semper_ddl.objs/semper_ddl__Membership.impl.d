@@ -1,0 +1,1 @@
+lib/ddl/membership.ml: Hashtbl Int Key List

@@ -1,0 +1,1 @@
+lib/ddl/membership.mli: Key

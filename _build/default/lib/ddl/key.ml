@@ -1,0 +1,77 @@
+type t = int64
+
+type kind =
+  | Vpe_obj
+  | Mem_obj
+  | Srv_obj
+  | Sess_obj
+  | Sgate_obj
+  | Rgate_obj
+  | Kernel_obj
+
+let kind_to_string = function
+  | Vpe_obj -> "vpe"
+  | Mem_obj -> "mem"
+  | Srv_obj -> "srv"
+  | Sess_obj -> "sess"
+  | Sgate_obj -> "sgate"
+  | Rgate_obj -> "rgate"
+  | Kernel_obj -> "kernel"
+
+let kind_to_int = function
+  | Vpe_obj -> 1
+  | Mem_obj -> 2
+  | Srv_obj -> 3
+  | Sess_obj -> 4
+  | Sgate_obj -> 5
+  | Rgate_obj -> 6
+  | Kernel_obj -> 7
+
+let kind_of_int = function
+  | 1 -> Vpe_obj
+  | 2 -> Mem_obj
+  | 3 -> Srv_obj
+  | 4 -> Sess_obj
+  | 5 -> Sgate_obj
+  | 6 -> Rgate_obj
+  | 7 -> Kernel_obj
+  | n -> invalid_arg (Printf.sprintf "Key.kind_of_int: %d" n)
+
+let max_pe = (1 lsl 16) - 1
+let max_vpe = (1 lsl 16) - 1
+let max_obj = (1 lsl 28) - 1
+
+let make ~pe ~vpe ~kind ~obj =
+  if pe < 0 || pe > max_pe then invalid_arg "Key.make: pe out of range";
+  if vpe < 0 || vpe > max_vpe then invalid_arg "Key.make: vpe out of range";
+  if obj < 0 || obj > max_obj then invalid_arg "Key.make: obj out of range";
+  let open Int64 in
+  logor
+    (shift_left (of_int pe) 48)
+    (logor
+       (shift_left (of_int vpe) 32)
+       (logor (shift_left (of_int (kind_to_int kind)) 28) (of_int obj)))
+
+let pe t = Int64.to_int (Int64.logand (Int64.shift_right_logical t 48) 0xFFFFL)
+let vpe t = Int64.to_int (Int64.logand (Int64.shift_right_logical t 32) 0xFFFFL)
+let kind t = kind_of_int (Int64.to_int (Int64.logand (Int64.shift_right_logical t 28) 0xFL))
+let obj t = Int64.to_int (Int64.logand t 0xFFFFFFFL)
+
+let to_int64 t = t
+let of_int64 v = ignore (kind v); v
+
+let equal = Int64.equal
+let compare = Int64.compare
+let hash t = Int64.to_int (Int64.logxor t (Int64.shift_right_logical t 32)) land max_int
+
+let to_string t =
+  Printf.sprintf "%d:%d:%s:%d" (pe t) (vpe t) (kind_to_string (kind t)) (obj t)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

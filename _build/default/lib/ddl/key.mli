@@ -1,0 +1,48 @@
+(** DDL keys: globally valid identifiers for kernel objects.
+
+    Paper §3.2 / Figure 2: a key packs the creator's PE id and VPE id
+    with the object's type and per-creator object id. The PE id is the
+    partition number; the membership table maps partitions to kernels,
+    so any kernel can locate the owner of any key without consulting a
+    directory.
+
+    Layout (64 bits): [pe:16][vpe:16][kind:4][object:28]. *)
+
+type t
+
+(** Kernel-object classes referable across kernels. *)
+type kind =
+  | Vpe_obj
+  | Mem_obj
+  | Srv_obj
+  | Sess_obj
+  | Sgate_obj  (** send gate: ability to send to an endpoint *)
+  | Rgate_obj  (** receive gate: an owned receive endpoint *)
+  | Kernel_obj
+
+val kind_to_string : kind -> string
+
+val max_pe : int
+val max_vpe : int
+val max_obj : int
+
+(** [make ~pe ~vpe ~kind ~obj]. Raises [Invalid_argument] if a field
+    exceeds its bit width. *)
+val make : pe:int -> vpe:int -> kind:kind -> obj:int -> t
+
+val pe : t -> int
+val vpe : t -> int
+val kind : t -> kind
+val obj : t -> int
+
+val to_int64 : t -> int64
+val of_int64 : int64 -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Hashtbl over keys. *)
+module Table : Hashtbl.S with type key = t

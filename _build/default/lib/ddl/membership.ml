@@ -1,0 +1,38 @@
+type kernel_id = int
+
+type t = { table : (int, kernel_id) Hashtbl.t; mutable sealed : bool }
+
+let create () = { table = Hashtbl.create 64; sealed = false }
+
+let assign t ~pe ~kernel =
+  if t.sealed then invalid_arg "Membership.assign: table is sealed";
+  if Hashtbl.mem t.table pe then invalid_arg "Membership.assign: PE already assigned";
+  if pe < 0 || kernel < 0 then invalid_arg "Membership.assign: negative id";
+  Hashtbl.add t.table pe kernel
+
+let seal t = t.sealed <- true
+
+let reassign t ~pe ~kernel =
+  if not (Hashtbl.mem t.table pe) then raise Not_found;
+  if kernel < 0 then invalid_arg "Membership.reassign: negative kernel";
+  Hashtbl.replace t.table pe kernel
+let is_sealed t = t.sealed
+
+let kernel_of_pe t pe =
+  match Hashtbl.find_opt t.table pe with
+  | Some k -> k
+  | None -> raise Not_found
+
+let kernel_of_key t key = kernel_of_pe t (Key.pe key)
+
+let pes_of_kernel t kernel =
+  Hashtbl.fold (fun pe k acc -> if k = kernel then pe :: acc else acc) t.table []
+  |> List.sort Int.compare
+
+let size t = Hashtbl.length t.table
+
+let kernels t =
+  Hashtbl.fold (fun _ k acc -> if List.mem k acc then acc else k :: acc) t.table []
+  |> List.sort Int.compare
+
+let copy t = { table = Hashtbl.copy t.table; sealed = t.sealed }

@@ -1,0 +1,44 @@
+(** Membership table: partition (= PE id) to kernel mapping.
+
+    Replicated at every kernel (paper Figure 2). The mapping is static —
+    SemperOS does not support PE migration yet (§3.2), and neither do
+    we; [assign] is only legal before the table is [seal]ed. *)
+
+type kernel_id = int
+
+type t
+
+val create : unit -> t
+
+(** [assign t ~pe ~kernel]. Raises [Invalid_argument] if sealed or if
+    the PE is already assigned. *)
+val assign : t -> pe:int -> kernel:kernel_id -> unit
+
+(** Freeze the table; further [assign]s raise. *)
+val seal : t -> unit
+
+(** [reassign t ~pe ~kernel] moves an already-assigned PE to another
+    kernel — the PE-migration path (paper §3.2: the membership mappings
+    "would have to be updated at all kernels"). Allowed on sealed
+    tables; raises [Not_found] if the PE was never assigned. *)
+val reassign : t -> pe:int -> kernel:kernel_id -> unit
+
+val is_sealed : t -> bool
+
+(** Raises [Not_found] for an unassigned PE. *)
+val kernel_of_pe : t -> int -> kernel_id
+
+(** Owner kernel of a DDL key: the kernel of its partition. *)
+val kernel_of_key : t -> Key.t -> kernel_id
+
+(** PEs of a kernel's group, ascending. *)
+val pes_of_kernel : t -> kernel_id -> int list
+
+(** Number of PEs assigned overall. *)
+val size : t -> int
+
+(** All kernel ids present, ascending. *)
+val kernels : t -> kernel_id list
+
+(** Independent copy (what each kernel holds). *)
+val copy : t -> t

@@ -1,0 +1,1 @@
+lib/dtu/dtu.ml: Array Format Hashtbl Int64 Message Semper_noc Semper_sim

@@ -1,0 +1,1 @@
+lib/dtu/dtu.mli: Format Message Semper_noc Semper_sim

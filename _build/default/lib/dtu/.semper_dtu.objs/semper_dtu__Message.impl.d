@@ -1,0 +1,1 @@
+lib/dtu/message.ml: Format

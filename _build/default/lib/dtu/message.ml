@@ -1,0 +1,14 @@
+type payload = ..
+type payload += Raw of string
+
+type t = {
+  src_pe : int;
+  src_ep : int;
+  dst_pe : int;
+  dst_ep : int;
+  bytes : int;
+  payload : payload;
+}
+
+let pp ppf m =
+  Format.fprintf ppf "msg[%d.%d -> %d.%d, %dB]" m.src_pe m.src_ep m.dst_pe m.dst_ep m.bytes

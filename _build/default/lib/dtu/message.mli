@@ -1,0 +1,21 @@
+(** Messages carried between DTUs.
+
+    The payload is an extensible variant: each layer of the system
+    (kernel protocol, service IPC, application traffic) adds its own
+    constructors without the DTU depending on any of them. *)
+
+type payload = ..
+
+(** Payload used by tests and as a neutral default. *)
+type payload += Raw of string
+
+type t = {
+  src_pe : int;
+  src_ep : int;
+  dst_pe : int;
+  dst_ep : int;
+  bytes : int;  (** modelled wire size, for latency accounting *)
+  payload : payload;
+}
+
+val pp : Format.formatter -> t -> unit

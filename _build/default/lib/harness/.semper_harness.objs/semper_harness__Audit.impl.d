@@ -1,0 +1,1 @@
+lib/harness/audit.ml: Format List Printf Semper_caps Semper_ddl Semper_kernel String

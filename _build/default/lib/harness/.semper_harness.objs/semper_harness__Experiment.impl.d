@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array Audit Int64 List Printf Semper_kernel Semper_m3fs Semper_sim Semper_trace String

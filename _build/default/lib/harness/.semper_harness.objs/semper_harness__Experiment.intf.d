@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Semper_kernel Semper_trace

@@ -1,0 +1,1 @@
+lib/harness/microbench.ml: Format Int64 Semper_caps Semper_kernel

@@ -1,0 +1,1 @@
+lib/harness/microbench.mli: Semper_kernel

@@ -1,0 +1,1 @@
+lib/harness/nginx.ml: Array Experiment Int64 List Printf Semper_kernel Semper_m3fs Semper_sim Semper_trace

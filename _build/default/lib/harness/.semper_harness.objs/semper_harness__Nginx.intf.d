@@ -1,0 +1,1 @@
+lib/harness/nginx.mli: Semper_kernel

@@ -1,0 +1,115 @@
+module System = Semper_kernel.System
+module Kernel = Semper_kernel.Kernel
+module Key = Semper_ddl.Key
+module Membership = Semper_ddl.Membership
+module Cap = Semper_caps.Cap
+module Mapdb = Semper_caps.Mapdb
+
+type report = {
+  capabilities : int;
+  roots : int;
+  max_depth : int;
+  spanning_links : int;
+  errors : string list;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf "audit{caps=%d roots=%d depth=%d spanning=%d errors=%d}" r.capabilities
+    r.roots r.max_depth r.spanning_links (List.length r.errors)
+
+let run sys =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (* Per-kernel invariants first. *)
+  List.iter (fun e -> errors := e :: !errors) (System.check_invariants sys);
+  (* Collect the global capability set. *)
+  let global : Cap.t Key.Table.t = Key.Table.create 256 in
+  let home : int Key.Table.t = Key.Table.create 256 in
+  List.iter
+    (fun kernel ->
+      Mapdb.iter
+        (fun cap ->
+          if Key.Table.mem global cap.Cap.key then
+            err "capability %s present in two mapping databases" (Key.to_string cap.Cap.key)
+          else begin
+            Key.Table.add global cap.Cap.key cap;
+            Key.Table.add home cap.Cap.key (Kernel.id kernel)
+          end)
+        (Kernel.mapdb kernel))
+    (System.kernels sys);
+  let membership = System.membership sys in
+  let spanning = ref 0 in
+  (* Link consistency, in both directions, across kernels. *)
+  Key.Table.iter
+    (fun key cap ->
+      let my_home = Key.Table.find home key in
+      (* The DDL must route to the hosting kernel. *)
+      (match Membership.kernel_of_key membership key with
+      | k when k = my_home -> ()
+      | k -> err "capability %s hosted at kernel %d but DDL routes to %d" (Key.to_string key) my_home k
+      | exception Not_found -> err "capability %s has an unroutable key" (Key.to_string key));
+      List.iter
+        (fun child_key ->
+          match Key.Table.find_opt global child_key with
+          | None -> err "%s lists dead child %s" (Key.to_string key) (Key.to_string child_key)
+          | Some child -> (
+            if Key.Table.find home child_key <> my_home then incr spanning;
+            match child.Cap.parent with
+            | Some p when Key.equal p key -> ()
+            | Some p ->
+              err "child %s of %s claims parent %s" (Key.to_string child_key) (Key.to_string key)
+                (Key.to_string p)
+            | None -> err "child %s of %s has no parent" (Key.to_string child_key) (Key.to_string key)))
+        cap.Cap.children;
+      match cap.Cap.parent with
+      | None -> ()
+      | Some parent_key -> (
+        match Key.Table.find_opt global parent_key with
+        | None -> err "%s has dead parent %s" (Key.to_string key) (Key.to_string parent_key)
+        | Some parent ->
+          if not (Cap.has_child parent key) then
+            err "parent %s does not list child %s" (Key.to_string parent_key) (Key.to_string key)))
+    global;
+  (* Reachability and acyclicity: walk down from every root. *)
+  let visited = Key.Table.create 256 in
+  let max_depth = ref 0 in
+  let roots = ref 0 in
+  let rec walk depth key =
+    if depth > Key.Table.length global then err "cycle through %s" (Key.to_string key)
+    else begin
+      if depth > !max_depth then max_depth := depth;
+      if Key.Table.mem visited key then
+        err "capability %s reached twice (diamond or cycle)" (Key.to_string key)
+      else begin
+        Key.Table.add visited key ();
+        match Key.Table.find_opt global key with
+        | None -> ()
+        | Some cap -> List.iter (walk (depth + 1)) cap.Cap.children
+      end
+    end
+  in
+  Key.Table.iter
+    (fun key cap ->
+      if cap.Cap.parent = None then begin
+        incr roots;
+        walk 1 key
+      end)
+    global;
+  Key.Table.iter
+    (fun key _ ->
+      if not (Key.Table.mem visited key) then
+        err "capability %s unreachable from any root" (Key.to_string key))
+    global;
+  {
+    capabilities = Key.Table.length global;
+    roots = !roots;
+    max_depth = !max_depth;
+    spanning_links = !spanning;
+    errors = List.rev !errors;
+  }
+
+let check sys =
+  match (run sys).errors with
+  | [] -> ()
+  | errs ->
+    failwith (Printf.sprintf "Audit.check: %d violations: %s" (List.length errs) (String.concat "; " errs))

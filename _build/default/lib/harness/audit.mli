@@ -1,0 +1,35 @@
+(** Cross-kernel capability-tree audit.
+
+    [Kernel.check_invariants] checks each mapping database in
+    isolation; cross-kernel links (a parent on one kernel, its child on
+    another) are out of its reach. This module reconstructs the global
+    capability forest across every kernel of a system and verifies the
+    distributed invariants the SemperOS protocols must maintain:
+
+    - every child link resolves to a live capability whose [parent]
+      points back (bidirectional cross-kernel consistency);
+    - every parent link is matched by a child entry at the parent;
+    - capabilities are hosted at the kernel that manages their owner
+      VPE (the paper's single-owner rule, §3.4);
+    - the forest is acyclic and every capability is reachable from a
+      root (no disconnected garbage);
+    - no capability is marked for revocation once the system is idle.
+
+    Used by tests and by the randomised protocol soak. *)
+
+type report = {
+  capabilities : int;   (** total live capabilities across all kernels *)
+  roots : int;          (** capabilities without a parent *)
+  max_depth : int;      (** deepest chain in the forest *)
+  spanning_links : int; (** parent/child links crossing kernels *)
+  errors : string list; (** violations, empty when healthy *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Audit an idle system. Call only when the engine has drained —
+    in-flight operations legitimately hold half-linked state. *)
+val run : Semper_kernel.System.t -> report
+
+(** [check sys] raises [Failure] with the violations if any. *)
+val check : Semper_kernel.System.t -> unit

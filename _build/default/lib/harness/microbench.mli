@@ -1,0 +1,30 @@
+(** Microbenchmark drivers for the paper's Table 3, Figure 4, and
+    Figure 5. All times are simulated cycles measured at syscall-reply
+    delivery, exactly like the paper's cycle counts. *)
+
+(** [exchange_revoke ~mode ~spanning] runs the Table 3 microbenchmark:
+    one obtain followed by one children-revoke, group-local or
+    group-spanning. Returns [(exchange_cycles, revoke_cycles)]. *)
+val exchange_revoke : mode:Semper_kernel.Cost.mode -> spanning:bool -> int64 * int64
+
+(** [chain_revocation ~mode ~spanning ~len] builds a capability chain
+    of [len] exchanges bounced between two VPEs and times revoking it
+    from the root (Figure 4). *)
+val chain_revocation : mode:Semper_kernel.Cost.mode -> spanning:bool -> len:int -> int64
+
+(** [tree_revocation ~extra_kernels ~children ()] builds a flat tree of
+    [children] copies spread over [extra_kernels] other kernels and
+    times the revoke (Figure 5). [batching] enables the paper's
+    proposed message-batching improvement; [broadcast] switches to the
+    Barrelfish-style broadcast scheme (paper §6) for comparison.
+    [background_caps] pre-populates every kernel's mapping database with
+    that many unrelated capabilities — a live system is never empty, and
+    the broadcast baseline pays a scan proportional to database size. *)
+val tree_revocation :
+  ?batching:bool ->
+  ?broadcast:bool ->
+  ?background_caps:int ->
+  extra_kernels:int ->
+  children:int ->
+  unit ->
+  int64

@@ -1,0 +1,94 @@
+module System = Semper_kernel.System
+module Cost = Semper_kernel.Cost
+module M3fs = Semper_m3fs.M3fs
+module Client = Semper_m3fs.Client
+module Workloads = Semper_trace.Workloads
+module Trace = Semper_trace.Trace
+module Engine = Semper_sim.Engine
+
+type config = {
+  kernels : int;
+  services : int;
+  servers : int;
+  duration : int64;
+  mode : Cost.mode;
+  mem_contention : float;
+}
+
+let config ?(mode = Cost.Semperos) ?(duration = 4_000_000L)
+    ?(mem_contention = Experiment.default_mem_contention) ~kernels ~services ~servers () =
+  if kernels <= 0 || services <= 0 || servers <= 0 then invalid_arg "Nginx.config: non-positive size";
+  { kernels; services; servers; duration; mode; mem_contention }
+
+type outcome = { cfg : config; requests : int; requests_per_s : float; errors : int }
+
+let service_of_server cfg ~server =
+  Experiment.service_of_instance ~kernels:cfg.kernels ~services:cfg.services ~instance:server
+
+let run cfg =
+  let sys =
+    let per_group =
+      ((cfg.servers + cfg.kernels - 1) / cfg.kernels)
+      + ((cfg.services + cfg.kernels - 1) / cfg.kernels)
+    in
+    System.create (System.config ~kernels:cfg.kernels ~user_pes_per_kernel:per_group ~mode:cfg.mode ())
+  in
+  let files_of_service = Array.make cfg.services [] in
+  let req = Workloads.nginx_request in
+  let prefixed = Array.init cfg.servers (fun i -> Trace.with_prefix (Printf.sprintf "/s%d" i) req) in
+  Array.iteri
+    (fun i trace ->
+      let s = service_of_server cfg ~server:i in
+      files_of_service.(s) <- List.rev_append trace.Trace.files files_of_service.(s))
+    prefixed;
+  let slowdown = 1.0 +. (cfg.mem_contention *. float_of_int cfg.servers /. 640.0) in
+  let services =
+    Array.init cfg.services (fun s ->
+        M3fs.create
+          ~config:{ Workloads.nginx_fs_config with M3fs.mem_slowdown = slowdown }
+          sys ~kernel:(s mod cfg.kernels)
+          ~name:(Printf.sprintf "m3fs%d" s)
+          ~files:(List.rev files_of_service.(s))
+          ())
+  in
+  let requests = ref 0 in
+  let errors = ref 0 in
+  let engine = System.engine sys in
+  let t_end = Int64.add (System.now sys) cfg.duration in
+  let start_server i =
+    let vpe = System.spawn_vpe sys ~kernel:(i mod cfg.kernels) in
+    let fs = services.(service_of_server cfg ~server:i) in
+    let doc = Printf.sprintf "/s%d/www/index.html" i in
+    Client.connect sys fs ~vpe (fun conn ->
+        match conn with
+        | Error _ -> incr errors
+        | Ok client ->
+          let rec next_request () =
+            if Int64.compare (Engine.now engine) t_end >= 0 then ()
+            else
+              Client.stat client doc (fun _ ->
+                  Client.open_ client doc ~write:false ~create:false (fun r ->
+                      match r with
+                      | Error _ ->
+                        incr errors;
+                        next_request ()
+                      | Ok fd ->
+                        Client.read client ~fd ~bytes:(8 * 1024) (fun r ->
+                            (match r with Ok _ -> () | Error _ -> incr errors);
+                            let think = Int64.of_float (150_000.0 *. slowdown) in
+                            Engine.after engine think (fun () ->
+                                Client.close client ~fd (fun r ->
+                                    (match r with
+                                    | Ok () ->
+                                      if Int64.compare (Engine.now engine) t_end < 0 then incr requests
+                                    | Error _ -> incr errors);
+                                    next_request ())))))
+          in
+          next_request ())
+  in
+  for i = 0 to cfg.servers - 1 do
+    start_server i
+  done;
+  ignore (System.run sys);
+  let seconds = Int64.to_float cfg.duration /. Experiment.clock_hz in
+  { cfg; requests = !requests; requests_per_s = float_of_int !requests /. seconds; errors = !errors }

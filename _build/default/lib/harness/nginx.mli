@@ -1,0 +1,35 @@
+(** Nginx webserver benchmark (paper §5.3.3, Figure 10).
+
+    Server processes run on separate PEs and are kept saturated by
+    load-generator PEs (Apache-ab style); each request replays the
+    static-file trace: stat, open, read, close — so every request costs
+    one capability obtain and one revoke besides the service IPC. We
+    measure completed requests per second over a fixed duration. *)
+
+type config = {
+  kernels : int;
+  services : int;
+  servers : int;       (** number of webserver processes *)
+  duration : int64;    (** measurement window, cycles *)
+  mode : Semper_kernel.Cost.mode;
+  mem_contention : float;  (** see {!Experiment.config} *)
+}
+
+val config :
+  ?mode:Semper_kernel.Cost.mode ->
+  ?duration:int64 ->
+  ?mem_contention:float ->
+  kernels:int ->
+  services:int ->
+  servers:int ->
+  unit ->
+  config
+
+type outcome = {
+  cfg : config;
+  requests : int;
+  requests_per_s : float;  (** aggregate over all server processes *)
+  errors : int;
+}
+
+val run : config -> outcome

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Cost Hashtbl Int64 List Logs Option Printf Protocol Queue Result Semper_caps Semper_ddl Semper_dtu Semper_noc Semper_sim Semper_util Thread_pool Vpe

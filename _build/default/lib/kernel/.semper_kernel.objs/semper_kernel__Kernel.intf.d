@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Cost Hashtbl Protocol Semper_caps Semper_ddl Semper_dtu Semper_noc Semper_sim Semper_util Thread_pool Vpe

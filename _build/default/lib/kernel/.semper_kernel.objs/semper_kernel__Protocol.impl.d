@@ -1,0 +1,1 @@
+lib/kernel/protocol.ml: Format Semper_caps Semper_ddl

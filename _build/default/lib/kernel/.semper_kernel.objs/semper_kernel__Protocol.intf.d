@@ -1,0 +1,1 @@
+lib/kernel/protocol.mli: Format Semper_caps Semper_ddl

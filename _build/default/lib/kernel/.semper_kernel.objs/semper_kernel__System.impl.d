@@ -1,0 +1,1 @@
+lib/kernel/system.ml: Array Cost Hashtbl Int64 Kernel List Protocol Queue Semper_caps Semper_ddl Semper_dtu Semper_noc Semper_sim Vpe

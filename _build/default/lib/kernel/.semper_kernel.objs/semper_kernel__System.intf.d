@@ -1,0 +1,1 @@
+lib/kernel/system.mli: Cost Kernel Protocol Semper_ddl Semper_dtu Semper_noc Semper_sim Vpe

@@ -1,0 +1,1 @@
+lib/kernel/thread_pool.ml: Cost Queue

@@ -1,0 +1,1 @@
+lib/kernel/vpe.ml: Format Protocol Queue Semper_caps Semper_dtu

@@ -1,0 +1,1 @@
+lib/kernel/vpe.mli: Format Protocol Queue Semper_caps Semper_dtu

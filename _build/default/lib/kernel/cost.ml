@@ -1,0 +1,69 @@
+type mode = Semperos | M3
+
+type t = {
+  mode : mode;
+  batch_revokes : bool;
+  broadcast_revokes : bool;
+  syscall_bytes : int;
+  reply_bytes : int;
+  ikc_bytes : int;
+  credit_bytes : int;
+  syscall_dispatch : int64;
+  exchange_create : int64;
+  exchange_forward : int64;
+  exchange_remote : int64;
+  revoke_start : int64;
+  revoke_per_cap : int64;
+  revoke_request : int64;
+  revoke_reply : int64;
+  revoke_send : int64;
+  revoke_scan_per_cap : int64;
+  ddl_decode : int64;
+  vpe_accept : int64;
+  activate : int64;
+  create_obj : int64;
+  session_open : int64;
+}
+
+(* Calibrated against Table 3 of the paper: local exchange 3597 (M3:
+   3250), local revoke 1997 (M3: 1423), spanning exchange 6484,
+   spanning revoke 3876 — see EXPERIMENTS.md for measured values. *)
+let default mode =
+  {
+    mode;
+    batch_revokes = false;
+    broadcast_revokes = false;
+    syscall_bytes = 64;
+    reply_bytes = 32;
+    ikc_bytes = 64;
+    credit_bytes = 16;
+    syscall_dispatch = 250L;
+    exchange_create = 887L;
+    exchange_forward = 800L;
+    exchange_remote = 1068L;
+    revoke_start = 99L;
+    revoke_per_cap = 400L;
+    revoke_request = 551L;
+    revoke_reply = 331L;
+    revoke_send = 312L;
+    revoke_scan_per_cap = 40L;
+    ddl_decode = 115L;
+    vpe_accept = 760L;
+    activate = 800L;
+    create_obj = 800L;
+    session_open = 700L;
+  }
+
+let with_batching t = { t with batch_revokes = true }
+let batching t = t.batch_revokes
+let with_broadcast t = { t with broadcast_revokes = true }
+let broadcast t = t.broadcast_revokes
+
+let ddl t n =
+  match t.mode with
+  | M3 -> 0L
+  | Semperos -> Int64.mul (Int64.of_int n) t.ddl_decode
+
+let max_inflight = 4
+let max_kernels = 64
+let max_pes_per_kernel = 192

@@ -1,0 +1,73 @@
+(** Cycle-cost model of kernel operations.
+
+    The paper evaluates on gem5 with 2 GHz out-of-order x86 cores; we
+    replace micro-architectural simulation with per-operation cycle
+    charges. The constants below are calibrated so the group-local
+    numbers land near Table 3; all other results are *derived* from
+    them plus protocol structure (message counts and NoC latencies),
+    which is exactly what the paper's scalability claims rest on. *)
+
+(** [M3] is the single-kernel baseline: capability links are plain
+    pointers, so the per-link DDL decode charge is dropped (Table 3
+    quantifies exactly this difference). *)
+type mode = Semperos | M3
+
+type t = {
+  mode : mode;
+  batch_revokes : bool;  (** see {!with_batching} *)
+  broadcast_revokes : bool;  (** see {!with_broadcast} *)
+  (* message sizes on the wire *)
+  syscall_bytes : int;
+  reply_bytes : int;
+  ikc_bytes : int;
+  credit_bytes : int;
+  (* kernel PE processing charges, cycles *)
+  syscall_dispatch : int64;  (** receive, decode, resolve selector *)
+  exchange_create : int64;   (** create the child capability and link it *)
+  exchange_forward : int64;  (** source-kernel side of a spanning exchange *)
+  exchange_remote : int64;   (** destination-kernel side of a spanning exchange *)
+  revoke_start : int64;      (** revoke syscall setup *)
+  revoke_per_cap : int64;    (** mark + unlink + delete, per capability *)
+  revoke_request : int64;    (** processing one incoming revoke request *)
+  revoke_reply : int64;      (** processing one revoke reply *)
+  revoke_send : int64;       (** sender-side occupancy per outgoing revoke request *)
+  revoke_scan_per_cap : int64;
+      (** broadcast mode: per-capability scan cost at each kernel *)
+  ddl_decode : int64;        (** analysing one DDL key (Semperos only, §5.2) *)
+  vpe_accept : int64;        (** app-side processing of an exchange offer *)
+  activate : int64;          (** endpoint configuration *)
+  create_obj : int64;        (** creating a VPE / service / gate object *)
+  session_open : int64;      (** session bookkeeping at each kernel *)
+}
+
+(** Calibrated defaults for the given mode. *)
+val default : mode -> t
+
+(** [with_batching t] enables revoke-message batching: one inter-kernel
+    revoke request per destination kernel instead of one per child
+    capability — the improvement the paper proposes in §5.2. *)
+val with_batching : t -> t
+
+val batching : t -> bool
+
+(** [with_broadcast t] switches revocation to a Barrelfish-style
+    broadcast scheme (paper §6): because cross-kernel capability
+    relations are not stored explicitly there, every revoke must
+    broadcast to *all* kernels, and each kernel scans its whole mapping
+    database ([revoke_scan_per_cap] cycles per entry) to find
+    descendants. Used as a comparison baseline in the ablation bench. *)
+val with_broadcast : t -> t
+
+val broadcast : t -> bool
+
+(** DDL decode charge for [n] key decodes — zero in [M3] mode. *)
+val ddl : t -> int -> int64
+
+(** In-flight message limit between two kernels (paper §5.1: four). *)
+val max_inflight : int
+
+(** Maximum kernels supported (paper §5.1: 64). *)
+val max_kernels : int
+
+(** Maximum PEs one kernel can handle (paper §5.1: 192). *)
+val max_pes_per_kernel : int

@@ -1,0 +1,1428 @@
+module Key = Semper_ddl.Key
+module Membership = Semper_ddl.Membership
+module Cap = Semper_caps.Cap
+module Capspace = Semper_caps.Capspace
+module Mapdb = Semper_caps.Mapdb
+module Engine = Semper_sim.Engine
+module Server = Semper_sim.Server
+module Fabric = Semper_noc.Fabric
+module P = Protocol
+
+let src = Logs.Src.create "semper.kernel" ~doc:"SemperOS kernel"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type env = {
+  locate_vpe : int -> Vpe.t option;
+  alloc_pe : kernel:int -> int option;
+  make_vpe : pe:int -> kernel:int -> Vpe.t;
+  on_vpe_exit : Vpe.t -> unit;
+}
+
+type service_handler = P.service_request -> (P.service_response -> unit) -> unit
+
+type service = { srv_key : Key.t; srv_vpe : int; srv_handler : service_handler }
+
+type stats = {
+  mutable syscalls : int;
+  mutable cap_ops : int;
+  mutable exchanges_local : int;
+  mutable exchanges_spanning : int;
+  mutable revokes_local : int;
+  mutable revokes_spanning : int;
+  mutable caps_created : int;
+  mutable caps_deleted : int;
+  mutable ikc_sent : int;
+  mutable ikc_received : int;
+  mutable credit_stalls : int;
+  latencies : (string, Semper_util.Stats.Acc.t) Hashtbl.t;
+}
+
+(* Revocation operation state (Algorithm 1). One [revoke_op] exists per
+   kernel participating in a revoke; [outstanding] counts remote revoke
+   requests (and overlapping local operations) this kernel still waits
+   for before it may delete its marked region and acknowledge. *)
+type revoke_op = {
+  rop_id : int;
+  roots : Key.t list;
+  own : bool;
+  origin : revoke_origin;
+  mutable outstanding : int;
+  mutable marked : Key.t list;  (* reverse order of marking *)
+  mutable links_seen : int;     (* child links examined, for DDL cost *)
+  (* Children-only revokes: remote children to unlink from their
+     surviving (local) roots once their revocation is acknowledged. *)
+  mutable root_unlinks : (Key.t * Key.t) list;
+  mutable on_complete : (unit -> unit) list;
+}
+
+and revoke_origin = Ro_syscall of Vpe.t | Ro_exit of Vpe.t | Ro_remote of int * int
+
+type pending =
+  | P_obtain of { client : Vpe.t }
+  | P_delegate_src of { client : Vpe.t; src_key : Key.t; dst_kernel : int }
+  | P_delegate_dst of { child_key : Key.t; recv_vpe : int; src_kernel : int }
+  | P_open_sess of { client : Vpe.t; sess_key : Key.t; srv_key : Key.t; srv_kernel : int }
+  | P_revoke of revoke_op
+  | P_migrate of {
+      vpe : Vpe.t;
+      dst : int;
+      mutable acks_outstanding : int;
+      done_k : unit -> unit;
+    }
+
+type t = {
+  id : int;
+  pe : int;
+  engine : Engine.t;
+  fabric : Fabric.t;
+  grid : Semper_dtu.Dtu.grid;
+  membership : Membership.t;
+  cost : Cost.t;
+  env : env;
+  registry : (int, t) Hashtbl.t;
+  kernel_count : int;
+  mapdb : Mapdb.t;
+  server : Server.t;
+  threads : Thread_pool.t;
+  vpes : (int, Vpe.t) Hashtbl.t;
+  directory : (string, Key.t) Hashtbl.t;  (* replicated service directory *)
+  local_services : (string, service) Hashtbl.t;
+  services_by_key : service Key.Table.t;
+  pending_handlers : (string, service_handler) Hashtbl.t;
+  pending_ops : (int, pending) Hashtbl.t;
+  (* DTU endpoints configured for a capability: invalidated when the
+     capability is revoked (NoC-level isolation enforcement). *)
+  activations : (int * int) Key.Table.t;
+  credits : (int, int ref * (P.ikc * int) Queue.t) Hashtbl.t;  (* per peer kernel *)
+  stats : stats;
+  mutable next_op : int;
+}
+
+let create ~engine ~fabric ~grid ~id ~pe ~membership ~cost ~env ~registry ~kernel_count =
+  let t =
+    {
+      id;
+      pe;
+      engine;
+      fabric;
+      grid;
+      membership;
+      cost;
+      env;
+      registry;
+      kernel_count;
+      mapdb = Mapdb.create ();
+      server = Server.create engine ~name:(Printf.sprintf "kernel%d" id);
+      threads = Thread_pool.create ~vpes:0 ~kernels:kernel_count;
+      vpes = Hashtbl.create 32;
+      directory = Hashtbl.create 16;
+      local_services = Hashtbl.create 8;
+      services_by_key = Key.Table.create 8;
+      pending_handlers = Hashtbl.create 8;
+      pending_ops = Hashtbl.create 32;
+      activations = Key.Table.create 16;
+      credits = Hashtbl.create 8;
+      stats =
+        {
+          syscalls = 0;
+          cap_ops = 0;
+          exchanges_local = 0;
+          exchanges_spanning = 0;
+          revokes_local = 0;
+          revokes_spanning = 0;
+          caps_created = 0;
+          caps_deleted = 0;
+          ikc_sent = 0;
+          ikc_received = 0;
+          credit_stalls = 0;
+          latencies = Hashtbl.create 16;
+        };
+      next_op = 0;
+    }
+  in
+  Hashtbl.add registry id t;
+  t
+
+let id t = t.id
+let pe t = t.pe
+let mapdb t = t.mapdb
+let server t = t.server
+let threads t = t.threads
+let stats t = t.stats
+let cost t = t.cost
+
+let add_vpe t vpe =
+  if Hashtbl.mem t.vpes vpe.Vpe.id then invalid_arg "Kernel.add_vpe: VPE already registered";
+  Hashtbl.add t.vpes vpe.Vpe.id vpe;
+  Thread_pool.add_vpe_thread t.threads
+
+let find_vpe t vid = Hashtbl.find_opt t.vpes vid
+let vpe_count t = Hashtbl.length t.vpes
+
+let register_service_handler t ~name handler = Hashtbl.replace t.pending_handlers name handler
+
+let lookup_service t name = Hashtbl.find_opt t.directory name
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+
+let c t = t.cost
+
+let fresh_op t =
+  let n = t.next_op in
+  t.next_op <- n + 1;
+  (t.id * 0x1000000) + n
+
+let owner_kernel t key = Membership.kernel_of_key t.membership key
+
+let is_local_key t key = owner_kernel t key = t.id
+
+let mint_key t ~creator_pe ~creator_vpe ~kind =
+  Key.make ~pe:creator_pe ~vpe:creator_vpe ~kind ~obj:(Mapdb.fresh_obj t.mapdb)
+
+let job t f = Server.submit_work t.server f
+
+let record_latency t (vpe : Vpe.t) =
+  let acc =
+    match Hashtbl.find_opt t.stats.latencies vpe.Vpe.syscall_name with
+    | Some acc -> acc
+    | None ->
+      let acc = Semper_util.Stats.Acc.create () in
+      Hashtbl.add t.stats.latencies vpe.Vpe.syscall_name acc;
+      acc
+  in
+  Semper_util.Stats.Acc.add acc
+    (Int64.to_float (Int64.sub (Engine.now t.engine) vpe.Vpe.syscall_start))
+
+(* Syscall reply: message from the kernel PE back to the VPE's PE. *)
+let send_reply t (vpe : Vpe.t) (r : P.reply) =
+  Fabric.send t.fabric ~src:t.pe ~dst:vpe.Vpe.pe ~bytes:(c t).Cost.reply_bytes (fun () ->
+      vpe.Vpe.syscall_pending <- false;
+      record_latency t vpe;
+      match vpe.Vpe.reply_k with
+      | Some k ->
+        vpe.Vpe.reply_k <- None;
+        k r
+      | None -> ())
+
+(* Reply and release the syscall thread. *)
+let finish_syscall t vpe r =
+  Thread_pool.release t.threads;
+  send_reply t vpe r
+
+(* ------------------------------------------------------------------ *)
+(* Inter-kernel transport with in-flight limiting (paper §4.1)         *)
+
+let credit_state t peer =
+  match Hashtbl.find_opt t.credits peer with
+  | Some s -> s
+  | None ->
+    let s = (ref Cost.max_inflight, Queue.create ()) in
+    Hashtbl.add t.credits peer s;
+    s
+
+let rec transmit_ikc t ~dst (ikc : P.ikc) =
+  match Hashtbl.find_opt t.registry dst with
+  | None -> Log.err (fun m -> m "kernel %d: no peer kernel %d" t.id dst)
+  | Some peer ->
+    t.stats.ikc_sent <- t.stats.ikc_sent + 1;
+    Fabric.send t.fabric ~src:t.pe ~dst:peer.pe ~bytes:(c t).Cost.ikc_bytes (fun () ->
+        deliver_ikc peer ~src_kernel:t.id ikc)
+
+and ikc_send t ~dst ikc =
+  if dst = t.id then invalid_arg "Kernel.ikc_send: message to self";
+  let credits, queue = credit_state t dst in
+  if !credits > 0 then begin
+    decr credits;
+    transmit_ikc t ~dst ikc
+  end
+  else begin
+    t.stats.credit_stalls <- t.stats.credit_stalls + 1;
+    Queue.push (ikc, dst) queue
+  end
+
+and receive_credit t ~peer =
+  let credits, queue = credit_state t peer in
+  if Queue.is_empty queue then incr credits
+  else begin
+    let ikc, dst = Queue.pop queue in
+    transmit_ikc t ~dst ikc
+  end
+
+(* The DTU frees the message slot as soon as the kernel has fetched the
+   message, which returns the sender's credit; we model that at the end
+   of the first processing job for the message. *)
+and return_credit t ~src_kernel =
+  match Hashtbl.find_opt t.registry src_kernel with
+  | None -> ()
+  | Some peer ->
+    Fabric.send t.fabric ~src:t.pe ~dst:peer.pe ~bytes:(c t).Cost.credit_bytes (fun () ->
+        receive_credit peer ~peer:t.id)
+
+(* ------------------------------------------------------------------ *)
+(* VPE interaction: the kernel asks the other party of an exchange      *)
+
+(* Kernel -> VPE offer message, VPE-side processing, VPE -> kernel
+   answer. The kernel thread suspends; the kernel PE itself stays free
+   to serve other work (cooperative multithreading, §4.2). *)
+and vpe_accept_roundtrip t (vpe : Vpe.t) k =
+  Fabric.send t.fabric ~src:t.pe ~dst:vpe.Vpe.pe ~bytes:32 (fun () ->
+      Engine.after t.engine (c t).Cost.vpe_accept (fun () ->
+          Fabric.send t.fabric ~src:vpe.Vpe.pe ~dst:t.pe ~bytes:16 (fun () ->
+              k vpe.Vpe.accept_exchange)))
+
+(* Ask a local service; the handler charges time on the service's PE. *)
+and service_upcall t ~srv_key req k =
+  match Key.Table.find_opt t.services_by_key srv_key with
+  | None -> k (P.Srs_reject P.E_no_such_service)
+  | Some service -> service.srv_handler req k
+
+(* ------------------------------------------------------------------ *)
+(* Capability lookup helpers                                           *)
+
+and resolve_sel t (vpe : Vpe.t) sel : (Cap.t, P.error) result =
+  match Capspace.find vpe.Vpe.capspace sel with
+  | None -> Error P.E_no_such_cap
+  | Some key -> (
+    match Mapdb.find t.mapdb key with
+    | None -> Error P.E_no_such_cap
+    | Some cap -> Ok cap)
+
+and exchangeable (cap : Cap.t) : (Cap.t, P.error) result =
+  if Cap.is_marked cap then Error P.E_in_revocation else Ok cap
+
+(* Create a capability record, link it under [parent], and insert it
+   into [owner]'s capability space. Returns the selector. *)
+and create_linked_cap t ~(owner : Vpe.t) ~kind ~(parent : Cap.t option) ~key =
+  let parent_key = Option.map (fun (p : Cap.t) -> p.Cap.key) parent in
+  let cap = Cap.make ~key ~kind ~owner_vpe:owner.Vpe.id ?parent:parent_key () in
+  Mapdb.insert t.mapdb cap;
+  (match parent with Some p -> Cap.add_child p key | None -> ());
+  t.stats.caps_created <- t.stats.caps_created + 1;
+  Capspace.insert owner.Vpe.capspace key
+
+(* ------------------------------------------------------------------ *)
+(* Revocation: two-phase mark and sweep (Algorithm 1)                  *)
+
+(* Phase 1: mark the local subtree under [key]; queue IKC revoke
+   requests for remote children; wait on overlapping operations. Runs
+   inside a server job — sends are deferred to [to_send]. *)
+and mark_subtree t (op : revoke_op) ~to_send key =
+  match Mapdb.find t.mapdb key with
+  | None -> () (* already deleted: nothing left to do for this branch *)
+  | Some cap -> (
+    match cap.Cap.state with
+    | Cap.Marked { revoke_op } when revoke_op = op.rop_id -> ()
+    | Cap.Marked { revoke_op = _ } ->
+      (* Overlapping revoke: the region is already marked by another
+         operation. Marked capabilities are unusable (exchanges are
+         denied, activation is refused, and their endpoints are
+         invalidated at deletion), so access is already withdrawn and
+         this operation need not wait — deletion is guaranteed by the
+         marking operation. Waiting here instead (on whole-operation
+         completion) can deadlock: concurrent multi-root revokes form
+         wait cycles across kernels, whereas the paper's per-capability
+         counters only ever wait along tree edges, which are acyclic. *)
+      ()
+    | Cap.Alive ->
+      cap.Cap.state <- Cap.Marked { revoke_op = op.rop_id };
+      op.marked <- key :: op.marked;
+      List.iter
+        (fun child_key ->
+          op.links_seen <- op.links_seen + 1;
+          if is_local_key t child_key then mark_subtree t op ~to_send child_key
+          else to_send := (owner_kernel t child_key, child_key) :: !to_send)
+        cap.Cap.children)
+
+(* A remote reply (or an overlapping operation we waited on) came in. *)
+and revoke_release t (op : revoke_op) =
+  op.outstanding <- op.outstanding - 1;
+  if op.outstanding = 0 then complete_revoke t op
+
+(* Phase 2: all outstanding replies drained — delete the marked region,
+   unlink it from surviving parents, acknowledge. *)
+and complete_revoke t (op : revoke_op) =
+  job t (fun () ->
+      let deleted = ref 0 in
+      let remote_unlinks = ref [] in
+      (* Children-only revoke: prune acknowledged remote children from
+         their surviving roots. *)
+      List.iter
+        (fun (root_key, child_key) ->
+          match Mapdb.find t.mapdb root_key with
+          | Some root -> Cap.remove_child root child_key
+          | None -> ())
+        op.root_unlinks;
+      let in_marked k = List.exists (Key.equal k) op.marked in
+      List.iter
+        (fun key ->
+          match Mapdb.find t.mapdb key with
+          | None -> ()
+          | Some cap ->
+            incr deleted;
+            (* Unlink from a surviving parent: locally if we own it,
+               via IKC if another kernel does. Parents that are being
+               deleted by this same operation need no unlinking; a
+               remote parent owned by the kernel that *requested* this
+               revoke is itself in deletion there. *)
+            (match cap.Cap.parent with
+            | None -> ()
+            | Some pk when in_marked pk -> ()
+            | Some pk ->
+              if is_local_key t pk then (
+                match Mapdb.find t.mapdb pk with
+                | Some parent -> Cap.remove_child parent key
+                | None -> ())
+              else begin
+                let pk_kernel = owner_kernel t pk in
+                let requested_by =
+                  match op.origin with Ro_remote (k, _) -> k = pk_kernel | Ro_syscall _ | Ro_exit _ -> false
+                in
+                if not requested_by then
+                  remote_unlinks := (pk_kernel, P.Ik_remove_child { parent_key = pk; child_key = key }) :: !remote_unlinks
+              end);
+            (* Drop from the owner VPE's capability space. *)
+            (match t.env.locate_vpe cap.Cap.owner_vpe with
+            | Some owner -> Capspace.remove_key owner.Vpe.capspace key
+            | None -> ());
+            (* NoC-level isolation: a revoked gate or memory capability
+               must stop working in hardware — invalidate the endpoint
+               the kernel configured for it. *)
+            (match Key.Table.find_opt t.activations key with
+            | Some (pe, ep) ->
+              Key.Table.remove t.activations key;
+              (match Semper_dtu.Dtu.find t.grid ~pe with
+              | dtu ->
+                ignore
+                  (Semper_dtu.Dtu.configure_remote
+                     ~by:(Semper_dtu.Dtu.find t.grid ~pe:t.pe)
+                     dtu ~ep `Invalidate)
+              | exception Not_found -> ())
+            | None -> ());
+            Mapdb.remove t.mapdb key;
+            t.stats.caps_deleted <- t.stats.caps_deleted + 1)
+        op.marked;
+      (* For a children-only revoke the roots survive with their child
+         lists already pruned by the unlinking above. *)
+      let cost = Cost.ddl (c t) (2 * !deleted) in
+      ( cost,
+        fun () ->
+          List.iter (fun (dst, ikc) -> ikc_send t ~dst ikc) !remote_unlinks;
+          Hashtbl.remove t.pending_ops op.rop_id;
+          let waiters = op.on_complete in
+          op.on_complete <- [];
+          List.iter (fun k -> k ()) waiters;
+          (match op.origin with
+          | Ro_syscall vpe -> finish_syscall t vpe P.R_ok
+          | Ro_exit vpe ->
+            t.env.on_vpe_exit vpe;
+            finish_syscall t vpe P.R_ok
+          | Ro_remote (src_kernel, remote_op) ->
+            ikc_send t ~dst:src_kernel (P.Ik_revoke_reply { op = remote_op; keys = op.roots })) ))
+
+(* Entry point for both revoke syscalls and incoming revoke requests.
+   [base_cost] is the fixed processing charge for this trigger. *)
+and start_revoke t ~origin ~roots ~own ~base_cost =
+  let op =
+    {
+      rop_id = fresh_op t;
+      roots;
+      own;
+      origin;
+      outstanding = 0;
+      marked = [];
+      links_seen = 0;
+      root_unlinks = [];
+      on_complete = [];
+    }
+  in
+  Hashtbl.add t.pending_ops op.rop_id (P_revoke op);
+  job t (fun () ->
+      let to_send = ref [] in
+      List.iter
+        (fun root ->
+          match Mapdb.find t.mapdb root with
+          | None -> ()
+          | Some cap ->
+            if own then mark_subtree t op ~to_send root
+            else
+              (* Children-only revoke: mark each child subtree but keep
+                 the root capability itself. *)
+              List.iter
+                (fun child_key ->
+                  op.links_seen <- op.links_seen + 1;
+                  if is_local_key t child_key then mark_subtree t op ~to_send child_key
+                  else begin
+                    (* The root survives this revoke, so the remote
+                       child must be unlinked from it at completion. *)
+                    op.root_unlinks <- (root, child_key) :: op.root_unlinks;
+                    to_send := (owner_kernel t child_key, child_key) :: !to_send
+                  end)
+                cap.Cap.children)
+        roots;
+      (* One revoke request per remote child — or, with batching
+         enabled (the paper's §5.2 improvement), one per destination
+         kernel carrying all its children. The Barrelfish-style
+         broadcast baseline instead messages *every* kernel, whether or
+         not it holds descendants. *)
+      let initiator =
+        match op.origin with Ro_syscall _ | Ro_exit _ -> true | Ro_remote _ -> false
+      in
+      let messages =
+        if Cost.broadcast (c t) && initiator then begin
+          let by_dst = Hashtbl.create 8 in
+          Hashtbl.iter (fun kid _ -> if kid <> t.id then Hashtbl.replace by_dst kid []) t.registry;
+          List.iter
+            (fun (dst, key) ->
+              let keys = try Hashtbl.find by_dst dst with Not_found -> [] in
+              Hashtbl.replace by_dst dst (key :: keys))
+            !to_send;
+          Hashtbl.fold (fun dst keys acc -> (dst, keys) :: acc) by_dst []
+        end
+        else if Cost.batching (c t) then begin
+          let by_dst = Hashtbl.create 8 in
+          List.iter
+            (fun (dst, key) ->
+              let keys = try Hashtbl.find by_dst dst with Not_found -> [] in
+              Hashtbl.replace by_dst dst (key :: keys))
+            !to_send;
+          Hashtbl.fold (fun dst keys acc -> (dst, keys) :: acc) by_dst []
+        end
+        else List.rev_map (fun (dst, key) -> (dst, [ key ])) !to_send
+      in
+      op.outstanding <- op.outstanding + List.length messages;
+      let visited = List.length op.marked in
+      let cost =
+        Int64.add base_cost
+          (Int64.add
+             (Int64.mul (Int64.of_int (List.length messages)) (c t).Cost.revoke_send)
+             (Int64.add
+                (Int64.mul (Int64.of_int visited) (c t).Cost.revoke_per_cap)
+                (Cost.ddl (c t) (visited + op.links_seen))))
+      in
+      ( cost,
+        fun () ->
+          List.iter
+            (fun (dst, keys) ->
+              ikc_send t ~dst (P.Ik_revoke_req { op = op.rop_id; src_kernel = t.id; keys }))
+            messages;
+          if op.outstanding = 0 then complete_revoke t op ))
+
+(* ------------------------------------------------------------------ *)
+(* Obtain                                                              *)
+
+(* Local obtain: donor capability and client managed by this kernel.
+   [accept] asks the donor party; [parent_of_grant] resolves the donor
+   capability after acceptance (it may have changed in the meantime). *)
+and local_obtain t ~(client : Vpe.t) ~accept ~(parent_of_grant : unit -> (Cap.t * Cap.kind, P.error) result) =
+  accept (fun decision ->
+      match decision with
+      | Error e -> finish_syscall t client (P.R_err e)
+      | Ok () ->
+        job t (fun () ->
+            match
+              if not (Vpe.is_alive client) then Error P.E_vpe_dead
+              else Result.bind (parent_of_grant ()) (fun (p, kind) ->
+                  Result.map (fun p -> (p, kind)) (exchangeable p))
+            with
+            | Error e -> ((c t).Cost.exchange_create, fun () -> finish_syscall t client (P.R_err e))
+            | Ok (parent, kind) ->
+              let key =
+                mint_key t ~creator_pe:client.Vpe.pe ~creator_vpe:client.Vpe.id
+                  ~kind:(Cap.kind_to_key_kind kind)
+              in
+              let sel = create_linked_cap t ~owner:client ~kind ~parent:(Some parent) ~key in
+              t.stats.exchanges_local <- t.stats.exchanges_local + 1;
+              ( Int64.add (c t).Cost.exchange_create (Cost.ddl (c t) 3),
+                fun () -> finish_syscall t client (P.R_sel sel) )))
+
+(* Spanning obtain: forward to the donor's kernel, park the syscall. *)
+and remote_obtain t ~(client : Vpe.t) ~dst_kernel ~donor =
+  let op = fresh_op t in
+  let obj_reserved = Mapdb.fresh_obj t.mapdb in
+  Hashtbl.add t.pending_ops op (P_obtain { client });
+  t.stats.exchanges_spanning <- t.stats.exchanges_spanning + 1;
+  ikc_send t ~dst:dst_kernel
+    (P.Ik_obtain_req
+       { op; src_kernel = t.id; obj_reserved; client_pe = client.Vpe.pe; client_vpe = client.Vpe.id; donor })
+
+(* ------------------------------------------------------------------ *)
+(* Syscall handling                                                    *)
+
+and handle_syscall t (vpe : Vpe.t) (call : P.syscall) =
+  let dispatch = (c t).Cost.syscall_dispatch in
+  (* Capability-modifying operations, counted once per request — the
+     unit of Table 4 in the paper. *)
+  (match call with
+  | P.Sys_alloc_mem _ | P.Sys_derive_mem _ | P.Sys_obtain _ | P.Sys_delegate _
+  | P.Sys_obtain_from _ | P.Sys_delegate_to _ | P.Sys_revoke _ | P.Sys_create_sgate _
+  | P.Sys_open_session _ ->
+    t.stats.cap_ops <- t.stats.cap_ops + 1
+  | P.Sys_create_vpe _ | P.Sys_create_srv _ | P.Sys_create_rgate _ | P.Sys_activate _ | P.Sys_exit
+    ->
+    ());
+  match call with
+  | P.Sys_create_vpe { on_pe } ->
+    job t (fun () ->
+        match
+          match on_pe with
+          | Some pe -> Some pe
+          | None -> t.env.alloc_pe ~kernel:t.id
+        with
+        | None -> (Int64.add dispatch (c t).Cost.create_obj, fun () -> finish_syscall t vpe (P.R_err P.E_no_pe))
+        | Some pe ->
+          let nv = t.env.make_vpe ~pe ~kernel:t.id in
+          let key = mint_key t ~creator_pe:vpe.Vpe.pe ~creator_vpe:vpe.Vpe.id ~kind:Key.Vpe_obj in
+          let sel = create_linked_cap t ~owner:vpe ~kind:(Cap.Vpe_cap { vpe = nv.Vpe.id }) ~parent:None ~key in
+          ( Int64.add dispatch (c t).Cost.create_obj,
+            fun () -> finish_syscall t vpe (P.R_vpe { vpe = nv.Vpe.id; sel }) ))
+  | P.Sys_create_srv { name } ->
+    job t (fun () ->
+        match Hashtbl.find_opt t.pending_handlers name with
+        | None -> (dispatch, fun () -> finish_syscall t vpe (P.R_err P.E_no_such_service))
+        | Some handler ->
+          if Hashtbl.mem t.directory name then
+            (dispatch, fun () -> finish_syscall t vpe (P.R_err P.E_invalid))
+          else begin
+            let key = mint_key t ~creator_pe:vpe.Vpe.pe ~creator_vpe:vpe.Vpe.id ~kind:Key.Srv_obj in
+            let sel = create_linked_cap t ~owner:vpe ~kind:(Cap.Srv_cap { name }) ~parent:None ~key in
+            let service = { srv_key = key; srv_vpe = vpe.Vpe.id; srv_handler = handler } in
+            Hashtbl.replace t.local_services name service;
+            Key.Table.replace t.services_by_key key service;
+            Hashtbl.replace t.directory name key;
+              ( Int64.add dispatch (c t).Cost.create_obj,
+              fun () ->
+                (* Announce to every other kernel (IKC group 1/2). *)
+                Hashtbl.iter
+                  (fun kid _ ->
+                    if kid <> t.id then
+                      ikc_send t ~dst:kid (P.Ik_srv_announce { name; srv_key = key; kernel = t.id }))
+                  t.registry;
+                finish_syscall t vpe (P.R_sel sel) )
+          end)
+  | P.Sys_create_rgate { ep; slots } ->
+    job t (fun () ->
+        let key = mint_key t ~creator_pe:vpe.Vpe.pe ~creator_vpe:vpe.Vpe.id ~kind:Key.Rgate_obj in
+        let sel = create_linked_cap t ~owner:vpe ~kind:(Cap.Rgate_cap { ep; slots }) ~parent:None ~key in
+        (Int64.add dispatch (c t).Cost.create_obj, fun () -> finish_syscall t vpe (P.R_sel sel)))
+  | P.Sys_create_sgate { rgate; label } ->
+    job t (fun () ->
+        match Result.bind (resolve_sel t vpe rgate) exchangeable with
+        | Error e -> (dispatch, fun () -> finish_syscall t vpe (P.R_err e))
+        | Ok parent -> (
+          match parent.Cap.kind with
+          | Cap.Rgate_cap { ep; slots } ->
+            let key = mint_key t ~creator_pe:vpe.Vpe.pe ~creator_vpe:vpe.Vpe.id ~kind:Key.Sgate_obj in
+            (* Send credits match the receive gate's message slots. *)
+            let kind =
+              Cap.Sgate_cap { target_pe = vpe.Vpe.pe; target_ep = ep; label; credits = slots }
+            in
+            let sel = create_linked_cap t ~owner:vpe ~kind ~parent:(Some parent) ~key in
+              ( Int64.add (Int64.add dispatch (c t).Cost.create_obj) (Cost.ddl (c t) 1),
+              fun () -> finish_syscall t vpe (P.R_sel sel) )
+          | Cap.Vpe_cap _ | Cap.Mem_cap _ | Cap.Srv_cap _ | Cap.Sess_cap _ | Cap.Sgate_cap _
+          | Cap.Kernel_cap _ ->
+            (dispatch, fun () -> finish_syscall t vpe (P.R_err P.E_invalid))))
+  | P.Sys_alloc_mem { size; perms } ->
+    job t (fun () ->
+        if Int64.compare size 0L <= 0 then
+          (dispatch, fun () -> finish_syscall t vpe (P.R_err P.E_invalid))
+        else begin
+          let key = mint_key t ~creator_pe:vpe.Vpe.pe ~creator_vpe:vpe.Vpe.id ~kind:Key.Mem_obj in
+          (* Backing store is modelled on the kernel's group tile. *)
+          let kind = Cap.Mem_cap { host_pe = t.pe; addr = 0L; size; perms } in
+          let sel = create_linked_cap t ~owner:vpe ~kind ~parent:None ~key in
+          (Int64.add dispatch (c t).Cost.create_obj, fun () -> finish_syscall t vpe (P.R_sel sel))
+        end)
+  | P.Sys_derive_mem { sel; offset; size; perms } ->
+    job t (fun () ->
+        match Result.bind (resolve_sel t vpe sel) exchangeable with
+        | Error e -> (dispatch, fun () -> finish_syscall t vpe (P.R_err e))
+        | Ok parent -> (
+          match parent.Cap.kind with
+          | Cap.Mem_cap m ->
+            if
+              Int64.compare offset 0L < 0
+              || Int64.compare size 0L <= 0
+              || Int64.compare (Int64.add offset size) m.size > 0
+              || not (Semper_caps.Perms.subset perms ~of_:m.perms)
+            then (dispatch, fun () -> finish_syscall t vpe (P.R_err P.E_invalid))
+            else begin
+              let key = mint_key t ~creator_pe:vpe.Vpe.pe ~creator_vpe:vpe.Vpe.id ~kind:Key.Mem_obj in
+              let kind =
+                Cap.Mem_cap { host_pe = m.host_pe; addr = Int64.add m.addr offset; size; perms }
+              in
+              let sel' = create_linked_cap t ~owner:vpe ~kind ~parent:(Some parent) ~key in
+                  t.stats.exchanges_local <- t.stats.exchanges_local + 1;
+              ( Int64.add (Int64.add dispatch (c t).Cost.exchange_create) (Cost.ddl (c t) 2),
+                fun () -> finish_syscall t vpe (P.R_sel sel') )
+            end
+          | Cap.Vpe_cap _ | Cap.Rgate_cap _ | Cap.Srv_cap _ | Cap.Sess_cap _ | Cap.Sgate_cap _
+          | Cap.Kernel_cap _ ->
+            (dispatch, fun () -> finish_syscall t vpe (P.R_err P.E_invalid))))
+  | P.Sys_open_session { service } ->
+    job t (fun () ->
+        match Hashtbl.find_opt t.directory service with
+        | None -> (dispatch, fun () -> finish_syscall t vpe (P.R_err P.E_no_such_service))
+        | Some srv_key ->
+          let srv_kernel = owner_kernel t srv_key in
+          let cost = Int64.add dispatch (Cost.ddl (c t) 1) in
+          if srv_kernel = t.id then
+            ( cost,
+              fun () ->
+                service_upcall t ~srv_key (P.Srq_open_session { client_vpe = vpe.Vpe.id }) (fun resp ->
+                    job t (fun () ->
+                        match resp with
+                        | P.Srs_session { ident } -> (
+                          match Mapdb.find t.mapdb srv_key with
+                          | None ->
+                            ((c t).Cost.session_open, fun () -> finish_syscall t vpe (P.R_err P.E_no_such_service))
+                          | Some srv_cap ->
+                            let key =
+                              mint_key t ~creator_pe:vpe.Vpe.pe ~creator_vpe:vpe.Vpe.id ~kind:Key.Sess_obj
+                            in
+                            let kind = Cap.Sess_cap { srv = srv_key; ident } in
+                            let sel = create_linked_cap t ~owner:vpe ~kind ~parent:(Some srv_cap) ~key in
+                                              ( Int64.add (c t).Cost.session_open (Cost.ddl (c t) 1),
+                              fun () -> finish_syscall t vpe (P.R_sess { sel; ident }) ))
+                        | P.Srs_reject e -> ((c t).Cost.session_open, fun () -> finish_syscall t vpe (P.R_err e))
+                        | P.Srs_grant _ | P.Srs_accept ->
+                          ((c t).Cost.session_open, fun () -> finish_syscall t vpe (P.R_err P.E_invalid)))) )
+          else begin
+            (* Cross-group session (Figure 3, sequence B). *)
+            let sess_key = mint_key t ~creator_pe:vpe.Vpe.pe ~creator_vpe:vpe.Vpe.id ~kind:Key.Sess_obj in
+            let op = fresh_op t in
+            Hashtbl.add t.pending_ops op (P_open_sess { client = vpe; sess_key; srv_key; srv_kernel });
+            ( Int64.add cost (c t).Cost.session_open,
+              fun () ->
+                ikc_send t ~dst:srv_kernel
+                  (P.Ik_open_sess_req { op; src_kernel = t.id; srv_key; sess_key; client_vpe = vpe.Vpe.id }) )
+          end)
+  | P.Sys_obtain { sess; args } ->
+    job t (fun () ->
+        match Result.bind (resolve_sel t vpe sess) exchangeable with
+        | Error e -> (dispatch, fun () -> finish_syscall t vpe (P.R_err e))
+        | Ok sess_cap -> (
+          match sess_cap.Cap.kind with
+          | Cap.Sess_cap { srv; ident } ->
+            let srv_kernel = owner_kernel t srv in
+            let cost = Int64.add dispatch (Cost.ddl (c t) 1) in
+            if srv_kernel = t.id then
+              ( cost,
+                fun () ->
+                  let accept k =
+                    service_upcall t ~srv_key:srv (P.Srq_obtain { ident; args }) (fun resp ->
+                        match resp with
+                        | P.Srs_grant { parent; kind } -> k (Ok (parent, kind))
+                        | P.Srs_reject e -> k (Error e)
+                        | P.Srs_session _ | P.Srs_accept -> k (Error P.E_invalid))
+                  in
+                  let granted = ref None in
+                  local_obtain t ~client:vpe
+                    ~accept:(fun k ->
+                      accept (fun r ->
+                          match r with
+                          | Ok g ->
+                            granted := Some g;
+                            k (Ok ())
+                          | Error e -> k (Error e)))
+                    ~parent_of_grant:(fun () ->
+                      match !granted with
+                      | None -> Error P.E_invalid
+                      | Some (parent_key, kind) -> (
+                        match Mapdb.find t.mapdb parent_key with
+                        | None -> Error P.E_no_such_cap
+                        | Some p -> Ok (p, kind))) )
+            else begin
+                  ( Int64.add cost (c t).Cost.exchange_forward,
+                fun () ->
+                  remote_obtain t ~client:vpe ~dst_kernel:srv_kernel
+                    ~donor:(P.Via_session { srv_key = srv; ident; args }) )
+            end
+          | Cap.Vpe_cap _ | Cap.Mem_cap _ | Cap.Srv_cap _ | Cap.Rgate_cap _ | Cap.Sgate_cap _
+          | Cap.Kernel_cap _ ->
+            (dispatch, fun () -> finish_syscall t vpe (P.R_err P.E_no_such_session))))
+  | P.Sys_obtain_from { donor_vpe; donor_sel } ->
+    job t (fun () ->
+        match t.env.locate_vpe donor_vpe with
+        | None -> (dispatch, fun () -> finish_syscall t vpe (P.R_err P.E_no_such_vpe))
+        | Some donor when not (Vpe.is_alive donor) ->
+          (dispatch, fun () -> finish_syscall t vpe (P.R_err P.E_vpe_dead))
+        | Some donor ->
+          if donor.Vpe.kernel = t.id then
+            ( dispatch,
+              fun () ->
+                      local_obtain t ~client:vpe
+                  ~accept:(fun k ->
+                    vpe_accept_roundtrip t donor (fun accepted ->
+                        k (if accepted then Ok () else Error P.E_denied)))
+                  ~parent_of_grant:(fun () ->
+                    Result.map
+                      (fun (cap : Cap.t) -> (cap, cap.Cap.kind))
+                      (resolve_sel t donor donor_sel)) )
+          else begin
+              ( Int64.add (Int64.add dispatch (c t).Cost.exchange_forward) (Cost.ddl (c t) 1),
+              fun () ->
+                remote_obtain t ~client:vpe ~dst_kernel:donor.Vpe.kernel
+                  ~donor:(P.Direct { donor_vpe; donor_sel }) )
+          end)
+  | P.Sys_delegate_to { recv_vpe; sel } ->
+    job t (fun () ->
+        match Result.bind (resolve_sel t vpe sel) exchangeable with
+        | Error e -> (dispatch, fun () -> finish_syscall t vpe (P.R_err e))
+        | Ok src_cap -> (
+          match t.env.locate_vpe recv_vpe with
+          | None -> (dispatch, fun () -> finish_syscall t vpe (P.R_err P.E_no_such_vpe))
+          | Some recv when not (Vpe.is_alive recv) ->
+            (dispatch, fun () -> finish_syscall t vpe (P.R_err P.E_vpe_dead))
+          | Some recv ->
+              if recv.Vpe.kernel = t.id then
+              ( Int64.add dispatch (Cost.ddl (c t) 1),
+                fun () -> local_delegate t ~client:vpe ~src_key:src_cap.Cap.key ~recv )
+            else begin
+              let op = fresh_op t in
+              Hashtbl.add t.pending_ops op
+                (P_delegate_src { client = vpe; src_key = src_cap.Cap.key; dst_kernel = recv.Vpe.kernel });
+              t.stats.exchanges_spanning <- t.stats.exchanges_spanning + 1;
+              ( Int64.add (Int64.add dispatch (c t).Cost.exchange_forward) (Cost.ddl (c t) 1),
+                fun () ->
+                  ikc_send t ~dst:recv.Vpe.kernel
+                    (P.Ik_delegate_req
+                       {
+                         op;
+                         src_kernel = t.id;
+                         parent_key = src_cap.Cap.key;
+                         kind = src_cap.Cap.kind;
+                         recv = P.Recv_vpe recv_vpe;
+                       }) )
+            end))
+  | P.Sys_delegate { sess; sel; args } ->
+    job t (fun () ->
+        match Result.bind (resolve_sel t vpe sess) exchangeable with
+        | Error e -> (dispatch, fun () -> finish_syscall t vpe (P.R_err e))
+        | Ok sess_cap -> (
+          match sess_cap.Cap.kind with
+          | Cap.Sess_cap { srv; ident } -> (
+            match Result.bind (resolve_sel t vpe sel) exchangeable with
+            | Error e -> (dispatch, fun () -> finish_syscall t vpe (P.R_err e))
+            | Ok src_cap ->
+              let srv_kernel = owner_kernel t srv in
+                  if srv_kernel = t.id then
+                ( Int64.add dispatch (Cost.ddl (c t) 1),
+                  fun () ->
+                    service_upcall t ~srv_key:srv
+                      (P.Srq_delegate { ident; args; kind = src_cap.Cap.kind })
+                      (fun resp ->
+                        match resp with
+                        | P.Srs_accept -> (
+                          match Key.Table.find_opt t.services_by_key srv with
+                          | None -> finish_syscall t vpe (P.R_err P.E_no_such_service)
+                          | Some service -> (
+                            match t.env.locate_vpe service.srv_vpe with
+                            | None -> finish_syscall t vpe (P.R_err P.E_no_such_vpe)
+                            | Some recv -> local_delegate t ~client:vpe ~src_key:src_cap.Cap.key ~recv))
+                        | P.Srs_reject e -> finish_syscall t vpe (P.R_err e)
+                        | P.Srs_session _ | P.Srs_grant _ -> finish_syscall t vpe (P.R_err P.E_invalid)) )
+              else begin
+                let op = fresh_op t in
+                Hashtbl.add t.pending_ops op
+                  (P_delegate_src { client = vpe; src_key = src_cap.Cap.key; dst_kernel = srv_kernel });
+                t.stats.exchanges_spanning <- t.stats.exchanges_spanning + 1;
+                ( Int64.add (Int64.add dispatch (c t).Cost.exchange_forward) (Cost.ddl (c t) 1),
+                  fun () ->
+                    ikc_send t ~dst:srv_kernel
+                      (P.Ik_delegate_req
+                         {
+                           op;
+                           src_kernel = t.id;
+                           parent_key = src_cap.Cap.key;
+                           kind = src_cap.Cap.kind;
+                           recv = P.Recv_service { srv_key = srv; ident; args };
+                         }) )
+              end)
+          | Cap.Vpe_cap _ | Cap.Mem_cap _ | Cap.Srv_cap _ | Cap.Rgate_cap _ | Cap.Sgate_cap _
+          | Cap.Kernel_cap _ ->
+            (dispatch, fun () -> finish_syscall t vpe (P.R_err P.E_no_such_session))))
+  | P.Sys_revoke { sel; own } ->
+    job t (fun () ->
+        match resolve_sel t vpe sel with
+        | Error e -> (dispatch, fun () -> finish_syscall t vpe (P.R_err e))
+        | Ok cap -> (
+          let spanning =
+            List.exists (fun k -> not (is_local_key t k)) cap.Cap.children
+          in
+          if spanning then t.stats.revokes_spanning <- t.stats.revokes_spanning + 1
+          else t.stats.revokes_local <- t.stats.revokes_local + 1;
+          match cap.Cap.state with
+          | Cap.Marked { revoke_op } -> (
+            (* Already being revoked: wait for that operation, then
+               acknowledge (no incomplete acks, no duplicate work). *)
+            match Hashtbl.find_opt t.pending_ops revoke_op with
+            | Some (P_revoke other) ->
+              ( dispatch,
+                fun () ->
+                  other.on_complete <- (fun () -> finish_syscall t vpe P.R_ok) :: other.on_complete )
+            | Some (P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_migrate _) | None ->
+              (dispatch, fun () -> finish_syscall t vpe P.R_ok))
+          | Cap.Alive ->
+            ( Int64.add dispatch (Cost.ddl (c t) 1),
+              fun () ->
+                start_revoke t ~origin:(Ro_syscall vpe) ~roots:[ cap.Cap.key ] ~own
+                  ~base_cost:(c t).Cost.revoke_start )))
+  | P.Sys_activate { sel; ep } ->
+    job t (fun () ->
+        match Result.bind (resolve_sel t vpe sel) exchangeable with
+        | Error e -> (dispatch, fun () -> finish_syscall t vpe (P.R_err e))
+        | Ok cap ->
+          let target = Semper_dtu.Dtu.find t.grid ~pe:vpe.Vpe.pe in
+          let by = Semper_dtu.Dtu.find t.grid ~pe:t.pe in
+          let config =
+            match cap.Cap.kind with
+            | Cap.Sgate_cap { target_pe; target_ep; label = _; credits } ->
+              Some (`Send (target_pe, target_ep, credits))
+            | Cap.Rgate_cap { ep = _; slots } ->
+              (* Deliver into the owning VPE's inbox: the app-visible
+                 end of the channel. *)
+              Some (`Receive (slots, fun msg -> Queue.push msg vpe.Vpe.inbox))
+            | Cap.Mem_cap { host_pe; addr; size; perms } ->
+              Some (`Memory (host_pe, addr, size, perms.Semper_caps.Perms.write))
+            | Cap.Vpe_cap _ | Cap.Srv_cap _ | Cap.Sess_cap _ | Cap.Kernel_cap _ -> None
+          in
+          (match config with
+          | None -> (dispatch, fun () -> finish_syscall t vpe (P.R_err P.E_invalid))
+          | Some config -> (
+            match Semper_dtu.Dtu.configure_remote ~by target ~ep config with
+            | Ok () ->
+              (* Remember the binding: revoking the capability must
+                 invalidate the endpoint. *)
+              Key.Table.replace t.activations cap.Cap.key (vpe.Vpe.pe, ep);
+              (Int64.add dispatch (c t).Cost.activate, fun () -> finish_syscall t vpe P.R_ok)
+            | Error _ -> (dispatch, fun () -> finish_syscall t vpe (P.R_err P.E_invalid)))))
+  | P.Sys_exit ->
+    job t (fun () ->
+        vpe.Vpe.state <- Vpe.Exited;
+        let roots = ref [] in
+        Capspace.iter (fun _sel key -> roots := key :: !roots) vpe.Vpe.capspace;
+        (* Only roots we host can be revoked here; each capability of a
+           VPE is hosted at its managing kernel, so that is all of them. *)
+        ( dispatch,
+          fun () ->
+            start_revoke t ~origin:(Ro_exit vpe) ~roots:!roots ~own:true
+              ~base_cost:(c t).Cost.revoke_start ))
+
+(* Local delegate: create the child under the receiver, no handshake
+   needed since a single kernel serialises everything. *)
+and local_delegate t ~(client : Vpe.t) ~src_key ~(recv : Vpe.t) =
+  vpe_accept_roundtrip t recv (fun accepted ->
+      job t (fun () ->
+          if not accepted then
+            ((c t).Cost.exchange_create, fun () -> finish_syscall t client (P.R_err P.E_denied))
+          else
+            match
+              match Mapdb.find t.mapdb src_key with
+              | None -> Error P.E_no_such_cap
+              | Some cap -> exchangeable cap
+            with
+            | Error e -> ((c t).Cost.exchange_create, fun () -> finish_syscall t client (P.R_err e))
+            | Ok src_cap ->
+              if not (Vpe.is_alive recv) then
+                ((c t).Cost.exchange_create, fun () -> finish_syscall t client (P.R_err P.E_vpe_dead))
+              else begin
+                let key =
+                  mint_key t ~creator_pe:recv.Vpe.pe ~creator_vpe:recv.Vpe.id
+                    ~kind:(Cap.kind_to_key_kind src_cap.Cap.kind)
+                in
+                let _sel = create_linked_cap t ~owner:recv ~kind:src_cap.Cap.kind ~parent:(Some src_cap) ~key in
+                t.stats.exchanges_local <- t.stats.exchanges_local + 1;
+                ( Int64.add (c t).Cost.exchange_create (Cost.ddl (c t) 3),
+                  fun () -> finish_syscall t client P.R_ok )
+              end))
+
+(* ------------------------------------------------------------------ *)
+(* Inter-kernel call handling                                          *)
+
+and deliver_ikc t ~src_kernel (ikc : P.ikc) =
+  t.stats.ikc_received <- t.stats.ikc_received + 1;
+  match ikc with
+  | P.Ik_obtain_req { op; src_kernel = origin; obj_reserved; client_pe; client_vpe; donor } ->
+    Thread_pool.acquire t.threads (fun () ->
+        job t (fun () ->
+            let cost = Int64.add (c t).Cost.exchange_remote (Cost.ddl (c t) 2) in
+            ( cost,
+              fun () ->
+                return_credit t ~src_kernel;
+                handle_obtain_req t ~origin ~op ~obj_reserved ~client_pe ~client_vpe ~donor )))
+  | P.Ik_obtain_reply { op; result } ->
+    job t (fun () ->
+        let cost = Int64.add (c t).Cost.exchange_create (Cost.ddl (c t) 2) in
+        ( cost,
+          fun () ->
+            return_credit t ~src_kernel;
+            handle_obtain_reply t ~op ~result ))
+  | P.Ik_delegate_req { op; src_kernel = origin; parent_key; kind; recv } ->
+    Thread_pool.acquire t.threads (fun () ->
+        job t (fun () ->
+            let cost = Int64.add (c t).Cost.exchange_remote (Cost.ddl (c t) 1) in
+            ( cost,
+              fun () ->
+                return_credit t ~src_kernel;
+                handle_delegate_req t ~origin ~op ~parent_key ~kind ~recv )))
+  | P.Ik_delegate_reply { op; result } ->
+    job t (fun () ->
+        let cost = Int64.add (c t).Cost.exchange_create (Cost.ddl (c t) 2) in
+        ( cost,
+          fun () ->
+            return_credit t ~src_kernel;
+            handle_delegate_reply t ~op ~result ))
+  | P.Ik_delegate_ack { op; child_key; commit } ->
+    job t (fun () ->
+        ( Cost.ddl (c t) 1,
+          fun () ->
+            return_credit t ~src_kernel;
+            handle_delegate_ack t ~op ~child_key ~commit ))
+  | P.Ik_open_sess_req { op; src_kernel = origin; srv_key; sess_key; client_vpe } ->
+    Thread_pool.acquire t.threads (fun () ->
+        job t (fun () ->
+            ( (c t).Cost.session_open,
+              fun () ->
+                return_credit t ~src_kernel;
+                handle_open_sess_req t ~origin ~op ~srv_key ~sess_key ~client_vpe )))
+  | P.Ik_open_sess_reply { op; result } ->
+    job t (fun () ->
+        ( Int64.add (c t).Cost.session_open (Cost.ddl (c t) 1),
+          fun () ->
+            return_credit t ~src_kernel;
+            handle_open_sess_reply t ~op ~result ))
+  | P.Ik_revoke_req { op; src_kernel = origin; keys } ->
+    (* Handled without pausing a thread (Algorithm 1). *)
+    return_credit_after_dispatch t ~src_kernel (fun () ->
+        let base_cost =
+          if Cost.broadcast (c t) then
+            (* No explicit relations: scan the whole mapping database. *)
+            Int64.add (c t).Cost.revoke_request
+              (Int64.mul (Int64.of_int (Mapdb.count t.mapdb)) (c t).Cost.revoke_scan_per_cap)
+          else (c t).Cost.revoke_request
+        in
+        start_revoke t ~origin:(Ro_remote (origin, op)) ~roots:keys ~own:true ~base_cost)
+  | P.Ik_revoke_reply { op; keys = _ } ->
+    job t (fun () ->
+        ( (c t).Cost.revoke_reply,
+          fun () ->
+            return_credit t ~src_kernel;
+            (match Hashtbl.find_opt t.pending_ops op with
+            | Some (P_revoke rop) -> revoke_release t rop
+            | Some (P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_migrate _) | None -> ()) ))
+  | P.Ik_remove_child { parent_key; child_key } ->
+    job t (fun () ->
+        ( Cost.ddl (c t) 2,
+          fun () ->
+            return_credit t ~src_kernel;
+            (match Mapdb.find t.mapdb parent_key with
+            | Some parent -> Cap.remove_child parent child_key
+            | None -> ()) ))
+  | P.Ik_migrate_update { op; src_kernel = origin; pe; new_kernel } ->
+    job t (fun () ->
+        ( 200L,
+          fun () ->
+            return_credit t ~src_kernel;
+            (* Update this kernel's replica of the membership table. *)
+            Membership.reassign t.membership ~pe ~kernel:new_kernel;
+            ikc_send t ~dst:origin (P.Ik_migrate_ack { op }) ))
+  | P.Ik_migrate_ack { op } ->
+    job t (fun () ->
+        ( 100L,
+          fun () ->
+            return_credit t ~src_kernel;
+            (match Hashtbl.find_opt t.pending_ops op with
+            | Some (P_migrate m) ->
+              m.acks_outstanding <- m.acks_outstanding - 1;
+              if m.acks_outstanding = 0 then begin
+                Hashtbl.remove t.pending_ops op;
+                migrate_transfer t ~vpe:m.vpe ~dst:m.dst ~done_k:m.done_k
+              end
+            | Some
+                ( P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_revoke _ )
+            | None ->
+              Log.err (fun m -> m "kernel %d: stray migrate ack for op %d" t.id op)) ))
+  | P.Ik_migrate_caps { src_kernel = _; vpe = vid; records } ->
+    job t (fun () ->
+        (* Installing the transferred records costs time proportional to
+           their number. *)
+        ( Int64.mul (Int64.of_int (List.length records)) 150L,
+          fun () ->
+            return_credit t ~src_kernel;
+            List.iter
+              (fun (r : P.migrated_cap) ->
+                let cap =
+                  Cap.make ~key:r.P.m_key ~kind:r.P.m_kind ~owner_vpe:r.P.m_owner
+                    ?parent:r.P.m_parent ()
+                in
+                cap.Cap.children <- r.P.m_children;
+                (* Future keys minted here must not collide with object
+                   ids allocated by the previous owning kernel. *)
+                Mapdb.bump_obj t.mapdb (Key.obj r.P.m_key);
+                Mapdb.insert t.mapdb cap)
+              records;
+            (* The VPE is ours now. *)
+            (match t.env.locate_vpe vid with
+            | Some vpe ->
+              Hashtbl.replace t.vpes vid vpe;
+              Thread_pool.add_vpe_thread t.threads;
+              vpe.Vpe.syscall_pending <- false (* unfreeze *)
+            | None -> Log.err (fun m -> m "kernel %d: migrated VPE %d unknown" t.id vid)) ))
+  | P.Ik_srv_announce { name; srv_key; kernel = _ } ->
+    job t (fun () ->
+        ( 100L,
+          fun () ->
+            return_credit t ~src_kernel;
+            Hashtbl.replace t.directory name srv_key ))
+  | P.Ik_shutdown { src_kernel = origin } ->
+    job t (fun () ->
+        ( 100L,
+          fun () ->
+            return_credit t ~src_kernel;
+            Log.debug (fun m -> m "kernel %d: shutdown notice from %d" t.id origin) ))
+
+(* Revoke requests return their credit right after the (cost-bearing)
+   dispatch; the marking job itself carries the real cost. *)
+and return_credit_after_dispatch t ~src_kernel k =
+  return_credit t ~src_kernel;
+  k ()
+
+and handle_obtain_req t ~origin ~op ~obj_reserved ~client_pe ~client_vpe ~donor =
+  let reply result =
+    Thread_pool.release t.threads;
+    ikc_send t ~dst:origin (P.Ik_obtain_reply { op; result })
+  in
+  let grant ~parent_key ~kind =
+    job t (fun () ->
+        match Mapdb.find t.mapdb parent_key with
+        | None -> (Cost.ddl (c t) 1, fun () -> reply (Error P.E_no_such_cap))
+        | Some parent ->
+          if Cap.is_marked parent then (Cost.ddl (c t) 1, fun () -> reply (Error P.E_in_revocation))
+          else begin
+            let child_key =
+              Key.make ~pe:client_pe ~vpe:client_vpe ~kind:(Cap.kind_to_key_kind kind) ~obj:obj_reserved
+            in
+            Cap.add_child parent child_key;
+            t.stats.exchanges_spanning <- t.stats.exchanges_spanning + 1;
+            (Cost.ddl (c t) 1, fun () -> reply (Ok (child_key, kind, parent_key)))
+          end)
+  in
+  match donor with
+  | P.Direct { donor_vpe; donor_sel } -> (
+    match t.env.locate_vpe donor_vpe with
+    | None -> reply (Error P.E_no_such_vpe)
+    | Some donor_v when donor_v.Vpe.kernel <> t.id -> reply (Error P.E_no_such_vpe)
+    | Some donor_v when not (Vpe.is_alive donor_v) -> reply (Error P.E_vpe_dead)
+    | Some donor_v -> (
+      match Result.bind (resolve_sel t donor_v donor_sel) exchangeable with
+      | Error e -> reply (Error e)
+      | Ok donor_cap ->
+        vpe_accept_roundtrip t donor_v (fun accepted ->
+            if not accepted then reply (Error P.E_denied)
+            else grant ~parent_key:donor_cap.Cap.key ~kind:donor_cap.Cap.kind)))
+  | P.Via_session { srv_key; ident; args } ->
+    service_upcall t ~srv_key (P.Srq_obtain { ident; args }) (fun resp ->
+        match resp with
+        | P.Srs_grant { parent; kind } -> grant ~parent_key:parent ~kind
+        | P.Srs_reject e -> reply (Error e)
+        | P.Srs_session _ | P.Srs_accept -> reply (Error P.E_invalid))
+
+and handle_obtain_reply t ~op ~result =
+  match Hashtbl.find_opt t.pending_ops op with
+  | Some (P_obtain { client }) -> (
+    Hashtbl.remove t.pending_ops op;
+    match result with
+    | Error e -> finish_syscall t client (P.R_err e)
+    | Ok (child_key, kind, parent_key) ->
+      if not (Vpe.is_alive client) then begin
+        (* Orphaned child at the donor side (paper §4.3.2, "Orphaned"):
+           notify the donor's kernel so it can unlink promptly. *)
+        ikc_send t ~dst:(owner_kernel t parent_key) (P.Ik_remove_child { parent_key; child_key });
+        Thread_pool.release t.threads
+      end
+      else begin
+        let cap = Cap.make ~key:child_key ~kind ~owner_vpe:client.Vpe.id ~parent:parent_key () in
+        Mapdb.insert t.mapdb cap;
+        t.stats.caps_created <- t.stats.caps_created + 1;
+        let sel = Capspace.insert client.Vpe.capspace child_key in
+        finish_syscall t client (P.R_sel sel)
+      end)
+  | Some (P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_revoke _ | P_migrate _) | None ->
+    Log.err (fun m -> m "kernel %d: stray obtain reply for op %d" t.id op)
+
+and handle_delegate_req t ~origin ~op ~parent_key ~kind ~recv =
+  let reply result =
+    (* The thread stays held until the ack: the two-way handshake is the
+       paper's fix for the "Invalid" anomaly. *)
+    ikc_send t ~dst:origin (P.Ik_delegate_reply { op; result })
+  in
+  let proceed (recv_v : Vpe.t) =
+    job t (fun () ->
+        if not (Vpe.is_alive recv_v) then (0L, fun () -> Thread_pool.release t.threads; reply (Error P.E_vpe_dead))
+        else begin
+          let child_key =
+            mint_key t ~creator_pe:recv_v.Vpe.pe ~creator_vpe:recv_v.Vpe.id
+              ~kind:(Cap.kind_to_key_kind kind)
+          in
+          (* Created but *not* yet inserted into the receiver's cap
+             space: that happens on the ack. *)
+          let cap = Cap.make ~key:child_key ~kind ~owner_vpe:recv_v.Vpe.id ~parent:parent_key () in
+          Mapdb.insert t.mapdb cap;
+          Hashtbl.add t.pending_ops op
+            (P_delegate_dst { child_key; recv_vpe = recv_v.Vpe.id; src_kernel = origin });
+          t.stats.exchanges_spanning <- t.stats.exchanges_spanning + 1;
+          (Cost.ddl (c t) 2, fun () -> reply (Ok child_key))
+        end)
+  in
+  match recv with
+  | P.Recv_vpe recv_vpe -> (
+    match t.env.locate_vpe recv_vpe with
+    | None -> Thread_pool.release t.threads; reply (Error P.E_no_such_vpe)
+    | Some recv_v when recv_v.Vpe.kernel <> t.id -> Thread_pool.release t.threads; reply (Error P.E_no_such_vpe)
+    | Some recv_v when not (Vpe.is_alive recv_v) -> Thread_pool.release t.threads; reply (Error P.E_vpe_dead)
+    | Some recv_v ->
+      vpe_accept_roundtrip t recv_v (fun accepted ->
+          if not accepted then begin
+            Thread_pool.release t.threads;
+            reply (Error P.E_denied)
+          end
+          else proceed recv_v))
+  | P.Recv_service { srv_key; ident; args } ->
+    service_upcall t ~srv_key (P.Srq_delegate { ident; args; kind }) (fun resp ->
+        match resp with
+        | P.Srs_accept -> (
+          match Key.Table.find_opt t.services_by_key srv_key with
+          | None -> Thread_pool.release t.threads; reply (Error P.E_no_such_service)
+          | Some service -> (
+            match t.env.locate_vpe service.srv_vpe with
+            | None -> Thread_pool.release t.threads; reply (Error P.E_no_such_vpe)
+            | Some recv_v -> proceed recv_v))
+        | P.Srs_reject e -> Thread_pool.release t.threads; reply (Error e)
+        | P.Srs_session _ | P.Srs_grant _ -> Thread_pool.release t.threads; reply (Error P.E_invalid))
+
+and handle_delegate_reply t ~op ~result =
+  match Hashtbl.find_opt t.pending_ops op with
+  | Some (P_delegate_src { client; src_key; dst_kernel }) -> (
+    Hashtbl.remove t.pending_ops op;
+    match result with
+    | Error e -> finish_syscall t client (P.R_err e)
+    | Ok child_key -> (
+      match Mapdb.find t.mapdb src_key with
+      | Some src_cap when not (Cap.is_marked src_cap) ->
+        Cap.add_child src_cap child_key;
+        ikc_send t ~dst:dst_kernel (P.Ik_delegate_ack { op; child_key; commit = true });
+        finish_syscall t client P.R_ok
+      | Some _ | None ->
+        (* The delegated capability was revoked while the handshake was
+           in flight: abort so the receiver never gains unjustified
+           access (paper §4.3.2, "Invalid"). *)
+        ikc_send t ~dst:dst_kernel (P.Ik_delegate_ack { op; child_key; commit = false });
+        finish_syscall t client (P.R_err P.E_in_revocation)))
+  | Some (P_obtain _ | P_delegate_dst _ | P_open_sess _ | P_revoke _ | P_migrate _) | None ->
+    Log.err (fun m -> m "kernel %d: stray delegate reply for op %d" t.id op)
+
+and handle_delegate_ack t ~op ~child_key ~commit =
+  (match Hashtbl.find_opt t.pending_ops op with
+  | Some (P_delegate_dst { child_key = ck; recv_vpe; src_kernel }) -> (
+    Hashtbl.remove t.pending_ops op;
+    assert (Key.equal ck child_key);
+    match Mapdb.find t.mapdb child_key with
+    | None -> () (* revoked in the meantime; nothing to do *)
+    | Some cap ->
+      if not commit then begin
+        Mapdb.remove t.mapdb child_key;
+        t.stats.caps_deleted <- t.stats.caps_deleted + 1
+      end
+      else begin
+        match t.env.locate_vpe recv_vpe with
+        | Some recv when Vpe.is_alive recv ->
+          ignore (Capspace.insert recv.Vpe.capspace child_key);
+          t.stats.caps_created <- t.stats.caps_created + 1
+        | Some _ | None -> (
+          (* Receiver died while waiting for the ack: orphan; drop the
+             record and tell the source kernel to unlink. *)
+          Mapdb.remove t.mapdb child_key;
+          t.stats.caps_deleted <- t.stats.caps_deleted + 1;
+          match cap.Cap.parent with
+          | Some parent_key ->
+            ikc_send t ~dst:src_kernel (P.Ik_remove_child { parent_key; child_key })
+          | None -> ())
+      end)
+  | Some (P_obtain _ | P_delegate_src _ | P_open_sess _ | P_revoke _ | P_migrate _) | None ->
+    Log.err (fun m -> m "kernel %d: stray delegate ack for op %d" t.id op));
+  (* Handshake over: release the thread held since the request. *)
+  Thread_pool.release t.threads
+
+and handle_open_sess_req t ~origin ~op ~srv_key ~sess_key ~client_vpe =
+  let reply result =
+    Thread_pool.release t.threads;
+    ikc_send t ~dst:origin (P.Ik_open_sess_reply { op; result })
+  in
+  match Mapdb.find t.mapdb srv_key with
+  | None -> reply (Error P.E_no_such_service)
+  | Some srv_cap when Cap.is_marked srv_cap -> reply (Error P.E_in_revocation)
+  | Some srv_cap ->
+    service_upcall t ~srv_key (P.Srq_open_session { client_vpe }) (fun resp ->
+        match resp with
+        | P.Srs_session { ident } ->
+          job t (fun () ->
+              match Mapdb.find t.mapdb srv_cap.Cap.key with
+              | Some srv_cap when not (Cap.is_marked srv_cap) ->
+                Cap.add_child srv_cap sess_key;
+                (Cost.ddl (c t) 1, fun () -> reply (Ok ident))
+              | Some _ | None -> (Cost.ddl (c t) 1, fun () -> reply (Error P.E_in_revocation)))
+        | P.Srs_reject e -> reply (Error e)
+        | P.Srs_grant _ | P.Srs_accept -> reply (Error P.E_invalid))
+
+and handle_open_sess_reply t ~op ~result =
+  match Hashtbl.find_opt t.pending_ops op with
+  | Some (P_open_sess { client; sess_key; srv_key; srv_kernel }) -> (
+    Hashtbl.remove t.pending_ops op;
+    match result with
+    | Error e -> finish_syscall t client (P.R_err e)
+    | Ok ident ->
+      if not (Vpe.is_alive client) then begin
+        ikc_send t ~dst:srv_kernel (P.Ik_remove_child { parent_key = srv_key; child_key = sess_key });
+        Thread_pool.release t.threads
+      end
+      else begin
+        let kind = Cap.Sess_cap { srv = srv_key; ident } in
+        let cap = Cap.make ~key:sess_key ~kind ~owner_vpe:client.Vpe.id ~parent:srv_key () in
+        Mapdb.insert t.mapdb cap;
+        t.stats.caps_created <- t.stats.caps_created + 1;
+        let sel = Capspace.insert client.Vpe.capspace sess_key in
+        finish_syscall t client (P.R_sess { sel; ident })
+      end)
+  | Some (P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_revoke _ | P_migrate _) | None ->
+    Log.err (fun m -> m "kernel %d: stray open-session reply for op %d" t.id op)
+
+(* Phase 2 of PE migration: hand the capability records and the VPE
+   over to the destination kernel. *)
+and migrate_transfer t ~(vpe : Vpe.t) ~dst ~done_k =
+  job t (fun () ->
+      (* Extract every capability whose key partition is the migrating
+         PE: with the hosting invariant those are exactly the VPE's. *)
+      let records =
+        Mapdb.fold
+          (fun acc cap ->
+            if Key.pe cap.Cap.key = vpe.Vpe.pe then
+              {
+                P.m_key = cap.Cap.key;
+                m_kind = cap.Cap.kind;
+                m_owner = cap.Cap.owner_vpe;
+                m_parent = cap.Cap.parent;
+                m_children = cap.Cap.children;
+              }
+              :: acc
+            else acc)
+          [] t.mapdb
+      in
+      List.iter (fun (r : P.migrated_cap) -> Mapdb.remove t.mapdb r.P.m_key) records;
+      Hashtbl.remove t.vpes vpe.Vpe.id;
+      Thread_pool.remove_vpe_thread t.threads;
+      vpe.Vpe.kernel <- dst;
+      ( Int64.mul (Int64.of_int (List.length records)) 150L,
+        fun () ->
+          ikc_send t ~dst (P.Ik_migrate_caps { src_kernel = t.id; vpe = vpe.Vpe.id; records });
+          done_k () ))
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+let syscall t ~vpe call k =
+  if not (Vpe.is_alive vpe) then Engine.after t.engine 0L (fun () -> k (P.R_err P.E_vpe_dead))
+  else if vpe.Vpe.syscall_pending then Engine.after t.engine 0L (fun () -> k (P.R_err P.E_busy))
+  else begin
+    vpe.Vpe.syscall_pending <- true;
+    vpe.Vpe.reply_k <- Some k;
+    vpe.Vpe.syscall_name <- P.syscall_name call;
+    vpe.Vpe.syscall_start <- Engine.now t.engine;
+    t.stats.syscalls <- t.stats.syscalls + 1;
+    Fabric.send t.fabric ~src:vpe.Vpe.pe ~dst:t.pe ~bytes:(c t).Cost.syscall_bytes (fun () ->
+        Thread_pool.acquire t.threads (fun () -> handle_syscall t vpe call))
+  end
+
+let deliver_ikc = deliver_ikc
+
+let install_cap t cap =
+  match t.env.locate_vpe cap.Cap.owner_vpe with
+  | None -> invalid_arg "Kernel.install_cap: unknown owner VPE"
+  | Some owner ->
+    Mapdb.insert t.mapdb cap;
+    (match cap.Cap.parent with
+    | Some pk when is_local_key t pk -> (
+      match Mapdb.find t.mapdb pk with
+      | Some parent -> if not (Cap.has_child parent cap.Cap.key) then Cap.add_child parent cap.Cap.key
+      | None -> ())
+    | Some _ | None -> ());
+    t.stats.caps_created <- t.stats.caps_created + 1;
+    Capspace.insert owner.Vpe.capspace cap.Cap.key
+
+let install_new_cap t ~owner ~kind ?parent () =
+  let key =
+    mint_key t ~creator_pe:owner.Vpe.pe ~creator_vpe:owner.Vpe.id ~kind:(Cap.kind_to_key_kind kind)
+  in
+  let cap = Cap.make ~key ~kind ~owner_vpe:owner.Vpe.id ?parent () in
+  let sel = install_cap t cap in
+  (sel, key)
+
+(* PE migration (the paper's named future work, §3.2). The system must
+   be quiescent with respect to this VPE: no in-flight operations may
+   reference its capabilities. Phase 1 freezes the VPE and broadcasts
+   the membership update to every kernel; once all acks are in, phase 2
+   transfers the capability records. *)
+let migrate_vpe t ~(vpe : Vpe.t) ~dst done_k =
+  if dst = t.id then invalid_arg "Kernel.migrate_vpe: already managed here";
+  if not (Hashtbl.mem t.registry dst) then invalid_arg "Kernel.migrate_vpe: no such kernel";
+  if not (Vpe.is_alive vpe) then invalid_arg "Kernel.migrate_vpe: VPE is dead";
+  if vpe.Vpe.syscall_pending then invalid_arg "Kernel.migrate_vpe: VPE has a syscall in flight";
+  (* Freeze: reject syscalls while records are in flight. *)
+  vpe.Vpe.syscall_pending <- true;
+  Membership.reassign t.membership ~pe:vpe.Vpe.pe ~kernel:dst;
+  let peers = Hashtbl.fold (fun kid _ acc -> if kid <> t.id then kid :: acc else acc) t.registry [] in
+  match peers with
+  | [] ->
+    (* Single-kernel system: nothing to broadcast. *)
+    migrate_transfer t ~vpe ~dst ~done_k
+  | peers ->
+    let op = fresh_op t in
+    Hashtbl.add t.pending_ops op
+      (P_migrate { vpe; dst; acks_outstanding = List.length peers; done_k });
+    job t (fun () ->
+        ( Int64.mul (Int64.of_int (List.length peers)) 200L,
+          fun () ->
+            List.iter
+              (fun kid ->
+                ikc_send t ~dst:kid
+                  (P.Ik_migrate_update { op; src_kernel = t.id; pe = vpe.Vpe.pe; new_kernel = dst }))
+              peers ))
+
+let check_invariants t =
+  let errors = ref (Mapdb.check_local_links t.mapdb) in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  Mapdb.iter
+    (fun cap ->
+      (* Hosting invariant: a capability lives at the kernel managing
+         its owner VPE. *)
+      (match t.env.locate_vpe cap.Cap.owner_vpe with
+      | None -> err "cap %s owned by unknown VPE %d" (Key.to_string cap.Cap.key) cap.Cap.owner_vpe
+      | Some v ->
+        if v.Vpe.kernel <> t.id then
+          err "cap %s hosted at kernel %d but owner VPE %d is managed by %d"
+            (Key.to_string cap.Cap.key) t.id cap.Cap.owner_vpe v.Vpe.kernel);
+      if Cap.is_marked cap then
+        err "cap %s still marked while system is idle" (Key.to_string cap.Cap.key))
+    t.mapdb;
+  Hashtbl.iter (fun op _ -> err "pending operation %d while system is idle" op) t.pending_ops;
+  Hashtbl.iter
+    (fun vid (vpe : Vpe.t) ->
+      Capspace.iter
+        (fun sel key ->
+          if Vpe.is_alive vpe && not (Mapdb.mem t.mapdb key) then
+            err "VPE %d selector %d references missing cap %s" vid sel (Key.to_string key))
+        vpe.Vpe.capspace)
+    t.vpes;
+  List.rev !errors

@@ -1,0 +1,124 @@
+(** A SemperOS kernel: manages one PE group and its capabilities, and
+    coordinates with peer kernels through inter-kernel calls.
+
+    Implements the paper's distributed capability protocols:
+    - capability exchange (obtain and delegate, §4.3.2), including the
+      two-way delegate handshake that prevents the "Invalid" anomaly and
+      orphan cleanup for obtainers that die mid-exchange;
+    - two-phase mark-and-sweep revocation (§4.3.3, Algorithm 1) with
+      per-operation outstanding-reply counters, which never acknowledges
+      an incomplete revoke and denies exchanges of marked capabilities;
+    - cross-group session establishment (Figure 3, sequence B).
+
+    One kernel instance runs on a dedicated kernel PE, modelled as a
+    single-capacity server: every message (syscall or IKC) charges
+    processing time there, which is what creates the kernel contention
+    measured in the paper's application benchmarks. *)
+
+module Key = Semper_ddl.Key
+
+(** Hooks the kernel needs from the surrounding system (VPE directory,
+    PE allocation). Stands in for state that the paper's kernels derive
+    from boot-time knowledge. *)
+type env = {
+  locate_vpe : int -> Vpe.t option;
+  alloc_pe : kernel:int -> int option;
+  make_vpe : pe:int -> kernel:int -> Vpe.t;
+  on_vpe_exit : Vpe.t -> unit;
+}
+
+(** A service endpoint: requests are answered asynchronously so the
+    service implementation can charge time on its own PE first. *)
+type service_handler = Protocol.service_request -> (Protocol.service_response -> unit) -> unit
+
+type stats = {
+  mutable syscalls : int;
+  mutable cap_ops : int;  (** capability-modifying operations handled *)
+  mutable exchanges_local : int;
+  mutable exchanges_spanning : int;
+  mutable revokes_local : int;
+  mutable revokes_spanning : int;
+  mutable caps_created : int;
+  mutable caps_deleted : int;
+  mutable ikc_sent : int;
+  mutable ikc_received : int;
+  mutable credit_stalls : int;  (** IKC sends delayed by credit exhaustion *)
+  latencies : (string, Semper_util.Stats.Acc.t) Hashtbl.t;
+      (** end-to-end syscall latency (cycles) per syscall kind *)
+}
+
+type t
+
+val create :
+  engine:Semper_sim.Engine.t ->
+  fabric:Semper_noc.Fabric.t ->
+  grid:Semper_dtu.Dtu.grid ->
+  id:int ->
+  pe:int ->
+  membership:Semper_ddl.Membership.t ->
+  cost:Cost.t ->
+  env:env ->
+  registry:(int, t) Hashtbl.t ->
+  kernel_count:int ->
+  t
+
+val id : t -> int
+val pe : t -> int
+val mapdb : t -> Semper_caps.Mapdb.t
+val server : t -> Semper_sim.Server.t
+val threads : t -> Thread_pool.t
+val stats : t -> stats
+val cost : t -> Cost.t
+
+(** Register a VPE with its managing kernel (done by the system layer at
+    spawn time); grows the thread pool by one (Equation 1). *)
+val add_vpe : t -> Vpe.t -> unit
+
+val find_vpe : t -> int -> Vpe.t option
+val vpe_count : t -> int
+
+(** Attach the handler for a service *before* the service VPE issues
+    [Sys_create_srv]. The handler runs at this kernel, which must be
+    the one managing the service VPE. *)
+val register_service_handler : t -> name:string -> service_handler -> unit
+
+(** Look up a service in the (replicated) directory. *)
+val lookup_service : t -> string -> Key.t option
+
+(** Issue a system call on behalf of [vpe]: models the syscall message
+    to the kernel PE, queues processing there, and eventually delivers
+    the reply message back to the VPE's PE, where [k] runs. Each VPE
+    can have only one syscall in flight; violating that yields
+    [R_err E_busy] immediately. *)
+val syscall : t -> vpe:Vpe.t -> Protocol.syscall -> (Protocol.reply -> unit) -> unit
+
+(** Deliver an inter-kernel call (invoked by peer kernels through the
+    fabric; exposed for tests). *)
+val deliver_ikc : t -> src_kernel:int -> Protocol.ikc -> unit
+
+(** Directly insert a pre-built capability (boot-time setup for tests
+    and services). Counts as a created capability. *)
+val install_cap : t -> Semper_caps.Cap.t -> Protocol.selector
+
+(** Mint a fresh key and install a capability for [owner] in one step
+    (boot-time setup). Returns the selector and the key. *)
+val install_new_cap :
+  t ->
+  owner:Vpe.t ->
+  kind:Semper_caps.Cap.kind ->
+  ?parent:Key.t ->
+  unit ->
+  Protocol.selector * Key.t
+
+(** PE migration (the paper's named future work, §3.2): freeze the
+    VPE, broadcast the membership update to every kernel, then transfer
+    its capability records to [dst]. The system must be quiescent with
+    respect to this VPE (no in-flight operations touching its
+    capabilities); use {!System.migrate_vpe}, which enforces that.
+    [done_k] runs at the initiating kernel once the records have been
+    handed off. *)
+val migrate_vpe : t -> vpe:Vpe.t -> dst:int -> (unit -> unit) -> unit
+
+(** Run the mapping-database consistency check plus kernel-level
+    invariants; returns human-readable violations (empty = healthy). *)
+val check_invariants : t -> string list

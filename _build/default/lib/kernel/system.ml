@@ -1,0 +1,213 @@
+module Engine = Semper_sim.Engine
+module Topology = Semper_noc.Topology
+module Fabric = Semper_noc.Fabric
+module Dtu = Semper_dtu.Dtu
+module Membership = Semper_ddl.Membership
+
+type config = {
+  kernels : int;
+  user_pes_per_kernel : int;
+  mode : Cost.mode;
+  noc : Fabric.config;
+  batching : bool;
+  broadcast : bool;
+}
+
+let default_config =
+  {
+    kernels = 2;
+    user_pes_per_kernel = 8;
+    mode = Cost.Semperos;
+    noc = Fabric.default_config;
+    batching = false;
+    broadcast = false;
+  }
+
+let config ?(kernels = 2) ?(user_pes_per_kernel = 8) ?(mode = Cost.Semperos)
+    ?(noc = Fabric.default_config) ?(batching = false) ?(broadcast = false) () =
+  { kernels; user_pes_per_kernel; mode; noc; batching; broadcast }
+
+type group = { kernel_pe : int; free : int Queue.t }
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  fabric : Fabric.t;
+  grid : Dtu.grid;
+  membership : Membership.t;
+  registry : (int, Kernel.t) Hashtbl.t;
+  groups : group array;
+  vpes : (int, Vpe.t) Hashtbl.t;
+  mutable next_vpe : int;
+}
+
+let engine t = t.engine
+let fabric t = t.fabric
+let grid t = t.grid
+let membership t = t.membership
+
+let kernel t i =
+  match Hashtbl.find_opt t.registry i with
+  | Some k -> k
+  | None -> invalid_arg "System.kernel: no such kernel"
+
+let kernels t =
+  List.init t.cfg.kernels (fun i -> kernel t i)
+
+let kernel_count t = t.cfg.kernels
+let pe_count t = t.cfg.kernels * (1 + t.cfg.user_pes_per_kernel)
+let find_vpe t vid = Hashtbl.find_opt t.vpes vid
+let now t = Engine.now t.engine
+
+let free_pes t ~kernel =
+  if kernel < 0 || kernel >= t.cfg.kernels then invalid_arg "System.free_pes: no such kernel";
+  Queue.length t.groups.(kernel).free
+
+let register_vpe t ~pe ~kernel:kid =
+  let id = t.next_vpe in
+  t.next_vpe <- id + 1;
+  let vpe = Vpe.make ~id ~pe ~kernel:kid in
+  Hashtbl.add t.vpes id vpe;
+  Kernel.add_vpe (kernel t kid) vpe;
+  vpe
+
+let create cfg =
+  if cfg.kernels <= 0 then invalid_arg "System.create: need at least one kernel";
+  if cfg.kernels > Cost.max_kernels then
+    invalid_arg "System.create: more kernels than the DTU endpoints support (64)";
+  if cfg.user_pes_per_kernel > Cost.max_pes_per_kernel then
+    invalid_arg "System.create: more PEs per kernel than syscall slots support (192)";
+  let total = cfg.kernels * (1 + cfg.user_pes_per_kernel) in
+  let topology = Topology.square total in
+  let engine = Engine.create () in
+  let fabric = Fabric.create engine topology cfg.noc in
+  let grid = Dtu.create_grid fabric in
+  let membership = Membership.create () in
+  let group_size = 1 + cfg.user_pes_per_kernel in
+  let groups =
+    Array.init cfg.kernels (fun g ->
+        let base = g * group_size in
+        let free = Queue.create () in
+        for u = 1 to cfg.user_pes_per_kernel do
+          Queue.push (base + u) free
+        done;
+        { kernel_pe = base; free })
+  in
+  for g = 0 to cfg.kernels - 1 do
+    for p = g * group_size to (g * group_size) + group_size - 1 do
+      Membership.assign membership ~pe:p ~kernel:g
+    done
+  done;
+  Membership.seal membership;
+  (* Every PE gets a DTU; only kernel DTUs stay privileged (§2.2). *)
+  for p = 0 to total - 1 do
+    let dtu = Dtu.create grid ~pe:p in
+    if p mod group_size <> 0 then Dtu.deprivilege dtu
+  done;
+  let registry = Hashtbl.create cfg.kernels in
+  let t =
+    { cfg; engine; fabric; grid; membership; registry; groups; vpes = Hashtbl.create 256; next_vpe = 0 }
+  in
+  let env =
+    {
+      Kernel.locate_vpe = (fun vid -> Hashtbl.find_opt t.vpes vid);
+      alloc_pe =
+        (fun ~kernel ->
+          if kernel < 0 || kernel >= cfg.kernels then None
+          else
+            let g = groups.(kernel) in
+            if Queue.is_empty g.free then None else Some (Queue.pop g.free));
+      make_vpe = (fun ~pe ~kernel -> register_vpe t ~pe ~kernel);
+      on_vpe_exit =
+        (fun vpe ->
+          let g = groups.(vpe.Vpe.kernel) in
+          Queue.push vpe.Vpe.pe g.free);
+    }
+  in
+  let cost =
+    let base = Cost.default cfg.mode in
+    let base = if cfg.batching then Cost.with_batching base else base in
+    if cfg.broadcast then Cost.with_broadcast base else base
+  in
+  for g = 0 to cfg.kernels - 1 do
+    (* Each kernel holds its own replica of the membership table, as in
+       the paper (Figure 2) — PE migration must update all of them. *)
+    ignore
+      (Kernel.create ~engine ~fabric ~grid ~id:g ~pe:groups.(g).kernel_pe
+         ~membership:(Membership.copy membership) ~cost ~env ~registry
+         ~kernel_count:cfg.kernels)
+  done;
+  t
+
+let spawn_vpe ?pe t ~kernel:kid =
+  if kid < 0 || kid >= t.cfg.kernels then invalid_arg "System.spawn_vpe: no such kernel";
+  let g = t.groups.(kid) in
+  let pe =
+    match pe with
+    | Some p -> p
+    | None ->
+      if Queue.is_empty g.free then invalid_arg "System.spawn_vpe: group is full"
+      else Queue.pop g.free
+  in
+  register_vpe t ~pe ~kernel:kid
+
+let syscall t vpe call k = Kernel.syscall (kernel t vpe.Vpe.kernel) ~vpe call k
+
+let run ?until t = Engine.run ?until t.engine
+
+let syscall_sync t vpe call =
+  let result = ref None in
+  syscall t vpe call (fun r -> result := Some r);
+  let rec drive () =
+    match !result with
+    | Some r -> r
+    | None ->
+      if Engine.pending t.engine = 0 then
+        failwith "System.syscall_sync: engine idle before reply arrived"
+      else begin
+        ignore (Engine.run ~until:(Int64.add (Engine.now t.engine) 10_000L) t.engine);
+        drive ()
+      end
+  in
+  drive ()
+
+let total_cap_ops t =
+  List.fold_left (fun acc k -> acc + (Kernel.stats k).Kernel.cap_ops) 0 (kernels t)
+
+let check_invariants t = List.concat_map Kernel.check_invariants (kernels t)
+
+let migrate_vpe t (vpe : Vpe.t) ~to_kernel =
+  if to_kernel < 0 || to_kernel >= t.cfg.kernels then
+    invalid_arg "System.migrate_vpe: no such kernel";
+  (* Quiesce the system first: migration is only defined with no
+     in-flight operations touching the VPE. *)
+  ignore (Engine.run t.engine);
+  (* Keep the system-level replica in step for spawn-time routing. *)
+  Membership.reassign t.membership ~pe:vpe.Vpe.pe ~kernel:to_kernel;
+  let finished = ref false in
+  Kernel.migrate_vpe (kernel t vpe.Vpe.kernel) ~vpe ~dst:to_kernel (fun () -> finished := true);
+  ignore (Engine.run t.engine);
+  if not !finished then failwith "System.migrate_vpe: migration did not complete"
+
+let shutdown t =
+  (* Exit every live VPE. Each exit revokes the VPE's entire capability
+     space; concurrent exits exercise the overlapping-revoke machinery
+     (session capabilities are children of service capabilities owned by
+     other exiting VPEs). *)
+  Hashtbl.iter
+    (fun _ (vpe : Vpe.t) ->
+      if Vpe.is_alive vpe then Kernel.syscall (kernel t vpe.Vpe.kernel) ~vpe Protocol.Sys_exit (fun _ -> ()))
+    t.vpes;
+  ignore (Engine.run t.engine);
+  (* Kernels exchange shutdown notices (group 1 inter-kernel calls). *)
+  List.iter
+    (fun k ->
+      List.iter
+        (fun peer ->
+          if Kernel.id peer <> Kernel.id k then
+            Kernel.deliver_ikc peer ~src_kernel:(Kernel.id k)
+              (Protocol.Ik_shutdown { src_kernel = Kernel.id k }))
+        (kernels t))
+    (kernels t);
+  ignore (Engine.run t.engine);
+  List.fold_left (fun acc k -> acc + Semper_caps.Mapdb.count (Kernel.mapdb k)) 0 (kernels t)

@@ -1,0 +1,88 @@
+(** System assembly: topology, DTUs, membership, and the kernels.
+
+    Lays out [kernels] PE groups on a square mesh. Each group is a
+    contiguous block of PEs — one kernel PE followed by the group's user
+    PEs — so intra-group messages travel few hops and group-spanning
+    messages travel more, as in a real rack-scale NoC. *)
+
+type config = {
+  kernels : int;
+  user_pes_per_kernel : int;
+  mode : Cost.mode;
+  noc : Semper_noc.Fabric.config;
+  batching : bool;  (** enable revoke-message batching (Cost.with_batching) *)
+  broadcast : bool;  (** Barrelfish-style broadcast revocation (Cost.with_broadcast) *)
+}
+
+val default_config : config
+
+(** 640 PEs as in the paper's testbed (§5.1): adjust per experiment. *)
+val config :
+  ?kernels:int ->
+  ?user_pes_per_kernel:int ->
+  ?mode:Cost.mode ->
+  ?noc:Semper_noc.Fabric.config ->
+  ?batching:bool ->
+  ?broadcast:bool ->
+  unit ->
+  config
+
+type t
+
+(** Build and boot the system: topology, fabric, DTUs (user DTUs
+    deprivileged), membership table (sealed), kernels. Raises
+    [Invalid_argument] for configurations beyond the paper's hardware
+    limits (more than 64 kernels or 192 PEs per group). *)
+val create : config -> t
+
+val engine : t -> Semper_sim.Engine.t
+val fabric : t -> Semper_noc.Fabric.t
+val grid : t -> Semper_dtu.Dtu.grid
+val membership : t -> Semper_ddl.Membership.t
+val kernel : t -> int -> Kernel.t
+val kernels : t -> Kernel.t list
+val kernel_count : t -> int
+val pe_count : t -> int
+
+(** Boot-time VPE spawn: allocates a free user PE in the kernel's group
+    (or uses [pe]). Raises [Invalid_argument] when the group is full. *)
+val spawn_vpe : ?pe:int -> t -> kernel:int -> Vpe.t
+
+val find_vpe : t -> int -> Vpe.t option
+
+(** Free user PEs remaining in a group. *)
+val free_pes : t -> kernel:int -> int
+
+(** Shorthand for [Kernel.syscall] on the VPE's managing kernel. *)
+val syscall : t -> Vpe.t -> Protocol.syscall -> (Protocol.reply -> unit) -> unit
+
+(** Synchronous convenience for tests and examples: runs the engine
+    until the reply arrives and returns it. The engine must be
+    otherwise idle enough for the syscall to complete. *)
+val syscall_sync : t -> Vpe.t -> Protocol.syscall -> Protocol.reply
+
+(** Drive the simulation. Returns events processed. *)
+val run : ?until:int64 -> t -> int
+
+val now : t -> int64
+
+(** Aggregate capability operations handled by all kernels. *)
+val total_cap_ops : t -> int
+
+(** Union of all kernels' invariant violations. *)
+val check_invariants : t -> string list
+
+(** Migrate a VPE's PE to another kernel's group (the paper's named
+    future work, §3.2): quiesces the engine, freezes the VPE,
+    broadcasts the membership update to every kernel replica, and
+    transfers the capability records to the new owning kernel. After
+    return the VPE is managed by [to_kernel] and all DDL routing for
+    its keys lands there. *)
+val migrate_vpe : t -> Vpe.t -> to_kernel:int -> unit
+
+(** Graceful shutdown (IKC group 1 of the paper, §4.1): every live VPE
+    — applications and services alike — exits, which recursively
+    revokes every capability in the system; kernels then exchange
+    shutdown notices. Runs the engine to completion and returns the
+    number of capabilities that survived (0 for a healthy system). *)
+val shutdown : t -> int

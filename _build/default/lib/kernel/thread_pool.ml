@@ -1,0 +1,39 @@
+type t = {
+  mutable size : int;
+  mutable in_use : int;
+  mutable max_in_use : int;
+  queue : (unit -> unit) Queue.t;
+}
+
+let create ~vpes ~kernels =
+  if vpes < 0 || kernels < 0 then invalid_arg "Thread_pool.create: negative size";
+  (* Equation 1: V_group + K_max * M_inflight. *)
+  let size = vpes + (kernels * Cost.max_inflight) in
+  { size = max size 1; in_use = 0; max_in_use = 0; queue = Queue.create () }
+
+let size t = t.size
+let free t = t.size - t.in_use
+let in_use t = t.in_use
+let max_in_use t = t.max_in_use
+let waiting t = Queue.length t.queue
+
+let acquire t k =
+  if t.in_use < t.size then begin
+    t.in_use <- t.in_use + 1;
+    if t.in_use > t.max_in_use then t.max_in_use <- t.in_use;
+    k ()
+  end
+  else Queue.push k t.queue
+
+let release t =
+  if t.in_use <= 0 then invalid_arg "Thread_pool.release: nothing to release";
+  if Queue.is_empty t.queue then t.in_use <- t.in_use - 1
+  else begin
+    (* Hand the thread directly to the next waiter. *)
+    let k = Queue.pop t.queue in
+    k ()
+  end
+
+let add_vpe_thread t = t.size <- t.size + 1
+
+let remove_vpe_thread t = if t.size > 1 then t.size <- t.size - 1

@@ -1,0 +1,40 @@
+(** Kernel thread accounting (paper §4.2).
+
+    SemperOS kernels use cooperative multithreading: an operation that
+    must wait for another kernel suspends its thread at a preemption
+    point. The pool is sized at startup as [V_group + K_max * M_inflight]
+    (Equation 1) — one thread per VPE of the group (each VPE has at most
+    one blocking syscall) plus one per possible in-flight request from
+    every other kernel. The kernel never spawns threads on behalf of
+    syscalls (DoS prevention); work arriving when no thread is free
+    queues until one is released. Revocation requests from other
+    kernels are processed without holding a thread across waits
+    (Algorithm 1), and at most [2] dedicated revocation threads exist. *)
+
+type t
+
+(** [create ~vpes ~kernels] sizes the pool by Equation 1. *)
+val create : vpes:int -> kernels:int -> t
+
+val size : t -> int
+val free : t -> int
+val in_use : t -> int
+
+(** High-water mark of threads in use. *)
+val max_in_use : t -> int
+
+(** [acquire t k] runs [k] immediately if a thread is free, otherwise
+    queues it (FIFO) until [release]. *)
+val acquire : t -> (unit -> unit) -> unit
+
+(** Release one thread; runs the next queued acquisition if any. *)
+val release : t -> unit
+
+(** Queued acquisitions currently waiting. *)
+val waiting : t -> int
+
+(** Grow the pool when a VPE joins the group after boot. *)
+val add_vpe_thread : t -> unit
+
+(** Shrink the pool when a VPE leaves the group (migration). *)
+val remove_vpe_thread : t -> unit

@@ -1,0 +1,36 @@
+type state = Running | Exited
+
+type t = {
+  id : int;
+  pe : int;
+  mutable kernel : int;
+  capspace : Semper_caps.Capspace.t;
+  mutable state : state;
+  mutable syscall_pending : bool;
+  mutable reply_k : (Protocol.reply -> unit) option;
+  mutable syscall_name : string;
+  mutable syscall_start : int64;
+  mutable accept_exchange : bool;
+  inbox : Semper_dtu.Message.t Queue.t;
+}
+
+let make ~id ~pe ~kernel =
+  {
+    id;
+    pe;
+    kernel;
+    capspace = Semper_caps.Capspace.create ();
+    state = Running;
+    syscall_pending = false;
+    reply_k = None;
+    syscall_name = "";
+    syscall_start = 0L;
+    accept_exchange = true;
+    inbox = Queue.create ();
+  }
+
+let is_alive t = t.state = Running
+
+let pp ppf t =
+  Format.fprintf ppf "vpe%d@pe%d(k%d,%s)" t.id t.pe t.kernel
+    (match t.state with Running -> "running" | Exited -> "exited")

@@ -1,0 +1,28 @@
+(** Virtual PE: the unit of execution (comparable to a single-threaded
+    process, paper §2.2). Each VPE has its own capability space and may
+    have at most one system call in flight. *)
+
+type state = Running | Exited
+
+type t = {
+  id : int;
+  pe : int;
+  mutable kernel : int;  (** the kernel managing this VPE's group *)
+  capspace : Semper_caps.Capspace.t;
+  mutable state : state;
+  mutable syscall_pending : bool;
+  mutable reply_k : (Protocol.reply -> unit) option;
+      (** continuation of the in-flight syscall, run on reply delivery *)
+  mutable syscall_name : string;   (** name of the in-flight syscall *)
+  mutable syscall_start : int64;   (** issue time of the in-flight syscall *)
+  mutable accept_exchange : bool;
+      (** whether this VPE agrees to direct exchanges (tests use [false]
+          to exercise the denial path) *)
+  inbox : Semper_dtu.Message.t Queue.t;
+      (** messages delivered to this VPE's activated receive gates —
+          the app-visible end of a DTU channel *)
+}
+
+val make : id:int -> pe:int -> kernel:int -> t
+val is_alive : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/m3fs/client.ml: Hashtbl Int64 M3fs Option Semper_kernel Semper_sim

@@ -1,0 +1,1 @@
+lib/m3fs/client.mli: M3fs Semper_kernel

@@ -1,0 +1,1 @@
+lib/m3fs/fs_image.ml: Hashtbl Int64 List Result Semper_ddl String

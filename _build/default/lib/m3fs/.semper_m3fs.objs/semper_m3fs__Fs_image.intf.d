@@ -1,0 +1,1 @@
+lib/m3fs/fs_image.mli: Hashtbl Semper_ddl

@@ -1,0 +1,1 @@
+lib/m3fs/m3fs.ml: Format Fs_image Hashtbl Int64 List Logs Queue Semper_caps Semper_kernel Semper_noc Semper_sim

@@ -1,0 +1,1 @@
+lib/m3fs/m3fs.mli: Fs_image Semper_kernel Semper_sim

@@ -1,0 +1,164 @@
+module P = Semper_kernel.Protocol
+module System = Semper_kernel.System
+module Vpe = Semper_kernel.Vpe
+module Engine = Semper_sim.Engine
+
+type cfd = {
+  fd : int;
+  write : bool;
+  mutable size : int64;
+  mutable pos : int64;
+  (* Exclusive upper bound of the range currently covered by an
+     obtained capability; 0 = nothing obtained yet. *)
+  mutable have_until : int64;
+}
+
+type t = {
+  sys : System.t;
+  fs : M3fs.t;
+  vpe : Vpe.t;
+  sess_sel : P.selector;
+  ident : int;
+  fds : (int, cfd) Hashtbl.t;
+  mutable cap_ops : int;
+}
+
+let vpe t = t.vpe
+let ident t = t.ident
+let cap_ops t = t.cap_ops
+
+let connect sys fs ~vpe k =
+  System.syscall sys vpe (P.Sys_open_session { service = M3fs.name fs }) (fun r ->
+      match r with
+      | P.R_sess { sel; ident } ->
+        k (Ok { sys; fs; vpe; sess_sel = sel; ident; fds = Hashtbl.create 8; cap_ops = 1 })
+      | P.R_err e -> k (Error (P.error_to_string e))
+      | P.R_ok | P.R_sel _ | P.R_vpe _ -> k (Error "unexpected open_session reply"))
+
+let rpc t req k = M3fs.rpc t.fs ~client_pe:t.vpe.Vpe.pe req k
+
+let unit_of_resp = function
+  | M3fs.M_ok | M3fs.M_stat_r _ -> Ok ()
+  | M3fs.M_err e -> Error e
+  | M3fs.M_fd _ | M3fs.M_entries _ -> Error "unexpected reply"
+
+let stat t path k = rpc t (M3fs.M_stat path) (fun r -> k (unit_of_resp r))
+let mkdir t path k = rpc t (M3fs.M_mkdir path) (fun r -> k (unit_of_resp r))
+let unlink t path k = rpc t (M3fs.M_unlink path) (fun r -> k (unit_of_resp r))
+
+let list t path k =
+  rpc t (M3fs.M_list path) (fun r ->
+      match r with
+      | M3fs.M_entries es -> k (Ok es)
+      | M3fs.M_err e -> k (Error e)
+      | M3fs.M_ok | M3fs.M_fd _ | M3fs.M_stat_r _ -> k (Error "unexpected reply"))
+
+let open_ t path ~write ~create k =
+  rpc t (M3fs.M_open { ident = t.ident; path; write; create }) (fun r ->
+      match r with
+      | M3fs.M_fd { fd; size } ->
+        Hashtbl.replace t.fds fd { fd; write; size; pos = 0L; have_until = 0L };
+        k (Ok fd)
+      | M3fs.M_err e -> k (Error e)
+      | M3fs.M_ok | M3fs.M_entries _ | M3fs.M_stat_r _ -> k (Error "unexpected reply"))
+
+let file_size t ~fd =
+  Option.map (fun cfd -> cfd.size) (Hashtbl.find_opt t.fds fd)
+
+let seek t ~fd ~pos =
+  match Hashtbl.find_opt t.fds fd with
+  | None -> Error "bad fd"
+  | Some cfd ->
+    if Int64.compare pos 0L < 0 then Error "negative position"
+    else begin
+      cfd.pos <- pos;
+      Ok ()
+    end
+
+(* End of the extent-capability range covering [pos]. *)
+let range_end t pos =
+  let es = (M3fs.config t.fs).M3fs.extent_size in
+  Int64.mul (Int64.add (Int64.div pos es) 1L) es
+
+(* Obtain the extent capability covering [pos] from the service via the
+   kernel; this is the capability-system hot path. *)
+let obtain_range t (cfd : cfd) ~for_write k =
+  t.cap_ops <- t.cap_ops + 1;
+  System.syscall t.sys t.vpe
+    (P.Sys_obtain
+       { sess = t.sess_sel; args = [ cfd.fd; Int64.to_int cfd.pos; (if for_write then 1 else 0) ] })
+    (fun r ->
+      match r with
+      | P.R_sel _ ->
+        cfd.have_until <- range_end t cfd.pos;
+        k (Ok ())
+      | P.R_err e -> k (Error (P.error_to_string e))
+      | P.R_ok | P.R_vpe _ | P.R_sess _ -> k (Error "unexpected obtain reply"))
+
+(* Charge uncontended memory-access time on the client PE. *)
+let charge_access t bytes k =
+  let cfg = M3fs.config t.fs in
+  let bw = cfg.M3fs.mem_bytes_per_cycle in
+  let raw = (bytes + bw - 1) / bw in
+  let cycles = Int64.of_float (float_of_int raw *. cfg.M3fs.mem_slowdown) in
+  Engine.after (System.engine t.sys) cycles k
+
+let read t ~fd ~bytes k =
+  match Hashtbl.find_opt t.fds fd with
+  | None -> k (Error "bad fd")
+  | Some cfd ->
+    if bytes < 0 then k (Error "negative length")
+    else begin
+      let target = min (Int64.add cfd.pos (Int64.of_int bytes)) cfd.size in
+      let rec step total =
+        if Int64.compare cfd.pos target >= 0 then k (Ok total)
+        else if Int64.compare cfd.pos cfd.have_until >= 0 then
+          obtain_range t cfd ~for_write:false (fun r ->
+              match r with
+              | Ok () -> step total
+              | Error e -> k (Error e))
+        else begin
+          let chunk = Int64.to_int (Int64.sub (min target cfd.have_until) cfd.pos) in
+          charge_access t chunk (fun () ->
+              cfd.pos <- Int64.add cfd.pos (Int64.of_int chunk);
+              step (total + chunk))
+        end
+      in
+      step 0
+    end
+
+let write t ~fd ~bytes k =
+  match Hashtbl.find_opt t.fds fd with
+  | None -> k (Error "bad fd")
+  | Some cfd ->
+    if bytes < 0 then k (Error "negative length")
+    else if not cfd.write then k (Error "read-only descriptor")
+    else begin
+      let target = Int64.add cfd.pos (Int64.of_int bytes) in
+      let rec step () =
+        if Int64.compare cfd.pos target >= 0 then begin
+          if Int64.compare cfd.size cfd.pos < 0 then cfd.size <- cfd.pos;
+          k (Ok ())
+        end
+        else if Int64.compare cfd.pos cfd.have_until >= 0 then
+          obtain_range t cfd ~for_write:true (fun r ->
+              match r with
+              | Ok () -> step ()
+              | Error e -> k (Error e))
+        else begin
+          let chunk = Int64.to_int (Int64.sub (min target cfd.have_until) cfd.pos) in
+          charge_access t chunk (fun () ->
+              cfd.pos <- Int64.add cfd.pos (Int64.of_int chunk);
+              if Int64.compare cfd.size cfd.pos < 0 then cfd.size <- cfd.pos;
+              step ())
+        end
+      in
+      step ()
+    end
+
+let close t ~fd k =
+  match Hashtbl.find_opt t.fds fd with
+  | None -> k (Error "bad fd")
+  | Some cfd ->
+    Hashtbl.remove t.fds fd;
+    rpc t (M3fs.M_close { ident = t.ident; fd; size = cfd.size }) (fun r -> k (unit_of_resp r))

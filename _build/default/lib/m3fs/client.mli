@@ -1,0 +1,49 @@
+(** Client-side m3fs library (the role of libm3 in the paper).
+
+    Wraps the session/capability protocol: metadata operations go to the
+    service by IPC; data access obtains extent capabilities through the
+    kernel on demand and then charges uncontended memory-access time on
+    the client PE — mirroring the paper's methodology (§5.3.1), which
+    excludes memory contention to put maximum pressure on the capability
+    system. All operations are asynchronous; continuations run at the
+    simulated completion time. *)
+
+type t
+
+val vpe : t -> Semper_kernel.Vpe.t
+val ident : t -> int
+
+(** Kernel capability operations this client triggered directly
+    (session opens and extent obtains). *)
+val cap_ops : t -> int
+
+(** [connect sys fs ~vpe k] opens a session with the service. *)
+val connect :
+  Semper_kernel.System.t -> M3fs.t -> vpe:Semper_kernel.Vpe.t -> ((t, string) result -> unit) -> unit
+
+val stat : t -> string -> ((unit, string) result -> unit) -> unit
+val list : t -> string -> ((string list, string) result -> unit) -> unit
+val mkdir : t -> string -> ((unit, string) result -> unit) -> unit
+val unlink : t -> string -> ((unit, string) result -> unit) -> unit
+
+(** [open_ t path ~write ~create k] yields a file descriptor. *)
+val open_ : t -> string -> write:bool -> create:bool -> ((int, string) result -> unit) -> unit
+
+(** [read t ~fd ~bytes k] reads up to [bytes] from the current
+    position; yields bytes actually read (0 at EOF). Obtains extent
+    capabilities as the position crosses extent boundaries. *)
+val read : t -> fd:int -> bytes:int -> ((int, string) result -> unit) -> unit
+
+(** [write t ~fd ~bytes k] writes at the current position, extending
+    the file (and its backing extents) as needed. *)
+val write : t -> fd:int -> bytes:int -> ((unit, string) result -> unit) -> unit
+
+(** Reposition within the file. *)
+val seek : t -> fd:int -> pos:int64 -> (unit, string) result
+
+(** Current size of an open file, as this client sees it. *)
+val file_size : t -> fd:int -> int64 option
+
+(** [close t ~fd k]: the service revokes the extent capabilities handed
+    out for this descriptor before the reply arrives. *)
+val close : t -> fd:int -> ((unit, string) result -> unit) -> unit

@@ -1,0 +1,145 @@
+type extent = {
+  e_off : int64;
+  e_len : int64;
+  mutable e_sel : int;
+  mutable e_key : Semper_ddl.Key.t option;
+}
+
+type file = { mutable size : int64; mutable extents : extent list }
+
+type node = File of file | Dir of (string, node) Hashtbl.t
+
+type t = { root : (string, node) Hashtbl.t; extent_size : int64 }
+
+let create ~extent_size =
+  if Int64.compare extent_size 0L <= 0 then invalid_arg "Fs_image.create: extent size";
+  { root = Hashtbl.create 16; extent_size }
+
+let extent_size t = t.extent_size
+
+let split_path path =
+  String.split_on_char '/' path |> List.filter (fun c -> c <> "")
+
+(* Walk to the parent directory of [path]; returns (dir, basename). *)
+let parent_of t path =
+  match List.rev (split_path path) with
+  | [] -> Error "empty path"
+  | base :: rev_dirs ->
+    let rec walk dir = function
+      | [] -> Ok dir
+      | comp :: rest -> (
+        match Hashtbl.find_opt dir comp with
+        | Some (Dir d) -> walk d rest
+        | Some (File _) -> Error (comp ^ ": not a directory")
+        | None -> Error (comp ^ ": no such directory"))
+    in
+    Result.map (fun dir -> (dir, base)) (walk t.root (List.rev rev_dirs))
+
+let lookup t path =
+  match split_path path with
+  | [] -> Some (Dir t.root)
+  | _ -> (
+    match parent_of t path with
+    | Error _ -> None
+    | Ok (dir, base) -> Hashtbl.find_opt dir base)
+
+let mkdir t path =
+  (* mkdir -p semantics: create missing intermediate directories. *)
+  match List.rev (split_path path) with
+  | [] -> Error "empty path"
+  | base :: rev_dirs ->
+    let rec walk dir = function
+      | [] -> Ok dir
+      | comp :: rest -> (
+        match Hashtbl.find_opt dir comp with
+        | Some (Dir d) -> walk d rest
+        | Some (File _) -> Error (comp ^ ": not a directory")
+        | None ->
+          let d = Hashtbl.create 8 in
+          Hashtbl.add dir comp (Dir d);
+          walk d rest)
+    in
+    (match walk t.root (List.rev rev_dirs) with
+    | Error e -> Error e
+    | Ok dir ->
+      if Hashtbl.mem dir base then Error (base ^ ": exists")
+      else begin
+        Hashtbl.add dir base (Dir (Hashtbl.create 8));
+        Ok ()
+      end)
+
+let make_extents ~extent_size ~size =
+  let rec go off acc =
+    if Int64.compare off size >= 0 then List.rev acc
+    else
+      let len = min extent_size (Int64.sub size off) in
+      go (Int64.add off len) ({ e_off = off; e_len = len; e_sel = -1; e_key = None } :: acc)
+  in
+  go 0L []
+
+let add_file t path ~size =
+  if Int64.compare size 0L < 0 then Error "negative size"
+  else
+    match parent_of t path with
+    | Error e -> Error e
+    | Ok (dir, base) ->
+      if Hashtbl.mem dir base then Error (base ^ ": exists")
+      else begin
+        let file = { size; extents = make_extents ~extent_size:t.extent_size ~size } in
+        Hashtbl.add dir base (File file);
+        Ok file
+      end
+
+let find_file t path =
+  match lookup t path with
+  | Some (File f) -> Ok f
+  | Some (Dir _) -> Error (path ^ ": is a directory")
+  | None -> Error (path ^ ": no such file")
+
+let unlink t path =
+  match parent_of t path with
+  | Error e -> Error e
+  | Ok (dir, base) -> (
+    match Hashtbl.find_opt dir base with
+    | None -> Error (base ^ ": no such entry")
+    | Some (Dir d) when Hashtbl.length d > 0 -> Error (base ^ ": directory not empty")
+    | Some (Dir _ | File _) ->
+      Hashtbl.remove dir base;
+      Ok ())
+
+let list_dir t path =
+  match lookup t path with
+  | Some (Dir d) -> Ok (Hashtbl.fold (fun name _ acc -> name :: acc) d [] |> List.sort String.compare)
+  | Some (File _) -> Error (path ^ ": not a directory")
+  | None -> Error (path ^ ": no such directory")
+
+let extent_for file ~pos =
+  List.find_opt
+    (fun e -> Int64.compare e.e_off pos <= 0 && Int64.compare pos (Int64.add e.e_off e.e_len) < 0)
+    file.extents
+
+let append_extent t file =
+  let last_end =
+    List.fold_left (fun acc e -> max acc (Int64.add e.e_off e.e_len)) 0L file.extents
+  in
+  let e = { e_off = last_end; e_len = t.extent_size; e_sel = -1; e_key = None } in
+  file.extents <- file.extents @ [ e ];
+  e
+
+let rec count_dir dir =
+  Hashtbl.fold
+    (fun _ node acc -> match node with File _ -> acc + 1 | Dir d -> acc + count_dir d)
+    dir 0
+
+let file_count t = count_dir t.root
+
+let iter_nodes t f =
+  let rec walk prefix dir =
+    Hashtbl.iter
+      (fun name node ->
+        let path = prefix ^ "/" ^ name in
+        f path node;
+        match node with Dir d -> walk path d | File _ -> ())
+      dir
+  in
+  walk "" t.root

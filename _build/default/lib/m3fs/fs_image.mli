@@ -1,0 +1,59 @@
+(** In-memory filesystem image.
+
+    Files are sequences of fixed-size extents; each extent is backed by
+    a service-owned memory capability (attached by the service at boot
+    or on append). Clients never see extents directly — they obtain
+    memory capabilities covering them through the kernel. *)
+
+type extent = {
+  e_off : int64;  (** offset of this extent within the file *)
+  e_len : int64;
+  mutable e_sel : int;  (** service-side capability selector (-1 = unattached) *)
+  mutable e_key : Semper_ddl.Key.t option;
+}
+
+type file = { mutable size : int64; mutable extents : extent list  (** ascending by offset *) }
+
+type node = File of file | Dir of (string, node) Hashtbl.t
+
+type t
+
+(** [create ~extent_size] is an empty image. Extent size must be
+    positive; it also bounds the range of each handed-out capability. *)
+val create : extent_size:int64 -> t
+
+val extent_size : t -> int64
+
+(** Normalise a path into components; rejects empty components. *)
+val split_path : string -> string list
+
+(** [mkdir t path] creates a directory, including any missing
+    intermediate directories (mkdir -p). *)
+val mkdir : t -> string -> (unit, string) result
+
+(** [add_file t path ~size] creates a file with extents covering
+    [size] bytes (capabilities unattached). Overwrites nothing. *)
+val add_file : t -> string -> size:int64 -> (file, string) result
+
+val lookup : t -> string -> node option
+val find_file : t -> string -> (file, string) result
+
+(** [unlink t path] removes a file or empty directory. *)
+val unlink : t -> string -> (unit, string) result
+
+(** Entries of a directory. *)
+val list_dir : t -> string -> (string list, string) result
+
+(** [extent_for f ~pos] is the extent covering byte [pos], if any. *)
+val extent_for : file -> pos:int64 -> extent option
+
+(** [append_extent t f] grows [f] by one (empty) extent and returns it;
+    the caller attaches a capability and then grows [f.size] as data is
+    written. *)
+val append_extent : t -> file -> extent
+
+(** Total number of files (recursive). *)
+val file_count : t -> int
+
+(** Walk every node with its path, depth-first. *)
+val iter_nodes : t -> (string -> node -> unit) -> unit

@@ -1,0 +1,352 @@
+module P = Semper_kernel.Protocol
+module System = Semper_kernel.System
+module Kernel = Semper_kernel.Kernel
+module Vpe = Semper_kernel.Vpe
+module Cap = Semper_caps.Cap
+module Perms = Semper_caps.Perms
+module Capspace = Semper_caps.Capspace
+module Engine = Semper_sim.Engine
+module Server = Semper_sim.Server
+module Fabric = Semper_noc.Fabric
+
+let src = Logs.Src.create "semper.m3fs" ~doc:"m3fs service"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  extent_size : int64;
+  ipc_bytes : int;
+  cost_open : int64;
+  cost_stat : int64;
+  cost_dir : int64;
+  cost_close : int64;
+  cost_grant : int64;
+  cost_session : int64;
+  mem_bytes_per_cycle : int;
+  mem_slowdown : float;
+  async_revoke : bool;
+}
+
+let default_config =
+  {
+    extent_size = Int64.of_int (256 * 1024);
+    ipc_bytes = 64;
+    cost_open = 2500L;
+    cost_stat = 1400L;
+    cost_dir = 2000L;
+    cost_close = 1200L;
+    cost_grant = 1500L;
+    cost_session = 2000L;
+    mem_bytes_per_cycle = 8;
+    mem_slowdown = 1.0;
+    async_revoke = true;
+  }
+
+type stats = {
+  mutable meta_ops : int;
+  mutable grants : int;
+  mutable appends : int;
+  mutable closes : int;
+  mutable revoke_calls : int;
+}
+
+type open_file = {
+  of_path : string;
+  of_file : Fs_image.file;
+  of_write : bool;
+  mutable of_granted : P.selector list;  (** service selectors of granted extents *)
+}
+
+type session = { s_ident : int; s_client : int; s_opens : (int, open_file) Hashtbl.t }
+
+type t = {
+  sys : System.t;
+  cfg : config;
+  name : string;
+  vpe : Vpe.t;
+  server : Server.t;
+  image : Fs_image.t;
+  sessions : (int, session) Hashtbl.t;
+  stats : stats;
+  mutable next_ident : int;
+  mutable next_fd : int;
+  mutable next_addr : int64;  (** backing-store address allocator *)
+  (* The service VPE, like any VPE, has one syscall in flight at a
+     time; concurrent handler work serialises its kernel calls here. *)
+  sys_queue : (P.syscall * (P.reply -> unit)) Queue.t;
+  mutable sys_busy : bool;
+}
+
+let name t = t.name
+let vpe t = t.vpe
+let server t = t.server
+let config t = t.cfg
+let stats t = t.stats
+let image t = t.image
+
+(* ------------------------------------------------------------------ *)
+(* Serialised service syscalls                                          *)
+
+let rec pump_syscalls t =
+  if (not t.sys_busy) && not (Queue.is_empty t.sys_queue) then begin
+    let call, k = Queue.pop t.sys_queue in
+    t.sys_busy <- true;
+    System.syscall t.sys t.vpe call (fun r ->
+        t.sys_busy <- false;
+        k r;
+        pump_syscalls t)
+  end
+
+let service_syscall t call k =
+  Queue.push (call, k) t.sys_queue;
+  pump_syscalls t
+
+(* ------------------------------------------------------------------ *)
+(* Extent capability management                                         *)
+
+(* Attach a boot-time capability to an extent, bypassing the (not yet
+   running) syscall path. *)
+let attach_extent_boot t kernel (e : Fs_image.extent) =
+  let kind =
+    Cap.Mem_cap { host_pe = t.vpe.Vpe.pe; addr = t.next_addr; size = e.Fs_image.e_len; perms = Perms.rw }
+  in
+  t.next_addr <- Int64.add t.next_addr e.Fs_image.e_len;
+  let sel, key = Kernel.install_new_cap kernel ~owner:t.vpe ~kind () in
+  e.Fs_image.e_sel <- sel;
+  e.Fs_image.e_key <- Some key
+
+(* Attach a capability to a fresh append extent at run time: a real
+   alloc_mem syscall, so the kernel is charged and the operation counts. *)
+let attach_extent_runtime t (e : Fs_image.extent) k =
+  service_syscall t (P.Sys_alloc_mem { size = e.Fs_image.e_len; perms = Perms.rw }) (fun r ->
+      match r with
+      | P.R_sel sel ->
+        e.Fs_image.e_sel <- sel;
+        e.Fs_image.e_key <- Capspace.find t.vpe.Vpe.capspace sel;
+        t.stats.appends <- t.stats.appends + 1;
+        k (Ok ())
+      | P.R_ok | P.R_vpe _ | P.R_sess _ -> k (Error "unexpected alloc reply")
+      | P.R_err e -> k (Error (P.error_to_string e)))
+
+(* ------------------------------------------------------------------ *)
+(* Kernel upcalls (session opens, obtains, delegates)                   *)
+
+let grant_extent t (session : session) ~fd ~pos ~write k =
+  match Hashtbl.find_opt session.s_opens fd with
+  | None -> k (P.Srs_reject P.E_no_such_session)
+  | Some opened ->
+    let file = opened.of_file in
+    if write && not opened.of_write then k (P.Srs_reject P.E_denied)
+    else begin
+      let deliver (e : Fs_image.extent) =
+        match e.Fs_image.e_key with
+        | None -> k (P.Srs_reject P.E_no_such_cap)
+        | Some key ->
+          if not (List.mem e.Fs_image.e_sel opened.of_granted) then
+            opened.of_granted <- e.Fs_image.e_sel :: opened.of_granted;
+          t.stats.grants <- t.stats.grants + 1;
+          let perms = if write then Perms.rw else Perms.r in
+          let kind =
+            Cap.Mem_cap { host_pe = t.vpe.Vpe.pe; addr = 0L; size = e.Fs_image.e_len; perms }
+          in
+          k (P.Srs_grant { parent = key; kind })
+      in
+      match Fs_image.extent_for file ~pos:(Int64.of_int pos) with
+      | Some e -> deliver e
+      | None ->
+        if not write then k (P.Srs_reject P.E_invalid)
+        else begin
+          (* Append beyond the last extent: allocate backing store. *)
+          let e = Fs_image.append_extent t.image file in
+          attach_extent_runtime t e (fun r ->
+              match r with
+              | Ok () -> deliver e
+              | Error _ -> k (P.Srs_reject P.E_invalid))
+        end
+    end
+
+let handle_upcall t (req : P.service_request) k =
+  match req with
+  | P.Srq_open_session { client_vpe } ->
+    Server.submit t.server ~cost:t.cfg.cost_session (fun () ->
+        let ident = t.next_ident in
+        t.next_ident <- ident + 1;
+        Hashtbl.add t.sessions ident
+          { s_ident = ident; s_client = client_vpe; s_opens = Hashtbl.create 8 };
+        k (P.Srs_session { ident }))
+  | P.Srq_obtain { ident; args } ->
+    Server.submit t.server ~cost:t.cfg.cost_grant (fun () ->
+        match Hashtbl.find_opt t.sessions ident with
+        | None -> k (P.Srs_reject P.E_no_such_session)
+        | Some session -> (
+          match args with
+          | [ fd; pos; write ] -> grant_extent t session ~fd ~pos ~write:(write <> 0) k
+          | [] | [ _ ] | [ _; _ ] | _ :: _ :: _ :: _ -> k (P.Srs_reject P.E_invalid)))
+  | P.Srq_delegate { ident; args = _; kind = _ } ->
+    Server.submit t.server ~cost:t.cfg.cost_grant (fun () ->
+        if Hashtbl.mem t.sessions ident then k P.Srs_accept
+        else k (P.Srs_reject P.E_no_such_session))
+
+(* ------------------------------------------------------------------ *)
+(* Metadata IPC                                                         *)
+
+type meta_req =
+  | M_open of { ident : int; path : string; write : bool; create : bool }
+  | M_stat of string
+  | M_list of string
+  | M_mkdir of string
+  | M_unlink of string
+  | M_close of { ident : int; fd : int; size : int64 }
+
+type meta_resp =
+  | M_ok
+  | M_fd of { fd : int; size : int64 }
+  | M_stat_r of { size : int64; is_dir : bool }
+  | M_entries of string list
+  | M_err of string
+
+let meta_cost t = function
+  | M_open _ -> t.cfg.cost_open
+  | M_stat _ -> t.cfg.cost_stat
+  | M_list _ | M_mkdir _ | M_unlink _ -> t.cfg.cost_dir
+  | M_close _ -> t.cfg.cost_close
+
+(* Close: revoke the children of every extent capability granted during
+   this open — "when the file is closed again, the memory capabilities
+   are revoked" (paper §2.2). *)
+let close_file t (opened : open_file) k =
+  let rec revoke_all done_ = function
+    | [] -> done_ (Ok ())
+    | sel :: rest ->
+      t.stats.revoke_calls <- t.stats.revoke_calls + 1;
+      service_syscall t (P.Sys_revoke { sel; own = false }) (fun r ->
+          match r with
+          | P.R_ok | P.R_sel _ | P.R_vpe _ | P.R_sess _ -> revoke_all done_ rest
+          | P.R_err P.E_no_such_cap -> revoke_all done_ rest (* already gone *)
+          | P.R_err e -> done_ (Error (P.error_to_string e)))
+  in
+  if t.cfg.async_revoke then begin
+    (* Acknowledge the close now; the revokes drain through the service
+       VPE's syscall queue off the client's critical path. *)
+    revoke_all (fun _ -> ()) opened.of_granted;
+    k M_ok
+  end
+  else
+    revoke_all
+      (fun r -> match r with Ok () -> k M_ok | Error e -> k (M_err e))
+      opened.of_granted
+
+let handle_meta t req k =
+  t.stats.meta_ops <- t.stats.meta_ops + 1;
+  match req with
+  | M_open { ident; path; write; create } -> (
+    match Hashtbl.find_opt t.sessions ident with
+    | None -> k (M_err "no such session")
+    | Some session -> (
+      let file =
+        match Fs_image.find_file t.image path with
+        | Ok f -> Ok f
+        | Error _ when create && write -> Fs_image.add_file t.image path ~size:0L
+        | Error e -> Error e
+      in
+      match file with
+      | Error e -> k (M_err e)
+      | Ok file ->
+        let fd = t.next_fd in
+        t.next_fd <- fd + 1;
+        Hashtbl.add session.s_opens fd { of_path = path; of_file = file; of_write = write; of_granted = [] };
+        k (M_fd { fd; size = file.Fs_image.size })))
+  | M_stat path -> (
+    match Fs_image.lookup t.image path with
+    | Some (Fs_image.File f) -> k (M_stat_r { size = f.Fs_image.size; is_dir = false })
+    | Some (Fs_image.Dir _) -> k (M_stat_r { size = 0L; is_dir = true })
+    | None -> k (M_err "no such entry"))
+  | M_list path -> (
+    match Fs_image.list_dir t.image path with
+    | Ok entries -> k (M_entries entries)
+    | Error e -> k (M_err e))
+  | M_mkdir path -> (
+    match Fs_image.mkdir t.image path with
+    | Ok () -> k M_ok
+    | Error e -> k (M_err e))
+  | M_unlink path -> (
+    match Fs_image.unlink t.image path with
+    | Ok () -> k M_ok
+    | Error e -> k (M_err e))
+  | M_close { ident; fd; size } -> (
+    match Hashtbl.find_opt t.sessions ident with
+    | None -> k (M_err "no such session")
+    | Some session -> (
+      match Hashtbl.find_opt session.s_opens fd with
+      | None -> k (M_err "bad fd")
+      | Some opened ->
+        Hashtbl.remove session.s_opens fd;
+        t.stats.closes <- t.stats.closes + 1;
+        (* Commit the size: data writes went through memory
+           capabilities, so the image only learns the new length here. *)
+        if opened.of_write && Int64.compare size opened.of_file.Fs_image.size > 0 then
+          opened.of_file.Fs_image.size <- size;
+        close_file t opened k))
+
+let rpc t ~client_pe req k =
+  let fabric = System.fabric t.sys in
+  Fabric.send fabric ~src:client_pe ~dst:t.vpe.Vpe.pe ~bytes:t.cfg.ipc_bytes (fun () ->
+      Server.submit t.server ~cost:(meta_cost t req) (fun () ->
+          handle_meta t req (fun resp ->
+              Fabric.send fabric ~src:t.vpe.Vpe.pe ~dst:client_pe ~bytes:t.cfg.ipc_bytes (fun () ->
+                  k resp))))
+
+(* ------------------------------------------------------------------ *)
+(* Boot                                                                 *)
+
+let ensure_dirs t path =
+  let components = Fs_image.split_path path in
+  let rec go prefix = function
+    | [] | [ _ ] -> ()
+    | dir :: rest ->
+      let p = prefix ^ "/" ^ dir in
+      (match Fs_image.lookup t.image p with
+      | Some _ -> ()
+      | None -> (
+        match Fs_image.mkdir t.image p with
+        | Ok () -> ()
+        | Error e -> invalid_arg ("M3fs.create: " ^ e)));
+      go p rest
+  in
+  go "" components
+
+let create ?(config = default_config) sys ~kernel:kid ~name ~files () =
+  let vpe = System.spawn_vpe sys ~kernel:kid in
+  let kernel = System.kernel sys kid in
+  let image = Fs_image.create ~extent_size:config.extent_size in
+  let t =
+    {
+      sys;
+      cfg = config;
+      name;
+      vpe;
+      server = Server.create (System.engine sys) ~name:("m3fs:" ^ name);
+      image;
+      sessions = Hashtbl.create 32;
+      stats = { meta_ops = 0; grants = 0; appends = 0; closes = 0; revoke_calls = 0 };
+      next_ident = 0;
+      next_fd = 3;
+      next_addr = 0x1000_0000L;
+      sys_queue = Queue.create ();
+      sys_busy = false;
+    }
+  in
+  Kernel.register_service_handler kernel ~name (fun req k -> handle_upcall t req k);
+  (match System.syscall_sync sys vpe (P.Sys_create_srv { name }) with
+  | P.R_sel _ -> ()
+  | r -> invalid_arg (Format.asprintf "M3fs.create: create_srv failed: %a" P.pp_reply r));
+  List.iter
+    (fun (path, size) ->
+      ensure_dirs t path;
+      match Fs_image.add_file image path ~size with
+      | Ok file -> List.iter (attach_extent_boot t kernel) file.Fs_image.extents
+      | Error e -> invalid_arg ("M3fs.create: " ^ e))
+    files;
+  (* Let the service announcement reach all kernels before clients ask. *)
+  ignore (System.run sys);
+  t

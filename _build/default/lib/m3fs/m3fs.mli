@@ -1,0 +1,79 @@
+(** m3fs: the in-memory filesystem service (paper §2.2, §5.3.1).
+
+    The service runs as a VPE on its own PE. Metadata operations (open,
+    stat, mkdir, unlink, list, close) are IPC to the service PE — the
+    kernel is not involved. Data access works through byte-granular
+    memory capabilities: a client obtains, via the kernel, a capability
+    covering one extent of the file; when it runs off the end it obtains
+    the next one; on close the service revokes everything it handed out
+    for that file. Appending beyond the last extent makes the service
+    allocate a fresh extent capability (a kernel capability operation),
+    exactly the pattern that loads the capability subsystem in the
+    paper's application benchmarks. *)
+
+type config = {
+  extent_size : int64;       (** range covered by one handed-out capability *)
+  ipc_bytes : int;           (** metadata request wire size *)
+  cost_open : int64;         (** service-side processing cost, cycles *)
+  cost_stat : int64;
+  cost_dir : int64;          (** mkdir / unlink / list *)
+  cost_close : int64;
+  cost_grant : int64;        (** deciding an obtain upcall *)
+  cost_session : int64;      (** accepting a new session *)
+  mem_bytes_per_cycle : int; (** client-side data access bandwidth model *)
+  mem_slowdown : float;      (** memory-system contention factor (>= 1) *)
+  async_revoke : bool;
+      (** reply to close before the revokes complete (they still run,
+          off the client's critical path); [false] makes close block
+          until every handed-out capability is revoked *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable meta_ops : int;    (** IPC metadata operations served *)
+  mutable grants : int;      (** extent capabilities granted *)
+  mutable appends : int;     (** extents allocated for appends *)
+  mutable closes : int;
+  mutable revoke_calls : int; (** revoke syscalls issued on close *)
+}
+
+type t
+
+(** [create sys ~kernel ~name ~files ()] spawns the service VPE on a
+    free PE of [kernel]'s group, registers and announces the service,
+    and builds the filesystem image: [files] lists [(path, size)] —
+    intermediate directories are created automatically. Runs the engine
+    to complete registration; call at boot time. *)
+val create :
+  ?config:config -> Semper_kernel.System.t -> kernel:int -> name:string -> files:(string * int64) list -> unit -> t
+
+val name : t -> string
+val vpe : t -> Semper_kernel.Vpe.t
+val server : t -> Semper_sim.Server.t
+val config : t -> config
+val stats : t -> stats
+val image : t -> Fs_image.t
+
+(** Metadata IPC from a client PE (used by [Client]). *)
+type meta_req =
+  | M_open of { ident : int; path : string; write : bool; create : bool }
+  | M_stat of string
+  | M_list of string
+  | M_mkdir of string
+  | M_unlink of string
+  | M_close of { ident : int; fd : int; size : int64 }
+      (** [size]: the client's file size at close — committed to the
+          image, since data writes bypass the service entirely *)
+
+type meta_resp =
+  | M_ok
+  | M_fd of { fd : int; size : int64 }
+  | M_stat_r of { size : int64; is_dir : bool }
+  | M_entries of string list
+  | M_err of string
+
+(** [rpc t ~client_pe req k]: request message to the service PE,
+    service processing (queued on the service's server), reply message
+    back, then [k resp] at the client. *)
+val rpc : t -> client_pe:int -> meta_req -> (meta_resp -> unit) -> unit

@@ -1,0 +1,1 @@
+lib/noc/fabric.ml: Hashtbl Int64 Semper_sim Topology

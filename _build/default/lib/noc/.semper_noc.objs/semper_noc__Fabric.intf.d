@@ -1,0 +1,1 @@
+lib/noc/fabric.mli: Semper_sim Topology

@@ -1,0 +1,48 @@
+type config = { base_cycles : int; hop_cycles : int; bytes_per_cycle : int }
+
+let default_config = { base_cycles = 330; hop_cycles = 4; bytes_per_cycle = 16 }
+
+type t = {
+  engine : Semper_sim.Engine.t;
+  topology : Topology.t;
+  config : config;
+  (* Last scheduled delivery time per (src, dst), to enforce pairwise FIFO. *)
+  last_delivery : (int * int, int64) Hashtbl.t;
+  mutable messages : int;
+  mutable bytes : int;
+  mutable hops : int;
+}
+
+let create engine topology config =
+  if config.base_cycles < 0 || config.hop_cycles < 0 || config.bytes_per_cycle <= 0 then
+    invalid_arg "Fabric.create: invalid config";
+  { engine; topology; config; last_delivery = Hashtbl.create 64; messages = 0; bytes = 0; hops = 0 }
+
+let topology t = t.topology
+let engine t = t.engine
+
+let latency t ~src ~dst ~bytes =
+  if bytes < 0 then invalid_arg "Fabric.latency: negative size";
+  let hops = Topology.hops t.topology src dst in
+  let c = t.config in
+  Int64.of_int (c.base_cycles + (c.hop_cycles * hops) + (bytes / c.bytes_per_cycle))
+
+let send t ~src ~dst ~bytes k =
+  let lat = latency t ~src ~dst ~bytes in
+  let now = Semper_sim.Engine.now t.engine in
+  let arrival = Int64.add now lat in
+  (* FIFO per channel: never deliver before a previously sent message. *)
+  let arrival =
+    match Hashtbl.find_opt t.last_delivery (src, dst) with
+    | Some prev when Int64.compare prev arrival > 0 -> prev
+    | Some _ | None -> arrival
+  in
+  Hashtbl.replace t.last_delivery (src, dst) arrival;
+  t.messages <- t.messages + 1;
+  t.bytes <- t.bytes + bytes;
+  t.hops <- t.hops + Topology.hops t.topology src dst;
+  Semper_sim.Engine.at t.engine arrival k
+
+let messages t = t.messages
+let bytes_carried t = t.bytes
+let hops_traversed t = t.hops

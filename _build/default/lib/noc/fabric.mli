@@ -1,0 +1,39 @@
+(** Message transport over the NoC.
+
+    Latency model: [base + hop_cost * hops + bytes / bytes_per_cycle].
+    Delivery between a fixed (src, dst) pair is FIFO — the paper's
+    distributed capability protocols *require* pairwise message ordering
+    (§4.3.1), so the fabric enforces it even for mixed message sizes. *)
+
+type config = {
+  base_cycles : int;          (** fixed per-message overhead *)
+  hop_cycles : int;           (** added per mesh hop *)
+  bytes_per_cycle : int;      (** serialisation bandwidth *)
+}
+
+(** Defaults calibrated for the Table 3 microbenchmarks. *)
+val default_config : config
+
+type t
+
+val create : Semper_sim.Engine.t -> Topology.t -> config -> t
+
+val topology : t -> Topology.t
+val engine : t -> Semper_sim.Engine.t
+
+(** [send t ~src ~dst ~bytes k] delivers after the modelled latency and
+    then runs [k]. Raises if [src]/[dst] are out of range or [bytes]
+    is negative. *)
+val send : t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+
+(** Latency in cycles that [send] would charge for this message. *)
+val latency : t -> src:int -> dst:int -> bytes:int -> int64
+
+(** Messages delivered so far. *)
+val messages : t -> int
+
+(** Total payload bytes carried so far. *)
+val bytes_carried : t -> int
+
+(** Total hop-traversals so far (traffic proxy). *)
+val hops_traversed : t -> int

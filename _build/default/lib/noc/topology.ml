@@ -1,0 +1,23 @@
+type t = { width : int; height : int }
+
+let mesh ~width ~height =
+  if width <= 0 || height <= 0 then invalid_arg "Topology.mesh: non-positive dimension";
+  { width; height }
+
+let square n =
+  if n <= 0 then invalid_arg "Topology.square: non-positive size";
+  let rec side s = if s * s >= n then s else side (s + 1) in
+  let s = side 1 in
+  { width = s; height = s }
+
+let pe_count t = t.width * t.height
+let width t = t.width
+let height t = t.height
+
+let coords t pe =
+  if pe < 0 || pe >= pe_count t then invalid_arg "Topology.coords: PE out of range";
+  (pe mod t.width, pe / t.width)
+
+let hops t a b =
+  let xa, ya = coords t a and xb, yb = coords t b in
+  abs (xa - xb) + abs (ya - yb)

@@ -1,0 +1,24 @@
+(** Network-on-chip topology.
+
+    The paper's system is a rack-scale NoC connecting up to 640 PEs;
+    we model a 2D mesh with XY (dimension-ordered) routing, the layout
+    prevalent in current manycores (§2.2 of the paper). *)
+
+type t
+
+(** [mesh ~width ~height] is a [width * height] mesh; PE [i] sits at
+    [(i mod width, i / width)]. Raises on non-positive dimensions. *)
+val mesh : width:int -> height:int -> t
+
+(** [square n] is the smallest square mesh holding at least [n] PEs. *)
+val square : int -> t
+
+val pe_count : t -> int
+val width : t -> int
+val height : t -> int
+
+(** Coordinates of a PE. Raises [Invalid_argument] if out of range. *)
+val coords : t -> int -> int * int
+
+(** Manhattan distance between two PEs (the hop count of XY routing). *)
+val hops : t -> int -> int -> int

@@ -1,0 +1,1 @@
+lib/pipe/pipe.ml: Format Hashtbl Int64 Queue Semper_caps Semper_kernel Semper_noc Semper_sim

@@ -1,0 +1,1 @@
+lib/pipe/pipe.mli: Semper_kernel Semper_sim

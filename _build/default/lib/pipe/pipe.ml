@@ -1,0 +1,389 @@
+module P = Semper_kernel.Protocol
+module System = Semper_kernel.System
+module Kernel = Semper_kernel.Kernel
+module Vpe = Semper_kernel.Vpe
+module Cap = Semper_caps.Cap
+module Perms = Semper_caps.Perms
+module Capspace = Semper_caps.Capspace
+module Engine = Semper_sim.Engine
+module Server = Semper_sim.Server
+module Fabric = Semper_noc.Fabric
+
+type config = {
+  ring_size : int;
+  cost_meta : int64;
+  cost_grant : int64;
+  mem_bytes_per_cycle : int;
+}
+
+let default_config =
+  { ring_size = 64 * 1024; cost_meta = 1800L; cost_grant = 1500L; mem_bytes_per_cycle = 8 }
+
+type stats = {
+  mutable pipes_created : int;
+  mutable grants : int;
+  mutable bytes_moved : int;
+  mutable closes : int;
+  mutable revoke_calls : int;
+}
+
+(* One named pipe: the ring buffer plus the parties parked on it. *)
+type ring = {
+  r_name : string;
+  r_size : int;
+  mutable r_used : int;
+  mutable r_attached : int;
+  mutable r_closed : bool;
+  (* Ends parked until space (writers) or data (readers) appears. *)
+  r_writers : (int * ((unit, string) result -> unit)) Queue.t;
+  r_readers : (int * ((int, string) result -> unit)) Queue.t;
+  mutable r_writers_attached : int;
+  mutable r_ring_sel : P.selector;  (** service's ring-buffer capability *)
+  (* Per-end derived capabilities and roles, revoked at close. *)
+  r_ends : (int, P.selector * bool (* producer *)) Hashtbl.t;
+}
+
+type t = {
+  sys : System.t;
+  cfg : config;
+  name : string;
+  vpe : Vpe.t;
+  server : Server.t;
+  stats : stats;
+  pipes : (string, ring) Hashtbl.t;
+  by_id : (int, ring) Hashtbl.t;
+  sessions : (int, int) Hashtbl.t;  (** ident -> client vpe *)
+  mutable next_ident : int;
+  mutable next_pipe : int;
+  sys_queue : (P.syscall * (P.reply -> unit)) Queue.t;
+  mutable sys_busy : bool;
+}
+
+let name t = t.name
+let server t = t.server
+let stats t = t.stats
+
+(* Serialised service syscalls (one in flight per VPE). *)
+let rec pump t =
+  if (not t.sys_busy) && not (Queue.is_empty t.sys_queue) then begin
+    let call, k = Queue.pop t.sys_queue in
+    t.sys_busy <- true;
+    System.syscall t.sys t.vpe call (fun r ->
+        t.sys_busy <- false;
+        k r;
+        pump t)
+  end
+
+let service_syscall t call k =
+  Queue.push (call, k) t.sys_queue;
+  pump t
+
+(* ------------------------------------------------------------------ *)
+(* Ring-buffer flow control                                             *)
+
+(* A consumer sees EOF once every producer has closed and the ring is
+   drained. *)
+let at_eof ring = ring.r_closed || (ring.r_writers_attached = 0 && ring.r_used = 0)
+
+(* Retry parked parties after the ring state changed. *)
+let rec wake t (ring : ring) =
+  let progressed = ref false in
+  (match Queue.peek_opt ring.r_writers with
+  | Some (bytes, k) when ring.r_used + bytes <= ring.r_size ->
+    ignore (Queue.pop ring.r_writers);
+    ring.r_used <- ring.r_used + bytes;
+    t.stats.bytes_moved <- t.stats.bytes_moved + bytes;
+    progressed := true;
+    k (Ok ())
+  | Some (_, k) when ring.r_closed ->
+    ignore (Queue.pop ring.r_writers);
+    progressed := true;
+    k (Error "pipe closed")
+  | Some _ | None -> ());
+  (match Queue.peek_opt ring.r_readers with
+  | Some (bytes, k) when ring.r_used > 0 ->
+    ignore (Queue.pop ring.r_readers);
+    let n = min bytes ring.r_used in
+    ring.r_used <- ring.r_used - n;
+    progressed := true;
+    k (Ok n)
+  | Some (_, k) when at_eof ring ->
+    ignore (Queue.pop ring.r_readers);
+    progressed := true;
+    k (Ok 0)
+  | Some _ | None -> ());
+  if !progressed then wake t ring
+
+(* ------------------------------------------------------------------ *)
+(* Kernel upcalls                                                       *)
+
+let handle_upcall t (req : P.service_request) k =
+  match req with
+  | P.Srq_open_session { client_vpe } ->
+    Server.submit t.server ~cost:t.cfg.cost_meta (fun () ->
+        let ident = t.next_ident in
+        t.next_ident <- ident + 1;
+        Hashtbl.add t.sessions ident client_vpe;
+        k (P.Srs_session { ident }))
+  | P.Srq_obtain { ident; args } ->
+    Server.submit t.server ~cost:t.cfg.cost_grant (fun () ->
+        if not (Hashtbl.mem t.sessions ident) then k (P.Srs_reject P.E_no_such_session)
+        else
+          match args with
+          | [ pipe_id; producer ] -> (
+            let producer = producer <> 0 in
+            match Hashtbl.find_opt t.by_id pipe_id with
+            | None -> k (P.Srs_reject P.E_invalid)
+            | Some ring ->
+              (* Derive a per-end capability from the ring capability,
+                 then grant a child of it: closing this end revokes
+                 exactly this derivation. *)
+              service_syscall t
+                (P.Sys_derive_mem
+                   {
+                     sel = ring.r_ring_sel;
+                     offset = 0L;
+                     size = Int64.of_int ring.r_size;
+                     perms = Perms.rw;
+                   })
+                (fun r ->
+                  match r with
+                  | P.R_sel end_sel -> (
+                    match Capspace.find t.vpe.Vpe.capspace end_sel with
+                    | None -> k (P.Srs_reject P.E_no_such_cap)
+                    | Some end_key ->
+                      Hashtbl.replace ring.r_ends ident (end_sel, producer);
+                      ring.r_attached <- ring.r_attached + 1;
+                      if producer then ring.r_writers_attached <- ring.r_writers_attached + 1;
+                      t.stats.grants <- t.stats.grants + 1;
+                      let kind =
+                        Cap.Mem_cap
+                          {
+                            host_pe = t.vpe.Vpe.pe;
+                            addr = 0L;
+                            size = Int64.of_int ring.r_size;
+                            perms = Perms.rw;
+                          }
+                      in
+                      k (P.Srs_grant { parent = end_key; kind }))
+                  | P.R_ok | P.R_vpe _ | P.R_sess _ -> k (P.Srs_reject P.E_invalid)
+                  | P.R_err e -> k (P.Srs_reject e)))
+          | [] | [ _ ] | _ :: _ :: _ :: _ -> k (P.Srs_reject P.E_invalid))
+  | P.Srq_delegate _ ->
+    Server.submit t.server ~cost:t.cfg.cost_grant (fun () -> k (P.Srs_reject P.E_invalid))
+
+(* ------------------------------------------------------------------ *)
+(* Metadata IPC                                                         *)
+
+type meta_req =
+  | M_create of string
+  | M_open of string  (** resolve name -> pipe id (capability follows via obtain) *)
+  | M_close of { ident : int; pipe_id : int }
+
+type meta_resp = M_ok | M_id of int | M_err of string
+
+let handle_meta t req k =
+  match req with
+  | M_create name ->
+    if Hashtbl.mem t.pipes name then k (M_err (name ^ ": exists"))
+    else
+      (* Allocate the ring buffer: a real kernel capability. *)
+      service_syscall t
+        (P.Sys_alloc_mem { size = Int64.of_int t.cfg.ring_size; perms = Perms.rw })
+        (fun r ->
+          match r with
+          | P.R_sel ring_sel ->
+            let id = t.next_pipe in
+            t.next_pipe <- id + 1;
+            let ring =
+              {
+                r_name = name;
+                r_size = t.cfg.ring_size;
+                r_used = 0;
+                r_attached = 0;
+                r_writers_attached = 0;
+                r_closed = false;
+                r_writers = Queue.create ();
+                r_readers = Queue.create ();
+                r_ring_sel = ring_sel;
+                r_ends = Hashtbl.create 4;
+              }
+            in
+            Hashtbl.add t.pipes name ring;
+            Hashtbl.add t.by_id id ring;
+            t.stats.pipes_created <- t.stats.pipes_created + 1;
+            k M_ok
+          | P.R_ok | P.R_vpe _ | P.R_sess _ -> k (M_err "unexpected alloc reply")
+          | P.R_err e -> k (M_err (P.error_to_string e)))
+  | M_open name -> (
+    match Hashtbl.find_opt t.pipes name with
+    | None -> k (M_err (name ^ ": no such pipe"))
+    | Some ring ->
+      let id =
+        Hashtbl.fold (fun id r acc -> if r == ring then Some id else acc) t.by_id None
+      in
+      (match id with Some id -> k (M_id id) | None -> k (M_err "internal: unindexed pipe")))
+  | M_close { ident; pipe_id } -> (
+    match Hashtbl.find_opt t.by_id pipe_id with
+    | None -> k (M_err "no such pipe")
+    | Some ring -> (
+      t.stats.closes <- t.stats.closes + 1;
+      match Hashtbl.find_opt ring.r_ends ident with
+      | None -> k (M_err "end not attached")
+      | Some (end_sel, producer) ->
+        Hashtbl.remove ring.r_ends ident;
+        ring.r_attached <- ring.r_attached - 1;
+        if producer then ring.r_writers_attached <- ring.r_writers_attached - 1;
+        if ring.r_attached <= 0 then ring.r_closed <- true;
+        (* Parked parties may now be at EOF or permanently blocked. *)
+        wake t ring;
+        (* Revoke this end's derived capability (and with it the
+           client's copy). The reply does not wait for the revoke —
+           it drains through the service's syscall queue. *)
+        t.stats.revoke_calls <- t.stats.revoke_calls + 1;
+        service_syscall t (P.Sys_revoke { sel = end_sel; own = true }) (fun _ -> ());
+        k M_ok))
+
+let meta_cost t = function
+  | M_create _ | M_open _ | M_close _ -> t.cfg.cost_meta
+
+let rpc t ~client_pe req k =
+  let fabric = System.fabric t.sys in
+  Fabric.send fabric ~src:client_pe ~dst:t.vpe.Vpe.pe ~bytes:64 (fun () ->
+      Server.submit t.server ~cost:(meta_cost t req) (fun () ->
+          handle_meta t req (fun resp ->
+              Fabric.send fabric ~src:t.vpe.Vpe.pe ~dst:client_pe ~bytes:64 (fun () -> k resp))))
+
+(* ------------------------------------------------------------------ *)
+(* Boot                                                                 *)
+
+let create ?(config = default_config) sys ~kernel:kid ~name () =
+  let vpe = System.spawn_vpe sys ~kernel:kid in
+  let kernel = System.kernel sys kid in
+  let t =
+    {
+      sys;
+      cfg = config;
+      name;
+      vpe;
+      server = Server.create (System.engine sys) ~name:("pipe:" ^ name);
+      stats = { pipes_created = 0; grants = 0; bytes_moved = 0; closes = 0; revoke_calls = 0 };
+      pipes = Hashtbl.create 8;
+      by_id = Hashtbl.create 8;
+      sessions = Hashtbl.create 8;
+      next_ident = 0;
+      next_pipe = 0;
+      sys_queue = Queue.create ();
+      sys_busy = false;
+    }
+  in
+  Kernel.register_service_handler kernel ~name (fun req k -> handle_upcall t req k);
+  (match System.syscall_sync sys vpe (P.Sys_create_srv { name }) with
+  | P.R_sel _ -> ()
+  | r -> invalid_arg (Format.asprintf "Pipe.create: create_srv failed: %a" P.pp_reply r));
+  ignore (System.run sys);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Endpoints                                                            *)
+
+module Endpoint = struct
+  type pipe = t
+
+  type t = {
+    e_sys : System.t;
+    e_pipe : pipe;
+    e_vpe : Vpe.t;
+    e_sess : P.selector;
+    e_ident : int;
+    e_attached : (int, ring) Hashtbl.t;  (** pipe id -> ring *)
+  }
+
+  let connect sys (pipe : pipe) ~vpe k =
+    System.syscall sys vpe (P.Sys_open_session { service = pipe.name }) (fun r ->
+        match r with
+        | P.R_sess { sel; ident } ->
+          k (Ok { e_sys = sys; e_pipe = pipe; e_vpe = vpe; e_sess = sel; e_ident = ident;
+                  e_attached = Hashtbl.create 4 })
+        | P.R_err e -> k (Error (P.error_to_string e))
+        | P.R_ok | P.R_sel _ | P.R_vpe _ -> k (Error "unexpected open_session reply"))
+
+  let create_pipe t name k =
+    rpc t.e_pipe ~client_pe:t.e_vpe.Vpe.pe (M_create name) (fun r ->
+        match r with
+        | M_ok -> k (Ok ())
+        | M_err e -> k (Error e)
+        | M_id _ -> k (Error "unexpected reply"))
+
+  let open_pipe t name ~role k =
+    rpc t.e_pipe ~client_pe:t.e_vpe.Vpe.pe (M_open name) (fun r ->
+        match r with
+        | M_err e -> k (Error e)
+        | M_ok -> k (Error "unexpected reply")
+        | M_id pipe_id ->
+          (* Obtain the ring capability through the kernel. *)
+          System.syscall t.e_sys t.e_vpe
+            (P.Sys_obtain
+               { sess = t.e_sess; args = [ pipe_id; (match role with `Producer -> 1 | `Consumer -> 0) ] })
+            (fun r ->
+              match r with
+              | P.R_sel _ -> (
+                match Hashtbl.find_opt t.e_pipe.by_id pipe_id with
+                | Some ring ->
+                  Hashtbl.replace t.e_attached pipe_id ring;
+                  k (Ok pipe_id)
+                | None -> k (Error "pipe vanished"))
+              | P.R_err e -> k (Error (P.error_to_string e))
+              | P.R_ok | P.R_vpe _ | P.R_sess _ -> k (Error "unexpected obtain reply")))
+
+  (* Data movement happens end-to-end over the NoC through the shared
+     ring: charge transfer time on this VPE's PE, no kernel, no
+     service. *)
+  let charge t bytes k =
+    let bw = t.e_pipe.cfg.mem_bytes_per_cycle in
+    Engine.after (System.engine t.e_sys) (Int64.of_int ((bytes + bw - 1) / bw)) k
+
+  let send t ~pipe ~bytes k =
+    match Hashtbl.find_opt t.e_attached pipe with
+    | None -> k (Error "pipe not open")
+    | Some ring ->
+      if bytes < 0 || bytes > ring.r_size then k (Error "bad length")
+      else if ring.r_closed then k (Error "pipe closed")
+      else
+        charge t bytes (fun () ->
+            if ring.r_used + bytes <= ring.r_size then begin
+              ring.r_used <- ring.r_used + bytes;
+              t.e_pipe.stats.bytes_moved <- t.e_pipe.stats.bytes_moved + bytes;
+              wake t.e_pipe ring;
+              k (Ok ())
+            end
+            else Queue.push (bytes, k) ring.r_writers)
+
+  let recv t ~pipe ~bytes k =
+    match Hashtbl.find_opt t.e_attached pipe with
+    | None -> k (Error "pipe not open")
+    | Some ring ->
+      if bytes <= 0 then k (Error "bad length")
+      else
+        charge t bytes (fun () ->
+            if ring.r_used > 0 then begin
+              let n = min bytes ring.r_used in
+              ring.r_used <- ring.r_used - n;
+              wake t.e_pipe ring;
+              k (Ok n)
+            end
+            else if at_eof ring then k (Ok 0)
+            else Queue.push (bytes, k) ring.r_readers)
+
+  let close t ~pipe k =
+    match Hashtbl.find_opt t.e_attached pipe with
+    | None -> k (Error "pipe not open")
+    | Some _ring ->
+      Hashtbl.remove t.e_attached pipe;
+      rpc t.e_pipe ~client_pe:t.e_vpe.Vpe.pe (M_close { ident = t.e_ident; pipe_id = pipe })
+        (fun r ->
+          match r with
+          | M_ok -> k (Ok ())
+          | M_err e -> k (Error e)
+          | M_id _ -> k (Error "unexpected reply"))
+end

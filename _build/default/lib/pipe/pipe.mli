@@ -1,0 +1,79 @@
+(** Zero-copy pipe service.
+
+    M3 implements pipes the same way m3fs implements files (the paper
+    groups them under "drivers and OS services ... as applications",
+    §2.2): the pipe service owns a ring buffer per pipe; producer and
+    consumer obtain memory capabilities for it through the kernel and
+    move data over the NoC without the service or the kernel touching
+    the bytes. Closing an end revokes its capability.
+
+    This is a second, independent service type exercising the
+    distributed capability protocols (session establishment, obtains
+    and revokes possibly spanning kernels).
+
+    All data movement is modelled: writes reserve space in the ring,
+    reads consume it; the byte transfer time is charged on the acting
+    VPE's PE like any other memory traffic. *)
+
+type config = {
+  ring_size : int;          (** ring-buffer capacity in bytes *)
+  cost_meta : int64;        (** service-side cost of create/open/close *)
+  cost_grant : int64;       (** service-side cost of an obtain upcall *)
+  mem_bytes_per_cycle : int;
+}
+
+val default_config : config
+
+type stats = {
+  mutable pipes_created : int;
+  mutable grants : int;
+  mutable bytes_moved : int;
+  mutable closes : int;
+  mutable revoke_calls : int;
+}
+
+type t
+
+(** [create sys ~kernel ~name ()] spawns the pipe service VPE in
+    [kernel]'s group and registers + announces it. Boot-time call. *)
+val create : ?config:config -> Semper_kernel.System.t -> kernel:int -> name:string -> unit -> t
+
+val name : t -> string
+val server : t -> Semper_sim.Server.t
+val stats : t -> stats
+
+(** Client-side endpoint of a pipe. *)
+module Endpoint : sig
+  type pipe = t
+
+  type t
+
+  (** [connect sys pipe ~vpe k]: open a session with the service. *)
+  val connect :
+    Semper_kernel.System.t -> pipe -> vpe:Semper_kernel.Vpe.t -> ((t, string) result -> unit) -> unit
+
+  (** [create_pipe t name k]: register a named pipe at the service. *)
+  val create_pipe : t -> string -> ((unit, string) result -> unit) -> unit
+
+  (** [open_pipe t name ~role k]: attach to a named pipe as producer or
+      consumer; obtains the ring-buffer capability through the kernel
+      (a capability exchange, spanning kernels when service and client
+      are in different groups). *)
+  val open_pipe :
+    t -> string -> role:[ `Producer | `Consumer ] -> ((int, string) result -> unit) -> unit
+
+  (** [send t ~pipe ~bytes k]: write into the ring. Blocks (in simulated
+      time) while the ring is full, waking as the consumer drains it. *)
+  val send : t -> pipe:int -> bytes:int -> ((unit, string) result -> unit) -> unit
+
+  (** [recv t ~pipe ~bytes k]: read up to [bytes]; yields the amount
+      actually consumed. Blocks while the ring is empty, waking as the
+      producer fills it (0 = EOF, once every producer end has closed
+      and the ring is drained). *)
+  val recv : t -> pipe:int -> bytes:int -> ((int, string) result -> unit) -> unit
+
+  (** [close t ~pipe k]: detach; the service revokes this end's
+      ring-buffer capability. Closing the last producer end puts the
+      pipe at EOF for its consumers. *)
+  val close : t -> pipe:int -> ((unit, string) result -> unit) -> unit
+end

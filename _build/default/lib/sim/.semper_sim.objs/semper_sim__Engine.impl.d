@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Int Int64 Semper_util

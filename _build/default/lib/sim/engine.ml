@@ -1,0 +1,59 @@
+type event = { time : int64; seq : int; run : unit -> unit }
+
+type t = {
+  mutable clock : int64;
+  mutable next_seq : int;
+  mutable processed : int;
+  queue : event Semper_util.Heap.t;
+}
+
+let compare_event a b =
+  let c = Int64.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let dummy_event = { time = 0L; seq = -1; run = (fun () -> ()) }
+
+let create () =
+  {
+    clock = 0L;
+    next_seq = 0;
+    processed = 0;
+    queue = Semper_util.Heap.create ~dummy:dummy_event ~compare:compare_event;
+  }
+
+let now t = t.clock
+
+let at t time run =
+  if Int64.compare time t.clock < 0 then invalid_arg "Engine.at: time in the past";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Semper_util.Heap.push t.queue { time; seq; run }
+
+let after t delay run =
+  if Int64.compare delay 0L < 0 then invalid_arg "Engine.after: negative delay";
+  at t (Int64.add t.clock delay) run
+
+let run ?until t =
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Semper_util.Heap.peek t.queue with
+    | None -> continue := false
+    | Some ev ->
+      (match until with
+      | Some limit when Int64.compare ev.time limit > 0 ->
+        (* Leave future events queued but advance the clock to the limit
+           so that repeated bounded runs make progress. *)
+        t.clock <- limit;
+        continue := false
+      | Some _ | None ->
+        let ev = Semper_util.Heap.pop t.queue in
+        t.clock <- ev.time;
+        t.processed <- t.processed + 1;
+        incr count;
+        ev.run ())
+  done;
+  !count
+
+let events_processed t = t.processed
+let pending t = Semper_util.Heap.length t.queue

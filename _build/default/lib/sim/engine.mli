@@ -1,0 +1,32 @@
+(** Discrete-event simulation engine.
+
+    Time is measured in cycles (an [int64], matching the paper's 2 GHz
+    clock). Events scheduled for the same cycle run in scheduling order,
+    so a run is fully deterministic. *)
+
+type t
+
+(** Fresh engine at cycle 0. *)
+val create : unit -> t
+
+(** Current simulation time in cycles. *)
+val now : t -> int64
+
+(** [at t time f] schedules [f] to run at absolute cycle [time].
+    Raises [Invalid_argument] if [time] is in the past. *)
+val at : t -> int64 -> (unit -> unit) -> unit
+
+(** [after t delay f] schedules [f] to run [delay] cycles from now.
+    Raises [Invalid_argument] on a negative delay. *)
+val after : t -> int64 -> (unit -> unit) -> unit
+
+(** Run until the event queue is empty, or until the optional [until]
+    cycle (events strictly after it stay queued). Returns the number of
+    events processed by this call. *)
+val run : ?until:int64 -> t -> int
+
+(** Total events processed since creation. *)
+val events_processed : t -> int
+
+(** Events currently queued. *)
+val pending : t -> int

@@ -1,0 +1,64 @@
+type job = Fixed of { cost : int64; k : unit -> unit } | Dynamic of (unit -> int64 * (unit -> unit))
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  waiting : job Queue.t;
+  mutable in_service : bool;
+  mutable busy : int64;
+  mutable completed : int;
+  mutable max_queue : int;
+}
+
+let create engine ~name =
+  {
+    engine;
+    name;
+    waiting = Queue.create ();
+    in_service = false;
+    busy = 0L;
+    completed = 0;
+    max_queue = 0;
+  }
+
+let name t = t.name
+
+let rec start_next t =
+  if (not t.in_service) && not (Queue.is_empty t.waiting) then begin
+    let job = Queue.pop t.waiting in
+    t.in_service <- true;
+    let cost, post =
+      match job with
+      | Fixed { cost; k } -> (cost, k)
+      | Dynamic f ->
+        let cost, post = f () in
+        if Int64.compare cost 0L < 0 then invalid_arg "Server: negative dynamic cost";
+        (cost, post)
+    in
+    Engine.after t.engine cost (fun () ->
+        t.in_service <- false;
+        t.busy <- Int64.add t.busy cost;
+        t.completed <- t.completed + 1;
+        post ();
+        start_next t)
+  end
+
+let enqueue t job =
+  Queue.push job t.waiting;
+  if Queue.length t.waiting > t.max_queue then t.max_queue <- Queue.length t.waiting;
+  start_next t
+
+let submit t ~cost k =
+  if Int64.compare cost 0L < 0 then invalid_arg "Server.submit: negative cost";
+  enqueue t (Fixed { cost; k })
+
+let submit_work t f = enqueue t (Dynamic f)
+
+let busy_cycles t = t.busy
+let completed t = t.completed
+let queue_length t = Queue.length t.waiting
+let max_queue_length t = t.max_queue
+
+let utilisation t ~horizon =
+  if Int64.compare horizon 0L <= 0 then 0.0
+  else Int64.to_float t.busy /. Int64.to_float horizon

@@ -1,0 +1,39 @@
+(** Single-capacity FIFO server.
+
+    Models a single-threaded processing element: a kernel PE or a
+    service PE serves one job at a time; queued jobs wait. Utilisation
+    and queueing statistics feed the parallel-efficiency analysis. *)
+
+type t
+
+val create : Engine.t -> name:string -> t
+
+val name : t -> string
+
+(** [submit t ~cost k] enqueues a job that occupies the server for
+    [cost] cycles once it reaches the head of the queue, then runs [k].
+    [cost] must be non-negative. *)
+val submit : t -> cost:int64 -> (unit -> unit) -> unit
+
+(** [submit_work t f] enqueues a job whose cost is only known once it
+    runs: when the job reaches the head of the queue, [f ()] performs
+    the state changes and returns [(cost, post)]; the server stays busy
+    for [cost] cycles and then runs [post] (typically message sends).
+    Used for operations whose cost depends on the state they traverse,
+    e.g. marking a revocation subtree. *)
+val submit_work : t -> (unit -> int64 * (unit -> unit)) -> unit
+
+(** Cycles spent serving jobs so far. *)
+val busy_cycles : t -> int64
+
+(** Jobs completed so far. *)
+val completed : t -> int
+
+(** Jobs currently queued (excluding the one in service). *)
+val queue_length : t -> int
+
+(** High-water mark of the queue length. *)
+val max_queue_length : t -> int
+
+(** [utilisation t ~horizon] is busy cycles over [horizon] cycles. *)
+val utilisation : t -> horizon:int64 -> float

@@ -1,0 +1,1 @@
+lib/trace/recorder.ml: Int64 List Option Printf Semper_kernel Semper_m3fs Trace

@@ -1,0 +1,1 @@
+lib/trace/recorder.mli: Semper_kernel Semper_m3fs Trace

@@ -1,0 +1,1 @@
+lib/trace/replay.ml: Array Int64 List Printf Semper_kernel Semper_m3fs Semper_sim Trace

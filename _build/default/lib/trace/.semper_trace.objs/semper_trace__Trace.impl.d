@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Format Int64 List

@@ -1,0 +1,1 @@
+lib/trace/trace_io.ml: Buffer Fun In_channel Int64 List Printf Result String Trace

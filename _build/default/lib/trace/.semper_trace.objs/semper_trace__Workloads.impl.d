@@ -1,0 +1,1 @@
+lib/trace/workloads.ml: Int64 List Printf Semper_m3fs Trace

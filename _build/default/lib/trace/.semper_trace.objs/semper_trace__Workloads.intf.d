@@ -1,0 +1,1 @@
+lib/trace/workloads.mli: Semper_m3fs Trace

@@ -1,0 +1,106 @@
+module System = Semper_kernel.System
+module Client = Semper_m3fs.Client
+
+type t = {
+  sys : System.t;
+  name : string;
+  client : Client.t;
+  mutable ops : Trace.op list;  (* reversed *)
+  mutable files : (string * int64) list;  (* reversed *)
+  mutable slots : (int * int) list;  (* slot -> fd *)
+  mutable next_slot : int;
+  mutable last_done : int64;  (* completion time of the previous op *)
+}
+
+let create sys ~name client =
+  { sys; name; client; ops = []; files = []; slots = []; next_slot = 0; last_done = System.now sys }
+
+let trace t =
+  { Trace.name = t.name; ops = List.rev t.ops; files = List.rev t.files }
+
+(* Record the compute gap since the previous operation finished, then
+   the operation itself. *)
+let record t op =
+  let now = System.now t.sys in
+  let gap = Int64.sub now t.last_done in
+  if Int64.compare gap 0L > 0 then t.ops <- Trace.Compute gap :: t.ops;
+  t.ops <- op :: t.ops
+
+let finished t = t.last_done <- System.now t.sys
+
+let fd_of_slot t slot = List.assoc_opt slot t.slots
+
+let open_ t path ~write ~create k =
+  record t (Trace.Open { path; write; create });
+  Client.open_ t.client path ~write ~create (fun r ->
+      finished t;
+      match r with
+      | Error e -> k (Error e)
+      | Ok fd ->
+        let slot = t.next_slot in
+        t.next_slot <- slot + 1;
+        t.slots <- (slot, fd) :: t.slots;
+        (* Remember the file with its size at open so replay can
+           pre-populate the image. *)
+        let size = Option.value ~default:0L (Client.file_size t.client ~fd) in
+        if not (List.mem_assoc path t.files) then t.files <- (path, size) :: t.files;
+        k (Ok slot))
+
+let with_fd t slot k f =
+  match fd_of_slot t slot with
+  | None -> k (Error (Printf.sprintf "recorder: unknown slot %d" slot))
+  | Some fd -> f fd
+
+let read t ~slot ~bytes k =
+  record t (Trace.Read { slot; bytes });
+  with_fd t slot k (fun fd ->
+      Client.read t.client ~fd ~bytes (fun r ->
+          finished t;
+          k r))
+
+let write t ~slot ~bytes k =
+  record t (Trace.Write { slot; bytes });
+  with_fd t slot k (fun fd ->
+      Client.write t.client ~fd ~bytes (fun r ->
+          finished t;
+          k r))
+
+let seek t ~slot ~pos =
+  record t (Trace.Seek { slot; pos });
+  match fd_of_slot t slot with
+  | None -> Error (Printf.sprintf "recorder: unknown slot %d" slot)
+  | Some fd ->
+    let r = Client.seek t.client ~fd ~pos in
+    finished t;
+    r
+
+let close t ~slot k =
+  record t (Trace.Close { slot });
+  with_fd t slot k (fun fd ->
+      Client.close t.client ~fd (fun r ->
+          finished t;
+          k r))
+
+let stat t path k =
+  record t (Trace.Stat path);
+  Client.stat t.client path (fun r ->
+      finished t;
+      k r)
+
+let mkdir t path k =
+  record t (Trace.Mkdir path);
+  Client.mkdir t.client path (fun r ->
+      finished t;
+      k r)
+
+let unlink t path k =
+  record t (Trace.Unlink path);
+  Client.unlink t.client path (fun r ->
+      finished t;
+      k r)
+
+let list t path k =
+  record t (Trace.List path);
+  Client.list t.client path (fun r ->
+      finished t;
+      k r)

@@ -1,0 +1,33 @@
+(** Syscall-trace recorder (the paper's tracing infrastructure, §5.3.1:
+    "run an application, trace the system calls including timing
+    information, and replay the trace").
+
+    Wrap an m3fs client; drive the application through the wrapper; the
+    recorder logs every filesystem operation plus the compute gaps
+    between them (measured on the simulation clock) and yields a
+    {!Trace.t} that {!Replay.run} — or a saved file via {!Trace_io} —
+    can reproduce. *)
+
+type t
+
+(** [create sys ~name client] starts recording on top of [client]. *)
+val create : Semper_kernel.System.t -> name:string -> Semper_m3fs.Client.t -> t
+
+(** Snapshot the trace recorded so far. Files opened during recording
+    are listed with the size observed at open, so a fresh image can be
+    pre-populated for replay. *)
+val trace : t -> Trace.t
+
+(** Mirrored client operations: identical behaviour, plus recording.
+    The returned handles are the recorder's slot numbers, already in
+    trace terms. *)
+
+val open_ : t -> string -> write:bool -> create:bool -> ((int, string) result -> unit) -> unit
+val read : t -> slot:int -> bytes:int -> ((int, string) result -> unit) -> unit
+val write : t -> slot:int -> bytes:int -> ((unit, string) result -> unit) -> unit
+val seek : t -> slot:int -> pos:int64 -> (unit, string) result
+val close : t -> slot:int -> ((unit, string) result -> unit) -> unit
+val stat : t -> string -> ((unit, string) result -> unit) -> unit
+val mkdir : t -> string -> ((unit, string) result -> unit) -> unit
+val unlink : t -> string -> ((unit, string) result -> unit) -> unit
+val list : t -> string -> ((string list, string) result -> unit) -> unit

@@ -1,0 +1,141 @@
+module System = Semper_kernel.System
+module Vpe = Semper_kernel.Vpe
+module Client = Semper_m3fs.Client
+module Engine = Semper_sim.Engine
+
+type result = {
+  trace : string;
+  vpe : int;
+  started : int64;
+  finished : int64;
+  io_ops : int;
+  client_cap_ops : int;
+  errors : string list;
+}
+
+let runtime r = Int64.sub r.finished r.started
+
+type state = {
+  sys : System.t;
+  client : Client.t;
+  (* Slot table: the i-th [Open] of the trace binds slot i. *)
+  mutable slots : int array;
+  mutable next_slot : int;
+  mutable io_ops : int;
+  mutable errors : string list;
+}
+
+let slot_fd st slot =
+  if slot < 0 || slot >= st.next_slot then Error (Printf.sprintf "bad slot %d" slot)
+  else if st.slots.(slot) < 0 then Error (Printf.sprintf "slot %d from failed open" slot)
+  else Ok st.slots.(slot)
+
+let record_err st op msg = st.errors <- Printf.sprintf "%s: %s" (Trace.op_name op) msg :: st.errors
+
+let run sys fs ~vpe trace k =
+  let started = System.now sys in
+  Client.connect sys fs ~vpe (fun conn ->
+      match conn with
+      | Error e ->
+        k
+          {
+            trace = trace.Trace.name;
+            vpe = vpe.Vpe.id;
+            started;
+            finished = System.now sys;
+            io_ops = 0;
+            client_cap_ops = 0;
+            errors = [ "connect: " ^ e ];
+          }
+      | Ok client ->
+        let st =
+          { sys; client; slots = Array.make 16 (-1); next_slot = 0; io_ops = 0; errors = [] }
+        in
+        let finish () =
+          k
+            {
+              trace = trace.Trace.name;
+              vpe = vpe.Vpe.id;
+              started;
+              finished = System.now sys;
+              io_ops = st.io_ops;
+              client_cap_ops = Client.cap_ops client;
+              errors = List.rev st.errors;
+            }
+        in
+        let rec step ops =
+          match ops with
+          | [] -> finish ()
+          | op :: rest ->
+            let continue_unit r =
+              (match r with Ok () -> () | Error e -> record_err st op e);
+              step rest
+            in
+            (match op with Trace.Compute _ -> () | _ -> st.io_ops <- st.io_ops + 1);
+            (match op with
+            | Trace.Compute cycles -> Engine.after (System.engine sys) cycles (fun () -> step rest)
+            | Trace.Open { path; write; create } ->
+              Client.open_ client path ~write ~create (fun r ->
+                  (* Slot numbering must stay aligned with the trace,
+                     so failed opens still consume a slot. *)
+                  let push fd =
+                    if st.next_slot = Array.length st.slots then begin
+                      let bigger = Array.make (2 * st.next_slot) (-1) in
+                      Array.blit st.slots 0 bigger 0 st.next_slot;
+                      st.slots <- bigger
+                    end;
+                    st.slots.(st.next_slot) <- fd;
+                    st.next_slot <- st.next_slot + 1
+                  in
+                  (match r with
+                  | Ok fd -> push fd
+                  | Error e ->
+                    push (-1);
+                    record_err st op e);
+                  step rest)
+            | Trace.Read { slot; bytes } -> (
+              match slot_fd st slot with
+              | Error e ->
+                record_err st op e;
+                step rest
+              | Ok fd ->
+                Client.read client ~fd ~bytes (fun r ->
+                    (match r with Ok _ -> () | Error e -> record_err st op e);
+                    step rest))
+            | Trace.Write { slot; bytes } -> (
+              match slot_fd st slot with
+              | Error e ->
+                record_err st op e;
+                step rest
+              | Ok fd -> Client.write client ~fd ~bytes continue_unit)
+            | Trace.Seek { slot; pos } -> (
+              match slot_fd st slot with
+              | Error e ->
+                record_err st op e;
+                step rest
+              | Ok fd ->
+                (match Client.seek client ~fd ~pos with
+                | Ok () -> ()
+                | Error e -> record_err st op e);
+                step rest)
+            | Trace.Close { slot } -> (
+              match slot_fd st slot with
+              | Error e ->
+                record_err st op e;
+                step rest
+              | Ok fd -> Client.close client ~fd continue_unit)
+            | Trace.Stat path -> Client.stat client path continue_unit
+            | Trace.Stat_absent path ->
+              Client.stat client path (fun r ->
+                  (match r with
+                  | Error _ -> () (* absence is the expected outcome *)
+                  | Ok () -> record_err st op "entry unexpectedly exists");
+                  step rest)
+            | Trace.Mkdir path -> Client.mkdir client path continue_unit
+            | Trace.Unlink path -> Client.unlink client path continue_unit
+            | Trace.List path ->
+              Client.list client path (fun r ->
+                  (match r with Ok _ -> () | Error e -> record_err st op e);
+                  step rest))
+        in
+        step trace.Trace.ops)

@@ -1,0 +1,27 @@
+(** Trace replay engine: drives one trace through the m3fs client on
+    behalf of one VPE, sequentially, as a single-threaded process
+    would. *)
+
+type result = {
+  trace : string;
+  vpe : int;
+  started : int64;
+  finished : int64;
+  io_ops : int;
+  client_cap_ops : int;  (** session opens + extent obtains at the client *)
+  errors : string list;  (** non-fatal op failures, in order *)
+}
+
+val runtime : result -> int64
+
+(** [run sys fs ~vpe trace k] opens a session, replays every op, and
+    calls [k] with the result. Individual op errors are recorded and
+    replay continues (like the paper's trace player, which checks but
+    does not abort). *)
+val run :
+  Semper_kernel.System.t ->
+  Semper_m3fs.M3fs.t ->
+  vpe:Semper_kernel.Vpe.t ->
+  Trace.t ->
+  (result -> unit) ->
+  unit

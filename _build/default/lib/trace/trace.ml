@@ -1,0 +1,68 @@
+type op =
+  | Compute of int64
+  | Open of { path : string; write : bool; create : bool }
+  | Read of { slot : int; bytes : int }
+  | Write of { slot : int; bytes : int }
+  | Seek of { slot : int; pos : int64 }
+  | Close of { slot : int }
+  | Stat of string
+  | Stat_absent of string
+  | Mkdir of string
+  | Unlink of string
+  | List of string
+
+let op_name = function
+  | Compute _ -> "compute"
+  | Open _ -> "open"
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Seek _ -> "seek"
+  | Close _ -> "close"
+  | Stat _ -> "stat"
+  | Stat_absent _ -> "stat_absent"
+  | Mkdir _ -> "mkdir"
+  | Unlink _ -> "unlink"
+  | List _ -> "list"
+
+type t = { name : string; ops : op list; files : (string * int64) list }
+
+let io_ops t =
+  List.length (List.filter (function Compute _ -> false | _ -> true) t.ops)
+
+let compute_cycles t =
+  List.fold_left (fun acc op -> match op with Compute c -> Int64.add acc c | _ -> acc) 0L t.ops
+
+let scale_compute f t =
+  if f < 1.0 then invalid_arg "Trace.scale_compute: factor below 1";
+  let ops =
+    List.map
+      (fun op ->
+        match op with
+        | Compute c -> Compute (Int64.of_float (Int64.to_float c *. f))
+        | Open _ | Read _ | Write _ | Seek _ | Close _ | Stat _ | Stat_absent _ | Mkdir _
+        | Unlink _ | List _ ->
+          op)
+      t.ops
+  in
+  { t with ops }
+
+let with_prefix prefix t =
+  let p path = prefix ^ path in
+  let ops =
+    List.map
+      (fun op ->
+        match op with
+        | Open o -> Open { o with path = p o.path }
+        | Stat path -> Stat (p path)
+        | Stat_absent path -> Stat_absent (p path)
+        | Mkdir path -> Mkdir (p path)
+        | Unlink path -> Unlink (p path)
+        | List path -> List (p path)
+        | Compute _ | Read _ | Write _ | Seek _ | Close _ -> op)
+      t.ops
+  in
+  { t with ops; files = List.map (fun (path, size) -> (p path, size)) t.files }
+
+let pp ppf t =
+  Format.fprintf ppf "trace %s: %d ops (%d I/O, %Ld compute cycles)" t.name (List.length t.ops)
+    (io_ops t) (compute_cycles t)

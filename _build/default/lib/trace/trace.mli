@@ -1,0 +1,49 @@
+(** Syscall traces.
+
+    The paper traces applications on Linux and replays the traces on
+    SemperOS "while checking for correct execution", charging the time
+    of unsupported calls as waits (§5.3.1). We generate the traces
+    synthetically (see [Workloads]) with the same structure: filesystem
+    operations interleaved with compute periods. *)
+
+type op =
+  | Compute of int64  (** app-local computation, cycles *)
+  | Open of { path : string; write : bool; create : bool }
+      (** opens push descriptors onto a replay-time slot table *)
+  | Read of { slot : int; bytes : int }
+  | Write of { slot : int; bytes : int }
+  | Seek of { slot : int; pos : int64 }
+  | Close of { slot : int }
+  | Stat of string
+  | Stat_absent of string
+      (** stat expected to fail (e.g. find probing for a missing file) *)
+  | Mkdir of string
+  | Unlink of string
+  | List of string
+
+val op_name : op -> string
+
+type t = {
+  name : string;
+  ops : op list;
+  files : (string * int64) list;
+      (** files that must pre-exist in the filesystem image *)
+}
+
+(** Number of non-compute operations. *)
+val io_ops : t -> int
+
+(** Sum of [Compute] cycles. *)
+val compute_cycles : t -> int64
+
+(** [scale_compute f t] multiplies every [Compute] period by [f] —
+    the harness's memory-system contention model stretches app-local
+    work as more cores become active. *)
+val scale_compute : float -> t -> t
+
+(** Prefix every path in the trace (ops and files) — used to give each
+    benchmark instance a private namespace, as each parallel instance
+    in the paper replays its own trace against its own files. *)
+val with_prefix : string -> t -> t
+
+val pp : Format.formatter -> t -> unit

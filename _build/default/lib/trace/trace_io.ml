@@ -1,0 +1,112 @@
+let op_to_line = function
+  | Trace.Compute c -> Printf.sprintf "compute %Ld" c
+  | Trace.Open { path; write; create } ->
+    Printf.sprintf "open %s %s%s" path (if write then "w" else "r") (if create then "c" else "")
+  | Trace.Read { slot; bytes } -> Printf.sprintf "read %d %d" slot bytes
+  | Trace.Write { slot; bytes } -> Printf.sprintf "write %d %d" slot bytes
+  | Trace.Seek { slot; pos } -> Printf.sprintf "seek %d %Ld" slot pos
+  | Trace.Close { slot } -> Printf.sprintf "close %d" slot
+  | Trace.Stat path -> Printf.sprintf "stat %s" path
+  | Trace.Stat_absent path -> Printf.sprintf "stat! %s" path
+  | Trace.Mkdir path -> Printf.sprintf "mkdir %s" path
+  | Trace.Unlink path -> Printf.sprintf "unlink %s" path
+  | Trace.List path -> Printf.sprintf "list %s" path
+
+let to_string (t : Trace.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("trace " ^ t.Trace.name ^ "\n");
+  List.iter
+    (fun (path, size) -> Buffer.add_string buf (Printf.sprintf "file %s %Ld\n" path size))
+    t.Trace.files;
+  List.iter (fun op -> Buffer.add_string buf (op_to_line op ^ "\n")) t.Trace.ops;
+  Buffer.contents buf
+
+let split_words line =
+  String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+let parse_int64 lineno w =
+  match Int64.of_string_opt w with
+  | Some v when Int64.compare v 0L >= 0 -> Ok v
+  | Some _ | None -> Error (Printf.sprintf "line %d: expected a non-negative number, got %S" lineno w)
+
+let parse_int lineno w =
+  match int_of_string_opt w with
+  | Some v when v >= 0 -> Ok v
+  | Some _ | None -> Error (Printf.sprintf "line %d: expected a non-negative number, got %S" lineno w)
+
+let ( let* ) = Result.bind
+
+let parse_line lineno words =
+  match words with
+  | [ "compute"; c ] ->
+    let* c = parse_int64 lineno c in
+    Ok (`Op (Trace.Compute c))
+  | [ "open"; path; flags ] ->
+    let write = String.contains flags 'w' in
+    let create = String.contains flags 'c' in
+    if String.exists (fun c -> c <> 'r' && c <> 'w' && c <> 'c') flags then
+      Error (Printf.sprintf "line %d: bad open flags %S" lineno flags)
+    else Ok (`Op (Trace.Open { path; write; create }))
+  | [ "read"; slot; bytes ] ->
+    let* slot = parse_int lineno slot in
+    let* bytes = parse_int lineno bytes in
+    Ok (`Op (Trace.Read { slot; bytes }))
+  | [ "write"; slot; bytes ] ->
+    let* slot = parse_int lineno slot in
+    let* bytes = parse_int lineno bytes in
+    Ok (`Op (Trace.Write { slot; bytes }))
+  | [ "seek"; slot; pos ] ->
+    let* slot = parse_int lineno slot in
+    let* pos = parse_int64 lineno pos in
+    Ok (`Op (Trace.Seek { slot; pos }))
+  | [ "close"; slot ] ->
+    let* slot = parse_int lineno slot in
+    Ok (`Op (Trace.Close { slot }))
+  | [ "stat"; path ] -> Ok (`Op (Trace.Stat path))
+  | [ "stat!"; path ] -> Ok (`Op (Trace.Stat_absent path))
+  | [ "mkdir"; path ] -> Ok (`Op (Trace.Mkdir path))
+  | [ "unlink"; path ] -> Ok (`Op (Trace.Unlink path))
+  | [ "list"; path ] -> Ok (`Op (Trace.List path))
+  | [ "file"; path; size ] ->
+    let* size = parse_int64 lineno size in
+    Ok (`File (path, size))
+  | [ "trace"; name ] -> Ok (`Name name)
+  | w :: _ -> Error (Printf.sprintf "line %d: unknown directive %S" lineno w)
+  | [] -> Ok `Blank
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno name files ops = function
+    | [] -> (
+      match name with
+      | None -> Error "missing 'trace <name>' header"
+      | Some name -> Ok { Trace.name; ops = List.rev ops; files = List.rev files })
+    | line :: rest -> (
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      match parse_line lineno (split_words line) with
+      | Error e -> Error e
+      | Ok `Blank -> go (lineno + 1) name files ops rest
+      | Ok (`Name n) -> (
+        match name with
+        | None -> go (lineno + 1) (Some n) files ops rest
+        | Some _ -> Error (Printf.sprintf "line %d: duplicate trace header" lineno))
+      | Ok (`File f) -> go (lineno + 1) name (f :: files) ops rest
+      | Ok (`Op op) -> go (lineno + 1) name files (op :: ops) rest)
+  in
+  go 1 None [] [] lines
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string (In_channel.input_all ic))

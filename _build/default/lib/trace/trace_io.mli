@@ -1,0 +1,35 @@
+(** Trace serialisation.
+
+    The paper's methodology records application traces once and replays
+    them many times (§5.3.1). This module gives traces a stable,
+    line-oriented text format so recorded or generated traces can be
+    stored, inspected, edited, and replayed later.
+
+    Format: a header line, one directive per line, '#' comments.
+
+    {v
+    trace tar
+    file /src/f1 131072
+    compute 140000
+    open /src/f1 r
+    read 0 262144
+    write 1 262144
+    seek 0 4096
+    stat /src/f1
+    stat! /tree/needle
+    mkdir /mail
+    unlink /mail/msg0
+    list /tree
+    close 0
+    v} *)
+
+(** Serialise a trace to the text format. *)
+val to_string : Trace.t -> string
+
+(** Parse the text format. Errors name the offending line. *)
+val of_string : string -> (Trace.t, string) result
+
+(** Convenience file I/O. *)
+val save : string -> Trace.t -> unit
+
+val load : string -> (Trace.t, string) result

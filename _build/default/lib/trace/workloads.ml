@@ -1,0 +1,319 @@
+module M3fs = Semper_m3fs.M3fs
+
+let kib n = Int64.of_int (n * 1024)
+let mib n = Int64.of_int (n * 1024 * 1024)
+
+type spec = {
+  name : string;
+  fs_config : M3fs.config;
+  paper_cap_ops : int;
+  paper_cap_ops_per_s : int;
+  mem_sensitivity : float;
+  build : unit -> Trace.t;
+}
+
+let fs_config ~extent_size = { M3fs.default_config with M3fs.extent_size }
+
+(* ------------------------------------------------------------------ *)
+(* tar: pack five files (128..2048 KiB) into a 4 MiB archive. The
+   archive pre-exists (tar overwrites its previous output), so writes
+   reuse extents instead of allocating; reads and writes interleave in
+   256 KiB chunks with uniform compute between them — the "memory-bound
+   application exposing a regular read and write pattern". *)
+
+let tar_inputs =
+  [ ("/src/f1", kib 128); ("/src/f2", kib 256); ("/src/f3", kib 512); ("/src/f4", kib 1024);
+    ("/src/f5", kib 2048) ]
+
+let tar =
+  let build () =
+    let chunk = 256 * 1024 in
+    let pad = Trace.Compute 290_000L in
+    let ops = ref [] in
+    let emit op = ops := op :: !ops in
+    emit (Trace.Open { path = "/out/archive.tar"; write = true; create = false });
+    let archive_slot = 0 in
+    List.iteri
+      (fun i (path, size) ->
+        emit (Trace.Stat path);
+        emit (Trace.Open { path; write = false; create = false });
+        let slot = 1 + i in
+        let rec copy remaining =
+          if remaining > 0L then begin
+            let n = Int64.to_int (min remaining (Int64.of_int chunk)) in
+            emit (Trace.Read { slot; bytes = n });
+            emit pad;
+            emit (Trace.Write { slot = archive_slot; bytes = n });
+            copy (Int64.sub remaining (Int64.of_int n))
+          end
+        in
+        copy size;
+        emit (Trace.Close { slot }))
+      tar_inputs;
+    emit (Trace.Close { slot = archive_slot });
+    {
+      Trace.name = "tar";
+      ops = List.rev !ops;
+      files = ("/out/archive.tar", mib 4) :: tar_inputs;
+    }
+  in
+  {
+    name = "tar";
+    mem_sensitivity = 1.0;
+    fs_config = fs_config ~extent_size:(mib 1);
+    paper_cap_ops = 21;
+    paper_cap_ops_per_s = 7295;
+    build;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* untar: unpack the archive back into the five files (which also
+   pre-exist from the previous unpack). Larger ranges per capability:
+   reading the archive grants one capability for the whole file. *)
+
+let untar =
+  let build () =
+    let chunk = 256 * 1024 in
+    let pad = Trace.Compute 275_000L in
+    let ops = ref [] in
+    let emit op = ops := op :: !ops in
+    emit (Trace.Open { path = "/out/archive.tar"; write = false; create = false });
+    List.iteri
+      (fun i (path, size) ->
+        emit (Trace.Open { path; write = true; create = false });
+        let slot = 1 + i in
+        let rec copy remaining =
+          if remaining > 0L then begin
+            let n = Int64.to_int (min remaining (Int64.of_int chunk)) in
+            emit (Trace.Read { slot = 0; bytes = n });
+            emit pad;
+            emit (Trace.Write { slot; bytes = n });
+            copy (Int64.sub remaining (Int64.of_int n))
+          end
+        in
+        copy size;
+        emit (Trace.Close { slot }))
+      tar_inputs;
+    emit (Trace.Close { slot = 0 });
+    {
+      Trace.name = "untar";
+      ops = List.rev !ops;
+      files = ("/out/archive.tar", mib 4) :: tar_inputs;
+    }
+  in
+  {
+    name = "untar";
+    mem_sensitivity = 1.05;
+    fs_config = fs_config ~extent_size:(mib 4);
+    paper_cap_ops = 11;
+    paper_cap_ops_per_s = 4012;
+    build;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* find: scan a directory tree with 80 entries for a non-existent
+   file — almost pure metadata load on the service; the only
+   capability traffic is reading the tree's index file once. *)
+
+let find =
+  let dirs = 8 and files_per_dir = 9 in
+  let build () =
+    let pad = Trace.Compute 545_000L in
+    let ops = ref [] in
+    let emit op = ops := op :: !ops in
+    emit (Trace.Open { path = "/tree/.index"; write = false; create = false });
+    emit (Trace.Read { slot = 0; bytes = 16 * 1024 });
+    emit (Trace.List "/tree");
+    for d = 0 to dirs - 1 do
+      let dir = Printf.sprintf "/tree/d%d" d in
+      emit (Trace.List dir);
+      emit pad;
+      for f = 0 to files_per_dir - 1 do
+        emit (Trace.Stat (Printf.sprintf "%s/f%d" dir f))
+      done
+    done;
+    emit (Trace.Stat_absent "/tree/needle");
+    emit (Trace.Close { slot = 0 });
+    let files =
+      ("/tree/.index", kib 16)
+      :: List.concat
+           (List.init dirs (fun d ->
+                List.init files_per_dir (fun f -> (Printf.sprintf "/tree/d%d/f%d" d f, kib 4))))
+    in
+    { Trace.name = "find"; ops = List.rev !ops; files }
+  in
+  {
+    name = "find";
+    mem_sensitivity = 1.2;
+    fs_config = fs_config ~extent_size:(kib 256);
+    paper_cap_ops = 3;
+    paper_cap_ops_per_s = 1310;
+    build;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* SQLite: compute-intensive with bursts of capability operations when
+   opening and closing the database and its journal. Seven rollback-
+   journal transactions (schema + batched inserts + commit phases). *)
+
+let sqlite =
+  let transactions = 7 in
+  let build () =
+    let burst_gap = Trace.Compute 1_080_000L in
+    let ops = ref [] in
+    let emit op = ops := op :: !ops in
+    emit (Trace.Open { path = "/db/main.db"; write = true; create = false });
+    emit (Trace.Read { slot = 0; bytes = 4096 });  (* header page *)
+    let slot = ref 1 in
+    for _txn = 1 to transactions do
+      emit burst_gap;
+      emit (Trace.Open { path = "/db/main.db-journal"; write = true; create = true });
+      let j = !slot in
+      incr slot;
+      emit (Trace.Write { slot = j; bytes = 32 * 1024 });
+      emit (Trace.Seek { slot = 0; pos = 0L });
+      emit (Trace.Write { slot = 0; bytes = 16 * 1024 });
+      emit (Trace.Close { slot = j });
+      emit (Trace.Unlink "/db/main.db-journal")
+    done;
+    emit (Trace.Compute 300_000L);
+    emit (Trace.Seek { slot = 0; pos = 0L });
+    emit (Trace.Read { slot = 0; bytes = 64 * 1024 });  (* select scan *)
+    emit (Trace.Close { slot = 0 });
+    { Trace.name = "sqlite"; ops = List.rev !ops; files = [ ("/db/main.db", kib 512) ] }
+  in
+  {
+    name = "sqlite";
+    mem_sensitivity = 1.45;
+    (* SQLite's journal open/commit/unlink cycle is expensive at the
+       filesystem: it is the most service-dependent workload in the
+       paper (Figure 7b). *)
+    fs_config =
+      {
+        (fs_config ~extent_size:(mib 1)) with
+        M3fs.cost_open = 7_500L;
+        cost_dir = 7_500L;
+        cost_close = 5_000L;
+        cost_grant = 4_500L;
+      };
+    paper_cap_ops = 24;
+    paper_cap_ops_per_s = 5987;
+    build;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LevelDB: the same logical workload as SQLite but with higher-
+   frequency data-file access — log appends plus repeated SST reads. *)
+
+let leveldb =
+  let sst_files = 5 and sst_reads = 7 in
+  let build () =
+    let pad = Trace.Compute 630_000L in
+    let ops = ref [] in
+    let emit op = ops := op :: !ops in
+    emit (Trace.Open { path = "/ldb/CURRENT"; write = false; create = false });
+    emit (Trace.Read { slot = 0; bytes = 4096 });
+    emit (Trace.Close { slot = 0 });
+    emit (Trace.Open { path = "/ldb/MANIFEST"; write = false; create = false });
+    emit (Trace.Read { slot = 1; bytes = 64 * 1024 });
+    emit (Trace.Close { slot = 1 });
+    emit (Trace.Open { path = "/ldb/000042.log"; write = true; create = true });
+    let log = 2 in
+    for _insert = 1 to 8 do
+      emit (Trace.Write { slot = log; bytes = 16 * 1024 });
+      emit (Trace.Compute 45_000L)
+    done;
+    let slot = ref 3 in
+    for r = 0 to sst_reads - 1 do
+      let sst = Printf.sprintf "/ldb/%06d.sst" (r mod sst_files) in
+      emit (Trace.Open { path = sst; write = false; create = false });
+      emit (Trace.Read { slot = !slot; bytes = 128 * 1024 });
+      emit (Trace.Close { slot = !slot });
+      incr slot;
+      emit pad
+    done;
+    emit (Trace.Close { slot = log });
+    let files =
+      ("/ldb/CURRENT", kib 4) :: ("/ldb/MANIFEST", kib 64)
+      :: List.init sst_files (fun i -> (Printf.sprintf "/ldb/%06d.sst" i, kib 256))
+    in
+    { Trace.name = "leveldb"; ops = List.rev !ops; files }
+  in
+  {
+    name = "leveldb";
+    mem_sensitivity = 1.1;
+    fs_config = fs_config ~extent_size:(kib 256);
+    paper_cap_ops = 22;
+    paper_cap_ops_per_s = 8749;
+    build;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* PostMark: a heavily loaded mail server — many small-file create /
+   write / read / delete cycles and very little computation, producing
+   the highest capability-operation rate of all workloads. *)
+
+let postmark =
+  let creates = 10 and reads = 3 in
+  let build () =
+    let pad = Trace.Compute 348_000L in
+    let ops = ref [] in
+    let emit op = ops := op :: !ops in
+    emit (Trace.Mkdir "/mail");
+    let slot = ref 0 in
+    for i = 0 to creates - 1 do
+      let path = Printf.sprintf "/mail/msg%d" i in
+      emit (Trace.Open { path; write = true; create = true });
+      emit (Trace.Write { slot = !slot; bytes = 8 * 1024 });
+      emit (Trace.Close { slot = !slot });
+      incr slot;
+      emit pad
+    done;
+    for i = 0 to reads - 1 do
+      let path = Printf.sprintf "/mail/msg%d" (i * 3) in
+      emit (Trace.Open { path; write = false; create = false });
+      emit (Trace.Read { slot = !slot; bytes = 8 * 1024 });
+      emit (Trace.Close { slot = !slot });
+      incr slot
+    done;
+    (* One mailbox append to an existing message. *)
+    emit (Trace.Open { path = "/mail/msg1"; write = true; create = false });
+    emit (Trace.Write { slot = !slot; bytes = 4 * 1024 });
+    emit (Trace.Close { slot = !slot });
+    incr slot;
+    for i = 0 to creates - 1 do
+      emit (Trace.Unlink (Printf.sprintf "/mail/msg%d" i))
+    done;
+    { Trace.name = "postmark"; ops = List.rev !ops; files = [] }
+  in
+  {
+    name = "postmark";
+    mem_sensitivity = 1.0;
+    fs_config = fs_config ~extent_size:(kib 256);
+    paper_cap_ops = 38;
+    paper_cap_ops_per_s = 21166;
+    build;
+  }
+
+let all = [ tar; untar; find; sqlite; leveldb; postmark ]
+
+let by_name name = List.find_opt (fun s -> s.name = name) all
+
+(* ------------------------------------------------------------------ *)
+(* Nginx: per-request static-file serving.                              *)
+
+let nginx_fs_config = fs_config ~extent_size:(kib 256)
+
+let nginx_request =
+  {
+    Trace.name = "nginx-request";
+    ops =
+      [
+        Trace.Stat "/www/index.html";
+        Trace.Open { path = "/www/index.html"; write = false; create = false };
+        Trace.Read { slot = 0; bytes = 8 * 1024 };
+        Trace.Compute 150_000L;
+        Trace.Close { slot = 0 };
+      ];
+    files = [ ("/www/index.html", kib 8) ];
+  }

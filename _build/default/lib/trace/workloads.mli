@@ -1,0 +1,59 @@
+(** Synthetic workload generators for the paper's seven applications
+    (§5.3.1, Table 4).
+
+    We do not have the authors' Linux syscall traces, so each generator
+    reproduces the *pattern* the paper describes for its application —
+    which files are touched, how capability operations cluster, how much
+    compute separates them — parameterised so the per-instance
+    capability-operation counts land close to Table 4 and the
+    single-instance runtime close to the paper's implied duration
+    (cap ops ÷ cap ops/s at 2 GHz). EXPERIMENTS.md records the match. *)
+
+type spec = {
+  name : string;
+  fs_config : Semper_m3fs.M3fs.config;
+      (** per-workload filesystem configuration (extent size controls
+          how much data one handed-out capability covers) *)
+  paper_cap_ops : int;       (** Table 4, single instance *)
+  paper_cap_ops_per_s : int; (** Table 4, single instance *)
+  mem_sensitivity : float;
+      (** how strongly this workload feels memory-system contention
+          relative to the average (1.0); compute/memory-heavy apps like
+          SQLite degrade more as cores become active *)
+  build : unit -> Trace.t;
+}
+
+(** tar: packs a 4 MiB archive from five files of 128–2048 KiB;
+    memory-bound, regular read/write pattern. *)
+val tar : spec
+
+(** untar: unpacks the archive into the five files. *)
+val untar : spec
+
+(** find: scans a directory tree with 80 entries for a non-existent
+    file; stresses the service with stat calls, few capability ops. *)
+val find : spec
+
+(** SQLite: creates a table, inserts 8 entries, selects them; bursts of
+    capability operations around journal transactions. *)
+val sqlite : spec
+
+(** LevelDB: same logical workload, but with higher-frequency data-file
+    access (log appends, SST reads). *)
+val leveldb : spec
+
+(** PostMark: heavily loaded mail server; many small-file create /
+    write / read / delete cycles, little computation. *)
+val postmark : spec
+
+(** All six application specs in Table 4 order. *)
+val all : spec list
+
+val by_name : string -> spec option
+
+(** Nginx webserver: per-request trace (stat + open + read + close of a
+    static file) and the files one server process needs. The request
+    trace is replayed once per incoming request (§5.3.3). *)
+val nginx_request : Trace.t
+
+val nginx_fs_config : Semper_m3fs.M3fs.config

@@ -1,0 +1,73 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+  dummy : 'a;
+  compare : 'a -> 'a -> int;
+}
+
+let create ~dummy ~compare = { data = Array.make 16 dummy; size = 0; dummy; compare }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let grow h =
+  let data = Array.make (2 * Array.length h.data) h.dummy in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let push h x =
+  if h.size = Array.length h.data then grow h;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  (* Sift the new element up to its place. *)
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if h.compare h.data.(i) h.data.(parent) < 0 then begin
+        let tmp = h.data.(i) in
+        h.data.(i) <- h.data.(parent);
+        h.data.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (h.size - 1)
+
+let pop h =
+  if h.size = 0 then invalid_arg "Heap.pop: empty heap";
+  let root = h.data.(0) in
+  h.size <- h.size - 1;
+  h.data.(0) <- h.data.(h.size);
+  h.data.(h.size) <- h.dummy;
+  (* Sift the moved element down to its place. *)
+  let rec down i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = if l < h.size && h.compare h.data.(l) h.data.(i) < 0 then l else i in
+    let smallest =
+      if r < h.size && h.compare h.data.(r) h.data.(smallest) < 0 then r else smallest
+    in
+    if smallest <> i then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(smallest);
+      h.data.(smallest) <- tmp;
+      down smallest
+    end
+  in
+  down 0;
+  root
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let clear h =
+  for i = 0 to h.size - 1 do
+    h.data.(i) <- h.dummy
+  done;
+  h.size <- 0
+
+let fold f acc h =
+  let acc = ref acc in
+  for i = 0 to h.size - 1 do
+    acc := f !acc h.data.(i)
+  done;
+  !acc

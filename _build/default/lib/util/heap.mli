@@ -1,0 +1,33 @@
+(** Imperative binary min-heap.
+
+    Used as the event queue of the discrete-event engine, where it must
+    sustain millions of push/pop operations; hence a flat-array
+    implementation rather than a functional one. *)
+
+type 'a t
+
+(** [create ~dummy ~compare] is an empty heap ordered by [compare].
+    [dummy] is used to fill unused array slots and is never returned. *)
+val create : dummy:'a -> compare:('a -> 'a -> int) -> 'a t
+
+(** Number of elements currently in the heap. *)
+val length : 'a t -> int
+
+(** [is_empty h] is [length h = 0]. *)
+val is_empty : 'a t -> bool
+
+(** Insert an element. Amortised O(log n). *)
+val push : 'a t -> 'a -> unit
+
+(** Remove and return the minimum element. Raises [Invalid_argument]
+    on an empty heap. *)
+val pop : 'a t -> 'a
+
+(** Return the minimum element without removing it, or [None]. *)
+val peek : 'a t -> 'a option
+
+(** Remove all elements. *)
+val clear : 'a t -> unit
+
+(** Fold over the elements in unspecified order. *)
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc

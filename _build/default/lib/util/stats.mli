@@ -1,0 +1,41 @@
+(** Streaming and batch statistics used by the experiment harness. *)
+
+(** Online accumulator (Welford) for mean/variance plus min/max. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  (** Sample standard deviation; 0 for fewer than two samples. *)
+  val stddev : t -> float
+
+  val min : t -> float
+  val max : t -> float
+  val sum : t -> float
+end
+
+(** [mean xs] of a list; 0 for the empty list. *)
+val mean : float list -> float
+
+(** [percentile p xs] with [p] in [0,100], by linear interpolation on
+    the sorted sample. Raises [Invalid_argument] on the empty list. *)
+val percentile : float -> float list -> float
+
+(** Fixed-bucket histogram. *)
+module Histogram : sig
+  type t
+
+  (** [create ~buckets] with upper bucket bounds in increasing order;
+      an implicit overflow bucket is added at the end. *)
+  val create : buckets:float array -> t
+
+  val add : t -> float -> unit
+
+  (** Counts per bucket, including the final overflow bucket. *)
+  val counts : t -> int array
+
+  val total : t -> int
+end

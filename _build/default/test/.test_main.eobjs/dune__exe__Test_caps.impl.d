@@ -1,0 +1,1 @@
+test/test_caps.ml: Alcotest Cap Capspace Int Key List Mapdb Perms QCheck QCheck_alcotest Semperos

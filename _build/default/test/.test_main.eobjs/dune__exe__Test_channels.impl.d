@@ -1,0 +1,1 @@
+test/test_channels.ml: Alcotest Audit Dtu Kernel Message Perms Protocol Queue Semperos System Vpe

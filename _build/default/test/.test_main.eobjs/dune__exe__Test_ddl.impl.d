@@ -1,0 +1,1 @@
+test/test_ddl.ml: Alcotest Key List Membership QCheck QCheck_alcotest Semperos

@@ -1,0 +1,1 @@
+test/test_dtu.ml: Alcotest Dtu Engine Fabric List Message Semperos Topology

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Cost Experiment Int64 List Nginx_bench Semperos Workloads

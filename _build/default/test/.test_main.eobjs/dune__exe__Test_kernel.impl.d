@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Audit Cap Capspace Cost Dtu Gen Int64 Kernel List Mapdb Option Perms Protocol QCheck QCheck_alcotest Rng Semperos String System Thread_pool Vpe

@@ -1,0 +1,1 @@
+test/test_kernel_races.ml: Alcotest Audit Cap Capspace Experiment Int64 Kernel List Mapdb Option Perms Printf Protocol Semperos System Vpe Workloads

@@ -1,0 +1,1 @@
+test/test_m3fs.ml: Alcotest Fs_client Fs_image Kernel List M3fs Mapdb Option Result Semperos System

@@ -1,0 +1,1 @@
+test/test_migration.ml: Alcotest Audit Capspace Kernel Mapdb Membership Option Perms Protocol Semperos System Vpe

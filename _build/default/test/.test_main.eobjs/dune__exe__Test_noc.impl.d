@@ -1,0 +1,1 @@
+test/test_noc.ml: Alcotest Engine Fabric Int64 List QCheck QCheck_alcotest Rng Semperos Topology

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Audit Engine Fabric Int64 Kernel List M3fs Mapdb Perms Protocol QCheck QCheck_alcotest Replay Rng Semperos System Topology Trace Vpe Workloads

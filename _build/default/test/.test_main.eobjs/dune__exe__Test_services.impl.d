@@ -1,0 +1,1 @@
+test/test_services.ml: Alcotest Cowfs Kernel Option Pipe Result Semperos String System

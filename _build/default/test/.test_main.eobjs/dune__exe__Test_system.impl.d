@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Capspace Dtu Fs_client Hashtbl Kernel List M3fs Mapdb Membership Option Perms Protocol Result Semperos Stats System Vpe

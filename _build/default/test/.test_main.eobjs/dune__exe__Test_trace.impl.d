@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Experiment Kernel List M3fs Option Replay Semperos System Trace Workloads

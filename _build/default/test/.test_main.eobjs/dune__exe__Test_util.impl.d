@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen Heap Int List QCheck QCheck_alcotest Rng Semperos Stats Str_contains String Table

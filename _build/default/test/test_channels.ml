@@ -1,0 +1,143 @@
+(* End-to-end DTU channel tests: the Figure 3 scenario. Two VPEs
+   establish a communication channel through the kernel (gate creation,
+   delegation, endpoint activation) and then exchange messages with no
+   kernel involvement; revoking the gate cuts the channel off in
+   hardware (NoC-level isolation). *)
+
+open Semperos
+
+let check = Alcotest.check
+
+let sel_of = function
+  | Protocol.R_sel s -> s
+  | r -> Alcotest.failf "expected selector, got %a" Protocol.pp_reply r
+
+let expect_ok = function
+  | Protocol.R_ok -> ()
+  | r -> Alcotest.failf "expected ok, got %a" Protocol.pp_reply r
+
+(* Build the channel of Figure 3, sequence B: receiver in group 0,
+   sender in group 1. Returns (sys, sender, receiver, sender's sgate
+   selector). *)
+let establish_channel () =
+  let sys = System.create (System.config ~kernels:2 ~user_pes_per_kernel:4 ()) in
+  let receiver = System.spawn_vpe sys ~kernel:0 in
+  let sender = System.spawn_vpe sys ~kernel:1 in
+  (* B.1-B.2: the receiver sets up its receive gate and activates an
+     endpoint for it. *)
+  let rgate =
+    sel_of (System.syscall_sync sys receiver (Protocol.Sys_create_rgate { ep = 2; slots = 8 }))
+  in
+  expect_ok (System.syscall_sync sys receiver (Protocol.Sys_activate { sel = rgate; ep = 2 }));
+  (* B.3-B.5: a send gate derived from it travels to the sender's group. *)
+  let sgate =
+    sel_of
+      (System.syscall_sync sys receiver (Protocol.Sys_create_sgate { rgate; label = 42 }))
+  in
+  expect_ok
+    (System.syscall_sync sys receiver
+       (Protocol.Sys_delegate_to { recv_vpe = sender.Vpe.id; sel = sgate }));
+  let sender_sgate = 0 in
+  (* B.6: the sender activates its send endpoint. *)
+  expect_ok (System.syscall_sync sys sender (Protocol.Sys_activate { sel = sender_sgate; ep = 3 }));
+  (sys, sender, receiver, sender_sgate)
+
+let send_one sys (sender : Vpe.t) payload =
+  let dtu = Dtu.find (System.grid sys) ~pe:sender.Vpe.pe in
+  let r = Dtu.send dtu ~ep:3 ~bytes:64 ~payload:(Message.Raw payload) in
+  ignore (System.run sys);
+  r
+
+let test_channel_end_to_end () =
+  let sys, sender, receiver, _ = establish_channel () in
+  let k0_syscalls_before = (Kernel.stats (System.kernel sys 0)).Kernel.syscalls in
+  (match send_one sys sender "hello" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send failed: %s" (Dtu.error_to_string e));
+  (* The message arrived at the receiver's inbox... *)
+  check Alcotest.int "one message" 1 (Queue.length receiver.Vpe.inbox);
+  (match Queue.peek_opt receiver.Vpe.inbox with
+  | Some m -> (
+    match m.Message.payload with
+    | Message.Raw s -> check Alcotest.string "payload" "hello" s
+    | _ -> Alcotest.fail "wrong payload")
+  | None -> Alcotest.fail "no message");
+  (* ... and the kernels were not involved ("the communication via the
+     created channel does not involve the kernel anymore"). *)
+  check Alcotest.int "no kernel involvement" k0_syscalls_before
+    (Kernel.stats (System.kernel sys 0)).Kernel.syscalls
+
+let test_channel_credits_flow () =
+  let sys, sender, receiver, _ = establish_channel () in
+  (* Send until credits are gone; ack to restore. *)
+  let sent = ref 0 in
+  let rec blast () =
+    match send_one sys sender (string_of_int !sent) with
+    | Ok () ->
+      incr sent;
+      blast ()
+    | Error Dtu.No_credits -> ()
+    | Error e -> Alcotest.failf "send: %s" (Dtu.error_to_string e)
+  in
+  blast ();
+  check Alcotest.bool "several messages before credit exhaustion" true (!sent >= 8);
+  check Alcotest.int "all delivered" !sent (Queue.length receiver.Vpe.inbox);
+  (* Acknowledge one and the channel accepts again. *)
+  Dtu.ack (System.grid sys) (Queue.pop receiver.Vpe.inbox);
+  (match send_one sys sender "more" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send after ack: %s" (Dtu.error_to_string e))
+
+let test_revoke_cuts_channel () =
+  let sys, sender, receiver, _sender_sgate = establish_channel () in
+  (match send_one sys sender "before" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" (Dtu.error_to_string e));
+  (* The receiver revokes the send-gate tree (its sgate and the
+     sender's delegated copy). The kernel must invalidate the sender's
+     activated endpoint: NoC-level isolation. *)
+  let rgate_sel = 0 in
+  expect_ok
+    (System.syscall_sync sys receiver (Protocol.Sys_revoke { sel = rgate_sel; own = false }));
+  (match send_one sys sender "after" with
+  | Ok () -> Alcotest.fail "send succeeded through a revoked gate"
+  | Error Dtu.Wrong_kind -> () (* endpoint invalidated *)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Dtu.error_to_string e));
+  check Alcotest.int "only the first message arrived" 1 (Queue.length receiver.Vpe.inbox);
+  Audit.check sys
+
+let test_memory_endpoint_revoked () =
+  (* The same enforcement for memory capabilities: after revoke, the
+     activated memory endpoint stops working. *)
+  let sys = System.create (System.config ~kernels:2 ~user_pes_per_kernel:4 ()) in
+  let owner = System.spawn_vpe sys ~kernel:0 in
+  let borrower = System.spawn_vpe sys ~kernel:1 in
+  let mem =
+    sel_of (System.syscall_sync sys owner (Protocol.Sys_alloc_mem { size = 8192L; perms = Perms.rw }))
+  in
+  let b_sel =
+    sel_of
+      (System.syscall_sync sys borrower
+         (Protocol.Sys_obtain_from { donor_vpe = owner.Vpe.id; donor_sel = mem }))
+  in
+  expect_ok (System.syscall_sync sys borrower (Protocol.Sys_activate { sel = b_sel; ep = 5 }));
+  let dtu = Dtu.find (System.grid sys) ~pe:borrower.Vpe.pe in
+  let read_ok = ref false in
+  (match Dtu.read dtu ~ep:5 ~offset:0L ~bytes:256 (fun () -> read_ok := true) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "read: %s" (Dtu.error_to_string e));
+  ignore (System.run sys);
+  check Alcotest.bool "read before revoke" true !read_ok;
+  expect_ok (System.syscall_sync sys owner (Protocol.Sys_revoke { sel = mem; own = true }));
+  (match Dtu.read dtu ~ep:5 ~offset:0L ~bytes:256 (fun () -> ()) with
+  | Ok () -> Alcotest.fail "read succeeded through a revoked memory capability"
+  | Error Dtu.Wrong_kind -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Dtu.error_to_string e))
+
+let suite =
+  [
+    Alcotest.test_case "channel end to end (Figure 3)" `Quick test_channel_end_to_end;
+    Alcotest.test_case "channel credit flow" `Quick test_channel_credits_flow;
+    Alcotest.test_case "revoke cuts the channel" `Quick test_revoke_cuts_channel;
+    Alcotest.test_case "revoke cuts memory endpoints" `Quick test_memory_endpoint_revoked;
+  ]

@@ -1,0 +1,156 @@
+(* Tests for the DTU model: endpoints, privilege, credits, slots,
+   drops, memory access. *)
+
+open Semperos
+
+let check = Alcotest.check
+
+let error_t = Alcotest.testable Dtu.pp_error ( = )
+
+let make_grid () =
+  let e = Engine.create () in
+  let f = Fabric.create e (Topology.mesh ~width:4 ~height:4) Fabric.default_config in
+  (e, Dtu.create_grid f)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected DTU error: %s" (Dtu.error_to_string e)
+
+let test_create_and_find () =
+  let _, g = make_grid () in
+  let d = Dtu.create g ~pe:3 in
+  check Alcotest.int "pe" 3 (Dtu.pe d);
+  check Alcotest.int "endpoints" Dtu.default_endpoints (Dtu.endpoint_count d);
+  check Alcotest.bool "starts privileged" true (Dtu.is_privileged d);
+  check Alcotest.bool "find" true (Dtu.find g ~pe:3 == d);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Dtu.create: PE already has a DTU")
+    (fun () -> ignore (Dtu.create g ~pe:3));
+  Alcotest.check_raises "outside topology" (Invalid_argument "Dtu.create: PE outside topology")
+    (fun () -> ignore (Dtu.create g ~pe:99));
+  Alcotest.check_raises "not found" Not_found (fun () -> ignore (Dtu.find g ~pe:7))
+
+let test_privilege_enforcement () =
+  let _, g = make_grid () in
+  let d = Dtu.create g ~pe:0 in
+  Dtu.deprivilege d;
+  check error_t "send config refused" Dtu.Not_privileged
+    (match Dtu.configure_send d ~ep:0 ~dst_pe:1 ~dst_ep:0 ~credits:4 with
+    | Error e -> e
+    | Ok () -> Alcotest.fail "config should be refused");
+  (* The kernel path still works. *)
+  let kernel = Dtu.create g ~pe:1 in
+  ok (Dtu.configure_remote ~by:kernel d ~ep:0 (`Send (1, 0, 4)));
+  (* But not from another deprivileged DTU. *)
+  let rogue = Dtu.create g ~pe:2 in
+  Dtu.deprivilege rogue;
+  check error_t "rogue remote config refused" Dtu.Not_privileged
+    (match Dtu.configure_remote ~by:rogue d ~ep:1 `Invalidate with
+    | Error e -> e
+    | Ok () -> Alcotest.fail "rogue config should be refused")
+
+let setup_channel () =
+  let e, g = make_grid () in
+  let sender = Dtu.create g ~pe:0 in
+  let receiver = Dtu.create g ~pe:5 in
+  let inbox = ref [] in
+  ok (Dtu.configure_receive receiver ~ep:2 ~slots:2 ~handler:(fun m -> inbox := m :: !inbox));
+  ok (Dtu.configure_send sender ~ep:1 ~dst_pe:5 ~dst_ep:2 ~credits:2);
+  (e, g, sender, receiver, inbox)
+
+let test_send_receive () =
+  let e, g, sender, _, inbox = setup_channel () in
+  ok (Dtu.send sender ~ep:1 ~bytes:64 ~payload:(Message.Raw "hello"));
+  ignore (Engine.run e);
+  (match !inbox with
+  | [ m ] ->
+    check Alcotest.int "src pe" 0 m.Message.src_pe;
+    check Alcotest.int "dst ep" 2 m.Message.dst_ep;
+    (match m.Message.payload with
+    | Message.Raw s -> check Alcotest.string "payload" "hello" s
+    | _ -> Alcotest.fail "wrong payload")
+  | l -> Alcotest.failf "expected 1 message, got %d" (List.length l));
+  (* Slot still occupied until acked; credit consumed. *)
+  check Alcotest.(result int error_t) "credit used" (Ok 1) (Dtu.credits sender ~ep:1);
+  Dtu.ack g (List.hd !inbox);
+  check Alcotest.(result int error_t) "credit returned" (Ok 2) (Dtu.credits sender ~ep:1)
+
+let test_credit_exhaustion () =
+  let e, g, sender, receiver, inbox = setup_channel () in
+  ok (Dtu.send sender ~ep:1 ~bytes:8 ~payload:(Message.Raw "1"));
+  ok (Dtu.send sender ~ep:1 ~bytes:8 ~payload:(Message.Raw "2"));
+  check error_t "out of credits" Dtu.No_credits
+    (match Dtu.send sender ~ep:1 ~bytes:8 ~payload:(Message.Raw "3") with
+    | Error e -> e
+    | Ok () -> Alcotest.fail "should be out of credits");
+  ignore (Engine.run e);
+  check Alcotest.int "both delivered" 2 (List.length !inbox);
+  check Alcotest.(result int error_t) "no free slots" (Ok 0) (Dtu.free_slots receiver ~ep:2);
+  List.iter (Dtu.ack g) !inbox;
+  check Alcotest.(result int error_t) "slots freed" (Ok 2) (Dtu.free_slots receiver ~ep:2)
+
+let test_drop_on_full_receive () =
+  let e, g, sender, receiver, inbox = setup_channel () in
+  (* Refill sender generously so the receive endpoint is the limit. *)
+  ok (Dtu.configure_send sender ~ep:1 ~dst_pe:5 ~dst_ep:2 ~credits:8);
+  for i = 1 to 4 do
+    ok (Dtu.send sender ~ep:1 ~bytes:8 ~payload:(Message.Raw (string_of_int i)))
+  done;
+  ignore (Engine.run e);
+  check Alcotest.int "two fit in slots" 2 (List.length !inbox);
+  check Alcotest.int "two dropped" 2 (Dtu.drops receiver);
+  (* Dropped messages still return their credits. *)
+  check Alcotest.(result int error_t) "credits for dropped returned" (Ok 6) (Dtu.credits sender ~ep:1);
+  List.iter (Dtu.ack g) !inbox;
+  check Alcotest.(result int error_t) "all credits back" (Ok 8) (Dtu.credits sender ~ep:1)
+
+let test_wrong_kind_and_bounds () =
+  let _, g = make_grid () in
+  let d = Dtu.create g ~pe:0 in
+  check error_t "send on free ep" Dtu.Wrong_kind
+    (match Dtu.send d ~ep:0 ~bytes:8 ~payload:(Message.Raw "x") with
+    | Error e -> e
+    | Ok () -> Alcotest.fail "should fail");
+  check error_t "invalid ep" Dtu.Invalid_endpoint
+    (match Dtu.send d ~ep:99 ~bytes:8 ~payload:(Message.Raw "x") with
+    | Error e -> e
+    | Ok () -> Alcotest.fail "should fail")
+
+let test_memory_endpoint () =
+  let e, g = make_grid () in
+  let d = Dtu.create g ~pe:0 in
+  let _mem_host = Dtu.create g ~pe:15 in
+  ok (Dtu.configure_memory d ~ep:3 ~host_pe:15 ~base:0L ~size:4096L ~writable:false);
+  let read_done = ref false in
+  ok (Dtu.read d ~ep:3 ~offset:1024L ~bytes:512 (fun () -> read_done := true));
+  ignore (Engine.run e);
+  check Alcotest.bool "read completes" true !read_done;
+  check error_t "out of bounds" Dtu.Out_of_bounds
+    (match Dtu.read d ~ep:3 ~offset:4000L ~bytes:512 (fun () -> ()) with
+    | Error e -> e
+    | Ok () -> Alcotest.fail "should fail");
+  check error_t "write denied" Dtu.No_permission
+    (match Dtu.write d ~ep:3 ~offset:0L ~bytes:8 (fun () -> ()) with
+    | Error e -> e
+    | Ok () -> Alcotest.fail "should fail")
+
+let test_invalidate () =
+  let _, g = make_grid () in
+  let d = Dtu.create g ~pe:0 in
+  ok (Dtu.configure_send d ~ep:1 ~dst_pe:1 ~dst_ep:0 ~credits:1);
+  ok (Dtu.invalidate d ~ep:1);
+  check error_t "invalidated" Dtu.Wrong_kind
+    (match Dtu.send d ~ep:1 ~bytes:8 ~payload:(Message.Raw "x") with
+    | Error e -> e
+    | Ok () -> Alcotest.fail "should fail")
+
+let suite =
+  [
+    Alcotest.test_case "create and find" `Quick test_create_and_find;
+    Alcotest.test_case "privilege enforcement" `Quick test_privilege_enforcement;
+    Alcotest.test_case "send and receive" `Quick test_send_receive;
+    Alcotest.test_case "credit exhaustion" `Quick test_credit_exhaustion;
+    Alcotest.test_case "drop on full receive endpoint" `Quick test_drop_on_full_receive;
+    Alcotest.test_case "wrong kind and bounds" `Quick test_wrong_kind_and_bounds;
+    Alcotest.test_case "memory endpoint" `Quick test_memory_endpoint;
+    Alcotest.test_case "invalidate" `Quick test_invalidate;
+  ]

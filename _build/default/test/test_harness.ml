@@ -1,0 +1,119 @@
+(* Tests for the experiment harness: placement, efficiency metrics, and
+   coarse reproductions of the paper's headline trends. *)
+
+open Semperos
+
+let check = Alcotest.check
+
+let test_placement_local_preference () =
+  (* With one service per group, every instance uses its own group's
+     service. *)
+  for i = 0 to 15 do
+    check Alcotest.int "local service" (i mod 4)
+      (Experiment.service_of_instance ~kernels:4 ~services:4 ~instance:i)
+  done;
+  (* With fewer services than groups, serviceless groups round-robin. *)
+  let s = Experiment.service_of_instance ~kernels:4 ~services:2 ~instance:2 in
+  check Alcotest.bool "fallback service exists" true (s >= 0 && s < 2);
+  (* With more services than groups, each group's services share its
+     clients. *)
+  let a = Experiment.service_of_instance ~kernels:2 ~services:4 ~instance:0 in
+  let b = Experiment.service_of_instance ~kernels:2 ~services:4 ~instance:2 in
+  check Alcotest.bool "spread over group-local services" true (a <> b);
+  check Alcotest.int "still group 0's services" 0 (a mod 2);
+  check Alcotest.int "still group 0's services" 0 (b mod 2)
+
+let test_config_validation () =
+  Alcotest.check_raises "zero instances"
+    (Invalid_argument "Experiment.config: non-positive size") (fun () ->
+      ignore (Experiment.config ~kernels:1 ~services:1 ~instances:0 Workloads.tar))
+
+let test_outcome_sanity () =
+  let o = Experiment.run (Experiment.config ~kernels:2 ~services:2 ~instances:8 Workloads.find) in
+  check Alcotest.int "runtimes per instance" 8 (List.length o.Experiment.runtimes);
+  check Alcotest.bool "makespan covers mean" true
+    (Int64.to_float o.Experiment.max_runtime >= o.Experiment.mean_runtime);
+  check Alcotest.int "total PEs" 12 o.Experiment.total_pes;
+  check Alcotest.bool "cap ops counted" true (o.Experiment.cap_ops > 0);
+  check Alcotest.(list string) "no replay errors" [] o.Experiment.replay_errors
+
+let test_parallel_efficiency_degrades () =
+  let spec = Workloads.postmark in
+  let single = Experiment.run (Experiment.config ~kernels:4 ~services:4 ~instances:1 spec) in
+  let small = Experiment.run (Experiment.config ~kernels:4 ~services:4 ~instances:8 spec) in
+  let large = Experiment.run (Experiment.config ~kernels:4 ~services:4 ~instances:64 spec) in
+  let e_small = Experiment.parallel_efficiency ~single ~parallel:small in
+  let e_large = Experiment.parallel_efficiency ~single ~parallel:large in
+  check Alcotest.bool "efficiency below 1" true (e_small <= 1.01);
+  check Alcotest.bool "more instances, lower efficiency" true (e_large < e_small)
+
+let test_more_kernels_help () =
+  let spec = Workloads.postmark in
+  let eff kernels =
+    let single = Experiment.run (Experiment.config ~kernels ~services:16 ~instances:1 spec) in
+    let p = Experiment.run (Experiment.config ~kernels ~services:16 ~instances:128 spec) in
+    Experiment.parallel_efficiency ~single ~parallel:p
+  in
+  check Alcotest.bool "16 kernels beat 2" true (eff 16 > eff 2)
+
+let test_more_services_help_sqlite () =
+  let spec = Workloads.sqlite in
+  let eff services =
+    let single = Experiment.run (Experiment.config ~kernels:16 ~services ~instances:1 spec) in
+    let p = Experiment.run (Experiment.config ~kernels:16 ~services ~instances:128 spec) in
+    Experiment.parallel_efficiency ~single ~parallel:p
+  in
+  check Alcotest.bool "16 services beat 2" true (eff 16 > eff 2)
+
+let test_system_efficiency_formula () =
+  let spec = Workloads.find in
+  let single = Experiment.run (Experiment.config ~kernels:2 ~services:2 ~instances:1 spec) in
+  let p = Experiment.run (Experiment.config ~kernels:2 ~services:2 ~instances:8 spec) in
+  let parallel_eff = Experiment.parallel_efficiency ~single ~parallel:p in
+  let system_eff = Experiment.system_efficiency ~single ~parallel:p in
+  check (Alcotest.float 1e-9) "OS PEs discounted" (parallel_eff *. 8.0 /. 12.0) system_eff
+
+let test_mem_contention_off () =
+  (* With the memory-contention model disabled and ample OS resources,
+     parallel efficiency stays very high. *)
+  let spec = Workloads.tar in
+  let cfg n = Experiment.config ~mem_contention:0.0 ~kernels:8 ~services:8 ~instances:n spec in
+  let single = Experiment.run (cfg 1) in
+  let p = Experiment.run (cfg 32) in
+  check Alcotest.bool "near-perfect scaling without memory contention" true
+    (Experiment.parallel_efficiency ~single ~parallel:p > 0.95)
+
+let test_nginx_scales () =
+  let run servers kernels services =
+    Nginx_bench.run (Nginx_bench.config ~kernels ~services ~servers ~duration:1_500_000L ())
+  in
+  let small = run 8 4 4 in
+  let large = run 32 4 4 in
+  check Alcotest.int "no errors small" 0 small.Nginx_bench.errors;
+  check Alcotest.int "no errors large" 0 large.Nginx_bench.errors;
+  check Alcotest.bool "throughput grows with servers" true
+    (large.Nginx_bench.requests_per_s > 2.0 *. small.Nginx_bench.requests_per_s)
+
+let test_m3_single_kernel_runs_apps () =
+  (* The M3 baseline (one kernel, plain pointers) runs the same
+     workloads. *)
+  let o =
+    Experiment.run
+      (Experiment.config ~mode:Cost.M3 ~kernels:1 ~services:1 ~instances:4 Workloads.tar)
+  in
+  check Alcotest.(list string) "no errors" [] o.Experiment.replay_errors;
+  check Alcotest.int "cap ops" (4 * 21) o.Experiment.cap_ops
+
+let suite =
+  [
+    Alcotest.test_case "placement prefers local services" `Quick test_placement_local_preference;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "outcome sanity" `Quick test_outcome_sanity;
+    Alcotest.test_case "efficiency degrades with instances" `Quick test_parallel_efficiency_degrades;
+    Alcotest.test_case "more kernels help postmark" `Quick test_more_kernels_help;
+    Alcotest.test_case "more services help sqlite" `Quick test_more_services_help_sqlite;
+    Alcotest.test_case "system efficiency formula" `Quick test_system_efficiency_formula;
+    Alcotest.test_case "no contention, near-perfect scaling" `Quick test_mem_contention_off;
+    Alcotest.test_case "nginx scales with servers" `Quick test_nginx_scales;
+    Alcotest.test_case "M3 baseline runs applications" `Quick test_m3_single_kernel_runs_apps;
+  ]

@@ -1,0 +1,473 @@
+(* Tests for the multikernel: capability exchange, the delegate
+   handshake, two-phase revocation, Table 2's interference cases,
+   thread-pool accounting, credits, and a randomised soak test of the
+   distributed protocols. *)
+
+open Semperos
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let reply_t = Alcotest.testable Protocol.pp_reply ( = )
+
+let sel_of = function
+  | Protocol.R_sel s -> s
+  | r -> Alcotest.failf "expected selector, got %a" Protocol.pp_reply r
+
+let make ?(kernels = 2) ?(pes = 6) ?(mode = Cost.Semperos) ?(batching = false) () =
+  System.create (System.config ~kernels ~user_pes_per_kernel:pes ~mode ~batching ())
+
+let alloc sys vpe =
+  sel_of (System.syscall_sync sys vpe (Protocol.Sys_alloc_mem { size = 4096L; perms = Perms.rw }))
+
+let obtain sys ~donor ~donor_sel vpe =
+  System.syscall_sync sys vpe
+    (Protocol.Sys_obtain_from { donor_vpe = donor.Vpe.id; donor_sel })
+
+let revoke sys vpe sel ~own = System.syscall_sync sys vpe (Protocol.Sys_revoke { sel; own })
+
+let assert_clean sys =
+  match System.check_invariants sys with
+  | [] -> ()
+  | errs -> Alcotest.failf "invariants violated: %s" (String.concat "; " errs)
+
+let total_caps sys =
+  List.fold_left (fun acc k -> acc + Mapdb.count (Kernel.mapdb k)) 0 (System.kernels sys)
+
+(* ------------------------------------------------------------------ *)
+(* Exchange                                                            *)
+
+let test_local_obtain () =
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:0 in
+  let sel = alloc sys v1 in
+  let r = obtain sys ~donor:v1 ~donor_sel:sel v2 in
+  check Alcotest.bool "got selector" true (match r with Protocol.R_sel _ -> true | _ -> false);
+  (* The child is linked under the donor's capability. *)
+  let k0 = System.kernel sys 0 in
+  let donor_key = Option.get (Capspace.find v1.Vpe.capspace sel) in
+  let donor_cap = Mapdb.get (Kernel.mapdb k0) donor_key in
+  check Alcotest.int "one child" 1 (List.length donor_cap.Cap.children);
+  check Alcotest.int "local exchange counted" 1 (Kernel.stats k0).Kernel.exchanges_local;
+  assert_clean sys
+
+let test_spanning_obtain () =
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v3 = System.spawn_vpe sys ~kernel:1 in
+  let sel = alloc sys v1 in
+  let r = obtain sys ~donor:v1 ~donor_sel:sel v3 in
+  let child_sel = sel_of r in
+  (* The child record lives at kernel 1 (owner's kernel), the parent at
+     kernel 0; the tree spans via DDL keys. *)
+  let child_key = Option.get (Capspace.find v3.Vpe.capspace child_sel) in
+  check Alcotest.bool "child hosted at kernel 1" true
+    (Mapdb.mem (Kernel.mapdb (System.kernel sys 1)) child_key);
+  let donor_key = Option.get (Capspace.find v1.Vpe.capspace sel) in
+  let donor_cap = Mapdb.get (Kernel.mapdb (System.kernel sys 0)) donor_key in
+  check Alcotest.bool "cross-kernel child link" true (Cap.has_child donor_cap child_key);
+  assert_clean sys
+
+let test_spanning_delegate () =
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v3 = System.spawn_vpe sys ~kernel:1 in
+  let sel = alloc sys v1 in
+  let r =
+    System.syscall_sync sys v1 (Protocol.Sys_delegate_to { recv_vpe = v3.Vpe.id; sel })
+  in
+  check reply_t "delegate ok" Protocol.R_ok r;
+  check Alcotest.int "receiver got the cap" 1 (Capspace.count v3.Vpe.capspace);
+  assert_clean sys
+
+let test_obtain_denied () =
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v3 = System.spawn_vpe sys ~kernel:1 in
+  v1.Vpe.accept_exchange <- false;
+  let sel = alloc sys v1 in
+  check reply_t "denied locally" (Protocol.R_err Protocol.E_denied)
+    (obtain sys ~donor:v1 ~donor_sel:sel (System.spawn_vpe sys ~kernel:0));
+  check reply_t "denied across kernels" (Protocol.R_err Protocol.E_denied)
+    (obtain sys ~donor:v1 ~donor_sel:sel v3);
+  assert_clean sys
+
+let test_obtain_missing_cap () =
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:0 in
+  check reply_t "no such cap" (Protocol.R_err Protocol.E_no_such_cap)
+    (obtain sys ~donor:v1 ~donor_sel:42 v2);
+  check reply_t "no such vpe" (Protocol.R_err Protocol.E_no_such_vpe)
+    (System.syscall_sync sys v2 (Protocol.Sys_obtain_from { donor_vpe = 999; donor_sel = 0 }))
+
+let test_one_syscall_at_a_time () =
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let got = ref [] in
+  System.syscall sys v1 (Protocol.Sys_alloc_mem { size = 16L; perms = Perms.r }) (fun r ->
+      got := r :: !got);
+  System.syscall sys v1 (Protocol.Sys_alloc_mem { size = 16L; perms = Perms.r }) (fun r ->
+      got := r :: !got);
+  ignore (System.run sys);
+  check Alcotest.bool "second call rejected busy" true
+    (List.exists (fun r -> r = Protocol.R_err Protocol.E_busy) !got);
+  check Alcotest.bool "first call succeeded" true
+    (List.exists (function Protocol.R_sel _ -> true | _ -> false) !got)
+
+(* ------------------------------------------------------------------ *)
+(* Revocation                                                          *)
+
+let test_revoke_local_tree () =
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:0 in
+  let sel = alloc sys v1 in
+  ignore (sel_of (obtain sys ~donor:v1 ~donor_sel:sel v2));
+  let before = total_caps sys in
+  check Alcotest.int "two caps before" 2 before;
+  check reply_t "revoke ok" Protocol.R_ok (revoke sys v1 sel ~own:true);
+  check Alcotest.int "all gone" 0 (total_caps sys);
+  check Alcotest.int "receiver space empty" 0 (Capspace.count v2.Vpe.capspace);
+  assert_clean sys
+
+let test_revoke_children_only () =
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:0 in
+  let sel = alloc sys v1 in
+  ignore (sel_of (obtain sys ~donor:v1 ~donor_sel:sel v2));
+  check reply_t "revoke children" Protocol.R_ok (revoke sys v1 sel ~own:false);
+  check Alcotest.int "root survives" 1 (total_caps sys);
+  check Alcotest.int "root still held" 1 (Capspace.count v1.Vpe.capspace);
+  (* The root's child list was pruned. *)
+  let key = Option.get (Capspace.find v1.Vpe.capspace sel) in
+  let cap = Mapdb.get (Kernel.mapdb (System.kernel sys 0)) key in
+  check Alcotest.int "no children left" 0 (List.length cap.Cap.children);
+  assert_clean sys
+
+let test_revoke_children_only_remote () =
+  (* Regression: a children-only revoke whose children live at another
+     kernel must unlink them from the surviving root — the global audit
+     catches the dangling link otherwise. *)
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:1 in
+  let sel = alloc sys v1 in
+  ignore (sel_of (obtain sys ~donor:v1 ~donor_sel:sel v2));
+  check reply_t "revoke children" Protocol.R_ok (revoke sys v1 sel ~own:false);
+  check Alcotest.int "root survives" 1 (total_caps sys);
+  let key = Option.get (Capspace.find v1.Vpe.capspace sel) in
+  let cap = Mapdb.get (Kernel.mapdb (System.kernel sys 0)) key in
+  check Alcotest.int "remote child unlinked" 0 (List.length cap.Cap.children);
+  Audit.check sys
+
+let test_revoke_spanning_recursive () =
+  let sys = make ~kernels:3 () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:1 in
+  let v3 = System.spawn_vpe sys ~kernel:2 in
+  let s1 = alloc sys v1 in
+  let s2 = sel_of (obtain sys ~donor:v1 ~donor_sel:s1 v2) in
+  let _s3 = sel_of (obtain sys ~donor:v2 ~donor_sel:s2 v3) in
+  check Alcotest.int "three caps across three kernels" 3 (total_caps sys);
+  check reply_t "recursive spanning revoke" Protocol.R_ok (revoke sys v1 s1 ~own:true);
+  check Alcotest.int "all gone everywhere" 0 (total_caps sys);
+  assert_clean sys
+
+let test_revoke_circular_chain () =
+  (* The paper's deadlock scenario (§4.2): A1 -> B2 -> C1; revoking A1
+     makes kernel 1 call kernel 2 which calls kernel 1 back. *)
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:1 in
+  let a1 = alloc sys v1 in
+  let b2 = sel_of (obtain sys ~donor:v1 ~donor_sel:a1 v2) in
+  let _c1 = sel_of (obtain sys ~donor:v2 ~donor_sel:b2 v1) in
+  check reply_t "no deadlock" Protocol.R_ok (revoke sys v1 a1 ~own:true);
+  check Alcotest.int "chain fully revoked" 0 (total_caps sys);
+  assert_clean sys
+
+let test_revoke_twice () =
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let sel = alloc sys v1 in
+  check reply_t "first" Protocol.R_ok (revoke sys v1 sel ~own:true);
+  check reply_t "second: gone" (Protocol.R_err Protocol.E_no_such_cap) (revoke sys v1 sel ~own:true)
+
+(* Table 2 "Pointless"/"Invalid" prevention: exchanges touching a
+   capability in revocation are denied. *)
+let test_exchange_during_revoke_denied () =
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:1 in
+  let v4 = System.spawn_vpe sys ~kernel:1 in
+  let s1 = alloc sys v1 in
+  let s2 = sel_of (obtain sys ~donor:v1 ~donor_sel:s1 v2) in
+  (* Start the revoke but do not drain the engine: the subtree is
+     marked while the inter-kernel call is in flight. *)
+  let revoke_done = ref None in
+  System.syscall sys v1 (Protocol.Sys_revoke { sel = s1; own = true }) (fun r ->
+      revoke_done := Some r);
+  (* Let the revoke reach kernel 1 and mark s2 there, then race an
+     obtain of the marked capability. *)
+  ignore (System.run ~until:(Int64.add (System.now sys) 1_700L) sys);
+  let obtain_result = ref None in
+  System.syscall sys v4 (Protocol.Sys_obtain_from { donor_vpe = v2.Vpe.id; donor_sel = s2 })
+    (fun r -> obtain_result := Some r);
+  ignore (System.run sys);
+  check (Alcotest.option reply_t) "revoke completed" (Some Protocol.R_ok) !revoke_done;
+  (match !obtain_result with
+  | Some (Protocol.R_err (Protocol.E_in_revocation | Protocol.E_no_such_cap)) -> ()
+  | Some r -> Alcotest.failf "exchange of marked capability not denied: %a" Protocol.pp_reply r
+  | None -> Alcotest.fail "obtain never completed");
+  check Alcotest.int "nothing leaked" 0 (total_caps sys);
+  assert_clean sys
+
+(* Table 2 "Incomplete" prevention: overlapping revokes on nested
+   subtrees must both complete, with no early acknowledgement. *)
+let test_overlapping_revokes () =
+  let sys = make ~kernels:3 () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:1 in
+  let v3 = System.spawn_vpe sys ~kernel:2 in
+  let a = alloc sys v1 in
+  let b = sel_of (obtain sys ~donor:v1 ~donor_sel:a v2) in
+  let _c = sel_of (obtain sys ~donor:v2 ~donor_sel:b v3) in
+  let r1 = ref None and r2 = ref None in
+  System.syscall sys v1 (Protocol.Sys_revoke { sel = a; own = true }) (fun r -> r1 := Some r);
+  System.syscall sys v2 (Protocol.Sys_revoke { sel = b; own = true }) (fun r -> r2 := Some r);
+  ignore (System.run sys);
+  check (Alcotest.option reply_t) "outer revoke acknowledged" (Some Protocol.R_ok) !r1;
+  (match !r2 with
+  | Some (Protocol.R_ok | Protocol.R_err Protocol.E_no_such_cap) -> ()
+  | Some r -> Alcotest.failf "inner revoke: %a" Protocol.pp_reply r
+  | None -> Alcotest.fail "inner revoke never acknowledged");
+  check Alcotest.int "everything revoked exactly once" 0 (total_caps sys);
+  assert_clean sys
+
+(* Table 2 "Orphaned": the obtainer dies while the exchange is in
+   flight; the orphan must be cleaned up at the donor. *)
+let test_orphaned_obtain () =
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v3 = System.spawn_vpe sys ~kernel:1 in
+  let sel = alloc sys v1 in
+  let obtain_result = ref None in
+  System.syscall sys v3 (Protocol.Sys_obtain_from { donor_vpe = v1.Vpe.id; donor_sel = sel })
+    (fun r -> obtain_result := Some r);
+  (* Kill the obtainer while the inter-kernel call is in flight. *)
+  ignore (System.run ~until:(Int64.add (System.now sys) 2_000L) sys);
+  v3.Vpe.state <- Vpe.Exited;
+  ignore (System.run sys);
+  (* The donor's child list must not keep an orphan. *)
+  let donor_key = Option.get (Capspace.find v1.Vpe.capspace sel) in
+  let donor_cap = Mapdb.get (Kernel.mapdb (System.kernel sys 0)) donor_key in
+  check Alcotest.int "orphan unlinked at donor" 0 (List.length donor_cap.Cap.children);
+  check Alcotest.int "only the donor cap remains" 1 (total_caps sys)
+
+let test_exit_revokes_everything () =
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:1 in
+  let s1 = alloc sys v1 in
+  let _s2 = alloc sys v1 in
+  let _c = sel_of (obtain sys ~donor:v1 ~donor_sel:s1 v2) in
+  check reply_t "exit" Protocol.R_ok (System.syscall_sync sys v1 Protocol.Sys_exit);
+  check Alcotest.bool "vpe dead" false (Vpe.is_alive v1);
+  check Alcotest.int "all caps of the VPE and their children gone" 0 (total_caps sys);
+  (* Its PE is recycled. *)
+  let before = System.free_pes sys ~kernel:0 in
+  check Alcotest.bool "pe freed" true (before >= 1);
+  check reply_t "dead vpe syscalls fail" (Protocol.R_err Protocol.E_vpe_dead)
+    (System.syscall_sync sys v1 (Protocol.Sys_alloc_mem { size = 1L; perms = Perms.r }))
+
+(* ------------------------------------------------------------------ *)
+(* Derivation and gates                                                *)
+
+let test_derive_mem () =
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let sel = alloc sys v1 in
+  let narrowed =
+    System.syscall_sync sys v1
+      (Protocol.Sys_derive_mem { sel; offset = 1024L; size = 1024L; perms = Perms.r })
+  in
+  ignore (sel_of narrowed);
+  check reply_t "widening refused" (Protocol.R_err Protocol.E_invalid)
+    (System.syscall_sync sys v1
+       (Protocol.Sys_derive_mem { sel; offset = 0L; size = 8192L; perms = Perms.rw }));
+  (* Revoking the parent sweeps the derived child. *)
+  check reply_t "revoke" Protocol.R_ok (revoke sys v1 sel ~own:true);
+  check Alcotest.int "derived child swept" 0 (total_caps sys);
+  assert_clean sys
+
+let test_gates_and_activate () =
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:1 in
+  let rgate =
+    sel_of (System.syscall_sync sys v1 (Protocol.Sys_create_rgate { ep = 2; slots = 8 }))
+  in
+  let sgate =
+    sel_of (System.syscall_sync sys v1 (Protocol.Sys_create_sgate { rgate; label = 7 }))
+  in
+  (* Hand the send gate to v2 and let it activate an endpoint: the
+     kernel configures v2's DTU (Figure 3's channel establishment). *)
+  check reply_t "delegate sgate" Protocol.R_ok
+    (System.syscall_sync sys v1 (Protocol.Sys_delegate_to { recv_vpe = v2.Vpe.id; sel = sgate }));
+  let v2_sgate = 0 in
+  check reply_t "activate" Protocol.R_ok
+    (System.syscall_sync sys v2 (Protocol.Sys_activate { sel = v2_sgate; ep = 3 }));
+  (* The endpoint is now configured in hardware. *)
+  let dtu = Dtu.find (System.grid sys) ~pe:v2.Vpe.pe in
+  check Alcotest.bool "endpoint configured" true
+    (match Dtu.credits dtu ~ep:3 with Ok _ -> true | Error _ -> false);
+  assert_clean sys
+
+(* ------------------------------------------------------------------ *)
+(* Thread pool and credits                                             *)
+
+let test_thread_pool_sizing () =
+  let tp = Thread_pool.create ~vpes:3 ~kernels:2 in
+  check Alcotest.int "equation 1" (3 + (2 * Cost.max_inflight)) (Thread_pool.size tp);
+  let ran = ref 0 in
+  for _ = 1 to Thread_pool.size tp + 2 do
+    Thread_pool.acquire tp (fun () -> incr ran)
+  done;
+  check Alcotest.int "pool exhausted" (Thread_pool.size tp) !ran;
+  check Alcotest.int "two queued" 2 (Thread_pool.waiting tp);
+  Thread_pool.release tp;
+  Thread_pool.release tp;
+  check Alcotest.int "queued ran on release" (Thread_pool.size tp + 2) !ran;
+  check Alcotest.int "max in use tracked" (Thread_pool.size tp) (Thread_pool.max_in_use tp)
+
+let test_kernel_thread_growth () =
+  let sys = make () in
+  let k0 = System.kernel sys 0 in
+  let before = Thread_pool.size (Kernel.threads k0) in
+  ignore (System.spawn_vpe sys ~kernel:0);
+  check Alcotest.int "one thread per VPE" (before + 1) (Thread_pool.size (Kernel.threads k0))
+
+let test_credit_stalls_resolve () =
+  (* Revoking a tree with 16 remote children emits 16 revoke requests
+     at once — far beyond the 4-message in-flight window. The sends
+     must stall on credits yet everything completes. *)
+  let sys = make ~pes:20 () in
+  let donor = System.spawn_vpe sys ~kernel:0 in
+  let sel = alloc sys donor in
+  let vpes = List.init 16 (fun _ -> System.spawn_vpe sys ~kernel:1) in
+  List.iter (fun v -> ignore (sel_of (obtain sys ~donor ~donor_sel:sel v))) vpes;
+  check reply_t "revoke" Protocol.R_ok (revoke sys donor sel ~own:true);
+  check Alcotest.int "everything revoked" 0 (total_caps sys);
+  let stalls = (Kernel.stats (System.kernel sys 0)).Kernel.credit_stalls in
+  check Alcotest.bool "credit limiting engaged" true (stalls > 0);
+  assert_clean sys
+
+(* ------------------------------------------------------------------ *)
+(* Modes                                                               *)
+
+let timed_revoke sys v sel =
+  let t = ref None in
+  let t0 = System.now sys in
+  System.syscall sys v (Protocol.Sys_revoke { sel; own = true }) (fun _ ->
+      t := Some (Int64.sub (System.now sys) t0));
+  ignore (System.run sys);
+  Option.get !t
+
+let test_m3_mode_cheaper () =
+  let run mode =
+    let sys = make ~mode () in
+    let v1 = System.spawn_vpe sys ~kernel:0 in
+    let v2 = System.spawn_vpe sys ~kernel:0 in
+    let sel = alloc sys v1 in
+    ignore (sel_of (obtain sys ~donor:v1 ~donor_sel:sel v2));
+    timed_revoke sys v1 sel
+  in
+  check Alcotest.bool "M3 revoke cheaper than SemperOS (no DDL decode)" true
+    (run Cost.M3 < run Cost.Semperos)
+
+let test_batching_equivalent_result () =
+  let run batching =
+    let sys = make ~kernels:4 ~pes:12 ~batching () in
+    let root = System.spawn_vpe sys ~kernel:0 in
+    let sel = alloc sys root in
+    for i = 0 to 8 do
+      let v = System.spawn_vpe sys ~kernel:(1 + (i mod 3)) in
+      ignore (sel_of (obtain sys ~donor:root ~donor_sel:sel v))
+    done;
+    let cycles = timed_revoke sys root sel in
+    assert_clean sys;
+    (total_caps sys, cycles)
+  in
+  let caps_plain, t_plain = run false in
+  let caps_batched, t_batched = run true in
+  check Alcotest.int "plain revokes everything" 0 caps_plain;
+  check Alcotest.int "batched revokes everything" 0 caps_batched;
+  check Alcotest.bool "batching is faster" true (t_batched < t_plain)
+
+(* ------------------------------------------------------------------ *)
+(* Randomised soak: arbitrary interleavings of exchange and revoke
+   must never violate the kernel invariants or leak capabilities.      *)
+
+let prop_protocol_soak =
+  QCheck.Test.make ~name:"random exchange/revoke interleavings keep invariants" ~count:30
+    QCheck.(pair (int_bound 1000000) (list_of_size Gen.(5 -- 40) (int_bound 1000)))
+    (fun (seed, script) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let sys = make ~kernels:3 ~pes:8 () in
+      let vpes = Array.init 9 (fun i -> System.spawn_vpe sys ~kernel:(i mod 3)) in
+      (* Seed some capabilities. *)
+      let roots = Array.map (fun v -> alloc sys v) vpes in
+      List.iter
+        (fun cmd ->
+          let a = vpes.(cmd mod 9) in
+          let b = vpes.((cmd / 9) mod 9) in
+          match cmd mod 3 with
+          | 0 ->
+            (* obtain a cap from a random VPE's space *)
+            let donor_sel = Rng.int rng 4 in
+            System.syscall sys b
+              (Protocol.Sys_obtain_from { donor_vpe = a.Vpe.id; donor_sel })
+              (fun _ -> ())
+          | 1 ->
+            System.syscall sys a
+              (Protocol.Sys_revoke { sel = roots.(cmd mod 9); own = Rng.bool rng })
+              (fun _ -> ())
+          | _ ->
+            System.syscall sys a
+              (Protocol.Sys_delegate_to { recv_vpe = b.Vpe.id; sel = Rng.int rng 4 })
+              (fun _ -> ()))
+        script;
+      ignore (System.run sys);
+      (Audit.run sys).Audit.errors = [])
+
+let suite =
+  [
+    Alcotest.test_case "local obtain" `Quick test_local_obtain;
+    Alcotest.test_case "spanning obtain" `Quick test_spanning_obtain;
+    Alcotest.test_case "spanning delegate handshake" `Quick test_spanning_delegate;
+    Alcotest.test_case "obtain denied" `Quick test_obtain_denied;
+    Alcotest.test_case "obtain missing cap / vpe" `Quick test_obtain_missing_cap;
+    Alcotest.test_case "one syscall per VPE" `Quick test_one_syscall_at_a_time;
+    Alcotest.test_case "revoke local tree" `Quick test_revoke_local_tree;
+    Alcotest.test_case "revoke children only" `Quick test_revoke_children_only;
+    Alcotest.test_case "revoke children-only with remote child" `Quick
+      test_revoke_children_only_remote;
+    Alcotest.test_case "revoke spanning recursive" `Quick test_revoke_spanning_recursive;
+    Alcotest.test_case "revoke circular chain (no deadlock)" `Quick test_revoke_circular_chain;
+    Alcotest.test_case "revoke twice" `Quick test_revoke_twice;
+    Alcotest.test_case "exchange during revoke denied" `Quick test_exchange_during_revoke_denied;
+    Alcotest.test_case "overlapping revokes complete" `Quick test_overlapping_revokes;
+    Alcotest.test_case "orphaned obtain cleaned up" `Quick test_orphaned_obtain;
+    Alcotest.test_case "exit revokes everything" `Quick test_exit_revokes_everything;
+    Alcotest.test_case "derive mem narrows" `Quick test_derive_mem;
+    Alcotest.test_case "gates and activate" `Quick test_gates_and_activate;
+    Alcotest.test_case "thread pool equation 1" `Quick test_thread_pool_sizing;
+    Alcotest.test_case "thread pool grows with VPEs" `Quick test_kernel_thread_growth;
+    Alcotest.test_case "credit stalls resolve" `Quick test_credit_stalls_resolve;
+    Alcotest.test_case "M3 mode cheaper" `Quick test_m3_mode_cheaper;
+    Alcotest.test_case "batching ablation equivalent" `Quick test_batching_equivalent_result;
+    qcheck prop_protocol_soak;
+  ]

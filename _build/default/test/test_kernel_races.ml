@@ -1,0 +1,220 @@
+(* Race and failure-injection tests for the distributed protocols:
+   the remaining Table 2 interference cases, mid-flight deaths,
+   delegate aborts, and determinism. *)
+
+open Semperos
+
+let check = Alcotest.check
+
+let reply_t = Alcotest.testable Protocol.pp_reply ( = )
+
+let sel_of = function
+  | Protocol.R_sel s -> s
+  | r -> Alcotest.failf "expected selector, got %a" Protocol.pp_reply r
+
+let make ?(kernels = 2) ?(pes = 6) () =
+  System.create (System.config ~kernels ~user_pes_per_kernel:pes ())
+
+let alloc sys vpe =
+  sel_of (System.syscall_sync sys vpe (Protocol.Sys_alloc_mem { size = 4096L; perms = Perms.rw }))
+
+let total_caps sys =
+  List.fold_left (fun acc k -> acc + Mapdb.count (Kernel.mapdb k)) 0 (System.kernels sys)
+
+let run_for sys cycles = ignore (System.run ~until:(Int64.add (System.now sys) cycles) sys)
+
+(* Table 2 "Invalid": the delegated capability is revoked while the
+   two-way handshake is in flight. The receiver must never end up with
+   a live capability. *)
+let test_delegate_aborted_by_revoke () =
+  (* Try a range of revoke injection times so every handshake stage is
+     hit at least once. *)
+  List.iter
+    (fun inject_after ->
+      let sys = make () in
+      let owner = System.spawn_vpe sys ~kernel:0 in
+      let middle = System.spawn_vpe sys ~kernel:0 in
+      let receiver = System.spawn_vpe sys ~kernel:1 in
+      let root = alloc sys owner in
+      let mid_sel =
+        sel_of
+          (System.syscall_sync sys middle
+             (Protocol.Sys_obtain_from { donor_vpe = owner.Vpe.id; donor_sel = root }))
+      in
+      (* [middle] starts delegating its capability across kernels... *)
+      let delegate_result = ref None in
+      System.syscall sys middle
+        (Protocol.Sys_delegate_to { recv_vpe = receiver.Vpe.id; sel = mid_sel })
+        (fun r -> delegate_result := Some r);
+      run_for sys inject_after;
+      (* ... while [owner] revokes the whole tree. *)
+      let revoke_result = ref None in
+      System.syscall sys owner (Protocol.Sys_revoke { sel = root; own = true }) (fun r ->
+          revoke_result := Some r);
+      ignore (System.run sys);
+      check (Alcotest.option reply_t)
+        (Printf.sprintf "revoke completes (inject %Ld)" inject_after)
+        (Some Protocol.R_ok) !revoke_result;
+      (match !delegate_result with
+      | Some (Protocol.R_ok | Protocol.R_err (Protocol.E_in_revocation | Protocol.E_no_such_cap))
+        ->
+        (* Either the delegate won the race (and the revoke then swept
+           the receiver's copy too) or it was aborted. *)
+        ()
+      | Some r -> Alcotest.failf "delegate (inject %Ld): %a" inject_after Protocol.pp_reply r
+      | None -> Alcotest.fail "delegate never completed");
+      check Alcotest.int
+        (Printf.sprintf "nothing survives (inject %Ld)" inject_after)
+        0 (total_caps sys);
+      check Alcotest.int "receiver holds nothing" 0 (Capspace.count receiver.Vpe.capspace);
+      Audit.check sys)
+    [ 0L; 700L; 1400L; 2100L; 2800L; 3500L; 4200L; 6000L ]
+
+(* The receiver dies while the delegate handshake is parked between
+   reply and ack: the orphan record at its kernel must be dropped. *)
+let test_delegate_receiver_dies () =
+  List.iter
+    (fun inject_after ->
+      let sys = make () in
+      let sender = System.spawn_vpe sys ~kernel:0 in
+      let receiver = System.spawn_vpe sys ~kernel:1 in
+      let sel = alloc sys sender in
+      let delegate_result = ref None in
+      System.syscall sys sender
+        (Protocol.Sys_delegate_to { recv_vpe = receiver.Vpe.id; sel })
+        (fun r -> delegate_result := Some r);
+      run_for sys inject_after;
+      receiver.Vpe.state <- Vpe.Exited;
+      ignore (System.run sys);
+      (* Whatever the outcome, only the sender's capability lives, with
+         no children, and the links are globally consistent. *)
+      check Alcotest.int
+        (Printf.sprintf "one live cap (inject %Ld)" inject_after)
+        1 (total_caps sys);
+      let key = Option.get (Capspace.find sender.Vpe.capspace sel) in
+      let cap = Mapdb.get (Kernel.mapdb (System.kernel sys 0)) key in
+      check Alcotest.int "no dangling child" 0 (List.length cap.Cap.children);
+      Audit.check sys)
+    [ 0L; 900L; 1800L; 2700L; 3600L; 4500L ]
+
+(* The client dies while a cross-group session open is in flight: the
+   service capability must not keep an orphaned session child. *)
+let test_session_client_dies () =
+  let sys = make () in
+  let srv_vpe = System.spawn_vpe sys ~kernel:0 in
+  Kernel.register_service_handler (System.kernel sys 0) ~name:"svc" (fun req k ->
+      match req with
+      | Protocol.Srq_open_session _ -> k (Protocol.Srs_session { ident = 0 })
+      | Protocol.Srq_obtain _ | Protocol.Srq_delegate _ ->
+        k (Protocol.Srs_reject Protocol.E_invalid));
+  (match System.syscall_sync sys srv_vpe (Protocol.Sys_create_srv { name = "svc" }) with
+  | Protocol.R_sel _ -> ()
+  | r -> Alcotest.failf "create_srv: %a" Protocol.pp_reply r);
+  ignore (System.run sys);
+  let client = System.spawn_vpe sys ~kernel:1 in
+  System.syscall sys client (Protocol.Sys_open_session { service = "svc" }) (fun _ -> ());
+  run_for sys 2_500L;
+  client.Vpe.state <- Vpe.Exited;
+  ignore (System.run sys);
+  (* Only the service capability lives; its child list is clean. *)
+  let srv_key = Option.get (Kernel.lookup_service (System.kernel sys 0) "svc") in
+  let srv_cap = Mapdb.get (Kernel.mapdb (System.kernel sys 0)) srv_key in
+  check Alcotest.int "no orphan session" 0 (List.length srv_cap.Cap.children);
+  Audit.check sys
+
+(* Concurrent revokes racing from both ends of a spanning chain. *)
+let test_race_revokes_both_ends () =
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:1 in
+  let a = alloc sys v1 in
+  let b =
+    sel_of
+      (System.syscall_sync sys v2 (Protocol.Sys_obtain_from { donor_vpe = v1.Vpe.id; donor_sel = a }))
+  in
+  let c =
+    sel_of
+      (System.syscall_sync sys v1 (Protocol.Sys_obtain_from { donor_vpe = v2.Vpe.id; donor_sel = b }))
+  in
+  ignore c;
+  let r1 = ref None and r2 = ref None in
+  System.syscall sys v1 (Protocol.Sys_revoke { sel = a; own = true }) (fun r -> r1 := Some r);
+  System.syscall sys v2 (Protocol.Sys_revoke { sel = b; own = true }) (fun r -> r2 := Some r);
+  ignore (System.run sys);
+  check Alcotest.bool "both acknowledged" true (!r1 <> None && !r2 <> None);
+  check Alcotest.int "chain gone" 0 (total_caps sys);
+  Audit.check sys
+
+(* Exchange arriving for a VPE that exits in the same instant. *)
+let test_exchange_vs_exit () =
+  let sys = make () in
+  let donor = System.spawn_vpe sys ~kernel:0 in
+  let taker = System.spawn_vpe sys ~kernel:1 in
+  let sel = alloc sys donor in
+  let obtain_result = ref None in
+  System.syscall sys taker (Protocol.Sys_obtain_from { donor_vpe = donor.Vpe.id; donor_sel = sel })
+    (fun r -> obtain_result := Some r);
+  run_for sys 1_000L;
+  (* The donor exits while the obtain request is in flight. *)
+  let exit_result = ref None in
+  System.syscall sys donor Protocol.Sys_exit (fun r -> exit_result := Some r);
+  ignore (System.run sys);
+  check (Alcotest.option reply_t) "exit completes" (Some Protocol.R_ok) !exit_result;
+  (* The obtain either failed cleanly or its result was swept by the
+     exit's revocation. *)
+  check Alcotest.int "no capability leaked" 0 (total_caps sys);
+  Audit.check sys
+
+(* Determinism: identical configurations produce bit-identical results. *)
+let test_determinism () =
+  let run () =
+    let o = Experiment.run (Experiment.config ~kernels:4 ~services:4 ~instances:16 Workloads.leveldb) in
+    (o.Experiment.runtimes, o.Experiment.cap_ops, o.Experiment.max_runtime)
+  in
+  let a = run () and b = run () in
+  check Alcotest.bool "bit-identical reruns" true (a = b)
+
+(* Obtain of an obtained capability: grandchildren across three kernels
+   with interleaved partial revocation. *)
+let test_partial_revoke_deep_tree () =
+  let sys = make ~kernels:3 ~pes:8 () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:1 in
+  let v3 = System.spawn_vpe sys ~kernel:2 in
+  let a = alloc sys v1 in
+  let b =
+    sel_of
+      (System.syscall_sync sys v2 (Protocol.Sys_obtain_from { donor_vpe = v1.Vpe.id; donor_sel = a }))
+  in
+  let _c =
+    sel_of
+      (System.syscall_sync sys v3 (Protocol.Sys_obtain_from { donor_vpe = v2.Vpe.id; donor_sel = b }))
+  in
+  (* Revoke only the middle VPE's subtree, children-only: v2 keeps its
+     capability, v3 loses its copy, v1 untouched. *)
+  (match System.syscall_sync sys v2 (Protocol.Sys_revoke { sel = b; own = false }) with
+  | Protocol.R_ok -> ()
+  | r -> Alcotest.failf "revoke: %a" Protocol.pp_reply r);
+  check Alcotest.int "v3 lost its copy" 0 (Capspace.count v3.Vpe.capspace);
+  check Alcotest.int "v2 keeps its capability" 1 (Capspace.count v2.Vpe.capspace);
+  check Alcotest.int "v1 untouched" 1 (Capspace.count v1.Vpe.capspace);
+  check Alcotest.int "two caps remain" 2 (total_caps sys);
+  Audit.check sys;
+  (* Now the full revoke sweeps the remains. *)
+  (match System.syscall_sync sys v1 (Protocol.Sys_revoke { sel = a; own = true }) with
+  | Protocol.R_ok -> ()
+  | r -> Alcotest.failf "revoke: %a" Protocol.pp_reply r);
+  check Alcotest.int "all gone" 0 (total_caps sys);
+  Audit.check sys
+
+let suite =
+  [
+    Alcotest.test_case "delegate aborted by revoke (Invalid)" `Quick
+      test_delegate_aborted_by_revoke;
+    Alcotest.test_case "delegate receiver dies (orphan)" `Quick test_delegate_receiver_dies;
+    Alcotest.test_case "session client dies (orphan)" `Quick test_session_client_dies;
+    Alcotest.test_case "revokes race from both ends" `Quick test_race_revokes_both_ends;
+    Alcotest.test_case "exchange vs exit" `Quick test_exchange_vs_exit;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "partial revoke of a deep tree" `Quick test_partial_revoke_deep_tree;
+  ]

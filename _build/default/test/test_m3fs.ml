@@ -1,0 +1,192 @@
+(* Tests for the m3fs filesystem: the image data structure and the
+   full client/service/kernel capability flow. *)
+
+open Semperos
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Fs_image                                                            *)
+
+let test_image_paths () =
+  let img = Fs_image.create ~extent_size:1024L in
+  check Alcotest.(list string) "split" [ "a"; "b" ] (Fs_image.split_path "/a/b");
+  check Alcotest.(list string) "split messy" [ "a"; "b" ] (Fs_image.split_path "a//b/");
+  check Alcotest.bool "mkdir -p" true (Fs_image.mkdir img "/x/y/z" = Ok ());
+  check Alcotest.bool "nested exists" true (Fs_image.lookup img "/x/y" <> None);
+  check Alcotest.bool "mkdir exists" true (Result.is_error (Fs_image.mkdir img "/x/y/z"))
+
+let test_image_files () =
+  let img = Fs_image.create ~extent_size:1024L in
+  ignore (Fs_image.mkdir img "/d");
+  (match Fs_image.add_file img "/d/f" ~size:2500L with
+  | Ok f ->
+    check Alcotest.int "extent count" 3 (List.length f.Fs_image.extents);
+    check Alcotest.int64 "size" 2500L f.Fs_image.size;
+    (* Extents tile the file. *)
+    let last = List.nth f.Fs_image.extents 2 in
+    check Alcotest.int64 "last offset" 2048L last.Fs_image.e_off;
+    check Alcotest.int64 "last length" 452L last.Fs_image.e_len
+  | Error e -> Alcotest.fail e);
+  check Alcotest.bool "find_file" true (Result.is_ok (Fs_image.find_file img "/d/f"));
+  check Alcotest.bool "find dir as file" true (Result.is_error (Fs_image.find_file img "/d"));
+  check Alcotest.int "count" 1 (Fs_image.file_count img)
+
+let test_image_extent_lookup () =
+  let img = Fs_image.create ~extent_size:1000L in
+  let f = Result.get_ok (Fs_image.add_file img "/f" ~size:2500L) in
+  (match Fs_image.extent_for f ~pos:1500L with
+  | Some e -> check Alcotest.int64 "covering extent" 1000L e.Fs_image.e_off
+  | None -> Alcotest.fail "no extent");
+  check Alcotest.bool "past EOF" true (Fs_image.extent_for f ~pos:2500L = None);
+  let e = Fs_image.append_extent img f in
+  (* Appends continue right after the last byte backed by an extent. *)
+  check Alcotest.int64 "appended extent offset" 2500L e.Fs_image.e_off
+
+let test_image_unlink_and_list () =
+  let img = Fs_image.create ~extent_size:1024L in
+  ignore (Fs_image.mkdir img "/d");
+  ignore (Fs_image.add_file img "/d/a" ~size:10L);
+  ignore (Fs_image.add_file img "/d/b" ~size:10L);
+  check Alcotest.(list string) "list" [ "a"; "b" ] (Result.get_ok (Fs_image.list_dir img "/d"));
+  check Alcotest.bool "unlink nonempty dir fails" true (Result.is_error (Fs_image.unlink img "/d"));
+  check Alcotest.bool "unlink file" true (Fs_image.unlink img "/d/a" = Ok ());
+  check Alcotest.bool "unlink again fails" true (Result.is_error (Fs_image.unlink img "/d/a"));
+  check Alcotest.(list string) "list after" [ "b" ] (Result.get_ok (Fs_image.list_dir img "/d"))
+
+(* ------------------------------------------------------------------ *)
+(* Full service flow                                                   *)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let setup ?(config = M3fs.default_config) ?(client_kernel = 1) ~files () =
+  let sys = System.create (System.config ~kernels:2 ~user_pes_per_kernel:6 ()) in
+  let fs = M3fs.create ~config sys ~kernel:0 ~name:"m3fs" ~files () in
+  let vpe = System.spawn_vpe sys ~kernel:client_kernel in
+  let client = ref None in
+  Fs_client.connect sys fs ~vpe (fun r -> client := Some (ok r));
+  ignore (System.run sys);
+  (sys, fs, Option.get !client)
+
+let run_sync sys f =
+  let result = ref None in
+  f (fun r -> result := Some r);
+  ignore (System.run sys);
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "operation did not complete"
+
+let test_read_whole_file () =
+  let sys, fs, client = setup ~files:[ ("/data/f", 600_000L) ] () in
+  let fd = ok (run_sync sys (Fs_client.open_ client "/data/f" ~write:false ~create:false)) in
+  let n = ok (run_sync sys (Fs_client.read client ~fd ~bytes:1_000_000)) in
+  check Alcotest.int "bytes read" 600_000 n;
+  let n = ok (run_sync sys (Fs_client.read client ~fd ~bytes:10)) in
+  check Alcotest.int "EOF" 0 n;
+  (* 600000 bytes at 256 KiB extents: 3 grants. *)
+  check Alcotest.int "grants" 3 (M3fs.stats fs).M3fs.grants;
+  ok (run_sync sys (Fs_client.close client ~fd));
+  check Alcotest.int "revoked per granted extent" 3 (M3fs.stats fs).M3fs.revoke_calls
+
+let test_write_grows_file () =
+  let sys, fs, client = setup ~files:[] () in
+  ok (run_sync sys (Fs_client.mkdir client "/w"));
+  let fd = ok (run_sync sys (Fs_client.open_ client "/w/new" ~write:true ~create:true)) in
+  ok (run_sync sys (Fs_client.write client ~fd ~bytes:300_000));
+  (* Two extents had to be allocated through the kernel. *)
+  check Alcotest.int "appends" 2 (M3fs.stats fs).M3fs.appends;
+  ok (run_sync sys (Fs_client.close client ~fd));
+  (* Reopen: the size was committed at close. *)
+  let fd = ok (run_sync sys (Fs_client.open_ client "/w/new" ~write:false ~create:false)) in
+  let n = ok (run_sync sys (Fs_client.read client ~fd ~bytes:1_000_000)) in
+  check Alcotest.int "read back everything" 300_000 n;
+  ok (run_sync sys (Fs_client.close client ~fd));
+  assert (System.check_invariants sys = [])
+
+let test_meta_ops () =
+  let sys, _fs, client = setup ~files:[ ("/data/f", 100L) ] () in
+  ok (run_sync sys (Fs_client.stat client "/data/f"));
+  check Alcotest.bool "stat missing" true
+    (Result.is_error (run_sync sys (Fs_client.stat client "/data/missing")));
+  ok (run_sync sys (Fs_client.mkdir client "/data/sub"));
+  let entries = ok (run_sync sys (Fs_client.list client "/data")) in
+  check Alcotest.(list string) "entries" [ "f"; "sub" ] entries;
+  ok (run_sync sys (Fs_client.unlink client "/data/f"));
+  check Alcotest.bool "gone" true
+    (Result.is_error (run_sync sys (Fs_client.stat client "/data/f")))
+
+let test_open_errors () =
+  let sys, _fs, client = setup ~files:[ ("/f", 100L) ] () in
+  check Alcotest.bool "missing no create" true
+    (Result.is_error (run_sync sys (Fs_client.open_ client "/nope" ~write:false ~create:false)));
+  (* create requires write *)
+  check Alcotest.bool "create read-only refused" true
+    (Result.is_error (run_sync sys (Fs_client.open_ client "/nope2" ~write:false ~create:true)));
+  let fd = ok (run_sync sys (Fs_client.open_ client "/f" ~write:false ~create:false)) in
+  check Alcotest.bool "write on read-only fd" true
+    (Result.is_error (run_sync sys (Fs_client.write client ~fd ~bytes:10)));
+  check Alcotest.bool "bad fd" true
+    (Result.is_error (run_sync sys (Fs_client.read client ~fd:999 ~bytes:10)))
+
+let test_seek () =
+  let sys, _fs, client = setup ~files:[ ("/f", 1000L) ] () in
+  let fd = ok (run_sync sys (Fs_client.open_ client "/f" ~write:false ~create:false)) in
+  (match Fs_client.seek client ~fd ~pos:900L with Ok () -> () | Error e -> Alcotest.fail e);
+  let n = ok (run_sync sys (Fs_client.read client ~fd ~bytes:1000)) in
+  check Alcotest.int "read from offset" 100 n;
+  check Alcotest.bool "negative seek" true (Result.is_error (Fs_client.seek client ~fd ~pos:(-1L)))
+
+let test_sync_close_revokes_before_reply () =
+  (* With async_revoke off, the close reply arrives only after the
+     extent capabilities are really gone. *)
+  let config = { M3fs.default_config with M3fs.async_revoke = false } in
+  let sys, _fs, client = setup ~config ~files:[ ("/f", 1000L) ] () in
+  let fd = ok (run_sync sys (Fs_client.open_ client "/f" ~write:false ~create:false)) in
+  ignore (ok (run_sync sys (Fs_client.read client ~fd ~bytes:1000)));
+  let caps_before =
+    List.fold_left (fun acc k -> acc + Mapdb.count (Kernel.mapdb k)) 0 (System.kernels sys)
+  in
+  ok (run_sync sys (Fs_client.close client ~fd));
+  let caps_after =
+    List.fold_left (fun acc k -> acc + Mapdb.count (Kernel.mapdb k)) 0 (System.kernels sys)
+  in
+  check Alcotest.bool "client extent cap revoked" true (caps_after < caps_before)
+
+let test_two_clients_isolated () =
+  let sys = System.create (System.config ~kernels:2 ~user_pes_per_kernel:6 ()) in
+  let fs = M3fs.create sys ~kernel:0 ~name:"m3fs" ~files:[ ("/shared", 1000L) ] () in
+  let connect k =
+    let vpe = System.spawn_vpe sys ~kernel:k in
+    let c = ref None in
+    Fs_client.connect sys fs ~vpe (fun r -> c := Some (ok r));
+    ignore (System.run sys);
+    Option.get !c
+  in
+  let c1 = connect 0 and c2 = connect 1 in
+  check Alcotest.bool "distinct sessions" true (Fs_client.ident c1 <> Fs_client.ident c2);
+  let fd1 = ok (run_sync sys (Fs_client.open_ c1 "/shared" ~write:false ~create:false)) in
+  let fd2 = ok (run_sync sys (Fs_client.open_ c2 "/shared" ~write:false ~create:false)) in
+  ignore (ok (run_sync sys (Fs_client.read c1 ~fd:fd1 ~bytes:1000)));
+  ignore (ok (run_sync sys (Fs_client.read c2 ~fd:fd2 ~bytes:1000)));
+  ok (run_sync sys (Fs_client.close c1 ~fd:fd1));
+  (* c2 was granted its own capability; it can still read. *)
+  (match Fs_client.seek c2 ~fd:fd2 ~pos:0L with Ok () -> () | Error e -> Alcotest.fail e);
+  ignore (ok (run_sync sys (Fs_client.read c2 ~fd:fd2 ~bytes:1000)));
+  ok (run_sync sys (Fs_client.close c2 ~fd:fd2))
+
+let suite =
+  [
+    Alcotest.test_case "image paths" `Quick test_image_paths;
+    Alcotest.test_case "image files and extents" `Quick test_image_files;
+    Alcotest.test_case "image extent lookup" `Quick test_image_extent_lookup;
+    Alcotest.test_case "image unlink and list" `Quick test_image_unlink_and_list;
+    Alcotest.test_case "read whole file" `Quick test_read_whole_file;
+    Alcotest.test_case "write grows file" `Quick test_write_grows_file;
+    Alcotest.test_case "meta ops" `Quick test_meta_ops;
+    Alcotest.test_case "open errors" `Quick test_open_errors;
+    Alcotest.test_case "seek" `Quick test_seek;
+    Alcotest.test_case "sync close revokes" `Quick test_sync_close_revokes_before_reply;
+    Alcotest.test_case "two clients isolated" `Quick test_two_clients_isolated;
+  ]

@@ -1,0 +1,23 @@
+(* Test entry point: one Alcotest suite per subsystem. *)
+
+let () =
+  Alcotest.run "semperos"
+    [
+      ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
+      ("noc", Test_noc.suite);
+      ("dtu", Test_dtu.suite);
+      ("ddl", Test_ddl.suite);
+      ("caps", Test_caps.suite);
+      ("kernel", Test_kernel.suite);
+      ("kernel-races", Test_kernel_races.suite);
+      ("channels", Test_channels.suite);
+      ("migration", Test_migration.suite);
+      ("system", Test_system.suite);
+      ("m3fs", Test_m3fs.suite);
+      ("trace", Test_trace.suite);
+      ("harness", Test_harness.suite);
+      ("services", Test_services.suite);
+      ("tools", Test_tools.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,96 @@
+(* Tests for the NoC topology and fabric. *)
+
+open Semperos
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let test_mesh_basics () =
+  let t = Topology.mesh ~width:4 ~height:3 in
+  check Alcotest.int "pe count" 12 (Topology.pe_count t);
+  check Alcotest.(pair int int) "coords of 0" (0, 0) (Topology.coords t 0);
+  check Alcotest.(pair int int) "coords of 5" (1, 1) (Topology.coords t 5);
+  check Alcotest.int "hops 0->11" 5 (Topology.hops t 0 11);
+  check Alcotest.int "hops self" 0 (Topology.hops t 7 7)
+
+let test_mesh_invalid () =
+  Alcotest.check_raises "zero width" (Invalid_argument "Topology.mesh: non-positive dimension")
+    (fun () -> ignore (Topology.mesh ~width:0 ~height:3));
+  let t = Topology.mesh ~width:2 ~height:2 in
+  Alcotest.check_raises "pe out of range" (Invalid_argument "Topology.coords: PE out of range")
+    (fun () -> ignore (Topology.coords t 4))
+
+let test_square () =
+  let t = Topology.square 10 in
+  check Alcotest.bool "holds at least n" true (Topology.pe_count t >= 10);
+  check Alcotest.int "is 4x4" 16 (Topology.pe_count t);
+  check Alcotest.int "square 1" 1 (Topology.pe_count (Topology.square 1))
+
+let topo_gen =
+  QCheck.Gen.(
+    map3 (fun w h seed -> (Topology.mesh ~width:w ~height:h, seed)) (1 -- 8) (1 -- 8) int)
+
+let prop_hops_metric =
+  QCheck.Test.make ~name:"hop count is a metric" ~count:200
+    (QCheck.make topo_gen)
+    (fun (t, seed) ->
+      let r = Rng.create (Int64.of_int seed) in
+      let n = Topology.pe_count t in
+      let a = Rng.int r n and b = Rng.int r n and c = Rng.int r n in
+      Topology.hops t a b = Topology.hops t b a
+      && Topology.hops t a a = 0
+      && Topology.hops t a c <= Topology.hops t a b + Topology.hops t b c)
+
+let make_fabric () =
+  let e = Engine.create () in
+  let t = Topology.mesh ~width:4 ~height:4 in
+  (e, Fabric.create e t Fabric.default_config)
+
+let test_fabric_latency_formula () =
+  let _, f = make_fabric () in
+  let cfg = Fabric.default_config in
+  let expected hops bytes =
+    Int64.of_int (cfg.Fabric.base_cycles + (cfg.Fabric.hop_cycles * hops) + (bytes / cfg.Fabric.bytes_per_cycle))
+  in
+  check Alcotest.int64 "adjacent" (expected 1 64) (Fabric.latency f ~src:0 ~dst:1 ~bytes:64);
+  check Alcotest.int64 "corner to corner" (expected 6 0) (Fabric.latency f ~src:0 ~dst:15 ~bytes:0)
+
+let test_fabric_delivery () =
+  let e, f = make_fabric () in
+  let arrived = ref 0L in
+  Fabric.send f ~src:0 ~dst:15 ~bytes:64 (fun () -> arrived := Engine.now e);
+  ignore (Engine.run e);
+  check Alcotest.int64 "arrival time" (Fabric.latency f ~src:0 ~dst:15 ~bytes:64) !arrived;
+  check Alcotest.int "messages" 1 (Fabric.messages f);
+  check Alcotest.int "bytes" 64 (Fabric.bytes_carried f);
+  check Alcotest.int "hops" 6 (Fabric.hops_traversed f)
+
+let test_fabric_fifo_per_channel () =
+  let e, f = make_fabric () in
+  let log = ref [] in
+  (* A big message followed by a small one on the same channel: the
+     small one must not overtake (the kernel protocols rely on it). *)
+  Fabric.send f ~src:0 ~dst:15 ~bytes:16384 (fun () -> log := "big" :: !log);
+  Fabric.send f ~src:0 ~dst:15 ~bytes:0 (fun () -> log := "small" :: !log);
+  ignore (Engine.run e);
+  check Alcotest.(list string) "fifo" [ "big"; "small" ] (List.rev !log)
+
+let test_fabric_distinct_channels_independent () =
+  let e, f = make_fabric () in
+  let log = ref [] in
+  Fabric.send f ~src:0 ~dst:15 ~bytes:16384 (fun () -> log := "slow" :: !log);
+  Fabric.send f ~src:1 ~dst:2 ~bytes:0 (fun () -> log := "fast" :: !log);
+  ignore (Engine.run e);
+  check Alcotest.(list string) "no cross-channel blocking" [ "fast"; "slow" ] (List.rev !log)
+
+let suite =
+  [
+    Alcotest.test_case "mesh basics" `Quick test_mesh_basics;
+    Alcotest.test_case "mesh invalid" `Quick test_mesh_invalid;
+    Alcotest.test_case "square" `Quick test_square;
+    qcheck prop_hops_metric;
+    Alcotest.test_case "fabric latency formula" `Quick test_fabric_latency_formula;
+    Alcotest.test_case "fabric delivery" `Quick test_fabric_delivery;
+    Alcotest.test_case "fabric per-channel FIFO" `Quick test_fabric_fifo_per_channel;
+    Alcotest.test_case "fabric channel independence" `Quick test_fabric_distinct_channels_independent;
+  ]

@@ -1,0 +1,146 @@
+(* Cross-cutting property tests: equivalences and invariants that must
+   hold over randomised inputs — revocation-mode equivalence, migration
+   under load, metamorphic trace properties, latency monotonicity. *)
+
+open Semperos
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let sel_of = function
+  | Protocol.R_sel s -> s
+  | r -> Alcotest.failf "expected selector, got %a" Protocol.pp_reply r
+
+(* Batched and unbatched revocation delete exactly the same capability
+   set on a random tree shape. *)
+let prop_batching_equivalence =
+  QCheck.Test.make ~name:"batching revokes the same set" ~count:25
+    QCheck.(pair (int_bound 1000000) (int_bound 20))
+    (fun (seed, children) ->
+      let run batching =
+        let sys =
+          System.create (System.config ~kernels:4 ~user_pes_per_kernel:(children + 3) ~batching ())
+        in
+        let rng = Rng.create (Int64.of_int seed) in
+        let root = System.spawn_vpe sys ~kernel:0 in
+        let sel =
+          sel_of
+            (System.syscall_sync sys root (Protocol.Sys_alloc_mem { size = 64L; perms = Perms.rw }))
+        in
+        (* A random two-level sharing shape. *)
+        let holders = ref [ (root, sel) ] in
+        for _ = 1 to children do
+          let donor, donor_sel = List.nth !holders (Rng.int rng (List.length !holders)) in
+          let v = System.spawn_vpe sys ~kernel:(Rng.int rng 4) in
+          match
+            System.syscall_sync sys v
+              (Protocol.Sys_obtain_from { donor_vpe = donor.Vpe.id; donor_sel })
+          with
+          | Protocol.R_sel s -> holders := (v, s) :: !holders
+          | _ -> ()
+        done;
+        let created =
+          List.fold_left
+            (fun acc k -> acc + (Kernel.stats k).Kernel.caps_created)
+            0 (System.kernels sys)
+        in
+        (match System.syscall_sync sys root (Protocol.Sys_revoke { sel; own = true }) with
+        | Protocol.R_ok -> ()
+        | r -> Alcotest.failf "revoke: %a" Protocol.pp_reply r);
+        let remaining =
+          List.fold_left (fun acc k -> acc + Mapdb.count (Kernel.mapdb k)) 0 (System.kernels sys)
+        in
+        Audit.check sys;
+        (created, remaining)
+      in
+      run false = run true)
+
+(* Random migrations interleaved with exchanges keep the global forest
+   consistent and fully revocable. *)
+let prop_migration_soak =
+  QCheck.Test.make ~name:"migrations under load keep invariants" ~count:15
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let kernels = 3 in
+      let sys = System.create (System.config ~kernels ~user_pes_per_kernel:8 ()) in
+      let vpes = Array.init 6 (fun i -> System.spawn_vpe sys ~kernel:(i mod kernels)) in
+      let roots =
+        Array.map
+          (fun v ->
+            sel_of
+              (System.syscall_sync sys v (Protocol.Sys_alloc_mem { size = 64L; perms = Perms.rw })))
+          vpes
+      in
+      for _round = 1 to 4 do
+        (* A burst of random exchanges... *)
+        for _ = 1 to 8 do
+          let d = Rng.int rng 6 and r = Rng.int rng 6 in
+          if d <> r then
+            System.syscall sys vpes.(r)
+              (Protocol.Sys_obtain_from { donor_vpe = vpes.(d).Vpe.id; donor_sel = roots.(d) })
+              (fun _ -> ())
+        done;
+        ignore (System.run sys);
+        (* ... then a migration of a random VPE to a random other group. *)
+        let v = vpes.(Rng.int rng 6) in
+        let dst = Rng.int rng kernels in
+        if dst <> v.Vpe.kernel && Vpe.is_alive v && not v.Vpe.syscall_pending then
+          System.migrate_vpe sys v ~to_kernel:dst;
+        Audit.check sys
+      done;
+      (* Everything must still tear down to zero. *)
+      System.shutdown sys = 0)
+
+(* with_prefix and scale_compute commute and preserve op counts. *)
+let prop_trace_metamorphic =
+  QCheck.Test.make ~name:"trace prefix/scale commute" ~count:50
+    QCheck.(pair (int_bound 5) (int_bound 3))
+    (fun (spec_idx, scale_idx) ->
+      let spec = List.nth Workloads.all (spec_idx mod List.length Workloads.all) in
+      let f = [ 1.0; 1.5; 2.0; 3.25 ] |> fun l -> List.nth l scale_idx in
+      let t = spec.Workloads.build () in
+      let a = Trace.scale_compute f (Trace.with_prefix "/x" t) in
+      let b = Trace.with_prefix "/x" (Trace.scale_compute f t) in
+      a.Trace.ops = b.Trace.ops
+      && a.Trace.files = b.Trace.files
+      && Trace.io_ops a = Trace.io_ops t)
+
+(* Fabric latency is monotonic in payload size and hop count. *)
+let prop_fabric_monotonic =
+  QCheck.Test.make ~name:"fabric latency monotonic" ~count:100
+    QCheck.(pair (int_bound 15) (int_bound 4096))
+    (fun (dst, bytes) ->
+      let e = Engine.create () in
+      let f = Fabric.create e (Topology.mesh ~width:4 ~height:4) Fabric.default_config in
+      let l1 = Fabric.latency f ~src:0 ~dst ~bytes in
+      let l2 = Fabric.latency f ~src:0 ~dst ~bytes:(bytes + 64) in
+      let near = Fabric.latency f ~src:0 ~dst:0 ~bytes in
+      Int64.compare l2 l1 >= 0 && Int64.compare l1 near >= 0)
+
+(* Exit after an arbitrary prefix of a workload never leaks. *)
+let prop_exit_any_time =
+  QCheck.Test.make ~name:"exit mid-workload never leaks" ~count:20
+    QCheck.(int_bound 3000000)
+    (fun cutoff ->
+      let spec = Workloads.postmark in
+      let trace = spec.Workloads.build () in
+      let sys = System.create (System.config ~kernels:2 ~user_pes_per_kernel:4 ()) in
+      let fs =
+        M3fs.create ~config:spec.Workloads.fs_config sys ~kernel:0 ~name:"m3fs"
+          ~files:trace.Trace.files ()
+      in
+      let vpe = System.spawn_vpe sys ~kernel:1 in
+      Replay.run sys fs ~vpe trace (fun _ -> ());
+      ignore (System.run ~until:(Int64.of_int cutoff) sys);
+      (* Cut the application off wherever it happens to be. *)
+      ignore (System.run sys);
+      System.shutdown sys = 0)
+
+let suite =
+  [
+    qcheck prop_batching_equivalence;
+    qcheck prop_migration_soak;
+    qcheck prop_trace_metamorphic;
+    qcheck prop_fabric_monotonic;
+    qcheck prop_exit_any_time;
+  ]

@@ -1,0 +1,202 @@
+(* Tests for the additional OS services: the zero-copy pipe service and
+   the copy-on-write filesystem — the paper's §3 motivating service. *)
+
+open Semperos
+
+let check = Alcotest.check
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let run_sync sys f =
+  let result = ref None in
+  f (fun r -> result := Some r);
+  ignore (System.run sys);
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "operation did not complete"
+
+(* ------------------------------------------------------------------ *)
+(* Pipe service                                                        *)
+
+let pipe_setup () =
+  let sys = System.create (System.config ~kernels:2 ~user_pes_per_kernel:6 ()) in
+  let pipe = Pipe.create sys ~kernel:0 ~name:"pipes" () in
+  let connect k =
+    let vpe = System.spawn_vpe sys ~kernel:k in
+    ok (run_sync sys (Pipe.Endpoint.connect sys pipe ~vpe))
+  in
+  (sys, pipe, connect)
+
+let test_pipe_transfer () =
+  let sys, pipe, connect = pipe_setup () in
+  let producer = connect 0 in
+  let consumer = connect 1 in
+  ok (run_sync sys (Pipe.Endpoint.create_pipe producer "p0"));
+  let wp = ok (run_sync sys (Pipe.Endpoint.open_pipe producer "p0" ~role:`Producer)) in
+  let rp = ok (run_sync sys (Pipe.Endpoint.open_pipe consumer "p0" ~role:`Consumer)) in
+  ok (run_sync sys (Pipe.Endpoint.send producer ~pipe:wp ~bytes:4096));
+  let n = ok (run_sync sys (Pipe.Endpoint.recv consumer ~pipe:rp ~bytes:8192)) in
+  check Alcotest.int "got what was sent" 4096 n;
+  check Alcotest.int "grants for both ends" 2 (Pipe.stats pipe).Pipe.grants;
+  (* The capability exchanges crossed the group boundary for the consumer. *)
+  check Alcotest.bool "spanning exchange happened" true
+    ((Kernel.stats (System.kernel sys 0)).Kernel.exchanges_spanning > 0)
+
+let test_pipe_blocking_reader () =
+  let sys, _pipe, connect = pipe_setup () in
+  let producer = connect 0 in
+  let consumer = connect 1 in
+  ok (run_sync sys (Pipe.Endpoint.create_pipe producer "p"));
+  let wp = ok (run_sync sys (Pipe.Endpoint.open_pipe producer "p" ~role:`Producer)) in
+  let rp = ok (run_sync sys (Pipe.Endpoint.open_pipe consumer "p" ~role:`Consumer)) in
+  (* The reader goes first: it must park until data arrives. *)
+  let got = ref None in
+  Pipe.Endpoint.recv consumer ~pipe:rp ~bytes:1024 (fun r -> got := Some r);
+  ignore (System.run sys);
+  check Alcotest.bool "reader parked" true (!got = None);
+  ok (run_sync sys (Pipe.Endpoint.send producer ~pipe:wp ~bytes:512));
+  check Alcotest.int "reader woke with data" 512 (ok (Option.get !got))
+
+let test_pipe_backpressure () =
+  let sys, pipe, connect = pipe_setup () in
+  ignore pipe;
+  let producer = connect 0 in
+  let consumer = connect 0 in
+  ok (run_sync sys (Pipe.Endpoint.create_pipe producer "p"));
+  let wp = ok (run_sync sys (Pipe.Endpoint.open_pipe producer "p" ~role:`Producer)) in
+  let rp = ok (run_sync sys (Pipe.Endpoint.open_pipe consumer "p" ~role:`Consumer)) in
+  (* Fill the ring (64 KiB default), then one more write must park. *)
+  ok (run_sync sys (Pipe.Endpoint.send producer ~pipe:wp ~bytes:(64 * 1024)));
+  let second = ref None in
+  Pipe.Endpoint.send producer ~pipe:wp ~bytes:1024 (fun r -> second := Some r);
+  ignore (System.run sys);
+  check Alcotest.bool "writer parked on full ring" true (!second = None);
+  let n = ok (run_sync sys (Pipe.Endpoint.recv consumer ~pipe:rp ~bytes:(32 * 1024))) in
+  check Alcotest.int "drained" (32 * 1024) n;
+  check Alcotest.bool "writer woke" true (match !second with Some (Ok ()) -> true | _ -> false)
+
+let test_pipe_close_revokes () =
+  let sys, pipe, connect = pipe_setup () in
+  let producer = connect 0 in
+  let consumer = connect 1 in
+  ok (run_sync sys (Pipe.Endpoint.create_pipe producer "p"));
+  let wp = ok (run_sync sys (Pipe.Endpoint.open_pipe producer "p" ~role:`Producer)) in
+  let rp = ok (run_sync sys (Pipe.Endpoint.open_pipe consumer "p" ~role:`Consumer)) in
+  (* Closing the producer end puts the pipe at EOF; reads yield 0 and
+     the service revokes the per-end capabilities. *)
+  ok (run_sync sys (Pipe.Endpoint.close producer ~pipe:wp));
+  let n = ok (run_sync sys (Pipe.Endpoint.recv consumer ~pipe:rp ~bytes:64)) in
+  check Alcotest.int "EOF after producer close" 0 n;
+  ok (run_sync sys (Pipe.Endpoint.close consumer ~pipe:rp));
+  ignore (System.run sys);
+  check Alcotest.int "revokes issued" 2 (Pipe.stats pipe).Pipe.revoke_calls;
+  (match System.check_invariants sys with
+  | [] -> ()
+  | errs -> Alcotest.fail (String.concat "; " errs))
+
+let test_pipe_errors () =
+  let sys, _pipe, connect = pipe_setup () in
+  let e = connect 0 in
+  check Alcotest.bool "open missing pipe" true
+    (Result.is_error (run_sync sys (Pipe.Endpoint.open_pipe e "nope" ~role:`Consumer)));
+  ok (run_sync sys (Pipe.Endpoint.create_pipe e "dup"));
+  check Alcotest.bool "duplicate create" true
+    (Result.is_error (run_sync sys (Pipe.Endpoint.create_pipe e "dup")));
+  let bad = ref None in
+  Pipe.Endpoint.send e ~pipe:99 ~bytes:1 (fun r -> bad := Some r);
+  check Alcotest.bool "send on unopened pipe" true
+    (match !bad with Some (Error _) -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Copy-on-write filesystem                                            *)
+
+let cow_setup ?(files = [ ("/vol/base", 600_000L) ]) () =
+  let sys = System.create (System.config ~kernels:2 ~user_pes_per_kernel:6 ()) in
+  let fs = Cowfs.create sys ~kernel:0 ~name:"cowfs" ~files () in
+  let connect k =
+    let vpe = System.spawn_vpe sys ~kernel:k in
+    ok (run_sync sys (Cowfs.Client.connect sys fs ~vpe))
+  in
+  (sys, fs, connect)
+
+let test_cow_snapshot_shares () =
+  let sys, fs, connect = cow_setup () in
+  let c = connect 1 in
+  ok (run_sync sys (Cowfs.Client.snapshot c ~src:"/vol/base" ~dst:"/vol/snap"));
+  check Alcotest.int "snapshots" 1 (Cowfs.stats fs).Cowfs.snapshots;
+  (* 600000 bytes at 256 KiB extents = 3 extents, all shared. *)
+  check Alcotest.int "extents shared" 3 (Cowfs.shared_extents fs "/vol/base");
+  (* Reading the snapshot works and costs no copy. *)
+  let fd = ok (run_sync sys (Cowfs.Client.open_ c "/vol/snap" ~write:false)) in
+  let n = ok (run_sync sys (Cowfs.Client.read c ~fd ~pos:0L ~bytes:4096)) in
+  check Alcotest.int "read from snapshot" 4096 n;
+  check Alcotest.int "no COW breaks yet" 0 (Cowfs.stats fs).Cowfs.cow_breaks
+
+let test_cow_break_on_write () =
+  let sys, fs, connect = cow_setup () in
+  let reader = connect 1 in
+  let writer = connect 0 in
+  ok (run_sync sys (Cowfs.Client.snapshot writer ~src:"/vol/base" ~dst:"/vol/snap"));
+  (* The reader holds a capability on the base file. *)
+  let rfd = ok (run_sync sys (Cowfs.Client.open_ reader "/vol/base" ~write:false)) in
+  ignore (ok (run_sync sys (Cowfs.Client.read reader ~fd:rfd ~pos:0L ~bytes:4096)));
+  let caps_before = System.total_cap_ops sys in
+  (* The writer hits the first extent of the base file: COW break. *)
+  let wfd = ok (run_sync sys (Cowfs.Client.open_ writer "/vol/base" ~write:true)) in
+  ok (run_sync sys (Cowfs.Client.write writer ~fd:wfd ~pos:0L ~bytes:4096));
+  check Alcotest.int "one COW break" 1 (Cowfs.stats fs).Cowfs.cow_breaks;
+  check Alcotest.bool "alloc + revoke + grant happened" true
+    (System.total_cap_ops sys > caps_before + 2);
+  (* The reader transparently re-obtains (its old capability was
+     revoked by the break) and keeps reading. *)
+  let n = ok (run_sync sys (Cowfs.Client.read reader ~fd:rfd ~pos:0L ~bytes:4096)) in
+  check Alcotest.int "reader continues" 4096 n;
+  (* A second write to the same extent does not break again. *)
+  ok (run_sync sys (Cowfs.Client.write writer ~fd:wfd ~pos:100L ~bytes:100));
+  check Alcotest.int "still one break" 1 (Cowfs.stats fs).Cowfs.cow_breaks;
+  ignore (System.run sys);
+  (match System.check_invariants sys with
+  | [] -> ()
+  | errs -> Alcotest.fail (String.concat "; " errs))
+
+let test_cow_isolation () =
+  let sys, fs, connect = cow_setup () in
+  let c = connect 0 in
+  ok (run_sync sys (Cowfs.Client.snapshot c ~src:"/vol/base" ~dst:"/vol/snap"));
+  (* Writing to the snapshot privatises the snapshot's extent; the base
+     keeps the original. *)
+  let sfd = ok (run_sync sys (Cowfs.Client.open_ c "/vol/snap" ~write:true)) in
+  ok (run_sync sys (Cowfs.Client.write c ~fd:sfd ~pos:0L ~bytes:64));
+  check Alcotest.int "break on snapshot write" 1 (Cowfs.stats fs).Cowfs.cow_breaks;
+  (* Base still reports its extent shared-marked or not, but reads work. *)
+  let bfd = ok (run_sync sys (Cowfs.Client.open_ c "/vol/base" ~write:false)) in
+  let n = ok (run_sync sys (Cowfs.Client.read c ~fd:bfd ~pos:0L ~bytes:4096)) in
+  check Alcotest.int "base readable" 4096 n
+
+let test_cow_errors () =
+  let sys, _fs, connect = cow_setup () in
+  let c = connect 0 in
+  check Alcotest.bool "open missing" true
+    (Result.is_error (run_sync sys (Cowfs.Client.open_ c "/nope" ~write:false)));
+  check Alcotest.bool "snapshot missing src" true
+    (Result.is_error (run_sync sys (Cowfs.Client.snapshot c ~src:"/nope" ~dst:"/d")));
+  let fd = ok (run_sync sys (Cowfs.Client.open_ c "/vol/base" ~write:false)) in
+  check Alcotest.bool "write on read-only fd" true
+    (Result.is_error (run_sync sys (Cowfs.Client.write c ~fd ~pos:0L ~bytes:10)));
+  check Alcotest.int "read past EOF" 0
+    (ok (run_sync sys (Cowfs.Client.read c ~fd ~pos:999_999_999L ~bytes:10)))
+
+let suite =
+  [
+    Alcotest.test_case "pipe transfer" `Quick test_pipe_transfer;
+    Alcotest.test_case "pipe blocking reader" `Quick test_pipe_blocking_reader;
+    Alcotest.test_case "pipe backpressure" `Quick test_pipe_backpressure;
+    Alcotest.test_case "pipe close revokes" `Quick test_pipe_close_revokes;
+    Alcotest.test_case "pipe errors" `Quick test_pipe_errors;
+    Alcotest.test_case "cow snapshot shares extents" `Quick test_cow_snapshot_shares;
+    Alcotest.test_case "cow break on write" `Quick test_cow_break_on_write;
+    Alcotest.test_case "cow isolation" `Quick test_cow_isolation;
+    Alcotest.test_case "cow errors" `Quick test_cow_errors;
+  ]

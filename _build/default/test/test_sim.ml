@@ -1,0 +1,139 @@
+(* Tests for the discrete-event engine and the FIFO server. *)
+
+open Semperos
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.after e 10L (fun () -> log := "b" :: !log);
+  Engine.after e 5L (fun () -> log := "a" :: !log);
+  Engine.after e 20L (fun () -> log := "c" :: !log);
+  ignore (Engine.run e);
+  check Alcotest.(list string) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  check Alcotest.int64 "clock at last event" 20L (Engine.now e)
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.after e 10L (fun () -> log := i :: !log)
+  done;
+  ignore (Engine.run e);
+  check Alcotest.(list int) "scheduling order at equal time" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let fired = ref 0L in
+  Engine.after e 10L (fun () -> Engine.after e 15L (fun () -> fired := Engine.now e));
+  ignore (Engine.run e);
+  check Alcotest.int64 "nested absolute time" 25L !fired
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  List.iter (fun d -> Engine.after e d (fun () -> incr count)) [ 5L; 15L; 25L ];
+  let n = Engine.run ~until:20L e in
+  check Alcotest.int "events within bound" 2 n;
+  check Alcotest.int64 "clock clamped" 20L (Engine.now e);
+  check Alcotest.int "pending remains" 1 (Engine.pending e);
+  ignore (Engine.run e);
+  check Alcotest.int "all fired" 3 !count
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  Engine.after e 10L (fun () ->
+      Alcotest.check_raises "past" (Invalid_argument "Engine.at: time in the past") (fun () ->
+          Engine.at e 5L (fun () -> ())));
+  ignore (Engine.run e);
+  Alcotest.check_raises "negative delay" (Invalid_argument "Engine.after: negative delay")
+    (fun () -> Engine.after e (-1L) (fun () -> ()))
+
+let test_engine_counts () =
+  let e = Engine.create () in
+  Engine.after e 1L (fun () -> ());
+  Engine.after e 2L (fun () -> ());
+  ignore (Engine.run e);
+  check Alcotest.int "processed" 2 (Engine.events_processed e)
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                              *)
+
+let test_server_fifo () =
+  let e = Engine.create () in
+  let s = Server.create e ~name:"srv" in
+  let log = ref [] in
+  Server.submit s ~cost:10L (fun () -> log := ("a", Engine.now e) :: !log);
+  Server.submit s ~cost:5L (fun () -> log := ("b", Engine.now e) :: !log);
+  ignore (Engine.run e);
+  check
+    Alcotest.(list (pair string int64))
+    "serialised in order"
+    [ ("a", 10L); ("b", 15L) ]
+    (List.rev !log);
+  check Alcotest.int64 "busy cycles" 15L (Server.busy_cycles s);
+  check Alcotest.int "completed" 2 (Server.completed s)
+
+let test_server_idle_gap () =
+  let e = Engine.create () in
+  let s = Server.create e ~name:"srv" in
+  let done_at = ref 0L in
+  Server.submit s ~cost:10L (fun () -> ());
+  ignore (Engine.run e);
+  (* Second job arrives after the server went idle. *)
+  Engine.after e 100L (fun () -> Server.submit s ~cost:7L (fun () -> done_at := Engine.now e));
+  ignore (Engine.run e);
+  check Alcotest.int64 "starts immediately when idle" 117L !done_at
+
+let test_server_dynamic_cost () =
+  let e = Engine.create () in
+  let s = Server.create e ~name:"srv" in
+  let state = ref 0 in
+  let post_ran_at = ref 0L in
+  Server.submit_work s (fun () ->
+      state := 42;
+      (* cost computed from the state change *)
+      (Int64.of_int (!state * 2), fun () -> post_ran_at := Engine.now e));
+  ignore (Engine.run e);
+  check Alcotest.int "state changed at start" 42 !state;
+  check Alcotest.int64 "post after dynamic cost" 84L !post_ran_at
+
+let test_server_zero_cost () =
+  let e = Engine.create () in
+  let s = Server.create e ~name:"srv" in
+  let ran = ref false in
+  Server.submit s ~cost:0L (fun () -> ran := true);
+  ignore (Engine.run e);
+  check Alcotest.bool "zero-cost job runs" true !ran;
+  Alcotest.check_raises "negative" (Invalid_argument "Server.submit: negative cost") (fun () ->
+      Server.submit s ~cost:(-1L) (fun () -> ()))
+
+let test_server_queue_stats () =
+  let e = Engine.create () in
+  let s = Server.create e ~name:"srv" in
+  for _ = 1 to 5 do
+    Server.submit s ~cost:10L (fun () -> ())
+  done;
+  check Alcotest.bool "queue grew" true (Server.max_queue_length s >= 3);
+  ignore (Engine.run e);
+  check Alcotest.int "drained" 0 (Server.queue_length s);
+  check (Alcotest.float 1e-9) "utilisation" 1.0 (Server.utilisation s ~horizon:50L)
+
+let suite =
+  [
+    Alcotest.test_case "engine time order" `Quick test_engine_order;
+    Alcotest.test_case "engine same-time FIFO" `Quick test_engine_same_time_fifo;
+    Alcotest.test_case "engine nested scheduling" `Quick test_engine_nested_scheduling;
+    Alcotest.test_case "engine bounded run" `Quick test_engine_until;
+    Alcotest.test_case "engine rejects the past" `Quick test_engine_past_rejected;
+    Alcotest.test_case "engine counters" `Quick test_engine_counts;
+    Alcotest.test_case "server FIFO" `Quick test_server_fifo;
+    Alcotest.test_case "server idle gap" `Quick test_server_idle_gap;
+    Alcotest.test_case "server dynamic cost" `Quick test_server_dynamic_cost;
+    Alcotest.test_case "server zero cost" `Quick test_server_zero_cost;
+    Alcotest.test_case "server queue stats" `Quick test_server_queue_stats;
+  ]

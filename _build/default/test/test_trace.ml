@@ -1,0 +1,162 @@
+(* Tests for traces, workload generators, and the replay engine —
+   including the Table 4 regression: each generator must reproduce the
+   paper's capability-operation counts and rates. *)
+
+open Semperos
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Trace combinators                                                   *)
+
+let sample_trace =
+  {
+    Trace.name = "t";
+    ops =
+      [
+        Trace.Compute 100L;
+        Trace.Open { path = "/a"; write = false; create = false };
+        Trace.Read { slot = 0; bytes = 10 };
+        Trace.Stat "/a";
+        Trace.Compute 50L;
+        Trace.Close { slot = 0 };
+      ];
+    files = [ ("/a", 100L) ];
+  }
+
+let test_trace_accessors () =
+  check Alcotest.int "io ops" 4 (Trace.io_ops sample_trace);
+  check Alcotest.int64 "compute" 150L (Trace.compute_cycles sample_trace)
+
+let test_trace_prefix () =
+  let t = Trace.with_prefix "/i7" sample_trace in
+  check Alcotest.bool "files prefixed" true (List.mem_assoc "/i7/a" t.Trace.files);
+  let has_open =
+    List.exists
+      (function Trace.Open { path; _ } -> path = "/i7/a" | _ -> false)
+      t.Trace.ops
+  in
+  check Alcotest.bool "ops prefixed" true has_open;
+  check Alcotest.int64 "compute unchanged" 150L (Trace.compute_cycles t)
+
+let test_trace_scale () =
+  let t = Trace.scale_compute 2.0 sample_trace in
+  check Alcotest.int64 "compute doubled" 300L (Trace.compute_cycles t);
+  check Alcotest.int "io untouched" 4 (Trace.io_ops t);
+  Alcotest.check_raises "shrinking refused"
+    (Invalid_argument "Trace.scale_compute: factor below 1") (fun () ->
+      ignore (Trace.scale_compute 0.5 sample_trace))
+
+(* ------------------------------------------------------------------ *)
+(* Workload regression against Table 4                                 *)
+
+let single spec = Experiment.run (Experiment.config ~kernels:1 ~services:1 ~instances:1 spec)
+
+let test_table4_cap_ops () =
+  List.iter
+    (fun spec ->
+      let o = single spec in
+      let paper = spec.Workloads.paper_cap_ops in
+      let deviation = abs (o.Experiment.cap_ops - paper) in
+      if deviation > max 2 (paper / 5) then
+        Alcotest.failf "%s: %d cap ops, paper says %d" spec.Workloads.name o.Experiment.cap_ops
+          paper)
+    Workloads.all
+
+let test_table4_rates () =
+  List.iter
+    (fun spec ->
+      let o = single spec in
+      let paper = float_of_int spec.Workloads.paper_cap_ops_per_s in
+      let ratio = o.Experiment.cap_ops_per_s /. paper in
+      if ratio < 0.75 || ratio > 1.33 then
+        Alcotest.failf "%s: %.0f cap ops/s, paper says %.0f" spec.Workloads.name
+          o.Experiment.cap_ops_per_s paper)
+    Workloads.all
+
+let test_workloads_well_formed () =
+  List.iter
+    (fun spec ->
+      let t = spec.Workloads.build () in
+      check Alcotest.bool (spec.Workloads.name ^ " has ops") true (List.length t.Trace.ops > 0);
+      (* Slots referenced by ops must be opened first. *)
+      let opens = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | Trace.Open _ -> incr opens
+          | Trace.Read { slot; _ } | Trace.Write { slot; _ } | Trace.Seek { slot; _ }
+          | Trace.Close { slot } ->
+            if slot >= !opens then
+              Alcotest.failf "%s: slot %d used before open %d" spec.Workloads.name slot !opens
+          | Trace.Compute _ | Trace.Stat _ | Trace.Stat_absent _ | Trace.Mkdir _
+          | Trace.Unlink _ | Trace.List _ ->
+            ())
+        t.Trace.ops)
+    Workloads.all
+
+let test_replay_clean () =
+  (* Every workload replays without a single error — the paper's
+     "checking for correct execution". *)
+  List.iter
+    (fun spec ->
+      let o = single spec in
+      check Alcotest.(list string) (spec.Workloads.name ^ " error-free") []
+        o.Experiment.replay_errors)
+    Workloads.all
+
+let test_replay_reports () =
+  let spec = Workloads.find in
+  let trace = spec.Workloads.build () in
+  let sys = System.create (System.config ~kernels:1 ~user_pes_per_kernel:4 ()) in
+  let fs =
+    M3fs.create ~config:spec.Workloads.fs_config sys ~kernel:0 ~name:"m3fs"
+      ~files:trace.Trace.files ()
+  in
+  let vpe = System.spawn_vpe sys ~kernel:0 in
+  let result = ref None in
+  Replay.run sys fs ~vpe trace (fun r -> result := Some r);
+  ignore (System.run sys);
+  let r = Option.get !result in
+  check Alcotest.(list string) "no errors" [] r.Replay.errors;
+  check Alcotest.int "io ops counted" (Trace.io_ops trace) r.Replay.io_ops;
+  check Alcotest.bool "time advanced" true (Replay.runtime r > 0L);
+  check Alcotest.int "find's cap ops" 3
+    (Kernel.stats (System.kernel sys 0)).Kernel.cap_ops
+
+let test_replay_error_recorded () =
+  (* A trace touching a missing file records the error and continues. *)
+  let trace =
+    {
+      Trace.name = "broken";
+      ops =
+        [
+          Trace.Open { path = "/missing"; write = false; create = false };
+          Trace.Read { slot = 0; bytes = 10 };
+          Trace.Stat "/exists";
+        ];
+      files = [ ("/exists", 10L) ];
+    }
+  in
+  let sys = System.create (System.config ~kernels:1 ~user_pes_per_kernel:4 ()) in
+  let fs = M3fs.create sys ~kernel:0 ~name:"m3fs" ~files:trace.Trace.files () in
+  let vpe = System.spawn_vpe sys ~kernel:0 in
+  let result = ref None in
+  Replay.run sys fs ~vpe trace (fun r -> result := Some r);
+  ignore (System.run sys);
+  let r = Option.get !result in
+  check Alcotest.int "two errors (open + dependent read)" 2 (List.length r.Replay.errors);
+  check Alcotest.int "but all ops attempted" 3 r.Replay.io_ops
+
+let suite =
+  [
+    Alcotest.test_case "trace accessors" `Quick test_trace_accessors;
+    Alcotest.test_case "trace prefix" `Quick test_trace_prefix;
+    Alcotest.test_case "trace scale" `Quick test_trace_scale;
+    Alcotest.test_case "Table 4 cap-op counts" `Quick test_table4_cap_ops;
+    Alcotest.test_case "Table 4 rates" `Quick test_table4_rates;
+    Alcotest.test_case "workloads well-formed" `Quick test_workloads_well_formed;
+    Alcotest.test_case "replay clean" `Quick test_replay_clean;
+    Alcotest.test_case "replay reports" `Quick test_replay_reports;
+    Alcotest.test_case "replay records errors" `Quick test_replay_error_recorded;
+  ]
