@@ -4,7 +4,8 @@
    semperos_cli chain   — chain revocation timing (Figure 4 point)
    semperos_cli tree    — tree revocation timing (Figure 5 point)
    semperos_cli run     — run an application workload at scale
-   semperos_cli nginx   — run the webserver benchmark *)
+   semperos_cli nginx   — run the webserver benchmark
+   semperos_cli fuzz    — fuzz the capability protocols under faults *)
 
 open Cmdliner
 open Semperos
@@ -247,6 +248,87 @@ let latency_cmd =
     (Cmd.info "latency" ~doc:"Per-syscall latency profile of a workload run.")
     Term.(const run $ workload $ kernels $ services $ instances)
 
+let fuzz_cmd =
+  let run workload_seed fault_seed runs kernels vpes ops no_delay no_dup no_drop no_stall
+      no_retry verbose =
+    if kernels < 1 || kernels > Cost.max_kernels then begin
+      Fmt.epr "error: --kernels must be in [1, %d]@." Cost.max_kernels;
+      exit 2
+    end;
+    if vpes < 1 || (vpes + kernels - 1) / kernels > Cost.max_pes_per_kernel then begin
+      Fmt.epr "error: --vpes must be in [1, %d] for %d kernels@."
+        (Cost.max_pes_per_kernel * kernels) kernels;
+      exit 2
+    end;
+    if ops < 0 || runs < 0 then begin
+      Fmt.epr "error: --ops and --runs must be non-negative@.";
+      exit 2
+    end;
+    let spec =
+      Fuzz.spec ~kernels ~vpes ~ops ~delay:(not no_delay) ~dup:(not no_dup) ~drop:(not no_drop)
+        ~stall:(not no_stall) ~retry:(not no_retry) ()
+    in
+    (* Non-default options must ride along in the replay hint, or the
+       printed command would not reproduce the failure. *)
+    let spec_flags =
+      String.concat ""
+        (List.filter_map
+           (fun (on, flag) -> if on then Some (" " ^ flag) else None)
+           [
+             (kernels <> 3, Fmt.str "--kernels %d" kernels);
+             (vpes <> 6, Fmt.str "--vpes %d" vpes);
+             (ops <> 40, Fmt.str "--ops %d" ops);
+             (no_delay, "--no-delay");
+             (no_dup, "--no-dup");
+             (no_drop, "--no-drop");
+             (no_stall, "--no-stall");
+             (no_retry, "--no-retry");
+           ])
+    in
+    let outcomes = Fuzz.run_many ~spec ~workload_seed ~fault_seed ~runs () in
+    let bad = List.filter (fun o -> o.Fuzz.failures <> []) outcomes in
+    List.iter
+      (fun o ->
+        if verbose || o.Fuzz.failures <> [] then Fmt.pr "%a@." Fuzz.pp_outcome o)
+      outcomes;
+    Fmt.pr "fuzz: %d/%d seed pairs clean@." (runs - List.length bad) runs;
+    List.iter
+      (fun o ->
+        Fmt.pr "replay: semperos_cli fuzz --workload-seed %d --fault-seed %d --runs 1%s@."
+          o.Fuzz.workload_seed o.Fuzz.fault_seed spec_flags)
+      bad;
+    if bad <> [] then exit 1
+  in
+  let wseed =
+    Arg.(value & opt int 1 & info [ "workload-seed" ] ~docv:"N" ~doc:"First workload seed.")
+  in
+  let fseed =
+    Arg.(value & opt int 1001 & info [ "fault-seed" ] ~docv:"M" ~doc:"First fault-plan seed.")
+  in
+  let runs =
+    Arg.(value & opt int 50 & info [ "runs"; "n" ] ~docv:"R"
+         ~doc:"Seed pairs to run: (N+i, M+i) for i in [0, R).")
+  in
+  let kernels = Arg.(value & opt int 3 & info [ "kernels"; "k" ] ~docv:"K" ~doc:"PE groups.") in
+  let vpes = Arg.(value & opt int 6 & info [ "vpes" ] ~docv:"V" ~doc:"VPEs in the workload.") in
+  let ops = Arg.(value & opt int 40 & info [ "ops" ] ~docv:"O" ~doc:"Workload steps per run.") in
+  let flag name doc = Arg.(value & flag & info [ name ] ~doc) in
+  let no_delay = flag "no-delay" "Disable delay injection." in
+  let no_dup = flag "no-dup" "Disable duplicate delivery." in
+  let no_drop = flag "no-drop" "Disable message drops." in
+  let no_stall = flag "no-stall" "Disable kernel stalls." in
+  let no_retry =
+    flag "no-retry" "Disable kernel retransmission (to demonstrate the oracles failing)."
+  in
+  let verbose = flag "verbose" "Print every outcome line, not just failures." in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz the distributed capability protocols under injected faults. Every run is \
+          deterministic in (workload seed, fault seed); failures print the exact pair to replay.")
+    Term.(const run $ wseed $ fseed $ runs $ kernels $ vpes $ ops $ no_delay $ no_dup $ no_drop
+          $ no_stall $ no_retry $ verbose)
+
 let nginx_cmd =
   let run mode kernels services servers =
     let o = Nginx_bench.run (Nginx_bench.config ~mode ~kernels ~services ~servers ()) in
@@ -273,4 +355,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ micro_cmd; chain_cmd; tree_cmd; run_cmd; nginx_cmd; latency_cmd; trace_dump_cmd;
-            trace_replay_cmd ]))
+            trace_replay_cmd; fuzz_cmd ]))

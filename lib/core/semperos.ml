@@ -15,6 +15,8 @@
     - {!Cost}, {!Protocol}, {!Vpe}, {!Thread_pool}, {!Kernel},
       {!System}: the SemperOS multikernel and its distributed
       capability protocols.
+    - {!Fault}, {!Fuzz}: seeded fault injection for the fabric and the
+      deterministic schedule fuzzer built on it.
     - {!Fs_image}, {!M3fs}, {!Fs_client}: the m3fs in-memory filesystem
       service and its client library.
     - {!Trace}, {!Replay}, {!Workloads}: application traces.
@@ -42,6 +44,7 @@ module Vpe = Semper_kernel.Vpe
 module Thread_pool = Semper_kernel.Thread_pool
 module Kernel = Semper_kernel.Kernel
 module System = Semper_kernel.System
+module Fault = Semper_fault.Fault
 module Fs_image = Semper_m3fs.Fs_image
 module M3fs = Semper_m3fs.M3fs
 module Fs_client = Semper_m3fs.Client
@@ -54,6 +57,7 @@ module Replay = Semper_trace.Replay
 module Workloads = Semper_trace.Workloads
 module Experiment = Semper_harness.Experiment
 module Audit = Semper_harness.Audit
+module Fuzz = Semper_harness.Fuzz
 module Microbench = Semper_harness.Microbench
 module Nginx_bench = Semper_harness.Nginx
 

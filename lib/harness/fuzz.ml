@@ -1,0 +1,201 @@
+module System = Semper_kernel.System
+module Kernel = Semper_kernel.Kernel
+module Vpe = Semper_kernel.Vpe
+module P = Semper_kernel.Protocol
+module Perms = Semper_caps.Perms
+module Fault = Semper_fault.Fault
+module Rng = Semper_util.Rng
+module Engine = Semper_sim.Engine
+
+type spec = {
+  kernels : int;
+  vpes : int;
+  ops : int;
+  delay : bool;
+  dup : bool;
+  drop : bool;
+  stall : bool;
+  retry : bool;
+}
+
+let spec ?(kernels = 3) ?(vpes = 6) ?(ops = 40) ?(delay = true) ?(dup = true) ?(drop = true)
+    ?(stall = true) ?(retry = true) () =
+  { kernels; vpes; ops; delay; dup; drop; stall; retry }
+
+let default_spec = spec ()
+
+type outcome = {
+  workload_seed : int;
+  fault_seed : int;
+  syscalls : int;
+  replies : int;
+  ok_replies : int;
+  err_replies : int;
+  migrations : int;
+  injected_delays : int;
+  injected_dups : int;
+  injected_drops : int;
+  injected_stalls : int;
+  retries : int;
+  dup_ikc : int;
+  caps_leaked : int;
+  failures : string list;
+}
+
+let profile s fault_seed =
+  {
+    Fault.seed = Int64.of_int fault_seed;
+    delay_prob = (if s.delay then 0.25 else 0.0);
+    max_delay = 1_500;
+    dup_prob = (if s.dup then 0.08 else 0.0);
+    max_dup_delay = 900;
+    drop_prob = (if s.drop then 0.04 else 0.0);
+    max_drops_per_pair = 2;
+    max_drops_total = 24;
+    stall_prob = (if s.stall then 0.02 else 0.0);
+    max_stall = 4_000;
+  }
+
+let run_one ?(spec = default_spec) ~workload_seed ~fault_seed () =
+  let s = spec in
+  let rng = Rng.create (Int64.of_int workload_seed) in
+  let pes = max 2 ((s.vpes + s.kernels - 1) / s.kernels) in
+  let sys =
+    System.create
+      (System.config ~kernels:s.kernels ~user_pes_per_kernel:pes ~fault:(profile s fault_seed)
+         ~retry:s.retry ())
+  in
+  let vpes = Array.init s.vpes (fun i -> System.spawn_vpe sys ~kernel:(i mod s.kernels)) in
+  let issued = ref 0 and replied = ref 0 and ok = ref 0 and errs = ref 0 in
+  let migrations = ref 0 in
+  let failures = ref [] in
+  (* Pool of (vpe index, selector) pairs known to have been granted;
+     entries go stale after revokes and exits — the resulting errors are
+     themselves part of the workload. *)
+  let pool = ref [] in
+  let pool_pick () =
+    match !pool with
+    | [] -> None
+    | entries -> Some (List.nth entries (Rng.int rng (List.length entries)))
+  in
+  let issue v call =
+    incr issued;
+    System.syscall sys vpes.(v) call (fun r ->
+        incr replied;
+        match r with
+        | P.R_sel sel ->
+          incr ok;
+          pool := (v, sel) :: !pool
+        | P.R_ok | P.R_vpe _ | P.R_sess _ -> incr ok
+        | P.R_err _ -> incr errs)
+  in
+  let alloc v = issue v (P.Sys_alloc_mem { size = 4096L; perms = Perms.rw }) in
+  (try
+     (* Every VPE starts with one root allocation so exchanges have
+        material to work with. *)
+     Array.iteri (fun i _ -> alloc i) vpes;
+     ignore (System.run sys);
+     for _ = 1 to s.ops do
+       (match Rng.int rng 100 with
+       | n when n < 10 -> alloc (Rng.int rng s.vpes)
+       | n when n < 40 -> (
+         match pool_pick () with
+         | None -> alloc (Rng.int rng s.vpes)
+         | Some (dv, dsel) ->
+           issue (Rng.int rng s.vpes)
+             (P.Sys_obtain_from { donor_vpe = vpes.(dv).Vpe.id; donor_sel = dsel }))
+       | n when n < 60 -> (
+         match pool_pick () with
+         | None -> alloc (Rng.int rng s.vpes)
+         | Some (hv, hsel) ->
+           let recv = Rng.int rng s.vpes in
+           issue hv (P.Sys_delegate_to { recv_vpe = vpes.(recv).Vpe.id; sel = hsel }))
+       | n when n < 75 -> (
+         match pool_pick () with
+         | None -> alloc (Rng.int rng s.vpes)
+         | Some (hv, hsel) -> issue hv (P.Sys_revoke { sel = hsel; own = Rng.bool rng }))
+       | n when n < 85 -> (
+         match pool_pick () with
+         | None -> alloc (Rng.int rng s.vpes)
+         | Some (hv, hsel) ->
+           issue hv
+             (P.Sys_derive_mem { sel = hsel; offset = 0L; size = 1024L; perms = Perms.r }))
+       | n when n < 93 ->
+         (* Bounded partial run: lets the next syscalls overlap whatever
+            is still in flight, exercising interleavings. *)
+         ignore
+           (System.run ~until:(Int64.add (System.now sys) (Int64.of_int (500 + Rng.int rng 4_000))) sys)
+       | n when n < 98 ->
+         (* Migration needs quiescence; skip when the candidate cannot
+            legally move right now. *)
+         ignore (System.run sys);
+         let v = vpes.(Rng.int rng s.vpes) in
+         let dst = Rng.int rng s.kernels in
+         if Vpe.is_alive v && (not v.Vpe.syscall_pending) && dst <> v.Vpe.kernel then begin
+           System.migrate_vpe sys v ~to_kernel:dst;
+           incr migrations
+         end
+       | _ ->
+         let v = Rng.int rng s.vpes in
+         if Vpe.is_alive vpes.(v) then issue v P.Sys_exit);
+       (* Small chance the next message batch starts later. *)
+       if Rng.int rng 4 = 0 then
+         ignore (System.run ~until:(Int64.add (System.now sys) 1_000L) sys)
+     done;
+     ignore (System.run sys);
+     (* Liveness oracle: a drained engine with unanswered syscalls means
+        a protocol lost a message for good. *)
+     if !replied <> !issued then
+       failures :=
+         Printf.sprintf "liveness: %d of %d syscalls never got a reply" (!issued - !replied)
+           !issued
+         :: !failures;
+     (* Safety oracle: the global capability forest must be consistent. *)
+     let report = Audit.run sys in
+     List.iter (fun e -> failures := ("audit: " ^ e) :: !failures) report.Audit.errors
+   with exn -> failures := ("exception: " ^ Printexc.to_string exn) :: !failures);
+  let leaked = try System.shutdown sys with _ -> -1 in
+  if leaked <> 0 then
+    failures := Printf.sprintf "teardown: %d capabilities survived shutdown" leaked :: !failures;
+  let kstat f = List.fold_left (fun acc k -> acc + f (Kernel.stats k)) 0 (System.kernels sys) in
+  let inj =
+    match System.fault_plan sys with
+    | Some plan -> Fault.stats plan
+    | None -> { Fault.delays = 0; dups = 0; drops = 0; stalls = 0 }
+  in
+  {
+    workload_seed;
+    fault_seed;
+    syscalls = !issued;
+    replies = !replied;
+    ok_replies = !ok;
+    err_replies = !errs;
+    migrations = !migrations;
+    injected_delays = inj.Fault.delays;
+    injected_dups = inj.Fault.dups;
+    injected_drops = inj.Fault.drops;
+    injected_stalls = inj.Fault.stalls;
+    retries = kstat (fun st -> st.Kernel.retries);
+    dup_ikc = kstat (fun st -> st.Kernel.dup_ikc);
+    caps_leaked = leaked;
+    failures = List.rev !failures;
+  }
+
+let outcome_line o =
+  Printf.sprintf
+    "w=%d f=%d calls=%d replies=%d ok=%d err=%d migr=%d inj[delay=%d dup=%d drop=%d stall=%d] \
+     retries=%d dups_seen=%d leaked=%d %s"
+    o.workload_seed o.fault_seed o.syscalls o.replies o.ok_replies o.err_replies o.migrations
+    o.injected_delays o.injected_dups o.injected_drops o.injected_stalls o.retries o.dup_ikc
+    o.caps_leaked
+    (match o.failures with
+    | [] -> "PASS"
+    | fs -> Printf.sprintf "FAIL(%d)" (List.length fs))
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%s" (outcome_line o);
+  List.iter (fun f -> Format.fprintf ppf "@.  %s" f) o.failures
+
+let run_many ?(spec = default_spec) ~workload_seed ~fault_seed ~runs () =
+  List.init runs (fun i ->
+      run_one ~spec ~workload_seed:(workload_seed + i) ~fault_seed:(fault_seed + i) ())

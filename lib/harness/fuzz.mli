@@ -1,0 +1,80 @@
+(** Deterministic schedule fuzzer for the distributed capability
+    protocols.
+
+    One fuzz case is a pair of seeds: [workload_seed] drives a random
+    multi-kernel workload (alloc, obtain, delegate, revoke, derive,
+    migrate, exit, partial engine runs) and [fault_seed] drives a
+    {!Semper_fault.Fault} plan injected into the fabric. Everything is
+    seeded, so a failing pair replays bit-identically:
+
+    {v semperos_cli fuzz --workload-seed N --fault-seed M v}
+
+    After the workload, the engine is drained and three oracles run:
+
+    - {b liveness}: every syscall issued received a reply (no protocol
+      lost a message for good);
+    - {b safety}: {!Audit.run} reports a consistent global capability
+      forest (parent/child symmetry, DDL routing, no orphans);
+    - {b teardown}: {!System.shutdown} revokes everything — zero
+      capabilities survive. *)
+
+type spec = {
+  kernels : int;
+  vpes : int;
+  ops : int;  (** number of random workload steps *)
+  delay : bool;
+  dup : bool;
+  drop : bool;
+  stall : bool;
+  retry : bool;  (** disable to demonstrate the oracles catching real loss *)
+}
+
+val spec :
+  ?kernels:int ->
+  ?vpes:int ->
+  ?ops:int ->
+  ?delay:bool ->
+  ?dup:bool ->
+  ?drop:bool ->
+  ?stall:bool ->
+  ?retry:bool ->
+  unit ->
+  spec
+
+(** 3 kernels, 6 VPEs, 40 ops, all fault classes, retries on. *)
+val default_spec : spec
+
+type outcome = {
+  workload_seed : int;
+  fault_seed : int;
+  syscalls : int;
+  replies : int;
+  ok_replies : int;
+  err_replies : int;
+  migrations : int;
+  injected_delays : int;
+  injected_dups : int;
+  injected_drops : int;
+  injected_stalls : int;
+  retries : int;  (** kernel retransmissions triggered by timeouts *)
+  dup_ikc : int;  (** duplicate inter-kernel messages detected and absorbed *)
+  caps_leaked : int;
+  failures : string list;  (** empty = the case passed all oracles *)
+}
+
+(** The fault profile a spec induces for a given fault seed. *)
+val profile : spec -> int -> Semper_fault.Fault.profile
+
+val run_one : ?spec:spec -> workload_seed:int -> fault_seed:int -> unit -> outcome
+
+(** Runs [runs] cases over the seed pairs
+    [(workload_seed + i, fault_seed + i)]. *)
+val run_many :
+  ?spec:spec -> workload_seed:int -> fault_seed:int -> runs:int -> unit -> outcome list
+
+(** One-line, byte-stable summary (identical seeds always produce the
+    identical line). *)
+val outcome_line : outcome -> string
+
+(** {!outcome_line} plus one indented line per failure. *)
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -23,6 +23,8 @@ type t = {
   activate : int64;
   create_obj : int64;
   session_open : int64;
+  retry_timeout : int64;
+  retry_max : int;
 }
 
 (* Calibrated against Table 3 of the paper: local exchange 3597 (M3:
@@ -52,7 +54,11 @@ let default mode =
     activate = 800L;
     create_obj = 800L;
     session_open = 700L;
+    retry_timeout = 25_000L;
+    retry_max = 20;
   }
+
+let without_retries t = { t with retry_max = 0 }
 
 let with_batching t = { t with batch_revokes = true }
 let batching t = t.batch_revokes

@@ -38,6 +38,11 @@ type t = {
   activate : int64;          (** endpoint configuration *)
   create_obj : int64;        (** creating a VPE / service / gate object *)
   session_open : int64;      (** session bookkeeping at each kernel *)
+  retry_timeout : int64;
+      (** cycles before an unanswered op-tagged inter-kernel request is
+          retransmitted (generously above any fault-plan delay so
+          retries only fire on real losses) *)
+  retry_max : int;           (** retransmission attempts; 0 disables retry *)
 }
 
 (** Calibrated defaults for the given mode. *)
@@ -59,6 +64,12 @@ val batching : t -> bool
 val with_broadcast : t -> t
 
 val broadcast : t -> bool
+
+(** [without_retries t] disables the timeout/retransmit machinery
+    ([retry_max = 0]); under a fault plan that drops messages the
+    protocols then lose requests — used to prove the fuzz oracle has
+    teeth. *)
+val without_retries : t -> t
 
 (** DDL decode charge for [n] key decodes — zero in [M3] mode. *)
 val ddl : t -> int -> int64

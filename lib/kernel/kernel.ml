@@ -35,6 +35,8 @@ type stats = {
   mutable ikc_sent : int;
   mutable ikc_received : int;
   mutable credit_stalls : int;
+  mutable retries : int;
+  mutable dup_ikc : int;
   latencies : (string, Semper_util.Stats.Acc.t) Hashtbl.t;
 }
 
@@ -64,12 +66,22 @@ type pending =
   | P_delegate_dst of { child_key : Key.t; recv_vpe : int; src_kernel : int }
   | P_open_sess of { client : Vpe.t; sess_key : Key.t; srv_key : Key.t; srv_kernel : int }
   | P_revoke of revoke_op
+  (* One outstanding [Ik_revoke_req]: every revoke message carries its
+     own op id so the responder can deduplicate redeliveries and a
+     duplicated reply cannot double-decrement [outstanding]. *)
+  | P_revoke_msg of { rop : revoke_op }
   | P_migrate of {
       vpe : Vpe.t;
       dst : int;
-      mutable acks_outstanding : int;
+      mutable pending_peers : int list;
       done_k : unit -> unit;
     }
+
+(* Responder-side record of an op-tagged request: op ids are globally
+   unique (minted by the requester), so a redelivered request —
+   retransmission or fault-injected duplicate — is recognised and, once
+   finished, answered from the cached reply instead of re-executed. *)
+type remote_state = R_in_progress | R_done of { dst : int; msg : P.ikc }
 
 type t = {
   id : int;
@@ -95,6 +107,12 @@ type t = {
      capability is revoked (NoC-level isolation enforcement). *)
   activations : (int * int) Key.Table.t;
   credits : (int, int ref * (P.ikc * int) Queue.t) Hashtbl.t;  (* per peer kernel *)
+  remote_ops : (int, remote_state) Hashtbl.t;
+  (* Requests awaiting a reply, retransmitted on timeout: op -> (dst, msg). *)
+  retry_msgs : (int, int * P.ikc) Hashtbl.t;
+  (* Completed delegate handshakes: op -> (dst, ack), kept so a
+     redelivered reply can trigger an ack resend if the ack was lost. *)
+  completed_acks : (int, int * P.ikc) Hashtbl.t;
   stats : stats;
   mutable next_op : int;
 }
@@ -123,6 +141,9 @@ let create ~engine ~fabric ~grid ~id ~pe ~membership ~cost ~env ~registry ~kerne
       pending_ops = Hashtbl.create 32;
       activations = Key.Table.create 16;
       credits = Hashtbl.create 8;
+      remote_ops = Hashtbl.create 32;
+      retry_msgs = Hashtbl.create 16;
+      completed_acks = Hashtbl.create 16;
       stats =
         {
           syscalls = 0;
@@ -136,6 +157,8 @@ let create ~engine ~fabric ~grid ~id ~pe ~membership ~cost ~env ~registry ~kerne
           ikc_sent = 0;
           ikc_received = 0;
           credit_stalls = 0;
+          retries = 0;
+          dup_ikc = 0;
           latencies = Hashtbl.create 16;
         };
       next_op = 0;
@@ -227,8 +250,8 @@ let rec transmit_ikc t ~dst (ikc : P.ikc) =
   | None -> Log.err (fun m -> m "kernel %d: no peer kernel %d" t.id dst)
   | Some peer ->
     t.stats.ikc_sent <- t.stats.ikc_sent + 1;
-    Fabric.send t.fabric ~src:t.pe ~dst:peer.pe ~bytes:(c t).Cost.ikc_bytes (fun () ->
-        deliver_ikc peer ~src_kernel:t.id ikc)
+    Fabric.send ~tag:(P.ikc_name ikc) t.fabric ~src:t.pe ~dst:peer.pe ~bytes:(c t).Cost.ikc_bytes
+      (fun () -> deliver_ikc peer ~src_kernel:t.id ikc)
 
 and ikc_send t ~dst ikc =
   if dst = t.id then invalid_arg "Kernel.ikc_send: message to self";
@@ -257,8 +280,59 @@ and return_credit t ~src_kernel =
   match Hashtbl.find_opt t.registry src_kernel with
   | None -> ()
   | Some peer ->
-    Fabric.send t.fabric ~src:t.pe ~dst:peer.pe ~bytes:(c t).Cost.credit_bytes (fun () ->
-        receive_credit peer ~peer:t.id)
+    Fabric.send ~tag:"credit" t.fabric ~src:t.pe ~dst:peer.pe ~bytes:(c t).Cost.credit_bytes
+      (fun () -> receive_credit peer ~peer:t.id)
+
+(* ------------------------------------------------------------------ *)
+(* Reliability: timeout-driven retransmission + duplicate detection.
+   Op-tagged requests are retransmitted until their reply arrives (or
+   the attempt budget runs out); responders answer redeliveries from a
+   cache. Each retransmission refunds one credit first, on the
+   assumption the lost message's credit was leaked with it — so bounded
+   drops cannot wedge the in-flight window permanently. *)
+
+and register_retry t op ~dst msg =
+  Hashtbl.replace t.retry_msgs op (dst, msg);
+  if (c t).Cost.retry_max > 0 then begin
+    let rec tick attempts () =
+      match Hashtbl.find_opt t.retry_msgs op with
+      | None -> ()
+      | Some (dst, msg) ->
+        if attempts >= (c t).Cost.retry_max then Hashtbl.remove t.retry_msgs op
+        else begin
+          t.stats.retries <- t.stats.retries + 1;
+          receive_credit t ~peer:dst;
+          ikc_send t ~dst msg;
+          Engine.after t.engine (c t).Cost.retry_timeout (tick (attempts + 1))
+        end
+    in
+    Engine.after t.engine (c t).Cost.retry_timeout (tick 0)
+  end
+
+and clear_retry t op = Hashtbl.remove t.retry_msgs op
+
+(* Returns [true] when the request was seen before; credit is returned
+   either way, and a finished op re-sends its cached reply. *)
+and remote_dup t ~src_kernel ~op =
+  match Hashtbl.find_opt t.remote_ops op with
+  | None ->
+    Hashtbl.replace t.remote_ops op R_in_progress;
+    false
+  | Some R_in_progress ->
+    t.stats.dup_ikc <- t.stats.dup_ikc + 1;
+    return_credit t ~src_kernel;
+    true
+  | Some (R_done { dst; msg }) ->
+    t.stats.dup_ikc <- t.stats.dup_ikc + 1;
+    return_credit t ~src_kernel;
+    ikc_send t ~dst msg;
+    true
+
+(* Send the final reply for an op-tagged request and cache it for
+   redeliveries. *)
+and finish_remote t ~op ~dst msg =
+  Hashtbl.replace t.remote_ops op (R_done { dst; msg });
+  ikc_send t ~dst msg
 
 (* ------------------------------------------------------------------ *)
 (* VPE interaction: the kernel asks the other party of an exchange      *)
@@ -419,7 +493,8 @@ and complete_revoke t (op : revoke_op) =
             t.env.on_vpe_exit vpe;
             finish_syscall t vpe P.R_ok
           | Ro_remote (src_kernel, remote_op) ->
-            ikc_send t ~dst:src_kernel (P.Ik_revoke_reply { op = remote_op; keys = op.roots })) ))
+            finish_remote t ~op:remote_op ~dst:src_kernel
+              (P.Ik_revoke_reply { op = remote_op; keys = op.roots })) ))
 
 (* Entry point for both revoke syscalls and incoming revoke requests.
    [base_cost] is the fixed processing charge for this trigger. *)
@@ -505,7 +580,14 @@ and start_revoke t ~origin ~roots ~own ~base_cost =
         fun () ->
           List.iter
             (fun (dst, keys) ->
-              ikc_send t ~dst (P.Ik_revoke_req { op = op.rop_id; src_kernel = t.id; keys }))
+              (* Per-message op id: the reply resolves back to the
+                 operation, and a redelivered reply finds the message op
+                 already retired instead of double-decrementing. *)
+              let msg_op = fresh_op t in
+              Hashtbl.add t.pending_ops msg_op (P_revoke_msg { rop = op });
+              let msg = P.Ik_revoke_req { op = msg_op; src_kernel = t.id; keys } in
+              ikc_send t ~dst msg;
+              register_retry t msg_op ~dst msg)
             messages;
           if op.outstanding = 0 then complete_revoke t op ))
 
@@ -543,9 +625,12 @@ and remote_obtain t ~(client : Vpe.t) ~dst_kernel ~donor =
   let obj_reserved = Mapdb.fresh_obj t.mapdb in
   Hashtbl.add t.pending_ops op (P_obtain { client });
   t.stats.exchanges_spanning <- t.stats.exchanges_spanning + 1;
-  ikc_send t ~dst:dst_kernel
-    (P.Ik_obtain_req
-       { op; src_kernel = t.id; obj_reserved; client_pe = client.Vpe.pe; client_vpe = client.Vpe.id; donor })
+  let msg =
+    P.Ik_obtain_req
+      { op; src_kernel = t.id; obj_reserved; client_pe = client.Vpe.pe; client_vpe = client.Vpe.id; donor }
+  in
+  ikc_send t ~dst:dst_kernel msg;
+  register_retry t op ~dst:dst_kernel msg
 
 (* ------------------------------------------------------------------ *)
 (* Syscall handling                                                    *)
@@ -696,8 +781,11 @@ and handle_syscall t (vpe : Vpe.t) (call : P.syscall) =
             Hashtbl.add t.pending_ops op (P_open_sess { client = vpe; sess_key; srv_key; srv_kernel });
             ( Int64.add cost (c t).Cost.session_open,
               fun () ->
-                ikc_send t ~dst:srv_kernel
-                  (P.Ik_open_sess_req { op; src_kernel = t.id; srv_key; sess_key; client_vpe = vpe.Vpe.id }) )
+                let msg =
+                  P.Ik_open_sess_req { op; src_kernel = t.id; srv_key; sess_key; client_vpe = vpe.Vpe.id }
+                in
+                ikc_send t ~dst:srv_kernel msg;
+                register_retry t op ~dst:srv_kernel msg )
           end)
   | P.Sys_obtain { sess; args } ->
     job t (fun () ->
@@ -787,15 +875,18 @@ and handle_syscall t (vpe : Vpe.t) (call : P.syscall) =
               t.stats.exchanges_spanning <- t.stats.exchanges_spanning + 1;
               ( Int64.add (Int64.add dispatch (c t).Cost.exchange_forward) (Cost.ddl (c t) 1),
                 fun () ->
-                  ikc_send t ~dst:recv.Vpe.kernel
-                    (P.Ik_delegate_req
-                       {
-                         op;
-                         src_kernel = t.id;
-                         parent_key = src_cap.Cap.key;
-                         kind = src_cap.Cap.kind;
-                         recv = P.Recv_vpe recv_vpe;
-                       }) )
+                  let msg =
+                    P.Ik_delegate_req
+                      {
+                        op;
+                        src_kernel = t.id;
+                        parent_key = src_cap.Cap.key;
+                        kind = src_cap.Cap.kind;
+                        recv = P.Recv_vpe recv_vpe;
+                      }
+                  in
+                  ikc_send t ~dst:recv.Vpe.kernel msg;
+                  register_retry t op ~dst:recv.Vpe.kernel msg )
             end))
   | P.Sys_delegate { sess; sel; args } ->
     job t (fun () ->
@@ -831,15 +922,18 @@ and handle_syscall t (vpe : Vpe.t) (call : P.syscall) =
                 t.stats.exchanges_spanning <- t.stats.exchanges_spanning + 1;
                 ( Int64.add (Int64.add dispatch (c t).Cost.exchange_forward) (Cost.ddl (c t) 1),
                   fun () ->
-                    ikc_send t ~dst:srv_kernel
-                      (P.Ik_delegate_req
-                         {
-                           op;
-                           src_kernel = t.id;
-                           parent_key = src_cap.Cap.key;
-                           kind = src_cap.Cap.kind;
-                           recv = P.Recv_service { srv_key = srv; ident; args };
-                         }) )
+                    let msg =
+                      P.Ik_delegate_req
+                        {
+                          op;
+                          src_kernel = t.id;
+                          parent_key = src_cap.Cap.key;
+                          kind = src_cap.Cap.kind;
+                          recv = P.Recv_service { srv_key = srv; ident; args };
+                        }
+                    in
+                    ikc_send t ~dst:srv_kernel msg;
+                    register_retry t op ~dst:srv_kernel msg )
               end)
           | Cap.Vpe_cap _ | Cap.Mem_cap _ | Cap.Srv_cap _ | Cap.Rgate_cap _ | Cap.Sgate_cap _
           | Cap.Kernel_cap _ ->
@@ -863,7 +957,10 @@ and handle_syscall t (vpe : Vpe.t) (call : P.syscall) =
               ( dispatch,
                 fun () ->
                   other.on_complete <- (fun () -> finish_syscall t vpe P.R_ok) :: other.on_complete )
-            | Some (P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_migrate _) | None ->
+            | Some
+                ( P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_revoke_msg _
+                | P_migrate _ )
+            | None ->
               (dispatch, fun () -> finish_syscall t vpe P.R_ok))
           | Cap.Alive ->
             ( Int64.add dispatch (Cost.ddl (c t) 1),
@@ -946,13 +1043,15 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
   t.stats.ikc_received <- t.stats.ikc_received + 1;
   match ikc with
   | P.Ik_obtain_req { op; src_kernel = origin; obj_reserved; client_pe; client_vpe; donor } ->
-    Thread_pool.acquire t.threads (fun () ->
-        job t (fun () ->
-            let cost = Int64.add (c t).Cost.exchange_remote (Cost.ddl (c t) 2) in
-            ( cost,
-              fun () ->
-                return_credit t ~src_kernel;
-                handle_obtain_req t ~origin ~op ~obj_reserved ~client_pe ~client_vpe ~donor )))
+    if remote_dup t ~src_kernel ~op then ()
+    else
+      Thread_pool.acquire t.threads (fun () ->
+          job t (fun () ->
+              let cost = Int64.add (c t).Cost.exchange_remote (Cost.ddl (c t) 2) in
+              ( cost,
+                fun () ->
+                  return_credit t ~src_kernel;
+                  handle_obtain_req t ~origin ~op ~obj_reserved ~client_pe ~client_vpe ~donor )))
   | P.Ik_obtain_reply { op; result } ->
     job t (fun () ->
         let cost = Int64.add (c t).Cost.exchange_create (Cost.ddl (c t) 2) in
@@ -961,13 +1060,15 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
             return_credit t ~src_kernel;
             handle_obtain_reply t ~op ~result ))
   | P.Ik_delegate_req { op; src_kernel = origin; parent_key; kind; recv } ->
-    Thread_pool.acquire t.threads (fun () ->
-        job t (fun () ->
-            let cost = Int64.add (c t).Cost.exchange_remote (Cost.ddl (c t) 1) in
-            ( cost,
-              fun () ->
-                return_credit t ~src_kernel;
-                handle_delegate_req t ~origin ~op ~parent_key ~kind ~recv )))
+    if remote_dup t ~src_kernel ~op then ()
+    else
+      Thread_pool.acquire t.threads (fun () ->
+          job t (fun () ->
+              let cost = Int64.add (c t).Cost.exchange_remote (Cost.ddl (c t) 1) in
+              ( cost,
+                fun () ->
+                  return_credit t ~src_kernel;
+                  handle_delegate_req t ~origin ~op ~parent_key ~kind ~recv )))
   | P.Ik_delegate_reply { op; result } ->
     job t (fun () ->
         let cost = Int64.add (c t).Cost.exchange_create (Cost.ddl (c t) 2) in
@@ -982,12 +1083,14 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
             return_credit t ~src_kernel;
             handle_delegate_ack t ~op ~child_key ~commit ))
   | P.Ik_open_sess_req { op; src_kernel = origin; srv_key; sess_key; client_vpe } ->
-    Thread_pool.acquire t.threads (fun () ->
-        job t (fun () ->
-            ( (c t).Cost.session_open,
-              fun () ->
-                return_credit t ~src_kernel;
-                handle_open_sess_req t ~origin ~op ~srv_key ~sess_key ~client_vpe )))
+    if remote_dup t ~src_kernel ~op then ()
+    else
+      Thread_pool.acquire t.threads (fun () ->
+          job t (fun () ->
+              ( (c t).Cost.session_open,
+                fun () ->
+                  return_credit t ~src_kernel;
+                  handle_open_sess_req t ~origin ~op ~srv_key ~sess_key ~client_vpe )))
   | P.Ik_open_sess_reply { op; result } ->
     job t (fun () ->
         ( Int64.add (c t).Cost.session_open (Cost.ddl (c t) 1),
@@ -995,8 +1098,10 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
             return_credit t ~src_kernel;
             handle_open_sess_reply t ~op ~result ))
   | P.Ik_revoke_req { op; src_kernel = origin; keys } ->
-    (* Handled without pausing a thread (Algorithm 1). *)
-    return_credit_after_dispatch t ~src_kernel (fun () ->
+    if remote_dup t ~src_kernel ~op then ()
+    else
+      (* Handled without pausing a thread (Algorithm 1). *)
+      return_credit_after_dispatch t ~src_kernel (fun () ->
         let base_cost =
           if Cost.broadcast (c t) then
             (* No explicit relations: scan the whole mapping database. *)
@@ -1011,8 +1116,15 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
           fun () ->
             return_credit t ~src_kernel;
             (match Hashtbl.find_opt t.pending_ops op with
+            | Some (P_revoke_msg { rop }) ->
+              Hashtbl.remove t.pending_ops op;
+              clear_retry t op;
+              revoke_release t rop
             | Some (P_revoke rop) -> revoke_release t rop
-            | Some (P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_migrate _) | None -> ()) ))
+            | Some (P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_migrate _)
+            | None ->
+              (* Redelivered reply for a message op already retired. *)
+              t.stats.dup_ikc <- t.stats.dup_ikc + 1) ))
   | P.Ik_remove_child { parent_key; child_key } ->
     job t (fun () ->
         ( Cost.ddl (c t) 2,
@@ -1036,15 +1148,22 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
             return_credit t ~src_kernel;
             (match Hashtbl.find_opt t.pending_ops op with
             | Some (P_migrate m) ->
-              m.acks_outstanding <- m.acks_outstanding - 1;
-              if m.acks_outstanding = 0 then begin
-                Hashtbl.remove t.pending_ops op;
-                migrate_transfer t ~vpe:m.vpe ~dst:m.dst ~done_k:m.done_k
+              (* Acks are deduplicated by sender: a redelivered ack from
+                 an already-counted peer must not skip a pending one. *)
+              if List.mem src_kernel m.pending_peers then begin
+                m.pending_peers <- List.filter (fun k -> k <> src_kernel) m.pending_peers;
+                if m.pending_peers = [] then begin
+                  Hashtbl.remove t.pending_ops op;
+                  migrate_transfer t ~vpe:m.vpe ~dst:m.dst ~done_k:m.done_k
+                end
               end
+              else t.stats.dup_ikc <- t.stats.dup_ikc + 1
             | Some
-                ( P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_revoke _ )
+                ( P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_revoke _
+                | P_revoke_msg _ )
             | None ->
-              Log.err (fun m -> m "kernel %d: stray migrate ack for op %d" t.id op)) ))
+              (* Redelivered ack after the migration completed. *)
+              t.stats.dup_ikc <- t.stats.dup_ikc + 1) ))
   | P.Ik_migrate_caps { src_kernel = _; vpe = vid; records } ->
     job t (fun () ->
         (* Installing the transferred records costs time proportional to
@@ -1093,7 +1212,7 @@ and return_credit_after_dispatch t ~src_kernel k =
 and handle_obtain_req t ~origin ~op ~obj_reserved ~client_pe ~client_vpe ~donor =
   let reply result =
     Thread_pool.release t.threads;
-    ikc_send t ~dst:origin (P.Ik_obtain_reply { op; result })
+    finish_remote t ~op ~dst:origin (P.Ik_obtain_reply { op; result })
   in
   let grant ~parent_key ~kind =
     job t (fun () ->
@@ -1134,6 +1253,7 @@ and handle_obtain_reply t ~op ~result =
   match Hashtbl.find_opt t.pending_ops op with
   | Some (P_obtain { client }) -> (
     Hashtbl.remove t.pending_ops op;
+    clear_retry t op;
     match result with
     | Error e -> finish_syscall t client (P.R_err e)
     | Ok (child_key, kind, parent_key) ->
@@ -1150,14 +1270,25 @@ and handle_obtain_reply t ~op ~result =
         let sel = Capspace.insert client.Vpe.capspace child_key in
         finish_syscall t client (P.R_sel sel)
       end)
-  | Some (P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_revoke _ | P_migrate _) | None ->
-    Log.err (fun m -> m "kernel %d: stray obtain reply for op %d" t.id op)
+  | Some
+      ( P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_revoke _ | P_revoke_msg _
+      | P_migrate _ )
+  | None ->
+    (* Redelivered reply: the obtain already completed. *)
+    t.stats.dup_ikc <- t.stats.dup_ikc + 1;
+    Log.debug (fun m -> m "kernel %d: duplicate obtain reply for op %d" t.id op)
 
 and handle_delegate_req t ~origin ~op ~parent_key ~kind ~recv =
   let reply result =
     (* The thread stays held until the ack: the two-way handshake is the
-       paper's fix for the "Invalid" anomaly. *)
-    ikc_send t ~dst:origin (P.Ik_delegate_reply { op; result })
+       paper's fix for the "Invalid" anomaly. A committed reply is also
+       retransmitted until the ack arrives, covering a lost ack (the
+       source re-sends its cached ack on seeing the duplicate reply). *)
+    let msg = P.Ik_delegate_reply { op; result } in
+    (match result with
+    | Ok _ -> register_retry t op ~dst:origin msg
+    | Error _ -> ());
+    finish_remote t ~op ~dst:origin msg
   in
   let proceed (recv_v : Vpe.t) =
     job t (fun () ->
@@ -1207,29 +1338,50 @@ and handle_delegate_reply t ~op ~result =
   match Hashtbl.find_opt t.pending_ops op with
   | Some (P_delegate_src { client; src_key; dst_kernel }) -> (
     Hashtbl.remove t.pending_ops op;
+    clear_retry t op;
+    let send_ack commit child_key =
+      let ack = P.Ik_delegate_ack { op; child_key; commit } in
+      (* Cache the ack: a redelivered reply means the destination is
+         still waiting, so the ack may have been lost and is re-sent. *)
+      Hashtbl.replace t.completed_acks op (dst_kernel, ack);
+      ikc_send t ~dst:dst_kernel ack
+    in
     match result with
     | Error e -> finish_syscall t client (P.R_err e)
     | Ok child_key -> (
       match Mapdb.find t.mapdb src_key with
       | Some src_cap when not (Cap.is_marked src_cap) ->
         Cap.add_child src_cap child_key;
-        ikc_send t ~dst:dst_kernel (P.Ik_delegate_ack { op; child_key; commit = true });
+        send_ack true child_key;
         finish_syscall t client P.R_ok
       | Some _ | None ->
         (* The delegated capability was revoked while the handshake was
            in flight: abort so the receiver never gains unjustified
            access (paper §4.3.2, "Invalid"). *)
-        ikc_send t ~dst:dst_kernel (P.Ik_delegate_ack { op; child_key; commit = false });
+        send_ack false child_key;
         finish_syscall t client (P.R_err P.E_in_revocation)))
-  | Some (P_obtain _ | P_delegate_dst _ | P_open_sess _ | P_revoke _ | P_migrate _) | None ->
-    Log.err (fun m -> m "kernel %d: stray delegate reply for op %d" t.id op)
+  | Some
+      ( P_obtain _ | P_delegate_dst _ | P_open_sess _ | P_revoke _ | P_revoke_msg _ | P_migrate _ )
+  | None -> (
+    (* Redelivered reply after the handshake completed here: re-send
+       the cached ack in case the original ack was lost. *)
+    match Hashtbl.find_opt t.completed_acks op with
+    | Some (dst, ack) ->
+      t.stats.dup_ikc <- t.stats.dup_ikc + 1;
+      receive_credit t ~peer:dst;
+      ikc_send t ~dst ack
+    | None ->
+      t.stats.dup_ikc <- t.stats.dup_ikc + 1;
+      Log.debug (fun m -> m "kernel %d: duplicate delegate reply for op %d" t.id op))
 
 and handle_delegate_ack t ~op ~child_key ~commit =
-  (match Hashtbl.find_opt t.pending_ops op with
+  match Hashtbl.find_opt t.pending_ops op with
   | Some (P_delegate_dst { child_key = ck; recv_vpe; src_kernel }) -> (
     Hashtbl.remove t.pending_ops op;
+    (* Stop retransmitting the reply; the handshake is over. *)
+    clear_retry t op;
     assert (Key.equal ck child_key);
-    match Mapdb.find t.mapdb child_key with
+    (match Mapdb.find t.mapdb child_key with
     | None -> () (* revoked in the meantime; nothing to do *)
     | Some cap ->
       if not commit then begin
@@ -1250,16 +1402,20 @@ and handle_delegate_ack t ~op ~child_key ~commit =
           | Some parent_key ->
             ikc_send t ~dst:src_kernel (P.Ik_remove_child { parent_key; child_key })
           | None -> ())
-      end)
-  | Some (P_obtain _ | P_delegate_src _ | P_open_sess _ | P_revoke _ | P_migrate _) | None ->
-    Log.err (fun m -> m "kernel %d: stray delegate ack for op %d" t.id op));
-  (* Handshake over: release the thread held since the request. *)
-  Thread_pool.release t.threads
+      end);
+    (* Handshake over: release the thread held since the request. *)
+    Thread_pool.release t.threads)
+  | Some
+      ( P_obtain _ | P_delegate_src _ | P_open_sess _ | P_revoke _ | P_revoke_msg _ | P_migrate _ )
+  | None ->
+    (* Redelivered ack: the handshake already completed and its thread
+       was already released — releasing again would corrupt the pool. *)
+    t.stats.dup_ikc <- t.stats.dup_ikc + 1
 
 and handle_open_sess_req t ~origin ~op ~srv_key ~sess_key ~client_vpe =
   let reply result =
     Thread_pool.release t.threads;
-    ikc_send t ~dst:origin (P.Ik_open_sess_reply { op; result })
+    finish_remote t ~op ~dst:origin (P.Ik_open_sess_reply { op; result })
   in
   match Mapdb.find t.mapdb srv_key with
   | None -> reply (Error P.E_no_such_service)
@@ -1281,6 +1437,7 @@ and handle_open_sess_reply t ~op ~result =
   match Hashtbl.find_opt t.pending_ops op with
   | Some (P_open_sess { client; sess_key; srv_key; srv_kernel }) -> (
     Hashtbl.remove t.pending_ops op;
+    clear_retry t op;
     match result with
     | Error e -> finish_syscall t client (P.R_err e)
     | Ok ident ->
@@ -1296,8 +1453,13 @@ and handle_open_sess_reply t ~op ~result =
         let sel = Capspace.insert client.Vpe.capspace sess_key in
         finish_syscall t client (P.R_sess { sel; ident })
       end)
-  | Some (P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_revoke _ | P_migrate _) | None ->
-    Log.err (fun m -> m "kernel %d: stray open-session reply for op %d" t.id op)
+  | Some
+      ( P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_revoke _ | P_revoke_msg _
+      | P_migrate _ )
+  | None ->
+    (* Redelivered reply: the session open already completed. *)
+    t.stats.dup_ikc <- t.stats.dup_ikc + 1;
+    Log.debug (fun m -> m "kernel %d: duplicate open-session reply for op %d" t.id op)
 
 (* Phase 2 of PE migration: hand the capability records and the VPE
    over to the destination kernel. *)
@@ -1389,16 +1551,29 @@ let migrate_vpe t ~(vpe : Vpe.t) ~dst done_k =
     migrate_transfer t ~vpe ~dst ~done_k
   | peers ->
     let op = fresh_op t in
-    Hashtbl.add t.pending_ops op
-      (P_migrate { vpe; dst; acks_outstanding = List.length peers; done_k });
+    Hashtbl.add t.pending_ops op (P_migrate { vpe; dst; pending_peers = peers; done_k });
+    let update = P.Ik_migrate_update { op; src_kernel = t.id; pe = vpe.Vpe.pe; new_kernel = dst } in
     job t (fun () ->
         ( Int64.mul (Int64.of_int (List.length peers)) 200L,
           fun () ->
-            List.iter
-              (fun kid ->
-                ikc_send t ~dst:kid
-                  (P.Ik_migrate_update { op; src_kernel = t.id; pe = vpe.Vpe.pe; new_kernel = dst }))
-              peers ))
+            List.iter (fun kid -> ikc_send t ~dst:kid update) peers;
+            (* Retransmit the update to peers that have not acked yet;
+               updates are idempotent and acks dedup by sender. *)
+            if (c t).Cost.retry_max > 0 then begin
+              let rec tick attempts () =
+                match Hashtbl.find_opt t.pending_ops op with
+                | Some (P_migrate m) when attempts < (c t).Cost.retry_max ->
+                  List.iter
+                    (fun kid ->
+                      t.stats.retries <- t.stats.retries + 1;
+                      receive_credit t ~peer:kid;
+                      ikc_send t ~dst:kid update)
+                    m.pending_peers;
+                  Engine.after t.engine (c t).Cost.retry_timeout (tick (attempts + 1))
+                | Some _ | None -> ()
+              in
+              Engine.after t.engine (c t).Cost.retry_timeout (tick 0)
+            end ))
 
 let check_invariants t =
   let errors = ref (Mapdb.check_local_links t.mapdb) in

@@ -43,6 +43,8 @@ type stats = {
   mutable ikc_sent : int;
   mutable ikc_received : int;
   mutable credit_stalls : int;  (** IKC sends delayed by credit exhaustion *)
+  mutable retries : int;  (** op-tagged requests retransmitted on timeout *)
+  mutable dup_ikc : int;  (** duplicate inter-kernel deliveries detected *)
   latencies : (string, Semper_util.Stats.Acc.t) Hashtbl.t;
       (** end-to-end syscall latency (cycles) per syscall kind *)
 }

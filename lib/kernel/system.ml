@@ -4,6 +4,8 @@ module Fabric = Semper_noc.Fabric
 module Dtu = Semper_dtu.Dtu
 module Membership = Semper_ddl.Membership
 
+module Fault = Semper_fault.Fault
+
 type config = {
   kernels : int;
   user_pes_per_kernel : int;
@@ -11,6 +13,8 @@ type config = {
   noc : Fabric.config;
   batching : bool;
   broadcast : bool;
+  fault : Fault.profile option;
+  retry : bool;
 }
 
 let default_config =
@@ -21,11 +25,14 @@ let default_config =
     noc = Fabric.default_config;
     batching = false;
     broadcast = false;
+    fault = None;
+    retry = true;
   }
 
 let config ?(kernels = 2) ?(user_pes_per_kernel = 8) ?(mode = Cost.Semperos)
-    ?(noc = Fabric.default_config) ?(batching = false) ?(broadcast = false) () =
-  { kernels; user_pes_per_kernel; mode; noc; batching; broadcast }
+    ?(noc = Fabric.default_config) ?(batching = false) ?(broadcast = false) ?fault
+    ?(retry = true) () =
+  { kernels; user_pes_per_kernel; mode; noc; batching; broadcast; fault; retry }
 
 type group = { kernel_pe : int; free : int Queue.t }
 
@@ -38,11 +45,13 @@ type t = {
   registry : (int, Kernel.t) Hashtbl.t;
   groups : group array;
   vpes : (int, Vpe.t) Hashtbl.t;
+  fault : Fault.t option;
   mutable next_vpe : int;
 }
 
 let engine t = t.engine
 let fabric t = t.fabric
+let fault_plan t = t.fault
 let grid t = t.grid
 let membership t = t.membership
 
@@ -104,9 +113,29 @@ let create cfg =
     let dtu = Dtu.create grid ~pe:p in
     if p mod group_size <> 0 then Dtu.deprivilege dtu
   done;
+  let fault =
+    Option.map
+      (fun profile ->
+        let kernel_pes = Array.to_list (Array.map (fun g -> g.kernel_pe) groups) in
+        let plan = Fault.create ~kernel_pes profile in
+        Fabric.set_injector fabric (Some (Fault.injector plan));
+        plan)
+      cfg.fault
+  in
   let registry = Hashtbl.create cfg.kernels in
   let t =
-    { cfg; engine; fabric; grid; membership; registry; groups; vpes = Hashtbl.create 256; next_vpe = 0 }
+    {
+      cfg;
+      engine;
+      fabric;
+      grid;
+      membership;
+      registry;
+      groups;
+      vpes = Hashtbl.create 256;
+      fault;
+      next_vpe = 0;
+    }
   in
   let env =
     {
@@ -127,7 +156,8 @@ let create cfg =
   let cost =
     let base = Cost.default cfg.mode in
     let base = if cfg.batching then Cost.with_batching base else base in
-    if cfg.broadcast then Cost.with_broadcast base else base
+    let base = if cfg.broadcast then Cost.with_broadcast base else base in
+    if cfg.retry then base else Cost.without_retries base
   in
   for g = 0 to cfg.kernels - 1 do
     (* Each kernel holds its own replica of the membership table, as in

@@ -12,6 +12,11 @@ type config = {
   noc : Semper_noc.Fabric.config;
   batching : bool;  (** enable revoke-message batching (Cost.with_batching) *)
   broadcast : bool;  (** Barrelfish-style broadcast revocation (Cost.with_broadcast) *)
+  fault : Semper_fault.Fault.profile option;
+      (** install a seeded fault plan on the fabric (None = perfect delivery) *)
+  retry : bool;
+      (** timeout/retransmit for op-tagged inter-kernel requests; turn
+          off only to demonstrate the fuzz oracle catching lost messages *)
 }
 
 val default_config : config
@@ -24,6 +29,8 @@ val config :
   ?noc:Semper_noc.Fabric.config ->
   ?batching:bool ->
   ?broadcast:bool ->
+  ?fault:Semper_fault.Fault.profile ->
+  ?retry:bool ->
   unit ->
   config
 
@@ -37,6 +44,9 @@ val create : config -> t
 
 val engine : t -> Semper_sim.Engine.t
 val fabric : t -> Semper_noc.Fabric.t
+
+(** The installed fault plan, if any (for injection statistics). *)
+val fault_plan : t -> Semper_fault.Fault.t option
 val grid : t -> Semper_dtu.Dtu.grid
 val membership : t -> Semper_ddl.Membership.t
 val kernel : t -> int -> Kernel.t

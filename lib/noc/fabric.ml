@@ -2,24 +2,43 @@ type config = { base_cycles : int; hop_cycles : int; bytes_per_cycle : int }
 
 let default_config = { base_cycles = 330; hop_cycles = 4; bytes_per_cycle = 16 }
 
+type injector = src:int -> dst:int -> tag:string -> now:int64 -> arrival:int64 -> int64 list
+
 type t = {
   engine : Semper_sim.Engine.t;
   topology : Topology.t;
   config : config;
   (* Last scheduled delivery time per (src, dst), to enforce pairwise FIFO. *)
   last_delivery : (int * int, int64) Hashtbl.t;
+  mutable injector : injector option;
   mutable messages : int;
   mutable bytes : int;
   mutable hops : int;
+  mutable messages_delivered : int;
+  mutable bytes_delivered : int;
+  mutable dropped : int;
 }
 
 let create engine topology config =
   if config.base_cycles < 0 || config.hop_cycles < 0 || config.bytes_per_cycle <= 0 then
     invalid_arg "Fabric.create: invalid config";
-  { engine; topology; config; last_delivery = Hashtbl.create 64; messages = 0; bytes = 0; hops = 0 }
+  {
+    engine;
+    topology;
+    config;
+    last_delivery = Hashtbl.create 64;
+    injector = None;
+    messages = 0;
+    bytes = 0;
+    hops = 0;
+    messages_delivered = 0;
+    bytes_delivered = 0;
+    dropped = 0;
+  }
 
 let topology t = t.topology
 let engine t = t.engine
+let set_injector t inj = t.injector <- inj
 
 let latency t ~src ~dst ~bytes =
   if bytes < 0 then invalid_arg "Fabric.latency: negative size";
@@ -27,22 +46,47 @@ let latency t ~src ~dst ~bytes =
   let c = t.config in
   Int64.of_int (c.base_cycles + (c.hop_cycles * hops) + (bytes / c.bytes_per_cycle))
 
-let send t ~src ~dst ~bytes k =
+let send ?(tag = "") t ~src ~dst ~bytes k =
   let lat = latency t ~src ~dst ~bytes in
   let now = Semper_sim.Engine.now t.engine in
   let arrival = Int64.add now lat in
-  (* FIFO per channel: never deliver before a previously sent message. *)
-  let arrival =
-    match Hashtbl.find_opt t.last_delivery (src, dst) with
-    | Some prev when Int64.compare prev arrival > 0 -> prev
-    | Some _ | None -> arrival
-  in
-  Hashtbl.replace t.last_delivery (src, dst) arrival;
+  (* Offered-load stats count at send time; delivery stats only once a
+     copy actually arrives (an injector may drop or duplicate it). *)
   t.messages <- t.messages + 1;
   t.bytes <- t.bytes + bytes;
   t.hops <- t.hops + Topology.hops t.topology src dst;
-  Semper_sim.Engine.at t.engine arrival k
+  let arrivals =
+    match t.injector with
+    | None -> [ arrival ]
+    | Some inject ->
+      (* Clamp each injected copy so it is never earlier than the
+         unfaulted arrival: faults add latency, they cannot create a
+         faster-than-the-NoC path. *)
+      inject ~src ~dst ~tag ~now ~arrival
+      |> List.map (fun a -> if Int64.compare a arrival < 0 then arrival else a)
+      |> List.sort Int64.compare
+  in
+  if arrivals = [] then t.dropped <- t.dropped + 1
+  else
+    List.iter
+      (fun a ->
+        (* FIFO per channel: never deliver before a previously sent
+           message (each duplicate copy joins the ordered stream too). *)
+        let a =
+          match Hashtbl.find_opt t.last_delivery (src, dst) with
+          | Some prev when Int64.compare prev a > 0 -> prev
+          | Some _ | None -> a
+        in
+        Hashtbl.replace t.last_delivery (src, dst) a;
+        Semper_sim.Engine.at t.engine a (fun () ->
+            t.messages_delivered <- t.messages_delivered + 1;
+            t.bytes_delivered <- t.bytes_delivered + bytes;
+            k ()))
+      arrivals
 
 let messages t = t.messages
 let bytes_carried t = t.bytes
 let hops_traversed t = t.hops
+let messages_delivered t = t.messages_delivered
+let bytes_delivered t = t.bytes_delivered
+let dropped t = t.dropped

@@ -3,7 +3,8 @@
     Latency model: [base + hop_cost * hops + bytes / bytes_per_cycle].
     Delivery between a fixed (src, dst) pair is FIFO — the paper's
     distributed capability protocols *require* pairwise message ordering
-    (§4.3.1), so the fabric enforces it even for mixed message sizes. *)
+    (§4.3.1), so the fabric enforces it even for mixed message sizes,
+    and even for copies injected by a fault plan. *)
 
 type config = {
   base_cycles : int;          (** fixed per-message overhead *)
@@ -16,24 +17,47 @@ val default_config : config
 
 type t
 
+(** A fault-injection hook: given one message (identified by its
+    protocol [tag]; [""] for untagged traffic) and its nominal
+    [arrival], returns the absolute arrival time of each copy to
+    deliver — [[]] drops the message, two elements duplicate it. The
+    fabric clamps every returned time to at least the unfaulted arrival
+    and re-applies the pairwise FIFO clamp, so an injector can only add
+    latency, never reorder a channel or time-travel. *)
+type injector = src:int -> dst:int -> tag:string -> now:int64 -> arrival:int64 -> int64 list
+
 val create : Semper_sim.Engine.t -> Topology.t -> config -> t
 
 val topology : t -> Topology.t
 val engine : t -> Semper_sim.Engine.t
 
+(** Install (or clear) the fault injector. *)
+val set_injector : t -> injector option -> unit
+
 (** [send t ~src ~dst ~bytes k] delivers after the modelled latency and
-    then runs [k]. Raises if [src]/[dst] are out of range or [bytes]
-    is negative. *)
-val send : t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+    then runs [k]. [tag] names the protocol message class for the
+    injector; untagged sends are never dropped or duplicated. Raises if
+    [src]/[dst] are out of range or [bytes] is negative. *)
+val send : ?tag:string -> t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
 
 (** Latency in cycles that [send] would charge for this message. *)
 val latency : t -> src:int -> dst:int -> bytes:int -> int64
 
-(** Messages delivered so far. *)
+(** Messages offered to the fabric so far (counted at send time). *)
 val messages : t -> int
 
-(** Total payload bytes carried so far. *)
+(** Total payload bytes offered so far. *)
 val bytes_carried : t -> int
 
-(** Total hop-traversals so far (traffic proxy). *)
+(** Total hop-traversals offered so far (traffic proxy). *)
 val hops_traversed : t -> int
+
+(** Copies actually delivered (>= offered under duplication, < under
+    drops; equal when no injector is installed). *)
+val messages_delivered : t -> int
+
+(** Payload bytes actually delivered. *)
+val bytes_delivered : t -> int
+
+(** Messages dropped by the injector. *)
+val dropped : t -> int

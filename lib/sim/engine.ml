@@ -43,8 +43,9 @@ let run ?until t =
       (match until with
       | Some limit when Int64.compare ev.time limit > 0 ->
         (* Leave future events queued but advance the clock to the limit
-           so that repeated bounded runs make progress. *)
-        t.clock <- limit;
+           so that repeated bounded runs make progress. The clock never
+           moves backwards, even for a limit in the past. *)
+        if Int64.compare limit t.clock > 0 then t.clock <- limit;
         continue := false
       | Some _ | None ->
         let ev = Semper_util.Heap.pop t.queue in

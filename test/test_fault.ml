@@ -1,0 +1,111 @@
+(* Fault-injection properties: the distributed capability protocols
+   must give the same answers under message delay, duplication, bounded
+   drops, and kernel stalls as they do on a perfect fabric. Each fault
+   class gets its own property, then the chaos profile combines them,
+   then the fuzzer's own oracles run as a property. Finally a "teeth"
+   test disables retransmission and checks the oracles really can
+   fail. *)
+
+open Semperos
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let sel_of = function
+  | Protocol.R_sel s -> s
+  | r -> Alcotest.failf "expected selector, got %a" Protocol.pp_reply r
+
+(* Build a cross-kernel sharing tree under an injected fault plan, then
+   revoke the root. Whatever the plan did to the messages, the revoke
+   must report R_ok, the audit must pass, and shutdown must reclaim
+   every capability. *)
+let exercise profile seed =
+  let sys =
+    System.create (System.config ~kernels:3 ~user_pes_per_kernel:5 ~fault:profile ())
+  in
+  let rng = Rng.create (Int64.of_int seed) in
+  let root = System.spawn_vpe sys ~kernel:0 in
+  let sel =
+    sel_of
+      (System.syscall_sync sys root (Protocol.Sys_alloc_mem { size = 4096L; perms = Perms.rw }))
+  in
+  let holders = ref [ (root, sel) ] in
+  for _ = 1 to 12 do
+    let donor, donor_sel = List.nth !holders (Rng.int rng (List.length !holders)) in
+    let kernel =
+      let open_groups = List.filter (fun k -> System.free_pes sys ~kernel:k > 0) [ 0; 1; 2 ] in
+      List.nth open_groups (Rng.int rng (List.length open_groups))
+    in
+    let v = System.spawn_vpe sys ~kernel in
+    match
+      System.syscall_sync sys v (Protocol.Sys_obtain_from { donor_vpe = donor.Vpe.id; donor_sel })
+    with
+    | Protocol.R_sel s -> holders := (v, s) :: !holders
+    | Protocol.R_err e -> Alcotest.failf "obtain failed under faults: %a" Protocol.pp_error e
+    | r -> Alcotest.failf "obtain: unexpected %a" Protocol.pp_reply r
+  done;
+  (match System.syscall_sync sys root (Protocol.Sys_revoke { sel; own = true }) with
+  | Protocol.R_ok -> ()
+  | r -> Alcotest.failf "revoke under faults: %a" Protocol.pp_reply r);
+  ignore (System.run sys);
+  Audit.check sys;
+  Alcotest.(check int) "clean shutdown" 0 (System.shutdown sys);
+  true
+
+let per_class name profile_of =
+  QCheck.Test.make ~name ~count:12
+    QCheck.(int_bound 1_000_000)
+    (fun seed -> exercise (profile_of ~seed:(Int64.of_int seed)) seed)
+
+let prop_delay = per_class "revoke ok under delays" Fault.delay_only
+let prop_dup = per_class "revoke ok under duplicates" Fault.duplicate_only
+let prop_drop = per_class "revoke ok under drops" Fault.drop_only
+let prop_stall = per_class "revoke ok under stalls" Fault.stall_only
+let prop_chaos = per_class "revoke ok under all fault classes" Fault.chaos
+
+(* The fuzzer's full workload (delegates, migrations, exits, partial
+   runs) passes its liveness / audit / teardown oracles on random seed
+   pairs. *)
+let prop_fuzz_oracles =
+  QCheck.Test.make ~name:"fuzz oracles pass on random seed pairs" ~count:8
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (workload_seed, fault_seed) ->
+      let o = Fuzz.run_one ~workload_seed ~fault_seed () in
+      if o.Fuzz.failures <> [] then
+        Alcotest.failf "seed pair (%d, %d) failed:@.%a" workload_seed fault_seed Fuzz.pp_outcome o;
+      true)
+
+(* Identical seeds must replay bit-identically. *)
+let test_determinism () =
+  let line () = Fuzz.outcome_line (Fuzz.run_one ~workload_seed:42 ~fault_seed:4242 ()) in
+  Alcotest.(check string) "byte-identical replay" (line ()) (line ())
+
+(* Teeth: with retransmission off and drops on, the oracles must catch
+   at least one lost message — otherwise they are vacuous. *)
+let test_oracles_have_teeth () =
+  let spec = Fuzz.spec ~delay:false ~dup:false ~stall:false ~drop:true ~retry:false () in
+  let outcomes = Fuzz.run_many ~spec ~workload_seed:1 ~fault_seed:1_001 ~runs:10 () in
+  Alcotest.(check bool) "some run fails without retries" true
+    (List.exists (fun o -> o.Fuzz.failures <> []) outcomes)
+
+(* The same seeds with retries restored all pass — the teeth failure is
+   the missing retransmission, not the workload. *)
+let test_retries_repair () =
+  let spec = Fuzz.spec ~delay:false ~dup:false ~stall:false ~drop:true ~retry:true () in
+  let outcomes = Fuzz.run_many ~spec ~workload_seed:1 ~fault_seed:1_001 ~runs:10 () in
+  List.iter
+    (fun o ->
+      if o.Fuzz.failures <> [] then Alcotest.failf "retry-enabled run failed:@.%a" Fuzz.pp_outcome o)
+    outcomes
+
+let suite =
+  [
+    qcheck prop_delay;
+    qcheck prop_dup;
+    qcheck prop_drop;
+    qcheck prop_stall;
+    qcheck prop_chaos;
+    qcheck prop_fuzz_oracles;
+    Alcotest.test_case "fuzz replay is deterministic" `Quick test_determinism;
+    Alcotest.test_case "oracles fail without retries" `Quick test_oracles_have_teeth;
+    Alcotest.test_case "retries repair the dropped runs" `Quick test_retries_repair;
+  ]

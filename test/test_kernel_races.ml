@@ -207,6 +207,121 @@ let test_partial_revoke_deep_tree () =
   check Alcotest.int "all gone" 0 (total_caps sys);
   Audit.check sys
 
+(* ------------------------------------------------------------------ *)
+(* Redelivery regressions: the fault injector can deliver any op-tagged
+   inter-kernel message twice, so a duplicate must be detected and
+   absorbed — never re-executed. These tests replay the duplicate by
+   hand. Requester kernels allocate ops as [kernel_id * 0x1000000 + n],
+   so the first remote op of kernel 1 is 0x1000000 and of kernel 0 is
+   0. *)
+
+let dup_ikc sys k = (Kernel.stats (System.kernel sys k)).Kernel.dup_ikc
+
+(* A redelivered obtain request must not create a second child
+   capability (Cap.add_child would raise on the duplicate). *)
+let test_redelivered_obtain_req () =
+  let sys = make () in
+  let donor = System.spawn_vpe sys ~kernel:0 in
+  let taker = System.spawn_vpe sys ~kernel:1 in
+  let donor_sel = alloc sys donor in
+  (match
+     System.syscall_sync sys taker
+       (Protocol.Sys_obtain_from { donor_vpe = donor.Vpe.id; donor_sel })
+   with
+  | Protocol.R_sel _ -> ()
+  | r -> Alcotest.failf "obtain: %a" Protocol.pp_reply r);
+  check Alcotest.int "parent + child" 2 (total_caps sys);
+  (* Kernel 1 drove the obtain with its first op; replay the request at
+     the donor's kernel as the fault injector's duplicate would. *)
+  Kernel.deliver_ikc (System.kernel sys 0) ~src_kernel:1
+    (Protocol.Ik_obtain_req
+       {
+         op = 0x1000000;
+         src_kernel = 1;
+         obj_reserved = 999;
+         client_pe = taker.Vpe.pe;
+         client_vpe = taker.Vpe.id;
+         donor = Protocol.Direct { donor_vpe = donor.Vpe.id; donor_sel };
+       });
+  ignore (System.run sys);
+  check Alcotest.bool "duplicate detected" true (dup_ikc sys 0 >= 1);
+  check Alcotest.int "still one child" 2 (total_caps sys);
+  check Alcotest.int "taker still holds one selector" 1 (Capspace.count taker.Vpe.capspace);
+  let key = Option.get (Capspace.find donor.Vpe.capspace donor_sel) in
+  let cap = Mapdb.get (Kernel.mapdb (System.kernel sys 0)) key in
+  check Alcotest.int "donor cap has one child" 1 (List.length cap.Cap.children);
+  Audit.check sys
+
+(* A redelivered delegate ack must not double-insert the child or
+   release a second protocol thread. *)
+let test_redelivered_delegate_ack () =
+  let sys = make () in
+  let sender = System.spawn_vpe sys ~kernel:0 in
+  let receiver = System.spawn_vpe sys ~kernel:1 in
+  let sel = alloc sys sender in
+  (match
+     System.syscall_sync sys sender
+       (Protocol.Sys_delegate_to { recv_vpe = receiver.Vpe.id; sel })
+   with
+  | Protocol.R_ok -> ()
+  | r -> Alcotest.failf "delegate: %a" Protocol.pp_reply r);
+  ignore (System.run sys);
+  check Alcotest.int "parent + delegated child" 2 (total_caps sys);
+  let child_key =
+    let keys = ref [] in
+    Capspace.iter (fun _ key -> keys := key :: !keys) receiver.Vpe.capspace;
+    match !keys with
+    | [ k ] -> k
+    | l -> Alcotest.failf "receiver holds %d capabilities" (List.length l)
+  in
+  let idle_threads = Thread_pool.in_use (Kernel.threads (System.kernel sys 1)) in
+  (* Kernel 0 drove the delegate with its first op (0); replay the
+     commit ack at the receiver's kernel. *)
+  Kernel.deliver_ikc (System.kernel sys 1) ~src_kernel:0
+    (Protocol.Ik_delegate_ack { op = 0; child_key; commit = true });
+  ignore (System.run sys);
+  check Alcotest.bool "duplicate detected" true (dup_ikc sys 1 >= 1);
+  check Alcotest.int "no double insert" 2 (total_caps sys);
+  check Alcotest.int "receiver still holds one selector" 1 (Capspace.count receiver.Vpe.capspace);
+  check Alcotest.int "thread pool untouched" idle_threads
+    (Thread_pool.in_use (Kernel.threads (System.kernel sys 1)));
+  Audit.check sys;
+  (* The machinery still works after the duplicate: a fresh exchange and
+     a full revoke complete normally. *)
+  (match System.syscall_sync sys sender (Protocol.Sys_revoke { sel; own = true }) with
+  | Protocol.R_ok -> ()
+  | r -> Alcotest.failf "revoke after dup ack: %a" Protocol.pp_reply r);
+  check Alcotest.int "revoke sweeps both" 0 (total_caps sys);
+  Audit.check sys
+
+(* A redelivered revoke request must not resurrect or double-free
+   anything: the responder answers from its completed-op cache. *)
+let test_redelivered_revoke_req () =
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:1 in
+  let a = alloc sys v1 in
+  let root_key = Option.get (Capspace.find v1.Vpe.capspace a) in
+  (match
+     System.syscall_sync sys v2 (Protocol.Sys_obtain_from { donor_vpe = v1.Vpe.id; donor_sel = a })
+   with
+  | Protocol.R_sel _ -> ()
+  | r -> Alcotest.failf "obtain: %a" Protocol.pp_reply r);
+  (match System.syscall_sync sys v1 (Protocol.Sys_revoke { sel = a; own = true }) with
+  | Protocol.R_ok -> ()
+  | r -> Alcotest.failf "revoke: %a" Protocol.pp_reply r);
+  check Alcotest.int "all revoked" 0 (total_caps sys);
+  (* Kernel 0's revoke consumed op 0 for the operation itself and op 1
+     for the revoke message; replay the message at kernel 1. *)
+  Kernel.deliver_ikc (System.kernel sys 1) ~src_kernel:0
+    (Protocol.Ik_revoke_req { op = 1; src_kernel = 0; keys = [ root_key ] });
+  ignore (System.run sys);
+  check Alcotest.bool "duplicate detected" true (dup_ikc sys 1 >= 1);
+  check Alcotest.int "nothing resurrected" 0 (total_caps sys);
+  check Alcotest.int "both capspaces empty" 0
+    (Capspace.count v1.Vpe.capspace + Capspace.count v2.Vpe.capspace);
+  Audit.check sys
+
 let suite =
   [
     Alcotest.test_case "delegate aborted by revoke (Invalid)" `Quick
@@ -217,4 +332,7 @@ let suite =
     Alcotest.test_case "exchange vs exit" `Quick test_exchange_vs_exit;
     Alcotest.test_case "determinism" `Quick test_determinism;
     Alcotest.test_case "partial revoke of a deep tree" `Quick test_partial_revoke_deep_tree;
+    Alcotest.test_case "redelivered obtain request" `Quick test_redelivered_obtain_req;
+    Alcotest.test_case "redelivered delegate ack" `Quick test_redelivered_delegate_ack;
+    Alcotest.test_case "redelivered revoke request" `Quick test_redelivered_revoke_req;
   ]

@@ -11,6 +11,7 @@ let () =
       ("caps", Test_caps.suite);
       ("kernel", Test_kernel.suite);
       ("kernel-races", Test_kernel_races.suite);
+      ("fault", Test_fault.suite);
       ("channels", Test_channels.suite);
       ("migration", Test_migration.suite);
       ("system", Test_system.suite);

@@ -83,6 +83,69 @@ let test_fabric_distinct_channels_independent () =
   ignore (Engine.run e);
   check Alcotest.(list string) "no cross-channel blocking" [ "fast"; "slow" ] (List.rev !log)
 
+(* ------------------------------------------------------------------ *)
+(* Offered vs delivered statistics, and the injection hook.             *)
+
+let test_fabric_stats_no_injector () =
+  let e, f = make_fabric () in
+  Fabric.send f ~src:0 ~dst:15 ~bytes:64 (fun () -> ());
+  Fabric.send f ~src:1 ~dst:2 ~bytes:32 (fun () -> ());
+  (* Offered counters tick at send time... *)
+  check Alcotest.int "messages offered" 2 (Fabric.messages f);
+  check Alcotest.int "bytes offered" 96 (Fabric.bytes_carried f);
+  check Alcotest.int "nothing delivered yet" 0 (Fabric.messages_delivered f);
+  ignore (Engine.run e);
+  (* ... delivered counters only once the message arrives. *)
+  check Alcotest.int "messages delivered" 2 (Fabric.messages_delivered f);
+  check Alcotest.int "bytes delivered" 96 (Fabric.bytes_delivered f);
+  check Alcotest.int "nothing dropped" 0 (Fabric.dropped f)
+
+let test_fabric_injector_drop () =
+  let e, f = make_fabric () in
+  (* Drop every tagged message; untagged traffic is untouched. *)
+  Fabric.set_injector f (Some (fun ~src:_ ~dst:_ ~tag ~now:_ ~arrival ->
+      if tag = "" then [ arrival ] else []));
+  let tagged = ref 0 and untagged = ref 0 in
+  Fabric.send f ~tag:"obtain_req" ~src:0 ~dst:15 ~bytes:64 (fun () -> incr tagged);
+  Fabric.send f ~src:0 ~dst:15 ~bytes:64 (fun () -> incr untagged);
+  ignore (Engine.run e);
+  check Alcotest.int "tagged message dropped" 0 !tagged;
+  check Alcotest.int "untagged message delivered" 1 !untagged;
+  check Alcotest.int "offered counts both" 2 (Fabric.messages f);
+  check Alcotest.int "delivered counts one" 1 (Fabric.messages_delivered f);
+  check Alcotest.int "drop counted" 1 (Fabric.dropped f)
+
+let test_fabric_injector_duplicate () =
+  let e, f = make_fabric () in
+  Fabric.set_injector f (Some (fun ~src:_ ~dst:_ ~tag:_ ~now:_ ~arrival ->
+      [ arrival; Int64.add arrival 100L ]));
+  let deliveries = ref [] in
+  Fabric.send f ~tag:"revoke_req" ~src:0 ~dst:1 ~bytes:0 (fun () ->
+      deliveries := Engine.now e :: !deliveries);
+  ignore (Engine.run e);
+  let base = Fabric.latency f ~src:0 ~dst:1 ~bytes:0 in
+  check Alcotest.(list int64) "both copies arrive, in order"
+    [ base; Int64.add base 100L ]
+    (List.rev !deliveries);
+  check Alcotest.int "one offered" 1 (Fabric.messages f);
+  check Alcotest.int "two delivered" 2 (Fabric.messages_delivered f)
+
+(* The fabric clamps whatever the injector returns so that per-channel
+   FIFO order and causality survive. *)
+let test_fabric_injector_fifo_clamp () =
+  let e, f = make_fabric () in
+  (* An injector that tries to deliver the second message before the
+     first (and before it was even sent). *)
+  let calls = ref 0 in
+  Fabric.set_injector f (Some (fun ~src:_ ~dst:_ ~tag:_ ~now:_ ~arrival ->
+      incr calls;
+      if !calls = 1 then [ Int64.add arrival 5_000L ] else [ 0L ]));
+  let log = ref [] in
+  Fabric.send f ~tag:"a" ~src:0 ~dst:15 ~bytes:0 (fun () -> log := "first" :: !log);
+  Fabric.send f ~tag:"b" ~src:0 ~dst:15 ~bytes:0 (fun () -> log := "second" :: !log);
+  ignore (Engine.run e);
+  check Alcotest.(list string) "FIFO survives injection" [ "first"; "second" ] (List.rev !log)
+
 let suite =
   [
     Alcotest.test_case "mesh basics" `Quick test_mesh_basics;
@@ -93,4 +156,8 @@ let suite =
     Alcotest.test_case "fabric delivery" `Quick test_fabric_delivery;
     Alcotest.test_case "fabric per-channel FIFO" `Quick test_fabric_fifo_per_channel;
     Alcotest.test_case "fabric channel independence" `Quick test_fabric_distinct_channels_independent;
+    Alcotest.test_case "fabric offered vs delivered stats" `Quick test_fabric_stats_no_injector;
+    Alcotest.test_case "fabric injector drop" `Quick test_fabric_injector_drop;
+    Alcotest.test_case "fabric injector duplicate" `Quick test_fabric_injector_duplicate;
+    Alcotest.test_case "fabric injector FIFO clamp" `Quick test_fabric_injector_fifo_clamp;
   ]

@@ -53,6 +53,50 @@ let test_engine_past_rejected () =
   Alcotest.check_raises "negative delay" (Invalid_argument "Engine.after: negative delay")
     (fun () -> Engine.after e (-1L) (fun () -> ()))
 
+(* A bounded run with every event beyond the limit still advances the
+   clock to the limit — and never rewinds it on a later, lower bound. *)
+let test_engine_until_no_event () =
+  let e = Engine.create () in
+  Engine.after e 100L (fun () -> ());
+  let n = Engine.run ~until:40L e in
+  check Alcotest.int "nothing fired" 0 n;
+  check Alcotest.int64 "clock at the limit" 40L (Engine.now e);
+  (* A second bound below the current clock must not rewind time. *)
+  let n = Engine.run ~until:10L e in
+  check Alcotest.int "still nothing fired" 0 n;
+  check Alcotest.int64 "clock never rewinds" 40L (Engine.now e);
+  check Alcotest.int "event still queued" 1 (Engine.pending e);
+  ignore (Engine.run e);
+  check Alcotest.int64 "event fires at its time" 100L (Engine.now e)
+
+(* Repeated bounded runs make progress and eventually drain. *)
+let test_engine_until_repeated () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  List.iter (fun d -> Engine.after e d (fun () -> incr fired)) [ 10L; 30L; 50L; 70L ];
+  let steps = ref 0 in
+  while Engine.pending e > 0 do
+    incr steps;
+    if !steps > 100 then Alcotest.fail "bounded runs stopped making progress";
+    ignore (Engine.run ~until:(Int64.add (Engine.now e) 25L) e)
+  done;
+  check Alcotest.int "all fired" 4 !fired;
+  check Alcotest.int64 "clock past last event" 70L (Engine.now e)
+
+(* Same-time events straddling the bound fire together, in seq order. *)
+let test_engine_until_same_time () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 3 do
+    Engine.after e 20L (fun () -> log := i :: !log)
+  done;
+  Engine.after e 21L (fun () -> log := 99 :: !log);
+  ignore (Engine.run ~until:20L e);
+  check Alcotest.(list int) "all of time 20 fired in order" [ 1; 2; 3 ] (List.rev !log);
+  check Alcotest.int "time 21 still pending" 1 (Engine.pending e);
+  ignore (Engine.run e);
+  check Alcotest.(list int) "straggler after" [ 1; 2; 3; 99 ] (List.rev !log)
+
 let test_engine_counts () =
   let e = Engine.create () in
   Engine.after e 1L (fun () -> ());
@@ -129,6 +173,9 @@ let suite =
     Alcotest.test_case "engine same-time FIFO" `Quick test_engine_same_time_fifo;
     Alcotest.test_case "engine nested scheduling" `Quick test_engine_nested_scheduling;
     Alcotest.test_case "engine bounded run" `Quick test_engine_until;
+    Alcotest.test_case "engine bounded run, empty window" `Quick test_engine_until_no_event;
+    Alcotest.test_case "engine repeated bounded runs" `Quick test_engine_until_repeated;
+    Alcotest.test_case "engine bounded run, same-time events" `Quick test_engine_until_same_time;
     Alcotest.test_case "engine rejects the past" `Quick test_engine_past_rejected;
     Alcotest.test_case "engine counters" `Quick test_engine_counts;
     Alcotest.test_case "server FIFO" `Quick test_server_fifo;
