@@ -331,6 +331,85 @@ let ablation_inflight () =
         Int64.to_string (Int64.div cycles (Int64.of_int burst)) ] ]
 
 (* ------------------------------------------------------------------ *)
+(* JSON export (BENCH_*.json)                                          *)
+
+(* Machine-readable counterparts of the headline tables, written with
+   the deterministic {!Obs.Json} emitter: keys are emitted in a fixed
+   order and the simulator is seeded, so repeated runs produce
+   byte-identical files that CI can diff. *)
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* Table 3 + Figure 4 as BENCH_micro.json. *)
+let json_micro () =
+  let open Obs.Json in
+  let micro op scope cycles paper =
+    Obj
+      [
+        ("op", Str op);
+        ("scope", Str scope);
+        ("cycles", Int (Int64.to_int cycles));
+        ("paper_cycles", (match paper with Some p -> Int p | None -> Null));
+      ]
+  in
+  let sx, sr = Semper_harness.Microbench.exchange_revoke ~mode:Cost.Semperos ~spanning:false in
+  let gx, gr = Semper_harness.Microbench.exchange_revoke ~mode:Cost.Semperos ~spanning:true in
+  let chain len =
+    let cyc spanning =
+      Semper_harness.Microbench.chain_revocation ~mode:Cost.Semperos ~spanning ~len
+    in
+    Obj
+      [
+        ("len", Int len);
+        ("local_cycles", Int (Int64.to_int (cyc false)));
+        ("spanning_cycles", Int (Int64.to_int (cyc true)));
+      ]
+  in
+  write_json "BENCH_micro.json"
+    (Obj
+       [
+         ( "table3",
+           Arr
+             [
+               micro "exchange" "local" sx (Some 3597);
+               micro "exchange" "spanning" gx (Some 6484);
+               micro "revoke" "local" sr (Some 1997);
+               micro "revoke" "spanning" gr (Some 3876);
+             ] );
+         ("fig4_chain_revocation", Arr (List.map chain [ 0; 20; 40; 60; 80; 100 ]));
+       ])
+
+(* Single-instance application runs (the left half of Table 4) as
+   BENCH_apps.json. The 512-instance column is deliberately omitted:
+   it takes minutes, and the JSON export is meant to be cheap enough
+   for CI. *)
+let json_apps () =
+  let open Obs.Json in
+  let app spec =
+    let o = run_single spec in
+    Obj
+      [
+        ("workload", Str spec.Workloads.name);
+        ("cap_ops", Int o.Experiment.cap_ops);
+        ("paper_cap_ops", Int spec.Workloads.paper_cap_ops);
+        ("cap_ops_per_s", Float o.Experiment.cap_ops_per_s);
+        ("makespan_cycles", Int (Int64.to_int o.Experiment.max_runtime));
+        ("exchanges_spanning", Int o.Experiment.exchanges_spanning);
+        ("revokes_spanning", Int o.Experiment.revokes_spanning);
+      ]
+  in
+  write_json "BENCH_apps.json" (Obj [ ("table4_single", Arr (List.map app Workloads.all)) ])
+
+let json_export () =
+  json_micro ();
+  json_apps ()
+
+(* ------------------------------------------------------------------ *)
 
 let ablations () =
   ablation_batching ();

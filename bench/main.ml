@@ -3,7 +3,9 @@
     With no argument, regenerates every table and figure of the paper's
     evaluation plus the ablations. Individual experiments can be named
     on the command line (table3, fig4, fig5, table4, fig6, fig7, fig8,
-    fig9, fig10, ablations, bechamel). [bechamel] runs host-side
+    fig9, fig10, ablations, json, bechamel). [json] writes the headline
+    numbers as BENCH_micro.json / BENCH_apps.json via the deterministic
+    {!Semperos.Obs.Json} emitter. [bechamel] runs host-side
     micro-measurements — one [Test.make] per table and figure — showing
     how long this simulator takes to regenerate a scaled-down version
     of each experiment. *)
@@ -83,7 +85,7 @@ let bechamel () =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table3|fig4|fig5|table4|fig6|fig7|fig8|fig9|fig10|ablations|bechamel|all]";
+    "usage: main.exe [table3|fig4|fig5|table4|fig6|fig7|fig8|fig9|fig10|ablations|json|bechamel|all]";
   exit 2
 
 let () =
@@ -99,6 +101,7 @@ let () =
       ("fig9", Experiments.fig9);
       ("fig10", Experiments.fig10);
       ("ablations", Experiments.ablations);
+      ("json", Experiments.json_export);
       ("bechamel", bechamel);
       ("all", fun () -> Experiments.all (); bechamel ());
     ]

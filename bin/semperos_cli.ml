@@ -5,7 +5,9 @@
    semperos_cli tree    — tree revocation timing (Figure 5 point)
    semperos_cli run     — run an application workload at scale
    semperos_cli nginx   — run the webserver benchmark
-   semperos_cli fuzz    — fuzz the capability protocols under faults *)
+   semperos_cli fuzz    — fuzz the capability protocols under faults
+   semperos_cli stats   — run a workload, dump the metrics registry as JSON
+   semperos_cli trace   — run a workload, dump the protocol trace as JSONL *)
 
 open Cmdliner
 open Semperos
@@ -248,6 +250,79 @@ let latency_cmd =
     (Cmd.info "latency" ~doc:"Per-syscall latency profile of a workload run.")
     Term.(const run $ workload $ kernels $ services $ instances)
 
+(* Shared driver for the observability commands: run [instances] copies
+   of a workload against one m3fs on a multi-kernel system, then hand
+   the system to [emit]. Everything is sim-clock driven, so the same
+   workload and shape produce byte-identical output on every run. *)
+let run_observed workload kernels instances emit =
+  let sys =
+    System.create (System.config ~kernels ~user_pes_per_kernel:((instances / kernels) + 2) ())
+  in
+  let fs =
+    M3fs.create ~config:workload.Workloads.fs_config sys ~kernel:0 ~name:"m3fs"
+      ~files:
+        (List.concat
+           (List.init instances (fun i ->
+                (Trace.with_prefix (Fmt.str "/i%d" i) (workload.Workloads.build ())).Trace.files)))
+      ()
+  in
+  for i = 0 to instances - 1 do
+    let vpe = System.spawn_vpe sys ~kernel:(i mod kernels) in
+    Replay.run sys fs ~vpe
+      (Trace.with_prefix (Fmt.str "/i%d" i) (workload.Workloads.build ()))
+      (fun _ -> ())
+  done;
+  ignore (System.run sys);
+  emit sys
+
+let obs_workload_args =
+  let workload =
+    Arg.(required & opt (some workload_arg) None & info [ "workload"; "w" ] ~docv:"NAME"
+           ~doc:"Workload to run.")
+  in
+  let kernels = Arg.(value & opt int 2 & info [ "kernels"; "k" ] ~docv:"K" ~doc:"PE groups.") in
+  let instances = Arg.(value & opt int 8 & info [ "instances"; "n" ] ~docv:"N" ~doc:"Instances.") in
+  (workload, kernels, instances)
+
+let stats_cmd =
+  let workload, kernels, instances = obs_workload_args in
+  let run workload kernels instances =
+    run_observed workload kernels instances (fun sys ->
+        print_endline (Obs.Json.to_string (Obs.Registry.snapshot (System.obs sys))))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a workload and print the full metrics registry (fabric, DTU, and per-kernel \
+          counters, gauges, histograms) as one JSON object. Deterministic: identical invocations \
+          print identical bytes.")
+    Term.(const run $ workload $ kernels $ instances)
+
+let trace_cmd =
+  let workload, kernels, instances = obs_workload_args in
+  let run workload kernels instances tail =
+    run_observed workload kernels instances (fun sys ->
+        let buf = System.trace_buffer sys in
+        let events =
+          match tail with Some n -> Obs.Trace.tail buf ~n | None -> Obs.Trace.events buf
+        in
+        let dropped = Obs.Trace.dropped buf in
+        if dropped > 0 then
+          Fmt.epr "note: ring capacity reached; %d oldest events dropped@." dropped;
+        List.iter (fun e -> print_endline (Obs.Json.to_string (Obs.Trace.event_json e))) events)
+  in
+  let tail =
+    Arg.(value & opt (some int) None & info [ "tail" ] ~docv:"N"
+           ~doc:"Print only the last N events.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a workload and dump the protocol trace ring (syscall spans, IKC legs, revocation \
+          waves, migrations) as JSONL, one event per line, oldest first. Timestamps are \
+          sim-clock cycles, so identical invocations print identical bytes.")
+    Term.(const run $ workload $ kernels $ instances $ tail)
+
 let fuzz_cmd =
   let run workload_seed fault_seed runs kernels vpes ops no_delay no_dup no_drop no_stall
       no_retry verbose =
@@ -354,5 +429,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ micro_cmd; chain_cmd; tree_cmd; run_cmd; nginx_cmd; latency_cmd; trace_dump_cmd;
-            trace_replay_cmd; fuzz_cmd ]))
+          [ micro_cmd; chain_cmd; tree_cmd; run_cmd; nginx_cmd; latency_cmd; stats_cmd;
+            trace_cmd; trace_dump_cmd; trace_replay_cmd; fuzz_cmd ]))

@@ -15,6 +15,8 @@
     - {!Cost}, {!Protocol}, {!Vpe}, {!Thread_pool}, {!Kernel},
       {!System}: the SemperOS multikernel and its distributed
       capability protocols.
+    - {!Obs}: deterministic observability — metrics registry, protocol
+      span tracing, JSON export.
     - {!Fault}, {!Fuzz}: seeded fault injection for the fabric and the
       deterministic schedule fuzzer built on it.
     - {!Fs_image}, {!M3fs}, {!Fs_client}: the m3fs in-memory filesystem
@@ -44,6 +46,7 @@ module Vpe = Semper_kernel.Vpe
 module Thread_pool = Semper_kernel.Thread_pool
 module Kernel = Semper_kernel.Kernel
 module System = Semper_kernel.System
+module Obs = Semper_obs.Obs
 module Fault = Semper_fault.Fault
 module Fs_image = Semper_m3fs.Fs_image
 module M3fs = Semper_m3fs.M3fs

@@ -33,9 +33,22 @@ type t = {
   mutable drops : int;
 }
 
-and grid = { fabric : Semper_noc.Fabric.t; dtus : (int, t) Hashtbl.t }
+and grid = {
+  fabric : Semper_noc.Fabric.t;
+  dtus : (int, t) Hashtbl.t;
+  (* Grid-wide aggregates; each DTU also keeps its own [drops]. *)
+  g_sends : Semper_obs.Obs.Registry.counter;
+  g_drops : Semper_obs.Obs.Registry.counter;
+}
 
-let create_grid fabric = { fabric; dtus = Hashtbl.create 64 }
+let create_grid ?obs fabric =
+  let obs = match obs with Some r -> r | None -> Semper_obs.Obs.Registry.create () in
+  {
+    fabric;
+    dtus = Hashtbl.create 64;
+    g_sends = Semper_obs.Obs.Registry.counter obs "dtu.sends";
+    g_drops = Semper_obs.Obs.Registry.counter obs "dtu.drops";
+  }
 let fabric g = g.fabric
 let engine g = Semper_noc.Fabric.engine g.fabric
 
@@ -121,6 +134,7 @@ let send t ~ep ~bytes ~payload =
       if s.credits <= 0 then Error No_credits
       else begin
         s.credits <- s.credits - 1;
+        Semper_obs.Obs.Registry.incr t.grid.g_sends;
         let msg =
           { Message.src_pe = t.pe; src_ep = ep; dst_pe = s.dst_pe; dst_ep = s.dst_ep; bytes; payload }
         in
@@ -132,6 +146,7 @@ let send t ~ep ~bytes ~payload =
             | Some dst -> (
               if not (check_ep dst msg.Message.dst_ep) then begin
                 dst.drops <- dst.drops + 1;
+                Semper_obs.Obs.Registry.incr t.grid.g_drops;
                 return_credit t.grid ~pe:msg.Message.src_pe ~ep:msg.Message.src_ep
               end
               else
@@ -143,6 +158,7 @@ let send t ~ep ~bytes ~payload =
                   (* Full or misconfigured endpoint: the hardware loses
                      the message (paper §4.1). *)
                   dst.drops <- dst.drops + 1;
+                  Semper_obs.Obs.Registry.incr t.grid.g_drops;
                   return_credit t.grid ~pe:msg.Message.src_pe ~ep:msg.Message.src_ep));
         Ok ()
       end

@@ -39,7 +39,10 @@ val default_slots : int
 
 (** {1 Grid} *)
 
-val create_grid : Semper_noc.Fabric.t -> grid
+(** [create_grid ?obs fabric] builds the DTU registry. When [obs] is
+    given, grid-wide send/drop totals are registered there under the
+    [dtu.*] namespace. *)
+val create_grid : ?obs:Semper_obs.Obs.Registry.t -> Semper_noc.Fabric.t -> grid
 val fabric : grid -> Semper_noc.Fabric.t
 val engine : grid -> Semper_sim.Engine.t
 

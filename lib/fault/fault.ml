@@ -125,7 +125,7 @@ let injector t ~src ~dst ~tag ~now:_ ~arrival =
     | Some u when Int64.compare a u < 0 -> u
     | Some _ | None -> a
   in
-  if tag = "" then [ stall_adjust arrival ]
+  if tag = "" then [ Some (stall_adjust arrival) ]
   else begin
     let drop_count =
       match Hashtbl.find_opt t.drops_by_pair (src, dst) with
@@ -162,6 +162,6 @@ let injector t ~src ~dst ~tag ~now:_ ~arrival =
         end
         else [ base ]
       in
-      List.map stall_adjust copies
+      List.map (fun a -> Some (stall_adjust a)) copies
     end
   end

@@ -69,9 +69,10 @@ val profile : t -> profile
 val stats_line : t -> string
 
 (** [injector t ~src ~dst ~tag ~now ~arrival] decides the fate of one
-    message: the returned list holds the absolute arrival time of each
-    delivered copy ([[]] = dropped). Matches the fabric's injector
-    signature; the fabric clamps the result so FIFO order and causality
+    message: the returned plan holds one element per copy — [Some time]
+    delivers at that absolute time, [None] is a dropped copy, and [[]]
+    drops the whole message. Matches the fabric's injector signature;
+    the fabric clamps the result so FIFO order and causality
     ([arrival >= now]) still hold. *)
 val injector :
-  t -> src:int -> dst:int -> tag:string -> now:int64 -> arrival:int64 -> int64 list
+  t -> src:int -> dst:int -> tag:string -> now:int64 -> arrival:int64 -> int64 option list

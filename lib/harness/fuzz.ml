@@ -6,6 +6,7 @@ module Perms = Semper_caps.Perms
 module Fault = Semper_fault.Fault
 module Rng = Semper_util.Rng
 module Engine = Semper_sim.Engine
+module Obs = Semper_obs.Obs
 
 type spec = {
   kernels : int;
@@ -40,6 +41,8 @@ type outcome = {
   dup_ikc : int;
   caps_leaked : int;
   failures : string list;
+  metrics_json : string;
+  trace_tail : string list;
 }
 
 let profile s fault_seed =
@@ -163,6 +166,20 @@ let run_one ?(spec = default_spec) ~workload_seed ~fault_seed () =
     | Some plan -> Fault.stats plan
     | None -> { Fault.delays = 0; dups = 0; drops = 0; stalls = 0 }
   in
+  let failed = !failures <> [] in
+  (* Attach diagnostics only to failures: a metrics snapshot plus the
+     tail of the protocol trace ring, both deterministic for the seed
+     pair. *)
+  let metrics_json =
+    if failed then Obs.Json.to_string (Obs.Registry.snapshot (System.obs sys)) else ""
+  in
+  let trace_tail =
+    if failed then
+      List.map
+        (fun e -> Obs.Json.to_string (Obs.Trace.event_json e))
+        (Obs.Trace.tail (System.trace_buffer sys) ~n:40)
+    else []
+  in
   {
     workload_seed;
     fault_seed;
@@ -179,6 +196,8 @@ let run_one ?(spec = default_spec) ~workload_seed ~fault_seed () =
     dup_ikc = kstat (fun st -> st.Kernel.dup_ikc);
     caps_leaked = leaked;
     failures = List.rev !failures;
+    metrics_json;
+    trace_tail;
   }
 
 let outcome_line o =
@@ -194,7 +213,12 @@ let outcome_line o =
 
 let pp_outcome ppf o =
   Format.fprintf ppf "%s" (outcome_line o);
-  List.iter (fun f -> Format.fprintf ppf "@.  %s" f) o.failures
+  List.iter (fun f -> Format.fprintf ppf "@.  %s" f) o.failures;
+  if o.trace_tail <> [] then begin
+    Format.fprintf ppf "@.  trace tail (%d events):" (List.length o.trace_tail);
+    List.iter (fun line -> Format.fprintf ppf "@.    %s" line) o.trace_tail
+  end;
+  if o.metrics_json <> "" then Format.fprintf ppf "@.  metrics: %s" o.metrics_json
 
 let run_many ?(spec = default_spec) ~workload_seed ~fault_seed ~runs () =
   List.init runs (fun i ->

@@ -60,6 +60,12 @@ type outcome = {
   dup_ikc : int;  (** duplicate inter-kernel messages detected and absorbed *)
   caps_leaked : int;
   failures : string list;  (** empty = the case passed all oracles *)
+  metrics_json : string;
+      (** metrics snapshot (JSON object), attached only when the case
+          failed; [""] otherwise *)
+  trace_tail : string list;
+      (** last protocol trace events (JSONL), attached only when the
+          case failed *)
 }
 
 (** The fault profile a spec induces for a given fault seed. *)
@@ -76,5 +82,6 @@ val run_many :
     identical line). *)
 val outcome_line : outcome -> string
 
-(** {!outcome_line} plus one indented line per failure. *)
+(** {!outcome_line} plus one indented line per failure, followed by the
+    trace tail and metrics snapshot when the case failed. *)
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -6,6 +6,7 @@ module Mapdb = Semper_caps.Mapdb
 module Engine = Semper_sim.Engine
 module Server = Semper_sim.Server
 module Fabric = Semper_noc.Fabric
+module Obs = Semper_obs.Obs
 module P = Protocol
 
 let src = Logs.Src.create "semper.kernel" ~doc:"SemperOS kernel"
@@ -23,20 +24,43 @@ type service_handler = P.service_request -> (P.service_response -> unit) -> unit
 
 type service = { srv_key : Key.t; srv_vpe : int; srv_handler : service_handler }
 
+(* Point-in-time snapshot of the kernel's metrics, kept as a plain
+   record so readers need no registry access. The live counters behind
+   it are registered instruments ([counters] below). *)
 type stats = {
-  mutable syscalls : int;
-  mutable cap_ops : int;
-  mutable exchanges_local : int;
-  mutable exchanges_spanning : int;
-  mutable revokes_local : int;
-  mutable revokes_spanning : int;
-  mutable caps_created : int;
-  mutable caps_deleted : int;
-  mutable ikc_sent : int;
-  mutable ikc_received : int;
-  mutable credit_stalls : int;
-  mutable retries : int;
-  mutable dup_ikc : int;
+  syscalls : int;
+  cap_ops : int;
+  exchanges_local : int;
+  exchanges_spanning : int;
+  revokes_local : int;
+  revokes_spanning : int;
+  caps_created : int;
+  caps_deleted : int;
+  ikc_sent : int;
+  ikc_received : int;
+  credit_stalls : int;
+  retries : int;
+  retry_exhausted : int;
+  dup_ikc : int;
+  latencies : (string, Semper_util.Stats.Acc.t) Hashtbl.t;
+}
+
+(* Live instruments, registered under [kernel<id>.*]. *)
+type counters = {
+  syscalls : Obs.Registry.counter;
+  cap_ops : Obs.Registry.counter;
+  exchanges_local : Obs.Registry.counter;
+  exchanges_spanning : Obs.Registry.counter;
+  revokes_local : Obs.Registry.counter;
+  revokes_spanning : Obs.Registry.counter;
+  caps_created : Obs.Registry.counter;
+  caps_deleted : Obs.Registry.counter;
+  ikc_sent : Obs.Registry.counter;
+  ikc_received : Obs.Registry.counter;
+  credit_stalls : Obs.Registry.counter;
+  retries : Obs.Registry.counter;
+  retry_exhausted : Obs.Registry.counter;
+  dup_ikc : Obs.Registry.counter;
   latencies : (string, Semper_util.Stats.Acc.t) Hashtbl.t;
 }
 
@@ -83,6 +107,20 @@ type pending =
    finished, answered from the cached reply instead of re-executed. *)
 type remote_state = R_in_progress | R_done of { dst : int; msg : P.ikc }
 
+(* A request awaiting a reply, retransmitted on timeout. [rstart] and
+   [rattempts] feed the per-op latency and retry histograms. *)
+type retry_state = {
+  rdst : int;
+  rmsg : P.ikc;
+  rstart : int64;
+  mutable rattempts : int;
+}
+
+(* Idempotency-cache entries scheduled for eviction once the retry
+   window has safely elapsed (no retransmission of the request can
+   still be in flight by then). *)
+type evict_key = Ev_remote of int | Ev_ack of int
+
 type t = {
   id : int;
   pe : int;
@@ -108,16 +146,51 @@ type t = {
   activations : (int * int) Key.Table.t;
   credits : (int, int ref * (P.ikc * int) Queue.t) Hashtbl.t;  (* per peer kernel *)
   remote_ops : (int, remote_state) Hashtbl.t;
-  (* Requests awaiting a reply, retransmitted on timeout: op -> (dst, msg). *)
-  retry_msgs : (int, int * P.ikc) Hashtbl.t;
+  (* Requests awaiting a reply, retransmitted on timeout. *)
+  retry_msgs : (int, retry_state) Hashtbl.t;
   (* Completed delegate handshakes: op -> (dst, ack), kept so a
      redelivered reply can trigger an ack resend if the ack was lost. *)
   completed_acks : (int, int * P.ikc) Hashtbl.t;
-  stats : stats;
+  (* FIFO of (expiry, entry) for the two idempotency caches above;
+     expiries are monotone because entries are pushed at event time. *)
+  evictions : (int64 * evict_key) Queue.t;
+  obs : Obs.Registry.t;
+  trace : Obs.Trace.t;
+  ctr : counters;
   mutable next_op : int;
 }
 
-let create ~engine ~fabric ~grid ~id ~pe ~membership ~cost ~env ~registry ~kernel_count =
+(* Bucket bounds (cycles) for syscall / IKC latency histograms. *)
+let latency_buckets =
+  [| 1_000.; 2_500.; 5_000.; 10_000.; 25_000.; 50_000.; 100_000.; 250_000.; 500_000.; 1_000_000. |]
+
+(* Bucket bounds for per-op retransmission counts. *)
+let retry_buckets = [| 0.; 1.; 2.; 3.; 5.; 10.; 20. |]
+
+let create ?obs ?trace ~engine ~fabric ~grid ~id ~pe ~membership ~cost ~env ~registry ~kernel_count
+    () =
+  let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
+  let trace = match trace with Some b -> b | None -> Obs.Trace.create ~capacity:1024 in
+  let cnt name = Obs.Registry.counter obs (Printf.sprintf "kernel%d.%s" id name) in
+  let ctr : counters =
+    {
+      syscalls = cnt "syscalls";
+      cap_ops = cnt "cap_ops";
+      exchanges_local = cnt "exchanges_local";
+      exchanges_spanning = cnt "exchanges_spanning";
+      revokes_local = cnt "revokes_local";
+      revokes_spanning = cnt "revokes_spanning";
+      caps_created = cnt "caps_created";
+      caps_deleted = cnt "caps_deleted";
+      ikc_sent = cnt "ikc_sent";
+      ikc_received = cnt "ikc_received";
+      credit_stalls = cnt "credit_stalls";
+      retries = cnt "retries";
+      retry_exhausted = cnt "retry_exhausted";
+      dup_ikc = cnt "dup_ikc";
+      latencies = Hashtbl.create 16;
+    }
+  in
   let t =
     {
       id;
@@ -144,27 +217,23 @@ let create ~engine ~fabric ~grid ~id ~pe ~membership ~cost ~env ~registry ~kerne
       remote_ops = Hashtbl.create 32;
       retry_msgs = Hashtbl.create 16;
       completed_acks = Hashtbl.create 16;
-      stats =
-        {
-          syscalls = 0;
-          cap_ops = 0;
-          exchanges_local = 0;
-          exchanges_spanning = 0;
-          revokes_local = 0;
-          revokes_spanning = 0;
-          caps_created = 0;
-          caps_deleted = 0;
-          ikc_sent = 0;
-          ikc_received = 0;
-          credit_stalls = 0;
-          retries = 0;
-          dup_ikc = 0;
-          latencies = Hashtbl.create 16;
-        };
+      evictions = Queue.create ();
+      obs;
+      trace;
+      ctr;
       next_op = 0;
     }
   in
   Hashtbl.add registry id t;
+  (* Gauges sample live kernel state at snapshot time. *)
+  let gauge name f = Obs.Registry.gauge obs (Printf.sprintf "kernel%d.%s" id name) f in
+  gauge "occupancy" (fun () ->
+      let now = Int64.to_float (Engine.now engine) in
+      if now <= 0.0 then 0.0 else Int64.to_float (Server.busy_cycles t.server) /. now);
+  gauge "threads.size" (fun () -> float_of_int (Thread_pool.size t.threads));
+  gauge "threads.in_use" (fun () -> float_of_int (Thread_pool.in_use t.threads));
+  gauge "threads.max_in_use" (fun () -> float_of_int (Thread_pool.max_in_use t.threads));
+  gauge "threads.waiting" (fun () -> float_of_int (Thread_pool.waiting t.threads));
   t
 
 let id t = t.id
@@ -172,7 +241,33 @@ let pe t = t.pe
 let mapdb t = t.mapdb
 let server t = t.server
 let threads t = t.threads
-let stats t = t.stats
+
+let stats t : stats =
+  let v = Obs.Registry.value in
+  {
+    syscalls = v t.ctr.syscalls;
+    cap_ops = v t.ctr.cap_ops;
+    exchanges_local = v t.ctr.exchanges_local;
+    exchanges_spanning = v t.ctr.exchanges_spanning;
+    revokes_local = v t.ctr.revokes_local;
+    revokes_spanning = v t.ctr.revokes_spanning;
+    caps_created = v t.ctr.caps_created;
+    caps_deleted = v t.ctr.caps_deleted;
+    ikc_sent = v t.ctr.ikc_sent;
+    ikc_received = v t.ctr.ikc_received;
+    credit_stalls = v t.ctr.credit_stalls;
+    retries = v t.ctr.retries;
+    retry_exhausted = v t.ctr.retry_exhausted;
+    dup_ikc = v t.ctr.dup_ikc;
+    latencies = t.ctr.latencies;
+  }
+
+let obs t = t.obs
+let trace_buffer t = t.trace
+
+let idempotency_cache_sizes t =
+  (Hashtbl.length t.remote_ops, Hashtbl.length t.completed_acks)
+
 let cost t = t.cost
 
 let add_vpe t vpe =
@@ -206,23 +301,77 @@ let mint_key t ~creator_pe ~creator_vpe ~kind =
 
 let job t f = Server.submit_work t.server f
 
+let trace_event t ~kind ?op ?src ?dst ?detail () =
+  Obs.Trace.record t.trace ~ts:(Engine.now t.engine) ~kind ?op ?src ?dst ?detail ()
+
+(* Operation id carried by an IKC, or -1 for untagged messages. *)
+let ikc_op : P.ikc -> int = function
+  | P.Ik_obtain_req { op; _ }
+  | P.Ik_obtain_reply { op; _ }
+  | P.Ik_delegate_req { op; _ }
+  | P.Ik_delegate_reply { op; _ }
+  | P.Ik_delegate_ack { op; _ }
+  | P.Ik_open_sess_req { op; _ }
+  | P.Ik_open_sess_reply { op; _ }
+  | P.Ik_revoke_req { op; _ }
+  | P.Ik_revoke_reply { op; _ }
+  | P.Ik_migrate_update { op; _ }
+  | P.Ik_migrate_ack { op } ->
+    op
+  | P.Ik_remove_child _ | P.Ik_migrate_caps _ | P.Ik_srv_announce _ | P.Ik_shutdown _ -> -1
+
+(* How long idempotency-cache entries must be kept: once the full retry
+   budget plus slack has elapsed, no retransmission of the request (or
+   redelivery of its reply) can still be in flight. *)
+let retention t =
+  Int64.mul (Int64.of_int (t.cost.Cost.retry_max + 2)) t.cost.Cost.retry_timeout
+
+(* Lazily drop expired idempotency-cache entries; called on kernel
+   activity (syscall entry, IKC delivery) rather than from timers so
+   drain-based measurements see no extra events. *)
+let evict_expired t =
+  let now = Engine.now t.engine in
+  let continue = ref true in
+  while !continue && not (Queue.is_empty t.evictions) do
+    let expiry, key = Queue.peek t.evictions in
+    if Int64.compare expiry now > 0 then continue := false
+    else begin
+      ignore (Queue.pop t.evictions);
+      match key with
+      | Ev_remote op -> (
+        (* Only a finished op may be dropped: an in-progress entry is
+           still the dedup guard for its request. *)
+        match Hashtbl.find_opt t.remote_ops op with
+        | Some (R_done _) -> Hashtbl.remove t.remote_ops op
+        | Some R_in_progress | None -> ())
+      | Ev_ack op -> Hashtbl.remove t.completed_acks op
+    end
+  done
+
 let record_latency t (vpe : Vpe.t) =
   let acc =
-    match Hashtbl.find_opt t.stats.latencies vpe.Vpe.syscall_name with
+    match Hashtbl.find_opt t.ctr.latencies vpe.Vpe.syscall_name with
     | Some acc -> acc
     | None ->
       let acc = Semper_util.Stats.Acc.create () in
-      Hashtbl.add t.stats.latencies vpe.Vpe.syscall_name acc;
+      Hashtbl.add t.ctr.latencies vpe.Vpe.syscall_name acc;
       acc
   in
-  Semper_util.Stats.Acc.add acc
-    (Int64.to_float (Int64.sub (Engine.now t.engine) vpe.Vpe.syscall_start))
+  let dt = Int64.to_float (Int64.sub (Engine.now t.engine) vpe.Vpe.syscall_start) in
+  Semper_util.Stats.Acc.add acc dt;
+  Obs.Registry.observe
+    (Obs.Registry.histogram t.obs
+       (Printf.sprintf "kernel%d.syscall_latency.%s" t.id vpe.Vpe.syscall_name)
+       ~buckets:latency_buckets)
+    dt
 
 (* Syscall reply: message from the kernel PE back to the VPE's PE. *)
 let send_reply t (vpe : Vpe.t) (r : P.reply) =
   Fabric.send t.fabric ~src:t.pe ~dst:vpe.Vpe.pe ~bytes:(c t).Cost.reply_bytes (fun () ->
       vpe.Vpe.syscall_pending <- false;
       record_latency t vpe;
+      trace_event t ~kind:"syscall_exit" ~op:vpe.Vpe.span ~src:t.id ~dst:vpe.Vpe.id
+        ~detail:vpe.Vpe.syscall_name ();
       match vpe.Vpe.reply_k with
       | Some k ->
         vpe.Vpe.reply_k <- None;
@@ -249,7 +398,8 @@ let rec transmit_ikc t ~dst (ikc : P.ikc) =
   match Hashtbl.find_opt t.registry dst with
   | None -> Log.err (fun m -> m "kernel %d: no peer kernel %d" t.id dst)
   | Some peer ->
-    t.stats.ikc_sent <- t.stats.ikc_sent + 1;
+    Obs.Registry.incr t.ctr.ikc_sent;
+    trace_event t ~kind:"ikc_send" ~op:(ikc_op ikc) ~src:t.id ~dst ~detail:(P.ikc_name ikc) ();
     Fabric.send ~tag:(P.ikc_name ikc) t.fabric ~src:t.pe ~dst:peer.pe ~bytes:(c t).Cost.ikc_bytes
       (fun () -> deliver_ikc peer ~src_kernel:t.id ikc)
 
@@ -261,7 +411,8 @@ and ikc_send t ~dst ikc =
     transmit_ikc t ~dst ikc
   end
   else begin
-    t.stats.credit_stalls <- t.stats.credit_stalls + 1;
+    Obs.Registry.incr t.ctr.credit_stalls;
+    trace_event t ~kind:"credit_stall" ~op:(ikc_op ikc) ~src:t.id ~dst ~detail:(P.ikc_name ikc) ();
     Queue.push (ikc, dst) queue
   end
 
@@ -292,24 +443,91 @@ and return_credit t ~src_kernel =
    drops cannot wedge the in-flight window permanently. *)
 
 and register_retry t op ~dst msg =
-  Hashtbl.replace t.retry_msgs op (dst, msg);
+  Hashtbl.replace t.retry_msgs op
+    { rdst = dst; rmsg = msg; rstart = Engine.now t.engine; rattempts = 0 };
   if (c t).Cost.retry_max > 0 then begin
-    let rec tick attempts () =
+    let rec tick () =
       match Hashtbl.find_opt t.retry_msgs op with
       | None -> ()
-      | Some (dst, msg) ->
-        if attempts >= (c t).Cost.retry_max then Hashtbl.remove t.retry_msgs op
+      | Some st ->
+        if st.rattempts >= (c t).Cost.retry_max then begin
+          (* Budget exhausted: stop retransmitting and fail the pending
+             operation explicitly instead of leaving the syscall (and
+             its kernel thread) parked forever. *)
+          Hashtbl.remove t.retry_msgs op;
+          Obs.Registry.incr t.ctr.retry_exhausted;
+          trace_event t ~kind:"ikc_timeout" ~op ~src:t.id ~dst:st.rdst
+            ~detail:(P.ikc_name st.rmsg) ();
+          fail_exhausted_op t op
+        end
         else begin
-          t.stats.retries <- t.stats.retries + 1;
-          receive_credit t ~peer:dst;
-          ikc_send t ~dst msg;
-          Engine.after t.engine (c t).Cost.retry_timeout (tick (attempts + 1))
+          st.rattempts <- st.rattempts + 1;
+          Obs.Registry.incr t.ctr.retries;
+          trace_event t ~kind:"ikc_retry" ~op ~src:t.id ~dst:st.rdst
+            ~detail:(P.ikc_name st.rmsg) ();
+          receive_credit t ~peer:st.rdst;
+          ikc_send t ~dst:st.rdst st.rmsg;
+          Engine.after t.engine (c t).Cost.retry_timeout tick
         end
     in
-    Engine.after t.engine (c t).Cost.retry_timeout (tick 0)
+    Engine.after t.engine (c t).Cost.retry_timeout tick
   end
 
-and clear_retry t op = Hashtbl.remove t.retry_msgs op
+and clear_retry t op =
+  match Hashtbl.find_opt t.retry_msgs op with
+  | None -> ()
+  | Some st ->
+    Hashtbl.remove t.retry_msgs op;
+    let name = P.ikc_name st.rmsg in
+    let dt = Int64.to_float (Int64.sub (Engine.now t.engine) st.rstart) in
+    Obs.Registry.observe
+      (Obs.Registry.histogram t.obs (Printf.sprintf "kernel%d.ikc_latency.%s" t.id name)
+         ~buckets:latency_buckets)
+      dt;
+    Obs.Registry.observe
+      (Obs.Registry.histogram t.obs (Printf.sprintf "kernel%d.ikc_retries.%s" t.id name)
+         ~buckets:retry_buckets)
+      (float_of_int st.rattempts)
+
+(* Retry budget exhausted for [op]: the peer is presumed unreachable.
+   Requester-side operations answer the parked syscall with
+   [E_timeout]; a responder-side delegate handshake aborts its
+   uncommitted capability and releases the held thread; a revoke wave
+   releases its outstanding count so the operation can complete. Late
+   replies arriving after this hit the regular duplicate paths. *)
+and fail_exhausted_op t op =
+  match Hashtbl.find_opt t.pending_ops op with
+  | None -> ()
+  | Some (P_obtain { client }) ->
+    Hashtbl.remove t.pending_ops op;
+    finish_syscall t client (P.R_err P.E_timeout)
+  | Some (P_delegate_src { client; _ }) ->
+    Hashtbl.remove t.pending_ops op;
+    finish_syscall t client (P.R_err P.E_timeout)
+  | Some (P_open_sess { client; _ }) ->
+    Hashtbl.remove t.pending_ops op;
+    finish_syscall t client (P.R_err P.E_timeout)
+  | Some (P_revoke_msg { rop }) ->
+    Hashtbl.remove t.pending_ops op;
+    revoke_release t rop
+  | Some (P_delegate_dst { child_key; src_kernel; recv_vpe = _ }) ->
+    (* The delegate ack never came: abort the half-open handshake. The
+       provisional capability was never inserted into the receiver's
+       capability space, so dropping its record suffices; best-effort
+       unlink at the source. *)
+    Hashtbl.remove t.pending_ops op;
+    (match Mapdb.find t.mapdb child_key with
+    | Some cap ->
+      Mapdb.remove t.mapdb child_key;
+      Obs.Registry.incr t.ctr.caps_deleted;
+      (match cap.Cap.parent with
+      | Some parent_key -> ikc_send t ~dst:src_kernel (P.Ik_remove_child { parent_key; child_key })
+      | None -> ())
+    | None -> ());
+    Thread_pool.release t.threads
+  | Some (P_revoke _ | P_migrate _) ->
+    (* Not retried through [register_retry]; nothing to fail. *)
+    ()
 
 (* Returns [true] when the request was seen before; credit is returned
    either way, and a finished op re-sends its cached reply. *)
@@ -319,11 +537,11 @@ and remote_dup t ~src_kernel ~op =
     Hashtbl.replace t.remote_ops op R_in_progress;
     false
   | Some R_in_progress ->
-    t.stats.dup_ikc <- t.stats.dup_ikc + 1;
+    Obs.Registry.incr t.ctr.dup_ikc;
     return_credit t ~src_kernel;
     true
   | Some (R_done { dst; msg }) ->
-    t.stats.dup_ikc <- t.stats.dup_ikc + 1;
+    Obs.Registry.incr t.ctr.dup_ikc;
     return_credit t ~src_kernel;
     ikc_send t ~dst msg;
     true
@@ -332,6 +550,7 @@ and remote_dup t ~src_kernel ~op =
    redeliveries. *)
 and finish_remote t ~op ~dst msg =
   Hashtbl.replace t.remote_ops op (R_done { dst; msg });
+  Queue.push (Int64.add (Engine.now t.engine) (retention t), Ev_remote op) t.evictions;
   ikc_send t ~dst msg
 
 (* ------------------------------------------------------------------ *)
@@ -373,7 +592,7 @@ and create_linked_cap t ~(owner : Vpe.t) ~kind ~(parent : Cap.t option) ~key =
   let cap = Cap.make ~key ~kind ~owner_vpe:owner.Vpe.id ?parent:parent_key () in
   Mapdb.insert t.mapdb cap;
   (match parent with Some p -> Cap.add_child p key | None -> ());
-  t.stats.caps_created <- t.stats.caps_created + 1;
+  Obs.Registry.incr t.ctr.caps_created;
   Capspace.insert owner.Vpe.capspace key
 
 (* ------------------------------------------------------------------ *)
@@ -475,13 +694,15 @@ and complete_revoke t (op : revoke_op) =
               | exception Not_found -> ())
             | None -> ());
             Mapdb.remove t.mapdb key;
-            t.stats.caps_deleted <- t.stats.caps_deleted + 1)
+            Obs.Registry.incr t.ctr.caps_deleted)
         op.marked;
       (* For a children-only revoke the roots survive with their child
          lists already pruned by the unlinking above. *)
       let cost = Cost.ddl (c t) (2 * !deleted) in
       ( cost,
         fun () ->
+          trace_event t ~kind:"revoke_sweep" ~op:op.rop_id ~src:t.id
+            ~detail:(Printf.sprintf "deleted=%d" !deleted) ();
           List.iter (fun (dst, ikc) -> ikc_send t ~dst ikc) !remote_unlinks;
           Hashtbl.remove t.pending_ops op.rop_id;
           let waiters = op.on_complete in
@@ -578,6 +799,9 @@ and start_revoke t ~origin ~roots ~own ~base_cost =
       in
       ( cost,
         fun () ->
+          trace_event t ~kind:"revoke_mark" ~op:op.rop_id ~src:t.id
+            ~detail:(Printf.sprintf "marked=%d remote_msgs=%d" visited (List.length messages))
+            ();
           List.iter
             (fun (dst, keys) ->
               (* Per-message op id: the reply resolves back to the
@@ -615,7 +839,7 @@ and local_obtain t ~(client : Vpe.t) ~accept ~(parent_of_grant : unit -> (Cap.t 
                   ~kind:(Cap.kind_to_key_kind kind)
               in
               let sel = create_linked_cap t ~owner:client ~kind ~parent:(Some parent) ~key in
-              t.stats.exchanges_local <- t.stats.exchanges_local + 1;
+              Obs.Registry.incr t.ctr.exchanges_local;
               ( Int64.add (c t).Cost.exchange_create (Cost.ddl (c t) 3),
                 fun () -> finish_syscall t client (P.R_sel sel) )))
 
@@ -624,7 +848,7 @@ and remote_obtain t ~(client : Vpe.t) ~dst_kernel ~donor =
   let op = fresh_op t in
   let obj_reserved = Mapdb.fresh_obj t.mapdb in
   Hashtbl.add t.pending_ops op (P_obtain { client });
-  t.stats.exchanges_spanning <- t.stats.exchanges_spanning + 1;
+  Obs.Registry.incr t.ctr.exchanges_spanning;
   let msg =
     P.Ik_obtain_req
       { op; src_kernel = t.id; obj_reserved; client_pe = client.Vpe.pe; client_vpe = client.Vpe.id; donor }
@@ -643,7 +867,7 @@ and handle_syscall t (vpe : Vpe.t) (call : P.syscall) =
   | P.Sys_alloc_mem _ | P.Sys_derive_mem _ | P.Sys_obtain _ | P.Sys_delegate _
   | P.Sys_obtain_from _ | P.Sys_delegate_to _ | P.Sys_revoke _ | P.Sys_create_sgate _
   | P.Sys_open_session _ ->
-    t.stats.cap_ops <- t.stats.cap_ops + 1
+    Obs.Registry.incr t.ctr.cap_ops
   | P.Sys_create_vpe _ | P.Sys_create_srv _ | P.Sys_create_rgate _ | P.Sys_activate _ | P.Sys_exit
     ->
     ());
@@ -739,7 +963,7 @@ and handle_syscall t (vpe : Vpe.t) (call : P.syscall) =
                 Cap.Mem_cap { host_pe = m.host_pe; addr = Int64.add m.addr offset; size; perms }
               in
               let sel' = create_linked_cap t ~owner:vpe ~kind ~parent:(Some parent) ~key in
-                  t.stats.exchanges_local <- t.stats.exchanges_local + 1;
+                  Obs.Registry.incr t.ctr.exchanges_local;
               ( Int64.add (Int64.add dispatch (c t).Cost.exchange_create) (Cost.ddl (c t) 2),
                 fun () -> finish_syscall t vpe (P.R_sel sel') )
             end
@@ -872,7 +1096,7 @@ and handle_syscall t (vpe : Vpe.t) (call : P.syscall) =
               let op = fresh_op t in
               Hashtbl.add t.pending_ops op
                 (P_delegate_src { client = vpe; src_key = src_cap.Cap.key; dst_kernel = recv.Vpe.kernel });
-              t.stats.exchanges_spanning <- t.stats.exchanges_spanning + 1;
+              Obs.Registry.incr t.ctr.exchanges_spanning;
               ( Int64.add (Int64.add dispatch (c t).Cost.exchange_forward) (Cost.ddl (c t) 1),
                 fun () ->
                   let msg =
@@ -919,7 +1143,7 @@ and handle_syscall t (vpe : Vpe.t) (call : P.syscall) =
                 let op = fresh_op t in
                 Hashtbl.add t.pending_ops op
                   (P_delegate_src { client = vpe; src_key = src_cap.Cap.key; dst_kernel = srv_kernel });
-                t.stats.exchanges_spanning <- t.stats.exchanges_spanning + 1;
+                Obs.Registry.incr t.ctr.exchanges_spanning;
                 ( Int64.add (Int64.add dispatch (c t).Cost.exchange_forward) (Cost.ddl (c t) 1),
                   fun () ->
                     let msg =
@@ -946,8 +1170,8 @@ and handle_syscall t (vpe : Vpe.t) (call : P.syscall) =
           let spanning =
             List.exists (fun k -> not (is_local_key t k)) cap.Cap.children
           in
-          if spanning then t.stats.revokes_spanning <- t.stats.revokes_spanning + 1
-          else t.stats.revokes_local <- t.stats.revokes_local + 1;
+          if spanning then Obs.Registry.incr t.ctr.revokes_spanning
+          else Obs.Registry.incr t.ctr.revokes_local;
           match cap.Cap.state with
           | Cap.Marked { revoke_op } -> (
             (* Already being revoked: wait for that operation, then
@@ -1031,7 +1255,7 @@ and local_delegate t ~(client : Vpe.t) ~src_key ~(recv : Vpe.t) =
                     ~kind:(Cap.kind_to_key_kind src_cap.Cap.kind)
                 in
                 let _sel = create_linked_cap t ~owner:recv ~kind:src_cap.Cap.kind ~parent:(Some src_cap) ~key in
-                t.stats.exchanges_local <- t.stats.exchanges_local + 1;
+                Obs.Registry.incr t.ctr.exchanges_local;
                 ( Int64.add (c t).Cost.exchange_create (Cost.ddl (c t) 3),
                   fun () -> finish_syscall t client P.R_ok )
               end))
@@ -1040,7 +1264,10 @@ and local_delegate t ~(client : Vpe.t) ~src_key ~(recv : Vpe.t) =
 (* Inter-kernel call handling                                          *)
 
 and deliver_ikc t ~src_kernel (ikc : P.ikc) =
-  t.stats.ikc_received <- t.stats.ikc_received + 1;
+  evict_expired t;
+  Obs.Registry.incr t.ctr.ikc_received;
+  trace_event t ~kind:"ikc_recv" ~op:(ikc_op ikc) ~src:src_kernel ~dst:t.id
+    ~detail:(P.ikc_name ikc) ();
   match ikc with
   | P.Ik_obtain_req { op; src_kernel = origin; obj_reserved; client_pe; client_vpe; donor } ->
     if remote_dup t ~src_kernel ~op then ()
@@ -1124,7 +1351,7 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
             | Some (P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_migrate _)
             | None ->
               (* Redelivered reply for a message op already retired. *)
-              t.stats.dup_ikc <- t.stats.dup_ikc + 1) ))
+              Obs.Registry.incr t.ctr.dup_ikc) ))
   | P.Ik_remove_child { parent_key; child_key } ->
     job t (fun () ->
         ( Cost.ddl (c t) 2,
@@ -1157,13 +1384,13 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
                   migrate_transfer t ~vpe:m.vpe ~dst:m.dst ~done_k:m.done_k
                 end
               end
-              else t.stats.dup_ikc <- t.stats.dup_ikc + 1
+              else Obs.Registry.incr t.ctr.dup_ikc
             | Some
                 ( P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_revoke _
                 | P_revoke_msg _ )
             | None ->
               (* Redelivered ack after the migration completed. *)
-              t.stats.dup_ikc <- t.stats.dup_ikc + 1) ))
+              Obs.Registry.incr t.ctr.dup_ikc) ))
   | P.Ik_migrate_caps { src_kernel = _; vpe = vid; records } ->
     job t (fun () ->
         (* Installing the transferred records costs time proportional to
@@ -1225,7 +1452,7 @@ and handle_obtain_req t ~origin ~op ~obj_reserved ~client_pe ~client_vpe ~donor 
               Key.make ~pe:client_pe ~vpe:client_vpe ~kind:(Cap.kind_to_key_kind kind) ~obj:obj_reserved
             in
             Cap.add_child parent child_key;
-            t.stats.exchanges_spanning <- t.stats.exchanges_spanning + 1;
+            Obs.Registry.incr t.ctr.exchanges_spanning;
             (Cost.ddl (c t) 1, fun () -> reply (Ok (child_key, kind, parent_key)))
           end)
   in
@@ -1266,7 +1493,7 @@ and handle_obtain_reply t ~op ~result =
       else begin
         let cap = Cap.make ~key:child_key ~kind ~owner_vpe:client.Vpe.id ~parent:parent_key () in
         Mapdb.insert t.mapdb cap;
-        t.stats.caps_created <- t.stats.caps_created + 1;
+        Obs.Registry.incr t.ctr.caps_created;
         let sel = Capspace.insert client.Vpe.capspace child_key in
         finish_syscall t client (P.R_sel sel)
       end)
@@ -1275,7 +1502,7 @@ and handle_obtain_reply t ~op ~result =
       | P_migrate _ )
   | None ->
     (* Redelivered reply: the obtain already completed. *)
-    t.stats.dup_ikc <- t.stats.dup_ikc + 1;
+    Obs.Registry.incr t.ctr.dup_ikc;
     Log.debug (fun m -> m "kernel %d: duplicate obtain reply for op %d" t.id op)
 
 and handle_delegate_req t ~origin ~op ~parent_key ~kind ~recv =
@@ -1304,7 +1531,7 @@ and handle_delegate_req t ~origin ~op ~parent_key ~kind ~recv =
           Mapdb.insert t.mapdb cap;
           Hashtbl.add t.pending_ops op
             (P_delegate_dst { child_key; recv_vpe = recv_v.Vpe.id; src_kernel = origin });
-          t.stats.exchanges_spanning <- t.stats.exchanges_spanning + 1;
+          Obs.Registry.incr t.ctr.exchanges_spanning;
           (Cost.ddl (c t) 2, fun () -> reply (Ok child_key))
         end)
   in
@@ -1344,6 +1571,7 @@ and handle_delegate_reply t ~op ~result =
       (* Cache the ack: a redelivered reply means the destination is
          still waiting, so the ack may have been lost and is re-sent. *)
       Hashtbl.replace t.completed_acks op (dst_kernel, ack);
+      Queue.push (Int64.add (Engine.now t.engine) (retention t), Ev_ack op) t.evictions;
       ikc_send t ~dst:dst_kernel ack
     in
     match result with
@@ -1367,11 +1595,11 @@ and handle_delegate_reply t ~op ~result =
        the cached ack in case the original ack was lost. *)
     match Hashtbl.find_opt t.completed_acks op with
     | Some (dst, ack) ->
-      t.stats.dup_ikc <- t.stats.dup_ikc + 1;
+      Obs.Registry.incr t.ctr.dup_ikc;
       receive_credit t ~peer:dst;
       ikc_send t ~dst ack
     | None ->
-      t.stats.dup_ikc <- t.stats.dup_ikc + 1;
+      Obs.Registry.incr t.ctr.dup_ikc;
       Log.debug (fun m -> m "kernel %d: duplicate delegate reply for op %d" t.id op))
 
 and handle_delegate_ack t ~op ~child_key ~commit =
@@ -1386,18 +1614,18 @@ and handle_delegate_ack t ~op ~child_key ~commit =
     | Some cap ->
       if not commit then begin
         Mapdb.remove t.mapdb child_key;
-        t.stats.caps_deleted <- t.stats.caps_deleted + 1
+        Obs.Registry.incr t.ctr.caps_deleted
       end
       else begin
         match t.env.locate_vpe recv_vpe with
         | Some recv when Vpe.is_alive recv ->
           ignore (Capspace.insert recv.Vpe.capspace child_key);
-          t.stats.caps_created <- t.stats.caps_created + 1
+          Obs.Registry.incr t.ctr.caps_created
         | Some _ | None -> (
           (* Receiver died while waiting for the ack: orphan; drop the
              record and tell the source kernel to unlink. *)
           Mapdb.remove t.mapdb child_key;
-          t.stats.caps_deleted <- t.stats.caps_deleted + 1;
+          Obs.Registry.incr t.ctr.caps_deleted;
           match cap.Cap.parent with
           | Some parent_key ->
             ikc_send t ~dst:src_kernel (P.Ik_remove_child { parent_key; child_key })
@@ -1410,7 +1638,7 @@ and handle_delegate_ack t ~op ~child_key ~commit =
   | None ->
     (* Redelivered ack: the handshake already completed and its thread
        was already released — releasing again would corrupt the pool. *)
-    t.stats.dup_ikc <- t.stats.dup_ikc + 1
+    Obs.Registry.incr t.ctr.dup_ikc
 
 and handle_open_sess_req t ~origin ~op ~srv_key ~sess_key ~client_vpe =
   let reply result =
@@ -1449,7 +1677,7 @@ and handle_open_sess_reply t ~op ~result =
         let kind = Cap.Sess_cap { srv = srv_key; ident } in
         let cap = Cap.make ~key:sess_key ~kind ~owner_vpe:client.Vpe.id ~parent:srv_key () in
         Mapdb.insert t.mapdb cap;
-        t.stats.caps_created <- t.stats.caps_created + 1;
+        Obs.Registry.incr t.ctr.caps_created;
         let sel = Capspace.insert client.Vpe.capspace sess_key in
         finish_syscall t client (P.R_sess { sel; ident })
       end)
@@ -1458,7 +1686,7 @@ and handle_open_sess_reply t ~op ~result =
       | P_migrate _ )
   | None ->
     (* Redelivered reply: the session open already completed. *)
-    t.stats.dup_ikc <- t.stats.dup_ikc + 1;
+    Obs.Registry.incr t.ctr.dup_ikc;
     Log.debug (fun m -> m "kernel %d: duplicate open-session reply for op %d" t.id op)
 
 (* Phase 2 of PE migration: hand the capability records and the VPE
@@ -1488,6 +1716,8 @@ and migrate_transfer t ~(vpe : Vpe.t) ~dst ~done_k =
       vpe.Vpe.kernel <- dst;
       ( Int64.mul (Int64.of_int (List.length records)) 150L,
         fun () ->
+          trace_event t ~kind:"migrate_transfer" ~src:t.id ~dst
+            ~detail:(Printf.sprintf "vpe%d caps=%d" vpe.Vpe.id (List.length records)) ();
           ikc_send t ~dst (P.Ik_migrate_caps { src_kernel = t.id; vpe = vpe.Vpe.id; records });
           done_k () ))
 
@@ -1498,11 +1728,15 @@ let syscall t ~vpe call k =
   if not (Vpe.is_alive vpe) then Engine.after t.engine 0L (fun () -> k (P.R_err P.E_vpe_dead))
   else if vpe.Vpe.syscall_pending then Engine.after t.engine 0L (fun () -> k (P.R_err P.E_busy))
   else begin
+    evict_expired t;
     vpe.Vpe.syscall_pending <- true;
     vpe.Vpe.reply_k <- Some k;
     vpe.Vpe.syscall_name <- P.syscall_name call;
     vpe.Vpe.syscall_start <- Engine.now t.engine;
-    t.stats.syscalls <- t.stats.syscalls + 1;
+    vpe.Vpe.span <- fresh_op t;
+    Obs.Registry.incr t.ctr.syscalls;
+    trace_event t ~kind:"syscall_enter" ~op:vpe.Vpe.span ~src:t.id ~dst:vpe.Vpe.id
+      ~detail:vpe.Vpe.syscall_name ();
     Fabric.send t.fabric ~src:vpe.Vpe.pe ~dst:t.pe ~bytes:(c t).Cost.syscall_bytes (fun () ->
         Thread_pool.acquire t.threads (fun () -> handle_syscall t vpe call))
   end
@@ -1520,7 +1754,7 @@ let install_cap t cap =
       | Some parent -> if not (Cap.has_child parent cap.Cap.key) then Cap.add_child parent cap.Cap.key
       | None -> ())
     | Some _ | None -> ());
-    t.stats.caps_created <- t.stats.caps_created + 1;
+    Obs.Registry.incr t.ctr.caps_created;
     Capspace.insert owner.Vpe.capspace cap.Cap.key
 
 let install_new_cap t ~owner ~kind ?parent () =
@@ -1544,6 +1778,8 @@ let migrate_vpe t ~(vpe : Vpe.t) ~dst done_k =
   (* Freeze: reject syscalls while records are in flight. *)
   vpe.Vpe.syscall_pending <- true;
   Membership.reassign t.membership ~pe:vpe.Vpe.pe ~kernel:dst;
+  trace_event t ~kind:"migrate_start" ~src:t.id ~dst
+    ~detail:(Printf.sprintf "vpe%d" vpe.Vpe.id) ();
   let peers = Hashtbl.fold (fun kid _ acc -> if kid <> t.id then kid :: acc else acc) t.registry [] in
   match peers with
   | [] ->
@@ -1565,7 +1801,7 @@ let migrate_vpe t ~(vpe : Vpe.t) ~dst done_k =
                 | Some (P_migrate m) when attempts < (c t).Cost.retry_max ->
                   List.iter
                     (fun kid ->
-                      t.stats.retries <- t.stats.retries + 1;
+                      Obs.Registry.incr t.ctr.retries;
                       receive_credit t ~peer:kid;
                       ikc_send t ~dst:kid update)
                     m.pending_peers;

@@ -31,27 +31,37 @@ type env = {
     service implementation can charge time on its own PE first. *)
 type service_handler = Protocol.service_request -> (Protocol.service_response -> unit) -> unit
 
+(** A point-in-time snapshot of the kernel's metrics. The live values
+    are counters in the kernel's {!Semper_obs.Obs.Registry} (names
+    [kernel<id>.<field>]); [latencies] is shared live state. *)
 type stats = {
-  mutable syscalls : int;
-  mutable cap_ops : int;  (** capability-modifying operations handled *)
-  mutable exchanges_local : int;
-  mutable exchanges_spanning : int;
-  mutable revokes_local : int;
-  mutable revokes_spanning : int;
-  mutable caps_created : int;
-  mutable caps_deleted : int;
-  mutable ikc_sent : int;
-  mutable ikc_received : int;
-  mutable credit_stalls : int;  (** IKC sends delayed by credit exhaustion *)
-  mutable retries : int;  (** op-tagged requests retransmitted on timeout *)
-  mutable dup_ikc : int;  (** duplicate inter-kernel deliveries detected *)
+  syscalls : int;
+  cap_ops : int;  (** capability-modifying operations handled *)
+  exchanges_local : int;
+  exchanges_spanning : int;
+  revokes_local : int;
+  revokes_spanning : int;
+  caps_created : int;
+  caps_deleted : int;
+  ikc_sent : int;
+  ikc_received : int;
+  credit_stalls : int;  (** IKC sends delayed by credit exhaustion *)
+  retries : int;  (** op-tagged requests retransmitted on timeout *)
+  retry_exhausted : int;  (** ops failed with [E_timeout] after the retry budget ran out *)
+  dup_ikc : int;  (** duplicate inter-kernel deliveries detected *)
   latencies : (string, Semper_util.Stats.Acc.t) Hashtbl.t;
       (** end-to-end syscall latency (cycles) per syscall kind *)
 }
 
 type t
 
+(** [create ?obs ?trace ... ()] registers this kernel's counters,
+    histograms, and gauges in [obs] (default: a fresh private registry)
+    under the [kernel<id>.*] namespace, and records protocol events in
+    [trace] (default: a private 1024-event ring). *)
 val create :
+  ?obs:Semper_obs.Obs.Registry.t ->
+  ?trace:Semper_obs.Obs.Trace.t ->
   engine:Semper_sim.Engine.t ->
   fabric:Semper_noc.Fabric.t ->
   grid:Semper_dtu.Dtu.grid ->
@@ -62,6 +72,7 @@ val create :
   env:env ->
   registry:(int, t) Hashtbl.t ->
   kernel_count:int ->
+  unit ->
   t
 
 val id : t -> int
@@ -70,6 +81,18 @@ val mapdb : t -> Semper_caps.Mapdb.t
 val server : t -> Semper_sim.Server.t
 val threads : t -> Thread_pool.t
 val stats : t -> stats
+
+(** The metrics registry this kernel reports into. *)
+val obs : t -> Semper_obs.Obs.Registry.t
+
+(** The trace ring this kernel records into. *)
+val trace_buffer : t -> Semper_obs.Obs.Trace.t
+
+(** Current sizes of the two bounded idempotency caches,
+    [(remote ops, completed acks)]. Entries are evicted lazily once the
+    retry window has safely elapsed; exposed for regression tests. *)
+val idempotency_cache_sizes : t -> int * int
+
 val cost : t -> Cost.t
 
 (** Register a VPE with its managing kernel (done by the system layer at

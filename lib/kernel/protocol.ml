@@ -11,6 +11,7 @@ type error =
   | E_busy
   | E_invalid
   | E_no_pe
+  | E_timeout
 
 let error_to_string = function
   | E_no_such_service -> "no such service"
@@ -23,6 +24,7 @@ let error_to_string = function
   | E_busy -> "VPE busy"
   | E_invalid -> "invalid arguments"
   | E_no_pe -> "no free PE"
+  | E_timeout -> "remote kernel unreachable (retries exhausted)"
 
 let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
 

@@ -18,6 +18,7 @@ type error =
   | E_busy              (** VPE already has a syscall in flight *)
   | E_invalid           (** malformed arguments *)
   | E_no_pe             (** no free PE for a new VPE *)
+  | E_timeout           (** inter-kernel retries exhausted; remote presumed unreachable *)
 
 val error_to_string : error -> string
 val pp_error : Format.formatter -> error -> unit

@@ -5,6 +5,7 @@ module Dtu = Semper_dtu.Dtu
 module Membership = Semper_ddl.Membership
 
 module Fault = Semper_fault.Fault
+module Obs = Semper_obs.Obs
 
 type config = {
   kernels : int;
@@ -15,6 +16,7 @@ type config = {
   broadcast : bool;
   fault : Fault.profile option;
   retry : bool;
+  trace_capacity : int;
 }
 
 let default_config =
@@ -27,12 +29,13 @@ let default_config =
     broadcast = false;
     fault = None;
     retry = true;
+    trace_capacity = 8192;
   }
 
 let config ?(kernels = 2) ?(user_pes_per_kernel = 8) ?(mode = Cost.Semperos)
     ?(noc = Fabric.default_config) ?(batching = false) ?(broadcast = false) ?fault
-    ?(retry = true) () =
-  { kernels; user_pes_per_kernel; mode; noc; batching; broadcast; fault; retry }
+    ?(retry = true) ?(trace_capacity = 8192) () =
+  { kernels; user_pes_per_kernel; mode; noc; batching; broadcast; fault; retry; trace_capacity }
 
 type group = { kernel_pe : int; free : int Queue.t }
 
@@ -46,6 +49,8 @@ type t = {
   groups : group array;
   vpes : (int, Vpe.t) Hashtbl.t;
   fault : Fault.t option;
+  obs : Obs.Registry.t;
+  trace : Obs.Trace.t;
   mutable next_vpe : int;
 }
 
@@ -54,6 +59,8 @@ let fabric t = t.fabric
 let fault_plan t = t.fault
 let grid t = t.grid
 let membership t = t.membership
+let obs t = t.obs
+let trace_buffer t = t.trace
 
 let kernel t i =
   match Hashtbl.find_opt t.registry i with
@@ -89,8 +96,10 @@ let create cfg =
   let total = cfg.kernels * (1 + cfg.user_pes_per_kernel) in
   let topology = Topology.square total in
   let engine = Engine.create () in
-  let fabric = Fabric.create engine topology cfg.noc in
-  let grid = Dtu.create_grid fabric in
+  let obs = Obs.Registry.create () in
+  let trace = Obs.Trace.create ~capacity:cfg.trace_capacity in
+  let fabric = Fabric.create ~obs engine topology cfg.noc in
+  let grid = Dtu.create_grid ~obs fabric in
   let membership = Membership.create () in
   let group_size = 1 + cfg.user_pes_per_kernel in
   let groups =
@@ -134,6 +143,8 @@ let create cfg =
       groups;
       vpes = Hashtbl.create 256;
       fault;
+      obs;
+      trace;
       next_vpe = 0;
     }
   in
@@ -163,9 +174,9 @@ let create cfg =
     (* Each kernel holds its own replica of the membership table, as in
        the paper (Figure 2) — PE migration must update all of them. *)
     ignore
-      (Kernel.create ~engine ~fabric ~grid ~id:g ~pe:groups.(g).kernel_pe
+      (Kernel.create ~obs ~trace ~engine ~fabric ~grid ~id:g ~pe:groups.(g).kernel_pe
          ~membership:(Membership.copy membership) ~cost ~env ~registry
-         ~kernel_count:cfg.kernels)
+         ~kernel_count:cfg.kernels ())
   done;
   t
 

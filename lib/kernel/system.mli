@@ -17,6 +17,8 @@ type config = {
   retry : bool;
       (** timeout/retransmit for op-tagged inter-kernel requests; turn
           off only to demonstrate the fuzz oracle catching lost messages *)
+  trace_capacity : int;
+      (** size of the shared protocol trace ring (events kept) *)
 }
 
 val default_config : config
@@ -31,6 +33,7 @@ val config :
   ?broadcast:bool ->
   ?fault:Semper_fault.Fault.profile ->
   ?retry:bool ->
+  ?trace_capacity:int ->
   unit ->
   config
 
@@ -49,6 +52,15 @@ val fabric : t -> Semper_noc.Fabric.t
 val fault_plan : t -> Semper_fault.Fault.t option
 val grid : t -> Semper_dtu.Dtu.grid
 val membership : t -> Semper_ddl.Membership.t
+
+(** The system-wide metrics registry: fabric, DTU, and per-kernel
+    instruments all report here. Snapshot with
+    [Semper_obs.Obs.Registry.snapshot]. *)
+val obs : t -> Semper_obs.Obs.Registry.t
+
+(** The shared protocol trace ring (sim-clock timestamps, so identical
+    seeds give byte-identical traces). *)
+val trace_buffer : t -> Semper_obs.Obs.Trace.t
 val kernel : t -> int -> Kernel.t
 val kernels : t -> Kernel.t list
 val kernel_count : t -> int

@@ -10,6 +10,7 @@ type t = {
   mutable reply_k : (Protocol.reply -> unit) option;
   mutable syscall_name : string;
   mutable syscall_start : int64;
+  mutable span : int;
   mutable accept_exchange : bool;
   inbox : Semper_dtu.Message.t Queue.t;
 }
@@ -25,6 +26,7 @@ let make ~id ~pe ~kernel =
     reply_k = None;
     syscall_name = "";
     syscall_start = 0L;
+    span = -1;
     accept_exchange = true;
     inbox = Queue.create ();
   }

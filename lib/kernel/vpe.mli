@@ -15,6 +15,7 @@ type t = {
       (** continuation of the in-flight syscall, run on reply delivery *)
   mutable syscall_name : string;   (** name of the in-flight syscall *)
   mutable syscall_start : int64;   (** issue time of the in-flight syscall *)
+  mutable span : int;              (** trace span id of the in-flight syscall; -1 if none yet *)
   mutable accept_exchange : bool;
       (** whether this VPE agrees to direct exchanges (tests use [false]
           to exercise the denial path) *)

@@ -1,8 +1,10 @@
+module Obs = Semper_obs.Obs
+
 type config = { base_cycles : int; hop_cycles : int; bytes_per_cycle : int }
 
 let default_config = { base_cycles = 330; hop_cycles = 4; bytes_per_cycle = 16 }
 
-type injector = src:int -> dst:int -> tag:string -> now:int64 -> arrival:int64 -> int64 list
+type injector = src:int -> dst:int -> tag:string -> now:int64 -> arrival:int64 -> int64 option list
 
 type t = {
   engine : Semper_sim.Engine.t;
@@ -11,29 +13,33 @@ type t = {
   (* Last scheduled delivery time per (src, dst), to enforce pairwise FIFO. *)
   last_delivery : (int * int, int64) Hashtbl.t;
   mutable injector : injector option;
-  mutable messages : int;
-  mutable bytes : int;
-  mutable hops : int;
-  mutable messages_delivered : int;
-  mutable bytes_delivered : int;
-  mutable dropped : int;
+  messages : Obs.Registry.counter;
+  bytes : Obs.Registry.counter;
+  hops : Obs.Registry.counter;
+  messages_delivered : Obs.Registry.counter;
+  bytes_delivered : Obs.Registry.counter;
+  dropped : Obs.Registry.counter;
 }
 
-let create engine topology config =
+let create ?obs engine topology config =
   if config.base_cycles < 0 || config.hop_cycles < 0 || config.bytes_per_cycle <= 0 then
     invalid_arg "Fabric.create: invalid config";
+  (* Without a shared registry the fabric keeps a private one, so the
+     counter accessors below work in isolation (unit tests, ad-hoc use). *)
+  let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
+  let c name = Obs.Registry.counter obs ("fabric." ^ name) in
   {
     engine;
     topology;
     config;
     last_delivery = Hashtbl.create 64;
     injector = None;
-    messages = 0;
-    bytes = 0;
-    hops = 0;
-    messages_delivered = 0;
-    bytes_delivered = 0;
-    dropped = 0;
+    messages = c "messages_offered";
+    bytes = c "bytes_offered";
+    hops = c "hops_offered";
+    messages_delivered = c "messages_delivered";
+    bytes_delivered = c "bytes_delivered";
+    dropped = c "dropped";
   }
 
 let topology t = t.topology
@@ -52,41 +58,45 @@ let send ?(tag = "") t ~src ~dst ~bytes k =
   let arrival = Int64.add now lat in
   (* Offered-load stats count at send time; delivery stats only once a
      copy actually arrives (an injector may drop or duplicate it). *)
-  t.messages <- t.messages + 1;
-  t.bytes <- t.bytes + bytes;
-  t.hops <- t.hops + Topology.hops t.topology src dst;
-  let arrivals =
+  Obs.Registry.incr t.messages;
+  Obs.Registry.incr ~by:bytes t.bytes;
+  Obs.Registry.incr ~by:(Topology.hops t.topology src dst) t.hops;
+  let plan =
     match t.injector with
-    | None -> [ arrival ]
-    | Some inject ->
-      (* Clamp each injected copy so it is never earlier than the
-         unfaulted arrival: faults add latency, they cannot create a
-         faster-than-the-NoC path. *)
-      inject ~src ~dst ~tag ~now ~arrival
-      |> List.map (fun a -> if Int64.compare a arrival < 0 then arrival else a)
-      |> List.sort Int64.compare
+    | None -> [ Some arrival ]
+    | Some inject -> inject ~src ~dst ~tag ~now ~arrival
   in
-  if arrivals = [] then t.dropped <- t.dropped + 1
-  else
-    List.iter
-      (fun a ->
-        (* FIFO per channel: never deliver before a previously sent
-           message (each duplicate copy joins the ordered stream too). *)
-        let a =
-          match Hashtbl.find_opt t.last_delivery (src, dst) with
-          | Some prev when Int64.compare prev a > 0 -> prev
-          | Some _ | None -> a
-        in
-        Hashtbl.replace t.last_delivery (src, dst) a;
-        Semper_sim.Engine.at t.engine a (fun () ->
-            t.messages_delivered <- t.messages_delivered + 1;
-            t.bytes_delivered <- t.bytes_delivered + bytes;
-            k ()))
-      arrivals
+  (* Each [None] in the plan is one dropped copy; an empty plan is the
+     whole message dropped (one drop, since exactly one was offered). *)
+  let drops = if plan = [] then 1 else List.length (List.filter Option.is_none plan) in
+  if drops > 0 then Obs.Registry.incr ~by:drops t.dropped;
+  let arrivals =
+    (* Clamp each surviving copy so it is never earlier than the
+       unfaulted arrival: faults add latency, they cannot create a
+       faster-than-the-NoC path. *)
+    List.filter_map Fun.id plan
+    |> List.map (fun a -> if Int64.compare a arrival < 0 then arrival else a)
+    |> List.sort Int64.compare
+  in
+  List.iter
+    (fun a ->
+      (* FIFO per channel: never deliver before a previously sent
+         message (each duplicate copy joins the ordered stream too). *)
+      let a =
+        match Hashtbl.find_opt t.last_delivery (src, dst) with
+        | Some prev when Int64.compare prev a > 0 -> prev
+        | Some _ | None -> a
+      in
+      Hashtbl.replace t.last_delivery (src, dst) a;
+      Semper_sim.Engine.at t.engine a (fun () ->
+          Obs.Registry.incr t.messages_delivered;
+          Obs.Registry.incr ~by:bytes t.bytes_delivered;
+          k ()))
+    arrivals
 
-let messages t = t.messages
-let bytes_carried t = t.bytes
-let hops_traversed t = t.hops
-let messages_delivered t = t.messages_delivered
-let bytes_delivered t = t.bytes_delivered
-let dropped t = t.dropped
+let messages t = Obs.Registry.value t.messages
+let bytes_carried t = Obs.Registry.value t.bytes
+let hops_traversed t = Obs.Registry.value t.hops
+let messages_delivered t = Obs.Registry.value t.messages_delivered
+let bytes_delivered t = Obs.Registry.value t.bytes_delivered
+let dropped t = Obs.Registry.value t.dropped

@@ -19,14 +19,21 @@ type t
 
 (** A fault-injection hook: given one message (identified by its
     protocol [tag]; [""] for untagged traffic) and its nominal
-    [arrival], returns the absolute arrival time of each copy to
-    deliver — [[]] drops the message, two elements duplicate it. The
-    fabric clamps every returned time to at least the unfaulted arrival
-    and re-applies the pairwise FIFO clamp, so an injector can only add
-    latency, never reorder a channel or time-travel. *)
-type injector = src:int -> dst:int -> tag:string -> now:int64 -> arrival:int64 -> int64 list
+    [arrival], returns a delivery plan with one element per copy:
+    [Some time] delivers a copy at that absolute time, [None] drops
+    that copy. [[]] drops the whole (single-copy) message; a
+    duplicate-then-drop plan like [[Some a; None]] delivers one copy
+    and counts one drop. The fabric clamps every returned time to at
+    least the unfaulted arrival and re-applies the pairwise FIFO clamp,
+    so an injector can only add latency, never reorder a channel or
+    time-travel. *)
+type injector = src:int -> dst:int -> tag:string -> now:int64 -> arrival:int64 -> int64 option list
 
-val create : Semper_sim.Engine.t -> Topology.t -> config -> t
+(** [create ?obs engine topology config] builds the fabric. When [obs]
+    is given, the offered/delivered/dropped counters are registered
+    there under the [fabric.*] namespace; otherwise a private registry
+    backs the accessors below. *)
+val create : ?obs:Semper_obs.Obs.Registry.t -> Semper_sim.Engine.t -> Topology.t -> config -> t
 
 val topology : t -> Topology.t
 val engine : t -> Semper_sim.Engine.t
@@ -59,5 +66,6 @@ val messages_delivered : t -> int
 (** Payload bytes actually delivered. *)
 val bytes_delivered : t -> int
 
-(** Messages dropped by the injector. *)
+(** Copies dropped by the injector (partial drops of a duplicated
+    message count per copy). *)
 val dropped : t -> int

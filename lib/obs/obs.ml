@@ -1,0 +1,416 @@
+(* Deterministic observability: a metrics registry, a span-trace ring
+   buffer, and a hand-rolled JSON emitter.  Everything here is driven by
+   values the caller passes in (simulated cycles, instrument names);
+   nothing reads wall-clock time or other ambient state, so two runs with
+   the same seeds produce byte-identical snapshots and traces. *)
+
+module Stats = Semper_util.Stats
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let add_escaped buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  (* A fixed, locale-independent float rendering: integral values print
+     with one decimal, everything else with enough digits to round-trip.
+     Non-finite values have no JSON spelling and become null upstream. *)
+  let float_repr f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.12g" f
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (float_repr f)
+      else Buffer.add_string buf "null"
+    | Str s ->
+      Buffer.add_char buf '"';
+      add_escaped buf s;
+      Buffer.add_char buf '"'
+    | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          add_escaped buf k;
+          Buffer.add_string buf "\":";
+          emit buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 256 in
+    emit buf j;
+    Buffer.contents buf
+
+  (* Minimal recursive-descent parser, used by tests and the smoke
+     harness to validate that emitted output is well-formed JSON.
+     Escapes are decoded approximately (\uXXXX collapses to '?'), which
+     is enough for validation. *)
+  exception Bad of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word value =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+          | Some '/' -> Buffer.add_char buf '/'; advance ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+          | Some 'u' ->
+            advance ();
+            if !pos + 4 > n then fail "truncated \\u escape";
+            String.iter
+              (fun c ->
+                match c with
+                | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                | _ -> fail "bad \\u escape")
+              (String.sub s !pos 4);
+            pos := !pos + 4;
+            Buffer.add_char buf '?'
+          | _ -> fail "bad escape");
+          loop ()
+        | Some c when Char.code c < 0x20 -> fail "raw control character in string"
+        | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+      in
+      loop ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let consume_while p =
+        while (match peek () with Some c when p c -> true | _ -> false) do
+          advance ()
+        done
+      in
+      if peek () = Some '-' then advance ();
+      consume_while (fun c -> c >= '0' && c <= '9');
+      let is_float = ref false in
+      if peek () = Some '.' then begin
+        is_float := true;
+        advance ();
+        consume_while (fun c -> c >= '0' && c <= '9')
+      end;
+      (match peek () with
+      | Some ('e' | 'E') ->
+        is_float := true;
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        consume_while (fun c -> c >= '0' && c <= '9')
+      | _ -> ());
+      let text = String.sub s start (!pos - start) in
+      if text = "" || text = "-" then fail "bad number";
+      if !is_float then Float (float_of_string text)
+      else
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> Float (float_of_string text)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> Str (parse_string ())
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          Arr (List.rev !items)
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let member () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let items = ref [ member () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := member () :: !items;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !items)
+        end
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad msg -> Error msg
+end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+
+module Registry = struct
+  type counter = { mutable count : int }
+
+  type histogram = {
+    bounds : float array;
+    bucket_counts : int array; (* length = Array.length bounds + 1; last is overflow *)
+    acc : Stats.Acc.t;
+  }
+
+  type instrument =
+    | Counter of counter
+    | Gauge of (unit -> float)
+    | Histogram of histogram
+
+  type t = { instruments : (string, instrument) Hashtbl.t }
+
+  let create () = { instruments = Hashtbl.create 64 }
+
+  let kind_name = function
+    | Counter _ -> "counter"
+    | Gauge _ -> "gauge"
+    | Histogram _ -> "histogram"
+
+  let clash name got want =
+    invalid_arg
+      (Printf.sprintf "Obs.Registry: %s already registered as a %s, not a %s" name
+         (kind_name got) want)
+
+  let counter t name =
+    match Hashtbl.find_opt t.instruments name with
+    | Some (Counter c) -> c
+    | Some other -> clash name other "counter"
+    | None ->
+      let c = { count = 0 } in
+      Hashtbl.add t.instruments name (Counter c);
+      c
+
+  let incr ?(by = 1) c = c.count <- c.count + by
+  let value c = c.count
+
+  let gauge t name f =
+    match Hashtbl.find_opt t.instruments name with
+    | Some (Gauge _) | None -> Hashtbl.replace t.instruments name (Gauge f)
+    | Some other -> clash name other "gauge"
+
+  let histogram t name ~buckets =
+    match Hashtbl.find_opt t.instruments name with
+    | Some (Histogram h) ->
+      if h.bounds <> buckets then
+        invalid_arg
+          (Printf.sprintf "Obs.Registry: histogram %s re-registered with different buckets" name);
+      h
+    | Some other -> clash name other "histogram"
+    | None ->
+      let h =
+        {
+          bounds = Array.copy buckets;
+          bucket_counts = Array.make (Array.length buckets + 1) 0;
+          acc = Stats.Acc.create ();
+        }
+      in
+      Hashtbl.add t.instruments name (Histogram h);
+      h
+
+  let observe h x =
+    let rec find i =
+      if i >= Array.length h.bounds then i
+      else if x <= h.bounds.(i) then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    h.bucket_counts.(i) <- h.bucket_counts.(i) + 1;
+    Stats.Acc.add h.acc x
+
+  let bucket_counts h = Array.copy h.bucket_counts
+  let acc h = h.acc
+
+  let names t =
+    Hashtbl.fold (fun name _ acc -> name :: acc) t.instruments []
+    |> List.sort String.compare
+
+  (* The snapshot is sorted by instrument name so that lazy creation
+     order (which depends on which ops a workload happens to exercise
+     first) never shows through in the output. *)
+  let snapshot t =
+    let instrument_json = function
+      | Counter c -> Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int c.count) ]
+      | Gauge f -> Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Float (f ())) ]
+      | Histogram h ->
+        let n = Stats.Acc.count h.acc in
+        let opt v = if n = 0 then Json.Null else Json.Float v in
+        Json.Obj
+          [
+            ("type", Json.Str "histogram");
+            ("count", Json.Int n);
+            ("sum", opt (Stats.Acc.sum h.acc));
+            ("mean", opt (Stats.Acc.mean h.acc));
+            ("min", opt (Stats.Acc.min h.acc));
+            ("max", opt (Stats.Acc.max h.acc));
+            ("bounds", Json.Arr (Array.to_list h.bounds |> List.map (fun b -> Json.Float b)));
+            ( "buckets",
+              Json.Arr (Array.to_list h.bucket_counts |> List.map (fun c -> Json.Int c)) );
+          ]
+    in
+    Json.Obj
+      (List.map
+         (fun name ->
+           (name, instrument_json (Hashtbl.find t.instruments name)))
+         (names t))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Span tracing                                                        *)
+
+module Trace = struct
+  type event = {
+    ts : int64; (* simulated cycle of the event *)
+    kind : string; (* e.g. "syscall_enter", "ikc_send", "revoke_mark" *)
+    op : int; (* protocol op id, or -1 when not op-tagged *)
+    src : int; (* source kernel id, or -1 *)
+    dst : int; (* destination kernel id, or -1 *)
+    detail : string; (* free-form: syscall or IKC message name, counts *)
+  }
+
+  type t = { capacity : int; ring : event array; mutable recorded : int }
+
+  let dummy = { ts = 0L; kind = ""; op = -1; src = -1; dst = -1; detail = "" }
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Obs.Trace.create: non-positive capacity";
+    { capacity; ring = Array.make capacity dummy; recorded = 0 }
+
+  let record t ~ts ~kind ?(op = -1) ?(src = -1) ?(dst = -1) ?(detail = "") () =
+    t.ring.(t.recorded mod t.capacity) <- { ts; kind; op; src; dst; detail };
+    t.recorded <- t.recorded + 1
+
+  let recorded t = t.recorded
+  let dropped t = Stdlib.max 0 (t.recorded - t.capacity)
+
+  let events t =
+    let kept = Stdlib.min t.recorded t.capacity in
+    let first = t.recorded - kept in
+    List.init kept (fun i -> t.ring.((first + i) mod t.capacity))
+
+  let tail t ~n =
+    let evs = events t in
+    let len = List.length evs in
+    if len <= n then evs else List.filteri (fun i _ -> i >= len - n) evs
+
+  let event_json e =
+    Json.Obj
+      [
+        ("ts", Json.Int (Int64.to_int e.ts));
+        ("kind", Json.Str e.kind);
+        ("op", Json.Int e.op);
+        ("src", Json.Int e.src);
+        ("dst", Json.Int e.dst);
+        ("detail", Json.Str e.detail);
+      ]
+
+  let to_jsonl t =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun e ->
+        Buffer.add_string buf (Json.to_string (event_json e));
+        Buffer.add_char buf '\n')
+      (events t);
+    Buffer.contents buf
+end

@@ -1,0 +1,101 @@
+(** Deterministic observability: metrics registry, span-trace ring
+    buffer, and a dependency-free JSON emitter.
+
+    Nothing in this module reads ambient state (wall-clock time,
+    environment); timestamps and values come from the caller, so runs
+    with identical seeds produce byte-identical snapshots and traces. *)
+
+(** Hand-rolled JSON values.  [to_string] is deterministic: object keys
+    are emitted in the order given, floats use a fixed rendering, and
+    non-finite floats become [null] (there is no valid JSON spelling
+    for them).  [parse] is a small validator used by tests. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+
+  (** Parse a complete JSON document. Escape sequences are decoded
+      loosely ([\uXXXX] collapses to ['?']); intended for validating
+      our own emitter's output, not as a general-purpose parser. *)
+  val parse : string -> (t, string) result
+end
+
+(** Named instruments: monotone counters, callback gauges, and
+    fixed-bucket latency histograms.  Instruments are created on first
+    use ([counter]/[histogram] are get-or-create); re-registering a
+    name with a different kind raises [Invalid_argument]. *)
+module Registry : sig
+  type t
+  type counter
+  type histogram
+
+  val create : unit -> t
+
+  val counter : t -> string -> counter
+  val incr : ?by:int -> counter -> unit
+  val value : counter -> int
+
+  (** [gauge t name f] registers [f] to be sampled at snapshot time.
+      Registering the same name again replaces the callback. *)
+  val gauge : t -> string -> (unit -> float) -> unit
+
+  (** [histogram t name ~buckets] with upper bucket bounds in
+      increasing order; an implicit overflow bucket is appended. *)
+  val histogram : t -> string -> buckets:float array -> histogram
+
+  val observe : histogram -> float -> unit
+  val bucket_counts : histogram -> int array
+  val acc : histogram -> Semper_util.Stats.Acc.t
+
+  (** Registered instrument names, sorted. *)
+  val names : t -> string list
+
+  (** [snapshot t] renders every instrument, sorted by name.  Histogram
+      [min]/[max]/[mean]/[sum] are [null] when the count is zero. *)
+  val snapshot : t -> Json.t
+end
+
+(** Bounded ring buffer of trace events, ordered by insertion (which,
+    in the simulator, is sim-clock order). *)
+module Trace : sig
+  type event = {
+    ts : int64;
+    kind : string;
+    op : int;
+    src : int;
+    dst : int;
+    detail : string;
+  }
+
+  type t
+
+  (** Raises [Invalid_argument] on a non-positive capacity. *)
+  val create : capacity:int -> t
+
+  val record :
+    t -> ts:int64 -> kind:string -> ?op:int -> ?src:int -> ?dst:int -> ?detail:string -> unit -> unit
+
+  (** Total events ever recorded (including overwritten ones). *)
+  val recorded : t -> int
+
+  (** Events lost to ring wraparound. *)
+  val dropped : t -> int
+
+  (** Retained events, oldest first. *)
+  val events : t -> event list
+
+  (** Last [n] retained events, oldest first. *)
+  val tail : t -> n:int -> event list
+
+  val event_json : event -> Json.t
+
+  (** All retained events as JSON Lines (one object per line). *)
+  val to_jsonl : t -> string
+end

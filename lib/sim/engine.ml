@@ -38,7 +38,14 @@ let run ?until t =
   let continue = ref true in
   while !continue do
     match Semper_util.Heap.peek t.queue with
-    | None -> continue := false
+    | None ->
+      (* Even when the queue drains before the bound, the caller asked
+         for time to pass up to [until]: advance the clock so that
+         back-to-back bounded runs observe a monotone [now]. *)
+      (match until with
+      | Some limit when Int64.compare limit t.clock > 0 -> t.clock <- limit
+      | _ -> ());
+      continue := false
     | Some ev ->
       (match until with
       | Some limit when Int64.compare ev.time limit > 0 ->

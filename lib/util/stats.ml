@@ -24,6 +24,11 @@ module Acc = struct
   let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
   let min t = t.min
   let max t = t.max
+
+  (* The raw min/max of an empty accumulator are the infinities, which
+     have no JSON spelling; exporters use these instead. *)
+  let min_opt t = if t.n = 0 then None else Some t.min
+  let max_opt t = if t.n = 0 then None else Some t.max
   let sum t = t.sum
 end
 
@@ -36,7 +41,7 @@ let percentile p xs =
   | [] -> invalid_arg "Stats.percentile: empty sample"
   | xs ->
     let arr = Array.of_list xs in
-    Array.sort compare arr;
+    Array.sort Float.compare arr;
     let n = Array.length arr in
     if n = 1 then arr.(0)
     else begin

@@ -14,6 +14,13 @@ module Acc : sig
 
   val min : t -> float
   val max : t -> float
+
+  (** [None] when no samples have been added; the raw [min]/[max] of an
+      empty accumulator are [infinity]/[neg_infinity], which cannot be
+      serialized as JSON. *)
+  val min_opt : t -> float option
+
+  val max_opt : t -> float option
   val sum : t -> float
 end
 

@@ -211,9 +211,9 @@ let test_partial_revoke_deep_tree () =
 (* Redelivery regressions: the fault injector can deliver any op-tagged
    inter-kernel message twice, so a duplicate must be detected and
    absorbed — never re-executed. These tests replay the duplicate by
-   hand. Requester kernels allocate ops as [kernel_id * 0x1000000 + n],
-   so the first remote op of kernel 1 is 0x1000000 and of kernel 0 is
-   0. *)
+   hand. Requester kernels allocate ops as [kernel_id * 0x1000000 + n]
+   from a single counter that also numbers syscall trace spans, so every
+   syscall consumes one op before any remote op it triggers. *)
 
 let dup_ikc sys k = (Kernel.stats (System.kernel sys k)).Kernel.dup_ikc
 
@@ -231,12 +231,13 @@ let test_redelivered_obtain_req () =
   | Protocol.R_sel _ -> ()
   | r -> Alcotest.failf "obtain: %a" Protocol.pp_reply r);
   check Alcotest.int "parent + child" 2 (total_caps sys);
-  (* Kernel 1 drove the obtain with its first op; replay the request at
-     the donor's kernel as the fault injector's duplicate would. *)
+  (* Kernel 1's obtain syscall consumed op 0x1000000 for its span and
+     op 0x1000001 for the remote obtain; replay the request at the
+     donor's kernel as the fault injector's duplicate would. *)
   Kernel.deliver_ikc (System.kernel sys 0) ~src_kernel:1
     (Protocol.Ik_obtain_req
        {
-         op = 0x1000000;
+         op = 0x1000001;
          src_kernel = 1;
          obj_reserved = 999;
          client_pe = taker.Vpe.pe;
@@ -275,10 +276,10 @@ let test_redelivered_delegate_ack () =
     | l -> Alcotest.failf "receiver holds %d capabilities" (List.length l)
   in
   let idle_threads = Thread_pool.in_use (Kernel.threads (System.kernel sys 1)) in
-  (* Kernel 0 drove the delegate with its first op (0); replay the
-     commit ack at the receiver's kernel. *)
+  (* Kernel 0 drove the delegate with op 2 (after the two syscall
+     spans); replay the commit ack at the receiver's kernel. *)
   Kernel.deliver_ikc (System.kernel sys 1) ~src_kernel:0
-    (Protocol.Ik_delegate_ack { op = 0; child_key; commit = true });
+    (Protocol.Ik_delegate_ack { op = 2; child_key; commit = true });
   ignore (System.run sys);
   check Alcotest.bool "duplicate detected" true (dup_ikc sys 1 >= 1);
   check Alcotest.int "no double insert" 2 (total_caps sys);
@@ -311,16 +312,101 @@ let test_redelivered_revoke_req () =
   | Protocol.R_ok -> ()
   | r -> Alcotest.failf "revoke: %a" Protocol.pp_reply r);
   check Alcotest.int "all revoked" 0 (total_caps sys);
-  (* Kernel 0's revoke consumed op 0 for the operation itself and op 1
+  (* Kernel 0 consumed op 0 for the alloc syscall span, op 1 for the
+     revoke syscall span, op 2 for the revoke operation itself, and op 3
      for the revoke message; replay the message at kernel 1. *)
   Kernel.deliver_ikc (System.kernel sys 1) ~src_kernel:0
-    (Protocol.Ik_revoke_req { op = 1; src_kernel = 0; keys = [ root_key ] });
+    (Protocol.Ik_revoke_req { op = 3; src_kernel = 0; keys = [ root_key ] });
   ignore (System.run sys);
   check Alcotest.bool "duplicate detected" true (dup_ikc sys 1 >= 1);
   check Alcotest.int "nothing resurrected" 0 (total_caps sys);
   check Alcotest.int "both capspaces empty" 0
     (Capspace.count v1.Vpe.capspace + Capspace.count v2.Vpe.capspace);
   Audit.check sys
+
+(* The idempotency caches (remote op results, delegate acks) must not
+   grow without bound: entries older than the retry window are evicted
+   lazily on the next syscall or IKC delivery. *)
+let test_idempotency_cache_eviction () =
+  let sys = make () in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:1 in
+  (* Cross-kernel traffic in both directions populates both kernels'
+     caches: obtains record remote-op results, delegates record acks. *)
+  for _ = 1 to 4 do
+    let a = alloc sys v1 in
+    (match
+       System.syscall_sync sys v2
+         (Protocol.Sys_obtain_from { donor_vpe = v1.Vpe.id; donor_sel = a })
+     with
+    | Protocol.R_sel _ -> ()
+    | r -> Alcotest.failf "obtain: %a" Protocol.pp_reply r);
+    match
+      System.syscall_sync sys v1 (Protocol.Sys_delegate_to { recv_vpe = v2.Vpe.id; sel = a })
+    with
+    | Protocol.R_ok -> ()
+    | r -> Alcotest.failf "delegate: %a" Protocol.pp_reply r
+  done;
+  let filled =
+    List.fold_left
+      (fun acc k ->
+        let r, a = Kernel.idempotency_cache_sizes k in
+        acc + r + a)
+      0 (System.kernels sys)
+  in
+  check Alcotest.bool "caches populated by cross-kernel traffic" true (filled > 0);
+  (* Let the retry window (retry_max+2 timeouts = 550k cycles at the
+     default cost table) expire, then touch each kernel: eviction is
+     activity-driven, so the next syscall drains the expired entries. *)
+  run_for sys 1_000_000L;
+  ignore (alloc sys v1);
+  ignore (alloc sys v2);
+  List.iter
+    (fun k ->
+      let r, a = Kernel.idempotency_cache_sizes k in
+      check Alcotest.int "remote-op cache drained" 0 r;
+      check Alcotest.int "ack cache drained" 0 a)
+    (System.kernels sys);
+  Audit.check sys
+
+(* When every retransmission is lost, the retry loop must give up after
+   retry_max attempts and fail the syscall with E_timeout instead of
+   leaving it pending forever. *)
+let test_retry_exhaustion_times_out () =
+  let drop_everything =
+    {
+      Fault.seed = 7L;
+      delay_prob = 0.0;
+      max_delay = 0;
+      dup_prob = 0.0;
+      max_dup_delay = 0;
+      drop_prob = 1.0;
+      max_drops_per_pair = max_int;
+      max_drops_total = max_int;
+      stall_prob = 0.0;
+      max_stall = 0;
+    }
+  in
+  let sys =
+    System.create
+      (System.config ~kernels:2 ~user_pes_per_kernel:4 ~fault:drop_everything ())
+  in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:1 in
+  let a = alloc sys v1 in
+  let result = ref None in
+  System.syscall sys v2 (Protocol.Sys_obtain_from { donor_vpe = v1.Vpe.id; donor_sel = a })
+    (fun r -> result := Some r);
+  ignore (System.run sys);
+  check (Alcotest.option reply_t) "syscall fails explicitly"
+    (Some (Protocol.R_err Protocol.E_timeout))
+    !result;
+  let exhausted =
+    List.fold_left
+      (fun acc k -> acc + (Kernel.stats k).Kernel.retry_exhausted)
+      0 (System.kernels sys)
+  in
+  check Alcotest.bool "exhaustion counted" true (exhausted >= 1)
 
 let suite =
   [
@@ -335,4 +421,8 @@ let suite =
     Alcotest.test_case "redelivered obtain request" `Quick test_redelivered_obtain_req;
     Alcotest.test_case "redelivered delegate ack" `Quick test_redelivered_delegate_ack;
     Alcotest.test_case "redelivered revoke request" `Quick test_redelivered_revoke_req;
+    Alcotest.test_case "idempotency caches evict after the retry window" `Quick
+      test_idempotency_cache_eviction;
+    Alcotest.test_case "retry exhaustion fails with E_timeout" `Quick
+      test_retry_exhaustion_times_out;
   ]

@@ -17,6 +17,7 @@ let () =
       ("system", Test_system.suite);
       ("m3fs", Test_m3fs.suite);
       ("trace", Test_trace.suite);
+      ("obs", Test_obs.suite);
       ("harness", Test_harness.suite);
       ("services", Test_services.suite);
       ("tools", Test_tools.suite);

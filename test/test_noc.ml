@@ -104,7 +104,7 @@ let test_fabric_injector_drop () =
   let e, f = make_fabric () in
   (* Drop every tagged message; untagged traffic is untouched. *)
   Fabric.set_injector f (Some (fun ~src:_ ~dst:_ ~tag ~now:_ ~arrival ->
-      if tag = "" then [ arrival ] else []));
+      if tag = "" then [ Some arrival ] else []));
   let tagged = ref 0 and untagged = ref 0 in
   Fabric.send f ~tag:"obtain_req" ~src:0 ~dst:15 ~bytes:64 (fun () -> incr tagged);
   Fabric.send f ~src:0 ~dst:15 ~bytes:64 (fun () -> incr untagged);
@@ -118,7 +118,7 @@ let test_fabric_injector_drop () =
 let test_fabric_injector_duplicate () =
   let e, f = make_fabric () in
   Fabric.set_injector f (Some (fun ~src:_ ~dst:_ ~tag:_ ~now:_ ~arrival ->
-      [ arrival; Int64.add arrival 100L ]));
+      [ Some arrival; Some (Int64.add arrival 100L) ]));
   let deliveries = ref [] in
   Fabric.send f ~tag:"revoke_req" ~src:0 ~dst:1 ~bytes:0 (fun () ->
       deliveries := Engine.now e :: !deliveries);
@@ -130,6 +130,27 @@ let test_fabric_injector_duplicate () =
   check Alcotest.int "one offered" 1 (Fabric.messages f);
   check Alcotest.int "two delivered" 2 (Fabric.messages_delivered f)
 
+(* A duplicate-then-drop plan: one copy delivered, one copy dropped.
+   The dropped copy must show up in [dropped] even though the message
+   as a whole got through. *)
+let test_fabric_partial_drop () =
+  let e, f = make_fabric () in
+  Fabric.set_injector f (Some (fun ~src:_ ~dst:_ ~tag:_ ~now:_ ~arrival ->
+      [ Some arrival; None ]));
+  let deliveries = ref 0 in
+  Fabric.send f ~tag:"revoke_req" ~src:0 ~dst:1 ~bytes:0 (fun () -> incr deliveries);
+  ignore (Engine.run e);
+  check Alcotest.int "one offered" 1 (Fabric.messages f);
+  check Alcotest.int "one delivered" 1 (Fabric.messages_delivered f);
+  check Alcotest.int "one copy delivered" 1 !deliveries;
+  check Alcotest.int "partial drop counted" 1 (Fabric.dropped f);
+  (* Dropping every copy of a duplicated message counts each copy. *)
+  Fabric.set_injector f (Some (fun ~src:_ ~dst:_ ~tag:_ ~now:_ ~arrival:_ -> [ None; None ]));
+  Fabric.send f ~tag:"revoke_req" ~src:0 ~dst:1 ~bytes:0 (fun () -> incr deliveries);
+  ignore (Engine.run e);
+  check Alcotest.int "both copies dropped" 3 (Fabric.dropped f);
+  check Alcotest.int "no extra delivery" 1 !deliveries
+
 (* The fabric clamps whatever the injector returns so that per-channel
    FIFO order and causality survive. *)
 let test_fabric_injector_fifo_clamp () =
@@ -139,7 +160,7 @@ let test_fabric_injector_fifo_clamp () =
   let calls = ref 0 in
   Fabric.set_injector f (Some (fun ~src:_ ~dst:_ ~tag:_ ~now:_ ~arrival ->
       incr calls;
-      if !calls = 1 then [ Int64.add arrival 5_000L ] else [ 0L ]));
+      if !calls = 1 then [ Some (Int64.add arrival 5_000L) ] else [ Some 0L ]));
   let log = ref [] in
   Fabric.send f ~tag:"a" ~src:0 ~dst:15 ~bytes:0 (fun () -> log := "first" :: !log);
   Fabric.send f ~tag:"b" ~src:0 ~dst:15 ~bytes:0 (fun () -> log := "second" :: !log);
@@ -159,5 +180,6 @@ let suite =
     Alcotest.test_case "fabric offered vs delivered stats" `Quick test_fabric_stats_no_injector;
     Alcotest.test_case "fabric injector drop" `Quick test_fabric_injector_drop;
     Alcotest.test_case "fabric injector duplicate" `Quick test_fabric_injector_duplicate;
+    Alcotest.test_case "fabric injector partial drop" `Quick test_fabric_partial_drop;
     Alcotest.test_case "fabric injector FIFO clamp" `Quick test_fabric_injector_fifo_clamp;
   ]

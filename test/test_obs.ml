@@ -1,0 +1,197 @@
+(* Tests for the observability layer: the JSON emitter, the metrics
+   registry, the trace ring buffer, and end-to-end determinism of
+   snapshots and traces across identically-seeded system runs. *)
+
+open Semperos
+
+let check = Alcotest.check
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* JSON emitter                                                        *)
+
+let test_json_escaping () =
+  let j =
+    Obs.Json.(Obj [ ("k\"ey", Str "a\\b\"c\nd\te\r\x01f") ])
+  in
+  check Alcotest.string "escapes" "{\"k\\\"ey\":\"a\\\\b\\\"c\\nd\\te\\r\\u0001f\"}"
+    (Obs.Json.to_string j);
+  (* The validator must accept everything the emitter produces. *)
+  match Obs.Json.parse (Obs.Json.to_string j) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "emitter output rejected: %s" e
+
+let test_json_non_finite () =
+  let j = Obs.Json.(Arr [ Float nan; Float infinity; Float neg_infinity; Float 1.5 ]) in
+  check Alcotest.string "non-finite floats become null" "[null,null,null,1.5]"
+    (Obs.Json.to_string j)
+
+let test_json_parse_roundtrip () =
+  let j =
+    Obs.Json.(
+      Obj
+        [
+          ("null", Null);
+          ("bool", Bool true);
+          ("int", Int (-42));
+          ("float", Float 2.25);
+          ("str", Str "x");
+          ("arr", Arr [ Int 1; Obj [ ("nested", Bool false) ] ]);
+          ("empty_obj", Obj []);
+          ("empty_arr", Arr []);
+        ])
+  in
+  match Obs.Json.parse (Obs.Json.to_string j) with
+  | Ok j' ->
+    check Alcotest.string "round-trips byte-identically" (Obs.Json.to_string j)
+      (Obs.Json.to_string j')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_parse_rejects () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ] in
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON: %s" s
+      | Error _ -> ())
+    bad
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+let test_registry_counters () =
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter r "a.hits" in
+  Obs.Registry.incr c;
+  Obs.Registry.incr ~by:4 c;
+  check Alcotest.int "counter value" 5 (Obs.Registry.value c);
+  (* Get-or-create: the same name yields the same instrument. *)
+  let c' = Obs.Registry.counter r "a.hits" in
+  Obs.Registry.incr c';
+  check Alcotest.int "aliased" 6 (Obs.Registry.value c);
+  check Alcotest.(list string) "names sorted" [ "a.hits" ] (Obs.Registry.names r)
+
+let test_registry_kind_clash () =
+  let r = Obs.Registry.create () in
+  ignore (Obs.Registry.counter r "x");
+  Alcotest.check_raises "histogram over counter"
+    (Invalid_argument "Obs.Registry: x already registered as a counter, not a histogram")
+    (fun () -> ignore (Obs.Registry.histogram r "x" ~buckets:[| 1.0 |]))
+
+let test_histogram_bucket_edges () =
+  let r = Obs.Registry.create () in
+  let h = Obs.Registry.histogram r "lat" ~buckets:[| 10.0; 20.0 |] in
+  (* A bound is inclusive: x lands in the first bucket whose bound >= x. *)
+  List.iter (Obs.Registry.observe h) [ 0.0; 10.0; 10.5; 20.0; 20.0000001; 1e9 ];
+  check Alcotest.(array int) "bucket counts (<=10, <=20, overflow)" [| 2; 2; 2 |]
+    (Obs.Registry.bucket_counts h);
+  let acc = Obs.Registry.acc h in
+  check Alcotest.int "count" 6 (Stats.Acc.count acc)
+
+let test_empty_histogram_snapshot () =
+  let r = Obs.Registry.create () in
+  ignore (Obs.Registry.histogram r "empty" ~buckets:[| 1.0 |]);
+  let s = Obs.Json.to_string (Obs.Registry.snapshot r) in
+  (* min/max/mean/sum of an empty histogram must serialize as null, not
+     as the invalid JSON spellings of infinities (satellite 1). *)
+  check Alcotest.bool "contains nulls" true (contains s "\"min\":null");
+  match Obs.Json.parse s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "empty-histogram snapshot invalid: %s (%s)" e s
+
+let test_gauge_replacement () =
+  let r = Obs.Registry.create () in
+  Obs.Registry.gauge r "g" (fun () -> 1.0);
+  Obs.Registry.gauge r "g" (fun () -> 2.5);
+  let s = Obs.Json.to_string (Obs.Registry.snapshot r) in
+  check Alcotest.bool "latest callback wins" true (contains s "2.5")
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring buffer                                                   *)
+
+let test_trace_wraparound () =
+  let t = Obs.Trace.create ~capacity:4 in
+  for i = 1 to 10 do
+    Obs.Trace.record t ~ts:(Int64.of_int i) ~kind:"e" ~op:i ()
+  done;
+  check Alcotest.int "recorded counts everything" 10 (Obs.Trace.recorded t);
+  check Alcotest.int "dropped = recorded - capacity" 6 (Obs.Trace.dropped t);
+  check Alcotest.(list int) "retains the newest, oldest first" [ 7; 8; 9; 10 ]
+    (List.map (fun e -> e.Obs.Trace.op) (Obs.Trace.events t));
+  check Alcotest.(list int) "tail" [ 9; 10 ]
+    (List.map (fun e -> e.Obs.Trace.op) (Obs.Trace.tail t ~n:2));
+  (* A tail longer than the retained window is just the window. *)
+  check Alcotest.int "oversized tail clamps" 4 (List.length (Obs.Trace.tail t ~n:100))
+
+let test_trace_jsonl () =
+  let t = Obs.Trace.create ~capacity:8 in
+  Obs.Trace.record t ~ts:5L ~kind:"syscall_enter" ~op:1 ~src:0 ~dst:2 ~detail:"alloc" ();
+  Obs.Trace.record t ~ts:9L ~kind:"ikc_send" ();
+  let lines = String.split_on_char '\n' (String.trim (Obs.Trace.to_jsonl t)) in
+  check Alcotest.int "one line per event" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Obs.Json.parse line with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "invalid JSONL line %s: %s" line e)
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end determinism                                              *)
+
+(* Two identically-configured runs must produce byte-identical metric
+   snapshots and trace buffers: everything is driven by the sim clock
+   and seeded RNGs, never by host time. *)
+let run_fixed_workload () =
+  let sys = System.create (System.config ~kernels:2 ~user_pes_per_kernel:3 ()) in
+  let a = System.spawn_vpe sys ~kernel:0 in
+  let b = System.spawn_vpe sys ~kernel:1 in
+  let sel =
+    match System.syscall_sync sys a (Protocol.Sys_alloc_mem { size = 4096L; perms = Perms.rw })
+    with
+    | Protocol.R_sel s -> s
+    | r -> Alcotest.failf "alloc failed: %a" Protocol.pp_reply r
+  in
+  ignore
+    (System.syscall_sync sys b (Protocol.Sys_obtain_from { donor_vpe = a.Vpe.id; donor_sel = sel }));
+  ignore (System.syscall_sync sys a (Protocol.Sys_revoke { sel; own = true }));
+  ignore (System.run sys);
+  ( Obs.Json.to_string (Obs.Registry.snapshot (System.obs sys)),
+    Obs.Trace.to_jsonl (System.trace_buffer sys) )
+
+let test_snapshot_determinism () =
+  let m1, t1 = run_fixed_workload () in
+  let m2, t2 = run_fixed_workload () in
+  check Alcotest.string "metric snapshots byte-identical" m1 m2;
+  check Alcotest.string "traces byte-identical" t1 t2;
+  match Obs.Json.parse m1 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "system snapshot invalid JSON: %s" e
+
+let test_trace_records_protocol () =
+  let _, jsonl = run_fixed_workload () in
+  let has kind = contains jsonl (Printf.sprintf "\"kind\":\"%s\"" kind) in
+  List.iter
+    (fun kind -> check Alcotest.bool kind true (has kind))
+    [ "syscall_enter"; "syscall_exit"; "ikc_send"; "ikc_recv"; "revoke_mark"; "revoke_sweep" ]
+
+let suite =
+  [
+    Alcotest.test_case "json escaping" `Quick test_json_escaping;
+    Alcotest.test_case "json non-finite floats" `Quick test_json_non_finite;
+    Alcotest.test_case "json parse round-trip" `Quick test_json_parse_roundtrip;
+    Alcotest.test_case "json parse rejects garbage" `Quick test_json_parse_rejects;
+    Alcotest.test_case "registry counters" `Quick test_registry_counters;
+    Alcotest.test_case "registry kind clash" `Quick test_registry_kind_clash;
+    Alcotest.test_case "histogram bucket edges" `Quick test_histogram_bucket_edges;
+    Alcotest.test_case "empty histogram snapshot" `Quick test_empty_histogram_snapshot;
+    Alcotest.test_case "gauge replacement" `Quick test_gauge_replacement;
+    Alcotest.test_case "trace ring wraparound" `Quick test_trace_wraparound;
+    Alcotest.test_case "trace JSONL" `Quick test_trace_jsonl;
+    Alcotest.test_case "snapshot determinism" `Quick test_snapshot_determinism;
+    Alcotest.test_case "trace records protocol spans" `Quick test_trace_records_protocol;
+  ]

@@ -69,6 +69,26 @@ let test_engine_until_no_event () =
   ignore (Engine.run e);
   check Alcotest.int64 "event fires at its time" 100L (Engine.now e)
 
+(* The other exit path: the queue drains *before* the bound. The clock
+   must still advance to the bound, so quiescent periods pass time. *)
+let test_engine_until_drained () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.after e 10L (fun () -> incr fired);
+  let n = Engine.run ~until:500L e in
+  check Alcotest.int "event fired" 1 n;
+  check Alcotest.int "callback ran" 1 !fired;
+  check Alcotest.int64 "clock advanced to the bound" 500L (Engine.now e);
+  (* Entirely empty queue: a bounded run is pure time passing. *)
+  ignore (Engine.run ~until:900L e);
+  check Alcotest.int64 "empty run still advances" 900L (Engine.now e);
+  (* ... but an unbounded run of an empty queue leaves the clock put. *)
+  ignore (Engine.run e);
+  check Alcotest.int64 "unbounded drain keeps clock" 900L (Engine.now e);
+  (* And a bound in the past never rewinds. *)
+  ignore (Engine.run ~until:100L e);
+  check Alcotest.int64 "no rewind" 900L (Engine.now e)
+
 (* Repeated bounded runs make progress and eventually drain. *)
 let test_engine_until_repeated () =
   let e = Engine.create () in
@@ -81,7 +101,9 @@ let test_engine_until_repeated () =
     ignore (Engine.run ~until:(Int64.add (Engine.now e) 25L) e)
   done;
   check Alcotest.int "all fired" 4 !fired;
-  check Alcotest.int64 "clock past last event" 70L (Engine.now e)
+  (* The final bounded run drains the queue before its bound, and the
+     clock still advances to the bound (75), not the last event. *)
+  check Alcotest.int64 "clock at final bound" 75L (Engine.now e)
 
 (* Same-time events straddling the bound fire together, in seq order. *)
 let test_engine_until_same_time () =
@@ -174,6 +196,7 @@ let suite =
     Alcotest.test_case "engine nested scheduling" `Quick test_engine_nested_scheduling;
     Alcotest.test_case "engine bounded run" `Quick test_engine_until;
     Alcotest.test_case "engine bounded run, empty window" `Quick test_engine_until_no_event;
+    Alcotest.test_case "engine bounded run, drained queue" `Quick test_engine_until_drained;
     Alcotest.test_case "engine repeated bounded runs" `Quick test_engine_until_repeated;
     Alcotest.test_case "engine bounded run, same-time events" `Quick test_engine_until_same_time;
     Alcotest.test_case "engine rejects the past" `Quick test_engine_past_rejected;
