@@ -1,19 +1,42 @@
 (** Regenerates every table and figure of the paper's evaluation
     (§5). Each function prints the same rows or series the paper
-    reports; EXPERIMENTS.md records paper-vs-measured. *)
+    reports; EXPERIMENTS.md records paper-vs-measured.
+
+    Every experiment point is an independent, self-contained simulation,
+    so each figure first builds its full list of run specs, fans them
+    out across OCaml domains via {!Semperos.Runner} (the [--jobs] flag
+    of [bench/main.exe]), and only then prints — results are collected
+    in submission order, so the output is byte-identical for any job
+    count. *)
 
 open Semperos
 module T = Table
+module Microbench = Semper_harness.Microbench
 
 let pct = Printf.sprintf "%.1f"
+
+(* [chunks n xs] splits [xs] into consecutive groups of [n]. *)
+let rec chunks n = function
+  | [] -> []
+  | xs ->
+    let rec take k acc rest =
+      if k = 0 then (List.rev acc, rest)
+      else match rest with [] -> invalid_arg "chunks: ragged list" | x :: tl -> take (k - 1) (x :: acc) tl
+    in
+    let group, rest = take n [] xs in
+    group :: chunks n rest
 
 (* ------------------------------------------------------------------ *)
 (* Table 3: runtimes of capability operations                          *)
 
 let table3 () =
-  let sx, sr = Semper_harness.Microbench.exchange_revoke ~mode:Cost.Semperos ~spanning:false in
-  let gx, gr = Semper_harness.Microbench.exchange_revoke ~mode:Cost.Semperos ~spanning:true in
-  let mx, mr = Semper_harness.Microbench.exchange_revoke ~mode:Cost.M3 ~spanning:false in
+  let results =
+    Microbench.exchange_revokes ~jobs:(Runner.jobs ())
+      [ (Cost.Semperos, false); (Cost.Semperos, true); (Cost.M3, false) ]
+  in
+  let (sx, sr), (gx, gr), (mx, mr) =
+    match results with [ s; g; m ] -> (s, g, m) | _ -> assert false
+  in
   let row op scope measured paper m3_measured m3_paper =
     [ op; scope; Int64.to_string measured; paper; m3_measured; m3_paper ]
   in
@@ -31,18 +54,26 @@ let table3 () =
 
 let fig4 () =
   let lengths = [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ] in
+  let specs =
+    List.concat_map
+      (fun len ->
+        [
+          { Microbench.c_mode = Cost.Semperos; c_spanning = false; c_len = len };
+          { Microbench.c_mode = Cost.Semperos; c_spanning = true; c_len = len };
+          { Microbench.c_mode = Cost.M3; c_spanning = false; c_len = len };
+        ])
+      lengths
+  in
+  let cycles = Microbench.chain_revocations ~jobs:(Runner.jobs ()) specs in
   let series =
     T.Series.create ~x_label:"chain_len"
       ~labels:[ "local_semperos_kcyc"; "spanning_semperos_kcyc"; "local_m3_kcyc" ]
   in
-  List.iter
-    (fun len ->
-      let local = Semper_harness.Microbench.chain_revocation ~mode:Cost.Semperos ~spanning:false ~len in
-      let spanning = Semper_harness.Microbench.chain_revocation ~mode:Cost.Semperos ~spanning:true ~len in
-      let m3 = Semper_harness.Microbench.chain_revocation ~mode:Cost.M3 ~spanning:false ~len in
+  List.iter2
+    (fun len row ->
       let k c = Some (Int64.to_float c /. 1000.0) in
-      T.Series.add_row series ~x:(float_of_int len) [ k local; k spanning; k m3 ])
-    lengths;
+      T.Series.add_row series ~x:(float_of_int len) (List.map k row))
+    lengths (chunks 3 cycles);
   T.Series.print
     ~title:
       "Figure 4: revoking capability chains (K cycles; paper @100: local ~95, spanning ~240, M3 ~45)"
@@ -54,21 +85,25 @@ let fig4 () =
 let fig5 ?(batching = false) () =
   let counts = [ 0; 16; 32; 48; 64; 80; 96; 112; 128 ] in
   let kernel_sets = [ 0; 1; 4; 8; 12 ] in
+  let specs =
+    List.concat_map
+      (fun children ->
+        List.map
+          (fun extra_kernels -> Microbench.tree_spec ~batching ~extra_kernels ~children ())
+          kernel_sets)
+      counts
+  in
+  let cycles = Microbench.tree_revocations ~jobs:(Runner.jobs ()) specs in
   let series =
     T.Series.create ~x_label:"children"
       ~labels:(List.map (fun k -> Printf.sprintf "1+%d_kernels_us" k) kernel_sets)
   in
-  List.iter
-    (fun children ->
-      let row =
-        List.map
-          (fun extra_kernels ->
-            let cycles = Semper_harness.Microbench.tree_revocation ~batching ~extra_kernels ~children () in
-            Some (Int64.to_float cycles /. 2000.0))
-          kernel_sets
-      in
-      T.Series.add_row series ~x:(float_of_int children) row)
-    counts;
+  List.iter2
+    (fun children row ->
+      T.Series.add_row series ~x:(float_of_int children)
+        (List.map (fun c -> Some (Int64.to_float c /. 2000.0)) row))
+    counts
+    (chunks (List.length kernel_sets) cycles);
   let title =
     if batching then "Figure 5 ablation: tree revocation WITH message batching (us)"
     else "Figure 5: parallel revocation of capability trees (us; paper: break-even at 80 children)"
@@ -78,16 +113,20 @@ let fig5 ?(batching = false) () =
 (* ------------------------------------------------------------------ *)
 (* Table 4: capability operations of the applications                  *)
 
-let run_single spec = Experiment.run (Experiment.config ~kernels:1 ~services:1 ~instances:1 spec)
-
-let run_512 spec = Experiment.run (Experiment.config ~kernels:64 ~services:64 ~instances:512 spec)
+let single_config spec = Experiment.config ~kernels:1 ~services:1 ~instances:1 spec
 
 let table4 () =
+  let outcomes =
+    Runner.experiments
+      (List.concat_map
+         (fun spec ->
+           [ single_config spec; Experiment.config ~kernels:64 ~services:64 ~instances:512 spec ])
+         Workloads.all)
+  in
   let rows =
-    List.map
-      (fun spec ->
-        let s1 = run_single spec in
-        let s512 = run_512 spec in
+    List.map2
+      (fun spec pair ->
+        let s1, s512 = match pair with [ a; b ] -> (a, b) | _ -> assert false in
         [
           spec.Workloads.name;
           string_of_int s1.Experiment.cap_ops;
@@ -97,7 +136,7 @@ let table4 () =
           string_of_int s512.Experiment.cap_ops;
           Printf.sprintf "%.0f" s512.Experiment.cap_ops_per_s;
         ])
-      Workloads.all
+      Workloads.all (chunks 2 outcomes)
   in
   T.print
     ~title:
@@ -110,86 +149,97 @@ let table4 () =
 
 let instance_counts = [ 64; 128; 192; 256; 320; 384; 448; 512 ]
 
-let efficiency spec ~kernels ~services ~instances ~single =
-  let p = Experiment.run (Experiment.config ~kernels ~services ~instances spec) in
-  100.0 *. Experiment.parallel_efficiency ~single ~parallel:p
-
 let fig6 () =
   let series =
     T.Series.create ~x_label:"instances"
       ~labels:(List.map (fun s -> s.Workloads.name ^ "_pct" ) Workloads.all)
   in
   let singles =
-    List.map
-      (fun spec -> Experiment.run (Experiment.config ~kernels:32 ~services:32 ~instances:1 spec))
-      Workloads.all
+    Runner.experiments
+      (List.map (fun spec -> Experiment.config ~kernels:32 ~services:32 ~instances:1 spec)
+         Workloads.all)
   in
-  List.iter
-    (fun n ->
-      let row =
+  let grid =
+    Runner.experiments
+      (List.concat_map
+         (fun n ->
+           List.map (fun spec -> Experiment.config ~kernels:32 ~services:32 ~instances:n spec)
+             Workloads.all)
+         instance_counts)
+  in
+  List.iter2
+    (fun n row ->
+      let cells =
         List.map2
-          (fun spec single ->
-            Some (efficiency spec ~kernels:32 ~services:32 ~instances:n ~single))
-          Workloads.all singles
+          (fun single p -> Some (100.0 *. Experiment.parallel_efficiency ~single ~parallel:p))
+          singles row
       in
-      T.Series.add_row series ~x:(float_of_int n) row)
-    instance_counts;
+      T.Series.add_row series ~x:(float_of_int n) cells)
+    instance_counts (chunks (List.length Workloads.all) grid)
+  ;
   T.Series.print
     ~title:
       "Figure 6: parallel efficiency, 32 kernels + 32 services (paper @512: 70% (SQLite) .. 78% (tar))"
     series
 
-let sweep_series ~title ~x_label ~configs ~points ~value =
-  let series = T.Series.create ~x_label ~labels:(List.map fst configs) in
-  List.iter
-    (fun x ->
-      let row = List.map (fun (_, cfgv) -> value cfgv x) configs in
-      T.Series.add_row series ~x:(float_of_int x) row)
-    points;
-  T.Series.print ~title series
+(* Shared driver for Figures 7 and 8: for each workload, one
+   single-instance reference run plus a (sweep-value x instance-count)
+   grid, all fanned out in one batch, then printed as one series per
+   workload. *)
+let sweep_figure ~specs ~sweep_values ~points ~config_of ~label_of ~title_of =
+  let per_spec = 1 + (List.length points * List.length sweep_values) in
+  let cfgs =
+    List.concat_map
+      (fun spec ->
+        Experiment.config ~kernels:64 ~services:64 ~instances:1 spec
+        :: List.concat_map
+             (fun x -> List.map (fun v -> config_of spec v x) sweep_values)
+             points)
+      specs
+  in
+  let outcomes = Runner.experiments cfgs in
+  List.iter2
+    (fun spec group ->
+      let single, grid =
+        match group with s :: rest -> (s, rest) | [] -> assert false
+      in
+      let series =
+        T.Series.create ~x_label:"instances" ~labels:(List.map label_of sweep_values)
+      in
+      List.iter2
+        (fun x row ->
+          T.Series.add_row series ~x:(float_of_int x)
+            (List.map
+               (fun p -> Some (100.0 *. Experiment.parallel_efficiency ~single ~parallel:p))
+               row))
+        points
+        (chunks (List.length sweep_values) grid);
+      T.Series.print ~title:(title_of spec) series)
+    specs (chunks per_spec outcomes)
 
 (* Figure 7: service dependence (64 kernels, varying services). *)
 let fig7 () =
-  let service_counts = [ 4; 8; 16; 32; 48; 64 ] in
-  let points = [ 128; 256; 384; 512 ] in
-  List.iter
-    (fun spec ->
-      let single =
-        Experiment.run (Experiment.config ~kernels:64 ~services:64 ~instances:1 spec)
-      in
-      sweep_series
-        ~title:
-          (Printf.sprintf "Figure 7 (%s): parallel efficiency with 64 kernels, varying services"
-             spec.Workloads.name)
-        ~x_label:"instances"
-        ~configs:
-          (List.map
-             (fun s -> (Printf.sprintf "%ds_pct" s, s))
-             service_counts)
-        ~points
-        ~value:(fun services n ->
-          Some (efficiency spec ~kernels:64 ~services ~instances:n ~single)))
-    [ Workloads.tar; Workloads.sqlite ]
+  sweep_figure
+    ~specs:[ Workloads.tar; Workloads.sqlite ]
+    ~sweep_values:[ 4; 8; 16; 32; 48; 64 ]
+    ~points:[ 128; 256; 384; 512 ]
+    ~config_of:(fun spec services n -> Experiment.config ~kernels:64 ~services ~instances:n spec)
+    ~label_of:(fun s -> Printf.sprintf "%ds_pct" s)
+    ~title_of:(fun spec ->
+      Printf.sprintf "Figure 7 (%s): parallel efficiency with 64 kernels, varying services"
+        spec.Workloads.name)
 
 (* Figure 8: kernel dependence (64 services, varying kernels). *)
 let fig8 () =
-  let kernel_counts = [ 4; 8; 16; 32; 48; 64 ] in
-  let points = [ 128; 256; 384; 512 ] in
-  List.iter
-    (fun spec ->
-      let single =
-        Experiment.run (Experiment.config ~kernels:64 ~services:64 ~instances:1 spec)
-      in
-      sweep_series
-        ~title:
-          (Printf.sprintf "Figure 8 (%s): parallel efficiency with 64 services, varying kernels"
-             spec.Workloads.name)
-        ~x_label:"instances"
-        ~configs:(List.map (fun k -> (Printf.sprintf "%dk_pct" k, k)) kernel_counts)
-        ~points
-        ~value:(fun kernels n ->
-          Some (efficiency spec ~kernels ~services:64 ~instances:n ~single)))
-    [ Workloads.postmark; Workloads.leveldb ]
+  sweep_figure
+    ~specs:[ Workloads.postmark; Workloads.leveldb ]
+    ~sweep_values:[ 4; 8; 16; 32; 48; 64 ]
+    ~points:[ 128; 256; 384; 512 ]
+    ~config_of:(fun spec kernels n -> Experiment.config ~kernels ~services:64 ~instances:n spec)
+    ~label_of:(fun k -> Printf.sprintf "%dk_pct" k)
+    ~title_of:(fun spec ->
+      Printf.sprintf "Figure 8 (%s): parallel efficiency with 64 services, varying kernels"
+        spec.Workloads.name)
 
 (* Figure 9: system efficiency — OS PEs count as zero. *)
 let fig9 () =
@@ -197,6 +247,34 @@ let fig9 () =
   let pe_counts = [ 128; 256; 384; 512; 640 ] in
   List.iter
     (fun spec ->
+      (* One single-instance reference per (kernels, services) shape —
+         the reference is independent of the PE count. *)
+      let singles =
+        Runner.experiments
+          (List.map
+             (fun (kernels, services) ->
+               Experiment.config ~kernels ~services ~instances:1 spec)
+             configs)
+      in
+      (* Only cells with at least one instance per kernel run. *)
+      let cells =
+        List.concat_map
+          (fun pes ->
+            List.filter_map
+              (fun (kernels, services) ->
+                let instances = pes - kernels - services in
+                if instances < kernels then None else Some (kernels, services, instances))
+              configs)
+          pe_counts
+      in
+      let outcomes =
+        Runner.experiments
+          (List.map
+             (fun (kernels, services, instances) ->
+               Experiment.config ~kernels ~services ~instances spec)
+             cells)
+      in
+      let results = ref (List.combine cells outcomes) in
       let series =
         T.Series.create ~x_label:"PEs"
           ~labels:(List.map (fun (k, s) -> Printf.sprintf "%dk%ds_pct" k s) configs)
@@ -204,20 +282,22 @@ let fig9 () =
       List.iter
         (fun pes ->
           let row =
-            List.map
-              (fun (kernels, services) ->
+            List.map2
+              (fun (kernels, services) single ->
                 let instances = pes - kernels - services in
                 if instances < kernels then None
                 else begin
-                  let single =
-                    Experiment.run (Experiment.config ~kernels ~services ~instances:1 spec)
-                  in
                   let p =
-                    Experiment.run (Experiment.config ~kernels ~services ~instances spec)
+                    match !results with
+                    | ((k, s, i), p) :: rest
+                      when k = kernels && s = services && i = instances ->
+                      results := rest;
+                      p
+                    | _ -> assert false
                   in
                   Some (100.0 *. Experiment.system_efficiency ~single ~parallel:p)
                 end)
-              configs
+              configs singles
           in
           T.Series.add_row series ~x:(float_of_int pes) row)
         pe_counts;
@@ -237,21 +317,24 @@ let fig10 () =
     [ (8, 8); (8, 16); (8, 32); (16, 16); (32, 16); (32, 32) ]
   in
   let server_counts = [ 32; 64; 96; 128; 160; 192; 224; 256 ] in
+  let outcomes =
+    Runner.map
+      (fun (servers, (kernels, services)) ->
+        Nginx_bench.run (Nginx_bench.config ~kernels ~services ~servers ()))
+      (List.concat_map
+         (fun servers -> List.map (fun cfg -> (servers, cfg)) configs)
+         server_counts)
+  in
   let series =
     T.Series.create ~x_label:"servers"
       ~labels:(List.map (fun (k, s) -> Printf.sprintf "%dk%ds_kreq" k s) configs)
   in
-  List.iter
-    (fun servers ->
-      let row =
-        List.map
-          (fun (kernels, services) ->
-            let o = Nginx_bench.run (Nginx_bench.config ~kernels ~services ~servers ()) in
-            Some (o.Nginx_bench.requests_per_s /. 1000.0))
-          configs
-      in
-      T.Series.add_row series ~x:(float_of_int servers) row)
-    server_counts;
+  List.iter2
+    (fun servers row ->
+      T.Series.add_row series ~x:(float_of_int servers)
+        (List.map (fun o -> Some (o.Nginx_bench.requests_per_s /. 1000.0)) row))
+    server_counts
+    (chunks (List.length configs) outcomes);
   T.Series.print
     ~title:
       "Figure 10: Nginx requests/s (x1000; paper: near-linear with 32k/32s, flattening below)"
@@ -262,17 +345,25 @@ let fig10 () =
 
 let ablation_batching () =
   let counts = [ 16; 48; 80; 128 ] in
+  let cycles =
+    Microbench.tree_revocations ~jobs:(Runner.jobs ())
+      (List.concat_map
+         (fun children ->
+           [
+             Microbench.tree_spec ~extra_kernels:12 ~children ();
+             Microbench.tree_spec ~batching:true ~extra_kernels:12 ~children ();
+           ])
+         counts)
+  in
   let series =
     T.Series.create ~x_label:"children"
       ~labels:[ "no_batching_us"; "batching_us" ]
   in
-  List.iter
-    (fun children ->
-      let plain = Semper_harness.Microbench.tree_revocation ~extra_kernels:12 ~children () in
-      let batched = Semper_harness.Microbench.tree_revocation ~batching:true ~extra_kernels:12 ~children () in
+  List.iter2
+    (fun children row ->
       T.Series.add_row series ~x:(float_of_int children)
-        [ Some (Int64.to_float plain /. 2000.0); Some (Int64.to_float batched /. 2000.0) ])
-    counts;
+        (List.map (fun c -> Some (Int64.to_float c /. 2000.0)) row))
+    counts (chunks 2 cycles);
   T.Series.print
     ~title:"Ablation: revoke message batching, 1+12 kernels (paper suggests batching in 5.2)"
     series
@@ -284,22 +375,27 @@ let ablation_batching () =
 let ablation_broadcast () =
   let children = 64 in
   let background_caps = 2000 in
+  let kernel_counts = [ 1; 3; 7; 15; 31; 63 ] in
+  let cycles =
+    Microbench.tree_revocations ~jobs:(Runner.jobs ())
+      (List.concat_map
+         (fun extra_kernels ->
+           let t ?batching ?broadcast () =
+             Microbench.tree_spec ?batching ?broadcast ~background_caps ~extra_kernels ~children ()
+           in
+           [ t (); t ~batching:true (); t ~broadcast:true () ])
+         kernel_counts)
+  in
   let series =
     T.Series.create ~x_label:"kernels"
       ~labels:[ "targeted_us"; "targeted_batched_us"; "broadcast_us" ]
   in
-  List.iter
-    (fun extra_kernels ->
-      let t ?batching ?broadcast () =
-        Int64.to_float
-          (Semper_harness.Microbench.tree_revocation ?batching ?broadcast ~background_caps
-             ~extra_kernels ~children ())
-        /. 2000.0
-      in
+  List.iter2
+    (fun extra_kernels row ->
       T.Series.add_row series
         ~x:(float_of_int (1 + extra_kernels))
-        [ Some (t ()); Some (t ~batching:true ()); Some (t ~broadcast:true ()) ])
-    [ 1; 3; 7; 15; 31; 63 ];
+        (List.map (fun c -> Some (Int64.to_float c /. 2000.0)) row))
+    kernel_counts (chunks 3 cycles);
   T.Series.print
     ~title:
       "Ablation: targeted (DDL links) vs Barrelfish-style broadcast revocation, 64 children, 2000 background caps/kernel"
@@ -333,81 +429,14 @@ let ablation_inflight () =
 (* ------------------------------------------------------------------ *)
 (* JSON export (BENCH_*.json)                                          *)
 
-(* Machine-readable counterparts of the headline tables, written with
-   the deterministic {!Obs.Json} emitter: keys are emitted in a fixed
-   order and the simulator is seeded, so repeated runs produce
-   byte-identical files that CI can diff. *)
-
-let write_json path json =
-  let oc = open_out path in
-  output_string oc (Obs.Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "wrote %s\n%!" path
-
-(* Table 3 + Figure 4 as BENCH_micro.json. *)
-let json_micro () =
-  let open Obs.Json in
-  let micro op scope cycles paper =
-    Obj
-      [
-        ("op", Str op);
-        ("scope", Str scope);
-        ("cycles", Int (Int64.to_int cycles));
-        ("paper_cycles", (match paper with Some p -> Int p | None -> Null));
-      ]
-  in
-  let sx, sr = Semper_harness.Microbench.exchange_revoke ~mode:Cost.Semperos ~spanning:false in
-  let gx, gr = Semper_harness.Microbench.exchange_revoke ~mode:Cost.Semperos ~spanning:true in
-  let chain len =
-    let cyc spanning =
-      Semper_harness.Microbench.chain_revocation ~mode:Cost.Semperos ~spanning ~len
-    in
-    Obj
-      [
-        ("len", Int len);
-        ("local_cycles", Int (Int64.to_int (cyc false)));
-        ("spanning_cycles", Int (Int64.to_int (cyc true)));
-      ]
-  in
-  write_json "BENCH_micro.json"
-    (Obj
-       [
-         ( "table3",
-           Arr
-             [
-               micro "exchange" "local" sx (Some 3597);
-               micro "exchange" "spanning" gx (Some 6484);
-               micro "revoke" "local" sr (Some 1997);
-               micro "revoke" "spanning" gr (Some 3876);
-             ] );
-         ("fig4_chain_revocation", Arr (List.map chain [ 0; 20; 40; 60; 80; 100 ]));
-       ])
-
-(* Single-instance application runs (the left half of Table 4) as
-   BENCH_apps.json. The 512-instance column is deliberately omitted:
-   it takes minutes, and the JSON export is meant to be cheap enough
-   for CI. *)
-let json_apps () =
-  let open Obs.Json in
-  let app spec =
-    let o = run_single spec in
-    Obj
-      [
-        ("workload", Str spec.Workloads.name);
-        ("cap_ops", Int o.Experiment.cap_ops);
-        ("paper_cap_ops", Int spec.Workloads.paper_cap_ops);
-        ("cap_ops_per_s", Float o.Experiment.cap_ops_per_s);
-        ("makespan_cycles", Int (Int64.to_int o.Experiment.max_runtime));
-        ("exchanges_spanning", Int o.Experiment.exchanges_spanning);
-        ("revokes_spanning", Int o.Experiment.revokes_spanning);
-      ]
-  in
-  write_json "BENCH_apps.json" (Obj [ ("table4_single", Arr (List.map app Workloads.all)) ])
-
+(* Machine-readable counterparts of the headline tables (see
+   {!Semperos.Bench_json}): keys are emitted in a fixed order, runs are
+   collected in submission order, and the simulator is seeded, so
+   repeated runs — at any job count — produce byte-identical files that
+   CI can diff. *)
 let json_export () =
-  json_micro ();
-  json_apps ()
+  Bench_json.write ~path:"BENCH_micro.json" (Bench_json.micro ~jobs:(Runner.jobs ()) ());
+  Bench_json.write ~path:"BENCH_apps.json" (Bench_json.apps ~jobs:(Runner.jobs ()) ())
 
 (* ------------------------------------------------------------------ *)
 

@@ -85,8 +85,27 @@ let bechamel () =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table3|fig4|fig5|table4|fig6|fig7|fig8|fig9|fig10|ablations|json|bechamel|all]";
+    "usage: main.exe [--jobs N] \
+     [table3|fig4|fig5|table4|fig6|fig7|fig8|fig9|fig10|ablations|json|bechamel|all]";
+  prerr_endline
+    "  --jobs N, -j N   run independent experiment points on N domains (default: cores; 1 = serial)";
   exit 2
+
+(* [--jobs N] / [-j N] may appear anywhere on the command line; the
+   remaining argument, if any, names the experiment. *)
+let parse_argv () =
+  let rec go names = function
+    | [] -> List.rev names
+    | ("--jobs" | "-j") :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 ->
+        Semperos.Runner.set_jobs n;
+        go names rest
+      | Some _ | None -> usage ())
+    | ("--jobs" | "-j") :: [] -> usage ()
+    | arg :: rest -> go (arg :: names) rest
+  in
+  go [] (List.tl (Array.to_list Sys.argv))
 
 let () =
   let cmds =
@@ -106,9 +125,9 @@ let () =
       ("all", fun () -> Experiments.all (); bechamel ());
     ]
   in
-  match Array.to_list Sys.argv with
-  | [ _ ] -> (List.assoc "all" cmds) ()
-  | [ _; name ] -> (
+  match parse_argv () with
+  | [] -> (List.assoc "all" cmds) ()
+  | [ name ] -> (
     match List.assoc_opt name cmds with
     | Some f -> f ()
     | None -> usage ())

@@ -18,6 +18,24 @@ let mode_arg =
     (Term.const (fun m3 -> if m3 then Cost.M3 else Cost.Semperos))
     Arg.(value & flag & info [ "m3" ] ~doc)
 
+(* Evaluates to the job count and records it as the session default
+   (see {!Semperos.Runner}). Results are collected in submission order,
+   so any job count prints identical bytes. *)
+let jobs_arg =
+  let doc =
+    "Run independent simulations on $(docv) OCaml domains (default: available cores; 1 = serial)."
+  in
+  Term.app
+    (Term.const (fun j ->
+         (match j with
+         | Some n when n >= 1 -> Runner.set_jobs n
+         | Some n ->
+           Fmt.epr "error: --jobs must be >= 1 (got %d)@." n;
+           exit 2
+         | None -> ());
+         Runner.jobs ()))
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 (* ------------------------------------------------------------------ *)
 
 let micro_cmd =
@@ -89,12 +107,17 @@ let workload_arg =
   Arg.conv (parse, print)
 
 let run_cmd =
-  let run mode workload kernels services instances contention =
+  let run mode workload kernels services instances contention jobs =
     let cfg =
       Experiment.config ~mode ?mem_contention:contention ~kernels ~services ~instances workload
     in
-    let single = Experiment.run { cfg with Experiment.instances = 1 } in
-    let o = Experiment.run cfg in
+    (* The single-instance reference and the scaled run are independent
+       simulations; with [--jobs 2] they proceed on separate domains. *)
+    let single, o =
+      match Runner.experiments ~jobs [ { cfg with Experiment.instances = 1 }; cfg ] with
+      | [ s; o ] -> (s, o)
+      | _ -> assert false
+    in
     let eff = 100.0 *. Experiment.parallel_efficiency ~single ~parallel:o in
     let sys_eff = 100.0 *. Experiment.system_efficiency ~single ~parallel:o in
     Table.print
@@ -133,7 +156,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run an application benchmark at scale (Figures 6-9).")
-    Term.(const run $ mode_arg $ workload $ kernels $ services $ instances $ contention)
+    Term.(const run $ mode_arg $ workload $ kernels $ services $ instances $ contention $ jobs_arg)
 
 let trace_dump_cmd =
   let run workload out =
@@ -325,7 +348,7 @@ let trace_cmd =
 
 let fuzz_cmd =
   let run workload_seed fault_seed runs kernels vpes ops no_delay no_dup no_drop no_stall
-      no_retry verbose =
+      no_retry verbose jobs =
     if kernels < 1 || kernels > Cost.max_kernels then begin
       Fmt.epr "error: --kernels must be in [1, %d]@." Cost.max_kernels;
       exit 2
@@ -360,7 +383,7 @@ let fuzz_cmd =
              (no_retry, "--no-retry");
            ])
     in
-    let outcomes = Fuzz.run_many ~spec ~workload_seed ~fault_seed ~runs () in
+    let outcomes = Fuzz.run_many ~jobs ~spec ~workload_seed ~fault_seed ~runs () in
     let bad = List.filter (fun o -> o.Fuzz.failures <> []) outcomes in
     List.iter
       (fun o ->
@@ -402,7 +425,7 @@ let fuzz_cmd =
          "Fuzz the distributed capability protocols under injected faults. Every run is \
           deterministic in (workload seed, fault seed); failures print the exact pair to replay.")
     Term.(const run $ wseed $ fseed $ runs $ kernels $ vpes $ ops $ no_delay $ no_dup $ no_drop
-          $ no_stall $ no_retry $ verbose)
+          $ no_stall $ no_retry $ verbose $ jobs_arg)
 
 let nginx_cmd =
   let run mode kernels services servers =

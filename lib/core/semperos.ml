@@ -22,10 +22,14 @@
     - {!Fs_image}, {!M3fs}, {!Fs_client}: the m3fs in-memory filesystem
       service and its client library.
     - {!Trace}, {!Replay}, {!Workloads}: application traces.
-    - {!Experiment}, {!Nginx_bench}: the paper's evaluation harness. *)
+    - {!Experiment}, {!Nginx_bench}: the paper's evaluation harness.
+    - {!Domain_pool}, {!Runner}, {!Bench_json}: the parallel experiment
+      runner — independent runs fan out over OCaml domains with
+      deterministic, submission-order result collection. *)
 
 module Engine = Semper_sim.Engine
 module Server = Semper_sim.Server
+module Domain_pool = Semper_util.Domain_pool
 module Heap = Semper_util.Heap
 module Rng = Semper_util.Rng
 module Stats = Semper_util.Stats
@@ -63,6 +67,8 @@ module Audit = Semper_harness.Audit
 module Fuzz = Semper_harness.Fuzz
 module Microbench = Semper_harness.Microbench
 module Nginx_bench = Semper_harness.Nginx
+module Runner = Semper_harness.Runner
+module Bench_json = Semper_harness.Bench_json
 
 (** Version of this reproduction. *)
 let version = "1.0.0"

@@ -1,0 +1,87 @@
+module Obs = Semper_obs.Obs
+module Cost = Semper_kernel.Cost
+module Workloads = Semper_trace.Workloads
+
+let micro ?jobs ?(lens = [ 0; 20; 40; 60; 80; 100 ]) () =
+  let open Obs.Json in
+  let micro_row op scope cycles paper =
+    Obj
+      [
+        ("op", Str op);
+        ("scope", Str scope);
+        ("cycles", Int (Int64.to_int cycles));
+        ("paper_cycles", (match paper with Some p -> Int p | None -> Null));
+      ]
+  in
+  let exchanges =
+    Microbench.exchange_revokes ?jobs [ (Cost.Semperos, false); (Cost.Semperos, true) ]
+  in
+  let (sx, sr), (gx, gr) =
+    match exchanges with [ s; g ] -> (s, g) | _ -> assert false
+  in
+  (* One local and one spanning measurement per length, interleaved so
+     each length's pair stays adjacent in the task list. *)
+  let chain_cycles =
+    Microbench.chain_revocations ?jobs
+      (List.concat_map
+         (fun len ->
+           [
+             { Microbench.c_mode = Cost.Semperos; c_spanning = false; c_len = len };
+             { Microbench.c_mode = Cost.Semperos; c_spanning = true; c_len = len };
+           ])
+         lens)
+  in
+  let rec chain_rows lens cycles =
+    match (lens, cycles) with
+    | [], [] -> []
+    | len :: lens, local :: spanning :: cycles ->
+      Obj
+        [
+          ("len", Int len);
+          ("local_cycles", Int (Int64.to_int local));
+          ("spanning_cycles", Int (Int64.to_int spanning));
+        ]
+      :: chain_rows lens cycles
+    | _ -> assert false
+  in
+  Obj
+    [
+      ( "table3",
+        Arr
+          [
+            micro_row "exchange" "local" sx (Some 3597);
+            micro_row "exchange" "spanning" gx (Some 6484);
+            micro_row "revoke" "local" sr (Some 1997);
+            micro_row "revoke" "spanning" gr (Some 3876);
+          ] );
+      ("fig4_chain_revocation", Arr (chain_rows lens chain_cycles));
+    ]
+
+let apps ?jobs ?(workloads = Workloads.all) () =
+  let open Obs.Json in
+  let outcomes =
+    Experiment.run_many ?jobs
+      (List.map
+         (fun spec -> Experiment.config ~kernels:1 ~services:1 ~instances:1 spec)
+         workloads)
+  in
+  let app spec (o : Experiment.outcome) =
+    Obj
+      [
+        ("workload", Str spec.Workloads.name);
+        ("cap_ops", Int o.Experiment.cap_ops);
+        ("paper_cap_ops", Int spec.Workloads.paper_cap_ops);
+        ("cap_ops_per_s", Float o.Experiment.cap_ops_per_s);
+        ("makespan_cycles", Int (Int64.to_int o.Experiment.max_runtime));
+        ("exchanges_spanning", Int o.Experiment.exchanges_spanning);
+        ("revokes_spanning", Int o.Experiment.revokes_spanning);
+      ]
+  in
+  Obj [ ("table4_single", Arr (List.map2 app workloads outcomes)) ]
+
+let write ~path json =
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path

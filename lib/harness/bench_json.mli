@@ -1,0 +1,24 @@
+(** Machine-readable benchmark export (BENCH_micro.json /
+    BENCH_apps.json).
+
+    Built with the deterministic {!Semper_obs.Obs.Json} emitter: keys
+    are emitted in a fixed order and the simulator is seeded, so
+    repeated runs produce byte-identical files that CI can diff against
+    the committed baselines. Runs fan out across domains via
+    {!Semper_util.Domain_pool}; the emitted JSON is identical for any
+    job count. *)
+
+(** Table 3 + Figure 4 headline numbers. [lens] are the chain lengths
+    sampled for Figure 4 (default [0; 20; 40; 60; 80; 100]). *)
+val micro : ?jobs:int -> ?lens:int list -> unit -> Semper_obs.Obs.Json.t
+
+(** Single-instance application runs — the left half of Table 4
+    (default: every workload). The 512-instance column is deliberately
+    omitted: it takes minutes, and the JSON export is meant to be cheap
+    enough for CI. *)
+val apps :
+  ?jobs:int -> ?workloads:Semper_trace.Workloads.spec list -> unit -> Semper_obs.Obs.Json.t
+
+(** Write a JSON document to [path] with a trailing newline and print
+    "wrote [path]". *)
+val write : path:string -> Semper_obs.Obs.Json.t -> unit

@@ -6,6 +6,7 @@ module Workloads = Semper_trace.Workloads
 module Trace = Semper_trace.Trace
 module Replay = Semper_trace.Replay
 module Server = Semper_sim.Server
+module Obs = Semper_obs.Obs
 
 let clock_hz = 2.0e9
 
@@ -40,6 +41,7 @@ type outcome = {
   kernel_utilisation : float;
   service_utilisation : float;
   total_pes : int;
+  snapshot : Obs.Json.t;
 }
 
 (* Service placement: service [s] lives in group [s mod kernels], so
@@ -162,7 +164,13 @@ let run cfg =
     kernel_utilisation = mean_util (List.map Kernel.server (System.kernels sys));
     service_utilisation = mean_util (Array.to_list (Array.map M3fs.server services));
     total_pes = cfg.instances + cfg.kernels + cfg.services;
+    snapshot = Obs.Registry.snapshot (System.obs sys);
   }
+
+(* Each run builds a private system (engine, fabric, registry), so a
+   config list is an embarrassingly parallel workload. Outcomes come
+   back in submission order — parallelism never reorders results. *)
+let run_many ?jobs cfgs = Semper_util.Domain_pool.map ?jobs run cfgs
 
 let parallel_efficiency ~single ~parallel =
   if parallel.mean_runtime <= 0.0 then 0.0

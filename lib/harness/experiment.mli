@@ -53,11 +53,19 @@ type outcome = {
   kernel_utilisation : float;   (** mean kernel-PE busy fraction over makespan *)
   service_utilisation : float;
   total_pes : int;              (** instances + kernels + services *)
+  snapshot : Semper_obs.Obs.Json.t;
+      (** end-of-run {!Semper_obs.Obs.Registry} snapshot (every kernel,
+          fabric, and DTU instrument of this run's private system) *)
 }
 
 (** Run the experiment to completion. Raises [Failure] if any replay
     reports errors — the trace player "checks for correct execution". *)
 val run : config -> outcome
+
+(** Run independent configurations across OCaml domains (default: all
+    available cores; [jobs:1] = serial). Outcomes are returned in
+    submission order, so results are identical for any job count. *)
+val run_many : ?jobs:int -> config list -> outcome list
 
 (** [parallel_efficiency ~single ~parallel] is T1 / mean(TN), the
     paper's scalability metric (§5.3.1). *)

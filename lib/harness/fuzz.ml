@@ -220,6 +220,9 @@ let pp_outcome ppf o =
   end;
   if o.metrics_json <> "" then Format.fprintf ppf "@.  metrics: %s" o.metrics_json
 
-let run_many ?(spec = default_spec) ~workload_seed ~fault_seed ~runs () =
-  List.init runs (fun i ->
-      run_one ~spec ~workload_seed:(workload_seed + i) ~fault_seed:(fault_seed + i) ())
+(* Each seed pair builds a private system, so the sweep fans out over
+   domains; outcomes come back in seed order regardless of [jobs]. *)
+let run_many ?jobs ?(spec = default_spec) ~workload_seed ~fault_seed ~runs () =
+  Semper_util.Domain_pool.map ?jobs
+    (fun i -> run_one ~spec ~workload_seed:(workload_seed + i) ~fault_seed:(fault_seed + i) ())
+    (List.init runs Fun.id)

@@ -73,10 +73,12 @@ val profile : spec -> int -> Semper_fault.Fault.profile
 
 val run_one : ?spec:spec -> workload_seed:int -> fault_seed:int -> unit -> outcome
 
-(** Runs [runs] cases over the seed pairs
-    [(workload_seed + i, fault_seed + i)]. *)
+(** Run seed pairs [(workload_seed + i, fault_seed + i)] for [i] in
+    [0, runs). Independent runs fan out across OCaml domains ([jobs]
+    defaults to the available cores; [jobs:1] = serial); outcomes are
+    returned in seed order regardless of the job count. *)
 val run_many :
-  ?spec:spec -> workload_seed:int -> fault_seed:int -> runs:int -> unit -> outcome list
+  ?jobs:int -> ?spec:spec -> workload_seed:int -> fault_seed:int -> runs:int -> unit -> outcome list
 
 (** One-line, byte-stable summary (identical seeds always produce the
     identical line). *)

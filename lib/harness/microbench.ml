@@ -108,3 +108,41 @@ let tree_revocation ?(batching = false) ?(broadcast = false) ?(background_caps =
   done;
   let _, cycles = timed_syscall sys root_vpe (Protocol.Sys_revoke { sel = root; own = true }) in
   cycles
+
+(* ------------------------------------------------------------------ *)
+(* Batch drivers: each point builds a private system, so a sweep fans
+   out over domains. Results come back in submission order. *)
+
+let exchange_revokes ?jobs specs =
+  Semper_util.Domain_pool.map ?jobs
+    (fun (mode, spanning) -> exchange_revoke ~mode ~spanning)
+    specs
+
+type chain_spec = { c_mode : Cost.mode; c_spanning : bool; c_len : int }
+
+let chain_revocations ?jobs specs =
+  Semper_util.Domain_pool.map ?jobs
+    (fun { c_mode; c_spanning; c_len } ->
+      chain_revocation ~mode:c_mode ~spanning:c_spanning ~len:c_len)
+    specs
+
+type tree_spec = {
+  t_batching : bool;
+  t_broadcast : bool;
+  t_background_caps : int;
+  t_extra_kernels : int;
+  t_children : int;
+}
+
+let tree_spec ?(batching = false) ?(broadcast = false) ?(background_caps = 0) ~extra_kernels
+    ~children () =
+  { t_batching = batching; t_broadcast = broadcast; t_background_caps = background_caps;
+    t_extra_kernels = extra_kernels; t_children = children }
+
+let tree_revocations ?jobs specs =
+  Semper_util.Domain_pool.map ?jobs
+    (fun s ->
+      tree_revocation ~batching:s.t_batching ~broadcast:s.t_broadcast
+        ~background_caps:s.t_background_caps ~extra_kernels:s.t_extra_kernels
+        ~children:s.t_children ())
+    specs

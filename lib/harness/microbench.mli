@@ -28,3 +28,37 @@ val tree_revocation :
   children:int ->
   unit ->
   int64
+
+(** {2 Batch drivers}
+
+    Each point of a sweep builds its own private system, so the batch
+    variants fan points out across OCaml domains (default: available
+    cores; [jobs:1] = serial) and return results in submission order —
+    identical for any job count. *)
+
+(** One [(mode, spanning)] exchange+revoke measurement per element. *)
+val exchange_revokes :
+  ?jobs:int -> (Semper_kernel.Cost.mode * bool) list -> (int64 * int64) list
+
+type chain_spec = { c_mode : Semper_kernel.Cost.mode; c_spanning : bool; c_len : int }
+
+val chain_revocations : ?jobs:int -> chain_spec list -> int64 list
+
+type tree_spec = {
+  t_batching : bool;
+  t_broadcast : bool;
+  t_background_caps : int;
+  t_extra_kernels : int;
+  t_children : int;
+}
+
+val tree_spec :
+  ?batching:bool ->
+  ?broadcast:bool ->
+  ?background_caps:int ->
+  extra_kernels:int ->
+  children:int ->
+  unit ->
+  tree_spec
+
+val tree_revocations : ?jobs:int -> tree_spec list -> int64 list

@@ -1,0 +1,30 @@
+module Domain_pool = Semper_util.Domain_pool
+module Obs = Semper_obs.Obs
+
+(* Set once by the CLI from --jobs before any runs, read afterwards —
+   main-domain only, never touched by workers. *)
+let configured = ref None
+
+let set_jobs j =
+  if j < 1 then invalid_arg "Runner.set_jobs: jobs < 1";
+  configured := Some j
+
+let jobs () =
+  match !configured with Some j -> j | None -> Domain_pool.available_cores ()
+
+let run_list ?jobs:j thunks =
+  Domain_pool.run ~jobs:(match j with Some j -> j | None -> jobs ()) thunks
+
+let map ?jobs f xs = run_list ?jobs (List.map (fun x () -> f x) xs)
+
+let experiments ?jobs cfgs = map ?jobs Experiment.run cfgs
+
+let merge_snapshots labeled =
+  let seen = Hashtbl.create (List.length labeled) in
+  List.iter
+    (fun (label, _) ->
+      if Hashtbl.mem seen label then
+        invalid_arg (Printf.sprintf "Runner.merge_snapshots: duplicate label %S" label);
+      Hashtbl.replace seen label ())
+    labeled;
+  Obs.Json.Obj labeled

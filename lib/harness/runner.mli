@@ -1,0 +1,43 @@
+(** Parallel experiment runner.
+
+    Every experiment point in the evaluation (workload x kernel-count x
+    instance-count) is an independent, self-contained simulation — its
+    own {!Semper_sim.Engine}, fabric, and {!Semper_obs.Obs.Registry} —
+    so a sweep is embarrassingly parallel. This layer expresses a sweep
+    as a list of run thunks, fans them out over OCaml domains with
+    {!Semper_util.Domain_pool}, and collects results in submission
+    order, so tables, figures, and BENCH_*.json are byte-identical
+    regardless of the job count.
+
+    The job count comes from the [--jobs] flag of [bench/main.exe] and
+    [semperos_cli] via {!set_jobs}; [--jobs 1] is exactly the serial
+    path. Run thunks must be domain-confined: they may not touch
+    mutable state shared with another run (see DESIGN.md, "Parallelism
+    and domain confinement"). *)
+
+(** Set the default job count ([--jobs]). Raises [Invalid_argument] if
+    [jobs < 1]. Call at most once, from the main domain, before any
+    runs. *)
+val set_jobs : int -> unit
+
+(** The default job count: the value given to {!set_jobs}, or the
+    machine's available cores. *)
+val jobs : unit -> int
+
+(** [run_list ?jobs thunks] executes independent run thunks across
+    domains; results in submission order. [jobs] defaults to
+    {!jobs} [()]. *)
+val run_list : ?jobs:int -> (unit -> 'a) list -> 'a list
+
+(** [map ?jobs f xs] — like {!run_list} with one thunk per element. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Run a list of experiment configurations across domains; outcomes in
+    submission order. *)
+val experiments : ?jobs:int -> Experiment.config list -> Experiment.outcome list
+
+(** [merge_snapshots labeled] combines per-run registry snapshots (for
+    example {!Experiment.outcome.snapshot}) into one JSON object whose
+    keys appear in submission order — the deterministic merged view of
+    a parallel sweep. Raises [Invalid_argument] on duplicate labels. *)
+val merge_snapshots : (string * Semper_obs.Obs.Json.t) list -> Semper_obs.Obs.Json.t

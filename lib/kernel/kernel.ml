@@ -61,6 +61,11 @@ type counters = {
   retries : Obs.Registry.counter;
   retry_exhausted : Obs.Registry.counter;
   dup_ikc : Obs.Registry.counter;
+  (* Membership probes performed by revocation sweeps — one per
+     marked-set lookup, so its value is linear in the number of deleted
+     capabilities. Regression-tested: a wide tree must not make the
+     sweep quadratic again. *)
+  revoke_sweep_probes : Obs.Registry.counter;
   latencies : (string, Semper_util.Stats.Acc.t) Hashtbl.t;
 }
 
@@ -75,6 +80,9 @@ type revoke_op = {
   origin : revoke_origin;
   mutable outstanding : int;
   mutable marked : Key.t list;  (* reverse order of marking *)
+  (* Same members as [marked]: O(1) membership for the deletion sweep
+     (the ordered list alone made the sweep O(n²) in region size). *)
+  marked_set : unit Key.Table.t;
   mutable links_seen : int;     (* child links examined, for DDL cost *)
   (* Children-only revokes: remote children to unlink from their
      surviving (local) roots once their revocation is acknowledged. *)
@@ -97,7 +105,10 @@ type pending =
   | P_migrate of {
       vpe : Vpe.t;
       dst : int;
-      mutable pending_peers : int list;
+      (* Peers whose [Ik_migrate_ack] is still missing, keyed by kernel
+         id: acks arrive in arbitrary order and each must be matched
+         (and deduplicated) in O(1), not by scanning a list. *)
+      pending_peers : (int, unit) Hashtbl.t;
       done_k : unit -> unit;
     }
 
@@ -160,6 +171,27 @@ type t = {
   mutable next_op : int;
 }
 
+(* Retransmission backoff: the wait before attempt [i] doubles up to a
+   64x cap. A fixed interval turned heavy (fault-free) congestion into
+   false [E_timeout]s — a reply delayed behind a long server queue was
+   declared lost after retry_max * retry_timeout cycles, which large
+   experiments exceed. Backoff keeps loss recovery fast (first resend
+   after one timeout) while tolerating ~50x longer queueing, and stops
+   retransmission storms from feeding the very congestion that delayed
+   the reply. *)
+let retry_interval cost i =
+  let shift = if i < 6 then i else 6 in
+  Int64.mul cost.Cost.retry_timeout (Int64.of_int (1 lsl shift))
+
+(* Worst-case span of a full retry schedule: sum of all backoff
+   intervals (attempts 0..retry_max), used to size the idempotency-cache
+   retention window. *)
+let retry_window cost =
+  let rec total i acc =
+    if i > cost.Cost.retry_max then acc else total (i + 1) (Int64.add acc (retry_interval cost i))
+  in
+  total 0 0L
+
 (* Bucket bounds (cycles) for syscall / IKC latency histograms. *)
 let latency_buckets =
   [| 1_000.; 2_500.; 5_000.; 10_000.; 25_000.; 50_000.; 100_000.; 250_000.; 500_000.; 1_000_000. |]
@@ -188,6 +220,7 @@ let create ?obs ?trace ~engine ~fabric ~grid ~id ~pe ~membership ~cost ~env ~reg
       retries = cnt "retries";
       retry_exhausted = cnt "retry_exhausted";
       dup_ikc = cnt "dup_ikc";
+      revoke_sweep_probes = cnt "revoke_sweep_probes";
       latencies = Hashtbl.create 16;
     }
   in
@@ -324,7 +357,7 @@ let ikc_op : P.ikc -> int = function
    budget plus slack has elapsed, no retransmission of the request (or
    redelivery of its reply) can still be in flight. *)
 let retention t =
-  Int64.mul (Int64.of_int (t.cost.Cost.retry_max + 2)) t.cost.Cost.retry_timeout
+  Int64.add (retry_window t.cost) (Int64.mul 2L t.cost.Cost.retry_timeout)
 
 (* Lazily drop expired idempotency-cache entries; called on kernel
    activity (syscall entry, IKC delivery) rather than from timers so
@@ -467,10 +500,10 @@ and register_retry t op ~dst msg =
             ~detail:(P.ikc_name st.rmsg) ();
           receive_credit t ~peer:st.rdst;
           ikc_send t ~dst:st.rdst st.rmsg;
-          Engine.after t.engine (c t).Cost.retry_timeout tick
+          Engine.after t.engine (retry_interval (c t) st.rattempts) tick
         end
     in
-    Engine.after t.engine (c t).Cost.retry_timeout tick
+    Engine.after t.engine (retry_interval (c t) 0) tick
   end
 
 and clear_retry t op =
@@ -621,6 +654,7 @@ and mark_subtree t (op : revoke_op) ~to_send key =
     | Cap.Alive ->
       cap.Cap.state <- Cap.Marked { revoke_op = op.rop_id };
       op.marked <- key :: op.marked;
+      Key.Table.replace op.marked_set key ();
       List.iter
         (fun child_key ->
           op.links_seen <- op.links_seen + 1;
@@ -647,7 +681,10 @@ and complete_revoke t (op : revoke_op) =
           | Some root -> Cap.remove_child root child_key
           | None -> ())
         op.root_unlinks;
-      let in_marked k = List.exists (Key.equal k) op.marked in
+      let in_marked k =
+        Obs.Registry.incr t.ctr.revoke_sweep_probes;
+        Key.Table.mem op.marked_set k
+      in
       List.iter
         (fun key ->
           match Mapdb.find t.mapdb key with
@@ -728,6 +765,7 @@ and start_revoke t ~origin ~roots ~own ~base_cost =
       origin;
       outstanding = 0;
       marked = [];
+      marked_set = Key.Table.create 64;
       links_seen = 0;
       root_unlinks = [];
       on_complete = [];
@@ -1377,9 +1415,9 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
             | Some (P_migrate m) ->
               (* Acks are deduplicated by sender: a redelivered ack from
                  an already-counted peer must not skip a pending one. *)
-              if List.mem src_kernel m.pending_peers then begin
-                m.pending_peers <- List.filter (fun k -> k <> src_kernel) m.pending_peers;
-                if m.pending_peers = [] then begin
+              if Hashtbl.mem m.pending_peers src_kernel then begin
+                Hashtbl.remove m.pending_peers src_kernel;
+                if Hashtbl.length m.pending_peers = 0 then begin
                   Hashtbl.remove t.pending_ops op;
                   migrate_transfer t ~vpe:m.vpe ~dst:m.dst ~done_k:m.done_k
                 end
@@ -1787,14 +1825,18 @@ let migrate_vpe t ~(vpe : Vpe.t) ~dst done_k =
     migrate_transfer t ~vpe ~dst ~done_k
   | peers ->
     let op = fresh_op t in
-    Hashtbl.add t.pending_ops op (P_migrate { vpe; dst; pending_peers = peers; done_k });
+    let pending_peers = Hashtbl.create (List.length peers) in
+    List.iter (fun kid -> Hashtbl.replace pending_peers kid ()) peers;
+    Hashtbl.add t.pending_ops op (P_migrate { vpe; dst; pending_peers; done_k });
     let update = P.Ik_migrate_update { op; src_kernel = t.id; pe = vpe.Vpe.pe; new_kernel = dst } in
     job t (fun () ->
         ( Int64.mul (Int64.of_int (List.length peers)) 200L,
           fun () ->
             List.iter (fun kid -> ikc_send t ~dst:kid update) peers;
             (* Retransmit the update to peers that have not acked yet;
-               updates are idempotent and acks dedup by sender. *)
+               updates are idempotent and acks dedup by sender. Resends
+               go out in kernel-id order — table iteration order must
+               not leak into the message schedule. *)
             if (c t).Cost.retry_max > 0 then begin
               let rec tick attempts () =
                 match Hashtbl.find_opt t.pending_ops op with
@@ -1804,11 +1846,12 @@ let migrate_vpe t ~(vpe : Vpe.t) ~dst done_k =
                       Obs.Registry.incr t.ctr.retries;
                       receive_credit t ~peer:kid;
                       ikc_send t ~dst:kid update)
-                    m.pending_peers;
-                  Engine.after t.engine (c t).Cost.retry_timeout (tick (attempts + 1))
+                    (List.sort compare
+                       (Hashtbl.fold (fun kid () acc -> kid :: acc) m.pending_peers []));
+                  Engine.after t.engine (retry_interval (c t) (attempts + 1)) (tick (attempts + 1))
                 | Some _ | None -> ()
               in
-              Engine.after t.engine (c t).Cost.retry_timeout (tick 0)
+              Engine.after t.engine (retry_interval (c t) 0) (tick 0)
             end ))
 
 let check_invariants t =

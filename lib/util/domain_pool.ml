@@ -1,0 +1,41 @@
+let available_cores () = Domain.recommended_domain_count ()
+
+(* One slot per thunk, written by exactly one worker. The happens-before
+   edges from [Domain.join] make every slot visible to the collecting
+   domain; within a run, slots are claimed via [Atomic.fetch_and_add] so
+   no index is executed twice. *)
+type 'a slot = Empty | Ok_v of 'a | Exn of exn * Printexc.raw_backtrace
+
+let run_parallel ~workers tasks =
+  let n = Array.length tasks in
+  let results = Array.make n Empty in
+  let next = Atomic.make 0 in
+  let rec worker () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n then begin
+      (results.(i) <-
+        (match tasks.(i) () with
+        | v -> Ok_v v
+        | exception e -> Exn (e, Printexc.get_raw_backtrace ())));
+      worker ()
+    end
+  in
+  let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  (* Surface the earliest failure first so a parallel run raises the
+     same exception the serial left-to-right run would. *)
+  Array.iter
+    (function Exn (e, bt) -> Printexc.raise_with_backtrace e bt | Empty | Ok_v _ -> ())
+    results;
+  Array.to_list
+    (Array.map (function Ok_v v -> v | Empty | Exn _ -> assert false) results)
+
+let run ?jobs thunks =
+  let jobs = match jobs with Some j -> j | None -> available_cores () in
+  if jobs < 1 then invalid_arg "Domain_pool.run: jobs < 1";
+  let n = List.length thunks in
+  if jobs = 1 || n <= 1 then List.map (fun f -> f ()) thunks
+  else run_parallel ~workers:(min jobs n) (Array.of_list thunks)
+
+let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)

@@ -1,0 +1,27 @@
+(** Bounded pool of worker domains with deterministic result
+    collection.
+
+    [run ~jobs thunks] executes every thunk exactly once across at most
+    [jobs] domains (the calling domain participates as a worker) and
+    returns the results {b in submission order}, regardless of which
+    domain finished which thunk first. Determinism therefore only
+    requires that each thunk is independent — no shared mutable state
+    between them; see the domain-confinement rule in DESIGN.md.
+
+    Exceptions raised by thunks are re-raised in the calling domain,
+    with their backtraces, after all workers have drained: the
+    exception of the {b earliest-submitted} failing thunk wins, so a
+    parallel run fails with the same exception a serial run would. *)
+
+(** Number of domains that can run in parallel on this machine
+    ([Domain.recommended_domain_count]). *)
+val available_cores : unit -> int
+
+(** [run ~jobs thunks] — results in submission order. [jobs] defaults
+    to {!available_cores}; [jobs = 1] runs everything serially in the
+    calling domain (no domains spawned — exactly the sequential path).
+    Raises [Invalid_argument] if [jobs < 1]. *)
+val run : ?jobs:int -> (unit -> 'a) list -> 'a list
+
+(** [map ~jobs f xs] = [run ~jobs (List.map (fun x () -> f x) xs)]. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

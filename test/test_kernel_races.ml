@@ -355,10 +355,11 @@ let test_idempotency_cache_eviction () =
       0 (System.kernels sys)
   in
   check Alcotest.bool "caches populated by cross-kernel traffic" true (filled > 0);
-  (* Let the retry window (retry_max+2 timeouts = 550k cycles at the
-     default cost table) expire, then touch each kernel: eviction is
-     activity-driven, so the next syscall drains the expired entries. *)
-  run_for sys 1_000_000L;
+  (* Let the retry window (the full exponential-backoff schedule plus
+     slack, ~27.2M cycles at the default cost table) expire, then touch
+     each kernel: eviction is activity-driven, so the next syscall
+     drains the expired entries. *)
+  run_for sys 30_000_000L;
   ignore (alloc sys v1);
   ignore (alloc sys v2);
   List.iter

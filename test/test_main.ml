@@ -19,6 +19,7 @@ let () =
       ("trace", Test_trace.suite);
       ("obs", Test_obs.suite);
       ("harness", Test_harness.suite);
+      ("runner", Test_runner.suite);
       ("services", Test_services.suite);
       ("tools", Test_tools.suite);
       ("properties", Test_properties.suite);
