@@ -3,10 +3,12 @@
     With no argument, regenerates every table and figure of the paper's
     evaluation plus the ablations. Individual experiments can be named
     on the command line (table3, fig4, fig5, table4, fig6, fig7, fig8,
-    fig9, fig10, ablations, json, bechamel). [json] writes the headline
-    numbers as BENCH_micro.json / BENCH_apps.json via the deterministic
-    {!Semperos.Obs.Json} emitter. [bechamel] runs host-side
-    micro-measurements — one [Test.make] per table and figure — showing
+    fig9, fig10, ablations, json, bechamel, wallclock). [json] writes
+    the headline numbers as BENCH_micro.json / BENCH_apps.json via the
+    deterministic {!Semperos.Obs.Json} emitter. [wallclock] measures
+    host events/sec over representative figures and writes
+    BENCH_wallclock.json (host-dependent, hence not part of [all]).
+    [bechamel] runs host-side micro-measurements — one [Test.make] per table and figure — showing
     how long this simulator takes to regenerate a scaled-down version
     of each experiment. *)
 
@@ -86,7 +88,7 @@ let bechamel () =
 let usage () =
   prerr_endline
     "usage: main.exe [--jobs N] \
-     [table3|fig4|fig5|table4|fig6|fig7|fig8|fig9|fig10|ablations|json|bechamel|all]";
+     [table3|fig4|fig5|table4|fig6|fig7|fig8|fig9|fig10|ablations|json|bechamel|wallclock|all]";
   prerr_endline
     "  --jobs N, -j N   run independent experiment points on N domains (default: cores; 1 = serial)";
   exit 2
@@ -122,6 +124,9 @@ let () =
       ("ablations", Experiments.ablations);
       ("json", Experiments.json_export);
       ("bechamel", bechamel);
+      (* Deliberately not part of [all]: its output is host-dependent,
+         and [all]'s output stays byte-identical across hosts. *)
+      ("wallclock", fun () -> Semper_harness.Wallclock.run ());
       ("all", fun () -> Experiments.all (); bechamel ());
     ]
   in

@@ -6,6 +6,7 @@
    semperos_cli run     — run an application workload at scale
    semperos_cli nginx   — run the webserver benchmark
    semperos_cli fuzz    — fuzz the capability protocols under faults
+   semperos_cli bench   — wall-clock throughput of the simulator itself
    semperos_cli stats   — run a workload, dump the metrics registry as JSON
    semperos_cli trace   — run a workload, dump the protocol trace as JSONL *)
 
@@ -427,6 +428,36 @@ let fuzz_cmd =
     Term.(const run $ wseed $ fseed $ runs $ kernels $ vpes $ ops $ no_delay $ no_dup $ no_drop
           $ no_stall $ no_retry $ verbose $ jobs_arg)
 
+let bench_cmd =
+  let run mode smoke out =
+    match mode with
+    | "wallclock" ->
+      let preset = if smoke then Semper_harness.Wallclock.Smoke else Semper_harness.Wallclock.Full in
+      Semper_harness.Wallclock.run ~preset ?path:out ()
+    | m ->
+      Fmt.epr "error: unknown bench mode %S (expected: wallclock)@." m;
+      exit 2
+  in
+  let mode =
+    Arg.(value & pos 0 string "wallclock" & info [] ~docv:"MODE"
+         ~doc:"Benchmark mode; only $(b,wallclock) exists today.")
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+         ~doc:"Run the scaled-down preset (seconds, used by the test suite).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
+         ~doc:"Write the JSON report to FILE (default BENCH_wallclock.json).")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Measure the simulator's own wall-clock throughput (events/s) over representative \
+          figure workloads and write BENCH_wallclock.json. Host-dependent by construction — \
+          the only output here that is exempt from the byte-identity contract.")
+    Term.(const run $ mode $ smoke $ out)
+
 let nginx_cmd =
   let run mode kernels services servers =
     let o = Nginx_bench.run (Nginx_bench.config ~mode ~kernels ~services ~servers ()) in
@@ -453,4 +484,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ micro_cmd; chain_cmd; tree_cmd; run_cmd; nginx_cmd; latency_cmd; stats_cmd;
-            trace_cmd; trace_dump_cmd; trace_replay_cmd; fuzz_cmd ]))
+            trace_cmd; trace_dump_cmd; trace_replay_cmd; fuzz_cmd; bench_cmd ]))

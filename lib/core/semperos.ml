@@ -69,6 +69,7 @@ module Microbench = Semper_harness.Microbench
 module Nginx_bench = Semper_harness.Nginx
 module Runner = Semper_harness.Runner
 module Bench_json = Semper_harness.Bench_json
+module Wallclock = Semper_harness.Wallclock
 
 (** Version of this reproduction. *)
 let version = "1.0.0"

@@ -102,15 +102,20 @@ type pending =
      own op id so the responder can deduplicate redeliveries and a
      duplicated reply cannot double-decrement [outstanding]. *)
   | P_revoke_msg of { rop : revoke_op }
-  | P_migrate of {
-      vpe : Vpe.t;
-      dst : int;
-      (* Peers whose [Ik_migrate_ack] is still missing, keyed by kernel
-         id: acks arrive in arbitrary order and each must be matched
-         (and deduplicated) in O(1), not by scanning a list. *)
-      pending_peers : (int, unit) Hashtbl.t;
-      done_k : unit -> unit;
-    }
+  | P_migrate of migrate_op
+
+and migrate_op = {
+  m_vpe : Vpe.t;
+  m_dst : int;
+  (* Peers whose [Ik_migrate_ack] is still missing, keyed by kernel
+     id: acks arrive in arbitrary order and each must be matched
+     (and deduplicated) in O(1), not by scanning a list. *)
+  pending_peers : (int, unit) Hashtbl.t;
+  done_k : unit -> unit;
+  (* Pending broadcast-retransmission tick, cancelled once the last
+     ack is in. *)
+  mutable mtimer : Engine.handle option;
+}
 
 (* Responder-side record of an op-tagged request: op ids are globally
    unique (minted by the requester), so a redelivered request —
@@ -119,12 +124,16 @@ type pending =
 type remote_state = R_in_progress | R_done of { dst : int; msg : P.ikc }
 
 (* A request awaiting a reply, retransmitted on timeout. [rstart] and
-   [rattempts] feed the per-op latency and retry histograms. *)
+   [rattempts] feed the per-op latency and retry histograms. [rtimer]
+   is the pending retransmission tick, cancelled when the reply
+   arrives — otherwise every successfully-acked message would leave a
+   dead event on the engine heap until its timeout expired. *)
 type retry_state = {
   rdst : int;
   rmsg : P.ikc;
   rstart : int64;
   mutable rattempts : int;
+  mutable rtimer : Engine.handle option;
 }
 
 (* Idempotency-cache entries scheduled for eviction once the retry
@@ -476,13 +485,14 @@ and return_credit t ~src_kernel =
    drops cannot wedge the in-flight window permanently. *)
 
 and register_retry t op ~dst msg =
-  Hashtbl.replace t.retry_msgs op
-    { rdst = dst; rmsg = msg; rstart = Engine.now t.engine; rattempts = 0 };
+  let st = { rdst = dst; rmsg = msg; rstart = Engine.now t.engine; rattempts = 0; rtimer = None } in
+  Hashtbl.replace t.retry_msgs op st;
   if (c t).Cost.retry_max > 0 then begin
     let rec tick () =
       match Hashtbl.find_opt t.retry_msgs op with
       | None -> ()
       | Some st ->
+        st.rtimer <- None;
         if st.rattempts >= (c t).Cost.retry_max then begin
           (* Budget exhausted: stop retransmitting and fail the pending
              operation explicitly instead of leaving the syscall (and
@@ -500,10 +510,11 @@ and register_retry t op ~dst msg =
             ~detail:(P.ikc_name st.rmsg) ();
           receive_credit t ~peer:st.rdst;
           ikc_send t ~dst:st.rdst st.rmsg;
-          Engine.after t.engine (retry_interval (c t) st.rattempts) tick
+          st.rtimer <-
+            Some (Engine.after_cancellable t.engine (retry_interval (c t) st.rattempts) tick)
         end
     in
-    Engine.after t.engine (retry_interval (c t) 0) tick
+    st.rtimer <- Some (Engine.after_cancellable t.engine (retry_interval (c t) 0) tick)
   end
 
 and clear_retry t op =
@@ -511,6 +522,7 @@ and clear_retry t op =
   | None -> ()
   | Some st ->
     Hashtbl.remove t.retry_msgs op;
+    Option.iter (Engine.cancel t.engine) st.rtimer;
     let name = P.ikc_name st.rmsg in
     let dt = Int64.to_float (Int64.sub (Engine.now t.engine) st.rstart) in
     Obs.Registry.observe
@@ -1419,7 +1431,9 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
                 Hashtbl.remove m.pending_peers src_kernel;
                 if Hashtbl.length m.pending_peers = 0 then begin
                   Hashtbl.remove t.pending_ops op;
-                  migrate_transfer t ~vpe:m.vpe ~dst:m.dst ~done_k:m.done_k
+                  Option.iter (Engine.cancel t.engine) m.mtimer;
+                  m.mtimer <- None;
+                  migrate_transfer t ~vpe:m.m_vpe ~dst:m.m_dst ~done_k:m.done_k
                 end
               end
               else Obs.Registry.incr t.ctr.dup_ikc
@@ -1827,7 +1841,8 @@ let migrate_vpe t ~(vpe : Vpe.t) ~dst done_k =
     let op = fresh_op t in
     let pending_peers = Hashtbl.create (List.length peers) in
     List.iter (fun kid -> Hashtbl.replace pending_peers kid ()) peers;
-    Hashtbl.add t.pending_ops op (P_migrate { vpe; dst; pending_peers; done_k });
+    let mig = { m_vpe = vpe; m_dst = dst; pending_peers; done_k; mtimer = None } in
+    Hashtbl.add t.pending_ops op (P_migrate mig);
     let update = P.Ik_migrate_update { op; src_kernel = t.id; pe = vpe.Vpe.pe; new_kernel = dst } in
     job t (fun () ->
         ( Int64.mul (Int64.of_int (List.length peers)) 200L,
@@ -1836,7 +1851,9 @@ let migrate_vpe t ~(vpe : Vpe.t) ~dst done_k =
             (* Retransmit the update to peers that have not acked yet;
                updates are idempotent and acks dedup by sender. Resends
                go out in kernel-id order — table iteration order must
-               not leak into the message schedule. *)
+               not leak into the message schedule. The tick is a
+               cancellable timer (cancelled when the last ack lands),
+               so a fault-free migration leaves nothing on the heap. *)
             if (c t).Cost.retry_max > 0 then begin
               let rec tick attempts () =
                 match Hashtbl.find_opt t.pending_ops op with
@@ -1848,10 +1865,15 @@ let migrate_vpe t ~(vpe : Vpe.t) ~dst done_k =
                       ikc_send t ~dst:kid update)
                     (List.sort compare
                        (Hashtbl.fold (fun kid () acc -> kid :: acc) m.pending_peers []));
-                  Engine.after t.engine (retry_interval (c t) (attempts + 1)) (tick (attempts + 1))
+                  m.mtimer <-
+                    Some
+                      (Engine.after_cancellable t.engine
+                         (retry_interval (c t) (attempts + 1))
+                         (tick (attempts + 1)))
                 | Some _ | None -> ()
               in
-              Engine.after t.engine (retry_interval (c t) 0) (tick 0)
+              mig.mtimer <-
+                Some (Engine.after_cancellable t.engine (retry_interval (c t) 0) (tick 0))
             end ))
 
 let check_invariants t =

@@ -95,8 +95,8 @@ let create cfg =
     invalid_arg "System.create: more PEs per kernel than syscall slots support (192)";
   let total = cfg.kernels * (1 + cfg.user_pes_per_kernel) in
   let topology = Topology.square total in
-  let engine = Engine.create () in
   let obs = Obs.Registry.create () in
+  let engine = Engine.create ~obs () in
   let trace = Obs.Trace.create ~capacity:cfg.trace_capacity in
   let fabric = Fabric.create ~obs engine topology cfg.noc in
   let grid = Dtu.create_grid ~obs fabric in

@@ -10,8 +10,15 @@ type t = {
   engine : Semper_sim.Engine.t;
   topology : Topology.t;
   config : config;
-  (* Last scheduled delivery time per (src, dst), to enforce pairwise FIFO. *)
-  last_delivery : (int * int, int64) Hashtbl.t;
+  (* Last scheduled delivery time per (src, dst), to enforce pairwise
+     FIFO. A flat array indexed by [src * pe_count + dst]: the topology
+     is fixed at create time, and the hashtable this replaces both grew
+     with the number of distinct pairs ever used and paid a hash +
+     allocation per message on the hottest path in the simulator.
+     Plain [int] cycles (cycle counts fit 63 bits by far, and an OCaml
+     [int64 array] would box every element); [-1] marks a never-used
+     pair — delivery times are never negative. *)
+  last_delivery : int array;
   mutable injector : injector option;
   messages : Obs.Registry.counter;
   bytes : Obs.Registry.counter;
@@ -28,11 +35,12 @@ let create ?obs engine topology config =
      counter accessors below work in isolation (unit tests, ad-hoc use). *)
   let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
   let c name = Obs.Registry.counter obs ("fabric." ^ name) in
+  let n = Topology.pe_count topology in
   {
     engine;
     topology;
     config;
-    last_delivery = Hashtbl.create 64;
+    last_delivery = Array.make (n * n) (-1);
     injector = None;
     messages = c "messages_offered";
     bytes = c "bytes_offered";
@@ -46,22 +54,28 @@ let topology t = t.topology
 let engine t = t.engine
 let set_injector t inj = t.injector <- inj
 
-let latency t ~src ~dst ~bytes =
-  if bytes < 0 then invalid_arg "Fabric.latency: negative size";
-  let hops = Topology.hops t.topology src dst in
+(* The latency formula lives here and nowhere else: [latency] is the
+   public quote and [send] charges exactly the same amount, so the two
+   can never drift. [hops] is passed in because [send] also needs it
+   for the traffic counters. *)
+let latency_of_hops t ~hops ~bytes =
   let c = t.config in
   Int64.of_int (c.base_cycles + (c.hop_cycles * hops) + (bytes / c.bytes_per_cycle))
+
+let latency t ~src ~dst ~bytes =
+  if bytes < 0 then invalid_arg "Fabric.latency: negative size";
+  latency_of_hops t ~hops:(Topology.hops t.topology src dst) ~bytes
 
 (* Schedule one copy. FIFO per channel: never deliver before a
    previously sent message (each duplicate copy joins the ordered
    stream too). *)
 let deliver t ~src ~dst ~bytes a k =
+  let slot = (src * Topology.pe_count t.topology) + dst in
   let a =
-    match Hashtbl.find_opt t.last_delivery (src, dst) with
-    | Some prev when Int64.compare prev a > 0 -> prev
-    | Some _ | None -> a
+    let prev = t.last_delivery.(slot) in
+    if prev > Int64.to_int a then Int64.of_int prev else a
   in
-  Hashtbl.replace t.last_delivery (src, dst) a;
+  t.last_delivery.(slot) <- Int64.to_int a;
   Semper_sim.Engine.at t.engine a (fun () ->
       Obs.Registry.incr t.messages_delivered;
       Obs.Registry.incr ~by:bytes t.bytes_delivered;
@@ -70,8 +84,7 @@ let deliver t ~src ~dst ~bytes a k =
 let send ?(tag = "") t ~src ~dst ~bytes k =
   if bytes < 0 then invalid_arg "Fabric.send: negative size";
   let hops = Topology.hops t.topology src dst in
-  let cfg = t.config in
-  let lat = Int64.of_int (cfg.base_cycles + (cfg.hop_cycles * hops) + (bytes / cfg.bytes_per_cycle)) in
+  let lat = latency_of_hops t ~hops ~bytes in
   let now = Semper_sim.Engine.now t.engine in
   let arrival = Int64.add now lat in
   (* Offered-load stats count at send time; delivery stats only once a

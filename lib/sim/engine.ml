@@ -1,37 +1,147 @@
-type event = { time : int64; seq : int; run : unit -> unit }
+module Obs = Semper_obs.Obs
+
+(* Cancellable events use lazy deletion: [cancel] flips the handle
+   state and the event is discarded when it surfaces at the top of the
+   heap (or earlier, by compaction). The heap is never searched. *)
+type handle_state = H_pending | H_fired | H_cancelled
+
+type handle = { mutable state : handle_state }
+
+type event = {
+  time : int64;
+  seq : int;
+  run : unit -> unit;
+  (* [None] for the plain [at]/[after] events, which avoids allocating
+     a handle on the fast path carrying almost all simulation traffic. *)
+  cell : handle option;
+}
 
 type t = {
   mutable clock : int64;
   mutable next_seq : int;
   mutable processed : int;
+  (* Cancelled events still sitting in the heap. *)
+  mutable dead : int;
+  (* Latest time ever scheduled, dead or alive. When the queue drains,
+     the clock advances here: in the pre-cancellation engine the
+     last-popped event was exactly the latest-scheduled one (cancelled
+     timers fired as no-ops), so this keeps post-drain clocks — and
+     therefore every simulated-cycle measurement — byte-identical. *)
+  mutable horizon : int64;
+  mutable cancelled : int;
+  mutable skipped : int;
+  mutable heap_peak : int;
+  (* High-water marks already pushed into [Totals]. *)
+  mutable flushed_processed : int;
+  mutable flushed_cancelled : int;
+  mutable flushed_skipped : int;
   queue : event Semper_util.Heap.t;
+  ctr_cancelled : Obs.Registry.counter option;
+  ctr_skipped : Obs.Registry.counter option;
 }
+
+(* Process-wide totals across every engine, for wall-clock benchmarking
+   of the simulator itself (the per-run registries die with their
+   systems, and sweeps fan systems out across domains — hence atomics).
+   Flushed from the per-engine fields at the end of each [run] call,
+   not per event. *)
+module Totals = struct
+  let processed_a = Atomic.make 0
+  let cancelled_a = Atomic.make 0
+  let skipped_a = Atomic.make 0
+  let heap_peak_a = Atomic.make 0
+
+  let processed () = Atomic.get processed_a
+  let cancelled () = Atomic.get cancelled_a
+  let skipped () = Atomic.get skipped_a
+  let heap_peak () = Atomic.get heap_peak_a
+
+  let add a n = if n > 0 then ignore (Atomic.fetch_and_add a n)
+
+  let rec max_to a n =
+    let cur = Atomic.get a in
+    if n > cur && not (Atomic.compare_and_set a cur n) then max_to a n
+end
 
 let compare_event a b =
   let c = Int64.compare a.time b.time in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let dummy_event = { time = 0L; seq = -1; run = (fun () -> ()) }
+let dummy_event = { time = 0L; seq = -1; run = (fun () -> ()); cell = None }
 
-let create () =
-  {
-    clock = 0L;
-    next_seq = 0;
-    processed = 0;
-    queue = Semper_util.Heap.create ~dummy:dummy_event ~compare:compare_event;
-  }
+let create ?obs () =
+  let ctr name = Option.map (fun r -> Obs.Registry.counter r ("engine." ^ name)) obs in
+  let t =
+    {
+      clock = 0L;
+      next_seq = 0;
+      processed = 0;
+      dead = 0;
+      horizon = 0L;
+      cancelled = 0;
+      skipped = 0;
+      heap_peak = 0;
+      flushed_processed = 0;
+      flushed_cancelled = 0;
+      flushed_skipped = 0;
+      queue = Semper_util.Heap.create ~dummy:dummy_event ~compare:compare_event;
+      ctr_cancelled = ctr "events_cancelled";
+      ctr_skipped = ctr "events_skipped";
+    }
+  in
+  Option.iter
+    (fun r -> Obs.Registry.gauge r "engine.heap_peak" (fun () -> float_of_int t.heap_peak))
+    obs;
+  t
 
 let now t = t.clock
 
-let at t time run =
+let schedule t time run cell =
   if Int64.compare time t.clock < 0 then invalid_arg "Engine.at: time in the past";
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Semper_util.Heap.push t.queue { time; seq; run }
+  if Int64.compare time t.horizon > 0 then t.horizon <- time;
+  Semper_util.Heap.push t.queue { time; seq; run; cell };
+  let len = Semper_util.Heap.length t.queue in
+  if len > t.heap_peak then t.heap_peak <- len
+
+let at t time run = schedule t time run None
 
 let after t delay run =
   if Int64.compare delay 0L < 0 then invalid_arg "Engine.after: negative delay";
   at t (Int64.add t.clock delay) run
+
+let at_cancellable t time run =
+  let h = { state = H_pending } in
+  schedule t time run (Some h);
+  h
+
+let after_cancellable t delay run =
+  if Int64.compare delay 0L < 0 then invalid_arg "Engine.after: negative delay";
+  at_cancellable t (Int64.add t.clock delay) run
+
+let is_dead ev = match ev.cell with Some h -> h.state = H_cancelled | None -> false
+
+(* Purge cancelled events once they outnumber the live ones, so the
+   heap tracks in-flight work rather than everything ever scheduled.
+   The 50% threshold makes compaction O(1) amortised per cancellation;
+   the size floor avoids churn on tiny queues. *)
+let maybe_compact t =
+  let len = Semper_util.Heap.length t.queue in
+  if len >= 64 && 2 * t.dead > len then begin
+    Semper_util.Heap.filter_in_place (fun ev -> not (is_dead ev)) t.queue;
+    t.dead <- 0
+  end
+
+let cancel t h =
+  match h.state with
+  | H_fired | H_cancelled -> ()
+  | H_pending ->
+    h.state <- H_cancelled;
+    t.dead <- t.dead + 1;
+    t.cancelled <- t.cancelled + 1;
+    Option.iter Obs.Registry.incr t.ctr_cancelled;
+    maybe_compact t
 
 let run ?until t =
   let count = ref 0 in
@@ -39,9 +149,10 @@ let run ?until t =
   while !continue do
     match Semper_util.Heap.peek t.queue with
     | None ->
-      (* Even when the queue drains before the bound, the caller asked
-         for time to pass up to [until]: advance the clock so that
+      (* Queue drained: catch the clock up to the latest-scheduled
+         event (see [horizon]) and then to the requested bound, so that
          back-to-back bounded runs observe a monotone [now]. *)
+      if Int64.compare t.horizon t.clock > 0 then t.clock <- t.horizon;
       (match until with
       | Some limit when Int64.compare limit t.clock > 0 -> t.clock <- limit
       | _ -> ());
@@ -56,12 +167,30 @@ let run ?until t =
         continue := false
       | Some _ | None ->
         let ev = Semper_util.Heap.pop t.queue in
-        t.clock <- ev.time;
-        t.processed <- t.processed + 1;
-        incr count;
-        ev.run ())
+        if is_dead ev then begin
+          t.dead <- t.dead - 1;
+          t.skipped <- t.skipped + 1;
+          Option.iter Obs.Registry.incr t.ctr_skipped
+        end
+        else begin
+          (match ev.cell with Some h -> h.state <- H_fired | None -> ());
+          t.clock <- ev.time;
+          t.processed <- t.processed + 1;
+          incr count;
+          ev.run ()
+        end)
   done;
+  Totals.add Totals.processed_a (t.processed - t.flushed_processed);
+  Totals.add Totals.cancelled_a (t.cancelled - t.flushed_cancelled);
+  Totals.add Totals.skipped_a (t.skipped - t.flushed_skipped);
+  t.flushed_processed <- t.processed;
+  t.flushed_cancelled <- t.cancelled;
+  t.flushed_skipped <- t.skipped;
+  Totals.max_to Totals.heap_peak_a t.heap_peak;
   !count
 
 let events_processed t = t.processed
-let pending t = Semper_util.Heap.length t.queue
+let events_cancelled t = t.cancelled
+let events_skipped t = t.skipped
+let heap_peak t = t.heap_peak
+let pending t = Semper_util.Heap.length t.queue - t.dead

@@ -2,12 +2,30 @@
 
     Time is measured in cycles (an [int64], matching the paper's 2 GHz
     clock). Events scheduled for the same cycle run in scheduling order,
-    so a run is fully deterministic. *)
+    so a run is fully deterministic.
+
+    {2 Cancellable timers}
+
+    Protocol timeouts are almost always cancelled (a retransmission
+    timer dies the moment the ack arrives), so [at_cancellable] /
+    [after_cancellable] return a {!handle} that [cancel] retires
+    lazily: the slot is marked dead, [run] discards it when it surfaces
+    instead of executing it, and the queue compacts once dead slots
+    outnumber live ones. Scheduling order, sequence numbering, and the
+    clock are exactly as if the cancelled event had fired as a no-op,
+    so cancellation is invisible to simulated time — it only shrinks
+    the heap and the events actually executed. *)
 
 type t
 
-(** Fresh engine at cycle 0. *)
-val create : unit -> t
+(** A cancellable event. Handles are single-engine: passing a handle to
+    a different engine's [cancel] is undefined. *)
+type handle
+
+(** Fresh engine at cycle 0. When [obs] is given, the engine registers
+    [engine.events_cancelled] and [engine.events_skipped] counters and
+    an [engine.heap_peak] gauge there. *)
+val create : ?obs:Semper_obs.Obs.Registry.t -> unit -> t
 
 (** Current simulation time in cycles. *)
 val now : t -> int64
@@ -20,13 +38,48 @@ val at : t -> int64 -> (unit -> unit) -> unit
     Raises [Invalid_argument] on a negative delay. *)
 val after : t -> int64 -> (unit -> unit) -> unit
 
+(** As [at], returning a handle that {!cancel} accepts. *)
+val at_cancellable : t -> int64 -> (unit -> unit) -> handle
+
+(** As [after], returning a handle that {!cancel} accepts. *)
+val after_cancellable : t -> int64 -> (unit -> unit) -> handle
+
+(** Retire a scheduled event. Idempotent; a no-op once the event has
+    fired. The event's callback is never called after [cancel]
+    returns. *)
+val cancel : t -> handle -> unit
+
 (** Run until the event queue is empty, or until the optional [until]
     cycle (events strictly after it stay queued). Returns the number of
-    events processed by this call. *)
+    events executed by this call (cancelled events are discarded, not
+    executed, and not counted). *)
 val run : ?until:int64 -> t -> int
 
-(** Total events processed since creation. *)
+(** Total events executed since creation (excludes cancelled ones). *)
 val events_processed : t -> int
 
-(** Events currently queued. *)
+(** Events retired via {!cancel} before firing. *)
+val events_cancelled : t -> int
+
+(** Cancelled events discarded at the top of the queue by {!run} (the
+    rest are removed wholesale by compaction). *)
+val events_skipped : t -> int
+
+(** Largest queue length observed, counting not-yet-collected cancelled
+    slots — the simulator's memory high-water mark. *)
+val heap_peak : t -> int
+
+(** Live (non-cancelled) events currently queued. *)
 val pending : t -> int
+
+(** Process-wide totals over every engine ever created, including those
+    running on other domains during parallel sweeps. Used by the
+    wall-clock benchmark; flushed at the end of each [run] call. *)
+module Totals : sig
+  val processed : unit -> int
+  val cancelled : unit -> int
+  val skipped : unit -> int
+
+  (** Maximum {!heap_peak} over all engines so far. *)
+  val heap_peak : unit -> int
+end

@@ -5,16 +5,33 @@ type 'a t = {
   compare : 'a -> 'a -> int;
 }
 
-let create ~dummy ~compare = { data = Array.make 16 dummy; size = 0; dummy; compare }
+(* The backing array never shrinks below its initial size. *)
+let min_capacity = 16
+
+let create ~dummy ~compare =
+  { data = Array.make min_capacity dummy; size = 0; dummy; compare }
 
 let length h = h.size
 
 let is_empty h = h.size = 0
 
+let capacity h = Array.length h.data
+
 let grow h =
   let data = Array.make (2 * Array.length h.data) h.dummy in
   Array.blit h.data 0 data 0 h.size;
   h.data <- data
+
+(* Release storage once occupancy drops below a quarter: halving (not
+   snapping to [size]) leaves slack so a push right after the shrink
+   does not immediately reallocate. *)
+let maybe_shrink h =
+  let cap = Array.length h.data in
+  if cap > min_capacity && h.size < cap / 4 then begin
+    let data = Array.make (max min_capacity (cap / 2)) h.dummy in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
 
 let push h x =
   if h.size = Array.length h.data then grow h;
@@ -55,14 +72,49 @@ let pop h =
     end
   in
   down 0;
+  maybe_shrink h;
   root
 
 let peek h = if h.size = 0 then None else Some h.data.(0)
 
-let clear h =
+let filter_in_place p h =
+  (* Compact the survivors to a prefix, then restore the heap property
+     bottom-up (Floyd's heap construction, O(n)). *)
+  let kept = ref 0 in
   for i = 0 to h.size - 1 do
+    if p h.data.(i) then begin
+      h.data.(!kept) <- h.data.(i);
+      incr kept
+    end
+  done;
+  for i = !kept to h.size - 1 do
     h.data.(i) <- h.dummy
   done;
+  h.size <- !kept;
+  let rec down i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = if l < h.size && h.compare h.data.(l) h.data.(i) < 0 then l else i in
+    let smallest =
+      if r < h.size && h.compare h.data.(r) h.data.(smallest) < 0 then r else smallest
+    in
+    if smallest <> i then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(smallest);
+      h.data.(smallest) <- tmp;
+      down smallest
+    end
+  in
+  for i = (h.size / 2) - 1 downto 0 do
+    down i
+  done;
+  maybe_shrink h
+
+let clear h =
+  if Array.length h.data > min_capacity then h.data <- Array.make min_capacity h.dummy
+  else
+    for i = 0 to h.size - 1 do
+      h.data.(i) <- h.dummy
+    done;
   h.size <- 0
 
 let fold f acc h =

@@ -127,6 +127,142 @@ let test_engine_counts () =
   check Alcotest.int "processed" 2 (Engine.events_processed e)
 
 (* ------------------------------------------------------------------ *)
+(* Cancellable timers                                                  *)
+
+let test_cancel_before_fire () =
+  let e = Engine.create () in
+  let fired = ref false and live = ref false in
+  let h = Engine.after_cancellable e 20L (fun () -> fired := true) in
+  Engine.after e 10L (fun () -> live := true);
+  check Alcotest.int "pending counts both" 2 (Engine.pending e);
+  Engine.cancel e h;
+  check Alcotest.int "pending excludes dead" 1 (Engine.pending e);
+  check Alcotest.int "cancelled" 1 (Engine.events_cancelled e);
+  ignore (Engine.run e);
+  check Alcotest.bool "cancelled never fires" false !fired;
+  check Alcotest.bool "live fires" true !live;
+  check Alcotest.int "processed excludes cancelled" 1 (Engine.events_processed e);
+  check Alcotest.int "dead slot discarded by run" 1 (Engine.events_skipped e);
+  (* The seed engine executed the dead event as a no-op at cycle 20 and
+     the clock followed it; the drained clock must still land there. *)
+  check Alcotest.int64 "clock reaches the cancelled horizon" 20L (Engine.now e)
+
+let test_cancel_after_fire_and_double () =
+  let e = Engine.create () in
+  let n = ref 0 in
+  let h = Engine.after_cancellable e 1L (fun () -> incr n) in
+  ignore (Engine.run e);
+  check Alcotest.int "fired once" 1 !n;
+  Engine.cancel e h;
+  check Alcotest.int "cancel after fire is a no-op" 0 (Engine.events_cancelled e);
+  let h2 = Engine.after_cancellable e 5L (fun () -> incr n) in
+  Engine.cancel e h2;
+  Engine.cancel e h2;
+  check Alcotest.int "double cancel counts once" 1 (Engine.events_cancelled e);
+  ignore (Engine.run e);
+  check Alcotest.int "cancelled callback never ran" 1 !n
+
+let test_cancel_interleaved_with_until () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let note x () = order := x :: !order in
+  ignore (Engine.after_cancellable e 10L (note 10));
+  let h20 = Engine.after_cancellable e 20L (note 20) in
+  ignore (Engine.after_cancellable e 30L (note 30));
+  ignore (Engine.run ~until:15L e);
+  check Alcotest.(list int) "first window" [ 10 ] (List.rev !order);
+  (* Cancel between bounded runs: the event is already queued below the
+     next window's limit, so [run] must discard it when it surfaces. *)
+  Engine.cancel e h20;
+  ignore (Engine.run e);
+  check Alcotest.(list int) "cancelled event elided" [ 10; 30 ] (List.rev !order);
+  check Alcotest.int "processed" 2 (Engine.events_processed e);
+  check Alcotest.int "cancelled" 1 (Engine.events_cancelled e);
+  check Alcotest.int "skipped" 1 (Engine.events_skipped e)
+
+let test_cancel_compaction () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  (* Far-future victims interleaved with near-term survivors; cancelling
+     every victim pushes the dead fraction over 1/2 on a heap well past
+     the compaction floor, so the dead slots are removed wholesale
+     (skipped stays 0) and the survivors must still fire in order. *)
+  let victims =
+    List.init 200 (fun i ->
+        Engine.at_cancellable e (Int64.of_int (1000 + i)) (fun () -> fired := (-i) :: !fired))
+  in
+  for i = 1 to 10 do
+    Engine.at e (Int64.of_int i) (fun () -> fired := i :: !fired)
+  done;
+  check Alcotest.int "pending before" 210 (Engine.pending e);
+  List.iter (Engine.cancel e) victims;
+  check Alcotest.int "pending after mass cancel" 10 (Engine.pending e);
+  check Alcotest.int "cancelled" 200 (Engine.events_cancelled e);
+  check Alcotest.bool "heap_peak saw the full queue" true (Engine.heap_peak e >= 210);
+  ignore (Engine.run e);
+  check Alcotest.(list int) "survivors fire in order" (List.init 10 (fun i -> i + 1))
+    (List.rev !fired);
+  (* Compaction keeps the dead backlog below its trigger floor: at most
+     63 tombstones can survive to be popped one by one. *)
+  check Alcotest.bool "most dead slots removed wholesale" true (Engine.events_skipped e < 64);
+  check Alcotest.int64 "clock still reaches the horizon" 1199L (Engine.now e)
+
+let test_cancel_obs_counters () =
+  let obs = Obs.Registry.create () in
+  let e = Engine.create ~obs () in
+  let h = Engine.after_cancellable e 5L (fun () -> ()) in
+  Engine.cancel e h;
+  ignore (Engine.run e);
+  let s = Obs.Json.to_string (Obs.Registry.snapshot obs) in
+  let has sub = Str_contains.contains s sub in
+  check Alcotest.bool "events_cancelled exported" true
+    (has "\"engine.events_cancelled\":{\"type\":\"counter\",\"value\":1}");
+  check Alcotest.bool "events_skipped exported" true
+    (has "\"engine.events_skipped\":{\"type\":\"counter\",\"value\":1}");
+  check Alcotest.bool "heap_peak exported" true
+    (has "\"engine.heap_peak\":{\"type\":\"gauge\"")
+
+(* Regression: with cancellable retry timers the event queue tracks
+   in-flight work, not history. The seed engine left every acked IKC
+   message's retransmission tick queued for [retry_timeout] cycles, so
+   a run of sequential spanning exchanges (the Table 3 microbench
+   pattern) kept a backlog proportional to the ops issued; now the ack
+   cancels the tick and [pending] must not grow with the op count. *)
+let max_pending_over_spanning_exchanges n =
+  let sys = System.create (System.config ~kernels:2 ~user_pes_per_kernel:4 ()) in
+  let a = System.spawn_vpe sys ~kernel:0 in
+  let b = System.spawn_vpe sys ~kernel:1 in
+  let e = System.engine sys in
+  let maxp = ref 0 in
+  for _ = 1 to n do
+    let sel =
+      match System.syscall_sync sys a (Protocol.Sys_alloc_mem { size = 4096L; perms = Perms.rw })
+      with
+      | Protocol.R_sel s -> s
+      | r -> Alcotest.failf "alloc failed: %a" Protocol.pp_reply r
+    in
+    let result = ref None in
+    System.syscall sys b
+      (Protocol.Sys_obtain_from { donor_vpe = a.Vpe.id; donor_sel = sel })
+      (fun r -> result := Some r);
+    while !result = None do
+      if Engine.pending e > !maxp then maxp := Engine.pending e;
+      ignore (Engine.run ~until:(Int64.add (Engine.now e) 1_000L) e)
+    done
+  done;
+  ignore (Engine.run e);
+  (!maxp, Engine.events_cancelled e)
+
+let test_pending_bounded_by_in_flight () =
+  let p10, c10 = max_pending_over_spanning_exchanges 10 in
+  let p50, c50 = max_pending_over_spanning_exchanges 50 in
+  check Alcotest.bool "retry timers are being cancelled" true (c10 > 0 && c50 > c10);
+  check Alcotest.bool
+    (Printf.sprintf "pending is O(in-flight): %d ops peak %d vs %d ops peak %d" 10 p10 50 p50)
+    true
+    (p50 <= p10 + 4)
+
+(* ------------------------------------------------------------------ *)
 (* Server                                                              *)
 
 let test_server_fifo () =
@@ -201,6 +337,14 @@ let suite =
     Alcotest.test_case "engine bounded run, same-time events" `Quick test_engine_until_same_time;
     Alcotest.test_case "engine rejects the past" `Quick test_engine_past_rejected;
     Alcotest.test_case "engine counters" `Quick test_engine_counts;
+    Alcotest.test_case "cancel before fire" `Quick test_cancel_before_fire;
+    Alcotest.test_case "cancel after fire / double cancel" `Quick test_cancel_after_fire_and_double;
+    Alcotest.test_case "cancel interleaved with bounded runs" `Quick
+      test_cancel_interleaved_with_until;
+    Alcotest.test_case "mass cancel compacts the heap" `Quick test_cancel_compaction;
+    Alcotest.test_case "cancellation counters exported to obs" `Quick test_cancel_obs_counters;
+    Alcotest.test_case "pending bounded by in-flight work" `Quick
+      test_pending_bounded_by_in_flight;
     Alcotest.test_case "server FIFO" `Quick test_server_fifo;
     Alcotest.test_case "server idle gap" `Quick test_server_idle_gap;
     Alcotest.test_case "server dynamic cost" `Quick test_server_dynamic_cost;

@@ -42,6 +42,34 @@ let test_heap_duplicates () =
   check Alcotest.(list int) "pops sorted with dups" [ 1; 2; 2; 2 ]
     (List.init 4 (fun _ -> Heap.pop h))
 
+let test_heap_shrink () =
+  let h = int_heap () in
+  check Alcotest.int "initial capacity" 16 (Heap.capacity h);
+  for i = 1 to 1000 do
+    Heap.push h i
+  done;
+  let grown = Heap.capacity h in
+  check Alcotest.bool "capacity grew" true (grown >= 1000);
+  (* Draining must hand storage back: once the population falls below a
+     quarter of capacity, pop halves the array. *)
+  for _ = 1 to 900 do
+    ignore (Heap.pop h)
+  done;
+  check Alcotest.bool "capacity released" true (Heap.capacity h < grown);
+  check Alcotest.bool "capacity still fits contents" true (Heap.capacity h >= Heap.length h);
+  for _ = 1 to 100 do
+    ignore (Heap.pop h)
+  done;
+  check Alcotest.bool "empty heap back at the floor" true (Heap.capacity h <= 16);
+  (* Shrinking must never lose or reorder elements. *)
+  let h2 = int_heap () in
+  for i = 500 downto 1 do
+    Heap.push h2 i
+  done;
+  let out = List.init 500 (fun _ -> Heap.pop h2) in
+  check Alcotest.(list int) "drain still sorted across shrinks" (List.init 500 (fun i -> i + 1))
+    out
+
 let prop_heap_sorted =
   QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
     QCheck.(list int)
@@ -189,6 +217,7 @@ let suite =
     Alcotest.test_case "heap pop empty" `Quick test_heap_pop_empty;
     Alcotest.test_case "heap clear/fold" `Quick test_heap_clear_and_fold;
     Alcotest.test_case "heap duplicates" `Quick test_heap_duplicates;
+    Alcotest.test_case "heap shrinks when drained" `Quick test_heap_shrink;
     qcheck prop_heap_sorted;
     qcheck prop_heap_interleaved;
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
