@@ -127,6 +127,9 @@ let () =
       (* Deliberately not part of [all]: its output is host-dependent,
          and [all]'s output stays byte-identical across hosts. *)
       ("wallclock", fun () -> Semper_harness.Wallclock.run ());
+      (* Not part of [all] either: BENCH_balance.json is its own
+         deliverable, regenerated only when the balancer changes. *)
+      ("balance", fun () -> Semper_harness.Skew.bench ());
       ("all", fun () -> Experiments.all (); bechamel ());
     ]
   in

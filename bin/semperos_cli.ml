@@ -434,13 +434,16 @@ let bench_cmd =
     | "wallclock" ->
       let preset = if smoke then Semper_harness.Wallclock.Smoke else Semper_harness.Wallclock.Full in
       Semper_harness.Wallclock.run ~preset ?path:out ()
+    | "balance" ->
+      let preset = if smoke then Semper_harness.Skew.Smoke else Semper_harness.Skew.Full in
+      Semper_harness.Skew.bench ~preset ?path:out ()
     | m ->
-      Fmt.epr "error: unknown bench mode %S (expected: wallclock)@." m;
+      Fmt.epr "error: unknown bench mode %S (expected: wallclock or balance)@." m;
       exit 2
   in
   let mode =
     Arg.(value & pos 0 string "wallclock" & info [] ~docv:"MODE"
-         ~doc:"Benchmark mode; only $(b,wallclock) exists today.")
+         ~doc:"Benchmark mode: $(b,wallclock) or $(b,balance).")
   in
   let smoke =
     Arg.(value & flag & info [ "smoke" ]

@@ -1,0 +1,253 @@
+module Engine = Semper_sim.Engine
+module Server = Semper_sim.Server
+module Membership = Semper_ddl.Membership
+module Key = Semper_ddl.Key
+module Cap = Semper_caps.Cap
+module Capspace = Semper_caps.Capspace
+module Mapdb = Semper_caps.Mapdb
+module Obs = Semper_obs.Obs
+module System = Semper_kernel.System
+module Kernel = Semper_kernel.Kernel
+module Vpe = Semper_kernel.Vpe
+
+let src_log = Logs.Src.create "semper.balance" ~doc:"Load balancer"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+module Policy = struct
+  type t =
+    | Static
+    | Threshold of { high : float; low : float; margin : float; cooldown : int }
+
+  type decision = { src : int; dst : int }
+
+  let default_threshold = Threshold { high = 0.75; low = 0.55; margin = 0.3; cooldown = 3 }
+
+  (* Lowest-id tie-break on both sides: iterate from the highest kernel
+     id down and let >= / <= comparisons overwrite, so among equals the
+     smallest id survives. Deterministic by construction. *)
+  let decide t ~occupancy ~cooldown ~inflight =
+    match t with
+    | Static -> None
+    | Threshold { high; low; margin; cooldown = _ } ->
+      let n = Array.length occupancy in
+      let busy k = List.exists (fun (a, b) -> a = k || b = k) inflight in
+      let free k = cooldown.(k) = 0 && not (busy k) in
+      let src = ref (-1) in
+      for k = n - 1 downto 0 do
+        if occupancy.(k) >= high && free k && (!src < 0 || occupancy.(k) >= occupancy.(!src))
+        then src := k
+      done;
+      let dst = ref (-1) in
+      for k = n - 1 downto 0 do
+        if
+          occupancy.(k) <= low && free k && k <> !src
+          && (!dst < 0 || occupancy.(k) <= occupancy.(!dst))
+        then dst := k
+      done;
+      if !src >= 0 && !dst >= 0 && occupancy.(!src) -. occupancy.(!dst) >= margin then
+        Some { src = !src; dst = !dst }
+      else None
+end
+
+type migration = { m_at : int64; m_vpe : int; m_src : int; m_dst : int }
+
+type t = {
+  sys : System.t;
+  pol : Policy.t;
+  interval : int64;
+  stop_when : unit -> bool;
+  last_busy : int64 array;  (* per kernel, at the previous tick *)
+  smoothed : float array;  (* per kernel, EWMA of windowed occupancy *)
+  cooldown : int array;  (* per kernel, remaining ineligibility ticks *)
+  mutable inflight : (int * int) list;
+  mutable migrated : migration list;  (* reverse chronological *)
+  mutable tick_count : int;
+  mutable timer : Engine.handle option;
+  mutable running : bool;
+  ctr_ticks : Obs.Registry.counter;
+  ctr_migrations : Obs.Registry.counter;
+  ctr_skipped : Obs.Registry.counter;
+  occ_hist : Obs.Registry.histogram;
+}
+
+let occupancy_buckets = [| 0.1; 0.25; 0.5; 0.75; 0.9; 1.0 |]
+
+let create ?(policy = Policy.default_threshold) ?(interval = 50_000L)
+    ?(stop_when = fun () -> false) sys =
+  let n = System.kernel_count sys in
+  let obs = System.obs sys in
+  {
+    sys;
+    pol = policy;
+    interval;
+    stop_when;
+    last_busy = Array.make n 0L;
+    smoothed = Array.make n 0.0;
+    cooldown = Array.make n 0;
+    inflight = [];
+    migrated = [];
+    tick_count = 0;
+    timer = None;
+    running = false;
+    ctr_ticks = Obs.Registry.counter obs "balance.ticks";
+    ctr_migrations = Obs.Registry.counter obs "balance.migrations";
+    ctr_skipped = Obs.Registry.counter obs "balance.skipped";
+    occ_hist = Obs.Registry.histogram obs "balance.occupancy" ~buckets:occupancy_buckets;
+  }
+
+let policy t = t.pol
+let ticks t = t.tick_count
+let migrations t = List.rev t.migrated
+
+(* --------------------------------------------------------------- *)
+(* Candidate selection                                              *)
+
+(* A key is local when the kernel's own membership replica routes its
+   PE partition back to this kernel. Mid-handoff or unknown PEs are
+   conservatively remote: the records may be in flight. *)
+let key_local k key =
+  match Membership.kernel_of_pe (Kernel.membership k) (Key.pe key) with
+  | owner -> owner = Kernel.id k
+  | exception Membership.Mid_handoff _ -> false
+  | exception Not_found -> false
+
+(* Migrating a VPE moves every capability record in its PE partition,
+   so it is only safe when none of those records can be touched by an
+   operation in flight elsewhere: no marked caps (a revoke wave may
+   deliver to the old kernel), no remote parent (the parent's kernel
+   may push a revoke or unlink down to us mid-transfer) — except
+   session capabilities, whose parent is pinned at the service's kernel
+   by design and only reached through the membership table — no
+   children outside the VPE's own partition, and no service capability
+   (services are pinned: peers cache their directory entry). *)
+let cap_blocks_migration k (vpe : Vpe.t) key =
+  match Mapdb.find (Kernel.mapdb k) key with
+  | None -> true (* dangling selector: never move a VPE mid-anomaly *)
+  | Some cap ->
+    Cap.is_marked cap
+    || (match cap.Cap.kind with Cap.Srv_cap _ -> true | _ -> false)
+    || (match cap.Cap.parent with
+       | Some pk -> (
+         match cap.Cap.kind with Cap.Sess_cap _ -> false | _ -> not (key_local k pk))
+       | None -> false)
+    || List.exists (fun ck -> Key.pe ck <> vpe.Vpe.pe) cap.Cap.children
+
+let spanning_sessions k (vpe : Vpe.t) =
+  let n = ref 0 in
+  Capspace.iter
+    (fun _sel key ->
+      match Mapdb.find (Kernel.mapdb k) key with
+      | Some { Cap.kind = Cap.Sess_cap _; parent = Some pk; _ } when not (key_local k pk) ->
+        incr n
+      | Some _ | None -> ())
+    vpe.Vpe.capspace;
+  !n
+
+let vpe_eligible k (vpe : Vpe.t) =
+  Vpe.is_alive vpe
+  && (not vpe.Vpe.frozen)
+  && (not vpe.Vpe.syscall_pending)
+  &&
+  let blocked = ref false in
+  Capspace.iter
+    (fun _sel key -> if (not !blocked) && cap_blocks_migration k vpe key then blocked := true)
+    vpe.Vpe.capspace;
+  not !blocked
+
+let eligible_vpes t ~kernel =
+  let k = System.kernel t.sys kernel in
+  Kernel.local_vpes k
+  |> List.filter (vpe_eligible k)
+  |> List.map (fun v -> (spanning_sessions k v, v))
+  |> List.sort (fun (sa, (a : Vpe.t)) (sb, (b : Vpe.t)) ->
+         match Int.compare sa sb with 0 -> Int.compare a.Vpe.id b.Vpe.id | c -> c)
+  |> List.map snd
+
+(* --------------------------------------------------------------- *)
+(* Control tick                                                     *)
+
+(* One window of busy-cycle deltas is noisy: a single client's
+   burst/gap cycle reads as 0.9 in one window and 0.1 in the next, and
+   the phase shift between kernels would look like imbalance. The EWMA
+   only lets load that is *sustained* across several windows reach the
+   policy, so a genuine hotspot trips the threshold within a few ticks
+   while phase noise never does. *)
+let ewma_alpha = 0.4
+
+let sample_occupancy t =
+  let kernels = System.kernels t.sys in
+  List.iter
+    (fun k ->
+      let id = Kernel.id k in
+      let busy = Server.busy_cycles (Kernel.server k) in
+      let delta = Int64.sub busy t.last_busy.(id) in
+      t.last_busy.(id) <- busy;
+      let o = Int64.to_float delta /. Int64.to_float t.interval in
+      let o = if o > 1.0 then 1.0 else o in
+      t.smoothed.(id) <- (ewma_alpha *. o) +. ((1.0 -. ewma_alpha) *. t.smoothed.(id));
+      Obs.Registry.observe t.occ_hist t.smoothed.(id))
+    kernels;
+  Array.copy t.smoothed
+
+let execute t (d : Policy.decision) =
+  match eligible_vpes t ~kernel:d.Policy.src with
+  | [] ->
+    Obs.Registry.incr t.ctr_skipped;
+    Log.debug (fun m -> m "tick %d: no eligible VPE on kernel %d" t.tick_count d.Policy.src)
+  | vpe :: _ ->
+    let cool =
+      match t.pol with Policy.Threshold { cooldown; _ } -> cooldown | Policy.Static -> 0
+    in
+    t.cooldown.(d.Policy.src) <- cool;
+    t.cooldown.(d.Policy.dst) <- cool;
+    let pair = (d.Policy.src, d.Policy.dst) in
+    t.inflight <- pair :: t.inflight;
+    t.migrated <-
+      { m_at = System.now t.sys; m_vpe = vpe.Vpe.id; m_src = d.Policy.src; m_dst = d.Policy.dst }
+      :: t.migrated;
+    Obs.Registry.incr t.ctr_migrations;
+    Log.info (fun m ->
+        m "migrating VPE %d: kernel %d -> %d" vpe.Vpe.id d.Policy.src d.Policy.dst);
+    (* Keep the system-level replica (spawn routing, audit) in step
+       before the kernels start exchanging records. *)
+    Membership.reassign (System.membership t.sys) ~pe:vpe.Vpe.pe ~kernel:d.Policy.dst;
+    Kernel.migrate_vpe
+      (System.kernel t.sys d.Policy.src)
+      ~vpe ~dst:d.Policy.dst
+      (fun () -> t.inflight <- List.filter (fun p -> p <> pair) t.inflight)
+
+let rec tick t =
+  t.timer <- None;
+  if t.running then begin
+    t.tick_count <- t.tick_count + 1;
+    Obs.Registry.incr t.ctr_ticks;
+    Array.iteri (fun i c -> if c > 0 then t.cooldown.(i) <- c - 1) t.cooldown;
+    let occupancy = sample_occupancy t in
+    (match Policy.decide t.pol ~occupancy ~cooldown:t.cooldown ~inflight:t.inflight with
+    | Some d -> execute t d
+    | None -> ());
+    (* Re-arm unless the workload reports completion: the engine must be
+       able to drain once there is nothing left to balance. *)
+    if t.stop_when () then t.running <- false
+    else
+      t.timer <- Some (Engine.after_cancellable (System.engine t.sys) t.interval (fun () -> tick t))
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    (* Baseline the busy-cycle window at the moment balancing begins. *)
+    List.iter
+      (fun k -> t.last_busy.(Kernel.id k) <- Server.busy_cycles (Kernel.server k))
+      (System.kernels t.sys);
+    t.timer <- Some (Engine.after_cancellable (System.engine t.sys) t.interval (fun () -> tick t))
+  end
+
+let stop t =
+  t.running <- false;
+  (match t.timer with
+  | Some h ->
+    Engine.cancel (System.engine t.sys) h;
+    t.timer <- None
+  | None -> ())

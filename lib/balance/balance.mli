@@ -1,0 +1,98 @@
+(** Autonomic load balancer: occupancy-driven VPE migration.
+
+    Closes the monitor → decide → migrate loop on top of the PE
+    migration protocol (paper §3.2, named future work): a periodic
+    control tick samples every kernel PE's busy-cycle counter, a
+    pluggable {!Policy} flags an overloaded/underloaded kernel pair,
+    and an executor picks a quiescent VPE and drives
+    {!Semper_kernel.Kernel.migrate_vpe} towards the underloaded kernel.
+
+    Determinism: the tick runs on the simulation {!Semper_sim.Engine}
+    (a cancellable timer), candidates are ranked on sorted VPE lists,
+    and the policy breaks ties by lowest kernel id — so the migration
+    sequence for a given seed is identical regardless of host
+    parallelism. The balancer only observes and never blocks the
+    workload: syscalls issued by a mid-migration VPE are held and
+    re-dispatched by {!Semper_kernel.System.syscall}. *)
+
+module Policy : sig
+  (** A policy sees only windowed occupancy (busy fraction of each
+      kernel PE over the last tick interval) plus the balancer's own
+      bookkeeping, and names at most one (src, dst) kernel pair. *)
+  type t =
+    | Static  (** never migrate — the baseline the benchmark compares against *)
+    | Threshold of {
+        high : float;  (** source kernels must be at or above this occupancy *)
+        low : float;  (** destination kernels must be at or below this occupancy *)
+        margin : float;
+            (** minimum occupancy gap between the pair; hysteresis so a
+                marginal imbalance does not cause ping-pong migration *)
+        cooldown : int;
+            (** ticks during which a kernel that just took part in a
+                migration is ineligible (either side) *)
+      }
+
+  type decision = { src : int; dst : int }
+
+  (** [Threshold { high = 0.75; low = 0.55; margin = 0.3; cooldown = 3 }] *)
+  val default_threshold : t
+
+  (** Pure decision function (exposed for unit tests). [occupancy] is
+      indexed by kernel id; [cooldown] holds remaining ineligibility
+      ticks per kernel; [inflight] lists kernel pairs with a migration
+      still in flight (both members of a pair are ineligible). Ties are
+      broken towards the lowest kernel id on both sides. Returns [None]
+      when no pair clears the thresholds and the margin. *)
+  val decide :
+    t ->
+    occupancy:float array ->
+    cooldown:int array ->
+    inflight:(int * int) list ->
+    decision option
+end
+
+(** One executed (or in-flight) migration, in decision order. *)
+type migration = { m_at : int64; m_vpe : int; m_src : int; m_dst : int }
+
+type t
+
+(** [create ?policy ?interval ?stop_when sys] builds a balancer over
+    [sys]. [interval] is the control-tick period in cycles (default
+    50_000). [stop_when] is polled at each tick; once it returns [true]
+    the timer is not re-armed, so a finished workload drains the engine
+    without {!stop} having to be called. Registers
+    [balance.ticks]/[balance.migrations]/[balance.skipped] counters and
+    a [balance.occupancy] histogram in the system's metrics registry.
+    The occupancy baseline is sampled at {!start}, not at creation. *)
+val create :
+  ?policy:Policy.t ->
+  ?interval:int64 ->
+  ?stop_when:(unit -> bool) ->
+  Semper_kernel.System.t ->
+  t
+
+(** Arm the control tick. No-op if already running. *)
+val start : t -> unit
+
+(** Cancel the control tick. Safe to call when not running. *)
+val stop : t -> unit
+
+val policy : t -> Policy.t
+
+(** Control ticks executed so far. *)
+val ticks : t -> int
+
+(** Migrations decided so far, in chronological order. *)
+val migrations : t -> migration list
+
+(** [eligible_vpes t ~kernel] — the VPEs the executor would consider
+    moving off [kernel] right now, ranked as the executor ranks them
+    (fewest cross-group session capabilities first, then lowest VPE
+    id). A VPE qualifies only when migrating it cannot race an
+    in-flight operation: it is alive, not frozen, has no syscall in
+    flight, and none of its capabilities is marked for revocation, is a
+    service capability, has a remote parent (session capabilities
+    excepted — their parent is pinned at the service's kernel by
+    design), or has children outside the VPE's own PE partition.
+    Exposed for tests. *)
+val eligible_vpes : t -> kernel:int -> Semper_kernel.Vpe.t list

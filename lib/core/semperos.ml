@@ -23,6 +23,9 @@
       service and its client library.
     - {!Trace}, {!Replay}, {!Workloads}: application traces.
     - {!Experiment}, {!Nginx_bench}: the paper's evaluation harness.
+    - {!Balance}, {!Skew}: the autonomic load balancer
+      (occupancy-driven VPE migration) and its skewed-workload
+      benchmark.
     - {!Domain_pool}, {!Runner}, {!Bench_json}: the parallel experiment
       runner — independent runs fan out over OCaml domains with
       deterministic, submission-order result collection. *)
@@ -70,6 +73,8 @@ module Nginx_bench = Semper_harness.Nginx
 module Runner = Semper_harness.Runner
 module Bench_json = Semper_harness.Bench_json
 module Wallclock = Semper_harness.Wallclock
+module Balance = Semper_balance.Balance
+module Skew = Semper_harness.Skew
 
 (** Version of this reproduction. *)
 let version = "1.0.0"

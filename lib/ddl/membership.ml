@@ -1,8 +1,18 @@
 type kernel_id = int
 
-type t = { table : (int, kernel_id) Hashtbl.t; mutable sealed : bool }
+exception Mid_handoff of int
 
-let create () = { table = Hashtbl.create 64; sealed = false }
+type t = {
+  table : (int, kernel_id) Hashtbl.t;
+  (* PEs whose records are in flight between two kernels. While a PE is
+     marked here, this replica refuses to route to it: the old owner may
+     already have shed the records and the new owner may not have
+     installed them yet, so any answer would be a silent misroute. *)
+  handoff : (int, unit) Hashtbl.t;
+  mutable sealed : bool;
+}
+
+let create () = { table = Hashtbl.create 64; handoff = Hashtbl.create 4; sealed = false }
 
 let assign t ~pe ~kernel =
   if t.sealed then invalid_arg "Membership.assign: table is sealed";
@@ -14,11 +24,28 @@ let seal t = t.sealed <- true
 
 let reassign t ~pe ~kernel =
   if not (Hashtbl.mem t.table pe) then raise Not_found;
+  if Hashtbl.mem t.handoff pe then
+    invalid_arg "Membership.reassign: PE is mid-handoff (use complete_handoff)";
   if kernel < 0 then invalid_arg "Membership.reassign: negative kernel";
   Hashtbl.replace t.table pe kernel
+
+let begin_handoff t ~pe =
+  if not (Hashtbl.mem t.table pe) then raise Not_found;
+  if Hashtbl.mem t.handoff pe then invalid_arg "Membership.begin_handoff: PE already mid-handoff";
+  Hashtbl.replace t.handoff pe ()
+
+let complete_handoff t ~pe ~kernel =
+  if not (Hashtbl.mem t.handoff pe) then
+    invalid_arg "Membership.complete_handoff: PE is not mid-handoff";
+  if kernel < 0 then invalid_arg "Membership.complete_handoff: negative kernel";
+  Hashtbl.remove t.handoff pe;
+  Hashtbl.replace t.table pe kernel
+
+let in_handoff t pe = Hashtbl.mem t.handoff pe
 let is_sealed t = t.sealed
 
 let kernel_of_pe t pe =
+  if Hashtbl.mem t.handoff pe then raise (Mid_handoff pe);
   match Hashtbl.find_opt t.table pe with
   | Some k -> k
   | None -> raise Not_found
@@ -35,4 +62,5 @@ let kernels t =
   Hashtbl.fold (fun _ k acc -> if List.mem k acc then acc else k :: acc) t.table []
   |> List.sort Int.compare
 
-let copy t = { table = Hashtbl.copy t.table; sealed = t.sealed }
+let copy t =
+  { table = Hashtbl.copy t.table; handoff = Hashtbl.copy t.handoff; sealed = t.sealed }

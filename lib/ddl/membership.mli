@@ -1,10 +1,29 @@
 (** Membership table: partition (= PE id) to kernel mapping.
 
-    Replicated at every kernel (paper Figure 2). The mapping is static —
-    SemperOS does not support PE migration yet (§3.2), and neither do
-    we; [assign] is only legal before the table is [seal]ed. *)
+    Replicated at every kernel (paper Figure 2). The mapping is built
+    once at boot — [assign] is only legal before the table is [seal]ed —
+    and afterwards changes only through the PE-migration path (paper
+    §3.2: the membership mappings "would have to be updated at all
+    kernels").
+
+    {b Handoff discipline.} A migration moves a PE's capability records
+    between two kernels while other traffic is in flight. Replicas must
+    therefore obey an ordering contract: a replica is [reassign]ed only
+    {e on receipt of} the migration's [Ik_migrate_update] message, never
+    ahead of it. The two kernels actually exchanging the records use the
+    explicit handoff states instead: the source marks the PE with
+    {!begin_handoff} when it freezes the VPE, and the mapping flips with
+    {!complete_handoff} only once the records have really moved. While a
+    PE is mid-handoff, {!kernel_of_pe}/{!kernel_of_key} raise
+    {!Mid_handoff} — a loud failure — rather than returning a kernel
+    that may not hold the records (a silent misroute, which the
+    capability protocols would misinterpret as "already deleted"). *)
 
 type kernel_id = int
+
+(** Raised by lookups that hit a PE whose records are currently in
+    flight between two kernels. Carries the PE id. *)
+exception Mid_handoff of int
 
 type t
 
@@ -18,20 +37,41 @@ val assign : t -> pe:int -> kernel:kernel_id -> unit
 val seal : t -> unit
 
 (** [reassign t ~pe ~kernel] moves an already-assigned PE to another
-    kernel — the PE-migration path (paper §3.2: the membership mappings
-    "would have to be updated at all kernels"). Allowed on sealed
-    tables; raises [Not_found] if the PE was never assigned. *)
+    kernel in one step. This is the form used by replicas that merely
+    {e learn} about a migration (the [Ik_migrate_update] receivers and
+    the system-level replica used for spawn routing) — call it only on
+    receipt of the update, never before. Allowed on sealed tables;
+    raises [Not_found] if the PE was never assigned and
+    [Invalid_argument] if the PE is mid-handoff on this replica (the
+    kernels holding the records must use {!complete_handoff}). *)
 val reassign : t -> pe:int -> kernel:kernel_id -> unit
+
+(** [begin_handoff t ~pe] marks the PE as mid-handoff: the mapping is
+    unchanged but lookups raise {!Mid_handoff} until
+    {!complete_handoff}. Raises [Not_found] for an unassigned PE and
+    [Invalid_argument] if already mid-handoff. *)
+val begin_handoff : t -> pe:int -> unit
+
+(** [complete_handoff t ~pe ~kernel] ends the handoff window and
+    installs the new mapping atomically. Raises [Invalid_argument] if
+    the PE is not mid-handoff. *)
+val complete_handoff : t -> pe:int -> kernel:kernel_id -> unit
+
+(** Is the PE currently mid-handoff on this replica? (Never raises.) *)
+val in_handoff : t -> int -> bool
 
 val is_sealed : t -> bool
 
-(** Raises [Not_found] for an unassigned PE. *)
+(** Raises [Not_found] for an unassigned PE, {!Mid_handoff} for a PE
+    whose records are in flight. *)
 val kernel_of_pe : t -> int -> kernel_id
 
-(** Owner kernel of a DDL key: the kernel of its partition. *)
+(** Owner kernel of a DDL key: the kernel of its partition. Raises like
+    {!kernel_of_pe}. *)
 val kernel_of_key : t -> Key.t -> kernel_id
 
-(** PEs of a kernel's group, ascending. *)
+(** PEs of a kernel's group, ascending. Mid-handoff PEs are still
+    listed under their pre-handoff kernel. *)
 val pes_of_kernel : t -> kernel_id -> int list
 
 (** Number of PEs assigned overall. *)
@@ -40,5 +80,6 @@ val size : t -> int
 (** All kernel ids present, ascending. *)
 val kernels : t -> kernel_id list
 
-(** Independent copy (what each kernel holds). *)
+(** Independent copy (what each kernel holds), including any handoff
+    marks. *)
 val copy : t -> t

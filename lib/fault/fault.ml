@@ -98,7 +98,7 @@ let stats_line t =
 let droppable = function
   | "obtain_req" | "obtain_reply" | "delegate_req" | "delegate_reply" | "delegate_ack"
   | "open_sess_req" | "open_sess_reply" | "revoke_req" | "revoke_reply" | "migrate_update"
-  | "migrate_ack" ->
+  | "migrate_ack" | "migrate_caps" ->
     true
   | _ -> false
 

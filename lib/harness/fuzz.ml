@@ -134,9 +134,55 @@ let run_one ?(spec = default_spec) ~workload_seed ~fault_seed () =
          ignore (System.run sys);
          let v = vpes.(Rng.int rng s.vpes) in
          let dst = Rng.int rng s.kernels in
-         if Vpe.is_alive v && (not v.Vpe.syscall_pending) && dst <> v.Vpe.kernel then begin
+         if
+           Vpe.is_alive v && (not v.Vpe.syscall_pending) && (not v.Vpe.frozen)
+           && dst <> v.Vpe.kernel
+         then begin
            System.migrate_vpe sys v ~to_kernel:dst;
-           incr migrations
+           incr migrations;
+           (* Relocation oracle: with the engine drained, every record in
+              the migrated VPE's partition must live at the destination
+              and none at the source — a lost or misapplied
+              migrate_update/migrate_caps leaves records behind or
+              routes lookups to a kernel that no longer has them. *)
+           let key_pe = Semper_ddl.Key.pe in
+           List.iter
+             (fun k ->
+               let here = ref 0 in
+               Semper_caps.Mapdb.iter
+                 (fun cap ->
+                   if key_pe cap.Semper_caps.Cap.key = v.Vpe.pe then incr here)
+                 (Kernel.mapdb k);
+               if Kernel.id k <> dst && !here > 0 then
+                 failures :=
+                   Printf.sprintf
+                     "relocation: %d records of migrated VPE %d stranded at kernel %d" !here
+                     v.Vpe.id (Kernel.id k)
+                   :: !failures)
+             (System.kernels sys);
+           (* Every membership replica must agree on the new owner, with
+              no handoff mark left behind. *)
+           List.iter
+             (fun k ->
+               match Semper_ddl.Membership.kernel_of_pe (Kernel.membership k) v.Vpe.pe with
+               | owner ->
+                 if owner <> dst then
+                   failures :=
+                     Printf.sprintf
+                       "relocation: kernel %d routes PE %d to kernel %d, expected %d"
+                       (Kernel.id k) v.Vpe.pe owner dst
+                     :: !failures
+               | exception Semper_ddl.Membership.Mid_handoff _ ->
+                 failures :=
+                   Printf.sprintf
+                     "relocation: kernel %d still marks PE %d mid-handoff after drain"
+                     (Kernel.id k) v.Vpe.pe
+                   :: !failures)
+             (System.kernels sys);
+           if v.Vpe.frozen then
+             failures :=
+               Printf.sprintf "relocation: VPE %d still frozen after migration drained" v.Vpe.id
+               :: !failures
          end
        | _ ->
          let v = Rng.int rng s.vpes in

@@ -16,7 +16,18 @@
     - {b safety}: {!Audit.run} reports a consistent global capability
       forest (parent/child symmetry, DDL routing, no orphans);
     - {b teardown}: {!System.shutdown} revokes everything — zero
-      capabilities survive. *)
+      capabilities survive.
+
+    A fourth, {b relocation}, runs after each migration step (the
+    engine is drained around migrations): every capability record in
+    the migrated VPE's key partition must live at the destination
+    kernel and nowhere else, every kernel's membership replica must
+    route the PE to the destination with no mid-handoff mark left, and
+    the VPE must be unfrozen. Because the fault plan may drop or
+    duplicate [migrate_update], [migrate_ack], and [migrate_caps], this
+    oracle is what proves the migration protocol's retransmission and
+    deduplication paths converge: a lost transfer would strand records
+    at the source, a misapplied update would misroute lookups. *)
 
 type spec = {
   kernels : int;

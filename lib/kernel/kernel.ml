@@ -66,6 +66,11 @@ type counters = {
      capabilities. Regression-tested: a wide tree must not make the
      sweep quadratic again. *)
   revoke_sweep_probes : Obs.Registry.counter;
+  (* Syscall-queue depth at the kernel PE, observed on syscall entry
+     and IKC delivery — the balancer's second load sensor besides
+     busy cycles. Piggybacks on existing activity points (like the
+     idempotency-cache eviction) so it adds no engine events. *)
+  queue_depth : Obs.Registry.histogram;
   latencies : (string, Semper_util.Stats.Acc.t) Hashtbl.t;
 }
 
@@ -103,6 +108,10 @@ type pending =
      duplicated reply cannot double-decrement [outstanding]. *)
   | P_revoke_msg of { rop : revoke_op }
   | P_migrate of migrate_op
+  (* Phase 2 of a migration: the capability-record transfer awaiting
+     the destination's install acknowledgement (retransmitted through
+     the regular [register_retry] path). *)
+  | P_migrate_caps of { mc_vpe : Vpe.t; mc_done : unit -> unit }
 
 and migrate_op = {
   m_vpe : Vpe.t;
@@ -208,6 +217,9 @@ let latency_buckets =
 (* Bucket bounds for per-op retransmission counts. *)
 let retry_buckets = [| 0.; 1.; 2.; 3.; 5.; 10.; 20. |]
 
+(* Bucket bounds for the syscall-queue depth at the kernel PE. *)
+let queue_depth_buckets = [| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
+
 let create ?obs ?trace ~engine ~fabric ~grid ~id ~pe ~membership ~cost ~env ~registry ~kernel_count
     () =
   let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
@@ -230,6 +242,10 @@ let create ?obs ?trace ~engine ~fabric ~grid ~id ~pe ~membership ~cost ~env ~reg
       retry_exhausted = cnt "retry_exhausted";
       dup_ikc = cnt "dup_ikc";
       revoke_sweep_probes = cnt "revoke_sweep_probes";
+      queue_depth =
+        Obs.Registry.histogram obs
+          (Printf.sprintf "kernel%d.queue_depth" id)
+          ~buckets:queue_depth_buckets;
       latencies = Hashtbl.create 16;
     }
   in
@@ -272,6 +288,7 @@ let create ?obs ?trace ~engine ~fabric ~grid ~id ~pe ~membership ~cost ~env ~reg
   gauge "occupancy" (fun () ->
       let now = Int64.to_float (Engine.now engine) in
       if now <= 0.0 then 0.0 else Int64.to_float (Server.busy_cycles t.server) /. now);
+  gauge "busy_cycles" (fun () -> Int64.to_float (Server.busy_cycles t.server));
   gauge "threads.size" (fun () -> float_of_int (Thread_pool.size t.threads));
   gauge "threads.in_use" (fun () -> float_of_int (Thread_pool.in_use t.threads));
   gauge "threads.max_in_use" (fun () -> float_of_int (Thread_pool.max_in_use t.threads));
@@ -283,6 +300,14 @@ let pe t = t.pe
 let mapdb t = t.mapdb
 let server t = t.server
 let threads t = t.threads
+let membership t = t.membership
+let queue_depth t = Server.queue_length t.server
+
+(* Sorted by VPE id so callers that pick candidates (the load
+   balancer) never depend on hash-table iteration order. *)
+let local_vpes t =
+  Hashtbl.fold (fun _ v acc -> v :: acc) t.vpes []
+  |> List.sort (fun (a : Vpe.t) (b : Vpe.t) -> Int.compare a.Vpe.id b.Vpe.id)
 
 let stats t : stats =
   let v = Obs.Registry.value in
@@ -338,6 +363,13 @@ let owner_kernel t key = Membership.kernel_of_key t.membership key
 
 let is_local_key t key = owner_kernel t key = t.id
 
+(* Non-raising locality check for bookkeeping that must not trip over
+   a partition whose records are mid-handoff (counted as remote). *)
+let key_surely_local t key =
+  match owner_kernel t key with
+  | owner -> owner = t.id
+  | exception Membership.Mid_handoff _ -> false
+
 let mint_key t ~creator_pe ~creator_vpe ~kind =
   Key.make ~pe:creator_pe ~vpe:creator_vpe ~kind ~obj:(Mapdb.fresh_obj t.mapdb)
 
@@ -358,9 +390,10 @@ let ikc_op : P.ikc -> int = function
   | P.Ik_revoke_req { op; _ }
   | P.Ik_revoke_reply { op; _ }
   | P.Ik_migrate_update { op; _ }
-  | P.Ik_migrate_ack { op } ->
+  | P.Ik_migrate_ack { op }
+  | P.Ik_migrate_caps { op; _ } ->
     op
-  | P.Ik_remove_child _ | P.Ik_migrate_caps _ | P.Ik_srv_announce _ | P.Ik_shutdown _ -> -1
+  | P.Ik_remove_child _ | P.Ik_srv_announce _ | P.Ik_shutdown _ -> -1
 
 (* How long idempotency-cache entries must be kept: once the full retry
    budget plus slack has elapsed, no retransmission of the request (or
@@ -570,6 +603,15 @@ and fail_exhausted_op t op =
       | None -> ())
     | None -> ());
     Thread_pool.release t.threads
+  | Some (P_migrate_caps { mc_vpe; mc_done }) ->
+    (* The destination never confirmed the install: the records are in
+       limbo. Surface it loudly and release the caller — the audit layer
+       will flag the leaked records. *)
+    Hashtbl.remove t.pending_ops op;
+    Log.err (fun m ->
+        m "kernel %d: migrate_caps for VPE %d exhausted retries; records lost" t.id
+          mc_vpe.Vpe.id);
+    mc_done ()
   | Some (P_revoke _ | P_migrate _) ->
     (* Not retried through [register_retry]; nothing to fail. *)
     ()
@@ -670,14 +712,75 @@ and mark_subtree t (op : revoke_op) ~to_send key =
       List.iter
         (fun child_key ->
           op.links_seen <- op.links_seen + 1;
-          if is_local_key t child_key then mark_subtree t op ~to_send child_key
-          else to_send := (owner_kernel t child_key, child_key) :: !to_send)
+          match owner_kernel t child_key with
+          | owner when owner = t.id -> mark_subtree t op ~to_send child_key
+          | owner -> to_send := (owner, child_key) :: !to_send
+          | exception Membership.Mid_handoff _ -> defer_revoke_child t op child_key)
         cap.Cap.children)
 
 (* A remote reply (or an overlapping operation we waited on) came in. *)
 and revoke_release t (op : revoke_op) =
   op.outstanding <- op.outstanding - 1;
   if op.outstanding = 0 then complete_revoke t op
+
+(* A child key's partition is mid-handoff: its records are in flight
+   between kernels, so neither marking locally nor sending the revoke
+   request can reach them yet. Hold the operation open (one outstanding
+   unit) and re-resolve once the handoff completes — handoffs finish in
+   bounded time because the migrate transfer itself is op-tagged and
+   retried. [root_unlink] carries the surviving root of a children-only
+   revoke, recorded only if the child ends up remote (local children
+   are unlinked by the sweep). *)
+and defer_revoke_child t (op : revoke_op) ?root_unlink child_key =
+  op.outstanding <- op.outstanding + 1;
+  let rec retry () =
+    match owner_kernel t child_key with
+    | exception Membership.Mid_handoff _ -> Engine.after t.engine 200L retry
+    | owner when owner = t.id ->
+      (* The records landed here (this kernel was the handoff
+         destination): mark the subtree like any other local branch,
+         forwarding children it reveals on other kernels. *)
+      job t (fun () ->
+          let before = List.length op.marked in
+          let to_send = ref [] in
+          mark_subtree t op ~to_send child_key;
+          let visited = List.length op.marked - before in
+          let messages = List.rev_map (fun (dst, key) -> (dst, [ key ])) !to_send in
+          op.outstanding <- op.outstanding + List.length messages;
+          let cost =
+            Int64.add
+              (Int64.mul (Int64.of_int (List.length messages)) (c t).Cost.revoke_send)
+              (Int64.add
+                 (Int64.mul (Int64.of_int visited) (c t).Cost.revoke_per_cap)
+                 (Cost.ddl (c t) visited))
+          in
+          ( cost,
+            fun () ->
+              List.iter
+                (fun (dst, keys) ->
+                  let msg_op = fresh_op t in
+                  Hashtbl.add t.pending_ops msg_op (P_revoke_msg { rop = op });
+                  let msg = P.Ik_revoke_req { op = msg_op; src_kernel = t.id; keys } in
+                  ikc_send t ~dst msg;
+                  register_retry t msg_op ~dst msg)
+                messages;
+              revoke_release t op ))
+    | owner ->
+      (* Resolved to another kernel: the outstanding unit held for the
+         deferral now stands for this request's reply. *)
+      (match root_unlink with
+      | Some root -> op.root_unlinks <- (root, child_key) :: op.root_unlinks
+      | None -> ());
+      job t (fun () ->
+          ( (c t).Cost.revoke_send,
+            fun () ->
+              let msg_op = fresh_op t in
+              Hashtbl.add t.pending_ops msg_op (P_revoke_msg { rop = op });
+              let msg = P.Ik_revoke_req { op = msg_op; src_kernel = t.id; keys = [ child_key ] } in
+              ikc_send t ~dst:owner msg;
+              register_retry t msg_op ~dst:owner msg ))
+  in
+  Engine.after t.engine 200L retry
 
 (* Phase 2: all outstanding replies drained — delete the marked region,
    unlink it from surviving parents, acknowledge. *)
@@ -798,13 +901,15 @@ and start_revoke t ~origin ~roots ~own ~base_cost =
               List.iter
                 (fun child_key ->
                   op.links_seen <- op.links_seen + 1;
-                  if is_local_key t child_key then mark_subtree t op ~to_send child_key
-                  else begin
+                  match owner_kernel t child_key with
+                  | owner when owner = t.id -> mark_subtree t op ~to_send child_key
+                  | owner ->
                     (* The root survives this revoke, so the remote
                        child must be unlinked from it at completion. *)
                     op.root_unlinks <- (root, child_key) :: op.root_unlinks;
-                    to_send := (owner_kernel t child_key, child_key) :: !to_send
-                  end)
+                    to_send := (owner, child_key) :: !to_send
+                  | exception Membership.Mid_handoff _ ->
+                    defer_revoke_child t op ~root_unlink:root child_key)
                 cap.Cap.children)
         roots;
       (* One revoke request per remote child — or, with batching
@@ -1218,7 +1323,7 @@ and handle_syscall t (vpe : Vpe.t) (call : P.syscall) =
         | Error e -> (dispatch, fun () -> finish_syscall t vpe (P.R_err e))
         | Ok cap -> (
           let spanning =
-            List.exists (fun k -> not (is_local_key t k)) cap.Cap.children
+            List.exists (fun k -> not (key_surely_local t k)) cap.Cap.children
           in
           if spanning then Obs.Registry.incr t.ctr.revokes_spanning
           else Obs.Registry.incr t.ctr.revokes_local;
@@ -1233,7 +1338,7 @@ and handle_syscall t (vpe : Vpe.t) (call : P.syscall) =
                   other.on_complete <- (fun () -> finish_syscall t vpe P.R_ok) :: other.on_complete )
             | Some
                 ( P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_revoke_msg _
-                | P_migrate _ )
+                | P_migrate _ | P_migrate_caps _ )
             | None ->
               (dispatch, fun () -> finish_syscall t vpe P.R_ok))
           | Cap.Alive ->
@@ -1315,6 +1420,7 @@ and local_delegate t ~(client : Vpe.t) ~src_key ~(recv : Vpe.t) =
 
 and deliver_ikc t ~src_kernel (ikc : P.ikc) =
   evict_expired t;
+  Obs.Registry.observe t.ctr.queue_depth (float_of_int (Server.queue_length t.server));
   Obs.Registry.incr t.ctr.ikc_received;
   trace_event t ~kind:"ikc_recv" ~op:(ikc_op ikc) ~src:src_kernel ~dst:t.id
     ~detail:(P.ikc_name ikc) ();
@@ -1398,7 +1504,9 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
               clear_retry t op;
               revoke_release t rop
             | Some (P_revoke rop) -> revoke_release t rop
-            | Some (P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_migrate _)
+            | Some
+                ( P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_migrate _
+                | P_migrate_caps _ )
             | None ->
               (* Redelivered reply for a message op already retired. *)
               Obs.Registry.incr t.ctr.dup_ikc) ))
@@ -1411,13 +1519,28 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
             | Some parent -> Cap.remove_child parent child_key
             | None -> ()) ))
   | P.Ik_migrate_update { op; src_kernel = origin; pe; new_kernel } ->
-    job t (fun () ->
-        ( 200L,
-          fun () ->
-            return_credit t ~src_kernel;
-            (* Update this kernel's replica of the membership table. *)
-            Membership.reassign t.membership ~pe ~kernel:new_kernel;
-            ikc_send t ~dst:origin (P.Ik_migrate_ack { op }) ))
+    if remote_dup t ~src_kernel ~op then ()
+    else
+      job t (fun () ->
+          ( 200L,
+            fun () ->
+              return_credit t ~src_kernel;
+              (* Update this kernel's replica of the membership table. The
+                 destination kernel marks the PE mid-handoff instead of
+                 reassigning: it must not route lookups to itself until the
+                 capability records actually arrive (Ik_migrate_caps). The
+                 guards keep a redelivered update idempotent. *)
+              if new_kernel = t.id then begin
+                if
+                  (not (Membership.in_handoff t.membership pe))
+                  && (try Membership.kernel_of_pe t.membership pe <> t.id
+                      with Not_found -> false)
+                then Membership.begin_handoff t.membership ~pe
+              end
+              else if Membership.in_handoff t.membership pe then
+                Membership.complete_handoff t.membership ~pe ~kernel:new_kernel
+              else Membership.reassign t.membership ~pe ~kernel:new_kernel;
+              finish_remote t ~op ~dst:origin (P.Ik_migrate_ack { op }) ))
   | P.Ik_migrate_ack { op } ->
     job t (fun () ->
         ( 100L,
@@ -1437,38 +1560,56 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
                 end
               end
               else Obs.Registry.incr t.ctr.dup_ikc
+            | Some (P_migrate_caps { mc_done; _ }) ->
+              (* The destination installed the transferred records. *)
+              Hashtbl.remove t.pending_ops op;
+              clear_retry t op;
+              mc_done ()
             | Some
                 ( P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_revoke _
                 | P_revoke_msg _ )
             | None ->
               (* Redelivered ack after the migration completed. *)
               Obs.Registry.incr t.ctr.dup_ikc) ))
-  | P.Ik_migrate_caps { src_kernel = _; vpe = vid; records } ->
-    job t (fun () ->
-        (* Installing the transferred records costs time proportional to
-           their number. *)
-        ( Int64.mul (Int64.of_int (List.length records)) 150L,
-          fun () ->
-            return_credit t ~src_kernel;
-            List.iter
-              (fun (r : P.migrated_cap) ->
-                let cap =
-                  Cap.make ~key:r.P.m_key ~kind:r.P.m_kind ~owner_vpe:r.P.m_owner
-                    ?parent:r.P.m_parent ()
-                in
-                cap.Cap.children <- r.P.m_children;
-                (* Future keys minted here must not collide with object
-                   ids allocated by the previous owning kernel. *)
-                Mapdb.bump_obj t.mapdb (Key.obj r.P.m_key);
-                Mapdb.insert t.mapdb cap)
-              records;
-            (* The VPE is ours now. *)
-            (match t.env.locate_vpe vid with
-            | Some vpe ->
-              Hashtbl.replace t.vpes vid vpe;
-              Thread_pool.add_vpe_thread t.threads;
-              vpe.Vpe.syscall_pending <- false (* unfreeze *)
-            | None -> Log.err (fun m -> m "kernel %d: migrated VPE %d unknown" t.id vid)) ))
+  | P.Ik_migrate_caps { op; src_kernel = origin; vpe = vid; records } ->
+    if remote_dup t ~src_kernel ~op then ()
+    else
+      job t (fun () ->
+          (* Installing the transferred records costs time proportional to
+             their number. *)
+          ( Int64.mul (Int64.of_int (List.length records)) 150L,
+            fun () ->
+              return_credit t ~src_kernel;
+              List.iter
+                (fun (r : P.migrated_cap) ->
+                  let cap =
+                    Cap.make ~key:r.P.m_key ~kind:r.P.m_kind ~owner_vpe:r.P.m_owner
+                      ?parent:r.P.m_parent ()
+                  in
+                  cap.Cap.children <- r.P.m_children;
+                  (* Future keys minted here must not collide with object
+                     ids allocated by the previous owning kernel. *)
+                  Mapdb.bump_obj t.mapdb (Key.obj r.P.m_key);
+                  Mapdb.insert t.mapdb cap)
+                records;
+              (* The VPE is ours now. *)
+              (match t.env.locate_vpe vid with
+              | Some vpe ->
+                Hashtbl.replace t.vpes vid vpe;
+                Thread_pool.add_vpe_thread t.threads;
+                (* Only now can lookups route to this kernel: clear the
+                   mid-handoff mark set when the membership update arrived.
+                   (Tests deliver this IKC directly, without a preceding
+                   update, so fall back to a plain reassign.) *)
+                (if Membership.in_handoff t.membership vpe.Vpe.pe then
+                   Membership.complete_handoff t.membership ~pe:vpe.Vpe.pe ~kernel:t.id
+                 else if
+                   try Membership.kernel_of_pe t.membership vpe.Vpe.pe <> t.id
+                   with Not_found -> true
+                 then Membership.reassign t.membership ~pe:vpe.Vpe.pe ~kernel:t.id);
+                vpe.Vpe.frozen <- false (* unfreeze *)
+              | None -> Log.err (fun m -> m "kernel %d: migrated VPE %d unknown" t.id vid));
+              finish_remote t ~op ~dst:origin (P.Ik_migrate_ack { op }) ))
   | P.Ik_srv_announce { name; srv_key; kernel = _ } ->
     job t (fun () ->
         ( 100L,
@@ -1551,7 +1692,7 @@ and handle_obtain_reply t ~op ~result =
       end)
   | Some
       ( P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_revoke _ | P_revoke_msg _
-      | P_migrate _ )
+      | P_migrate _ | P_migrate_caps _ )
   | None ->
     (* Redelivered reply: the obtain already completed. *)
     Obs.Registry.incr t.ctr.dup_ikc;
@@ -1641,7 +1782,7 @@ and handle_delegate_reply t ~op ~result =
         send_ack false child_key;
         finish_syscall t client (P.R_err P.E_in_revocation)))
   | Some
-      ( P_obtain _ | P_delegate_dst _ | P_open_sess _ | P_revoke _ | P_revoke_msg _ | P_migrate _ )
+      ( P_obtain _ | P_delegate_dst _ | P_open_sess _ | P_revoke _ | P_revoke_msg _ | P_migrate _ | P_migrate_caps _ )
   | None -> (
     (* Redelivered reply after the handshake completed here: re-send
        the cached ack in case the original ack was lost. *)
@@ -1686,7 +1827,7 @@ and handle_delegate_ack t ~op ~child_key ~commit =
     (* Handshake over: release the thread held since the request. *)
     Thread_pool.release t.threads)
   | Some
-      ( P_obtain _ | P_delegate_src _ | P_open_sess _ | P_revoke _ | P_revoke_msg _ | P_migrate _ )
+      ( P_obtain _ | P_delegate_src _ | P_open_sess _ | P_revoke _ | P_revoke_msg _ | P_migrate _ | P_migrate_caps _ )
   | None ->
     (* Redelivered ack: the handshake already completed and its thread
        was already released — releasing again would corrupt the pool. *)
@@ -1735,7 +1876,7 @@ and handle_open_sess_reply t ~op ~result =
       end)
   | Some
       ( P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_revoke _ | P_revoke_msg _
-      | P_migrate _ )
+      | P_migrate _ | P_migrate_caps _ )
   | None ->
     (* Redelivered reply: the session open already completed. *)
     Obs.Registry.incr t.ctr.dup_ikc;
@@ -1766,12 +1907,21 @@ and migrate_transfer t ~(vpe : Vpe.t) ~dst ~done_k =
       Hashtbl.remove t.vpes vpe.Vpe.id;
       Thread_pool.remove_vpe_thread t.threads;
       vpe.Vpe.kernel <- dst;
+      (* The records are gone from this kernel: our own replica may now
+         route the PE to its new owner. *)
+      Membership.complete_handoff t.membership ~pe:vpe.Vpe.pe ~kernel:dst;
       ( Int64.mul (Int64.of_int (List.length records)) 150L,
         fun () ->
           trace_event t ~kind:"migrate_transfer" ~src:t.id ~dst
             ~detail:(Printf.sprintf "vpe%d caps=%d" vpe.Vpe.id (List.length records)) ();
-          ikc_send t ~dst (P.Ik_migrate_caps { src_kernel = t.id; vpe = vpe.Vpe.id; records });
-          done_k () ))
+          let op = fresh_op t in
+          Hashtbl.add t.pending_ops op (P_migrate_caps { mc_vpe = vpe; mc_done = done_k });
+          let msg = P.Ik_migrate_caps { op; src_kernel = t.id; vpe = vpe.Vpe.id; records } in
+          ikc_send t ~dst msg;
+          (* The transfer is retransmitted until the destination acks the
+             install — a lost Ik_migrate_caps would otherwise leak every
+             record of the VPE. [done_k] fires on that ack. *)
+          register_retry t op ~dst msg ))
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -1781,6 +1931,7 @@ let syscall t ~vpe call k =
   else if vpe.Vpe.syscall_pending then Engine.after t.engine 0L (fun () -> k (P.R_err P.E_busy))
   else begin
     evict_expired t;
+    Obs.Registry.observe t.ctr.queue_depth (float_of_int (Server.queue_length t.server));
     vpe.Vpe.syscall_pending <- true;
     vpe.Vpe.reply_k <- Some k;
     vpe.Vpe.syscall_name <- P.syscall_name call;
@@ -1827,9 +1978,13 @@ let migrate_vpe t ~(vpe : Vpe.t) ~dst done_k =
   if not (Hashtbl.mem t.registry dst) then invalid_arg "Kernel.migrate_vpe: no such kernel";
   if not (Vpe.is_alive vpe) then invalid_arg "Kernel.migrate_vpe: VPE is dead";
   if vpe.Vpe.syscall_pending then invalid_arg "Kernel.migrate_vpe: VPE has a syscall in flight";
-  (* Freeze: reject syscalls while records are in flight. *)
-  vpe.Vpe.syscall_pending <- true;
-  Membership.reassign t.membership ~pe:vpe.Vpe.pe ~kernel:dst;
+  if vpe.Vpe.frozen then invalid_arg "Kernel.migrate_vpe: VPE is already migrating";
+  (* Freeze: syscalls are held at System level while records are in
+     flight. The source replica marks the PE mid-handoff rather than
+     reassigning — lookups that race the transfer fail loudly instead of
+     misrouting (the records are still here until [migrate_transfer]). *)
+  vpe.Vpe.frozen <- true;
+  Membership.begin_handoff t.membership ~pe:vpe.Vpe.pe;
   trace_event t ~kind:"migrate_start" ~src:t.id ~dst
     ~detail:(Printf.sprintf "vpe%d" vpe.Vpe.id) ();
   let peers = Hashtbl.fold (fun kid _ acc -> if kid <> t.id then kid :: acc else acc) t.registry [] in
@@ -1893,6 +2048,10 @@ let check_invariants t =
         err "cap %s still marked while system is idle" (Key.to_string cap.Cap.key))
     t.mapdb;
   Hashtbl.iter (fun op _ -> err "pending operation %d while system is idle" op) t.pending_ops;
+  Hashtbl.iter
+    (fun vid (vpe : Vpe.t) ->
+      if vpe.Vpe.frozen then err "VPE %d still frozen while system is idle" vid)
+    t.vpes;
   Hashtbl.iter
     (fun vid (vpe : Vpe.t) ->
       Capspace.iter

@@ -82,6 +82,16 @@ val server : t -> Semper_sim.Server.t
 val threads : t -> Thread_pool.t
 val stats : t -> stats
 
+(** This kernel's replica of the PE→kernel membership table. *)
+val membership : t -> Semper_ddl.Membership.t
+
+(** Instantaneous syscall/IKC queue depth at the kernel PE. *)
+val queue_depth : t -> int
+
+(** VPEs currently managed by this kernel, sorted by VPE id (so
+    candidate selection never depends on hash-table iteration order). *)
+val local_vpes : t -> Vpe.t list
+
 (** The metrics registry this kernel reports into. *)
 val obs : t -> Semper_obs.Obs.Registry.t
 
@@ -135,13 +145,16 @@ val install_new_cap :
   unit ->
   Protocol.selector * Key.t
 
-(** PE migration (the paper's named future work, §3.2): freeze the
-    VPE, broadcast the membership update to every kernel, then transfer
-    its capability records to [dst]. The system must be quiescent with
-    respect to this VPE (no in-flight operations touching its
-    capabilities); use {!System.migrate_vpe}, which enforces that.
-    [done_k] runs at the initiating kernel once the records have been
-    handed off. *)
+(** PE migration (the paper's named future work, §3.2): freeze the VPE
+    ([Vpe.frozen]), mark its PE mid-handoff in the local membership
+    replica, broadcast the membership update to every kernel, then
+    transfer its capability records to [dst] (op-tagged and
+    retransmitted until the destination acks the install). The system
+    must be quiescent with respect to this VPE (no in-flight operations
+    touching its capabilities) — {!System.migrate_vpe} enforces that for
+    tests, and the load balancer's candidate gate enforces it for live
+    workloads. [done_k] runs at the initiating kernel once the
+    destination has acknowledged the records. *)
 val migrate_vpe : t -> vpe:Vpe.t -> dst:int -> (unit -> unit) -> unit
 
 (** Run the mapping-database consistency check plus kernel-level

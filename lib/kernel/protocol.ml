@@ -124,7 +124,7 @@ type ikc =
   | Ik_remove_child of { parent_key : Key.t; child_key : Key.t }
   | Ik_migrate_update of { op : int; src_kernel : int; pe : int; new_kernel : int }
   | Ik_migrate_ack of { op : int }
-  | Ik_migrate_caps of { src_kernel : int; vpe : int; records : migrated_cap list }
+  | Ik_migrate_caps of { op : int; src_kernel : int; vpe : int; records : migrated_cap list }
   | Ik_srv_announce of { name : string; srv_key : Key.t; kernel : int }
   | Ik_shutdown of { src_kernel : int }
 

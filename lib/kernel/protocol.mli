@@ -128,11 +128,17 @@ type ikc =
   | Ik_migrate_update of { op : int; src_kernel : int; pe : int; new_kernel : int }
       (** membership-table update broadcast for a migrating PE *)
   | Ik_migrate_ack of { op : int }
+      (** acknowledges both {!Ik_migrate_update} (per peer) and
+          {!Ik_migrate_caps} (from the destination, once installed) *)
   | Ik_migrate_caps of {
+      op : int;
       src_kernel : int;
       vpe : int;
       records : migrated_cap list;
-    }  (** capability-record transfer to the new owning kernel *)
+    }
+      (** capability-record transfer to the new owning kernel;
+          op-tagged so it is retransmitted on loss and deduplicated on
+          redelivery like every other request/reply pair *)
   | Ik_srv_announce of { name : string; srv_key : Key.t; kernel : int }
   | Ik_shutdown of { src_kernel : int }
 

@@ -192,7 +192,14 @@ let spawn_vpe ?pe t ~kernel:kid =
   in
   register_vpe t ~pe ~kernel:kid
 
-let syscall t vpe call k = Kernel.syscall (kernel t vpe.Vpe.kernel) ~vpe call k
+(* A frozen VPE has its capability records in flight between kernels:
+   hold the syscall and re-dispatch once the destination has installed
+   them. Re-reads [vpe.kernel] on every attempt so the retry lands at
+   the new owner. *)
+let rec syscall t vpe call k =
+  if vpe.Vpe.frozen && Vpe.is_alive vpe then
+    Engine.after t.engine 200L (fun () -> syscall t vpe call k)
+  else Kernel.syscall (kernel t vpe.Vpe.kernel) ~vpe call k
 
 let run ?until t = Engine.run ?until t.engine
 

@@ -7,6 +7,9 @@ type t = {
   capspace : Semper_caps.Capspace.t;
   mutable state : state;
   mutable syscall_pending : bool;
+  (* Set while a PE migration has this VPE's capability records in
+     flight between kernels; syscalls must be held until it clears. *)
+  mutable frozen : bool;
   mutable reply_k : (Protocol.reply -> unit) option;
   mutable syscall_name : string;
   mutable syscall_start : int64;
@@ -23,6 +26,7 @@ let make ~id ~pe ~kernel =
     capspace = Semper_caps.Capspace.create ();
     state = Running;
     syscall_pending = false;
+    frozen = false;
     reply_k = None;
     syscall_name = "";
     syscall_start = 0L;

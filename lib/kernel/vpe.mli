@@ -11,6 +11,11 @@ type t = {
   capspace : Semper_caps.Capspace.t;
   mutable state : state;
   mutable syscall_pending : bool;
+  mutable frozen : bool;
+      (** a PE migration has this VPE's capability records in flight
+          between kernels; cleared when the destination installs them.
+          {!System.syscall} holds (and later re-dispatches) syscalls
+          issued while frozen *)
   mutable reply_k : (Protocol.reply -> unit) option;
       (** continuation of the in-flight syscall, run on reply delivery *)
   mutable syscall_name : string;   (** name of the in-flight syscall *)

@@ -1,0 +1,53 @@
+(* Smoke gate for the load balancer, run from the [balance-smoke] dune
+   alias (hooked into [dune runtest]). Runs the smoke preset of the
+   skewed-workload benchmark end to end and asserts the contract the
+   balancer must keep — strict improvement on both metrics, a clean
+   capability audit, and a well-shaped JSON report — without pinning
+   any host-dependent number. *)
+
+open Semperos
+
+let failed = ref false
+
+let check name ok =
+  if not ok then begin
+    failed := true;
+    Printf.printf "FAILED: %s\n" name
+  end
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let () =
+  let cfg = { Skew.default_config with Skew.clients = 4; rounds = 10; pes_per_kernel = 6 } in
+  let static = Skew.run { cfg with Skew.policy = Balance.Policy.Static } in
+  let balanced = Skew.run cfg in
+  check "static: audit clean" (static.Skew.audit_errors = []);
+  check "static: no migrations" (static.Skew.migrations = []);
+  check "balanced: audit clean" (balanced.Skew.audit_errors = []);
+  check "balanced: migrations happened" (balanced.Skew.migrations <> []);
+  check "balanced: max occupancy strictly reduced"
+    (balanced.Skew.max_occupancy < static.Skew.max_occupancy);
+  check "balanced: completion strictly reduced"
+    (balanced.Skew.completion < static.Skew.completion);
+  (* The written report must be valid JSON naming its schema. *)
+  let path = Filename.temp_file "balance_smoke" ".json" in
+  Skew.bench ~preset:Skew.Smoke ~path ();
+  let ic = open_in path in
+  let doc = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  (match Obs.Json.parse doc with
+  | Ok _ -> ()
+  | Error e -> check (Printf.sprintf "report is valid JSON (%s)" e) false);
+  check "report names the schema" (contains doc "\"schema\":\"semperos-balance-1\"");
+  List.iter
+    (fun key -> check (Printf.sprintf "report has %s" key) (contains doc key))
+    [
+      "\"static\""; "\"balanced\""; "\"completion_cycles\""; "\"max_occupancy\"";
+      "\"sequence\""; "\"completion_speedup\"";
+    ];
+  if !failed then exit 1;
+  print_endline "balance-smoke: OK"

@@ -443,6 +443,80 @@ let prop_protocol_soak =
       ignore (System.run sys);
       (Audit.run sys).Audit.errors = [])
 
+(* ------------------------------------------------------------------ *)
+(* Membership handoff: while a PE's records are in flight between two
+   kernels, lookups must fail loudly instead of silently misrouting.   *)
+
+let test_membership_handoff_states () =
+  let m = Membership.create () in
+  Membership.assign m ~pe:3 ~kernel:0;
+  Membership.assign m ~pe:4 ~kernel:1;
+  Membership.begin_handoff m ~pe:3;
+  check Alcotest.bool "marked" true (Membership.in_handoff m 3);
+  (match Membership.kernel_of_pe m 3 with
+  | _ -> Alcotest.fail "kernel_of_pe answered for a mid-handoff PE"
+  | exception Membership.Mid_handoff pe -> check Alcotest.int "raises with the PE" 3 pe);
+  (* kernel_of_key goes through the same guard. *)
+  let key = Key.make ~pe:3 ~vpe:0 ~kind:Key.Mem_obj ~obj:7 in
+  (match Membership.kernel_of_key m key with
+  | _ -> Alcotest.fail "kernel_of_key answered for a mid-handoff PE"
+  | exception Membership.Mid_handoff _ -> ());
+  (* Unmarked PEs are unaffected. *)
+  check Alcotest.int "other PE still routes" 1 (Membership.kernel_of_pe m 4);
+  (* Plain reassign must refuse: it would erase the in-flight state. *)
+  (match Membership.reassign m ~pe:3 ~kernel:1 with
+  | () -> Alcotest.fail "reassign succeeded on a mid-handoff PE"
+  | exception Invalid_argument _ -> ());
+  (match Membership.begin_handoff m ~pe:3 with
+  | () -> Alcotest.fail "double begin_handoff succeeded"
+  | exception Invalid_argument _ -> ());
+  Membership.complete_handoff m ~pe:3 ~kernel:1;
+  check Alcotest.bool "mark cleared" false (Membership.in_handoff m 3);
+  check Alcotest.int "routes to new kernel" 1 (Membership.kernel_of_pe m 3);
+  (match Membership.complete_handoff m ~pe:3 ~kernel:0 with
+  | () -> Alcotest.fail "complete_handoff succeeded without a mark"
+  | exception Invalid_argument _ -> ())
+
+let test_migration_midhandoff_window () =
+  let sys = make ~kernels:3 ~pes:4 () in
+  let v = System.spawn_vpe sys ~kernel:0 in
+  let sel = alloc sys v in
+  let k0 = System.kernel sys 0 in
+  (* Start the migration by hand, without draining the engine: the
+     source replica must mark the PE the moment the handoff begins. *)
+  let finished = ref false in
+  Membership.reassign (System.membership sys) ~pe:v.Vpe.pe ~kernel:1;
+  Kernel.migrate_vpe k0 ~vpe:v ~dst:1 (fun () -> finished := true);
+  check Alcotest.bool "source marks mid-handoff" true
+    (Membership.in_handoff (Kernel.membership k0) v.Vpe.pe);
+  check Alcotest.bool "VPE frozen" true v.Vpe.frozen;
+  (match Membership.kernel_of_pe (Kernel.membership k0) v.Vpe.pe with
+  | k -> Alcotest.failf "mid-handoff lookup answered %d instead of raising" k
+  | exception Membership.Mid_handoff _ -> ());
+  (* A syscall issued during the window is held and re-dispatched, not
+     failed: it must complete once the migration drains. *)
+  let reply = ref None in
+  System.syscall sys v (Protocol.Sys_revoke { sel; own = true }) (fun r -> reply := Some r);
+  ignore (System.run sys);
+  check Alcotest.bool "migration completed" true !finished;
+  check Alcotest.bool "VPE unfrozen" false v.Vpe.frozen;
+  check (Alcotest.option reply_t) "held syscall completed" (Some Protocol.R_ok) !reply;
+  check Alcotest.bool "destination manages the VPE" true
+    (Kernel.find_vpe (System.kernel sys 1) v.Vpe.id <> None);
+  List.iter
+    (fun k ->
+      check Alcotest.bool
+        (Printf.sprintf "kernel %d mark cleared" (Kernel.id k))
+        false
+        (Membership.in_handoff (Kernel.membership k) v.Vpe.pe);
+      check Alcotest.int
+        (Printf.sprintf "kernel %d routes to destination" (Kernel.id k))
+        1
+        (Membership.kernel_of_pe (Kernel.membership k) v.Vpe.pe))
+    (System.kernels sys);
+  assert_clean sys;
+  check Alcotest.(list string) "audit clean" [] (Audit.run sys).Audit.errors
+
 let suite =
   [
     Alcotest.test_case "local obtain" `Quick test_local_obtain;
@@ -469,5 +543,7 @@ let suite =
     Alcotest.test_case "credit stalls resolve" `Quick test_credit_stalls_resolve;
     Alcotest.test_case "M3 mode cheaper" `Quick test_m3_mode_cheaper;
     Alcotest.test_case "batching ablation equivalent" `Quick test_batching_equivalent_result;
+    Alcotest.test_case "membership handoff states" `Quick test_membership_handoff_states;
+    Alcotest.test_case "migration mid-handoff window" `Quick test_migration_midhandoff_window;
     qcheck prop_protocol_soak;
   ]

@@ -14,6 +14,7 @@ let () =
       ("fault", Test_fault.suite);
       ("channels", Test_channels.suite);
       ("migration", Test_migration.suite);
+      ("balance", Test_balance.suite);
       ("system", Test_system.suite);
       ("m3fs", Test_m3fs.suite);
       ("trace", Test_trace.suite);

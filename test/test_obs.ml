@@ -179,6 +179,32 @@ let test_trace_records_protocol () =
     (fun kind -> check Alcotest.bool kind true (has kind))
     [ "syscall_enter"; "syscall_exit"; "ikc_send"; "ikc_recv"; "revoke_mark"; "revoke_sweep" ]
 
+(* The load balancer's occupancy inputs must be exported for every
+   kernel unconditionally — `semperos_cli stats` shows them whether or
+   not a balancer is attached. *)
+let test_occupancy_instruments_exported () =
+  let sys = System.create (System.config ~kernels:2 ~user_pes_per_kernel:3 ()) in
+  let v = System.spawn_vpe sys ~kernel:0 in
+  ignore (System.syscall_sync sys v (Protocol.Sys_alloc_mem { size = 64L; perms = Perms.rw }));
+  let names = Obs.Registry.names (System.obs sys) in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun instr ->
+          let name = Printf.sprintf "kernel%d.%s" k instr in
+          check Alcotest.bool (name ^ " registered") true (List.mem name names))
+        [ "busy_cycles"; "queue_depth"; "occupancy" ])
+    [ 0; 1 ];
+  (* And they appear in the snapshot JSON with the right shape. *)
+  let snap = Obs.Json.to_string (Obs.Registry.snapshot (System.obs sys)) in
+  (match Obs.Json.parse snap with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "snapshot invalid JSON: %s" e);
+  check Alcotest.bool "busy_cycles is a gauge" true
+    (contains snap "\"kernel0.busy_cycles\":{\"type\":\"gauge\"");
+  check Alcotest.bool "queue_depth is a histogram" true
+    (contains snap "\"kernel0.queue_depth\":{\"type\":\"histogram\"")
+
 let suite =
   [
     Alcotest.test_case "json escaping" `Quick test_json_escaping;
@@ -194,4 +220,5 @@ let suite =
     Alcotest.test_case "trace JSONL" `Quick test_trace_jsonl;
     Alcotest.test_case "snapshot determinism" `Quick test_snapshot_determinism;
     Alcotest.test_case "trace records protocol spans" `Quick test_trace_records_protocol;
+    Alcotest.test_case "occupancy instruments exported" `Quick test_occupancy_instruments_exported;
   ]
