@@ -6,6 +6,9 @@
    semperos_cli run     — run an application workload at scale
    semperos_cli nginx   — run the webserver benchmark
    semperos_cli fuzz    — fuzz the capability protocols under faults
+   semperos_cli record  — run a figure experiment with periodic checkpoints
+   semperos_cli replay  — resume a recorded figure run from a checkpoint
+   semperos_cli shrink  — minimise a failing fuzz case by delta debugging
    semperos_cli bench   — wall-clock throughput of the simulator itself
    semperos_cli stats   — run a workload, dump the metrics registry as JSON
    semperos_cli trace   — run a workload, dump the protocol trace as JSONL *)
@@ -428,6 +431,152 @@ let fuzz_cmd =
     Term.(const run $ wseed $ fseed $ runs $ kernels $ vpes $ ops $ no_delay $ no_dup $ no_drop
           $ no_stall $ no_retry $ verbose $ jobs_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Recorded figure runs: record / replay / shrink.
+
+   [record] runs a figure sweep with periodic result-prefix checkpoints
+   in a directory; [replay --from N] resumes from the nearest checkpoint
+   and must print bytes identical to the recording (the resume note goes
+   to stderr, keeping stdout comparable). *)
+
+let figure_arg =
+  let parse s =
+    match Figures.find s with
+    | Some f -> Ok f
+    | None ->
+      Error
+        (`Msg
+          (Fmt.str "unknown figure %S (expected one of: %s)" s
+             (String.concat ", " (List.map (fun f -> f.Figures.name) Figures.all))))
+  in
+  Arg.conv (parse, fun ppf f -> Fmt.string ppf f.Figures.name)
+
+let dir_arg =
+  Arg.(required & opt (some string) None & info [ "dir"; "d" ] ~docv:"DIR"
+       ~doc:"Recording directory (manifest plus ckpt-<n>.img images).")
+
+let json_out_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+       ~doc:"Also write the figure's JSON to FILE.")
+
+let emit_output out (o : Figures.output) =
+  print_string o.Figures.text;
+  match out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Obs.Json.to_string o.Figures.json);
+    output_char oc '\n';
+    close_out oc
+
+let record_cmd =
+  let run fig smoke every dir out jobs =
+    if every < 1 then begin
+      Fmt.epr "error: --every must be >= 1@.";
+      exit 2
+    end;
+    let preset = if smoke then Figures.Smoke else Figures.Full in
+    emit_output out (Record.record ~jobs ~every ~dir fig preset)
+  in
+  let fig =
+    Arg.(required & pos 0 (some figure_arg) None & info [] ~docv:"FIGURE"
+         ~doc:"Figure to record (fig4 or fig6).")
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"Record the scaled-down preset (seconds).")
+  in
+  let every =
+    Arg.(value & opt int 4 & info [ "every" ] ~docv:"N"
+         ~doc:"Checkpoint after every N completed points.")
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Run a figure experiment with periodic checkpoints, so an interrupted run can be \
+          resumed with $(b,replay). Prints the figure; checkpoints and the manifest go to \
+          $(b,--dir).")
+    Term.(const run $ fig $ smoke $ every $ dir_arg $ json_out_arg $ jobs_arg)
+
+let replay_cmd =
+  let run dir from_ out jobs =
+    match Record.replay ~jobs ~dir ~from_ () with
+    | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+    | Ok (resumed_at, o) ->
+      Fmt.epr "resumed from checkpoint at point %d@." resumed_at;
+      emit_output out o
+  in
+  let from_ =
+    Arg.(value & opt int max_int & info [ "from" ] ~docv:"N"
+         ~doc:"Resume from the nearest checkpoint at or below point N (default: the latest).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Resume a recorded figure run from its nearest checkpoint and re-render it. Stdout is \
+          byte-identical to the uninterrupted $(b,record) output at any $(b,--from) and \
+          $(b,--jobs); the resume position is reported on stderr.")
+    Term.(const run $ dir_arg $ from_ $ json_out_arg $ jobs_arg)
+
+let shrink_cmd =
+  let run workload_seed fault_seed kernels vpes ops no_delay no_dup no_drop no_stall no_retry
+      every out =
+    let spec =
+      Fuzz.spec ~kernels ~vpes ~ops ~delay:(not no_delay) ~dup:(not no_dup) ~drop:(not no_drop)
+        ~stall:(not no_stall) ~retry:(not no_retry) ()
+    in
+    match Fuzz.shrink ~spec ?checkpoint_every:every ~workload_seed ~fault_seed () with
+    | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+    | Ok r ->
+      Fmt.pr "original: %a@." Fuzz.pp_outcome r.Fuzz.sh_original;
+      Fmt.pr "minimal (%d of %d ops, %d probes): %a@." r.Fuzz.sh_min_ops ops r.Fuzz.sh_probes
+        Fuzz.pp_outcome r.Fuzz.sh_minimal;
+      Fmt.pr "checkpoints saved %d of %d replayed ops@." r.Fuzz.sh_saved_ops
+        (r.Fuzz.sh_saved_ops + r.Fuzz.sh_replayed_ops);
+      (match out with
+      | None -> ()
+      | Some path ->
+        let name = Filename.remove_extension (Filename.basename path) in
+        Fuzz.Case.save path (Fuzz.Case.of_shrink ~name r);
+        Fmt.pr "wrote %s@." path)
+  in
+  let wseed =
+    Arg.(required & opt (some int) None & info [ "workload-seed" ] ~docv:"N"
+         ~doc:"Workload seed of the failing case.")
+  in
+  let fseed =
+    Arg.(required & opt (some int) None & info [ "fault-seed" ] ~docv:"M"
+         ~doc:"Fault-plan seed of the failing case.")
+  in
+  let kernels = Arg.(value & opt int 3 & info [ "kernels"; "k" ] ~docv:"K" ~doc:"PE groups.") in
+  let vpes = Arg.(value & opt int 6 & info [ "vpes" ] ~docv:"V" ~doc:"VPEs in the workload.") in
+  let ops = Arg.(value & opt int 40 & info [ "ops" ] ~docv:"O" ~doc:"Workload steps per run.") in
+  let flag name doc = Arg.(value & flag & info [ name ] ~doc) in
+  let no_delay = flag "no-delay" "Disable delay injection." in
+  let no_dup = flag "no-dup" "Disable duplicate delivery." in
+  let no_drop = flag "no-drop" "Disable message drops." in
+  let no_stall = flag "no-stall" "Disable kernel stalls." in
+  let no_retry = flag "no-retry" "Disable kernel retransmission." in
+  let every =
+    Arg.(value & opt (some int) None & info [ "checkpoint-every" ] ~docv:"K"
+         ~doc:"Checkpoint cadence for the shrinker's probes (default: ops/8).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
+         ~doc:"Write the shrunk case as a self-contained corpus file.")
+  in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:
+         "Minimise a failing fuzz case to its smallest failing op-prefix by delta debugging \
+          from checkpoints. Deterministic: the same seeds always shrink to the same minimal \
+          case.")
+    Term.(const run $ wseed $ fseed $ kernels $ vpes $ ops $ no_delay $ no_dup $ no_drop
+          $ no_stall $ no_retry $ every $ out)
+
 let bench_cmd =
   let run mode smoke out =
     match mode with
@@ -487,4 +636,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ micro_cmd; chain_cmd; tree_cmd; run_cmd; nginx_cmd; latency_cmd; stats_cmd;
-            trace_cmd; trace_dump_cmd; trace_replay_cmd; fuzz_cmd; bench_cmd ]))
+            trace_cmd; trace_dump_cmd; trace_replay_cmd; fuzz_cmd; record_cmd; replay_cmd;
+            shrink_cmd; bench_cmd ]))

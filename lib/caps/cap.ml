@@ -44,6 +44,10 @@ type t = {
 let make ~key ~kind ~owner_vpe ?parent () =
   { key; kind; owner_vpe; parent; children = []; state = Alive; pending_replies = 0 }
 
+(* Capability records are pure data (keys, kinds, link lists), so a
+   shallow record copy is a full deep copy for checkpoint purposes. *)
+let copy t = { t with key = t.key }
+
 let is_marked t = match t.state with Alive -> false | Marked _ -> true
 
 let has_child t k = List.exists (Key.equal k) t.children

@@ -49,3 +49,7 @@ val remove_child : t -> Semper_ddl.Key.t -> unit
 val has_child : t -> Semper_ddl.Key.t -> bool
 
 val pp : Format.formatter -> t -> unit
+
+(** Independent copy. Records hold only pure data (keys, kinds, link
+    lists), so the copy shares nothing mutable with the original. *)
+val copy : t -> t

@@ -36,3 +36,18 @@ let remove_key t key =
 
 let count t = Hashtbl.length t.slots
 let iter f t = Hashtbl.iter f t.slots
+
+type snapshot = { s_slots : (selector * Key.t) list; s_next_hint : int }  (* sorted by selector *)
+
+let snapshot t =
+  {
+    s_slots =
+      Hashtbl.fold (fun sel key acc -> (sel, key) :: acc) t.slots []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+    s_next_hint = t.next_hint;
+  }
+
+let restore t s =
+  Hashtbl.reset t.slots;
+  List.iter (fun (sel, key) -> Hashtbl.replace t.slots sel key) s.s_slots;
+  t.next_hint <- s.s_next_hint

@@ -29,3 +29,10 @@ val remove_key : t -> Semper_ddl.Key.t -> unit
 
 val count : t -> int
 val iter : (selector -> Semper_ddl.Key.t -> unit) -> t -> unit
+
+(** Selector bindings plus the allocation hint, sorted by selector.
+    [restore] replaces the bindings wholesale. *)
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

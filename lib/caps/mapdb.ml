@@ -30,6 +30,21 @@ let fresh_obj t =
 
 let bump_obj t n = if n >= t.next_obj then t.next_obj <- n + 1
 
+type snapshot = { s_caps : Cap.t list; s_next_obj : int }  (* copies, sorted by key *)
+
+let snapshot t =
+  {
+    s_caps =
+      fold (fun acc c -> Cap.copy c :: acc) [] t
+      |> List.sort (fun a b -> Key.compare a.Cap.key b.Cap.key);
+    s_next_obj = t.next_obj;
+  }
+
+let restore t s =
+  Key.Table.reset t.caps;
+  List.iter (fun c -> Key.Table.add t.caps c.Cap.key (Cap.copy c)) s.s_caps;
+  t.next_obj <- s.s_next_obj
+
 let check_local_links t =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in

@@ -42,3 +42,11 @@ val bump_obj : t -> int -> unit
     locally-stored child whose parent is also local must appear in that
     parent's child list, and vice versa. Returns error strings. *)
 val check_local_links : t -> string list
+
+(** Full copy of the database: every record (capability records are
+    pure data, so copies are deep) sorted by key, plus the object-id
+    cursor. [restore] replaces the database contents wholesale. *)
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

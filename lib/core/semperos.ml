@@ -32,6 +32,7 @@
 
 module Engine = Semper_sim.Engine
 module Server = Semper_sim.Server
+module Checkpoint = Semper_sim.Checkpoint
 module Domain_pool = Semper_util.Domain_pool
 module Heap = Semper_util.Heap
 module Rng = Semper_util.Rng
@@ -71,6 +72,8 @@ module Fuzz = Semper_harness.Fuzz
 module Microbench = Semper_harness.Microbench
 module Nginx_bench = Semper_harness.Nginx
 module Runner = Semper_harness.Runner
+module Figures = Semper_harness.Figures
+module Record = Semper_harness.Record
 module Bench_json = Semper_harness.Bench_json
 module Wallclock = Semper_harness.Wallclock
 module Balance = Semper_balance.Balance

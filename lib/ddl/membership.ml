@@ -64,3 +64,25 @@ let kernels t =
 
 let copy t =
   { table = Hashtbl.copy t.table; handoff = Hashtbl.copy t.handoff; sealed = t.sealed }
+
+type snapshot = {
+  s_table : (int * kernel_id) list;  (* sorted by PE *)
+  s_handoff : int list;  (* sorted *)
+  s_sealed : bool;
+}
+
+let snapshot t =
+  {
+    s_table =
+      Hashtbl.fold (fun pe k acc -> (pe, k) :: acc) t.table []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+    s_handoff = Hashtbl.fold (fun pe () acc -> pe :: acc) t.handoff [] |> List.sort Int.compare;
+    s_sealed = t.sealed;
+  }
+
+let restore t s =
+  Hashtbl.reset t.table;
+  List.iter (fun (pe, k) -> Hashtbl.replace t.table pe k) s.s_table;
+  Hashtbl.reset t.handoff;
+  List.iter (fun pe -> Hashtbl.replace t.handoff pe ()) s.s_handoff;
+  t.sealed <- s.s_sealed

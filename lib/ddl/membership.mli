@@ -83,3 +83,17 @@ val kernels : t -> kernel_id list
 (** Independent copy (what each kernel holds), including any handoff
     marks. *)
 val copy : t -> t
+
+(** Closure-free image of the replica: assignments, handoff marks, and
+    the seal bit, sorted by PE. [restore] replaces the replica's
+    contents wholesale — including re-creating mid-handoff marks, so a
+    snapshot taken inside a [begin_handoff]/[complete_handoff] window
+    restores to exactly that window. *)
+type snapshot = {
+  s_table : (int * kernel_id) list;
+  s_handoff : int list;
+  s_sealed : bool;
+}
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

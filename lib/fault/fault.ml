@@ -91,6 +91,45 @@ let stats_line t =
   Printf.sprintf "delays=%d dups=%d drops=%d stalls=%d" t.stats.delays t.stats.dups t.stats.drops
     t.stats.stalls
 
+type snapshot = {
+  s_rng : Rng.snapshot;
+  s_drops_by_pair : ((int * int) * int) list;  (* sorted by pair *)
+  s_stalled_until : (int * int64) list;  (* sorted by PE *)
+  s_total_drops : int;
+  s_delays : int;
+  s_dups : int;
+  s_drops : int;
+  s_stalls : int;
+}
+
+let snapshot t =
+  {
+    s_rng = Rng.snapshot t.rng;
+    s_drops_by_pair =
+      Hashtbl.fold (fun pair c acc -> (pair, !c) :: acc) t.drops_by_pair []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+    s_stalled_until =
+      Hashtbl.fold (fun pe u acc -> (pe, u) :: acc) t.stalled_until []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+    s_total_drops = t.total_drops;
+    s_delays = t.stats.delays;
+    s_dups = t.stats.dups;
+    s_drops = t.stats.drops;
+    s_stalls = t.stats.stalls;
+  }
+
+let restore t s =
+  Rng.restore t.rng s.s_rng;
+  Hashtbl.reset t.drops_by_pair;
+  List.iter (fun (pair, n) -> Hashtbl.replace t.drops_by_pair pair (ref n)) s.s_drops_by_pair;
+  Hashtbl.reset t.stalled_until;
+  List.iter (fun (pe, u) -> Hashtbl.replace t.stalled_until pe u) s.s_stalled_until;
+  t.total_drops <- s.s_total_drops;
+  t.stats.delays <- s.s_delays;
+  t.stats.dups <- s.s_dups;
+  t.stats.drops <- s.s_drops;
+  t.stats.stalls <- s.s_stalls
+
 (* Only op-tagged request/reply traffic may be dropped: those are the
    messages the kernels retransmit. Fire-and-forget notifications
    (remove_child, srv_announce, ...) and credit returns have no retry

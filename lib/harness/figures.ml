@@ -1,0 +1,196 @@
+module Obs = Semper_obs.Obs
+module Cost = Semper_kernel.Cost
+module Workloads = Semper_trace.Workloads
+module T = Semper_util.Table
+
+type preset = Smoke | Full
+
+let preset_to_string = function Smoke -> "smoke" | Full -> "full"
+
+let preset_of_string = function
+  | "smoke" -> Some Smoke
+  | "full" -> Some Full
+  | _ -> None
+
+type output = { text : string; json : Obs.Json.t }
+
+(* Points and results are closed variants so one recording pipeline
+   (compute one point, accumulate a result prefix, render at the end)
+   serves every figure. *)
+type point = P_chain of Microbench.chain_spec | P_app of Experiment.config
+
+type result = R_cycles of int64 | R_app of Experiment.outcome
+
+let compute = function
+  | P_chain s ->
+    R_cycles (Microbench.chain_revocation ~mode:s.Microbench.c_mode ~spanning:s.c_spanning ~len:s.c_len)
+  | P_app cfg -> R_app (Experiment.run cfg)
+
+type t = {
+  name : string;
+  doc : string;
+  points : preset -> point list;
+  render : result list -> output;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: chain revocation latency over chain length, one local and
+   one group-spanning measurement per length (interleaved, as in
+   {!Bench_json.micro}). *)
+
+let fig4_lens = function
+  | Smoke -> [ 0; 5; 10 ]
+  | Full -> [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]
+
+let fig4_points preset =
+  List.concat_map
+    (fun len ->
+      [
+        P_chain { Microbench.c_mode = Cost.Semperos; c_spanning = false; c_len = len };
+        P_chain { Microbench.c_mode = Cost.Semperos; c_spanning = true; c_len = len };
+      ])
+    (fig4_lens preset)
+
+let fig4_render results =
+  (* Results arrive in point order: (local, spanning) per length. *)
+  let rec pair = function
+    | [] -> []
+    | R_cycles local :: R_cycles spanning :: rest -> (local, spanning) :: pair rest
+    | _ -> invalid_arg "fig4: result shape mismatch"
+  in
+  let lens_used = List.length (pair results) in
+  let lens =
+    (* Recover the lengths from the point count: the spec list is always
+       the interleaved sweep, so lengths are positional. *)
+    List.filteri (fun i _ -> i < lens_used)
+      (fig4_lens (if lens_used > List.length (fig4_lens Smoke) then Full else Smoke))
+  in
+  let series =
+    T.Series.create ~x_label:"chain_len" ~labels:[ "local_cycles"; "spanning_cycles" ]
+  in
+  List.iter2
+    (fun len (local, spanning) ->
+      T.Series.add_row series ~x:(float_of_int len)
+        [ Some (Int64.to_float local); Some (Int64.to_float spanning) ])
+    lens (pair results);
+  let json =
+    Obs.Json.Obj
+      [
+        ("figure", Obs.Json.Str "fig4");
+        ( "chain_revocation",
+          Obs.Json.Arr
+            (List.map2
+               (fun len (local, spanning) ->
+                 Obs.Json.Obj
+                   [
+                     ("len", Obs.Json.Int len);
+                     ("local_cycles", Obs.Json.Int (Int64.to_int local));
+                     ("spanning_cycles", Obs.Json.Int (Int64.to_int spanning));
+                   ])
+               lens (pair results)) );
+      ]
+  in
+  { text = T.Series.render series; json }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: application benchmark over instance counts, with the
+   single-instance reference first so parallel efficiency is computable
+   from the results alone. *)
+
+let fig6_shape = function
+  | Smoke -> (2, 1, [ 4 ], [ Workloads.tar ])
+  | Full -> (32, 32, [ 64; 512 ], Workloads.all)
+
+let fig6_points preset =
+  let kernels, services, instance_counts, workloads = fig6_shape preset in
+  List.map (fun p -> P_app p)
+    (List.map (fun spec -> Experiment.config ~kernels ~services ~instances:1 spec) workloads
+    @ List.concat_map
+        (fun n ->
+          List.map (fun spec -> Experiment.config ~kernels ~services ~instances:n spec) workloads)
+        instance_counts)
+
+let fig6_render results =
+  let outcomes =
+    List.map
+      (function R_app o -> o | R_cycles _ -> invalid_arg "fig6: result shape mismatch")
+      results
+  in
+  let single_of name =
+    List.find_opt
+      (fun (o : Experiment.outcome) ->
+        o.cfg.Experiment.instances = 1 && o.cfg.Experiment.workload.Workloads.name = name)
+      outcomes
+  in
+  let row (o : Experiment.outcome) =
+    let name = o.cfg.Experiment.workload.Workloads.name in
+    let eff =
+      if o.cfg.Experiment.instances = 1 then Some 100.0
+      else
+        Option.map
+          (fun single -> 100.0 *. Experiment.parallel_efficiency ~single ~parallel:o)
+          (single_of name)
+    in
+    (name, o, eff)
+  in
+  let rows = List.map row outcomes in
+  let text =
+    T.render
+      ~header:[ "workload"; "instances"; "makespan_ms"; "cap_ops"; "cap_ops_per_s"; "par_eff_pct" ]
+      (List.map
+         (fun (name, (o : Experiment.outcome), eff) ->
+           [
+             name;
+             string_of_int o.cfg.Experiment.instances;
+             Printf.sprintf "%.3f" (Int64.to_float o.Experiment.max_runtime /. 2.0e6);
+             string_of_int o.Experiment.cap_ops;
+             Printf.sprintf "%.0f" o.Experiment.cap_ops_per_s;
+             (match eff with Some e -> Printf.sprintf "%.1f" e | None -> "-");
+           ])
+         rows)
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("figure", Obs.Json.Str "fig6");
+        ( "apps",
+          Obs.Json.Arr
+            (List.map
+               (fun (name, (o : Experiment.outcome), eff) ->
+                 Obs.Json.Obj
+                   [
+                     ("workload", Obs.Json.Str name);
+                     ("instances", Obs.Json.Int o.cfg.Experiment.instances);
+                     ("makespan_cycles", Obs.Json.Int (Int64.to_int o.Experiment.max_runtime));
+                     ("cap_ops", Obs.Json.Int o.Experiment.cap_ops);
+                     ("cap_ops_per_s", Obs.Json.Float o.Experiment.cap_ops_per_s);
+                     ( "parallel_efficiency",
+                       match eff with Some e -> Obs.Json.Float e | None -> Obs.Json.Null );
+                   ])
+               rows) );
+      ]
+  in
+  { text; json }
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    {
+      name = "fig4";
+      doc = "chain revocation latency over chain length (local and group-spanning)";
+      points = fig4_points;
+      render = fig4_render;
+    };
+    {
+      name = "fig6";
+      doc = "application benchmark over instance counts (makespan, cap ops, efficiency)";
+      points = fig6_points;
+      render = fig6_render;
+    };
+  ]
+
+let find name = List.find_opt (fun f -> f.name = name) all
+
+let run ?jobs fig preset =
+  fig.render (Semper_util.Domain_pool.map ?jobs compute (fig.points preset))

@@ -6,6 +6,7 @@ module Perms = Semper_caps.Perms
 module Fault = Semper_fault.Fault
 module Rng = Semper_util.Rng
 module Engine = Semper_sim.Engine
+module Checkpoint = Semper_sim.Checkpoint
 module Obs = Semper_obs.Obs
 
 type spec = {
@@ -59,7 +60,55 @@ let profile s fault_seed =
     max_stall = 4_000;
   }
 
-let run_one ?(spec = default_spec) ~workload_seed ~fault_seed () =
+(* A fuzz case as an explicit state machine — [start] builds the system
+   and issues the boot allocations, [step] executes one workload op,
+   [finish] drains the engine, runs the oracles, and tears down. One
+   case state is one marshalable root: the reply callbacks and engine
+   events all close over this record, so a single [Checkpoint.save] of
+   it captures the whole case mid-flight. *)
+type state = {
+  st_spec : spec;
+  st_workload_seed : int;
+  st_fault_seed : int;
+  rng : Rng.t;
+  sys : System.t;
+  vpes : Vpe.t array;
+  (* Pool of (vpe index, selector) pairs known to have been granted;
+     entries go stale after revokes and exits — the resulting errors are
+     themselves part of the workload. *)
+  mutable pool : (int * int) list;
+  mutable issued : int;
+  mutable replied : int;
+  mutable ok : int;
+  mutable errs : int;
+  mutable migrations : int;
+  mutable failures : string list;  (* reversed; [finish] restores order *)
+  mutable step_no : int;
+  (* An exception anywhere in the workload skips the remaining steps and
+     the end-of-run oracles (teardown still runs), matching the single
+     try-block of the pre-checkpoint fuzzer. *)
+  mutable crashed : string option;
+}
+
+let issue st v call =
+  st.issued <- st.issued + 1;
+  System.syscall st.sys st.vpes.(v) call (fun r ->
+      st.replied <- st.replied + 1;
+      match r with
+      | P.R_sel sel ->
+        st.ok <- st.ok + 1;
+        st.pool <- (v, sel) :: st.pool
+      | P.R_ok | P.R_vpe _ | P.R_sess _ -> st.ok <- st.ok + 1
+      | P.R_err _ -> st.errs <- st.errs + 1)
+
+let alloc st v = issue st v (P.Sys_alloc_mem { size = 4096L; perms = Perms.rw })
+
+let pool_pick st =
+  match st.pool with
+  | [] -> None
+  | entries -> Some (List.nth entries (Rng.int st.rng (List.length entries)))
+
+let start ?(spec = default_spec) ~workload_seed ~fault_seed () =
   let s = spec in
   let rng = Rng.create (Int64.of_int workload_seed) in
   let pes = max 2 ((s.vpes + s.kernels - 1) / s.kernels) in
@@ -69,150 +118,167 @@ let run_one ?(spec = default_spec) ~workload_seed ~fault_seed () =
          ~retry:s.retry ())
   in
   let vpes = Array.init s.vpes (fun i -> System.spawn_vpe sys ~kernel:(i mod s.kernels)) in
-  let issued = ref 0 and replied = ref 0 and ok = ref 0 and errs = ref 0 in
-  let migrations = ref 0 in
-  let failures = ref [] in
-  (* Pool of (vpe index, selector) pairs known to have been granted;
-     entries go stale after revokes and exits — the resulting errors are
-     themselves part of the workload. *)
-  let pool = ref [] in
-  let pool_pick () =
-    match !pool with
-    | [] -> None
-    | entries -> Some (List.nth entries (Rng.int rng (List.length entries)))
+  let st =
+    {
+      st_spec = s;
+      st_workload_seed = workload_seed;
+      st_fault_seed = fault_seed;
+      rng;
+      sys;
+      vpes;
+      pool = [];
+      issued = 0;
+      replied = 0;
+      ok = 0;
+      errs = 0;
+      migrations = 0;
+      failures = [];
+      step_no = 0;
+      crashed = None;
+    }
   in
-  let issue v call =
-    incr issued;
-    System.syscall sys vpes.(v) call (fun r ->
-        incr replied;
-        match r with
-        | P.R_sel sel ->
-          incr ok;
-          pool := (v, sel) :: !pool
-        | P.R_ok | P.R_vpe _ | P.R_sess _ -> incr ok
-        | P.R_err _ -> incr errs)
-  in
-  let alloc v = issue v (P.Sys_alloc_mem { size = 4096L; perms = Perms.rw }) in
   (try
      (* Every VPE starts with one root allocation so exchanges have
         material to work with. *)
-     Array.iteri (fun i _ -> alloc i) vpes;
-     ignore (System.run sys);
-     for _ = 1 to s.ops do
-       (match Rng.int rng 100 with
-       | n when n < 10 -> alloc (Rng.int rng s.vpes)
-       | n when n < 40 -> (
-         match pool_pick () with
-         | None -> alloc (Rng.int rng s.vpes)
-         | Some (dv, dsel) ->
-           issue (Rng.int rng s.vpes)
-             (P.Sys_obtain_from { donor_vpe = vpes.(dv).Vpe.id; donor_sel = dsel }))
-       | n when n < 60 -> (
-         match pool_pick () with
-         | None -> alloc (Rng.int rng s.vpes)
-         | Some (hv, hsel) ->
-           let recv = Rng.int rng s.vpes in
-           issue hv (P.Sys_delegate_to { recv_vpe = vpes.(recv).Vpe.id; sel = hsel }))
-       | n when n < 75 -> (
-         match pool_pick () with
-         | None -> alloc (Rng.int rng s.vpes)
-         | Some (hv, hsel) -> issue hv (P.Sys_revoke { sel = hsel; own = Rng.bool rng }))
-       | n when n < 85 -> (
-         match pool_pick () with
-         | None -> alloc (Rng.int rng s.vpes)
-         | Some (hv, hsel) ->
-           issue hv
-             (P.Sys_derive_mem { sel = hsel; offset = 0L; size = 1024L; perms = Perms.r }))
-       | n when n < 93 ->
-         (* Bounded partial run: lets the next syscalls overlap whatever
-            is still in flight, exercising interleavings. *)
-         ignore
-           (System.run ~until:(Int64.add (System.now sys) (Int64.of_int (500 + Rng.int rng 4_000))) sys)
-       | n when n < 98 ->
-         (* Migration needs quiescence; skip when the candidate cannot
-            legally move right now. *)
-         ignore (System.run sys);
-         let v = vpes.(Rng.int rng s.vpes) in
-         let dst = Rng.int rng s.kernels in
-         if
-           Vpe.is_alive v && (not v.Vpe.syscall_pending) && (not v.Vpe.frozen)
-           && dst <> v.Vpe.kernel
-         then begin
-           System.migrate_vpe sys v ~to_kernel:dst;
-           incr migrations;
-           (* Relocation oracle: with the engine drained, every record in
-              the migrated VPE's partition must live at the destination
-              and none at the source — a lost or misapplied
-              migrate_update/migrate_caps leaves records behind or
-              routes lookups to a kernel that no longer has them. *)
-           let key_pe = Semper_ddl.Key.pe in
-           List.iter
-             (fun k ->
-               let here = ref 0 in
-               Semper_caps.Mapdb.iter
-                 (fun cap ->
-                   if key_pe cap.Semper_caps.Cap.key = v.Vpe.pe then incr here)
-                 (Kernel.mapdb k);
-               if Kernel.id k <> dst && !here > 0 then
-                 failures :=
-                   Printf.sprintf
-                     "relocation: %d records of migrated VPE %d stranded at kernel %d" !here
-                     v.Vpe.id (Kernel.id k)
-                   :: !failures)
-             (System.kernels sys);
-           (* Every membership replica must agree on the new owner, with
-              no handoff mark left behind. *)
-           List.iter
-             (fun k ->
-               match Semper_ddl.Membership.kernel_of_pe (Kernel.membership k) v.Vpe.pe with
-               | owner ->
-                 if owner <> dst then
-                   failures :=
-                     Printf.sprintf
-                       "relocation: kernel %d routes PE %d to kernel %d, expected %d"
-                       (Kernel.id k) v.Vpe.pe owner dst
-                     :: !failures
-               | exception Semper_ddl.Membership.Mid_handoff _ ->
-                 failures :=
-                   Printf.sprintf
-                     "relocation: kernel %d still marks PE %d mid-handoff after drain"
-                     (Kernel.id k) v.Vpe.pe
-                   :: !failures)
-             (System.kernels sys);
-           if v.Vpe.frozen then
-             failures :=
-               Printf.sprintf "relocation: VPE %d still frozen after migration drained" v.Vpe.id
-               :: !failures
-         end
-       | _ ->
-         let v = Rng.int rng s.vpes in
-         if Vpe.is_alive vpes.(v) then issue v P.Sys_exit);
-       (* Small chance the next message batch starts later. *)
-       if Rng.int rng 4 = 0 then
-         ignore (System.run ~until:(Int64.add (System.now sys) 1_000L) sys)
-     done;
-     ignore (System.run sys);
-     (* Liveness oracle: a drained engine with unanswered syscalls means
-        a protocol lost a message for good. *)
-     if !replied <> !issued then
-       failures :=
-         Printf.sprintf "liveness: %d of %d syscalls never got a reply" (!issued - !replied)
-           !issued
-         :: !failures;
-     (* Safety oracle: the global capability forest must be consistent. *)
-     let report = Audit.run sys in
-     List.iter (fun e -> failures := ("audit: " ^ e) :: !failures) report.Audit.errors
-   with exn -> failures := ("exception: " ^ Printexc.to_string exn) :: !failures);
+     Array.iteri (fun i _ -> alloc st i) vpes;
+     ignore (System.run sys)
+   with exn -> st.crashed <- Some (Printexc.to_string exn));
+  st
+
+let step_body st =
+  let s = st.st_spec in
+  let rng = st.rng in
+  let sys = st.sys in
+  let vpes = st.vpes in
+  (match Rng.int rng 100 with
+  | n when n < 10 -> alloc st (Rng.int rng s.vpes)
+  | n when n < 40 -> (
+    match pool_pick st with
+    | None -> alloc st (Rng.int rng s.vpes)
+    | Some (dv, dsel) ->
+      issue st (Rng.int rng s.vpes)
+        (P.Sys_obtain_from { donor_vpe = vpes.(dv).Vpe.id; donor_sel = dsel }))
+  | n when n < 60 -> (
+    match pool_pick st with
+    | None -> alloc st (Rng.int rng s.vpes)
+    | Some (hv, hsel) ->
+      let recv = Rng.int rng s.vpes in
+      issue st hv (P.Sys_delegate_to { recv_vpe = vpes.(recv).Vpe.id; sel = hsel }))
+  | n when n < 75 -> (
+    match pool_pick st with
+    | None -> alloc st (Rng.int rng s.vpes)
+    | Some (hv, hsel) -> issue st hv (P.Sys_revoke { sel = hsel; own = Rng.bool rng }))
+  | n when n < 85 -> (
+    match pool_pick st with
+    | None -> alloc st (Rng.int rng s.vpes)
+    | Some (hv, hsel) ->
+      issue st hv (P.Sys_derive_mem { sel = hsel; offset = 0L; size = 1024L; perms = Perms.r }))
+  | n when n < 93 ->
+    (* Bounded partial run: lets the next syscalls overlap whatever
+       is still in flight, exercising interleavings. *)
+    ignore
+      (System.run ~until:(Int64.add (System.now sys) (Int64.of_int (500 + Rng.int rng 4_000))) sys)
+  | n when n < 98 ->
+    (* Migration needs quiescence; skip when the candidate cannot
+       legally move right now. *)
+    ignore (System.run sys);
+    let v = vpes.(Rng.int rng s.vpes) in
+    let dst = Rng.int rng s.kernels in
+    if
+      Vpe.is_alive v && (not v.Vpe.syscall_pending) && (not v.Vpe.frozen)
+      && dst <> v.Vpe.kernel
+    then begin
+      System.migrate_vpe sys v ~to_kernel:dst;
+      st.migrations <- st.migrations + 1;
+      (* Relocation oracle: with the engine drained, every record in
+         the migrated VPE's partition must live at the destination
+         and none at the source — a lost or misapplied
+         migrate_update/migrate_caps leaves records behind or
+         routes lookups to a kernel that no longer has them. *)
+      let key_pe = Semper_ddl.Key.pe in
+      List.iter
+        (fun k ->
+          let here = ref 0 in
+          Semper_caps.Mapdb.iter
+            (fun cap ->
+              if key_pe cap.Semper_caps.Cap.key = v.Vpe.pe then incr here)
+            (Kernel.mapdb k);
+          if Kernel.id k <> dst && !here > 0 then
+            st.failures <-
+              Printf.sprintf
+                "relocation: %d records of migrated VPE %d stranded at kernel %d" !here
+                v.Vpe.id (Kernel.id k)
+              :: st.failures)
+        (System.kernels sys);
+      (* Every membership replica must agree on the new owner, with
+         no handoff mark left behind. *)
+      List.iter
+        (fun k ->
+          match Semper_ddl.Membership.kernel_of_pe (Kernel.membership k) v.Vpe.pe with
+          | owner ->
+            if owner <> dst then
+              st.failures <-
+                Printf.sprintf
+                  "relocation: kernel %d routes PE %d to kernel %d, expected %d"
+                  (Kernel.id k) v.Vpe.pe owner dst
+                :: st.failures
+          | exception Semper_ddl.Membership.Mid_handoff _ ->
+            st.failures <-
+              Printf.sprintf
+                "relocation: kernel %d still marks PE %d mid-handoff after drain"
+                (Kernel.id k) v.Vpe.pe
+              :: st.failures)
+        (System.kernels sys);
+      if v.Vpe.frozen then
+        st.failures <-
+          Printf.sprintf "relocation: VPE %d still frozen after migration drained" v.Vpe.id
+          :: st.failures
+    end
+  | _ ->
+    let v = Rng.int rng s.vpes in
+    if Vpe.is_alive vpes.(v) then issue st v P.Sys_exit);
+  (* Small chance the next message batch starts later. *)
+  if Rng.int rng 4 = 0 then
+    ignore (System.run ~until:(Int64.add (System.now sys) 1_000L) sys)
+
+let step st =
+  if st.crashed = None && st.step_no < st.st_spec.ops then begin
+    (try step_body st with exn -> st.crashed <- Some (Printexc.to_string exn));
+    st.step_no <- st.step_no + 1
+  end
+
+let steps_done st = st.step_no
+let state_system st = st.sys
+
+let finish st =
+  let sys = st.sys in
+  (match st.crashed with
+  | Some msg -> st.failures <- ("exception: " ^ msg) :: st.failures
+  | None -> (
+    try
+      ignore (System.run sys);
+      (* Liveness oracle: a drained engine with unanswered syscalls means
+         a protocol lost a message for good. *)
+      if st.replied <> st.issued then
+        st.failures <-
+          Printf.sprintf "liveness: %d of %d syscalls never got a reply" (st.issued - st.replied)
+            st.issued
+          :: st.failures;
+      (* Safety oracle: the global capability forest must be consistent. *)
+      let report = Audit.run sys in
+      List.iter (fun e -> st.failures <- ("audit: " ^ e) :: st.failures) report.Audit.errors
+    with exn -> st.failures <- ("exception: " ^ Printexc.to_string exn) :: st.failures));
   let leaked = try System.shutdown sys with _ -> -1 in
   if leaked <> 0 then
-    failures := Printf.sprintf "teardown: %d capabilities survived shutdown" leaked :: !failures;
+    st.failures <-
+      Printf.sprintf "teardown: %d capabilities survived shutdown" leaked :: st.failures;
   let kstat f = List.fold_left (fun acc k -> acc + f (Kernel.stats k)) 0 (System.kernels sys) in
   let inj =
     match System.fault_plan sys with
     | Some plan -> Fault.stats plan
     | None -> { Fault.delays = 0; dups = 0; drops = 0; stalls = 0 }
   in
-  let failed = !failures <> [] in
+  let failed = st.failures <> [] in
   (* Attach diagnostics only to failures: a metrics snapshot plus the
      tail of the protocol trace ring, both deterministic for the seed
      pair. *)
@@ -227,24 +293,292 @@ let run_one ?(spec = default_spec) ~workload_seed ~fault_seed () =
     else []
   in
   {
-    workload_seed;
-    fault_seed;
-    syscalls = !issued;
-    replies = !replied;
-    ok_replies = !ok;
-    err_replies = !errs;
-    migrations = !migrations;
+    workload_seed = st.st_workload_seed;
+    fault_seed = st.st_fault_seed;
+    syscalls = st.issued;
+    replies = st.replied;
+    ok_replies = st.ok;
+    err_replies = st.errs;
+    migrations = st.migrations;
     injected_delays = inj.Fault.delays;
     injected_dups = inj.Fault.dups;
     injected_drops = inj.Fault.drops;
     injected_stalls = inj.Fault.stalls;
-    retries = kstat (fun st -> st.Kernel.retries);
-    dup_ikc = kstat (fun st -> st.Kernel.dup_ikc);
+    retries = kstat (fun s -> s.Kernel.retries);
+    dup_ikc = kstat (fun s -> s.Kernel.dup_ikc);
     caps_leaked = leaked;
-    failures = List.rev !failures;
+    failures = List.rev st.failures;
     metrics_json;
     trace_tail;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing                                                       *)
+
+let case_kind = "fuzz-case"
+
+let save_state st =
+  Checkpoint.save ~kind:case_kind
+    ~label:(Printf.sprintf "w=%d f=%d" st.st_workload_seed st.st_fault_seed)
+    ~position:(Int64.of_int st.step_no)
+    ~fingerprint:(System.fingerprint st.sys)
+    st
+
+let load_state image =
+  match Checkpoint.load ~kind:case_kind image with
+  | Error _ as e -> e
+  | Ok ((header : Checkpoint.header), (st : state)) ->
+    System.rebind st.sys;
+    let fp = System.fingerprint st.sys in
+    if header.Checkpoint.fingerprint <> "" && fp <> header.Checkpoint.fingerprint then
+      Error "restored fuzz state does not reproduce the recorded fingerprint"
+    else Ok (header, st)
+
+(* Auto-checkpointing run: [on_checkpoint] fires with the state frozen
+   just before ops 0, K, 2K, ... (skipped once the case has crashed —
+   there is nothing left to resume into). With the default no-op
+   callback this is exactly start; ops × step; finish. *)
+let run_one ?(spec = default_spec) ?(checkpoint_every = 0) ?(on_checkpoint = fun _ _ -> ())
+    ~workload_seed ~fault_seed () =
+  let st = start ~spec ~workload_seed ~fault_seed () in
+  for i = 0 to spec.ops - 1 do
+    if checkpoint_every > 0 && i mod checkpoint_every = 0 && st.crashed = None then
+      on_checkpoint st.step_no (save_state st);
+    step st
+  done;
+  finish st
+
+(* ------------------------------------------------------------------ *)
+(* Delta-debugging shrinker                                            *)
+
+type shrink_result = {
+  sh_spec : spec;
+  sh_workload_seed : int;
+  sh_fault_seed : int;
+  sh_original : outcome;
+  sh_min_ops : int;
+  sh_minimal : outcome;
+  sh_probes : int;
+  sh_replayed_ops : int;
+  sh_saved_ops : int;
+}
+
+(* Minimise the failing op-prefix of a case by binary search over
+   prefix lengths, restarting each probe from the nearest in-memory
+   checkpoint at or below the probe point instead of re-running the
+   prefix from op zero. Probes run strictly sequentially in a
+   deterministic order, so the minimal case is identical on every
+   invocation and at any [--jobs] setting (the shrinker itself never
+   fans out). *)
+let shrink ?(spec = default_spec) ?checkpoint_every ~workload_seed ~fault_seed () =
+  let every =
+    match checkpoint_every with
+    | Some k when k >= 1 -> k
+    | Some _ -> invalid_arg "Fuzz.shrink: checkpoint_every must be >= 1"
+    | None -> max 1 (spec.ops / 8)
+  in
+  (* Recording pass: images.(i) freezes the state just before op
+     [i * every]. *)
+  let n_images = (spec.ops / every) + 1 in
+  let images = Array.make n_images Bytes.empty in
+  (* A crash cuts the recording short; probes clamp to the last image
+     that was actually taken. *)
+  let recorded = ref (-1) in
+  let original =
+    run_one ~spec ~checkpoint_every:every
+      ~on_checkpoint:(fun at image ->
+        images.(at / every) <- image;
+        recorded := max !recorded (at / every))
+      ~workload_seed ~fault_seed ()
+  in
+  if original.failures = [] then Error "case passes all oracles; nothing to shrink"
+  else if !recorded < 0 then
+    Error "no checkpoints were recorded (zero ops, or the case crashed at boot)"
+  else begin
+    let probes = ref 0 and replayed = ref 0 and saved = ref 0 in
+    let outcomes = Hashtbl.create 16 in
+    let outcome_of l =
+      match Hashtbl.find_opt outcomes l with
+      | Some o -> o
+      | None ->
+        let c = min (l / every) !recorded in
+        let st =
+          match load_state images.(c) with
+          | Ok (_, st) -> st
+          | Error e -> failwith ("Fuzz.shrink: " ^ e)
+        in
+        incr probes;
+        replayed := !replayed + (l - (c * every));
+        saved := !saved + (c * every);
+        for _ = (c * every) + 1 to l do
+          step st
+        done;
+        let o = finish st in
+        Hashtbl.replace outcomes l o;
+        o
+    in
+    let fails l = (outcome_of l).failures <> [] in
+    let lo = ref (-1) and hi = ref spec.ops in
+    (* Invariant: [hi] fails; [lo] passes (-1 = nothing below 0). *)
+    if fails 0 then hi := 0 else lo := 0;
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if fails mid then hi := mid else lo := mid
+    done;
+    (* The predicate need not be monotone (a longer prefix can heal a
+       failure), so the binary-search boundary is only locally minimal.
+       Walk down a bounded distance while the immediate predecessor
+       still fails; with a monotone predicate this loop exits at once. *)
+    let budget = ref every in
+    while !hi > 0 && !budget > 0 && fails (!hi - 1) do
+      decr budget;
+      hi := !hi - 1
+    done;
+    let minimal = if !hi = spec.ops then original else outcome_of !hi in
+    Ok
+      {
+        sh_spec = spec;
+        sh_workload_seed = workload_seed;
+        sh_fault_seed = fault_seed;
+        sh_original = original;
+        sh_min_ops = !hi;
+        sh_minimal = minimal;
+        sh_probes = !probes;
+        sh_replayed_ops = !replayed;
+        sh_saved_ops = !saved;
+      }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Self-contained counterexample cases                                 *)
+
+module Case = struct
+  type t = {
+    name : string;
+    spec : spec;
+    workload_seed : int;
+    fault_seed : int;
+    expect : string list;
+  }
+
+  let failure_kind f =
+    match String.index_opt f ':' with Some i -> String.sub f 0 i | None -> f
+
+  let kinds failures = List.sort_uniq String.compare (List.map failure_kind failures)
+
+  let of_shrink ~name (r : shrink_result) =
+    {
+      name;
+      spec = { r.sh_spec with ops = r.sh_min_ops };
+      workload_seed = r.sh_workload_seed;
+      fault_seed = r.sh_fault_seed;
+      expect = kinds r.sh_minimal.failures;
+    }
+
+  let format_tag = "semperos-fuzz-case 1"
+
+  let to_string c =
+    let s = c.spec in
+    let b = Buffer.create 256 in
+    let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+    line "%s" format_tag;
+    line "name %s" c.name;
+    line "workload-seed %d" c.workload_seed;
+    line "fault-seed %d" c.fault_seed;
+    line "kernels %d" s.kernels;
+    line "vpes %d" s.vpes;
+    line "ops %d" s.ops;
+    line "faults %s"
+      (String.concat ","
+         (List.filter_map
+            (fun (on, tag) -> if on then Some tag else None)
+            [ (s.delay, "delay"); (s.dup, "dup"); (s.drop, "drop"); (s.stall, "stall") ]));
+    line "retry %b" s.retry;
+    line "expect %s" (String.concat "," c.expect);
+    Buffer.contents b
+
+  let of_string text =
+    let lines =
+      String.split_on_char '\n' text
+      |> List.filter_map (fun l ->
+             let l = String.trim l in
+             if l = "" || l.[0] = '#' then None else Some l)
+    in
+    match lines with
+    | tag :: rest when tag = format_tag -> (
+      let field name =
+        List.find_map
+          (fun l ->
+            let prefix = name ^ " " in
+            if String.length l > String.length prefix
+               && String.sub l 0 (String.length prefix) = prefix
+            then Some (String.sub l (String.length prefix) (String.length l - String.length prefix))
+            else None)
+          rest
+      in
+      let int_field name =
+        match field name with
+        | Some v -> (
+          match int_of_string_opt v with
+          | Some n -> Ok n
+          | None -> Error (Printf.sprintf "fuzz case: bad integer for %s" name))
+        | None -> Error (Printf.sprintf "fuzz case: missing field %s" name)
+      in
+      let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+      let* workload_seed = int_field "workload-seed" in
+      let* fault_seed = int_field "fault-seed" in
+      let* kernels = int_field "kernels" in
+      let* vpes = int_field "vpes" in
+      let* ops = int_field "ops" in
+      let faults =
+        match field "faults" with
+        | Some v -> String.split_on_char ',' v |> List.filter (fun t -> t <> "")
+        | None -> []
+      in
+      let retry = field "retry" = Some "true" in
+      let expect =
+        match field "expect" with
+        | Some v -> String.split_on_char ',' v |> List.filter (fun t -> t <> "")
+        | None -> []
+      in
+      let has tag = List.mem tag faults in
+      Ok
+        {
+          name = Option.value (field "name") ~default:"unnamed";
+          spec =
+            spec ~kernels ~vpes ~ops ~delay:(has "delay") ~dup:(has "dup") ~drop:(has "drop")
+              ~stall:(has "stall") ~retry ();
+          workload_seed;
+          fault_seed;
+          expect;
+        })
+    | _ -> Error "fuzz case: missing or unsupported format tag"
+
+  let save path c =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (to_string c))
+
+  let load path =
+    match open_in path with
+    | exception Sys_error e -> Error e
+    | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+  let run c = run_one ~spec:c.spec ~workload_seed:c.workload_seed ~fault_seed:c.fault_seed ()
+
+  let check c =
+    let o = run c in
+    let got = kinds o.failures in
+    if got = c.expect then Ok o
+    else
+      Error
+        (Printf.sprintf "%s: expected oracle verdict [%s], got [%s]" c.name
+           (String.concat "," c.expect) (String.concat "," got))
+end
 
 let outcome_line o =
   Printf.sprintf

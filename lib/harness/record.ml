@@ -1,0 +1,134 @@
+module Checkpoint = Semper_sim.Checkpoint
+
+let kind = "recording"
+let manifest_tag = "semperos-recording 1"
+
+type manifest = {
+  m_figure : string;
+  m_preset : Figures.preset;
+  m_total : int;
+  m_every : int;
+}
+
+let manifest_path dir = Filename.concat dir "manifest"
+let image_path dir n = Filename.concat dir (Printf.sprintf "ckpt-%d.img" n)
+
+let write_manifest dir m =
+  let oc = open_out (manifest_path dir) in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "%s\nfigure %s\npreset %s\ntotal %d\nevery %d\n" manifest_tag m.m_figure
+        (Figures.preset_to_string m.m_preset)
+        m.m_total m.m_every)
+
+let read_manifest dir =
+  match open_in (manifest_path dir) with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let text = really_input_string ic (in_channel_length ic) in
+        let lines =
+          String.split_on_char '\n' text |> List.map String.trim |> List.filter (fun l -> l <> "")
+        in
+        match lines with
+        | tag :: rest when tag = manifest_tag -> (
+          let field name =
+            List.find_map
+              (fun l ->
+                let p = name ^ " " in
+                if String.length l > String.length p && String.sub l 0 (String.length p) = p then
+                  Some (String.sub l (String.length p) (String.length l - String.length p))
+                else None)
+              rest
+          in
+          match (field "figure", Option.bind (field "preset") Figures.preset_of_string,
+                 Option.bind (field "total") int_of_string_opt,
+                 Option.bind (field "every") int_of_string_opt)
+          with
+          | Some figure, Some preset, Some total, Some every ->
+            Ok { m_figure = figure; m_preset = preset; m_total = total; m_every = every }
+          | _ -> Error "recording manifest: missing or malformed field")
+        | _ -> Error "recording manifest: missing or unsupported format tag")
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let rec take n = function
+  | [] -> ([], [])
+  | l when n <= 0 -> ([], l)
+  | x :: rest ->
+    let chunk, rest = take (n - 1) rest in
+    (x :: chunk, rest)
+
+let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: rest -> drop (n - 1) rest
+
+(* Compute [points] in chunks of [every], appending to [prefix];
+   [save] runs after each chunk with the results completed so far.
+   Chunking only batches the domain fan-out — results always land in
+   point order — so the outcome is independent of both [jobs] and where
+   the chunk boundaries fall. *)
+let compute_from ?jobs ~every ~save prefix points =
+  let rec go acc points =
+    match points with
+    | [] -> acc
+    | _ ->
+      let chunk, rest = take every points in
+      let acc = acc @ Semper_util.Domain_pool.map ?jobs Figures.compute chunk in
+      save (List.length acc) acc;
+      go acc rest
+  in
+  go prefix points
+
+let record ?jobs ?(every = 4) ~dir fig preset =
+  if every < 1 then invalid_arg "Record.record: every must be >= 1";
+  ensure_dir dir;
+  let points = fig.Figures.points preset in
+  write_manifest dir
+    { m_figure = fig.Figures.name; m_preset = preset; m_total = List.length points; m_every = every };
+  let save done_ results =
+    Checkpoint.write (image_path dir done_)
+      (Checkpoint.save ~kind ~label:fig.Figures.name ~position:(Int64.of_int done_) results)
+  in
+  fig.Figures.render (compute_from ?jobs ~every ~save [] points)
+
+(* Locate the completed-prefix checkpoint nearest below [target]. A
+   checkpoint that exists but fails validation (stale build, version
+   bump, corruption) is a hard error, not a fallback — silently
+   recomputing from zero would mask exactly the states the format
+   rules are there to reject. Only a missing file falls through to the
+   previous chunk boundary. *)
+let rec nearest_prefix dir ~every c =
+  if c <= 0 then Ok (0, [])
+  else
+    match Checkpoint.read (image_path dir c) with
+    | Error _ -> nearest_prefix dir ~every (c - every)
+    | Ok image -> (
+      match Checkpoint.load ~kind image with
+      | Error e -> Error (Printf.sprintf "%s: %s" (image_path dir c) e)
+      | Ok ((header : Checkpoint.header), (results : Figures.result list)) ->
+        if Int64.to_int header.Checkpoint.position <> c || List.length results <> c then
+          Error (Printf.sprintf "%s: results do not match recorded position" (image_path dir c))
+        else Ok (c, results))
+
+let replay ?jobs ~dir ~from_ () =
+  match read_manifest dir with
+  | Error e -> Error e
+  | Ok m -> (
+    match Figures.find m.m_figure with
+    | None -> Error (Printf.sprintf "recording references unknown figure %S" m.m_figure)
+    | Some fig -> (
+      let points = fig.Figures.points m.m_preset in
+      if List.length points <> m.m_total then
+        Error "recording manifest does not match this build's point list"
+      else
+        let target = max 0 (min from_ m.m_total) in
+        match nearest_prefix dir ~every:m.m_every (target / m.m_every * m.m_every) with
+        | Error e -> Error e
+        | Ok (done_, prefix) ->
+          let results =
+            compute_from ?jobs ~every:m.m_every ~save:(fun _ _ -> ()) prefix
+              (drop done_ points)
+          in
+          Ok (done_, fig.Figures.render results)))

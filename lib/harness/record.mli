@@ -1,0 +1,41 @@
+(** Recorded figure runs: periodic result-prefix checkpoints plus a
+    manifest, resumable from any position.
+
+    A recording directory holds:
+    - [manifest] — a small text file naming the figure, the preset, the
+      total point count, and the checkpoint cadence;
+    - [ckpt-<n>.img] — a {!Semper_sim.Checkpoint} image (kind
+      ["recording"]) of the first [n] point results, written after every
+      chunk of [every] points.
+
+    {!replay} resumes from the nearest checkpoint at or below the
+    requested position and recomputes the rest. Because rendering
+    depends only on the complete result list, and results are collected
+    in point order at any job count, a resumed run's text and JSON are
+    byte-identical to the uninterrupted run's. Images are same-build
+    artifacts (see {!Semper_sim.Checkpoint}); a stale image is a load
+    error asking for a re-record, never a silent recompute. *)
+
+val kind : string
+
+type manifest = {
+  m_figure : string;
+  m_preset : Figures.preset;
+  m_total : int;  (** points in the full run *)
+  m_every : int;  (** checkpoint cadence, in points *)
+}
+
+val read_manifest : string -> (manifest, string) result
+
+(** [record ~dir fig preset] runs the figure to completion, writing the
+    manifest and a checkpoint after every [every] (default 4) completed
+    points, and returns the rendered output. Creates [dir] if needed. *)
+val record :
+  ?jobs:int -> ?every:int -> dir:string -> Figures.t -> Figures.preset -> Figures.output
+
+(** [replay ~dir ~from_ ()] re-renders the recorded run, resuming from
+    the nearest checkpoint at or below point [from_] (clamped to the
+    run's range) and recomputing the remaining points. Returns
+    [(resumed_at, output)]. *)
+val replay :
+  ?jobs:int -> dir:string -> from_:int -> unit -> (int * Figures.output, string) result

@@ -347,6 +347,72 @@ let vpe_count t = Hashtbl.length t.vpes
 
 let register_service_handler t ~name handler = Hashtbl.replace t.pending_handlers name handler
 
+(* The kernel's data plane (mapping database, membership replica,
+   service directory, op-id cursor) restores in place; the control
+   plane (pending operations, retry timers, idempotency caches — all
+   carrying continuations or engine handles) travels only inside
+   whole-image checkpoints. The snapshot records the control plane's
+   op ids and sizes so a fingerprint distinguishes states and restore
+   can verify it is being applied to a matching control plane. *)
+type snapshot = {
+  s_mapdb : Mapdb.snapshot;
+  s_membership : Membership.snapshot;
+  s_directory : (string * Key.t) list;  (* sorted by name *)
+  s_next_op : int;
+  s_pending_ops : int list;  (* sorted *)
+  s_retry_ops : int list;  (* sorted *)
+  s_remote_ops : int list;  (* sorted *)
+  s_completed_acks : int list;  (* sorted *)
+  s_evictions : int;
+  s_credits : (int * int * int) list;  (* peer, credits, queued sends; sorted *)
+  s_vpes : int list;  (* managed VPE ids, sorted *)
+}
+
+let sorted_keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare
+
+let snapshot t =
+  {
+    s_mapdb = Mapdb.snapshot t.mapdb;
+    s_membership = Membership.snapshot t.membership;
+    s_directory =
+      Hashtbl.fold (fun name key acc -> (name, key) :: acc) t.directory []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    s_next_op = t.next_op;
+    s_pending_ops = sorted_keys t.pending_ops;
+    s_retry_ops = sorted_keys t.retry_msgs;
+    s_remote_ops = sorted_keys t.remote_ops;
+    s_completed_acks = sorted_keys t.completed_acks;
+    s_evictions = Queue.length t.evictions;
+    s_credits =
+      Hashtbl.fold (fun peer (c, q) acc -> (peer, !c, Queue.length q) :: acc) t.credits []
+      |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b);
+    s_vpes = sorted_keys t.vpes;
+  }
+
+let restore t s =
+  if sorted_keys t.pending_ops <> s.s_pending_ops || sorted_keys t.retry_msgs <> s.s_retry_ops
+  then
+    invalid_arg
+      "Kernel.restore: live control plane does not match the snapshot (pending operations are \
+       restored only by whole-image checkpoints)";
+  Mapdb.restore t.mapdb s.s_mapdb;
+  Membership.restore t.membership s.s_membership;
+  Hashtbl.reset t.directory;
+  List.iter (fun (name, key) -> Hashtbl.replace t.directory name key) s.s_directory;
+  t.next_op <- s.s_next_op;
+  List.iter
+    (fun (peer, credits, queued) ->
+      match Hashtbl.find_opt t.credits peer with
+      | Some (c, q) ->
+        if Queue.length q <> queued then
+          invalid_arg "Kernel.restore: queued credit-stalled sends do not match the snapshot";
+        c := credits
+      | None ->
+        if queued <> 0 then
+          invalid_arg "Kernel.restore: queued credit-stalled sends do not match the snapshot";
+        Hashtbl.replace t.credits peer (ref credits, Queue.create ()))
+    s.s_credits
+
 let lookup_service t name = Hashtbl.find_opt t.directory name
 
 (* ------------------------------------------------------------------ *)

@@ -160,3 +160,16 @@ val migrate_vpe : t -> vpe:Vpe.t -> dst:int -> (unit -> unit) -> unit
 (** Run the mapping-database consistency check plus kernel-level
     invariants; returns human-readable violations (empty = healthy). *)
 val check_invariants : t -> string list
+
+(** Closure-free image of the kernel. The data plane — mapping
+    database, membership replica (including mid-handoff marks),
+    service directory, op-id cursor, per-peer credit windows — restores
+    in place; the control plane (pending operations, retry timers,
+    idempotency caches, which carry continuations and engine handles)
+    travels only inside whole-image checkpoints, so the snapshot
+    records its op ids and sizes and [restore] raises
+    [Invalid_argument] if the live control plane does not match. *)
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

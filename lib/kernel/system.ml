@@ -237,6 +237,78 @@ let migrate_vpe t (vpe : Vpe.t) ~to_kernel =
   ignore (Engine.run t.engine);
   if not !finished then failwith "System.migrate_vpe: migration did not complete"
 
+type snapshot = {
+  s_engine : Engine.snapshot;
+  s_fabric : Fabric.snapshot;
+  s_dtus : Dtu.snapshot;
+  s_membership : Membership.snapshot;
+  s_fault : Fault.snapshot option;
+  s_obs : Obs.Registry.state;
+  s_trace : Obs.Trace.state;
+  s_kernels : (int * Kernel.snapshot) list;
+  s_vpes : (int * Vpe.snapshot) list;
+  s_groups : int list array;  (* free-PE queues, front first *)
+  s_next_vpe : int;
+}
+
+let snapshot t =
+  {
+    s_engine = Engine.snapshot t.engine;
+    s_fabric = Fabric.snapshot t.fabric;
+    s_dtus = Dtu.snapshot_grid t.grid;
+    s_membership = Membership.snapshot t.membership;
+    s_fault = Option.map Fault.snapshot t.fault;
+    s_obs = Obs.Registry.dump t.obs;
+    s_trace = Obs.Trace.dump t.trace;
+    s_kernels =
+      List.init t.cfg.kernels (fun i -> (i, Kernel.snapshot (kernel t i)));
+    s_vpes =
+      Hashtbl.fold (fun id v acc -> (id, Vpe.snapshot v) :: acc) t.vpes []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+    s_groups =
+      Array.map (fun g -> List.rev (Queue.fold (fun acc pe -> pe :: acc) [] g.free)) t.groups;
+    s_next_vpe = t.next_vpe;
+  }
+
+(* The snapshot is closure-free by construction (gauges are sampled,
+   continuations summarised), so Marshal is deterministic for equal
+   states and the digest is a usable integrity fingerprint.
+   [No_sharing] keeps the digest a function of structural content
+   alone: a restored system rebuilds the same values with a different
+   physical sharing graph (e.g. trace-ring events no longer share
+   their kind strings with events recorded after resume), and
+   sharing-aware marshalling would tell those states apart. *)
+let fingerprint t =
+  Digest.to_hex (Digest.bytes (Marshal.to_bytes (snapshot t) [ Marshal.No_sharing ]))
+
+let restore t s =
+  Engine.restore t.engine s.s_engine;
+  Fabric.restore t.fabric s.s_fabric;
+  Dtu.restore_grid t.grid s.s_dtus;
+  Membership.restore t.membership s.s_membership;
+  (match (t.fault, s.s_fault) with
+  | Some plan, Some fs -> Fault.restore plan fs
+  | None, None -> ()
+  | _ -> invalid_arg "System.restore: fault plan presence does not match the snapshot");
+  Obs.Registry.restore t.obs s.s_obs;
+  Obs.Trace.restore t.trace s.s_trace;
+  List.iter (fun (i, ks) -> Kernel.restore (kernel t i) ks) s.s_kernels;
+  List.iter
+    (fun (id, vs) ->
+      match Hashtbl.find_opt t.vpes id with
+      | Some v -> Vpe.restore v vs
+      | None -> invalid_arg "System.restore: snapshot mentions a VPE this system never spawned")
+    s.s_vpes;
+  Array.iteri
+    (fun i pes ->
+      let g = t.groups.(i) in
+      Queue.clear g.free;
+      List.iter (fun pe -> Queue.push pe g.free) pes)
+    s.s_groups;
+  t.next_vpe <- s.s_next_vpe
+
+let rebind t = Engine.rebind t.engine
+
 let shutdown t =
   (* Exit every live VPE. Each exit revokes the VPE's entire capability
      space; concurrent exits exercise the overlapping-revoke machinery

@@ -102,6 +102,36 @@ val check_invariants : t -> string list
     its keys lands there. *)
 val migrate_vpe : t -> Vpe.t -> to_kernel:int -> unit
 
+(** Closure-free image of the whole simulation, composed from every
+    layer's snapshot: engine scalars, fabric FIFO clamps, DTU credit
+    windows, membership replicas (system-level and per-kernel,
+    including mid-handoff marks), the fault plan's RNG cursor and
+    budgets, the metrics registry, the trace ring, per-kernel data
+    planes, and per-VPE state. Everything that carries closures (the
+    event queue, pending protocol operations, reply continuations)
+    travels only inside whole-image checkpoints ({!Semper_sim.Checkpoint});
+    the snapshot summarises it so {!fingerprint} still distinguishes
+    states. *)
+type snapshot
+
+val snapshot : t -> snapshot
+
+(** In-place restore of every layer's snapshot onto a system of the
+    same shape. Raises [Invalid_argument] when shapes or the
+    closure-bearing control planes do not match (see
+    {!Kernel.restore}). *)
+val restore : t -> snapshot -> unit
+
+(** Hex digest of {!snapshot} — the integrity fingerprint stored in
+    checkpoint images and re-verified after restore. Deterministic:
+    equal states yield equal fingerprints. *)
+val fingerprint : t -> string
+
+(** Re-stamp the engine and its pending handles after this system was
+    materialised from a checkpoint image ({!Semper_sim.Engine.rebind}).
+    Must be called before driving the restored system. *)
+val rebind : t -> unit
+
 (** Graceful shutdown (IKC group 1 of the paper, §4.1): every live VPE
     — applications and services alike — exits, which recursively
     revokes every capability in the system; kernels then exchange

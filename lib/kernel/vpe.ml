@@ -37,6 +37,55 @@ let make ~id ~pe ~kernel =
 
 let is_alive t = t.state = Running
 
+type snapshot = {
+  s_id : int;
+  s_pe : int;
+  s_kernel : int;
+  s_capspace : Semper_caps.Capspace.snapshot;
+  s_state : state;
+  s_syscall_pending : bool;
+  s_frozen : bool;
+  s_reply_pending : bool;
+  s_syscall_name : string;
+  s_syscall_start : int64;
+  s_span : int;
+  s_accept_exchange : bool;
+  s_inbox : int;
+}
+
+let snapshot t =
+  {
+    s_id = t.id;
+    s_pe = t.pe;
+    s_kernel = t.kernel;
+    s_capspace = Semper_caps.Capspace.snapshot t.capspace;
+    s_state = t.state;
+    s_syscall_pending = t.syscall_pending;
+    s_frozen = t.frozen;
+    s_reply_pending = t.reply_k <> None;
+    s_syscall_name = t.syscall_name;
+    s_syscall_start = t.syscall_start;
+    s_span = t.span;
+    s_accept_exchange = t.accept_exchange;
+    s_inbox = Queue.length t.inbox;
+  }
+
+(* [reply_k] (a continuation) and the inbox messages travel only inside
+   whole-image checkpoints; the snapshot records their presence so a
+   fingerprint distinguishes states, and [restore] checks consistency
+   instead of overwriting them. *)
+let restore t s =
+  if t.id <> s.s_id || t.pe <> s.s_pe then invalid_arg "Vpe.restore: snapshot of a different VPE";
+  t.kernel <- s.s_kernel;
+  Semper_caps.Capspace.restore t.capspace s.s_capspace;
+  t.state <- s.s_state;
+  t.syscall_pending <- s.s_syscall_pending;
+  t.frozen <- s.s_frozen;
+  t.syscall_name <- s.s_syscall_name;
+  t.syscall_start <- s.s_syscall_start;
+  t.span <- s.s_span;
+  t.accept_exchange <- s.s_accept_exchange
+
 let pp ppf t =
   Format.fprintf ppf "vpe%d@pe%d(k%d,%s)" t.id t.pe t.kernel
     (match t.state with Running -> "running" | Exited -> "exited")

@@ -115,6 +115,19 @@ let send ?(tag = "") t ~src ~dst ~bytes k =
     in
     List.iter (fun a -> deliver t ~src ~dst ~bytes a k) arrivals
 
+(* The traffic counters live in the metrics registry and are restored
+   with it (Obs.Registry.restore); in-flight deliveries are engine
+   events and travel inside whole-image checkpoints. What remains here
+   is the pairwise FIFO clamp. *)
+type snapshot = { s_last_delivery : int array }
+
+let snapshot t = { s_last_delivery = Array.copy t.last_delivery }
+
+let restore t s =
+  if Array.length s.s_last_delivery <> Array.length t.last_delivery then
+    invalid_arg "Fabric.restore: topology size does not match the snapshot";
+  Array.blit s.s_last_delivery 0 t.last_delivery 0 (Array.length t.last_delivery)
+
 let messages t = Obs.Registry.value t.messages
 let bytes_carried t = Obs.Registry.value t.bytes
 let hops_traversed t = Obs.Registry.value t.hops

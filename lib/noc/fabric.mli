@@ -69,3 +69,13 @@ val bytes_delivered : t -> int
 (** Copies dropped by the injector (partial drops of a duplicated
     message count per copy). *)
 val dropped : t -> int
+
+(** The fabric's own mutable surface: the pairwise-FIFO last-delivery
+    clamp. Traffic counters live in the metrics registry (restored via
+    [Obs.Registry.restore]); in-flight deliveries are engine events and
+    travel inside whole-image checkpoints. [restore] raises
+    [Invalid_argument] on a topology-size mismatch. *)
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

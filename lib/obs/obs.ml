@@ -326,6 +326,52 @@ module Registry = struct
     Hashtbl.fold (fun name _ acc -> name :: acc) t.instruments []
     |> List.sort String.compare
 
+  (* Closure-free image of every instrument, keyed and sorted by name.
+     Gauges are sampled (their value is derived from live state and is
+     recomputed, not restored); counters and histograms restore in
+     place. *)
+  type instrument_state =
+    | S_counter of int
+    | S_gauge of float
+    | S_histogram of { h_buckets : int array; h_acc : Stats.Acc.state }
+
+  type state = (string * instrument_state) list
+
+  let dump t =
+    List.map
+      (fun name ->
+        let st =
+          match Hashtbl.find t.instruments name with
+          | Counter c -> S_counter c.count
+          | Gauge f -> S_gauge (f ())
+          | Histogram h ->
+            S_histogram { h_buckets = Array.copy h.bucket_counts; h_acc = Stats.Acc.dump h.acc }
+        in
+        (name, st))
+      (names t)
+
+  let restore t state =
+    List.iter
+      (fun (name, st) ->
+        match (Hashtbl.find_opt t.instruments name, st) with
+        | Some (Counter c), S_counter v -> c.count <- v
+        | None, S_counter v -> Hashtbl.add t.instruments name (Counter { count = v })
+        | (Some (Gauge _) | None), S_gauge _ -> ()
+        | Some (Histogram h), S_histogram { h_buckets; h_acc } ->
+          if Array.length h_buckets <> Array.length h.bucket_counts then
+            invalid_arg
+              (Printf.sprintf "Obs.Registry.restore: histogram %s has different buckets" name);
+          Array.blit h_buckets 0 h.bucket_counts 0 (Array.length h_buckets);
+          Stats.Acc.restore h.acc h_acc
+        | Some other, _ ->
+          invalid_arg
+            (Printf.sprintf "Obs.Registry.restore: %s is a %s in the live registry" name
+               (kind_name other))
+        | None, S_histogram _ ->
+          invalid_arg
+            (Printf.sprintf "Obs.Registry.restore: histogram %s missing from live registry" name))
+      state
+
   (* The snapshot is sorted by instrument name so that lazy creation
      order (which depends on which ops a workload happens to exercise
      first) never shows through in the output. *)
@@ -413,4 +459,14 @@ module Trace = struct
         Buffer.add_char buf '\n')
       (events t);
     Buffer.contents buf
+
+  type state = { st_ring : event array; st_recorded : int }
+
+  let dump t = { st_ring = Array.copy t.ring; st_recorded = t.recorded }
+
+  let restore t s =
+    if Array.length s.st_ring <> t.capacity then
+      invalid_arg "Obs.Trace.restore: ring capacity does not match the snapshot";
+    Array.blit s.st_ring 0 t.ring 0 t.capacity;
+    t.recorded <- s.st_recorded
 end

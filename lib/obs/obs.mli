@@ -60,6 +60,23 @@ module Registry : sig
   (** [snapshot t] renders every instrument, sorted by name.  Histogram
       [min]/[max]/[mean]/[sum] are [null] when the count is zero. *)
   val snapshot : t -> Json.t
+
+  (** Closure-free image of every instrument, sorted by name — the
+      registry's contribution to a checkpoint. Gauges are sampled into
+      the dump (their value is derived from live simulation state) but
+      skipped on restore; counters and histograms restore in place.
+      [restore] creates counters the live registry has not lazily
+      created yet, and raises [Invalid_argument] on a kind or bucket
+      mismatch rather than misapplying state. *)
+  type instrument_state =
+    | S_counter of int
+    | S_gauge of float
+    | S_histogram of { h_buckets : int array; h_acc : Semper_util.Stats.Acc.state }
+
+  type state = (string * instrument_state) list
+
+  val dump : t -> state
+  val restore : t -> state -> unit
 end
 
 (** Bounded ring buffer of trace events, ordered by insertion (which,
@@ -98,4 +115,12 @@ module Trace : sig
 
   (** All retained events as JSON Lines (one object per line). *)
   val to_jsonl : t -> string
+
+  (** Ring contents plus the recorded count, for checkpoint/restore.
+      [restore] raises [Invalid_argument] if the live ring's capacity
+      differs from the snapshot's. *)
+  type state
+
+  val dump : t -> state
+  val restore : t -> state -> unit
 end

@@ -1,0 +1,73 @@
+(** Versioned binary checkpoint images with an integrity digest.
+
+    An image freezes one OCaml value — typically the root record of a
+    whole simulation — in a single [Marshal] call with closure
+    serialization enabled, so the entire object graph (event queue,
+    kernels, VPEs, the continuations inside pending protocol
+    operations) is captured with sharing and physical equality intact.
+    Restoring materialises an independent copy of that graph; the
+    original, if still live, is untouched.
+
+    {2 Format and version rules}
+
+    [magic | header | payload]. The header records the image format
+    {!format_version}, a caller-chosen [kind] (which run family wrote
+    the image), a free-form [label], a [position] (how far into the run
+    the image was taken), an optional caller [fingerprint], and an MD5
+    digest of the payload bytes. {!load} rejects — with an error, never
+    a misread — images whose magic, version, kind, or payload digest do
+    not match. Bump {!format_version} whenever the meaning of any
+    header field or the payload layout changes; there is deliberately
+    no migration path, old images are simply re-recorded.
+
+    Closure blocks additionally embed the writing binary's code digest
+    (an OCaml runtime invariant), so images are same-binary artifacts:
+    after a rebuild, {!load} reports an error asking for a re-record.
+    Record and replay always run from the same [semperos_cli] build, so
+    this costs nothing in practice and removes any possibility of
+    executing stale code.
+
+    After restoring a payload that contains a simulation, call
+    {!Engine.rebind} (or [System.rebind]) on its engine before driving
+    it: handles inside the image alias the recording engine's id and
+    must be re-stamped (see {!Engine.type-handle}). *)
+
+(** Current image format version. *)
+val format_version : int
+
+type header = {
+  version : int;
+  kind : string;
+  label : string;
+  position : int64;
+  fingerprint : string;
+  payload_digest : string;  (** MD5 of the payload bytes *)
+}
+
+(** [save ~kind payload] is a fresh image of [payload]. [version]
+    defaults to {!format_version} and exists only so tests can forge
+    stale images. *)
+val save :
+  ?version:int ->
+  kind:string ->
+  ?label:string ->
+  ?position:int64 ->
+  ?fingerprint:string ->
+  'a ->
+  bytes
+
+(** Decode and validate the header alone (no payload unmarshaling). *)
+val header_of_bytes : bytes -> (header, string) result
+
+(** [load ~kind image] validates magic, version, kind, and payload
+    digest, then materialises the payload. The result type is the
+    caller's claim — sound as long as every [kind] string is written
+    and read with one payload type, which is the whole point of the
+    field. *)
+val load : kind:string -> bytes -> (header * 'a, string) result
+
+(** File helpers ([write] truncates; [read] returns [Error] on I/O
+    failure rather than raising). *)
+val write : string -> bytes -> unit
+
+val read : string -> (bytes, string) result

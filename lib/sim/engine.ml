@@ -5,7 +5,13 @@ module Obs = Semper_obs.Obs
    heap (or earlier, by compaction). The heap is never searched. *)
 type handle_state = H_pending | H_fired | H_cancelled
 
-type handle = { mutable state : handle_state }
+(* [owner] ties a pending handle to the engine instance that issued it,
+   so that [cancel] can reject handles from another engine (or from a
+   pre-restore life of this engine) instead of silently corrupting the
+   dead-event accounting. Engines get their id from a process-wide
+   counter; [rebind] re-stamps a restored engine and its queued
+   handles with a fresh id. *)
+type handle = { mutable state : handle_state; mutable owner : int }
 
 type event = {
   time : int64;
@@ -17,6 +23,7 @@ type event = {
 }
 
 type t = {
+  mutable uid : int;
   mutable clock : int64;
   mutable next_seq : int;
   mutable processed : int;
@@ -69,10 +76,15 @@ let compare_event a b =
 
 let dummy_event = { time = 0L; seq = -1; run = (fun () -> ()); cell = None }
 
+(* Engine instance ids. Atomic because sweeps create engines on many
+   domains at once; the ids only need to be distinct, not dense. *)
+let next_uid = Atomic.make 0
+
 let create ?obs () =
   let ctr name = Option.map (fun r -> Obs.Registry.counter r ("engine." ^ name)) obs in
   let t =
     {
+      uid = Atomic.fetch_and_add next_uid 1;
       clock = 0L;
       next_seq = 0;
       processed = 0;
@@ -112,7 +124,7 @@ let after t delay run =
   at t (Int64.add t.clock delay) run
 
 let at_cancellable t time run =
-  let h = { state = H_pending } in
+  let h = { state = H_pending; owner = t.uid } in
   schedule t time run (Some h);
   h
 
@@ -137,6 +149,8 @@ let cancel t h =
   match h.state with
   | H_fired | H_cancelled -> ()
   | H_pending ->
+    if h.owner <> t.uid then
+      invalid_arg "Engine.cancel: handle belongs to a different engine (or a stale restore)";
     h.state <- H_cancelled;
     t.dead <- t.dead + 1;
     t.cancelled <- t.cancelled + 1;
@@ -194,3 +208,53 @@ let events_cancelled t = t.cancelled
 let events_skipped t = t.skipped
 let heap_peak t = t.heap_peak
 let pending t = Semper_util.Heap.length t.queue - t.dead
+
+let rebind t =
+  t.uid <- Atomic.fetch_and_add next_uid 1;
+  (* Every still-pending handle sits in the queue (a pending event is by
+     definition scheduled), so walking the queue re-stamps them all.
+     Fired and cancelled cells are left alone: [cancel] no-ops on them
+     before it ever looks at the owner. *)
+  Semper_util.Heap.fold
+    (fun () ev ->
+      match ev.cell with
+      | Some h when h.state = H_pending -> h.owner <- t.uid
+      | Some _ | None -> ())
+    () t.queue
+
+type snapshot = {
+  s_clock : int64;
+  s_next_seq : int;
+  s_processed : int;
+  s_dead : int;
+  s_horizon : int64;
+  s_cancelled : int;
+  s_skipped : int;
+  s_heap_peak : int;
+  s_queued : int;
+}
+
+let snapshot t =
+  {
+    s_clock = t.clock;
+    s_next_seq = t.next_seq;
+    s_processed = t.processed;
+    s_dead = t.dead;
+    s_horizon = t.horizon;
+    s_cancelled = t.cancelled;
+    s_skipped = t.skipped;
+    s_heap_peak = t.heap_peak;
+    s_queued = Semper_util.Heap.length t.queue;
+  }
+
+let restore t s =
+  if Semper_util.Heap.length t.queue <> s.s_queued then
+    invalid_arg "Engine.restore: queue length does not match the snapshot";
+  t.clock <- s.s_clock;
+  t.next_seq <- s.s_next_seq;
+  t.processed <- s.s_processed;
+  t.dead <- s.s_dead;
+  t.horizon <- s.s_horizon;
+  t.cancelled <- s.s_cancelled;
+  t.skipped <- s.s_skipped;
+  t.heap_peak <- s.s_heap_peak

@@ -18,8 +18,13 @@
 
 type t
 
-(** A cancellable event. Handles are single-engine: passing a handle to
-    a different engine's [cancel] is undefined. *)
+(** A cancellable event. Handles are single-engine: each handle is
+    stamped with the issuing engine's instance id, and [cancel] raises
+    [Invalid_argument] for a pending handle stamped by a different
+    engine. Handles do {e not} survive a checkpoint restore: the
+    restored object graph carries its own copies of every handle, and
+    {!rebind} stamps those copies with the restored engine's fresh id —
+    any handle from the pre-restore life is permanently foreign to it. *)
 type handle
 
 (** Fresh engine at cycle 0. When [obs] is given, the engine registers
@@ -46,8 +51,16 @@ val after_cancellable : t -> int64 -> (unit -> unit) -> handle
 
 (** Retire a scheduled event. Idempotent; a no-op once the event has
     fired. The event's callback is never called after [cancel]
-    returns. *)
+    returns. Raises [Invalid_argument] if a still-pending handle was
+    issued by a different engine instance (see {!type-handle}). *)
 val cancel : t -> handle -> unit
+
+(** Give the engine a fresh instance id and re-stamp every pending
+    handle in its queue with it. Call this on an engine that was just
+    materialised from a checkpoint image: it makes the restored copies
+    of handles valid for this engine while rendering all pre-restore
+    handles (which may alias a still-live original engine) foreign. *)
+val rebind : t -> unit
 
 (** Run until the event queue is empty, or until the optional [until]
     cycle (events strictly after it stay queued). Returns the number of
@@ -71,6 +84,32 @@ val heap_peak : t -> int
 
 (** Live (non-cancelled) events currently queued. *)
 val pending : t -> int
+
+(** Closure-free image of the engine's scalar state (clock, sequence
+    and event counters, horizon, queue length). The event queue itself
+    carries closures and travels only inside whole-image checkpoints
+    (see {!Checkpoint}); the snapshot is used to fingerprint a state
+    and to re-synchronise counters after such a restore. *)
+type snapshot = {
+  s_clock : int64;
+  s_next_seq : int;
+  s_processed : int;
+  s_dead : int;
+  s_horizon : int64;
+  s_cancelled : int;
+  s_skipped : int;
+  s_heap_peak : int;
+  s_queued : int;  (** queued events including dead (cancelled) slots *)
+}
+
+val snapshot : t -> snapshot
+
+(** Restore the scalar state captured by {!snapshot}. The queue is
+    untouched, so the engine's current queue must already match the
+    snapshot ([s_queued] is checked; raises [Invalid_argument]
+    otherwise) — the intended caller restores the event queue via a
+    whole-image checkpoint first. *)
+val restore : t -> snapshot -> unit
 
 (** Process-wide totals over every engine ever created, including those
     running on other domains during parallel sweeps. Used by the

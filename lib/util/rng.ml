@@ -49,3 +49,8 @@ let shuffle t arr =
 let choose t arr =
   if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
   arr.(int t (Array.length arr))
+
+type snapshot = int64
+
+let snapshot t = t.state
+let restore t s = t.state <- s

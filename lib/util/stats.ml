@@ -30,6 +30,25 @@ module Acc = struct
   let min_opt t = if t.n = 0 then None else Some t.min
   let max_opt t = if t.n = 0 then None else Some t.max
   let sum t = t.sum
+
+  type state = {
+    s_n : int;
+    s_mean : float;
+    s_m2 : float;
+    s_min : float;
+    s_max : float;
+    s_sum : float;
+  }
+
+  let dump t = { s_n = t.n; s_mean = t.mean; s_m2 = t.m2; s_min = t.min; s_max = t.max; s_sum = t.sum }
+
+  let restore t s =
+    t.n <- s.s_n;
+    t.mean <- s.s_mean;
+    t.m2 <- s.s_m2;
+    t.min <- s.s_min;
+    t.max <- s.s_max;
+    t.sum <- s.s_sum
 end
 
 let mean = function

@@ -22,6 +22,21 @@ module Acc : sig
 
   val max_opt : t -> float option
   val sum : t -> float
+
+  (** Closure-free image of the accumulator, for checkpoint/restore.
+      The fields are Welford's running moments, so a restored
+      accumulator continues the stream exactly. *)
+  type state = {
+    s_n : int;
+    s_mean : float;
+    s_m2 : float;
+    s_min : float;
+    s_max : float;
+    s_sum : float;
+  }
+
+  val dump : t -> state
+  val restore : t -> state -> unit
 end
 
 (** [mean xs] of a list; 0 for the empty list. *)

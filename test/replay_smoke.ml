@@ -1,0 +1,81 @@
+(* Replay smoke: record both figures at smoke scale, resume each from
+   a mid-run checkpoint, and replay the regression corpus. Run with
+   [dune build @replay-smoke]. *)
+
+open Semperos
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL " ^ s); exit 1) fmt
+let pass fmt = Printf.ksprintf (fun s -> print_endline ("ok " ^ s)) fmt
+
+let fresh_dir tag =
+  let path = Filename.temp_file ("semperos-replay-smoke-" ^ tag) "" in
+  Sys.remove path;
+  path
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let figure name =
+  match Figures.find name with
+  | Some f -> f
+  | None -> fail "figure %s is not registered" name
+
+let check_figure name =
+  let fig = figure name in
+  let dir = fresh_dir name in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let recorded = Record.record ~every:2 ~dir fig Figures.Smoke in
+      let total =
+        match Record.read_manifest dir with
+        | Ok m -> m.Record.m_total
+        | Error e -> fail "%s manifest: %s" name e
+      in
+      let mid = total / 2 in
+      match Record.replay ~dir ~from_:mid () with
+      | Error e -> fail "%s replay --from %d: %s" name mid e
+      | Ok (resumed_at, out) ->
+          if not (String.equal out.Figures.text recorded.Figures.text) then
+            fail "%s: resumed text differs from the recorded run" name;
+          if
+            not
+              (String.equal
+                 (Obs.Json.to_string out.Figures.json)
+                 (Obs.Json.to_string recorded.Figures.json))
+          then fail "%s: resumed json differs from the recorded run" name;
+          pass "%s: %d points, resumed at %d, byte-identical" name total resumed_at)
+
+let check_corpus () =
+  let dir =
+    match List.find_opt Sys.file_exists [ "corpus"; "test/corpus" ] with
+    | Some d -> d
+    | None -> "corpus"
+  in
+  let cases =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".case")
+    |> List.sort String.compare
+  in
+  if List.length cases < 2 then fail "corpus holds %d cases, expected >= 2" (List.length cases);
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      match Fuzz.Case.load path with
+      | Error e -> fail "%s: %s" path e
+      | Ok case -> (
+          match Fuzz.Case.check case with
+          | Ok outcome ->
+              pass "%s: %d ops, verdict [%s] reproduced" f case.Fuzz.Case.spec.Fuzz.ops
+                (String.concat "," (Fuzz.Case.kinds outcome.Fuzz.failures))
+          | Error e -> fail "%s: %s" path e))
+    cases
+
+let () =
+  check_figure "fig4";
+  check_figure "fig6";
+  check_corpus ();
+  print_endline "replay smoke passed"

@@ -24,4 +24,6 @@ let () =
       ("services", Test_services.suite);
       ("tools", Test_tools.suite);
       ("properties", Test_properties.suite);
+      ("checkpoint", Test_checkpoint.suite);
+      ("replay", Test_replay.suite);
     ]
