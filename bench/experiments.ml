@@ -58,9 +58,9 @@ let fig4 () =
     List.concat_map
       (fun len ->
         [
-          { Microbench.c_mode = Cost.Semperos; c_spanning = false; c_len = len };
-          { Microbench.c_mode = Cost.Semperos; c_spanning = true; c_len = len };
-          { Microbench.c_mode = Cost.M3; c_spanning = false; c_len = len };
+          { Microbench.c_mode = Cost.Semperos; c_spanning = false; c_len = len; c_batching = false };
+          { Microbench.c_mode = Cost.Semperos; c_spanning = true; c_len = len; c_batching = false };
+          { Microbench.c_mode = Cost.M3; c_spanning = false; c_len = len; c_batching = false };
         ])
       lengths
   in

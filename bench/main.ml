@@ -21,7 +21,7 @@ let bechamel () =
   in
   let test_fig4 =
     Test.make ~name:"fig4" (Staged.stage (fun () ->
-        ignore (Semper_harness.Microbench.chain_revocation ~mode:Semperos.Cost.Semperos ~spanning:false ~len:20)))
+        ignore (Semper_harness.Microbench.chain_revocation ~mode:Semperos.Cost.Semperos ~spanning:false ~len:20 ())))
   in
   let test_fig5 =
     Test.make ~name:"fig5" (Staged.stage (fun () ->
@@ -88,7 +88,7 @@ let bechamel () =
 let usage () =
   prerr_endline
     "usage: main.exe [--jobs N] \
-     [table3|fig4|fig5|table4|fig6|fig7|fig8|fig9|fig10|ablations|json|bechamel|wallclock|all]";
+     [table3|fig4|fig5|table4|fig6|fig7|fig8|fig9|fig10|ablations|json|bechamel|wallclock|batch|all]";
   prerr_endline
     "  --jobs N, -j N   run independent experiment points on N domains (default: cores; 1 = serial)";
   exit 2
@@ -130,6 +130,9 @@ let () =
       (* Not part of [all] either: BENCH_balance.json is its own
          deliverable, regenerated only when the balancer changes. *)
       ("balance", fun () -> Semper_harness.Skew.bench ());
+      (* Likewise: BENCH_batch.json is regenerated only when the
+         batching fabric changes. *)
+      ("batch", fun () -> Semper_harness.Batchbench.run ());
       ("all", fun () -> Experiments.all (); bechamel ());
     ]
   in

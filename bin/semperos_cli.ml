@@ -61,7 +61,7 @@ let micro_cmd =
 
 let chain_cmd =
   let run mode spanning len =
-    let cycles = Semper_harness.Microbench.chain_revocation ~mode ~spanning ~len in
+    let cycles = Semper_harness.Microbench.chain_revocation ~mode ~spanning ~len () in
     Fmt.pr "chain of %d: revoked in %Ld cycles (%.1f us)@." len cycles
       (Int64.to_float cycles /. 2000.0)
   in
@@ -586,13 +586,18 @@ let bench_cmd =
     | "balance" ->
       let preset = if smoke then Semper_harness.Skew.Smoke else Semper_harness.Skew.Full in
       Semper_harness.Skew.bench ~preset ?path:out ()
+    | "batch" ->
+      let preset =
+        if smoke then Semper_harness.Batchbench.Smoke else Semper_harness.Batchbench.Full
+      in
+      Semper_harness.Batchbench.run ~preset ?path:out ()
     | m ->
-      Fmt.epr "error: unknown bench mode %S (expected: wallclock or balance)@." m;
+      Fmt.epr "error: unknown bench mode %S (expected: wallclock, balance, or batch)@." m;
       exit 2
   in
   let mode =
     Arg.(value & pos 0 string "wallclock" & info [] ~docv:"MODE"
-         ~doc:"Benchmark mode: $(b,wallclock) or $(b,balance).")
+         ~doc:"Benchmark mode: $(b,wallclock), $(b,balance), or $(b,batch).")
   in
   let smoke =
     Arg.(value & flag & info [ "smoke" ]
@@ -600,14 +605,16 @@ let bench_cmd =
   in
   let out =
     Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
-         ~doc:"Write the JSON report to FILE (default BENCH_wallclock.json).")
+         ~doc:"Write the JSON report to FILE (default BENCH_<mode>.json).")
   in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
-         "Measure the simulator's own wall-clock throughput (events/s) over representative \
-          figure workloads and write BENCH_wallclock.json. Host-dependent by construction — \
-          the only output here that is exempt from the byte-identity contract.")
+         "Standalone benchmark deliverables. $(b,wallclock) measures the simulator's own \
+          host throughput (events/s; host-dependent by construction, the only output exempt \
+          from the byte-identity contract). $(b,balance) runs the skewed-workload load-balancer \
+          ablation (BENCH_balance.json). $(b,batch) runs every workload with IKC batching off \
+          and on (BENCH_batch.json); both are deterministic.")
     Term.(const run $ mode $ smoke $ out)
 
 let nginx_cmd =

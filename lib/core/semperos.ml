@@ -76,6 +76,7 @@ module Figures = Semper_harness.Figures
 module Record = Semper_harness.Record
 module Bench_json = Semper_harness.Bench_json
 module Wallclock = Semper_harness.Wallclock
+module Batchbench = Semper_harness.Batchbench
 module Balance = Semper_balance.Balance
 module Skew = Semper_harness.Skew
 

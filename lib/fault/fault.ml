@@ -130,20 +130,24 @@ let restore t s =
   t.stats.drops <- s.s_drops;
   t.stats.stalls <- s.s_stalls
 
-(* Only op-tagged request/reply traffic may be dropped: those are the
-   messages the kernels retransmit. Fire-and-forget notifications
-   (remove_child, srv_announce, ...) and credit returns have no retry
+(* Only retransmitted traffic may be dropped: op-tagged request/reply
+   pairs, the op-tagged notifications (remove_child, srv_announce —
+   acked via the credit-return piggyback and retried until then), and
+   batch frames (whose op-tagged inner messages are retried
+   individually). Credit returns and shutdown notices have no retry
    path, so dropping them would wedge the protocols by design. *)
 let droppable = function
   | "obtain_req" | "obtain_reply" | "delegate_req" | "delegate_reply" | "delegate_ack"
   | "open_sess_req" | "open_sess_reply" | "revoke_req" | "revoke_reply" | "migrate_update"
-  | "migrate_ack" | "migrate_caps" ->
+  | "migrate_ack" | "migrate_caps" | "remove_child" | "srv_announce" | "batch" ->
     true
   | _ -> false
 
-(* Duplication additionally covers the idempotent notifications. *)
+(* Duplication additionally covers the remaining idempotent
+   notification (receivers dedup everything op-tagged, and a duplicate
+   shutdown notice is just logged twice). *)
 let duplicable = function
-  | "remove_child" | "srv_announce" | "shutdown" -> true
+  | "shutdown" -> true
   | tag -> droppable tag
 
 let injector t ~src ~dst ~tag ~now:_ ~arrival =

@@ -1,0 +1,27 @@
+(** IKC batching benchmark (BENCH_batch.json): the Figure 4 spanning
+    chain, a Figure 5-shaped tree, and a burst of concurrent spanning
+    obtains, each run with slot-window coalescing off and on. Reports
+    simulated cycles and inter-kernel message counts side by side.
+
+    Everything runs serially and the simulator is seeded, so the
+    emitted JSON is byte-identical across runs and [--jobs] values. *)
+
+type sample = {
+  b_name : string;
+  b_off_cycles : int64;
+  b_on_cycles : int64;
+  b_off_ikc : int;  (** Ik_* messages put on the fabric, batching off *)
+  b_on_ikc : int;   (** same workload phase, batching on (frames count as one) *)
+  b_batches : int;  (** framed multi-messages shipped, batching on *)
+  b_batched_msgs : int;  (** inner messages those frames carried *)
+}
+
+type preset = Full | Smoke
+
+val samples : ?preset:preset -> unit -> sample list
+val json : sample list -> Semper_obs.Obs.Json.t
+val print : sample list -> unit
+
+(** Print the table and write the JSON to [path] (default
+    [BENCH_batch.json]). *)
+val run : ?preset:preset -> ?path:string -> unit -> unit

@@ -26,8 +26,8 @@ let micro ?jobs ?(lens = [ 0; 20; 40; 60; 80; 100 ]) () =
       (List.concat_map
          (fun len ->
            [
-             { Microbench.c_mode = Cost.Semperos; c_spanning = false; c_len = len };
-             { Microbench.c_mode = Cost.Semperos; c_spanning = true; c_len = len };
+             { Microbench.c_mode = Cost.Semperos; c_spanning = false; c_len = len; c_batching = false };
+             { Microbench.c_mode = Cost.Semperos; c_spanning = true; c_len = len; c_batching = false };
            ])
          lens)
   in

@@ -23,7 +23,9 @@ type result = R_cycles of int64 | R_app of Experiment.outcome
 
 let compute = function
   | P_chain s ->
-    R_cycles (Microbench.chain_revocation ~mode:s.Microbench.c_mode ~spanning:s.c_spanning ~len:s.c_len)
+    R_cycles
+      (Microbench.chain_revocation ~batching:s.Microbench.c_batching ~mode:s.Microbench.c_mode
+         ~spanning:s.c_spanning ~len:s.c_len ())
   | P_app cfg -> R_app (Experiment.run cfg)
 
 type t = {
@@ -46,8 +48,8 @@ let fig4_points preset =
   List.concat_map
     (fun len ->
       [
-        P_chain { Microbench.c_mode = Cost.Semperos; c_spanning = false; c_len = len };
-        P_chain { Microbench.c_mode = Cost.Semperos; c_spanning = true; c_len = len };
+        P_chain { Microbench.c_mode = Cost.Semperos; c_spanning = false; c_len = len; c_batching = false };
+        P_chain { Microbench.c_mode = Cost.Semperos; c_spanning = true; c_len = len; c_batching = false };
       ])
     (fig4_lens preset)
 

@@ -1,6 +1,7 @@
 module System = Semper_kernel.System
 module Kernel = Semper_kernel.Kernel
 module Vpe = Semper_kernel.Vpe
+module Cost = Semper_kernel.Cost
 module P = Semper_kernel.Protocol
 module Perms = Semper_caps.Perms
 module Fault = Semper_fault.Fault
@@ -266,7 +267,23 @@ let finish st =
           :: st.failures;
       (* Safety oracle: the global capability forest must be consistent. *)
       let report = Audit.run sys in
-      List.iter (fun e -> st.failures <- ("audit: " ^ e) :: st.failures) report.Audit.errors
+      List.iter (fun e -> st.failures <- ("audit: " ^ e) :: st.failures) report.Audit.errors;
+      (* Credit oracle: at quiescence every per-peer send window must sit
+         inside [0, max_inflight] — a negative window means a send slipped
+         past the gate, an oversized one means a duplicated or spurious
+         refund was banked instead of discarded (§5.1). *)
+      List.iter
+        (fun k ->
+          List.iter
+            (fun (peer, credits) ->
+              if credits < 0 || credits > Cost.max_inflight then
+                st.failures <-
+                  Printf.sprintf
+                    "credit: kernel %d window to peer %d is %d, outside [0, %d]"
+                    (Kernel.id k) peer credits Cost.max_inflight
+                  :: st.failures)
+            (Kernel.credit_windows k))
+        (System.kernels sys)
     with exn -> st.failures <- ("exception: " ^ Printexc.to_string exn) :: st.failures));
   let leaked = try System.shutdown sys with _ -> -1 in
   if leaked <> 0 then

@@ -28,8 +28,8 @@ let sel_of = function
   | r -> Format.kasprintf failwith "bench: expected selector, got %a" Protocol.pp_reply r
 
 (* Two-VPE system for the Table 3 / Figure 4 microbenchmarks. *)
-let micro_system mode =
-  let sys = System.create (System.config ~kernels:2 ~user_pes_per_kernel:4 ~mode ()) in
+let micro_system ?(batching = false) mode =
+  let sys = System.create (System.config ~kernels:2 ~user_pes_per_kernel:4 ~mode ~batching ()) in
   let v1 = System.spawn_vpe sys ~kernel:0 in
   let v2 = System.spawn_vpe sys ~kernel:0 in
   let v3 = System.spawn_vpe sys ~kernel:1 in
@@ -49,9 +49,10 @@ let exchange_revoke ~mode ~spanning =
   (exchange, revoke)
 
 (* Figure 4: revoke a chain built by bouncing a capability between two
-   VPEs [len] times. *)
-let chain_revocation ~mode ~spanning ~len =
-  let sys, v1, v2, v3 = micro_system mode in
+   VPEs [len] times. [batching] enables slot-window coalescing plus the
+   requester-handoff revoke wave (the Figure 4 ablation). *)
+let chain_revocation ?(batching = false) ~mode ~spanning ~len () =
+  let sys, v1, v2, v3 = micro_system ~batching mode in
   let other = if spanning then v3 else v2 in
   let r, _ = timed_syscall sys v1 (Protocol.Sys_alloc_mem { size = 4096L; perms = Perms.rw }) in
   let root = sel_of r in
@@ -118,12 +119,20 @@ let exchange_revokes ?jobs specs =
     (fun (mode, spanning) -> exchange_revoke ~mode ~spanning)
     specs
 
-type chain_spec = { c_mode : Cost.mode; c_spanning : bool; c_len : int }
+type chain_spec = {
+  c_mode : Cost.mode;
+  c_spanning : bool;
+  c_len : int;
+  c_batching : bool;
+}
+
+let chain_spec ?(batching = false) ~mode ~spanning ~len () =
+  { c_mode = mode; c_spanning = spanning; c_len = len; c_batching = batching }
 
 let chain_revocations ?jobs specs =
   Semper_util.Domain_pool.map ?jobs
-    (fun { c_mode; c_spanning; c_len } ->
-      chain_revocation ~mode:c_mode ~spanning:c_spanning ~len:c_len)
+    (fun { c_mode; c_spanning; c_len; c_batching } ->
+      chain_revocation ~batching:c_batching ~mode:c_mode ~spanning:c_spanning ~len:c_len ())
     specs
 
 type tree_spec = {

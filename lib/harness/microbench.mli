@@ -7,10 +7,13 @@
     group-spanning. Returns [(exchange_cycles, revoke_cycles)]. *)
 val exchange_revoke : mode:Semper_kernel.Cost.mode -> spanning:bool -> int64 * int64
 
-(** [chain_revocation ~mode ~spanning ~len] builds a capability chain
-    of [len] exchanges bounced between two VPEs and times revoking it
-    from the root (Figure 4). *)
-val chain_revocation : mode:Semper_kernel.Cost.mode -> spanning:bool -> len:int -> int64
+(** [chain_revocation ~mode ~spanning ~len ()] builds a capability
+    chain of [len] exchanges bounced between two VPEs and times
+    revoking it from the root (Figure 4). [batching] enables
+    slot-window coalescing plus the requester-handoff revoke wave (the
+    Figure 4 ablation). *)
+val chain_revocation :
+  ?batching:bool -> mode:Semper_kernel.Cost.mode -> spanning:bool -> len:int -> unit -> int64
 
 (** [tree_revocation ~extra_kernels ~children ()] builds a flat tree of
     [children] copies spread over [extra_kernels] other kernels and
@@ -40,7 +43,20 @@ val tree_revocation :
 val exchange_revokes :
   ?jobs:int -> (Semper_kernel.Cost.mode * bool) list -> (int64 * int64) list
 
-type chain_spec = { c_mode : Semper_kernel.Cost.mode; c_spanning : bool; c_len : int }
+type chain_spec = {
+  c_mode : Semper_kernel.Cost.mode;
+  c_spanning : bool;
+  c_len : int;
+  c_batching : bool;
+}
+
+val chain_spec :
+  ?batching:bool ->
+  mode:Semper_kernel.Cost.mode ->
+  spanning:bool ->
+  len:int ->
+  unit ->
+  chain_spec
 
 val chain_revocations : ?jobs:int -> chain_spec list -> int64 list
 

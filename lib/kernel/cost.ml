@@ -8,6 +8,8 @@ type t = {
   reply_bytes : int;
   ikc_bytes : int;
   credit_bytes : int;
+  batch_header_bytes : int;
+  batch_window : int64;
   syscall_dispatch : int64;
   exchange_create : int64;
   exchange_forward : int64;
@@ -39,6 +41,8 @@ let default mode =
     reply_bytes = 32;
     ikc_bytes = 64;
     credit_bytes = 16;
+    batch_header_bytes = 16;
+    batch_window = 2000L;
     syscall_dispatch = 250L;
     exchange_create = 887L;
     exchange_forward = 800L;

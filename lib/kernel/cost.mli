@@ -21,6 +21,12 @@ type t = {
   reply_bytes : int;
   ikc_bytes : int;
   credit_bytes : int;
+  batch_header_bytes : int;
+      (** frame header prepended to an [Ik_batch] multi-message *)
+  batch_window : int64;
+      (** DTU slot window, cycles: messages to the same peer kernel
+          issued within this window of a leader ride one framed
+          [Ik_batch] (batching mode only) *)
   (* kernel PE processing charges, cycles *)
   syscall_dispatch : int64;  (** receive, decode, resolve selector *)
   exchange_create : int64;   (** create the child capability and link it *)

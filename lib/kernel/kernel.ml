@@ -39,9 +39,12 @@ type stats = {
   ikc_sent : int;
   ikc_received : int;
   credit_stalls : int;
+  credit_overrefund : int;
   retries : int;
   retry_exhausted : int;
   dup_ikc : int;
+  batches_sent : int;
+  batched_msgs : int;
   latencies : (string, Semper_util.Stats.Acc.t) Hashtbl.t;
 }
 
@@ -58,9 +61,19 @@ type counters = {
   ikc_sent : Obs.Registry.counter;
   ikc_received : Obs.Registry.counter;
   credit_stalls : Obs.Registry.counter;
+  (* Credit refunds discarded at the §5.1 [max_inflight] cap — a
+     retransmission refund racing the original message's credit return,
+     or a fault-injected duplicate returning credit twice. Without the
+     cap these permanently inflated the window past the paper's bound. *)
+  credit_overrefund : Obs.Registry.counter;
   retries : Obs.Registry.counter;
   retry_exhausted : Obs.Registry.counter;
   dup_ikc : Obs.Registry.counter;
+  (* [Ik_batch] frames shipped / inner messages they carried (batching
+     mode only); [batch_occupancy] histograms messages per frame. *)
+  batches_sent : Obs.Registry.counter;
+  batched_msgs : Obs.Registry.counter;
+  batch_occupancy : Obs.Registry.histogram;
   (* Membership probes performed by revocation sweeps — one per
      marked-set lookup, so its value is linear in the number of deleted
      capabilities. Regression-tested: a wide tree must not make the
@@ -92,6 +105,14 @@ type revoke_op = {
   (* Children-only revokes: remote children to unlink from their
      surviving (local) roots once their revocation is acknowledged. *)
   mutable root_unlinks : (Key.t * Key.t) list;
+  (* Requester-handoff (batching mode): marked-subtree roots discovered
+     on the kernel that requested this revoke. They ride the reply's
+     [cont] field instead of a revoke request of their own. *)
+  mutable cont_out : Key.t list;
+  (* Subtree roots this operation absorbed from a responder's reply.
+     Their remote parents were swept by that responder before it
+     replied, so the deletion sweep must not send them an unlink. *)
+  cont_roots : unit Key.Table.t;
   mutable on_complete : (unit -> unit) list;
 }
 
@@ -150,6 +171,19 @@ type retry_state = {
    still be in flight by then). *)
 type evict_key = Ev_remote of int | Ev_ack of int
 
+(* Outgoing coalescing state for one peer kernel (batching mode): the
+   first message to a peer opens a DTU slot window ([bw_until]);
+   messages issued before it closes queue in [bq] and leave as one
+   framed [Ik_batch] when the window's flush tick fires. *)
+type batch_state = { bq : P.ikc Queue.t; mutable bw_until : int64 }
+
+(* Receiver-side credit bookkeeping for [Ik_batch] frames from one
+   peer: a frame consumed ONE sender credit but each inner message
+   returns one, so all but one return per frame is absorbed ([o_left]).
+   Piggybacked acks on absorbed returns are stashed in [o_acks] and
+   ride the next credit message that does go out. *)
+type owed = { mutable o_left : int; mutable o_acks : int list }
+
 type t = {
   id : int;
   pe : int;
@@ -174,6 +208,8 @@ type t = {
      capability is revoked (NoC-level isolation enforcement). *)
   activations : (int * int) Key.Table.t;
   credits : (int, int ref * (P.ikc * int) Queue.t) Hashtbl.t;  (* per peer kernel *)
+  batch_queues : (int, batch_state) Hashtbl.t;  (* per peer kernel *)
+  batch_owed : (int, owed) Hashtbl.t;  (* per peer kernel *)
   remote_ops : (int, remote_state) Hashtbl.t;
   (* Requests awaiting a reply, retransmitted on timeout. *)
   retry_msgs : (int, retry_state) Hashtbl.t;
@@ -238,9 +274,16 @@ let create ?obs ?trace ~engine ~fabric ~grid ~id ~pe ~membership ~cost ~env ~reg
       ikc_sent = cnt "ikc_sent";
       ikc_received = cnt "ikc_received";
       credit_stalls = cnt "credit_stalls";
+      credit_overrefund = cnt "credit_overrefund";
       retries = cnt "retries";
       retry_exhausted = cnt "retry_exhausted";
       dup_ikc = cnt "dup_ikc";
+      batches_sent = cnt "batches_sent";
+      batched_msgs = cnt "batched_msgs";
+      batch_occupancy =
+        Obs.Registry.histogram obs
+          (Printf.sprintf "kernel%d.batch_occupancy" id)
+          ~buckets:[| 2.; 4.; 8.; 16.; 32.; 64. |];
       revoke_sweep_probes = cnt "revoke_sweep_probes";
       queue_depth =
         Obs.Registry.histogram obs
@@ -272,6 +315,8 @@ let create ?obs ?trace ~engine ~fabric ~grid ~id ~pe ~membership ~cost ~env ~reg
       pending_ops = Hashtbl.create 32;
       activations = Key.Table.create 16;
       credits = Hashtbl.create 8;
+      batch_queues = Hashtbl.create 8;
+      batch_owed = Hashtbl.create 8;
       remote_ops = Hashtbl.create 32;
       retry_msgs = Hashtbl.create 16;
       completed_acks = Hashtbl.create 16;
@@ -323,9 +368,12 @@ let stats t : stats =
     ikc_sent = v t.ctr.ikc_sent;
     ikc_received = v t.ctr.ikc_received;
     credit_stalls = v t.ctr.credit_stalls;
+    credit_overrefund = v t.ctr.credit_overrefund;
     retries = v t.ctr.retries;
     retry_exhausted = v t.ctr.retry_exhausted;
     dup_ikc = v t.ctr.dup_ikc;
+    batches_sent = v t.ctr.batches_sent;
+    batched_msgs = v t.ctr.batched_msgs;
     latencies = t.ctr.latencies;
   }
 
@@ -334,6 +382,12 @@ let trace_buffer t = t.trace
 
 let idempotency_cache_sizes t =
   (Hashtbl.length t.remote_ops, Hashtbl.length t.completed_acks)
+
+(* Per-peer send-credit windows, sorted by peer id. The fuzz credit
+   oracle asserts every window stays within [0, Cost.max_inflight]. *)
+let credit_windows t =
+  Hashtbl.fold (fun peer (credits, _) acc -> (peer, !credits) :: acc) t.credits []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let cost t = t.cost
 
@@ -365,6 +419,9 @@ type snapshot = {
   s_completed_acks : int list;  (* sorted *)
   s_evictions : int;
   s_credits : (int * int * int) list;  (* peer, credits, queued sends; sorted *)
+  s_batch : (int * int) list;  (* peer, queued batch sends; sorted *)
+  (* peer, absorbed credit returns still owed, stashed acks; sorted *)
+  s_batch_owed : (int * int * int list) list;
   s_vpes : int list;  (* managed VPE ids, sorted *)
 }
 
@@ -385,6 +442,14 @@ let snapshot t =
     s_evictions = Queue.length t.evictions;
     s_credits =
       Hashtbl.fold (fun peer (c, q) acc -> (peer, !c, Queue.length q) :: acc) t.credits []
+      |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b);
+    s_batch =
+      Hashtbl.fold (fun peer bs acc -> (peer, Queue.length bs.bq) :: acc) t.batch_queues []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+    s_batch_owed =
+      Hashtbl.fold
+        (fun peer o acc -> (peer, o.o_left, List.sort Int.compare o.o_acks) :: acc)
+        t.batch_owed []
       |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b);
     s_vpes = sorted_keys t.vpes;
   }
@@ -411,7 +476,29 @@ let restore t s =
         if queued <> 0 then
           invalid_arg "Kernel.restore: queued credit-stalled sends do not match the snapshot";
         Hashtbl.replace t.credits peer (ref credits, Queue.create ()))
-    s.s_credits
+    s.s_credits;
+  (* Batch queues hold closures' worth of in-flight protocol state only
+     via plain messages awaiting a flush tick; like credit queues they
+     are validated, not rebuilt (whole-image checkpoints carry them). *)
+  List.iter
+    (fun (peer, queued) ->
+      let live =
+        match Hashtbl.find_opt t.batch_queues peer with
+        | Some bs -> Queue.length bs.bq
+        | None -> 0
+      in
+      if live <> queued then
+        invalid_arg "Kernel.restore: queued batched sends do not match the snapshot")
+    s.s_batch;
+  (* Owed-credit state is plain data and restores fully. *)
+  List.iter
+    (fun (peer, left, acks) ->
+      match Hashtbl.find_opt t.batch_owed peer with
+      | Some o ->
+        o.o_left <- left;
+        o.o_acks <- acks
+      | None -> Hashtbl.replace t.batch_owed peer { o_left = left; o_acks = acks })
+    s.s_batch_owed
 
 let lookup_service t name = Hashtbl.find_opt t.directory name
 
@@ -457,9 +544,11 @@ let ikc_op : P.ikc -> int = function
   | P.Ik_revoke_reply { op; _ }
   | P.Ik_migrate_update { op; _ }
   | P.Ik_migrate_ack { op }
-  | P.Ik_migrate_caps { op; _ } ->
+  | P.Ik_migrate_caps { op; _ }
+  | P.Ik_remove_child { op; _ }
+  | P.Ik_srv_announce { op; _ } ->
     op
-  | P.Ik_remove_child _ | P.Ik_srv_announce _ | P.Ik_shutdown _ -> -1
+  | P.Ik_shutdown _ | P.Ik_batch _ -> -1
 
 (* How long idempotency-cache entries must be kept: once the full retry
    budget plus slack has elapsed, no retransmission of the request (or
@@ -541,11 +630,21 @@ let rec transmit_ikc t ~dst (ikc : P.ikc) =
   | Some peer ->
     Obs.Registry.incr t.ctr.ikc_sent;
     trace_event t ~kind:"ikc_send" ~op:(ikc_op ikc) ~src:t.id ~dst ~detail:(P.ikc_name ikc) ();
-    Fabric.send ~tag:(P.ikc_name ikc) t.fabric ~src:t.pe ~dst:peer.pe ~bytes:(c t).Cost.ikc_bytes
-      (fun () -> deliver_ikc peer ~src_kernel:t.id ikc)
+    (* A framed multi-message is one fabric transfer whose size grows
+       with its payload, so coalescing still pays serialisation latency
+       for every inner message — only per-message overheads amortise. *)
+    let bytes =
+      match ikc with
+      | P.Ik_batch { msgs; _ } ->
+        (c t).Cost.batch_header_bytes + (List.length msgs * (c t).Cost.ikc_bytes)
+      | _ -> (c t).Cost.ikc_bytes
+    in
+    Fabric.send ~tag:(P.ikc_name ikc) t.fabric ~src:t.pe ~dst:peer.pe ~bytes (fun () ->
+        deliver_ikc peer ~src_kernel:t.id ikc)
 
-and ikc_send t ~dst ikc =
-  if dst = t.id then invalid_arg "Kernel.ikc_send: message to self";
+(* Credit-gated dispatch: consume one in-flight credit or park the
+   message until a credit returns (paper §5.1, four per peer pair). *)
+and dispatch_ikc t ~dst ikc =
   let credits, queue = credit_state t dst in
   if !credits > 0 then begin
     decr credits;
@@ -557,9 +656,59 @@ and ikc_send t ~dst ikc =
     Queue.push (ikc, dst) queue
   end
 
+(* DTU slot-window coalescing (batching mode). The leader of a wave —
+   the first message to a peer with no window open — dispatches
+   immediately and opens a [batch_window]-cycle window; followers queue
+   and leave together as one framed [Ik_batch] when the flush tick
+   fires. Leader-dispatches-immediately means an isolated message (the
+   common case on a revocation chain) sees zero added latency. *)
+and ikc_send t ~dst ikc =
+  if dst = t.id then invalid_arg "Kernel.ikc_send: message to self";
+  if Cost.batching (c t) then enqueue_batch t ~dst ikc else dispatch_ikc t ~dst ikc
+
+and enqueue_batch t ~dst ikc =
+  let bs =
+    match Hashtbl.find_opt t.batch_queues dst with
+    | Some bs -> bs
+    | None ->
+      let bs = { bq = Queue.create (); bw_until = Int64.min_int } in
+      Hashtbl.add t.batch_queues dst bs;
+      bs
+  in
+  if Int64.compare (Engine.now t.engine) bs.bw_until < 0 then Queue.push ikc bs.bq
+  else begin
+    dispatch_ikc t ~dst ikc;
+    open_batch_window t ~dst bs
+  end
+
+and open_batch_window t ~dst bs =
+  bs.bw_until <- Int64.add (Engine.now t.engine) (c t).Cost.batch_window;
+  Engine.after t.engine (c t).Cost.batch_window (fun () -> flush_batch t ~dst bs)
+
+and flush_batch t ~dst bs =
+  match Queue.length bs.bq with
+  | 0 -> ()  (* window closes; next message becomes a new leader *)
+  | 1 ->
+    dispatch_ikc t ~dst (Queue.pop bs.bq);
+    open_batch_window t ~dst bs
+  | n ->
+    let msgs = List.rev (Queue.fold (fun acc m -> m :: acc) [] bs.bq) in
+    Queue.clear bs.bq;
+    Obs.Registry.incr t.ctr.batches_sent;
+    Obs.Registry.incr ~by:n t.ctr.batched_msgs;
+    Obs.Registry.observe t.ctr.batch_occupancy (float_of_int n);
+    dispatch_ikc t ~dst (P.Ik_batch { src_kernel = t.id; msgs });
+    open_batch_window t ~dst bs
+
 and receive_credit t ~peer =
   let credits, queue = credit_state t peer in
-  if Queue.is_empty queue then incr credits
+  if Queue.is_empty queue then begin
+    (* Clamp at the §5.1 bound: a retransmission refund racing the
+       original message's credit return (or a fault-injected duplicate
+       returning credit twice) must not widen the window permanently. *)
+    if !credits >= Cost.max_inflight then Obs.Registry.incr t.ctr.credit_overrefund
+    else incr credits
+  end
   else begin
     let ikc, dst = Queue.pop queue in
     transmit_ikc t ~dst ikc
@@ -567,13 +716,35 @@ and receive_credit t ~peer =
 
 (* The DTU frees the message slot as soon as the kernel has fetched the
    message, which returns the sender's credit; we model that at the end
-   of the first processing job for the message. *)
-and return_credit t ~src_kernel =
+   of the first processing job for the message. [ack_op] piggybacks a
+   delivery acknowledgement for an op-tagged notification on the credit
+   message — the credit channel is never dropped or duplicated by fault
+   plans, so the ack is reliable and costs no extra fabric transfer.
+   For inner messages of an [Ik_batch] frame all but one credit return
+   per frame is absorbed ([owed]); their acks are stashed and ride the
+   next credit message to the same peer. *)
+and return_credit ?ack_op t ~src_kernel =
   match Hashtbl.find_opt t.registry src_kernel with
   | None -> ()
-  | Some peer ->
-    Fabric.send ~tag:"credit" t.fabric ~src:t.pe ~dst:peer.pe ~bytes:(c t).Cost.credit_bytes
-      (fun () -> receive_credit peer ~peer:t.id)
+  | Some peer -> (
+    match Hashtbl.find_opt t.batch_owed src_kernel with
+    | Some o when o.o_left > 0 ->
+      o.o_left <- o.o_left - 1;
+      (match ack_op with Some op -> o.o_acks <- op :: o.o_acks | None -> ())
+    | _ ->
+      let acks =
+        match Hashtbl.find_opt t.batch_owed src_kernel with
+        | Some o ->
+          let stashed = o.o_acks in
+          o.o_acks <- [];
+          stashed
+        | None -> []
+      in
+      let acks = match ack_op with Some op -> op :: acks | None -> acks in
+      Fabric.send ~tag:"credit" t.fabric ~src:t.pe ~dst:peer.pe ~bytes:(c t).Cost.credit_bytes
+        (fun () ->
+          receive_credit peer ~peer:t.id;
+          List.iter (fun op -> clear_retry peer op) acks))
 
 (* ------------------------------------------------------------------ *)
 (* Reliability: timeout-driven retransmission + duplicate detection.
@@ -665,7 +836,11 @@ and fail_exhausted_op t op =
       Mapdb.remove t.mapdb child_key;
       Obs.Registry.incr t.ctr.caps_deleted;
       (match cap.Cap.parent with
-      | Some parent_key -> ikc_send t ~dst:src_kernel (P.Ik_remove_child { parent_key; child_key })
+      | Some parent_key ->
+        let unlink_op = fresh_op t in
+        let msg = P.Ik_remove_child { op = unlink_op; parent_key; child_key } in
+        ikc_send t ~dst:src_kernel msg;
+        register_retry t unlink_op ~dst:src_kernel msg
       | None -> ())
     | None -> ());
     Thread_pool.release t.threads
@@ -880,6 +1055,10 @@ and complete_revoke t (op : revoke_op) =
             (match cap.Cap.parent with
             | None -> ()
             | Some pk when in_marked pk -> ()
+            (* A subtree root absorbed from a responder's [cont]: its
+               remote parent was swept by that responder before it
+               replied, so there is nothing left to unlink. *)
+            | Some _ when Key.Table.mem op.cont_roots key -> ()
             | Some pk ->
               if is_local_key t pk then (
                 match Mapdb.find t.mapdb pk with
@@ -891,7 +1070,7 @@ and complete_revoke t (op : revoke_op) =
                   match op.origin with Ro_remote (k, _) -> k = pk_kernel | Ro_syscall _ | Ro_exit _ -> false
                 in
                 if not requested_by then
-                  remote_unlinks := (pk_kernel, P.Ik_remove_child { parent_key = pk; child_key = key }) :: !remote_unlinks
+                  remote_unlinks := (pk_kernel, pk, key) :: !remote_unlinks
               end);
             (* Drop from the owner VPE's capability space. *)
             (match t.env.locate_vpe cap.Cap.owner_vpe with
@@ -921,7 +1100,16 @@ and complete_revoke t (op : revoke_op) =
         fun () ->
           trace_event t ~kind:"revoke_sweep" ~op:op.rop_id ~src:t.id
             ~detail:(Printf.sprintf "deleted=%d" !deleted) ();
-          List.iter (fun (dst, ikc) -> ikc_send t ~dst ikc) !remote_unlinks;
+          (* Op-tagged so a dropped unlink is retransmitted: before,
+             one lost [Ik_remove_child] left a dangling remote child
+             link that only the cross-kernel audit noticed. *)
+          List.iter
+            (fun (dst, parent_key, child_key) ->
+              let unlink_op = fresh_op t in
+              let msg = P.Ik_remove_child { op = unlink_op; parent_key; child_key } in
+              ikc_send t ~dst msg;
+              register_retry t unlink_op ~dst msg)
+            !remote_unlinks;
           Hashtbl.remove t.pending_ops op.rop_id;
           let waiters = op.on_complete in
           op.on_complete <- [];
@@ -933,7 +1121,68 @@ and complete_revoke t (op : revoke_op) =
             finish_syscall t vpe P.R_ok
           | Ro_remote (src_kernel, remote_op) ->
             finish_remote t ~op:remote_op ~dst:src_kernel
-              (P.Ik_revoke_reply { op = remote_op; keys = op.roots })) ))
+              (P.Ik_revoke_reply { op = remote_op; keys = op.roots; cont = op.cont_out })) ))
+
+(* The responder of one of our revoke requests handed back subtree
+   roots we own (the reply's [cont] field, batching mode): absorb them
+   into [op] as if their parents had been local. Holds one outstanding
+   unit so the operation cannot complete while the absorption job is
+   queued; the roots enter [cont_roots] so the sweep skips the unlink
+   of their already-swept remote parents. *)
+and absorb_continuation t (op : revoke_op) keys =
+  op.outstanding <- op.outstanding + 1;
+  job t (fun () ->
+      let before = List.length op.marked in
+      let to_send = ref [] in
+      List.iter
+        (fun key ->
+          Key.Table.replace op.cont_roots key ();
+          match owner_kernel t key with
+          | owner when owner = t.id -> mark_subtree t op ~to_send key
+          | owner -> to_send := (owner, key) :: !to_send
+          | exception Membership.Mid_handoff _ -> defer_revoke_child t op key)
+        keys;
+      let visited = List.length op.marked - before in
+      (* The handoff continues transitively: children owned by our own
+         requester ride our eventual reply's [cont] in turn. *)
+      let to_send =
+        match op.origin with
+        | Ro_remote (req_k, _) when Cost.batching (c t) ->
+          let cont, rest = List.partition (fun (dst, _) -> dst = req_k) !to_send in
+          op.cont_out <- List.rev_append (List.map snd cont) op.cont_out;
+          rest
+        | _ -> !to_send
+      in
+      let messages =
+        let by_dst = Hashtbl.create 8 in
+        List.iter
+          (fun (dst, key) ->
+            let keys = try Hashtbl.find by_dst dst with Not_found -> [] in
+            Hashtbl.replace by_dst dst (key :: keys))
+          to_send;
+        Hashtbl.fold (fun dst keys acc -> (dst, keys) :: acc) by_dst []
+      in
+      op.outstanding <- op.outstanding + List.length messages;
+      let cost =
+        Int64.add
+          (Int64.mul (Int64.of_int (List.length messages)) (c t).Cost.revoke_send)
+          (Int64.add
+             (Int64.mul (Int64.of_int visited) (c t).Cost.revoke_per_cap)
+             (Cost.ddl (c t) visited))
+      in
+      ( cost,
+        fun () ->
+          trace_event t ~kind:"revoke_cont" ~op:op.rop_id ~src:t.id
+            ~detail:(Printf.sprintf "absorbed=%d marked=%d" (List.length keys) visited) ();
+          List.iter
+            (fun (dst, keys) ->
+              let msg_op = fresh_op t in
+              Hashtbl.add t.pending_ops msg_op (P_revoke_msg { rop = op });
+              let msg = P.Ik_revoke_req { op = msg_op; src_kernel = t.id; keys } in
+              ikc_send t ~dst msg;
+              register_retry t msg_op ~dst msg)
+            messages;
+          revoke_release t op ))
 
 (* Entry point for both revoke syscalls and incoming revoke requests.
    [base_cost] is the fixed processing charge for this trigger. *)
@@ -949,6 +1198,8 @@ and start_revoke t ~origin ~roots ~own ~base_cost =
       marked_set = Key.Table.create 64;
       links_seen = 0;
       root_unlinks = [];
+      cont_out = [];
+      cont_roots = Key.Table.create 8;
       on_complete = [];
     }
   in
@@ -978,6 +1229,21 @@ and start_revoke t ~origin ~roots ~own ~base_cost =
                     defer_revoke_child t op ~root_unlink:root child_key)
                 cap.Cap.children)
         roots;
+      (* Requester handoff (batching mode): children owned by the
+         kernel that requested this revoke ride back in the reply's
+         [cont] field and get absorbed into the requester's own wave —
+         one message (the reply we owe anyway) instead of a revoke
+         request straight back plus its reply. On a kernel-spanning
+         chain this halves both the messages and the round trips per
+         link. *)
+      let to_send =
+        match op.origin with
+        | Ro_remote (req_k, _) when Cost.batching (c t) ->
+          let cont, rest = List.partition (fun (dst, _) -> dst = req_k) !to_send in
+          op.cont_out <- List.rev_append (List.map snd cont) op.cont_out;
+          rest
+        | _ -> !to_send
+      in
       (* One revoke request per remote child — or, with batching
          enabled (the paper's §5.2 improvement), one per destination
          kernel carrying all its children. The Barrelfish-style
@@ -994,7 +1260,7 @@ and start_revoke t ~origin ~roots ~own ~base_cost =
             (fun (dst, key) ->
               let keys = try Hashtbl.find by_dst dst with Not_found -> [] in
               Hashtbl.replace by_dst dst (key :: keys))
-            !to_send;
+            to_send;
           Hashtbl.fold (fun dst keys acc -> (dst, keys) :: acc) by_dst []
         end
         else if Cost.batching (c t) then begin
@@ -1003,10 +1269,10 @@ and start_revoke t ~origin ~roots ~own ~base_cost =
             (fun (dst, key) ->
               let keys = try Hashtbl.find by_dst dst with Not_found -> [] in
               Hashtbl.replace by_dst dst (key :: keys))
-            !to_send;
+            to_send;
           Hashtbl.fold (fun dst keys acc -> (dst, keys) :: acc) by_dst []
         end
-        else List.rev_map (fun (dst, key) -> (dst, [ key ])) !to_send
+        else List.rev_map (fun (dst, key) -> (dst, [ key ])) to_send
       in
       op.outstanding <- op.outstanding + List.length messages;
       let visited = List.length op.marked in
@@ -1123,11 +1389,19 @@ and handle_syscall t (vpe : Vpe.t) (call : P.syscall) =
             Hashtbl.replace t.directory name key;
               ( Int64.add dispatch (c t).Cost.create_obj,
               fun () ->
-                (* Announce to every other kernel (IKC group 1/2). *)
+                (* Announce to every other kernel (IKC group 1/2),
+                   op-tagged per peer and retried until the delivery
+                   ack (piggybacked on the credit return) comes back. *)
                 Hashtbl.iter
                   (fun kid _ ->
-                    if kid <> t.id then
-                      ikc_send t ~dst:kid (P.Ik_srv_announce { name; srv_key = key; kernel = t.id }))
+                    if kid <> t.id then begin
+                      let ann_op = fresh_op t in
+                      let msg =
+                        P.Ik_srv_announce { op = ann_op; name; srv_key = key; kernel = t.id }
+                      in
+                      ikc_send t ~dst:kid msg;
+                      register_retry t ann_op ~dst:kid msg
+                    end)
                   t.registry;
                 finish_syscall t vpe (P.R_sel sel) )
           end)
@@ -1559,7 +1833,7 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
           else (c t).Cost.revoke_request
         in
         start_revoke t ~origin:(Ro_remote (origin, op)) ~roots:keys ~own:true ~base_cost)
-  | P.Ik_revoke_reply { op; keys = _ } ->
+  | P.Ik_revoke_reply { op; keys = _; cont } ->
     job t (fun () ->
         ( (c t).Cost.revoke_reply,
           fun () ->
@@ -1568,6 +1842,10 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
             | Some (P_revoke_msg { rop }) ->
               Hashtbl.remove t.pending_ops op;
               clear_retry t op;
+              (* Absorb handed-back subtree roots before releasing the
+                 outstanding unit, so the operation cannot complete
+                 with the continuation still pending. *)
+              if cont <> [] then absorb_continuation t rop cont;
               revoke_release t rop
             | Some (P_revoke rop) -> revoke_release t rop
             | Some
@@ -1576,11 +1854,15 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
             | None ->
               (* Redelivered reply for a message op already retired. *)
               Obs.Registry.incr t.ctr.dup_ikc) ))
-  | P.Ik_remove_child { parent_key; child_key } ->
+  | P.Ik_remove_child { op; parent_key; child_key } ->
     job t (fun () ->
         ( Cost.ddl (c t) 2,
           fun () ->
-            return_credit t ~src_kernel;
+            (* Idempotent notification: a redelivery re-runs the unlink
+               (a no-op on an already-pruned parent), and the delivery
+               ack piggybacks on the credit return to stop the sender's
+               retransmission timer. *)
+            return_credit t ~ack_op:op ~src_kernel;
             (match Mapdb.find t.mapdb parent_key with
             | Some parent -> Cap.remove_child parent child_key
             | None -> ()) ))
@@ -1676,11 +1958,15 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
                 vpe.Vpe.frozen <- false (* unfreeze *)
               | None -> Log.err (fun m -> m "kernel %d: migrated VPE %d unknown" t.id vid));
               finish_remote t ~op ~dst:origin (P.Ik_migrate_ack { op }) ))
-  | P.Ik_srv_announce { name; srv_key; kernel = _ } ->
+  | P.Ik_srv_announce { op; name; srv_key; kernel = _ } ->
     job t (fun () ->
         ( 100L,
           fun () ->
-            return_credit t ~src_kernel;
+            (* Idempotent directory write; the ack rides the credit
+               return so the announcing kernel stops retransmitting.
+               Before this the announce was fire-and-forget: one drop
+               and every open_sess routed here failed forever. *)
+            return_credit t ~ack_op:op ~src_kernel;
             Hashtbl.replace t.directory name srv_key ))
   | P.Ik_shutdown { src_kernel = origin } ->
     job t (fun () ->
@@ -1688,6 +1974,21 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
           fun () ->
             return_credit t ~src_kernel;
             Log.debug (fun m -> m "kernel %d: shutdown notice from %d" t.id origin) ))
+  | P.Ik_batch { src_kernel = _; msgs } ->
+    (* The frame consumed ONE sender credit, yet each inner delivery
+       returns one: record the surplus so [return_credit] absorbs all
+       but one return per frame (their piggybacked acks ride the credit
+       message that does go out). *)
+    let o =
+      match Hashtbl.find_opt t.batch_owed src_kernel with
+      | Some o -> o
+      | None ->
+        let o = { o_left = 0; o_acks = [] } in
+        Hashtbl.add t.batch_owed src_kernel o;
+        o
+    in
+    o.o_left <- o.o_left + (List.length msgs - 1);
+    List.iter (fun m -> deliver_ikc t ~src_kernel m) msgs
 
 (* Revoke requests return their credit right after the (cost-bearing)
    dispatch; the marking job itself carries the real cost. *)
@@ -1746,7 +2047,11 @@ and handle_obtain_reply t ~op ~result =
       if not (Vpe.is_alive client) then begin
         (* Orphaned child at the donor side (paper §4.3.2, "Orphaned"):
            notify the donor's kernel so it can unlink promptly. *)
-        ikc_send t ~dst:(owner_kernel t parent_key) (P.Ik_remove_child { parent_key; child_key });
+        let unlink_op = fresh_op t in
+        let msg = P.Ik_remove_child { op = unlink_op; parent_key; child_key } in
+        let dst = owner_kernel t parent_key in
+        ikc_send t ~dst msg;
+        register_retry t unlink_op ~dst msg;
         Thread_pool.release t.threads
       end
       else begin
@@ -1887,7 +2192,10 @@ and handle_delegate_ack t ~op ~child_key ~commit =
           Obs.Registry.incr t.ctr.caps_deleted;
           match cap.Cap.parent with
           | Some parent_key ->
-            ikc_send t ~dst:src_kernel (P.Ik_remove_child { parent_key; child_key })
+            let unlink_op = fresh_op t in
+            let msg = P.Ik_remove_child { op = unlink_op; parent_key; child_key } in
+            ikc_send t ~dst:src_kernel msg;
+            register_retry t unlink_op ~dst:src_kernel msg
           | None -> ())
       end);
     (* Handshake over: release the thread held since the request. *)
@@ -1929,7 +2237,10 @@ and handle_open_sess_reply t ~op ~result =
     | Error e -> finish_syscall t client (P.R_err e)
     | Ok ident ->
       if not (Vpe.is_alive client) then begin
-        ikc_send t ~dst:srv_kernel (P.Ik_remove_child { parent_key = srv_key; child_key = sess_key });
+        let unlink_op = fresh_op t in
+        let msg = P.Ik_remove_child { op = unlink_op; parent_key = srv_key; child_key = sess_key } in
+        ikc_send t ~dst:srv_kernel msg;
+        register_retry t unlink_op ~dst:srv_kernel msg;
         Thread_pool.release t.threads
       end
       else begin
@@ -2114,6 +2425,21 @@ let check_invariants t =
         err "cap %s still marked while system is idle" (Key.to_string cap.Cap.key))
     t.mapdb;
   Hashtbl.iter (fun op _ -> err "pending operation %d while system is idle" op) t.pending_ops;
+  Hashtbl.iter
+    (fun peer bs ->
+      if not (Queue.is_empty bs.bq) then
+        err "%d messages for kernel %d still queued in a batch window while system is idle"
+          (Queue.length bs.bq) peer)
+    t.batch_queues;
+  Hashtbl.iter
+    (fun peer o ->
+      if o.o_left <> 0 then
+        err "%d absorbed credit returns still owed to kernel %d while system is idle" o.o_left
+          peer;
+      if o.o_acks <> [] then
+        err "%d piggybacked acks for kernel %d still stashed while system is idle"
+          (List.length o.o_acks) peer)
+    t.batch_owed;
   Hashtbl.iter
     (fun vid (vpe : Vpe.t) ->
       if vpe.Vpe.frozen then err "VPE %d still frozen while system is idle" vid)

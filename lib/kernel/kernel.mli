@@ -46,9 +46,15 @@ type stats = {
   ikc_sent : int;
   ikc_received : int;
   credit_stalls : int;  (** IKC sends delayed by credit exhaustion *)
+  credit_overrefund : int;
+      (** credit refunds discarded at the §5.1 [Cost.max_inflight] cap
+          (retransmission refund racing the real credit return, or a
+          fault-injected duplicate returning credit twice) *)
   retries : int;  (** op-tagged requests retransmitted on timeout *)
   retry_exhausted : int;  (** ops failed with [E_timeout] after the retry budget ran out *)
   dup_ikc : int;  (** duplicate inter-kernel deliveries detected *)
+  batches_sent : int;  (** framed [Ik_batch] multi-messages shipped (batching mode) *)
+  batched_msgs : int;  (** inner messages those frames carried *)
   latencies : (string, Semper_util.Stats.Acc.t) Hashtbl.t;
       (** end-to-end syscall latency (cycles) per syscall kind *)
 }
@@ -102,6 +108,11 @@ val trace_buffer : t -> Semper_obs.Obs.Trace.t
     [(remote ops, completed acks)]. Entries are evicted lazily once the
     retry window has safely elapsed; exposed for regression tests. *)
 val idempotency_cache_sizes : t -> int * int
+
+(** Per-peer send-credit windows as [(peer kernel, credits)], sorted by
+    peer id. The fuzz credit oracle asserts every window stays within
+    [\[0, Cost.max_inflight\]]. *)
+val credit_windows : t -> (int * int) list
 
 val cost : t -> Cost.t
 

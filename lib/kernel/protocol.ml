@@ -120,13 +120,21 @@ type ikc =
     }
   | Ik_open_sess_reply of { op : int; result : (int, error) result }
   | Ik_revoke_req of { op : int; src_kernel : int; keys : Key.t list }
-  | Ik_revoke_reply of { op : int; keys : Key.t list }
-  | Ik_remove_child of { parent_key : Key.t; child_key : Key.t }
+  | Ik_revoke_reply of { op : int; keys : Key.t list; cont : Key.t list }
+      (* [cont]: marked-subtree roots the responder discovered on the
+         requester's side; the requester folds them into its own revoke
+         wave instead of receiving a separate Ik_revoke_req per child
+         (batching mode; empty otherwise). *)
+  | Ik_remove_child of { op : int; parent_key : Key.t; child_key : Key.t }
   | Ik_migrate_update of { op : int; src_kernel : int; pe : int; new_kernel : int }
   | Ik_migrate_ack of { op : int }
   | Ik_migrate_caps of { op : int; src_kernel : int; vpe : int; records : migrated_cap list }
-  | Ik_srv_announce of { name : string; srv_key : Key.t; kernel : int }
+  | Ik_srv_announce of { op : int; name : string; srv_key : Key.t; kernel : int }
   | Ik_shutdown of { src_kernel : int }
+  | Ik_batch of { src_kernel : int; msgs : ikc list }
+      (* Framed multi-message: every [Ik_*] queued for the same peer
+         within one DTU slot window travels as one fabric transfer
+         consuming one credit (batching mode only). *)
 
 let ikc_name = function
   | Ik_obtain_req _ -> "obtain_req"
@@ -144,6 +152,7 @@ let ikc_name = function
   | Ik_migrate_caps _ -> "migrate_caps"
   | Ik_srv_announce _ -> "srv_announce"
   | Ik_shutdown _ -> "shutdown"
+  | Ik_batch _ -> "batch"
 
 type service_request =
   | Srq_open_session of { client_vpe : int }

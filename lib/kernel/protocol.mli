@@ -122,9 +122,15 @@ type ikc =
     }
   | Ik_open_sess_reply of { op : int; result : (int, error) result }  (** session ident *)
   | Ik_revoke_req of { op : int; src_kernel : int; keys : Key.t list }
-  | Ik_revoke_reply of { op : int; keys : Key.t list }
-  | Ik_remove_child of { parent_key : Key.t; child_key : Key.t }
-      (** unlink notification: orphan cleanup or root-revoke unlink *)
+  | Ik_revoke_reply of { op : int; keys : Key.t list; cont : Key.t list }
+      (** [cont]: marked-subtree roots the responder discovered on the
+          requester's side; the requester folds them into its own
+          revoke wave instead of receiving a separate {!Ik_revoke_req}
+          per child (batching mode; empty otherwise) *)
+  | Ik_remove_child of { op : int; parent_key : Key.t; child_key : Key.t }
+      (** unlink notification: orphan cleanup or root-revoke unlink;
+          op-tagged and retried until the receiver's delivery ack
+          (piggybacked on the credit return) arrives *)
   | Ik_migrate_update of { op : int; src_kernel : int; pe : int; new_kernel : int }
       (** membership-table update broadcast for a migrating PE *)
   | Ik_migrate_ack of { op : int }
@@ -139,8 +145,14 @@ type ikc =
       (** capability-record transfer to the new owning kernel;
           op-tagged so it is retransmitted on loss and deduplicated on
           redelivery like every other request/reply pair *)
-  | Ik_srv_announce of { name : string; srv_key : Key.t; kernel : int }
+  | Ik_srv_announce of { op : int; name : string; srv_key : Key.t; kernel : int }
+      (** directory replication; op-tagged per peer and retried until
+          acked — the receive is an idempotent directory write *)
   | Ik_shutdown of { src_kernel : int }
+  | Ik_batch of { src_kernel : int; msgs : ikc list }
+      (** framed multi-message: every [Ik_*] queued for the same peer
+          within one DTU slot window travels as one fabric transfer
+          consuming one credit (batching mode only) *)
 
 val ikc_name : ikc -> string
 

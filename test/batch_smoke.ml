@@ -1,0 +1,75 @@
+(* Smoke gate for IKC batching, run from the [batch-smoke] dune alias
+   (hooked into [dune runtest]). Runs the smoke preset of the batching
+   benchmark end to end and asserts the contract batching must keep —
+   strictly fewer inter-kernel messages and no-slower revocation on the
+   spanning chain, frames actually coalescing on the burst workload,
+   and a well-shaped JSON report — without pinning host-dependent
+   numbers. *)
+
+open Semperos
+
+let failed = ref false
+
+let check name ok =
+  if not ok then begin
+    failed := true;
+    Printf.printf "FAILED: %s\n" name
+  end
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let () =
+  let samples = Batchbench.samples ~preset:Batchbench.Smoke () in
+  check "three workloads measured" (List.length samples = 3);
+  List.iter
+    (fun s ->
+      let open Batchbench in
+      check (s.b_name ^ ": both modes ran") (s.b_off_cycles > 0L && s.b_on_cycles > 0L);
+      check (s.b_name ^ ": messages counted") (s.b_off_ikc > 0 && s.b_on_ikc > 0);
+      check (s.b_name ^ ": batching never adds messages") (s.b_on_ikc <= s.b_off_ikc))
+    samples;
+  (* The spanning chain is the Fig-4 worst case the batching exists
+     for: the requester-handoff continuation must cut both the message
+     count and the simulated cycles. *)
+  (match
+     List.find_opt
+       (fun s -> contains s.Batchbench.b_name "chain_spanning")
+       samples
+   with
+  | Some s ->
+    check "chain: fewer inter-kernel messages" (s.Batchbench.b_on_ikc < s.Batchbench.b_off_ikc);
+    check "chain: fewer simulated cycles"
+      (Int64.compare s.Batchbench.b_on_cycles s.Batchbench.b_off_cycles < 0)
+  | None -> check "chain sample present" false);
+  (* The obtain burst is the workload dense enough for the DTU slot
+     window to coalesce unrelated messages into frames. *)
+  (match
+     List.find_opt (fun s -> contains s.Batchbench.b_name "obtain_burst") samples
+   with
+  | Some s ->
+    check "burst: frames were shipped" (s.Batchbench.b_batches > 0);
+    check "burst: frames carried multiple messages"
+      (s.Batchbench.b_batched_msgs > s.Batchbench.b_batches)
+  | None -> check "burst sample present" false);
+  (* The written report must be valid JSON naming its schema. *)
+  let path = Filename.temp_file "batch_smoke" ".json" in
+  Batchbench.run ~preset:Batchbench.Smoke ~path ();
+  let ic = open_in path in
+  let doc = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  (match Obs.Json.parse doc with
+  | Ok _ -> ()
+  | Error e -> check (Printf.sprintf "report is valid JSON (%s)" e) false);
+  check "report names the schema" (contains doc "\"schema\":\"semperos-batch-1\"");
+  List.iter
+    (fun key -> check (Printf.sprintf "report has %s" key) (contains doc key))
+    [
+      "\"cycles_off\""; "\"cycles_on\""; "\"ikc_off\""; "\"ikc_on\""; "\"batches_sent\"";
+      "\"batched_msgs\""; "\"speedup\"";
+    ];
+  if !failed then exit 1;
+  print_endline "batch-smoke: OK"

@@ -84,8 +84,8 @@ let test_microbench_jobs_invariant () =
     List.concat_map
       (fun len ->
         [
-          { Microbench.c_mode = Cost.Semperos; c_spanning = false; c_len = len };
-          { Microbench.c_mode = Cost.Semperos; c_spanning = true; c_len = len };
+          { Microbench.c_mode = Cost.Semperos; c_spanning = false; c_len = len; c_batching = false };
+          { Microbench.c_mode = Cost.Semperos; c_spanning = true; c_len = len; c_batching = false };
         ])
       [ 0; 5; 10 ]
   in
