@@ -591,13 +591,16 @@ let bench_cmd =
         if smoke then Semper_harness.Batchbench.Smoke else Semper_harness.Batchbench.Full
       in
       Semper_harness.Batchbench.run ~preset ?path:out ()
+    | "scale" ->
+      let preset = if smoke then Semper_harness.Scale.Smoke else Semper_harness.Scale.Full in
+      Semper_harness.Scale.run ~preset ?path:out ()
     | m ->
-      Fmt.epr "error: unknown bench mode %S (expected: wallclock, balance, or batch)@." m;
+      Fmt.epr "error: unknown bench mode %S (expected: wallclock, balance, batch, or scale)@." m;
       exit 2
   in
   let mode =
     Arg.(value & pos 0 string "wallclock" & info [] ~docv:"MODE"
-         ~doc:"Benchmark mode: $(b,wallclock), $(b,balance), or $(b,batch).")
+         ~doc:"Benchmark mode: $(b,wallclock), $(b,balance), $(b,batch), or $(b,scale).")
   in
   let smoke =
     Arg.(value & flag & info [ "smoke" ]
@@ -614,7 +617,9 @@ let bench_cmd =
           host throughput (events/s; host-dependent by construction, the only output exempt \
           from the byte-identity contract). $(b,balance) runs the skewed-workload load-balancer \
           ablation (BENCH_balance.json). $(b,batch) runs every workload with IKC batching off \
-          and on (BENCH_batch.json); both are deterministic.")
+          and on (BENCH_batch.json); both are deterministic. $(b,scale) measures throughput, \
+          heap, GC, and audit cost at 1K/2K/4K PEs (BENCH_scale.json; host-dependent like \
+          wallclock).")
     Term.(const run $ mode $ smoke $ out)
 
 let nginx_cmd =

@@ -131,7 +131,7 @@ let cap_blocks_migration k (vpe : Vpe.t) key =
        | Some pk -> (
          match cap.Cap.kind with Cap.Sess_cap _ -> false | _ -> not (key_local k pk))
        | None -> false)
-    || List.exists (fun ck -> Key.pe ck <> vpe.Vpe.pe) cap.Cap.children
+    || Mapdb.exists_child (Kernel.mapdb k) cap.Cap.key (fun ck -> Key.pe ck <> vpe.Vpe.pe)
 
 let spanning_sessions k (vpe : Vpe.t) =
   let n = ref 0 in

@@ -36,29 +36,20 @@ type t = {
   kind : kind;
   owner_vpe : int;
   mutable parent : Key.t option;
-  mutable children : Key.t list;
   mutable state : state;
   mutable pending_replies : int;
 }
 
 let make ~key ~kind ~owner_vpe ?parent () =
-  { key; kind; owner_vpe; parent; children = []; state = Alive; pending_replies = 0 }
+  { key; kind; owner_vpe; parent; state = Alive; pending_replies = 0 }
 
-(* Capability records are pure data (keys, kinds, link lists), so a
-   shallow record copy is a full deep copy for checkpoint purposes. *)
+(* Capability records are pure data (keys and kinds), so a shallow
+   record copy is a full deep copy for checkpoint purposes. Child
+   links live in the owning database's arena, not in the record. *)
 let copy t = { t with key = t.key }
 
 let is_marked t = match t.state with Alive -> false | Marked _ -> true
 
-let has_child t k = List.exists (Key.equal k) t.children
-
-let add_child t k =
-  if has_child t k then invalid_arg "Cap.add_child: duplicate child";
-  t.children <- t.children @ [ k ]
-
-let remove_child t k = t.children <- List.filter (fun c -> not (Key.equal c k)) t.children
-
 let pp ppf t =
-  Format.fprintf ppf "cap{%a %a vpe=%d children=%d%s}" Key.pp t.key pp_kind t.kind t.owner_vpe
-    (List.length t.children)
+  Format.fprintf ppf "cap{%a %a vpe=%d%s}" Key.pp t.key pp_kind t.kind t.owner_vpe
     (match t.state with Alive -> "" | Marked { revoke_op } -> Printf.sprintf " MARKED#%d" revoke_op)

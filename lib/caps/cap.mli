@@ -29,27 +29,23 @@ type t = {
   kind : kind;
   owner_vpe : int;
   mutable parent : Semper_ddl.Key.t option;
-  mutable children : Semper_ddl.Key.t list;
   mutable state : state;
   mutable pending_replies : int;
       (** outstanding remote revoke replies for this capability *)
 }
+
+(** Child links are not stored in the record: they live as flat arena
+    cells in the {!Mapdb} that owns the record ([Mapdb.add_child],
+    [Mapdb.children], …), which is what makes wide fan-out allocation-
+    free and the duplicate check O(1). *)
 
 val make :
   key:Semper_ddl.Key.t -> kind:kind -> owner_vpe:int -> ?parent:Semper_ddl.Key.t -> unit -> t
 
 val is_marked : t -> bool
 
-(** [add_child t k] appends; raises [Invalid_argument] on duplicates. *)
-val add_child : t -> Semper_ddl.Key.t -> unit
-
-(** [remove_child t k] is a no-op if absent. *)
-val remove_child : t -> Semper_ddl.Key.t -> unit
-
-val has_child : t -> Semper_ddl.Key.t -> bool
-
 val pp : Format.formatter -> t -> unit
 
-(** Independent copy. Records hold only pure data (keys, kinds, link
-    lists), so the copy shares nothing mutable with the original. *)
+(** Independent copy. Records hold only pure data (keys and kinds), so
+    the copy shares nothing mutable with the original. *)
 val copy : t -> t

@@ -1,27 +1,69 @@
 module Key = Semper_ddl.Key
 
-type t = { caps : Cap.t Key.Table.t; mutable next_obj : int }
+type t = {
+  arena : Arena.t;
+  mutable next_obj : int;
+  (* Partitions (key PE numbers) touched by a structural change since
+     the last [drain_dirty] — consumed by the incremental audit. Pure
+     host-side bookkeeping: not part of snapshots or fingerprints. *)
+  dirty : (int, unit) Hashtbl.t;
+}
 
-let create () = { caps = Key.Table.create 64; next_obj = 0 }
+let create () = { arena = Arena.create (); next_obj = 0; dirty = Hashtbl.create 16 }
+
+let touch t key = Hashtbl.replace t.dirty (Key.pe key) ()
 
 let insert t cap =
-  if Key.Table.mem t.caps cap.Cap.key then invalid_arg "Mapdb.insert: duplicate key";
-  Key.Table.add t.caps cap.Cap.key cap
+  Arena.insert t.arena cap;
+  touch t cap.Cap.key
 
-let find t key = Key.Table.find_opt t.caps key
+let find t key = Arena.find t.arena key
 
 let get t key =
   match find t key with
   | Some c -> c
   | None -> raise Not_found
 
-let mem t key = Key.Table.mem t.caps key
-let remove t key = Key.Table.remove t.caps key
-let count t = Key.Table.length t.caps
-let iter f t = Key.Table.iter (fun _ c -> f c) t.caps
-let fold f acc t = Key.Table.fold (fun _ c acc -> f acc c) t.caps acc
+let mem t key = Arena.mem t.arena key
 
-let caps_of_vpe t ~vpe = fold (fun acc c -> if c.Cap.owner_vpe = vpe then c :: acc else acc) [] t
+let remove t key =
+  if Arena.mem t.arena key then begin
+    Arena.remove t.arena key;
+    touch t key
+  end
+
+let count t = Arena.count t.arena
+let iter f t = Arena.iter f t.arena
+let fold f acc t = Arena.fold f acc t.arena
+
+let caps_of_vpe t ~vpe = Arena.caps_of_vpe t.arena ~vpe
+let caps_of_pe t ~pe = Arena.caps_of_pe t.arena ~pe
+
+let add_child t ~parent key =
+  Arena.add_child t.arena ~parent key;
+  touch t parent;
+  touch t key
+
+let remove_child t ~parent key =
+  Arena.remove_child t.arena ~parent key;
+  touch t parent;
+  touch t key
+
+let has_child t ~parent key = Arena.has_child t.arena ~parent key
+let children t parent = Arena.children t.arena parent
+let child_count t parent = Arena.child_count t.arena parent
+let iter_children t parent f = Arena.iter_children t.arena parent f
+let exists_child t parent f = Arena.exists_child t.arena parent f
+
+let set_children t parent keys =
+  Arena.set_children t.arena parent keys;
+  touch t parent;
+  List.iter (fun k -> touch t k) keys
+
+let drain_dirty t =
+  let pes = Hashtbl.fold (fun pe () acc -> pe :: acc) t.dirty [] in
+  Hashtbl.reset t.dirty;
+  List.sort compare pes
 
 let fresh_obj t =
   let obj = t.next_obj in
@@ -30,19 +72,29 @@ let fresh_obj t =
 
 let bump_obj t n = if n >= t.next_obj then t.next_obj <- n + 1
 
-type snapshot = { s_caps : Cap.t list; s_next_obj : int }  (* copies, sorted by key *)
+(* Snapshots carry record copies plus their child keys, sorted by key:
+   no slot or cell index escapes, so images are portable across
+   allocation histories and fingerprints depend only on contents. *)
+type snapshot = { s_caps : (Cap.t * Key.t list) list; s_next_obj : int }
 
 let snapshot t =
   {
     s_caps =
-      fold (fun acc c -> Cap.copy c :: acc) [] t
-      |> List.sort (fun a b -> Key.compare a.Cap.key b.Cap.key);
+      fold (fun acc c -> (Cap.copy c, Arena.children t.arena c.Cap.key) :: acc) [] t
+      |> List.sort (fun (a, _) (b, _) -> Key.compare a.Cap.key b.Cap.key);
     s_next_obj = t.next_obj;
   }
 
 let restore t s =
-  Key.Table.reset t.caps;
-  List.iter (fun c -> Key.Table.add t.caps c.Cap.key (Cap.copy c)) s.s_caps;
+  (* Both the discarded and the incoming contents must be re-audited. *)
+  iter (fun c -> touch t c.Cap.key) t;
+  Arena.clear t.arena;
+  List.iter
+    (fun (c, _) ->
+      Arena.insert t.arena (Cap.copy c);
+      touch t c.Cap.key)
+    s.s_caps;
+  List.iter (fun (c, kids) -> set_children t c.Cap.key kids) s.s_caps;
   t.next_obj <- s.s_next_obj
 
 let check_local_links t =
@@ -50,8 +102,7 @@ let check_local_links t =
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
   iter
     (fun cap ->
-      List.iter
-        (fun child_key ->
+      iter_children t cap.Cap.key (fun child_key ->
           match find t child_key with
           | None -> () (* remote child: checked by the owning kernel *)
           | Some child -> (
@@ -62,15 +113,14 @@ let check_local_links t =
                 (Key.to_string cap.Cap.key) (Key.to_string p)
             | None ->
               err "child %s of %s has no parent" (Key.to_string child_key)
-                (Key.to_string cap.Cap.key)))
-        cap.Cap.children;
+                (Key.to_string cap.Cap.key)));
       match cap.Cap.parent with
       | None -> ()
       | Some parent_key -> (
         match find t parent_key with
         | None -> () (* remote parent *)
-        | Some parent ->
-          if not (Cap.has_child parent cap.Cap.key) then
+        | Some _ ->
+          if not (has_child t ~parent:parent_key cap.Cap.key) then
             err "parent %s does not list child %s" (Key.to_string parent_key)
               (Key.to_string cap.Cap.key)))
     t;

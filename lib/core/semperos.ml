@@ -77,6 +77,7 @@ module Record = Semper_harness.Record
 module Bench_json = Semper_harness.Bench_json
 module Wallclock = Semper_harness.Wallclock
 module Batchbench = Semper_harness.Batchbench
+module Scale = Semper_harness.Scale
 module Balance = Semper_balance.Balance
 module Skew = Semper_harness.Skew
 

@@ -22,26 +22,29 @@ let run sys =
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
   (* Per-kernel invariants first. *)
   List.iter (fun e -> errors := e :: !errors) (System.check_invariants sys);
-  (* Collect the global capability set. *)
-  let global : Cap.t Key.Table.t = Key.Table.create 256 in
+  (* Collect the global capability set. Child links live in each
+     kernel's arena, so they are materialised here alongside the
+     record they belong to. *)
+  let global : (Cap.t * Key.t list) Key.Table.t = Key.Table.create 256 in
   let home : int Key.Table.t = Key.Table.create 256 in
   List.iter
     (fun kernel ->
+      let db = Kernel.mapdb kernel in
       Mapdb.iter
         (fun cap ->
           if Key.Table.mem global cap.Cap.key then
             err "capability %s present in two mapping databases" (Key.to_string cap.Cap.key)
           else begin
-            Key.Table.add global cap.Cap.key cap;
+            Key.Table.add global cap.Cap.key (cap, Mapdb.children db cap.Cap.key);
             Key.Table.add home cap.Cap.key (Kernel.id kernel)
           end)
-        (Kernel.mapdb kernel))
+        db)
     (System.kernels sys);
   let membership = System.membership sys in
   let spanning = ref 0 in
   (* Link consistency, in both directions, across kernels. *)
   Key.Table.iter
-    (fun key cap ->
+    (fun key (cap, children) ->
       let my_home = Key.Table.find home key in
       (* The DDL must route to the hosting kernel. *)
       (match Membership.kernel_of_key membership key with
@@ -52,7 +55,7 @@ let run sys =
         (fun child_key ->
           match Key.Table.find_opt global child_key with
           | None -> err "%s lists dead child %s" (Key.to_string key) (Key.to_string child_key)
-          | Some child -> (
+          | Some (child, _) -> (
             if Key.Table.find home child_key <> my_home then incr spanning;
             match child.Cap.parent with
             | Some p when Key.equal p key -> ()
@@ -60,14 +63,14 @@ let run sys =
               err "child %s of %s claims parent %s" (Key.to_string child_key) (Key.to_string key)
                 (Key.to_string p)
             | None -> err "child %s of %s has no parent" (Key.to_string child_key) (Key.to_string key)))
-        cap.Cap.children;
+        children;
       match cap.Cap.parent with
       | None -> ()
       | Some parent_key -> (
         match Key.Table.find_opt global parent_key with
         | None -> err "%s has dead parent %s" (Key.to_string key) (Key.to_string parent_key)
-        | Some parent ->
-          if not (Cap.has_child parent key) then
+        | Some (_, parent_children) ->
+          if not (List.exists (Key.equal key) parent_children) then
             err "parent %s does not list child %s" (Key.to_string parent_key) (Key.to_string key)))
     global;
   (* Reachability and acyclicity: walk down from every root. *)
@@ -84,12 +87,12 @@ let run sys =
         Key.Table.add visited key ();
         match Key.Table.find_opt global key with
         | None -> ()
-        | Some cap -> List.iter (walk (depth + 1)) cap.Cap.children
+        | Some (_, children) -> List.iter (walk (depth + 1)) children
       end
     end
   in
   Key.Table.iter
-    (fun key cap ->
+    (fun key (cap, _) ->
       if cap.Cap.parent = None then begin
         incr roots;
         walk 1 key
@@ -113,3 +116,331 @@ let check sys =
   | [] -> ()
   | errs ->
     failwith (Printf.sprintf "Audit.check: %d violations: %s" (List.length errs) (String.concat "; " errs))
+
+(* ------------------------------------------------------------------ *)
+(* Dirty-partition incremental audit                                   *)
+
+module Incremental = struct
+  let full_audit = run
+
+  (* Mirror of one capability record: enough to re-run every link and
+     routing check without touching records whose partitions did not
+     change. [e_span] is this record's contribution to the global
+     spanning-link count (its children hosted on another kernel);
+     [e_errs] the link/routing violations charged to it. Both are
+     recomputed whenever the record or a neighbour changes, so global
+     totals update by difference. *)
+  type entry = {
+    mutable e_parent : Key.t option;
+    mutable e_kids : Key.t list;
+    mutable e_home : int;
+    mutable e_span : int;
+    mutable e_errs : string list;
+  }
+
+  type t = {
+    sys : System.t;
+    full_every : int;
+    mutable runs : int;
+    mirror : entry Key.Table.t;
+    by_pe : (int, unit Key.Table.t) Hashtbl.t;  (* partition -> keys *)
+    roots : unit Key.Table.t;
+    depths : int Key.Table.t;  (* root -> subtree depth *)
+    walk_errs : string list Key.Table.t;  (* root -> cycle/diamond errors *)
+    pe_errs : (int, string list) Hashtbl.t;  (* partition -> duplicate-key errors *)
+    mutable spanning : int;
+  }
+
+  let pe_set t pe =
+    match Hashtbl.find_opt t.by_pe pe with
+    | Some s -> s
+    | None ->
+      let s = Key.Table.create 16 in
+      Hashtbl.add t.by_pe pe s;
+      s
+
+  let drop_entry t key (e : entry) =
+    t.spanning <- t.spanning - e.e_span;
+    Key.Table.remove t.mirror key;
+    Key.Table.remove t.roots key;
+    Key.Table.remove t.depths key;
+    Key.Table.remove t.walk_errs key;
+    match Hashtbl.find_opt t.by_pe (Key.pe key) with
+    | Some s -> Key.Table.remove s key
+    | None -> ()
+
+  (* Re-run the per-record checks: DDL routing, child links resolving
+     to live records that point back, the parent listing us. Exactly
+     the checks [run] performs for one key, against the mirror. *)
+  let recheck t key =
+    match Key.Table.find_opt t.mirror key with
+    | None -> ()
+    | Some e ->
+      let errs = ref [] in
+      let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+      (match Membership.kernel_of_key (System.membership t.sys) key with
+      | k when k = e.e_home -> ()
+      | k ->
+        err "capability %s hosted at kernel %d but DDL routes to %d" (Key.to_string key) e.e_home
+          k
+      | exception Not_found -> err "capability %s has an unroutable key" (Key.to_string key));
+      let span = ref 0 in
+      List.iter
+        (fun child_key ->
+          match Key.Table.find_opt t.mirror child_key with
+          | None -> err "%s lists dead child %s" (Key.to_string key) (Key.to_string child_key)
+          | Some child -> (
+            if child.e_home <> e.e_home then incr span;
+            match child.e_parent with
+            | Some p when Key.equal p key -> ()
+            | Some p ->
+              err "child %s of %s claims parent %s" (Key.to_string child_key) (Key.to_string key)
+                (Key.to_string p)
+            | None -> err "child %s of %s has no parent" (Key.to_string child_key) (Key.to_string key)))
+        e.e_kids;
+      (match e.e_parent with
+      | None -> ()
+      | Some parent_key -> (
+        match Key.Table.find_opt t.mirror parent_key with
+        | None -> err "%s has dead parent %s" (Key.to_string key) (Key.to_string parent_key)
+        | Some parent ->
+          if not (List.exists (Key.equal key) parent.e_kids) then
+            err "parent %s does not list child %s" (Key.to_string parent_key) (Key.to_string key)));
+      t.spanning <- t.spanning - e.e_span + !span;
+      e.e_span <- !span;
+      e.e_errs <- List.rev !errs
+
+  (* Walk up the parent chain to the owning root; [None] when the chain
+     dies (the dangling link is an [e_errs] entry already) or loops
+     (reported via [on_err] — a parentless cycle has no root to walk
+     from, so this is the only place it can surface between full
+     passes). *)
+  let root_of t ~on_err key =
+    let limit = Key.Table.length t.mirror in
+    let rec go steps k =
+      if steps > limit then begin
+        on_err (Printf.sprintf "cycle through %s" (Key.to_string k));
+        None
+      end
+      else
+        match Key.Table.find_opt t.mirror k with
+        | None -> None
+        | Some { e_parent = None; _ } -> Some k
+        | Some { e_parent = Some p; _ } -> go (steps + 1) p
+    in
+    go 0 key
+
+  (* Re-walk one root's subtree: recompute its depth and its
+     cycle/diamond errors, exactly as [run]'s reachability pass does. *)
+  let recompute_root t root =
+    let visited = Key.Table.create 32 in
+    let errs = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+    let maxd = ref 0 in
+    let limit = Key.Table.length t.mirror in
+    let rec walk depth key =
+      if depth > limit then err "cycle through %s" (Key.to_string key)
+      else begin
+        if depth > !maxd then maxd := depth;
+        if Key.Table.mem visited key then
+          err "capability %s reached twice (diamond or cycle)" (Key.to_string key)
+        else begin
+          Key.Table.add visited key ();
+          match Key.Table.find_opt t.mirror key with
+          | None -> ()
+          | Some e -> List.iter (walk (depth + 1)) e.e_kids
+        end
+      end
+    in
+    walk 1 root;
+    Key.Table.replace t.depths root !maxd;
+    match !errs with
+    | [] -> Key.Table.remove t.walk_errs root
+    | es -> Key.Table.replace t.walk_errs root (List.rev es)
+
+  let rebuild t =
+    Key.Table.reset t.mirror;
+    Hashtbl.reset t.by_pe;
+    Key.Table.reset t.roots;
+    Key.Table.reset t.depths;
+    Key.Table.reset t.walk_errs;
+    Hashtbl.reset t.pe_errs;
+    t.spanning <- 0;
+    List.iter
+      (fun kernel ->
+        let db = Kernel.mapdb kernel in
+        ignore (Mapdb.drain_dirty db);
+        Mapdb.iter
+          (fun cap ->
+            let key = cap.Cap.key in
+            if Key.Table.mem t.mirror key then
+              Hashtbl.replace t.pe_errs (Key.pe key)
+                (Printf.sprintf "capability %s present in two mapping databases"
+                   (Key.to_string key)
+                :: (try Hashtbl.find t.pe_errs (Key.pe key) with Not_found -> []))
+            else begin
+              Key.Table.add t.mirror key
+                {
+                  e_parent = cap.Cap.parent;
+                  e_kids = Mapdb.children db key;
+                  e_home = Kernel.id kernel;
+                  e_span = 0;
+                  e_errs = [];
+                };
+              Key.Table.replace (pe_set t (Key.pe key)) key ();
+              if cap.Cap.parent = None then Key.Table.replace t.roots key ()
+            end)
+          db)
+      (System.kernels t.sys);
+    Key.Table.iter (fun key _ -> recheck t key) t.mirror;
+    Key.Table.iter (fun root () -> recompute_root t root) t.roots
+
+  let create ?(full_every = 16) sys =
+    let t =
+      {
+        sys;
+        full_every;
+        runs = 0;
+        mirror = Key.Table.create 256;
+        by_pe = Hashtbl.create 64;
+        roots = Key.Table.create 64;
+        depths = Key.Table.create 64;
+        walk_errs = Key.Table.create 8;
+        pe_errs = Hashtbl.create 8;
+        spanning = 0;
+      }
+    in
+    rebuild t;
+    t
+
+  (* Union of every kernel's dirty partitions since the last pass. *)
+  let drain t =
+    List.fold_left
+      (fun acc kernel -> List.rev_append (Mapdb.drain_dirty (Kernel.mapdb kernel)) acc)
+      [] (System.kernels t.sys)
+    |> List.sort_uniq compare
+
+  let update t dirty_pes ~on_err =
+    let touched = Key.Table.create 64 in
+    let check = Key.Table.create 64 in
+    let mark tbl k = Key.Table.replace tbl k () in
+    List.iter
+      (fun pe ->
+        (* Live records of this partition, across every kernel (during
+           a migration both ends touched it). *)
+        let live = Key.Table.create 32 in
+        let dups = ref [] in
+        List.iter
+          (fun kernel ->
+            let db = Kernel.mapdb kernel in
+            List.iter
+              (fun cap ->
+                let key = cap.Cap.key in
+                if Key.Table.mem live key then
+                  dups :=
+                    Printf.sprintf "capability %s present in two mapping databases"
+                      (Key.to_string key)
+                    :: !dups
+                else
+                  Key.Table.add live key
+                    (cap.Cap.parent, Mapdb.children db key, Kernel.id kernel))
+              (Mapdb.caps_of_pe db ~pe))
+          (System.kernels t.sys);
+        (match !dups with
+        | [] -> Hashtbl.remove t.pe_errs pe
+        | ds -> Hashtbl.replace t.pe_errs pe (List.rev ds));
+        let olds = pe_set t pe in
+        (* Records gone from the partition. *)
+        let removed = ref [] in
+        Key.Table.iter (fun k () -> if not (Key.Table.mem live k) then removed := k :: !removed) olds;
+        List.iter
+          (fun k ->
+            (match Key.Table.find_opt t.mirror k with
+            | Some e ->
+              (match e.e_parent with Some p -> mark check p | None -> ());
+              List.iter (fun c -> mark check c) e.e_kids;
+              drop_entry t k e
+            | None -> ());
+            mark touched k)
+          !removed;
+        (* New or changed records. *)
+        Key.Table.iter
+          (fun k (parent, kids, home) ->
+            match Key.Table.find_opt t.mirror k with
+            | None ->
+              Key.Table.add t.mirror k
+                { e_parent = parent; e_kids = kids; e_home = home; e_span = 0; e_errs = [] };
+              Key.Table.replace olds k ();
+              if parent = None then Key.Table.replace t.roots k ();
+              mark touched k;
+              (match parent with Some p -> mark check p | None -> ());
+              List.iter (fun c -> mark check c) kids
+            | Some e ->
+              let changed =
+                e.e_home <> home
+                || (not (Option.equal Key.equal e.e_parent parent))
+                || not (List.equal Key.equal e.e_kids kids)
+              in
+              if changed then begin
+                (* Old neighbours lose a link; new ones gain one. *)
+                (match e.e_parent with Some p -> mark check p | None -> ());
+                List.iter (fun c -> mark check c) e.e_kids;
+                e.e_parent <- parent;
+                e.e_kids <- kids;
+                e.e_home <- home;
+                if parent = None then Key.Table.replace t.roots k ()
+                else begin
+                  Key.Table.remove t.roots k;
+                  Key.Table.remove t.depths k;
+                  Key.Table.remove t.walk_errs k
+                end;
+                mark touched k;
+                (match parent with Some p -> mark check p | None -> ());
+                List.iter (fun c -> mark check c) kids
+              end)
+          live)
+      dirty_pes;
+    Key.Table.iter (fun k () -> mark check k) touched;
+    Key.Table.iter (fun k () -> recheck t k) check;
+    (* Depths: re-walk every root whose subtree a change can have
+       reached. *)
+    let affected_roots = Key.Table.create 16 in
+    Key.Table.iter
+      (fun k () ->
+        match root_of t ~on_err k with
+        | Some r -> mark affected_roots r
+        | None -> ())
+      check;
+    Key.Table.iter
+      (fun r () -> if Key.Table.mem t.roots r then recompute_root t r)
+      affected_roots
+
+  let report t extra =
+    let errors = ref extra in
+    Hashtbl.iter (fun _ es -> errors := es @ !errors) t.pe_errs;
+    Key.Table.iter (fun _ e -> if e.e_errs <> [] then errors := e.e_errs @ !errors) t.mirror;
+    Key.Table.iter (fun _ es -> errors := es @ !errors) t.walk_errs;
+    {
+      capabilities = Key.Table.length t.mirror;
+      roots = Key.Table.length t.roots;
+      max_depth = Key.Table.fold (fun _ d m -> if d > m then d else m) t.depths 0;
+      spanning_links = t.spanning;
+      errors = List.sort_uniq compare !errors;
+    }
+
+  let run t =
+    t.runs <- t.runs + 1;
+    if t.full_every > 0 && t.runs mod t.full_every = 0 then begin
+      (* Periodic fallback: a genuine full audit — including the
+         per-kernel invariant sweep the incremental passes skip — and a
+         mirror rebuild that clears any drift. *)
+      let r = full_audit t.sys in
+      rebuild t;
+      r
+    end
+    else begin
+      let run_errs = ref [] in
+      update t (drain t) ~on_err:(fun e -> run_errs := e :: !run_errs);
+      report t !run_errs
+    end
+end

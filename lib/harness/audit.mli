@@ -33,3 +33,36 @@ val run : Semper_kernel.System.t -> report
 
 (** [check sys] raises [Failure] with the violations if any. *)
 val check : Semper_kernel.System.t -> unit
+
+(** Dirty-partition incremental audit.
+
+    [run] above re-reads every capability on every kernel — O(total
+    caps) per pass, which dominates wall-clock once systems reach
+    thousands of PEs. The incremental auditor keeps a mirror of the
+    forest and, on each pass, drains each mapping database's dirty
+    partitions ({!Semper_caps.Mapdb.drain_dirty}) and re-verifies only
+    the records in those partitions plus the links in and out of them:
+    link and routing checks for every touched record and its
+    neighbours, spanning-link totals by difference, and a re-walk of
+    the subtrees of affected roots for depth and cycle checks.
+
+    On a healthy system an incremental pass returns a report equal to
+    [run]'s (asserted by the fuzz oracle and by unit tests). Two
+    deliberate approximations apply between full passes: the per-kernel
+    invariant sweep ([System.check_invariants]) is skipped, and
+    corruption disconnected from any change — e.g. a parentless cycle
+    created without touching a partition — can go unnoticed. Every
+    [full_every]-th call therefore falls back to a genuine full audit
+    and rebuilds the mirror. *)
+module Incremental : sig
+  type t
+
+  (** Build the mirror from the live system (draining all dirty sets).
+      Every [full_every]-th [run] (default 16) is a full audit;
+      [full_every = 0] disables the fallback. *)
+  val create : ?full_every:int -> Semper_kernel.System.t -> t
+
+  (** Audit an idle system, re-verifying only partitions touched since
+      the previous call. *)
+  val run : t -> report
+end

@@ -251,7 +251,7 @@ let step st =
 let steps_done st = st.step_no
 let state_system st = st.sys
 
-let finish st =
+let finish ?inc st =
   let sys = st.sys in
   (match st.crashed with
   | Some msg -> st.failures <- ("exception: " ^ msg) :: st.failures
@@ -268,6 +268,25 @@ let finish st =
       (* Safety oracle: the global capability forest must be consistent. *)
       let report = Audit.run sys in
       List.iter (fun e -> st.failures <- ("audit: " ^ e) :: st.failures) report.Audit.errors;
+      (* Incremental-audit oracle: an auditor that mirrored the forest
+         since boot and only re-verified dirty partitions must agree
+         with the full pass. Gated on a clean full report — on corrupt
+         state the two legitimately phrase violations differently. *)
+      (match inc with
+      | Some inc when report.Audit.errors = [] ->
+        let ireport = Audit.Incremental.run inc in
+        if
+          ireport.Audit.errors <> []
+          || ireport.Audit.capabilities <> report.Audit.capabilities
+          || ireport.Audit.roots <> report.Audit.roots
+          || ireport.Audit.max_depth <> report.Audit.max_depth
+          || ireport.Audit.spanning_links <> report.Audit.spanning_links
+        then
+          st.failures <-
+            Format.asprintf "incremental audit diverged: full %a vs incremental %a"
+              Audit.pp_report report Audit.pp_report ireport
+            :: st.failures
+      | Some _ | None -> ());
       (* Credit oracle: at quiescence every per-peer send window must sit
          inside [0, max_inflight] — a negative window means a send slipped
          past the gate, an oversized one means a duplicated or spurious
@@ -358,12 +377,16 @@ let load_state image =
 let run_one ?(spec = default_spec) ?(checkpoint_every = 0) ?(on_checkpoint = fun _ _ -> ())
     ~workload_seed ~fault_seed () =
   let st = start ~spec ~workload_seed ~fault_seed () in
+  (* The incremental-audit oracle lives outside [st]: checkpoint images
+     must stay exactly one marshalable case root. Resumed cases run
+     without it. *)
+  let inc = Audit.Incremental.create ~full_every:0 (state_system st) in
   for i = 0 to spec.ops - 1 do
     if checkpoint_every > 0 && i mod checkpoint_every = 0 && st.crashed = None then
       on_checkpoint st.step_no (save_state st);
     step st
   done;
-  finish st
+  finish ~inc st
 
 (* ------------------------------------------------------------------ *)
 (* Delta-debugging shrinker                                            *)

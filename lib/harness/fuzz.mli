@@ -117,7 +117,11 @@ val steps_done : state -> int
     rebind). *)
 val state_system : state -> Semper_kernel.System.t
 
-val finish : state -> outcome
+(** [finish ?inc st] drains, runs the oracles, and tears down. When
+    [inc] is an incremental auditor created against this case's system
+    at boot, its report is checked against the full audit (only when
+    the full report is clean — the two phrase corruption differently). *)
+val finish : ?inc:Audit.Incremental.t -> state -> outcome
 
 (** {1 Checkpointing}
 

@@ -1,0 +1,217 @@
+module Obs = Semper_obs.Obs
+module Engine = Semper_sim.Engine
+module System = Semper_kernel.System
+module P = Semper_kernel.Protocol
+module Perms = Semper_caps.Perms
+module Workloads = Semper_trace.Workloads
+module T = Semper_util.Table
+
+type preset = Full | Smoke
+
+type row = {
+  r_name : string;
+  r_total_pes : int;
+  r_kernels : int;
+  r_services : int;
+  r_instances : int;
+  r_wall_s : float;
+  r_events : int;
+  r_events_per_s : float;
+  r_cap_ops : int;
+  r_cap_ops_per_s : float;
+  r_heap_peak : int;
+  r_minor_collections : int;
+  r_major_collections : int;
+  r_promoted_words : float;
+  r_audit_caps : int;
+  r_audit_full_s : float;
+  r_audit_incremental_s : float;
+}
+
+type point = {
+  p_name : string;
+  p_kernels : int;
+  p_services : int;
+  p_instances : int;
+  p_derives : int;  (* derivation-tree fan-out per VPE in the churn forest *)
+  p_churn_vpes : int;  (* VPEs touched by the steady-state churn *)
+}
+
+(* kernels + services + instances = the advertised PE count; per-kernel
+   user PEs stay well under [Cost.max_pes_per_kernel]. *)
+let points_of_preset = function
+  | Full ->
+    [
+      { p_name = "1k"; p_kernels = 16; p_services = 16; p_instances = 992; p_derives = 3; p_churn_vpes = 8 };
+      { p_name = "2k"; p_kernels = 32; p_services = 32; p_instances = 1984; p_derives = 3; p_churn_vpes = 8 };
+      { p_name = "4k"; p_kernels = 32; p_services = 32; p_instances = 4032; p_derives = 3; p_churn_vpes = 8 };
+    ]
+  | Smoke ->
+    [ { p_name = "smoke"; p_kernels = 2; p_services = 2; p_instances = 8; p_derives = 2; p_churn_vpes = 2 } ]
+
+(* One memory-bound and one stat-heavy application per row: enough mix
+   to exercise both data-capability hand-out and service traffic
+   without turning the 4K row into minutes of wall-clock. *)
+let mix pt =
+  List.map
+    (fun w ->
+      Experiment.config ~kernels:pt.p_kernels ~services:pt.p_services ~instances:pt.p_instances w)
+    [ Workloads.tar; Workloads.find ]
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let sel_of who = function
+  | P.R_sel s -> s
+  | r -> failwith (Format.asprintf "Scale: %s: unexpected reply %a" who P.pp_reply r)
+
+(* A capability forest spanning every user-PE partition of a
+   [pt]-sized system: one VPE per user PE, each holding a memory
+   capability with a small derivation tree. *)
+let churn_system pt =
+  let user_pes = (pt.p_instances + pt.p_services + pt.p_kernels - 1) / pt.p_kernels in
+  let sys = System.create (System.config ~kernels:pt.p_kernels ~user_pes_per_kernel:user_pes ()) in
+  let vpes = ref [] in
+  for k = 0 to pt.p_kernels - 1 do
+    for _ = 1 to user_pes do
+      let vpe = System.spawn_vpe sys ~kernel:k in
+      vpes := vpe :: !vpes;
+      let root =
+        sel_of "alloc_mem"
+          (System.syscall_sync sys vpe (P.Sys_alloc_mem { size = 4096L; perms = Perms.rw }))
+      in
+      for _ = 1 to pt.p_derives do
+        ignore
+          (sel_of "derive_mem"
+             (System.syscall_sync sys vpe
+                (P.Sys_derive_mem { sel = root; offset = 0L; size = 64L; perms = Perms.r })))
+      done
+    done
+  done;
+  (sys, List.rev !vpes)
+
+(* Steady-state churn on a handful of VPEs, then one full audit and
+   one incremental audit over the same dirty partitions. The full pass
+   does not drain dirty sets, so both see identical churn. *)
+let audit_times pt =
+  let sys, vpes = churn_system pt in
+  let inc = Audit.Incremental.create ~full_every:0 sys in
+  List.iteri
+    (fun i vpe ->
+      if i < pt.p_churn_vpes then begin
+        let root =
+          sel_of "alloc_mem"
+            (System.syscall_sync sys vpe (P.Sys_alloc_mem { size = 4096L; perms = Perms.rw }))
+        in
+        ignore
+          (sel_of "derive_mem"
+             (System.syscall_sync sys vpe
+                (P.Sys_derive_mem { sel = root; offset = 0L; size = 64L; perms = Perms.r })));
+        match System.syscall_sync sys vpe (P.Sys_revoke { sel = root; own = false }) with
+        | P.R_ok -> ()
+        | r -> failwith (Format.asprintf "Scale: revoke: unexpected reply %a" P.pp_reply r)
+      end)
+    vpes;
+  let full, t_full = time (fun () -> Audit.run sys) in
+  let irep, t_inc = time (fun () -> Audit.Incremental.run inc) in
+  if full.Audit.errors <> [] then
+    failwith (Format.asprintf "Scale: churn forest audit failed: %a" Audit.pp_report full);
+  if irep <> full then
+    failwith
+      (Format.asprintf "Scale: incremental audit diverged: full %a vs incremental %a"
+         Audit.pp_report full Audit.pp_report irep);
+  (full.Audit.capabilities, t_full, t_inc)
+
+(* Serial like the wallclock bench: the point is a comparable
+   throughput trajectory versus PE count, and domain fan-out would
+   fold scheduler noise into every row. *)
+let measure_row pt =
+  let p0 = Engine.Totals.processed () in
+  let g0 = Gc.quick_stat () in
+  let outcomes, wall = time (fun () -> Experiment.run_many ~jobs:1 (mix pt)) in
+  let g1 = Gc.quick_stat () in
+  let events = Engine.Totals.processed () - p0 in
+  let cap_ops = List.fold_left (fun acc o -> acc + o.Experiment.cap_ops) 0 outcomes in
+  let audit_caps, t_full, t_inc = audit_times pt in
+  {
+    r_name = pt.p_name;
+    r_total_pes = pt.p_instances + pt.p_services + pt.p_kernels;
+    r_kernels = pt.p_kernels;
+    r_services = pt.p_services;
+    r_instances = pt.p_instances;
+    r_wall_s = wall;
+    r_events = events;
+    r_events_per_s = (if wall > 0.0 then float_of_int events /. wall else 0.0);
+    r_cap_ops = cap_ops;
+    r_cap_ops_per_s = (if wall > 0.0 then float_of_int cap_ops /. wall else 0.0);
+    r_heap_peak = Engine.Totals.heap_peak ();
+    r_minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+    r_major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+    r_promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+    r_audit_caps = audit_caps;
+    r_audit_full_s = t_full;
+    r_audit_incremental_s = t_inc;
+  }
+
+let rows ?(preset = Full) () = List.map measure_row (points_of_preset preset)
+
+let row_json r =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.Str r.r_name);
+      ("total_pes", Obs.Json.Int r.r_total_pes);
+      ("kernels", Obs.Json.Int r.r_kernels);
+      ("services", Obs.Json.Int r.r_services);
+      ("instances", Obs.Json.Int r.r_instances);
+      ("wall_s", Obs.Json.Float r.r_wall_s);
+      ("events_processed", Obs.Json.Int r.r_events);
+      ("events_per_s", Obs.Json.Float r.r_events_per_s);
+      ("cap_ops", Obs.Json.Int r.r_cap_ops);
+      ("cap_ops_per_s", Obs.Json.Float r.r_cap_ops_per_s);
+      ("heap_peak", Obs.Json.Int r.r_heap_peak);
+      ("gc_minor_collections", Obs.Json.Int r.r_minor_collections);
+      ("gc_major_collections", Obs.Json.Int r.r_major_collections);
+      ("gc_promoted_words", Obs.Json.Float r.r_promoted_words);
+      ("audit_caps", Obs.Json.Int r.r_audit_caps);
+      ("audit_full_s", Obs.Json.Float r.r_audit_full_s);
+      ("audit_incremental_s", Obs.Json.Float r.r_audit_incremental_s);
+    ]
+
+let json rows =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "semperos-scale-1");
+      ("jobs", Obs.Json.Int 1);
+      ("rows", Obs.Json.Arr (List.map row_json rows));
+    ]
+
+let print rows =
+  T.print ~title:"Scale ceiling: application mix + audit cost vs PE count (host-dependent)"
+    ~header:
+      [
+        "row"; "pes"; "wall_s"; "events/s"; "cap_ops"; "cap_ops/s"; "heap_peak"; "gc_minor";
+        "gc_major"; "audit_full_ms"; "audit_inc_ms";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.r_name;
+           string_of_int r.r_total_pes;
+           Printf.sprintf "%.3f" r.r_wall_s;
+           Printf.sprintf "%.0f" r.r_events_per_s;
+           string_of_int r.r_cap_ops;
+           Printf.sprintf "%.0f" r.r_cap_ops_per_s;
+           string_of_int r.r_heap_peak;
+           string_of_int r.r_minor_collections;
+           string_of_int r.r_major_collections;
+           Printf.sprintf "%.3f" (r.r_audit_full_s *. 1000.0);
+           Printf.sprintf "%.3f" (r.r_audit_incremental_s *. 1000.0);
+         ])
+       rows)
+
+let run ?(preset = Full) ?(path = "BENCH_scale.json") () =
+  let rs = rows ~preset () in
+  print rs;
+  Bench_json.write ~path (json rs)

@@ -1,0 +1,55 @@
+(** Scale-ceiling benchmark: the simulator and kernel data structures
+    at 1K, 2K and 4K PEs.
+
+    Each row builds a system of the given size, replays an application
+    mix over it ({!Experiment.run_many}, serial), and reports host-side
+    throughput — capability operations and engine events per wall-clock
+    second — together with the engine heap high-water mark and GC
+    counters. A second phase at the same scale populates a capability
+    forest spanning every PE partition, performs a small steady-state
+    churn, and times a full {!Audit.run} against an
+    {!Audit.Incremental.run} over the same churn, demonstrating that
+    auditing no longer dominates wall-clock at 4K PEs.
+
+    Like [BENCH_wallclock.json], the output measures the {e host} and
+    is excluded from the byte-identity contract. *)
+
+type preset =
+  | Full  (** 1K / 2K / 4K PE rows *)
+  | Smoke  (** one tiny row, for the [@scale-smoke] test *)
+
+type row = {
+  r_name : string;
+  r_total_pes : int;  (** instances + services + kernels *)
+  r_kernels : int;
+  r_services : int;
+  r_instances : int;
+  r_wall_s : float;  (** application-mix wall-clock, seconds *)
+  r_events : int;  (** engine events executed by the mix *)
+  r_events_per_s : float;
+  r_cap_ops : int;  (** kernel-side capability operations of the mix *)
+  r_cap_ops_per_s : float;  (** [r_cap_ops / r_wall_s], host-side rate *)
+  r_heap_peak : int;
+      (** process-wide monotone high-water mark as of the end of this
+          row, not a per-row delta *)
+  r_minor_collections : int;  (** minor GCs during the mix *)
+  r_major_collections : int;  (** major GC cycles during the mix *)
+  r_promoted_words : float;  (** words promoted minor -> major *)
+  r_audit_caps : int;  (** live capabilities in the churn forest *)
+  r_audit_full_s : float;  (** one full {!Audit.run} after the churn *)
+  r_audit_incremental_s : float;
+      (** one {!Audit.Incremental.run} over the same churn *)
+}
+
+(** Run the preset's rows and measure each. *)
+val rows : ?preset:preset -> unit -> row list
+
+(** Deterministically ordered JSON document for a measured run. *)
+val json : row list -> Semper_obs.Obs.Json.t
+
+(** Render the rows as a table on stdout. *)
+val print : row list -> unit
+
+(** [rows] + [print] + write JSON to [path]
+    (default ["BENCH_scale.json"]). *)
+val run : ?preset:preset -> ?path:string -> unit -> unit

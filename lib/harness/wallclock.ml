@@ -12,6 +12,9 @@ type sample = {
   s_cancelled : int;
   s_skipped : int;
   s_heap_peak : int;
+  s_minor_collections : int;
+  s_major_collections : int;
+  s_promoted_words : float;
 }
 
 type preset = Full | Smoke
@@ -87,9 +90,11 @@ let measure (name, f) =
   let p0 = Engine.Totals.processed () in
   let c0 = Engine.Totals.cancelled () in
   let s0 = Engine.Totals.skipped () in
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   f ();
   let wall = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
   let events = Engine.Totals.processed () - p0 in
   {
     s_name = name;
@@ -99,6 +104,9 @@ let measure (name, f) =
     s_cancelled = Engine.Totals.cancelled () - c0;
     s_skipped = Engine.Totals.skipped () - s0;
     s_heap_peak = Engine.Totals.heap_peak ();
+    s_minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+    s_major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+    s_promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
   }
 
 let samples ?(preset = Full) () = List.map measure (workloads_of_preset preset)
@@ -113,6 +121,9 @@ let sample_json s =
       ("events_cancelled", Obs.Json.Int s.s_cancelled);
       ("events_skipped", Obs.Json.Int s.s_skipped);
       ("heap_peak", Obs.Json.Int s.s_heap_peak);
+      ("gc_minor_collections", Obs.Json.Int s.s_minor_collections);
+      ("gc_major_collections", Obs.Json.Int s.s_major_collections);
+      ("gc_promoted_words", Obs.Json.Float s.s_promoted_words);
     ]
 
 let json samples =
@@ -126,7 +137,10 @@ let json samples =
 let print samples =
   T.print ~title:"Wall-clock throughput of the simulator core (host-dependent)"
     ~header:
-      [ "workload"; "wall_s"; "events"; "events/s"; "cancelled"; "skipped"; "heap_peak" ]
+      [
+        "workload"; "wall_s"; "events"; "events/s"; "cancelled"; "skipped"; "heap_peak";
+        "gc_minor"; "gc_major"; "promoted_w";
+      ]
     (List.map
        (fun s ->
          [
@@ -137,6 +151,9 @@ let print samples =
            string_of_int s.s_cancelled;
            string_of_int s.s_skipped;
            string_of_int s.s_heap_peak;
+           string_of_int s.s_minor_collections;
+           string_of_int s.s_major_collections;
+           Printf.sprintf "%.0f" s.s_promoted_words;
          ])
        samples)
 

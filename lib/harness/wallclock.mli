@@ -20,6 +20,9 @@ type sample = {
   s_heap_peak : int;
       (** process-wide monotone high-water mark as of the end of this
           workload, not a per-workload delta *)
+  s_minor_collections : int;  (** minor GCs during this workload *)
+  s_major_collections : int;  (** major GC cycles during this workload *)
+  s_promoted_words : float;  (** words promoted minor -> major *)
 }
 
 type preset =

@@ -223,6 +223,13 @@ type t = {
   trace : Obs.Trace.t;
   ctr : counters;
   mutable next_op : int;
+  (* Recycled per-operation scratch (host-side, never snapshotted):
+     marked/cont-root sets for revoke ops and destination-grouping
+     tables for message waves. [Hashtbl.reset] on release restores the
+     initial bucket count, so a recycled table iterates exactly like a
+     fresh one — recycling cannot perturb message order. *)
+  keyset_pool : unit Key.Table.t Pool.t;
+  dstmap_pool : (int, Key.t list) Hashtbl.t Pool.t;
 }
 
 (* Retransmission backoff: the wait before attempt [i] doubles up to a
@@ -325,6 +332,12 @@ let create ?obs ?trace ~engine ~fabric ~grid ~id ~pe ~membership ~cost ~env ~reg
       trace;
       ctr;
       next_op = 0;
+      keyset_pool =
+        Pool.create ~prealloc:2
+          ~make:(fun () -> Key.Table.create 64)
+          ~reset:Key.Table.reset ();
+      dstmap_pool =
+        Pool.create ~prealloc:1 ~make:(fun () -> Hashtbl.create 8) ~reset:Hashtbl.reset ();
     }
   in
   Hashtbl.add registry id t;
@@ -919,7 +932,7 @@ and create_linked_cap t ~(owner : Vpe.t) ~kind ~(parent : Cap.t option) ~key =
   let parent_key = Option.map (fun (p : Cap.t) -> p.Cap.key) parent in
   let cap = Cap.make ~key ~kind ~owner_vpe:owner.Vpe.id ?parent:parent_key () in
   Mapdb.insert t.mapdb cap;
-  (match parent with Some p -> Cap.add_child p key | None -> ());
+  (match parent with Some p -> Mapdb.add_child t.mapdb ~parent:p.Cap.key key | None -> ());
   Obs.Registry.incr t.ctr.caps_created;
   Capspace.insert owner.Vpe.capspace key
 
@@ -950,14 +963,12 @@ and mark_subtree t (op : revoke_op) ~to_send key =
       cap.Cap.state <- Cap.Marked { revoke_op = op.rop_id };
       op.marked <- key :: op.marked;
       Key.Table.replace op.marked_set key ();
-      List.iter
-        (fun child_key ->
+      Mapdb.iter_children t.mapdb key (fun child_key ->
           op.links_seen <- op.links_seen + 1;
           match owner_kernel t child_key with
           | owner when owner = t.id -> mark_subtree t op ~to_send child_key
           | owner -> to_send := (owner, child_key) :: !to_send
-          | exception Membership.Mid_handoff _ -> defer_revoke_child t op child_key)
-        cap.Cap.children)
+          | exception Membership.Mid_handoff _ -> defer_revoke_child t op child_key))
 
 (* A remote reply (or an overlapping operation we waited on) came in. *)
 and revoke_release t (op : revoke_op) =
@@ -1032,10 +1043,7 @@ and complete_revoke t (op : revoke_op) =
       (* Children-only revoke: prune acknowledged remote children from
          their surviving roots. *)
       List.iter
-        (fun (root_key, child_key) ->
-          match Mapdb.find t.mapdb root_key with
-          | Some root -> Cap.remove_child root child_key
-          | None -> ())
+        (fun (root_key, child_key) -> Mapdb.remove_child t.mapdb ~parent:root_key child_key)
         op.root_unlinks;
       let in_marked k =
         Obs.Registry.incr t.ctr.revoke_sweep_probes;
@@ -1060,10 +1068,7 @@ and complete_revoke t (op : revoke_op) =
                replied, so there is nothing left to unlink. *)
             | Some _ when Key.Table.mem op.cont_roots key -> ()
             | Some pk ->
-              if is_local_key t pk then (
-                match Mapdb.find t.mapdb pk with
-                | Some parent -> Cap.remove_child parent key
-                | None -> ())
+              if is_local_key t pk then Mapdb.remove_child t.mapdb ~parent:pk key
               else begin
                 let pk_kernel = owner_kernel t pk in
                 let requested_by =
@@ -1121,7 +1126,10 @@ and complete_revoke t (op : revoke_op) =
             finish_syscall t vpe P.R_ok
           | Ro_remote (src_kernel, remote_op) ->
             finish_remote t ~op:remote_op ~dst:src_kernel
-              (P.Ik_revoke_reply { op = remote_op; keys = op.roots; cont = op.cont_out })) ))
+              (P.Ik_revoke_reply { op = remote_op; keys = op.roots; cont = op.cont_out }));
+          (* The operation is finished: recycle its scratch sets. *)
+          Pool.release t.keyset_pool op.marked_set;
+          Pool.release t.keyset_pool op.cont_roots ))
 
 (* The responder of one of our revoke requests handed back subtree
    roots we own (the reply's [cont] field, batching mode): absorb them
@@ -1154,13 +1162,13 @@ and absorb_continuation t (op : revoke_op) keys =
         | _ -> !to_send
       in
       let messages =
-        let by_dst = Hashtbl.create 8 in
-        List.iter
-          (fun (dst, key) ->
-            let keys = try Hashtbl.find by_dst dst with Not_found -> [] in
-            Hashtbl.replace by_dst dst (key :: keys))
-          to_send;
-        Hashtbl.fold (fun dst keys acc -> (dst, keys) :: acc) by_dst []
+        Pool.with_ t.dstmap_pool (fun by_dst ->
+            List.iter
+              (fun (dst, key) ->
+                let keys = try Hashtbl.find by_dst dst with Not_found -> [] in
+                Hashtbl.replace by_dst dst (key :: keys))
+              to_send;
+            Hashtbl.fold (fun dst keys acc -> (dst, keys) :: acc) by_dst [])
       in
       op.outstanding <- op.outstanding + List.length messages;
       let cost =
@@ -1195,11 +1203,11 @@ and start_revoke t ~origin ~roots ~own ~base_cost =
       origin;
       outstanding = 0;
       marked = [];
-      marked_set = Key.Table.create 64;
+      marked_set = Pool.acquire t.keyset_pool;
       links_seen = 0;
       root_unlinks = [];
       cont_out = [];
-      cont_roots = Key.Table.create 8;
+      cont_roots = Pool.acquire t.keyset_pool;
       on_complete = [];
     }
   in
@@ -1210,13 +1218,12 @@ and start_revoke t ~origin ~roots ~own ~base_cost =
         (fun root ->
           match Mapdb.find t.mapdb root with
           | None -> ()
-          | Some cap ->
+          | Some _ ->
             if own then mark_subtree t op ~to_send root
             else
               (* Children-only revoke: mark each child subtree but keep
                  the root capability itself. *)
-              List.iter
-                (fun child_key ->
+              Mapdb.iter_children t.mapdb root (fun child_key ->
                   op.links_seen <- op.links_seen + 1;
                   match owner_kernel t child_key with
                   | owner when owner = t.id -> mark_subtree t op ~to_send child_key
@@ -1226,8 +1233,7 @@ and start_revoke t ~origin ~roots ~own ~base_cost =
                     op.root_unlinks <- (root, child_key) :: op.root_unlinks;
                     to_send := (owner, child_key) :: !to_send
                   | exception Membership.Mid_handoff _ ->
-                    defer_revoke_child t op ~root_unlink:root child_key)
-                cap.Cap.children)
+                    defer_revoke_child t op ~root_unlink:root child_key))
         roots;
       (* Requester handoff (batching mode): children owned by the
          kernel that requested this revoke ride back in the reply's
@@ -1253,25 +1259,25 @@ and start_revoke t ~origin ~roots ~own ~base_cost =
         match op.origin with Ro_syscall _ | Ro_exit _ -> true | Ro_remote _ -> false
       in
       let messages =
-        if Cost.broadcast (c t) && initiator then begin
-          let by_dst = Hashtbl.create 8 in
-          Hashtbl.iter (fun kid _ -> if kid <> t.id then Hashtbl.replace by_dst kid []) t.registry;
-          List.iter
-            (fun (dst, key) ->
-              let keys = try Hashtbl.find by_dst dst with Not_found -> [] in
-              Hashtbl.replace by_dst dst (key :: keys))
-            to_send;
-          Hashtbl.fold (fun dst keys acc -> (dst, keys) :: acc) by_dst []
-        end
-        else if Cost.batching (c t) then begin
-          let by_dst = Hashtbl.create 8 in
-          List.iter
-            (fun (dst, key) ->
-              let keys = try Hashtbl.find by_dst dst with Not_found -> [] in
-              Hashtbl.replace by_dst dst (key :: keys))
-            to_send;
-          Hashtbl.fold (fun dst keys acc -> (dst, keys) :: acc) by_dst []
-        end
+        if Cost.broadcast (c t) && initiator then
+          Pool.with_ t.dstmap_pool (fun by_dst ->
+              Hashtbl.iter
+                (fun kid _ -> if kid <> t.id then Hashtbl.replace by_dst kid [])
+                t.registry;
+              List.iter
+                (fun (dst, key) ->
+                  let keys = try Hashtbl.find by_dst dst with Not_found -> [] in
+                  Hashtbl.replace by_dst dst (key :: keys))
+                to_send;
+              Hashtbl.fold (fun dst keys acc -> (dst, keys) :: acc) by_dst [])
+        else if Cost.batching (c t) then
+          Pool.with_ t.dstmap_pool (fun by_dst ->
+              List.iter
+                (fun (dst, key) ->
+                  let keys = try Hashtbl.find by_dst dst with Not_found -> [] in
+                  Hashtbl.replace by_dst dst (key :: keys))
+                to_send;
+              Hashtbl.fold (fun dst keys acc -> (dst, keys) :: acc) by_dst [])
         else List.rev_map (fun (dst, key) -> (dst, [ key ])) to_send
       in
       op.outstanding <- op.outstanding + List.length messages;
@@ -1663,7 +1669,7 @@ and handle_syscall t (vpe : Vpe.t) (call : P.syscall) =
         | Error e -> (dispatch, fun () -> finish_syscall t vpe (P.R_err e))
         | Ok cap -> (
           let spanning =
-            List.exists (fun k -> not (key_surely_local t k)) cap.Cap.children
+            Mapdb.exists_child t.mapdb cap.Cap.key (fun k -> not (key_surely_local t k))
           in
           if spanning then Obs.Registry.incr t.ctr.revokes_spanning
           else Obs.Registry.incr t.ctr.revokes_local;
@@ -1863,9 +1869,7 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
                ack piggybacks on the credit return to stop the sender's
                retransmission timer. *)
             return_credit t ~ack_op:op ~src_kernel;
-            (match Mapdb.find t.mapdb parent_key with
-            | Some parent -> Cap.remove_child parent child_key
-            | None -> ()) ))
+            Mapdb.remove_child t.mapdb ~parent:parent_key child_key ))
   | P.Ik_migrate_update { op; src_kernel = origin; pe; new_kernel } ->
     if remote_dup t ~src_kernel ~op then ()
     else
@@ -1934,11 +1938,11 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
                     Cap.make ~key:r.P.m_key ~kind:r.P.m_kind ~owner_vpe:r.P.m_owner
                       ?parent:r.P.m_parent ()
                   in
-                  cap.Cap.children <- r.P.m_children;
                   (* Future keys minted here must not collide with object
                      ids allocated by the previous owning kernel. *)
                   Mapdb.bump_obj t.mapdb (Key.obj r.P.m_key);
-                  Mapdb.insert t.mapdb cap)
+                  Mapdb.insert t.mapdb cap;
+                  Mapdb.set_children t.mapdb r.P.m_key r.P.m_children)
                 records;
               (* The VPE is ours now. *)
               (match t.env.locate_vpe vid with
@@ -2011,7 +2015,7 @@ and handle_obtain_req t ~origin ~op ~obj_reserved ~client_pe ~client_vpe ~donor 
             let child_key =
               Key.make ~pe:client_pe ~vpe:client_vpe ~kind:(Cap.kind_to_key_kind kind) ~obj:obj_reserved
             in
-            Cap.add_child parent child_key;
+            Mapdb.add_child t.mapdb ~parent:parent.Cap.key child_key;
             Obs.Registry.incr t.ctr.exchanges_spanning;
             (Cost.ddl (c t) 1, fun () -> reply (Ok (child_key, kind, parent_key)))
           end)
@@ -2143,7 +2147,7 @@ and handle_delegate_reply t ~op ~result =
     | Ok child_key -> (
       match Mapdb.find t.mapdb src_key with
       | Some src_cap when not (Cap.is_marked src_cap) ->
-        Cap.add_child src_cap child_key;
+        Mapdb.add_child t.mapdb ~parent:src_cap.Cap.key child_key;
         send_ack true child_key;
         finish_syscall t client P.R_ok
       | Some _ | None ->
@@ -2222,7 +2226,7 @@ and handle_open_sess_req t ~origin ~op ~srv_key ~sess_key ~client_vpe =
           job t (fun () ->
               match Mapdb.find t.mapdb srv_cap.Cap.key with
               | Some srv_cap when not (Cap.is_marked srv_cap) ->
-                Cap.add_child srv_cap sess_key;
+                Mapdb.add_child t.mapdb ~parent:srv_cap.Cap.key sess_key;
                 (Cost.ddl (c t) 1, fun () -> reply (Ok ident))
               | Some _ | None -> (Cost.ddl (c t) 1, fun () -> reply (Error P.E_in_revocation)))
         | P.Srs_reject e -> reply (Error e)
@@ -2266,19 +2270,16 @@ and migrate_transfer t ~(vpe : Vpe.t) ~dst ~done_k =
       (* Extract every capability whose key partition is the migrating
          PE: with the hosting invariant those are exactly the VPE's. *)
       let records =
-        Mapdb.fold
-          (fun acc cap ->
-            if Key.pe cap.Cap.key = vpe.Vpe.pe then
-              {
-                P.m_key = cap.Cap.key;
-                m_kind = cap.Cap.kind;
-                m_owner = cap.Cap.owner_vpe;
-                m_parent = cap.Cap.parent;
-                m_children = cap.Cap.children;
-              }
-              :: acc
-            else acc)
-          [] t.mapdb
+        List.map
+          (fun (cap : Cap.t) ->
+            {
+              P.m_key = cap.Cap.key;
+              m_kind = cap.Cap.kind;
+              m_owner = cap.Cap.owner_vpe;
+              m_parent = cap.Cap.parent;
+              m_children = Mapdb.children t.mapdb cap.Cap.key;
+            })
+          (Mapdb.caps_of_pe t.mapdb ~pe:vpe.Vpe.pe)
       in
       List.iter (fun (r : P.migrated_cap) -> Mapdb.remove t.mapdb r.P.m_key) records;
       Hashtbl.remove t.vpes vpe.Vpe.id;
@@ -2329,10 +2330,9 @@ let install_cap t cap =
   | Some owner ->
     Mapdb.insert t.mapdb cap;
     (match cap.Cap.parent with
-    | Some pk when is_local_key t pk -> (
-      match Mapdb.find t.mapdb pk with
-      | Some parent -> if not (Cap.has_child parent cap.Cap.key) then Cap.add_child parent cap.Cap.key
-      | None -> ())
+    | Some pk when is_local_key t pk ->
+      if Mapdb.mem t.mapdb pk && not (Mapdb.has_child t.mapdb ~parent:pk cap.Cap.key) then
+        Mapdb.add_child t.mapdb ~parent:pk cap.Cap.key
     | Some _ | None -> ());
     Obs.Registry.incr t.ctr.caps_created;
     Capspace.insert owner.Vpe.capspace cap.Cap.key

@@ -1,0 +1,43 @@
+type 'a t = {
+  make : unit -> 'a;
+  reset : 'a -> unit;
+  mutable free : 'a list;
+  mutable in_use : int;
+  mutable allocated : int;
+}
+
+let create ?(prealloc = 0) ~make ~reset () =
+  let t = { make; reset; free = []; in_use = 0; allocated = 0 } in
+  for _ = 1 to prealloc do
+    t.free <- make () :: t.free;
+    t.allocated <- t.allocated + 1
+  done;
+  t
+
+let acquire t =
+  t.in_use <- t.in_use + 1;
+  match t.free with
+  | x :: rest ->
+    t.free <- rest;
+    x
+  | [] ->
+    t.allocated <- t.allocated + 1;
+    t.make ()
+
+let release t x =
+  t.reset x;
+  t.in_use <- t.in_use - 1;
+  t.free <- x :: t.free
+
+let with_ t f =
+  let x = acquire t in
+  match f x with
+  | y ->
+    release t x;
+    y
+  | exception e ->
+    release t x;
+    raise e
+
+let in_use t = t.in_use
+let allocated t = t.allocated

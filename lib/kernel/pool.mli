@@ -1,0 +1,39 @@
+(** Preallocated object pools for per-operation scratch state.
+
+    Steady-state capability traffic (exchange, revoke, obtain) used to
+    allocate fresh hash tables and buffers for every operation; at
+    thousands of PEs the allocation rate dominates minor-GC time. A
+    pool hands out recycled objects instead: [acquire] pops from a free
+    list (allocating only when empty) and [release] resets the object
+    and pushes it back.
+
+    Pools are host-side plumbing: they never appear in snapshots or
+    fingerprints, and recycling must be invisible to simulation
+    results — [reset] restores the object to the state [make] creates
+    it in. *)
+
+type 'a t
+
+(** [create ?prealloc ~make ~reset ()] builds a pool. [make] allocates
+    a fresh object, [reset] returns a used one to its pristine state.
+    [prealloc] objects (default 0) are allocated eagerly so the happy
+    path never hits the allocator. *)
+val create : ?prealloc:int -> make:(unit -> 'a) -> reset:('a -> unit) -> unit -> 'a t
+
+val acquire : 'a t -> 'a
+
+(** Returns the object to the free list after [reset]ting it. The
+    caller must not retain a reference. *)
+val release : 'a t -> 'a -> unit
+
+(** [with_ t f] acquires, runs [f], and releases on the way out —
+    including on exceptions. Only for strictly scoped uses; operations
+    whose scratch outlives the call (multi-message protocols) must
+    pair [acquire]/[release] by hand. *)
+val with_ : 'a t -> ('a -> 'b) -> 'b
+
+(** Objects handed out and not yet released. *)
+val in_use : 'a t -> int
+
+(** Objects ever allocated by this pool (free + in use). *)
+val allocated : 'a t -> int

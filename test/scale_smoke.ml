@@ -1,0 +1,53 @@
+(* Smoke gate for the scale-ceiling benchmark, run from the
+   [scale-smoke] dune alias (hooked into [dune runtest]). Runs the
+   scaled-down preset and asserts only that it completes and emits
+   valid, well-shaped JSON — never a timing threshold, so CI stays
+   deterministic on any host. The audit phase inside [Scale.rows]
+   already fails hard if the incremental report diverges from the full
+   one, so a clean exit also covers that oracle. *)
+
+open Semperos
+
+let failed = ref false
+
+let check name ok =
+  if not ok then begin
+    failed := true;
+    Printf.printf "FAILED: %s\n" name
+  end
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let () =
+  let rows = Scale.rows ~preset:Scale.Smoke () in
+  check "one row measured" (List.length rows = 1);
+  List.iter
+    (fun r ->
+      let open Scale in
+      check (r.r_name ^ ": PE count adds up")
+        (r.r_total_pes = r.r_instances + r.r_services + r.r_kernels);
+      check (r.r_name ^ ": events were processed") (r.r_events > 0);
+      check (r.r_name ^ ": capability operations happened") (r.r_cap_ops > 0);
+      check (r.r_name ^ ": wall time is non-negative") (r.r_wall_s >= 0.0);
+      check (r.r_name ^ ": heap peak is positive") (r.r_heap_peak > 0);
+      check (r.r_name ^ ": churn forest is populated") (r.r_audit_caps > 0);
+      check (r.r_name ^ ": audit timings are non-negative")
+        (r.r_audit_full_s >= 0.0 && r.r_audit_incremental_s >= 0.0))
+    rows;
+  let doc = Obs.Json.to_string (Scale.json rows) in
+  (match Obs.Json.parse doc with
+  | Ok _ -> ()
+  | Error e -> check (Printf.sprintf "report is valid JSON (%s)" e) false);
+  check "report names the schema" (contains doc "\"schema\":\"semperos-scale-1\"");
+  List.iter
+    (fun key -> check (Printf.sprintf "report has %s" key) (contains doc key))
+    [
+      "\"total_pes\""; "\"wall_s\""; "\"events_per_s\""; "\"cap_ops_per_s\""; "\"heap_peak\"";
+      "\"gc_minor_collections\""; "\"gc_major_collections\""; "\"gc_promoted_words\"";
+      "\"audit_full_s\""; "\"audit_incremental_s\"";
+    ];
+  if !failed then exit 1;
+  print_endline "scale-smoke: OK"

@@ -46,17 +46,27 @@ let key i = Key.make ~pe:0 ~vpe:0 ~kind:Key.Mem_obj ~obj:i
 let mem_kind = Cap.Mem_cap { host_pe = 0; addr = 0L; size = 4096L; perms = Perms.rw }
 
 let test_cap_children () =
+  (* Child links live in the mapping database's arena, not in the
+     record itself. *)
+  let db = Mapdb.create () in
   let c = Cap.make ~key:(key 0) ~kind:mem_kind ~owner_vpe:1 () in
   check Alcotest.bool "not marked" false (Cap.is_marked c);
-  Cap.add_child c (key 1);
-  Cap.add_child c (key 2);
-  check Alcotest.bool "has child" true (Cap.has_child c (key 1));
-  Alcotest.check_raises "duplicate child" (Invalid_argument "Cap.add_child: duplicate child")
-    (fun () -> Cap.add_child c (key 1));
-  Cap.remove_child c (key 1);
-  check Alcotest.bool "removed" false (Cap.has_child c (key 1));
-  Cap.remove_child c (key 9) (* no-op *);
-  check Alcotest.int "one left" 1 (List.length c.Cap.children)
+  Mapdb.insert db c;
+  Mapdb.add_child db ~parent:(key 0) (key 1);
+  Mapdb.add_child db ~parent:(key 0) (key 2);
+  check Alcotest.bool "has child" true (Mapdb.has_child db ~parent:(key 0) (key 1));
+  Alcotest.check_raises "duplicate child" (Invalid_argument "Mapdb.add_child: duplicate child")
+    (fun () -> Mapdb.add_child db ~parent:(key 0) (key 1));
+  Alcotest.check_raises "missing parent" (Invalid_argument "Mapdb.add_child: parent not in database")
+    (fun () -> Mapdb.add_child db ~parent:(key 7) (key 8));
+  Mapdb.remove_child db ~parent:(key 0) (key 1);
+  check Alcotest.bool "removed" false (Mapdb.has_child db ~parent:(key 0) (key 1));
+  Mapdb.remove_child db ~parent:(key 0) (key 9) (* no-op *);
+  check Alcotest.int "one left" 1 (Mapdb.child_count db (key 0));
+  check
+    Alcotest.(list int)
+    "insertion order" [ 2 ]
+    (List.map Key.obj (Mapdb.children db (key 0)))
 
 let test_cap_marking () =
   let c = Cap.make ~key:(key 0) ~kind:mem_kind ~owner_vpe:1 () in
@@ -137,7 +147,7 @@ let test_mapdb_link_check () =
   Mapdb.insert db child;
   (* Parent does not list the child: inconsistent. *)
   check Alcotest.bool "violation found" true (Mapdb.check_local_links db <> []);
-  Cap.add_child parent (key 1);
+  Mapdb.add_child db ~parent:(key 0) (key 1);
   check Alcotest.(list string) "consistent now" [] (Mapdb.check_local_links db);
   (* A child entry pointing to a wrong parent is also caught. *)
   child.Cap.parent <- Some (key 2);

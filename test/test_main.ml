@@ -9,6 +9,7 @@ let () =
       ("dtu", Test_dtu.suite);
       ("ddl", Test_ddl.suite);
       ("caps", Test_caps.suite);
+      ("mapdb-model", Test_mapdb_model.suite);
       ("kernel", Test_kernel.suite);
       ("kernel-races", Test_kernel_races.suite);
       ("fault", Test_fault.suite);

@@ -168,15 +168,100 @@ let test_audit_detects_corruption () =
        (System.syscall_sync sys v2 (Protocol.Sys_obtain_from { donor_vpe = v1.Vpe.id; donor_sel = s1 })));
   (* Corrupt a cross-kernel link by hand: the audit must notice. *)
   let donor_key = Option.get (Capspace.find v1.Vpe.capspace s1) in
-  let donor_cap = Mapdb.get (Kernel.mapdb (System.kernel sys 0)) donor_key in
-  (match donor_cap.Cap.children with
-  | child :: _ -> Cap.remove_child donor_cap child
+  let db = Kernel.mapdb (System.kernel sys 0) in
+  (match Mapdb.children db donor_key with
+  | child :: _ -> Mapdb.remove_child db ~parent:donor_key child
   | [] -> Alcotest.fail "no child to corrupt");
   let report = Audit.run sys in
   check Alcotest.bool "violations found" true (report.Audit.errors <> []);
   match Audit.check sys with
   | () -> Alcotest.fail "Audit.check should have failed"
   | exception Failure _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Incremental audit                                                   *)
+
+let reports_equal (a : Audit.report) (b : Audit.report) =
+  a.Audit.capabilities = b.Audit.capabilities
+  && a.Audit.roots = b.Audit.roots
+  && a.Audit.max_depth = b.Audit.max_depth
+  && a.Audit.spanning_links = b.Audit.spanning_links
+  && a.Audit.errors = b.Audit.errors
+
+let check_agrees name sys inc =
+  let full = Audit.run sys in
+  check Alcotest.(list string) (name ^ ": full is clean") [] full.Audit.errors;
+  let ir = Audit.Incremental.run inc in
+  if not (reports_equal full ir) then
+    Alcotest.failf "%s: full %a vs incremental %a" name Audit.pp_report full Audit.pp_report ir
+
+let test_incremental_tracks_mutations () =
+  let sys = System.create (System.config ~kernels:3 ~user_pes_per_kernel:4 ()) in
+  let inc = Audit.Incremental.create ~full_every:0 sys in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:1 in
+  let v3 = System.spawn_vpe sys ~kernel:2 in
+  check_agrees "after spawn" sys inc;
+  let s1 =
+    sel_of (System.syscall_sync sys v1 (Protocol.Sys_alloc_mem { size = 4096L; perms = Perms.rw }))
+  in
+  check_agrees "after alloc" sys inc;
+  let s2 =
+    sel_of
+      (System.syscall_sync sys v2 (Protocol.Sys_obtain_from { donor_vpe = v1.Vpe.id; donor_sel = s1 }))
+  in
+  ignore
+    (sel_of
+       (System.syscall_sync sys v3 (Protocol.Sys_obtain_from { donor_vpe = v2.Vpe.id; donor_sel = s2 })));
+  check_agrees "after spanning chain" sys inc;
+  (match System.syscall_sync sys v1 (Protocol.Sys_revoke { sel = s1; own = false }) with
+  | Protocol.R_ok -> ()
+  | r -> Alcotest.failf "revoke children: %a" Protocol.pp_reply r);
+  check_agrees "after children-only revoke" sys inc;
+  ignore
+    (sel_of
+       (System.syscall_sync sys v2 (Protocol.Sys_obtain_from { donor_vpe = v1.Vpe.id; donor_sel = s1 })));
+  check_agrees "after regrant" sys inc;
+  (match System.syscall_sync sys v1 (Protocol.Sys_revoke { sel = s1; own = true }) with
+  | Protocol.R_ok -> ()
+  | r -> Alcotest.failf "revoke: %a" Protocol.pp_reply r);
+  check_agrees "after full revoke" sys inc
+
+let test_incremental_detects_corruption () =
+  let sys = System.create (System.config ~kernels:2 ~user_pes_per_kernel:4 ()) in
+  let inc = Audit.Incremental.create ~full_every:0 sys in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  let v2 = System.spawn_vpe sys ~kernel:1 in
+  let s1 =
+    sel_of (System.syscall_sync sys v1 (Protocol.Sys_alloc_mem { size = 4096L; perms = Perms.rw }))
+  in
+  ignore
+    (sel_of
+       (System.syscall_sync sys v2 (Protocol.Sys_obtain_from { donor_vpe = v1.Vpe.id; donor_sel = s1 })));
+  check_agrees "healthy" sys inc;
+  (* Corrupt a cross-kernel link: unlinking marks the partition dirty,
+     so the next incremental pass re-checks it. *)
+  let donor_key = Option.get (Capspace.find v1.Vpe.capspace s1) in
+  let db = Kernel.mapdb (System.kernel sys 0) in
+  (match Mapdb.children db donor_key with
+  | child :: _ -> Mapdb.remove_child db ~parent:donor_key child
+  | [] -> Alcotest.fail "no child to corrupt");
+  let ir = Audit.Incremental.run inc in
+  check Alcotest.bool "incremental catches the unlink" true (ir.Audit.errors <> [])
+
+let test_incremental_full_fallback () =
+  let sys = System.create (System.config ~kernels:1 ~user_pes_per_kernel:4 ()) in
+  let inc = Audit.Incremental.create ~full_every:2 sys in
+  let v1 = System.spawn_vpe sys ~kernel:0 in
+  ignore
+    (sel_of (System.syscall_sync sys v1 (Protocol.Sys_alloc_mem { size = 4096L; perms = Perms.rw })));
+  let r1 = Audit.Incremental.run inc in
+  (* Second call is the full-audit fallback (full_every = 2). *)
+  let r2 = Audit.Incremental.run inc in
+  check Alcotest.(list string) "incremental clean" [] r1.Audit.errors;
+  check Alcotest.(list string) "fallback clean" [] r2.Audit.errors;
+  check Alcotest.int "same caps" r1.Audit.capabilities r2.Audit.capabilities;
+  check Alcotest.int "same roots" r1.Audit.roots r2.Audit.roots
 
 (* ------------------------------------------------------------------ *)
 (* Broadcast revocation baseline                                       *)
@@ -225,6 +310,10 @@ let suite =
     Alcotest.test_case "recorder record-then-replay" `Quick test_recorder_roundtrip;
     Alcotest.test_case "audit healthy system" `Quick test_audit_healthy_system;
     Alcotest.test_case "audit detects corruption" `Quick test_audit_detects_corruption;
+    Alcotest.test_case "incremental audit tracks mutations" `Quick test_incremental_tracks_mutations;
+    Alcotest.test_case "incremental audit detects corruption" `Quick
+      test_incremental_detects_corruption;
+    Alcotest.test_case "incremental audit full fallback" `Quick test_incremental_full_fallback;
     Alcotest.test_case "broadcast correctness" `Quick test_broadcast_correctness;
     Alcotest.test_case "broadcast pays the scan" `Quick test_broadcast_pays_scan;
   ]
