@@ -594,13 +594,22 @@ let bench_cmd =
     | "scale" ->
       let preset = if smoke then Semper_harness.Scale.Smoke else Semper_harness.Scale.Full in
       Semper_harness.Scale.run ~preset ?path:out ()
+    | "engine" ->
+      let preset =
+        if smoke then Semper_harness.Enginebench.Smoke else Semper_harness.Enginebench.Full
+      in
+      Semper_harness.Enginebench.run ~preset ?path:out ()
     | m ->
-      Fmt.epr "error: unknown bench mode %S (expected: wallclock, balance, batch, or scale)@." m;
+      Fmt.epr
+        "error: unknown bench mode %S (expected: wallclock, balance, batch, scale, or engine)@."
+        m;
       exit 2
   in
   let mode =
     Arg.(value & pos 0 string "wallclock" & info [] ~docv:"MODE"
-         ~doc:"Benchmark mode: $(b,wallclock), $(b,balance), $(b,batch), or $(b,scale).")
+         ~doc:
+           "Benchmark mode: $(b,wallclock), $(b,balance), $(b,batch), $(b,scale), or \
+            $(b,engine).")
   in
   let smoke =
     Arg.(value & flag & info [ "smoke" ]
@@ -619,7 +628,9 @@ let bench_cmd =
           ablation (BENCH_balance.json). $(b,batch) runs every workload with IKC batching off \
           and on (BENCH_batch.json); both are deterministic. $(b,scale) measures throughput, \
           heap, GC, and audit cost at 1K/2K/4K PEs (BENCH_scale.json; host-dependent like \
-          wallclock).")
+          wallclock). $(b,engine) measures schedule/cancel/drain throughput of the two event-queue \
+          backends, binary heap versus timer wheel, at 1K-1M pending events (BENCH_engine.json; \
+          host-dependent).")
     Term.(const run $ mode $ smoke $ out)
 
 let nginx_cmd =

@@ -18,7 +18,7 @@ val insert_at : t -> selector -> Semper_ddl.Key.t -> unit
 
 val find : t -> selector -> Semper_ddl.Key.t option
 
-(** Reverse lookup (linear). *)
+(** Reverse lookup, O(1) via the maintained inverse index. *)
 val selector_of : t -> Semper_ddl.Key.t -> selector option
 
 (** [remove t sel] is a no-op if unbound. *)

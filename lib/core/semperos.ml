@@ -78,6 +78,7 @@ module Bench_json = Semper_harness.Bench_json
 module Wallclock = Semper_harness.Wallclock
 module Batchbench = Semper_harness.Batchbench
 module Scale = Semper_harness.Scale
+module Enginebench = Semper_harness.Enginebench
 module Balance = Semper_balance.Balance
 module Skew = Semper_harness.Skew
 

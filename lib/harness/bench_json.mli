@@ -22,3 +22,16 @@ val apps :
 (** Write a JSON document to [path] with a trailing newline and print
     "wrote [path]". *)
 val write : path:string -> Semper_obs.Obs.Json.t -> unit
+
+(** Check a parsed benchmark document against the registry of known
+    shapes, keyed on its ["schema"] field — required top-level keys
+    and, for each row array, the keys every element must carry (extra
+    keys are allowed: adding a column is not a schema break, dropping
+    one is). [BENCH_micro.json] and [BENCH_apps.json] predate the
+    [schema] field and are keyed on [Filename.basename path] instead.
+    Unknown schemas are an error, so every new document family must
+    register its shape here. *)
+val validate : ?path:string -> Semper_obs.Obs.Json.t -> (unit, string) result
+
+(** [validate] applied to the parsed contents of a file. *)
+val validate_file : string -> (unit, string) result

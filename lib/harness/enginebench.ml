@@ -1,0 +1,124 @@
+module Engine = Semper_sim.Engine
+module Obs = Semper_obs.Obs
+module T = Semper_util.Table
+
+type sample = {
+  s_backend : string;
+  s_op : string;
+  s_pending : int;
+  s_wall_s : float;
+  s_ops_per_s : float;
+}
+
+type preset = Full | Smoke
+
+let sizes_of_preset = function
+  | Full -> [ 1_000; 100_000; 1_000_000 ]
+  | Smoke -> [ 1_000; 10_000 ]
+
+let backends = [ ("heap", Engine.Binary_heap); ("wheel", Engine.Timer_wheel) ]
+
+(* Event times spread over an 8n-cycle window by a fixed odd stride:
+   the wheel sees traffic across several levels (not one hot slot) and
+   the heap sees unordered inserts (not the sorted-input best case),
+   identically on every run. *)
+let time_of ~n i = Int64.of_int (i * 7919 mod (8 * n))
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+(* The no-op callback shared by every event, so allocation of closures
+   does not drown the queue operations being measured. *)
+let nop () = ()
+
+let fill e n =
+  for i = 0 to n - 1 do
+    Engine.at e (time_of ~n i) nop
+  done
+
+let measure_op queue op n =
+  match op with
+  | "schedule" ->
+    let e = Engine.create ~queue () in
+    time (fun () -> fill e n)
+  | "cancel" ->
+    let e = Engine.create ~queue () in
+    let hs = Array.init n (fun i -> Engine.at_cancellable e (time_of ~n i) nop) in
+    time (fun () -> Array.iter (fun h -> Engine.cancel e h) hs)
+  | "drain" ->
+    let e = Engine.create ~queue () in
+    fill e n;
+    time (fun () -> ignore (Engine.run e))
+  | _ -> invalid_arg "Enginebench.measure_op: unknown operation"
+
+let ops = [ "schedule"; "cancel"; "drain" ]
+
+let samples ?(preset = Full) () =
+  List.concat_map
+    (fun n ->
+      List.concat_map
+        (fun op ->
+          List.map
+            (fun (name, queue) ->
+              let wall = measure_op queue op n in
+              {
+                s_backend = name;
+                s_op = op;
+                s_pending = n;
+                s_wall_s = wall;
+                s_ops_per_s = (if wall > 0.0 then float_of_int n /. wall else 0.0);
+              })
+            backends)
+        ops)
+    (sizes_of_preset preset)
+
+let sample_json s =
+  Obs.Json.Obj
+    [
+      ("backend", Obs.Json.Str s.s_backend);
+      ("op", Obs.Json.Str s.s_op);
+      ("pending", Obs.Json.Int s.s_pending);
+      ("wall_s", Obs.Json.Float s.s_wall_s);
+      ("ops_per_s", Obs.Json.Float s.s_ops_per_s);
+    ]
+
+let json samples =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "semperos-engine-1");
+      ("samples", Obs.Json.Arr (List.map sample_json samples));
+    ]
+
+(* The heap sample for the same (op, size), for the speedup column. *)
+let heap_rate samples s =
+  List.find_opt
+    (fun o -> o.s_backend = "heap" && o.s_op = s.s_op && o.s_pending = s.s_pending)
+    samples
+
+let print samples =
+  T.print ~title:"Engine queue backends: schedule/cancel/drain throughput (host-dependent)"
+    ~header:[ "pending"; "op"; "backend"; "wall_s"; "ops/s"; "vs heap" ]
+    (List.map
+       (fun s ->
+         let speedup =
+           match heap_rate samples s with
+           | Some h when s.s_backend <> "heap" && h.s_ops_per_s > 0.0 ->
+             Printf.sprintf "%.2fx" (s.s_ops_per_s /. h.s_ops_per_s)
+           | _ -> "-"
+         in
+         [
+           string_of_int s.s_pending;
+           s.s_op;
+           s.s_backend;
+           Printf.sprintf "%.4f" s.s_wall_s;
+           Printf.sprintf "%.0f" s.s_ops_per_s;
+           speedup;
+         ])
+       samples)
+
+let run ?(preset = Full) ?(path = "BENCH_engine.json") () =
+  let ss = samples ~preset () in
+  print ss;
+  Bench_json.write ~path (json ss)

@@ -49,6 +49,10 @@ type outcome = {
   cap_ops_per_s : float;        (** aggregate rate over the makespan at 2 GHz *)
   exchanges_spanning : int;
   revokes_spanning : int;
+  replay_wall_s : float;
+      (** host wall-clock of the event loop alone (excludes building
+          traces, images, and VPEs) — the simulator-throughput
+          denominator, host-dependent by nature *)
   replay_errors : string list;
   kernel_utilisation : float;   (** mean kernel-PE busy fraction over makespan *)
   service_utilisation : float;

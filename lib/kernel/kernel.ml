@@ -468,7 +468,17 @@ let snapshot t =
   }
 
 let restore t s =
-  if sorted_keys t.pending_ops <> s.s_pending_ops || sorted_keys t.retry_msgs <> s.s_retry_ops
+  (* The idempotency caches (remote ops, completed acks) and eviction
+     queue are validated too: they only ever grow during traffic, so a
+     control plane that handled syscalls since the snapshot is caught
+     here even when its event queue drained back to the snapshot's
+     shape — which the timer wheel's eager cancellation makes routine. *)
+  if
+    sorted_keys t.pending_ops <> s.s_pending_ops
+    || sorted_keys t.retry_msgs <> s.s_retry_ops
+    || sorted_keys t.remote_ops <> s.s_remote_ops
+    || sorted_keys t.completed_acks <> s.s_completed_acks
+    || Queue.length t.evictions <> s.s_evictions
   then
     invalid_arg
       "Kernel.restore: live control plane does not match the snapshot (pending operations are \

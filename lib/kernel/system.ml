@@ -17,6 +17,7 @@ type config = {
   fault : Fault.profile option;
   retry : bool;
   trace_capacity : int;
+  engine_queue : Engine.queue_kind;
 }
 
 let default_config =
@@ -30,12 +31,24 @@ let default_config =
     fault = None;
     retry = true;
     trace_capacity = 8192;
+    engine_queue = Engine.Timer_wheel;
   }
 
 let config ?(kernels = 2) ?(user_pes_per_kernel = 8) ?(mode = Cost.Semperos)
     ?(noc = Fabric.default_config) ?(batching = false) ?(broadcast = false) ?fault
-    ?(retry = true) ?(trace_capacity = 8192) () =
-  { kernels; user_pes_per_kernel; mode; noc; batching; broadcast; fault; retry; trace_capacity }
+    ?(retry = true) ?(trace_capacity = 8192) ?(engine_queue = Engine.Timer_wheel) () =
+  {
+    kernels;
+    user_pes_per_kernel;
+    mode;
+    noc;
+    batching;
+    broadcast;
+    fault;
+    retry;
+    trace_capacity;
+    engine_queue;
+  }
 
 type group = { kernel_pe : int; free : int Queue.t }
 
@@ -96,7 +109,7 @@ let create cfg =
   let total = cfg.kernels * (1 + cfg.user_pes_per_kernel) in
   let topology = Topology.square total in
   let obs = Obs.Registry.create () in
-  let engine = Engine.create ~obs () in
+  let engine = Engine.create ~obs ~queue:cfg.engine_queue () in
   let trace = Obs.Trace.create ~capacity:cfg.trace_capacity in
   let fabric = Fabric.create ~obs engine topology cfg.noc in
   let grid = Dtu.create_grid ~obs fabric in
@@ -282,6 +295,11 @@ let fingerprint t =
   Digest.to_hex (Digest.bytes (Marshal.to_bytes (snapshot t) [ Marshal.No_sharing ]))
 
 let restore t s =
+  (* Kernels first: their restore validates that the live control
+     plane (pending ops, idempotency caches) still matches the
+     snapshot and refuses otherwise, so a divergent system is rejected
+     before any other module has been mutated. *)
+  List.iter (fun (i, ks) -> Kernel.restore (kernel t i) ks) s.s_kernels;
   Engine.restore t.engine s.s_engine;
   Fabric.restore t.fabric s.s_fabric;
   Dtu.restore_grid t.grid s.s_dtus;
@@ -292,7 +310,6 @@ let restore t s =
   | _ -> invalid_arg "System.restore: fault plan presence does not match the snapshot");
   Obs.Registry.restore t.obs s.s_obs;
   Obs.Trace.restore t.trace s.s_trace;
-  List.iter (fun (i, ks) -> Kernel.restore (kernel t i) ks) s.s_kernels;
   List.iter
     (fun (id, vs) ->
       match Hashtbl.find_opt t.vpes id with

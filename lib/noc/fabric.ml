@@ -11,14 +11,17 @@ type t = {
   topology : Topology.t;
   config : config;
   (* Last scheduled delivery time per (src, dst), to enforce pairwise
-     FIFO. A flat array indexed by [src * pe_count + dst]: the topology
-     is fixed at create time, and the hashtable this replaces both grew
-     with the number of distinct pairs ever used and paid a hash +
-     allocation per message on the hottest path in the simulator.
-     Plain [int] cycles (cycle counts fit 63 bits by far, and an OCaml
-     [int64 array] would box every element); [-1] marks a never-used
-     pair — delivery times are never negative. *)
-  last_delivery : int array;
+     FIFO, keyed by [src * pe_count + dst]. The key is a single
+     immediate int, so lookups neither allocate nor hash a tuple; the
+     table holds only pairs that have actually communicated — O(PEs)
+     in practice, since a PE talks to its kernel and its services. The
+     flat [pe_count^2] array this replaces was 138 MB at 4K PEs:
+     creation alone cost a quarter second of memset, every message's
+     clamp was a guaranteed cache miss, and the major GC dragged the
+     whole array through every cycle — the largest single source of
+     the events/s droop from 1K to 4K PEs. Plain [int] cycles (cycle
+     counts fit 63 bits by far; an [int64] value would box). *)
+  last_delivery : (int, int) Hashtbl.t;
   mutable injector : injector option;
   messages : Obs.Registry.counter;
   bytes : Obs.Registry.counter;
@@ -35,12 +38,11 @@ let create ?obs engine topology config =
      counter accessors below work in isolation (unit tests, ad-hoc use). *)
   let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
   let c name = Obs.Registry.counter obs ("fabric." ^ name) in
-  let n = Topology.pe_count topology in
   {
     engine;
     topology;
     config;
-    last_delivery = Array.make (n * n) (-1);
+    last_delivery = Hashtbl.create 1024;
     injector = None;
     messages = c "messages_offered";
     bytes = c "bytes_offered";
@@ -72,10 +74,11 @@ let latency t ~src ~dst ~bytes =
 let deliver t ~src ~dst ~bytes a k =
   let slot = (src * Topology.pe_count t.topology) + dst in
   let a =
-    let prev = t.last_delivery.(slot) in
-    if prev > Int64.to_int a then Int64.of_int prev else a
+    match Hashtbl.find_opt t.last_delivery slot with
+    | Some prev when prev > Int64.to_int a -> Int64.of_int prev
+    | Some _ | None -> a
   in
-  t.last_delivery.(slot) <- Int64.to_int a;
+  Hashtbl.replace t.last_delivery slot (Int64.to_int a);
   Semper_sim.Engine.at t.engine a (fun () ->
       Obs.Registry.incr t.messages_delivered;
       Obs.Registry.incr ~by:bytes t.bytes_delivered;
@@ -119,14 +122,26 @@ let send ?(tag = "") t ~src ~dst ~bytes k =
    with it (Obs.Registry.restore); in-flight deliveries are engine
    events and travel inside whole-image checkpoints. What remains here
    is the pairwise FIFO clamp. *)
-type snapshot = { s_last_delivery : int array }
+(* Canonical form — sorted (slot, cycle) pairs — so equal clamp states
+   marshal to equal bytes no matter what internal layout the live
+   table's insertion history produced ([System.fingerprint] hashes the
+   marshalled snapshot). *)
+type snapshot = { s_last_delivery : (int * int) array }
 
-let snapshot t = { s_last_delivery = Array.copy t.last_delivery }
+let snapshot t =
+  let a = Array.make (Hashtbl.length t.last_delivery) (0, 0) in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun k v ->
+      a.(!i) <- (k, v);
+      incr i)
+    t.last_delivery;
+  Array.sort compare a;
+  { s_last_delivery = a }
 
 let restore t s =
-  if Array.length s.s_last_delivery <> Array.length t.last_delivery then
-    invalid_arg "Fabric.restore: topology size does not match the snapshot";
-  Array.blit s.s_last_delivery 0 t.last_delivery 0 (Array.length t.last_delivery)
+  Hashtbl.reset t.last_delivery;
+  Array.iter (fun (k, v) -> Hashtbl.replace t.last_delivery k v) s.s_last_delivery
 
 let messages t = Obs.Registry.value t.messages
 let bytes_carried t = Obs.Registry.value t.bytes

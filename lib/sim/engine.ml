@@ -1,8 +1,25 @@
 module Obs = Semper_obs.Obs
+module Heap = Semper_util.Heap
+module Wheel = Semper_util.Wheel
 
-(* Cancellable events use lazy deletion: [cancel] flips the handle
-   state and the event is discarded when it surfaces at the top of the
-   heap (or earlier, by compaction). The heap is never searched. *)
+(* Two interchangeable queue backends with identical (time, seq)
+   delivery order:
+
+   - [Timer_wheel] (the default): a hierarchical timer wheel with O(1)
+     schedule, O(1) eager cancel (the handle unlinks its intrusive
+     cell directly) and amortized O(1) expiry. Cancelled events leave
+     the queue immediately, so [events_skipped] stays 0 and [pending]
+     equals the live queue length; only their times linger, in a
+     shadow queue that keeps the clock advancing exactly as under the
+     heap's lazy deletion (see [wheel_step]).
+
+   - [Binary_heap]: the original O(log n) heap with lazy deletion —
+     [cancel] flips the handle state and the event is discarded when
+     it surfaces at the top of the heap (or earlier, by Floyd
+     compaction once dead slots outnumber live ones). Kept as the
+     differential-testing oracle; see test_engine_model. *)
+type queue_kind = Binary_heap | Timer_wheel
+
 type handle_state = H_pending | H_fired | H_cancelled
 
 (* [owner] ties a pending handle to the engine instance that issued it,
@@ -10,10 +27,19 @@ type handle_state = H_pending | H_fired | H_cancelled
    pre-restore life of this engine) instead of silently corrupting the
    dead-event accounting. Engines get their id from a process-wide
    counter; [rebind] re-stamps a restored engine and its queued
-   handles with a fresh id. *)
-type handle = { mutable state : handle_state; mutable owner : int }
+   handles with a fresh id. [wcell] is the event's wheel cell in
+   wheel mode ([Wnone] in heap mode), giving [cancel] its O(1)
+   unlink; it travels inside checkpoint images by marshalled sharing,
+   so a restored handle still points into the restored wheel. *)
+type handle = {
+  mutable state : handle_state;
+  mutable owner : int;
+  mutable wcell : wref;
+}
 
-type event = {
+and wref = Wnone | Wcell of event Wheel.cell
+
+and event = {
   time : int64;
   seq : int;
   run : unit -> unit;
@@ -22,12 +48,24 @@ type event = {
   cell : handle option;
 }
 
+(* Wheel mode pairs the wheel with a min-heap of the *times* of
+   cancelled events. The cells unlink eagerly, but the heap backend
+   holds dead events until they surface (or compaction), and that
+   residue gates the post-drain horizon catch-up of the clock; the
+   shadow queue lets wheel mode advance the clock bit-identically
+   (see [wheel_step]). *)
+type queue = Qheap of event Heap.t | Qwheel of event Wheel.t * int64 Heap.t
+
 type t = {
   mutable uid : int;
   mutable clock : int64;
   mutable next_seq : int;
   mutable processed : int;
-  (* Cancelled events still sitting in the heap. *)
+  (* Cancelled events the queue is still accounting for. Heap mode:
+     dead events physically in the heap (lazy deletion). Wheel mode:
+     entries in the shadow dead-times queue — the cells themselves
+     unlink eagerly, but the count and times are mirrored so the
+     clock advances exactly as under the heap. *)
   mutable dead : int;
   (* Latest time ever scheduled, dead or alive. When the queue drains,
      the clock advances here: in the pre-cancellation engine the
@@ -37,12 +75,14 @@ type t = {
   mutable horizon : int64;
   mutable cancelled : int;
   mutable skipped : int;
+  (* Heap mode: largest raw heap length (live + dead). Wheel mode:
+     largest live occupancy — dead slots don't exist there. *)
   mutable heap_peak : int;
   (* High-water marks already pushed into [Totals]. *)
   mutable flushed_processed : int;
   mutable flushed_cancelled : int;
   mutable flushed_skipped : int;
-  queue : event Semper_util.Heap.t;
+  queue : queue;
   ctr_cancelled : Obs.Registry.counter option;
   ctr_skipped : Obs.Registry.counter option;
 }
@@ -62,6 +102,7 @@ module Totals = struct
   let cancelled () = Atomic.get cancelled_a
   let skipped () = Atomic.get skipped_a
   let heap_peak () = Atomic.get heap_peak_a
+  let reset_heap_peak () = Atomic.set heap_peak_a 0
 
   let add a n = if n > 0 then ignore (Atomic.fetch_and_add a n)
 
@@ -80,7 +121,7 @@ let dummy_event = { time = 0L; seq = -1; run = (fun () -> ()); cell = None }
    domains at once; the ids only need to be distinct, not dense. *)
 let next_uid = Atomic.make 0
 
-let create ?obs () =
+let create ?obs ?(queue = Timer_wheel) () =
   let ctr name = Option.map (fun r -> Obs.Registry.counter r ("engine." ^ name)) obs in
   let t =
     {
@@ -96,7 +137,13 @@ let create ?obs () =
       flushed_processed = 0;
       flushed_cancelled = 0;
       flushed_skipped = 0;
-      queue = Semper_util.Heap.create ~dummy:dummy_event ~compare:compare_event;
+      queue =
+        (match queue with
+        | Binary_heap -> Qheap (Heap.create ~dummy:dummy_event ~compare:compare_event)
+        | Timer_wheel ->
+          Qwheel
+            ( Wheel.create ~dummy:dummy_event (),
+              Heap.create ~dummy:0L ~compare:Int64.compare ));
       ctr_cancelled = ctr "events_cancelled";
       ctr_skipped = ctr "events_skipped";
     }
@@ -106,15 +153,40 @@ let create ?obs () =
     obs;
   t
 
+let queue_kind t = match t.queue with Qheap _ -> Binary_heap | Qwheel _ -> Timer_wheel
 let now t = t.clock
+
+let queue_length t =
+  match t.queue with Qheap h -> Heap.length h | Qwheel (w, _) -> Wheel.length w
+
+(* Queue length as the heap backend would report it: live plus dead.
+   This is the figure the snapshot records, so the two backends agree
+   on what a quiescent engine is. *)
+let raw_length t =
+  match t.queue with
+  | Qheap h -> Heap.length h
+  | Qwheel (w, d) -> Wheel.length w + Heap.length d
+
+(* Simulated cycles are int64 for interface stability, but the wheel
+   indexes by native int: on 64-bit hosts that caps the clock at 2^62
+   cycles ≈ 73 years of simulated 2 GHz time, far past any run. *)
+let wheel_time time =
+  if Int64.compare time (Int64.of_int max_int) > 0 then
+    invalid_arg "Engine.at: time exceeds the timer-wheel range"
+  else Int64.to_int time
 
 let schedule t time run cell =
   if Int64.compare time t.clock < 0 then invalid_arg "Engine.at: time in the past";
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   if Int64.compare time t.horizon > 0 then t.horizon <- time;
-  Semper_util.Heap.push t.queue { time; seq; run; cell };
-  let len = Semper_util.Heap.length t.queue in
+  let ev = { time; seq; run; cell } in
+  (match t.queue with
+  | Qheap h -> Heap.push h ev
+  | Qwheel (w, _) ->
+    let c = Wheel.add w ~time:(wheel_time time) ev in
+    (match cell with Some hd -> hd.wcell <- Wcell c | None -> ()));
+  let len = queue_length t in
   if len > t.heap_peak then t.heap_peak <- len
 
 let at t time run = schedule t time run None
@@ -124,7 +196,7 @@ let after t delay run =
   at t (Int64.add t.clock delay) run
 
 let at_cancellable t time run =
-  let h = { state = H_pending; owner = t.uid } in
+  let h = { state = H_pending; owner = t.uid; wcell = Wnone } in
   schedule t time run (Some h);
   h
 
@@ -134,14 +206,14 @@ let after_cancellable t delay run =
 
 let is_dead ev = match ev.cell with Some h -> h.state = H_cancelled | None -> false
 
-(* Purge cancelled events once they outnumber the live ones, so the
-   heap tracks in-flight work rather than everything ever scheduled.
-   The 50% threshold makes compaction O(1) amortised per cancellation;
-   the size floor avoids churn on tiny queues. *)
-let maybe_compact t =
-  let len = Semper_util.Heap.length t.queue in
+(* Heap mode only: purge cancelled events once they outnumber the live
+   ones, so the heap tracks in-flight work rather than everything ever
+   scheduled. The 50% threshold makes compaction O(1) amortised per
+   cancellation; the size floor avoids churn on tiny queues. *)
+let maybe_compact t h =
+  let len = Heap.length h in
   if len >= 64 && 2 * t.dead > len then begin
-    Semper_util.Heap.filter_in_place (fun ev -> not (is_dead ev)) t.queue;
+    Heap.filter_in_place (fun ev -> not (is_dead ev)) h;
     t.dead <- 0
   end
 
@@ -152,47 +224,141 @@ let cancel t h =
     if h.owner <> t.uid then
       invalid_arg "Engine.cancel: handle belongs to a different engine (or a stale restore)";
     h.state <- H_cancelled;
-    t.dead <- t.dead + 1;
     t.cancelled <- t.cancelled + 1;
     Option.iter Obs.Registry.incr t.ctr_cancelled;
-    maybe_compact t
+    (match t.queue with
+    | Qheap hp ->
+      t.dead <- t.dead + 1;
+      maybe_compact t hp
+    | Qwheel (w, d) ->
+      (match h.wcell with
+      | Wcell c ->
+        let tm = Int64.of_int (Wheel.time c) in
+        ignore (Wheel.remove w c);
+        h.wcell <- Wnone;
+        (* Shadow the heap's lazy deletion: record the dead event's
+           time so bounded runs hold the clock back exactly as the
+           heap does (see [wheel_step]), and clear the shadow on the
+           same threshold as [maybe_compact] — the raw length here
+           equals the heap's [Heap.length] because the heap would
+           still be holding both the live events and the dead ones. *)
+        Heap.push d tm;
+        t.dead <- t.dead + 1;
+        let raw = Wheel.length w + t.dead in
+        if raw >= 64 && 2 * t.dead > raw then begin
+          Heap.clear d;
+          t.dead <- 0
+        end
+      | Wnone ->
+        (* A pending wheel-mode handle always carries its cell;
+           reaching here means the handle was forged or crossed
+           engines past the owner check. *)
+        invalid_arg "Engine.cancel: pending handle has no queue cell"))
+
+(* One step of the heap-mode run loop: returns [true] while events may
+   remain to process within [until]. *)
+let heap_step t h until =
+  match Heap.peek h with
+  | None ->
+    (* Queue drained: catch the clock up to the latest-scheduled
+       event (see [horizon]) and then to the requested bound, so that
+       back-to-back bounded runs observe a monotone [now]. *)
+    if Int64.compare t.horizon t.clock > 0 then t.clock <- t.horizon;
+    (match until with
+    | Some limit when Int64.compare limit t.clock > 0 -> t.clock <- limit
+    | _ -> ());
+    None
+  | Some ev ->
+    (match until with
+    | Some limit when Int64.compare ev.time limit > 0 ->
+      (* Leave future events queued but advance the clock to the limit
+         so that repeated bounded runs make progress. The clock never
+         moves backwards, even for a limit in the past. *)
+      if Int64.compare limit t.clock > 0 then t.clock <- limit;
+      None
+    | Some _ | None ->
+      let ev = Heap.pop h in
+      if is_dead ev then begin
+        t.dead <- t.dead - 1;
+        t.skipped <- t.skipped + 1;
+        Option.iter Obs.Registry.incr t.ctr_skipped;
+        Some None
+      end
+      else Some (Some ev))
+
+(* Wheel-mode step. The wheel has no dead slots to skip, so a popped
+   cell is always live; [pop ~limit] refuses to advance its cursor
+   past the limit, keeping the cursor <= clock invariant that lets a
+   later [schedule] at the current clock land in front of it.
+
+   The clock contract is the heap's: the clock only catches up to
+   [horizon] once the raw queue — dead events included — has drained.
+   The heap discards a dead event only when it surfaces within the
+   run's limit, so a cancelled timer beyond the limit still holds the
+   clock back; [dead_times] replays that behaviour from the shadow
+   record of cancelled times. *)
+let wheel_step t w dead_times until =
+  let limit =
+    match until with
+    | Some limit when Int64.compare limit (Int64.of_int max_int) < 0 ->
+      Int64.to_int limit
+    | Some _ | None -> max_int
+  in
+  match Wheel.pop w ~limit with
+  | Some c -> Some (Some (Wheel.value c))
+  | None ->
+    (* No live event within the limit: the heap would now surface and
+       discard every dead event up to the limit before deciding
+       whether the queue has drained. *)
+    let within tm =
+      match until with Some l -> Int64.compare tm l <= 0 | None -> true
+    in
+    let rec drop () =
+      match Heap.peek dead_times with
+      | Some tm when within tm ->
+        ignore (Heap.pop dead_times);
+        t.dead <- t.dead - 1;
+        drop ()
+      | Some _ | None -> ()
+    in
+    drop ();
+    if Wheel.length w = 0 && Heap.length dead_times = 0 then begin
+      if Int64.compare t.horizon t.clock > 0 then t.clock <- t.horizon;
+      match until with
+      | Some limit when Int64.compare limit t.clock > 0 ->
+        t.clock <- limit;
+        None
+      | _ -> None
+    end
+    else begin
+      (match until with
+      | Some limit when Int64.compare limit t.clock > 0 -> t.clock <- limit
+      | _ -> ());
+      None
+    end
 
 let run ?until t =
   let count = ref 0 in
   let continue = ref true in
   while !continue do
-    match Semper_util.Heap.peek t.queue with
-    | None ->
-      (* Queue drained: catch the clock up to the latest-scheduled
-         event (see [horizon]) and then to the requested bound, so that
-         back-to-back bounded runs observe a monotone [now]. *)
-      if Int64.compare t.horizon t.clock > 0 then t.clock <- t.horizon;
-      (match until with
-      | Some limit when Int64.compare limit t.clock > 0 -> t.clock <- limit
-      | _ -> ());
-      continue := false
-    | Some ev ->
-      (match until with
-      | Some limit when Int64.compare ev.time limit > 0 ->
-        (* Leave future events queued but advance the clock to the limit
-           so that repeated bounded runs make progress. The clock never
-           moves backwards, even for a limit in the past. *)
-        if Int64.compare limit t.clock > 0 then t.clock <- limit;
-        continue := false
-      | Some _ | None ->
-        let ev = Semper_util.Heap.pop t.queue in
-        if is_dead ev then begin
-          t.dead <- t.dead - 1;
-          t.skipped <- t.skipped + 1;
-          Option.iter Obs.Registry.incr t.ctr_skipped
-        end
-        else begin
-          (match ev.cell with Some h -> h.state <- H_fired | None -> ());
-          t.clock <- ev.time;
-          t.processed <- t.processed + 1;
-          incr count;
-          ev.run ()
-        end)
+    let step =
+      match t.queue with
+      | Qheap h -> heap_step t h until
+      | Qwheel (w, d) -> wheel_step t w d until
+    in
+    match step with
+    | None -> continue := false
+    | Some None -> () (* dead event skipped; keep going *)
+    | Some (Some ev) ->
+      (match ev.cell with
+      | Some h ->
+        h.state <- H_fired;
+        h.wcell <- Wnone
+      | None -> ());
+      t.clock <- ev.time;
+      t.processed <- t.processed + 1;
+      incr count;
+      ev.run ()
   done;
   Totals.add Totals.processed_a (t.processed - t.flushed_processed);
   Totals.add Totals.cancelled_a (t.cancelled - t.flushed_cancelled);
@@ -207,7 +373,10 @@ let events_processed t = t.processed
 let events_cancelled t = t.cancelled
 let events_skipped t = t.skipped
 let heap_peak t = t.heap_peak
-let pending t = Semper_util.Heap.length t.queue - t.dead
+let pending t =
+  match t.queue with
+  | Qheap h -> Heap.length h - t.dead
+  | Qwheel (w, _) -> Wheel.length w
 
 let rebind t =
   t.uid <- Atomic.fetch_and_add next_uid 1;
@@ -215,12 +384,14 @@ let rebind t =
      definition scheduled), so walking the queue re-stamps them all.
      Fired and cancelled cells are left alone: [cancel] no-ops on them
      before it ever looks at the owner. *)
-  Semper_util.Heap.fold
-    (fun () ev ->
-      match ev.cell with
-      | Some h when h.state = H_pending -> h.owner <- t.uid
-      | Some _ | None -> ())
-    () t.queue
+  let restamp ev =
+    match ev.cell with
+    | Some h when h.state = H_pending -> h.owner <- t.uid
+    | Some _ | None -> ()
+  in
+  match t.queue with
+  | Qheap h -> Heap.fold (fun () ev -> restamp ev) () h
+  | Qwheel (w, _) -> Wheel.iter (fun c -> restamp (Wheel.value c)) w
 
 type snapshot = {
   s_clock : int64;
@@ -244,12 +415,22 @@ let snapshot t =
     s_cancelled = t.cancelled;
     s_skipped = t.skipped;
     s_heap_peak = t.heap_peak;
-    s_queued = Semper_util.Heap.length t.queue;
+    s_queued = raw_length t;
   }
 
 let restore t s =
-  if Semper_util.Heap.length t.queue <> s.s_queued then
+  if raw_length t <> s.s_queued then
     invalid_arg "Engine.restore: queue length does not match the snapshot";
+  (* A non-empty queue carries closures the snapshot cannot describe,
+     so it must be byte-for-byte the snapshot's queue already (whole-
+     image checkpoint first); equal length is the cheap check and the
+     sequence counter catches control planes that merely drained back
+     to the same length — possible under the wheel, whose cancels
+     vanish eagerly. An empty queue is different: [s_queued = 0] fully
+     describes it, so rewinding a quiescent engine to a quiescent
+     snapshot is complete and allowed even though [next_seq] moved. *)
+  if s.s_queued > 0 && t.next_seq <> s.s_next_seq then
+    invalid_arg "Engine.restore: engine scheduled events since the snapshot";
   t.clock <- s.s_clock;
   t.next_seq <- s.s_next_seq;
   t.processed <- s.s_processed;
@@ -257,4 +438,12 @@ let restore t s =
   t.horizon <- s.s_horizon;
   t.cancelled <- s.s_cancelled;
   t.skipped <- s.s_skipped;
-  t.heap_peak <- s.s_heap_peak
+  t.heap_peak <- s.s_heap_peak;
+  (* Rewinding to an earlier snapshot must also rewind the flushed
+     high-water marks: the events between the snapshot and now will
+     re-execute, and [Totals] should count that replayed work. Left at
+     their pre-restore values the next flush delta goes negative and
+     [Totals.add] silently drops everything up to the old mark. *)
+  t.flushed_processed <- min t.flushed_processed s.s_processed;
+  t.flushed_cancelled <- min t.flushed_cancelled s.s_cancelled;
+  t.flushed_skipped <- min t.flushed_skipped s.s_skipped

@@ -2,21 +2,37 @@
 
     Time is measured in cycles (an [int64], matching the paper's 2 GHz
     clock). Events scheduled for the same cycle run in scheduling order,
-    so a run is fully deterministic.
+    so a run is fully deterministic — the delivery order is exactly
+    [(time, seq)] under either queue backend.
+
+    {2 Queue backends}
+
+    The default backend is a hierarchical timer wheel
+    ({!Semper_util.Wheel}): O(1) schedule, O(1) cancel (the event's
+    intrusive cell is unlinked eagerly) and amortized O(1) expiry, so
+    engine cost no longer grows with the number of pending events. The
+    original binary heap stays available as [Binary_heap] — it is the
+    differential-testing oracle (see [test_engine_model]) and keeps
+    the lazy-deletion semantics documented below.
 
     {2 Cancellable timers}
 
     Protocol timeouts are almost always cancelled (a retransmission
     timer dies the moment the ack arrives), so [at_cancellable] /
-    [after_cancellable] return a {!handle} that [cancel] retires
-    lazily: the slot is marked dead, [run] discards it when it surfaces
-    instead of executing it, and the queue compacts once dead slots
-    outnumber live ones. Scheduling order, sequence numbering, and the
-    clock are exactly as if the cancelled event had fired as a no-op,
-    so cancellation is invisible to simulated time — it only shrinks
-    the heap and the events actually executed. *)
+    [after_cancellable] return a {!handle} that [cancel] retires. In
+    wheel mode the cancelled event leaves the queue immediately; in
+    heap mode it is retired lazily: the slot is marked dead, [run]
+    discards it when it surfaces instead of executing it, and the
+    queue compacts once dead slots outnumber live ones. Either way,
+    scheduling order, sequence numbering, and the clock are exactly as
+    if the cancelled event had fired as a no-op, so cancellation is
+    invisible to simulated time — it only shrinks the queue and the
+    events actually executed. *)
 
 type t
+
+(** Queue backend selector; see the module docs. *)
+type queue_kind = Binary_heap | Timer_wheel
 
 (** A cancellable event. Handles are single-engine: each handle is
     stamped with the issuing engine's instance id, and [cancel] raises
@@ -27,10 +43,14 @@ type t
     any handle from the pre-restore life is permanently foreign to it. *)
 type handle
 
-(** Fresh engine at cycle 0. When [obs] is given, the engine registers
+(** Fresh engine at cycle 0 using the given [queue] backend (default
+    [Timer_wheel]). When [obs] is given, the engine registers
     [engine.events_cancelled] and [engine.events_skipped] counters and
     an [engine.heap_peak] gauge there. *)
-val create : ?obs:Semper_obs.Obs.Registry.t -> unit -> t
+val create : ?obs:Semper_obs.Obs.Registry.t -> ?queue:queue_kind -> unit -> t
+
+(** The backend this engine was created with. *)
+val queue_kind : t -> queue_kind
 
 (** Current simulation time in cycles. *)
 val now : t -> int64
@@ -74,12 +94,14 @@ val events_processed : t -> int
 (** Events retired via {!cancel} before firing. *)
 val events_cancelled : t -> int
 
-(** Cancelled events discarded at the top of the queue by {!run} (the
-    rest are removed wholesale by compaction). *)
+(** Heap mode: cancelled events discarded at the top of the queue by
+    {!run} (the rest are removed wholesale by compaction). Always 0 in
+    wheel mode — the wheel unlinks cancelled events eagerly. *)
 val events_skipped : t -> int
 
-(** Largest queue length observed, counting not-yet-collected cancelled
-    slots — the simulator's memory high-water mark. *)
+(** Largest queue occupancy observed — the simulator's memory
+    high-water mark. In heap mode this counts not-yet-collected
+    cancelled slots; in wheel mode every counted event is live. *)
 val heap_peak : t -> int
 
 (** Live (non-cancelled) events currently queued. *)
@@ -95,6 +117,8 @@ type snapshot = {
   s_next_seq : int;
   s_processed : int;
   s_dead : int;
+      (** cancelled events the queue still accounts for (in wheel mode
+          only their times remain, in the shadow dead-times queue) *)
   s_horizon : int64;
   s_cancelled : int;
   s_skipped : int;
@@ -105,10 +129,17 @@ type snapshot = {
 val snapshot : t -> snapshot
 
 (** Restore the scalar state captured by {!snapshot}. The queue is
-    untouched, so the engine's current queue must already match the
-    snapshot ([s_queued] is checked; raises [Invalid_argument]
-    otherwise) — the intended caller restores the event queue via a
-    whole-image checkpoint first. *)
+    untouched, so when the snapshot has queued events the engine's
+    current queue must already match it — [s_queued] is checked, and
+    [s_next_seq] too, which catches control planes that moved on and
+    drained back to the snapshot's queue length (possible under the
+    wheel, whose cancels vanish eagerly); raises [Invalid_argument]
+    otherwise. The intended caller restores the event queue via a
+    whole-image checkpoint first. A {e quiescent} rewind — both the
+    snapshot and the engine with empty queues — is always allowed:
+    an empty queue carries no closures, so the restore is complete. Also rewinds the {!Totals} flush
+    marks so work replayed after the restore is counted again rather
+    than vanishing into a negative flush delta. *)
 val restore : t -> snapshot -> unit
 
 (** Process-wide totals over every engine ever created, including those
@@ -121,4 +152,11 @@ module Totals : sig
 
   (** Maximum {!heap_peak} over all engines so far. *)
   val heap_peak : unit -> int
+
+  (** Restart the {!heap_peak} high-water mark from zero. Benchmarks
+      that report a peak per measured phase (the scale rows) call this
+      at each phase boundary, so an earlier, larger phase — or an
+      unmeasured warm-up — cannot mask a later one. Engines that are
+      mid-[run] flush their own peak again when that call returns. *)
+  val reset_heap_peak : unit -> unit
 end

@@ -32,7 +32,8 @@ let slot_fd st slot =
 
 let record_err st op msg = st.errors <- Printf.sprintf "%s: %s" (Trace.op_name op) msg :: st.errors
 
-let run sys fs ~vpe trace k =
+let run sys fs ~vpe ?(prefix = "") trace k =
+  let pre path = if prefix = "" then path else prefix ^ path in
   let started = System.now sys in
   Client.connect sys fs ~vpe (fun conn ->
       match conn with
@@ -75,7 +76,7 @@ let run sys fs ~vpe trace k =
             (match op with
             | Trace.Compute cycles -> Engine.after (System.engine sys) cycles (fun () -> step rest)
             | Trace.Open { path; write; create } ->
-              Client.open_ client path ~write ~create (fun r ->
+              Client.open_ client (pre path) ~write ~create (fun r ->
                   (* Slot numbering must stay aligned with the trace,
                      so failed opens still consume a slot. *)
                   let push fd =
@@ -124,17 +125,17 @@ let run sys fs ~vpe trace k =
                 record_err st op e;
                 step rest
               | Ok fd -> Client.close client ~fd continue_unit)
-            | Trace.Stat path -> Client.stat client path continue_unit
+            | Trace.Stat path -> Client.stat client (pre path) continue_unit
             | Trace.Stat_absent path ->
-              Client.stat client path (fun r ->
+              Client.stat client (pre path) (fun r ->
                   (match r with
                   | Error _ -> () (* absence is the expected outcome *)
                   | Ok () -> record_err st op "entry unexpectedly exists");
                   step rest)
-            | Trace.Mkdir path -> Client.mkdir client path continue_unit
-            | Trace.Unlink path -> Client.unlink client path continue_unit
+            | Trace.Mkdir path -> Client.mkdir client (pre path) continue_unit
+            | Trace.Unlink path -> Client.unlink client (pre path) continue_unit
             | Trace.List path ->
-              Client.list client path (fun r ->
+              Client.list client (pre path) (fun r ->
                   (match r with Ok _ -> () | Error e -> record_err st op e);
                   step rest))
         in

@@ -14,14 +14,19 @@ type result = {
 
 val runtime : result -> int64
 
-(** [run sys fs ~vpe trace k] opens a session, replays every op, and
-    calls [k] with the result. Individual op errors are recorded and
-    replay continues (like the paper's trace player, which checks but
-    does not abort). *)
+(** [run sys fs ~vpe ?prefix trace k] opens a session, replays every
+    op, and calls [k] with the result. Individual op errors are
+    recorded and replay continues (like the paper's trace player,
+    which checks but does not abort). [prefix] (default empty) is
+    prepended to every path the trace names at op-issue time —
+    equivalent to replaying [Trace.with_prefix prefix trace], but many
+    instances can then share one trace structure instead of each
+    retaining a prefixed deep copy for the whole run. *)
 val run :
   Semper_kernel.System.t ->
   Semper_m3fs.M3fs.t ->
   vpe:Semper_kernel.Vpe.t ->
+  ?prefix:string ->
   Trace.t ->
   (result -> unit) ->
   unit

@@ -23,7 +23,12 @@ let contains s sub =
 
 let () =
   let rows = Scale.rows ~preset:Scale.Smoke () in
-  check "one row measured" (List.length rows = 1);
+  check "one application row and one session row measured" (List.length rows = 2);
+  (match rows with
+  | [ app; sess ] ->
+    check "application row carries no sessions" (app.Scale.r_sessions = 0);
+    check "session row ran the whole trace" (sess.Scale.r_sessions = 2_000)
+  | _ -> ());
   List.iter
     (fun r ->
       let open Scale in
@@ -41,11 +46,12 @@ let () =
   (match Obs.Json.parse doc with
   | Ok _ -> ()
   | Error e -> check (Printf.sprintf "report is valid JSON (%s)" e) false);
-  check "report names the schema" (contains doc "\"schema\":\"semperos-scale-1\"");
+  check "report names the schema" (contains doc "\"schema\":\"semperos-scale-2\"");
   List.iter
     (fun key -> check (Printf.sprintf "report has %s" key) (contains doc key))
     [
-      "\"total_pes\""; "\"wall_s\""; "\"events_per_s\""; "\"cap_ops_per_s\""; "\"heap_peak\"";
+      "\"total_pes\""; "\"sessions\""; "\"wall_s\""; "\"events_per_s\""; "\"cap_ops_per_s\"";
+      "\"heap_peak\"";
       "\"gc_minor_collections\""; "\"gc_major_collections\""; "\"gc_promoted_words\"";
       "\"audit_full_s\""; "\"audit_incremental_s\"";
     ];

@@ -204,9 +204,11 @@ let test_system_snapshot_restore_in_place () =
   System.restore sys snap;
   check Alcotest.string "restore onto itself is the identity" fp (System.fingerprint sys);
   (* snapshots are closure-free summaries: once the closure-bearing
-     control planes moved on (the event queue changed), an in-place
-     restore is refused rather than silently wrong — rewinding goes
-     through a whole-image checkpoint instead *)
+     control planes moved on, an in-place restore is refused rather
+     than silently wrong — rewinding goes through a whole-image
+     checkpoint instead. With the timer wheel the event queue itself
+     drains back to the snapshot's (empty) shape, so the refusal is
+     witnessed by the kernels' idempotency caches, which only grow. *)
   (match
      System.syscall_sync sys a (Protocol.Sys_delegate_to { recv_vpe = b.Vpe.id; sel })
    with

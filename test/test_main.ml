@@ -5,6 +5,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("sim", Test_sim.suite);
+      ("engine-model", Test_engine_model.suite);
       ("noc", Test_noc.suite);
       ("dtu", Test_dtu.suite);
       ("ddl", Test_ddl.suite);

@@ -264,6 +264,48 @@ let test_incremental_full_fallback () =
   check Alcotest.int "same roots" r1.Audit.roots r2.Audit.roots
 
 (* ------------------------------------------------------------------ *)
+(* Benchmark document schemas                                          *)
+
+(* The committed BENCH_*.json baselines are declared as test deps (see
+   test/dune), so dune copies them next to the test binary's cwd's
+   parent and re-runs this check whenever one changes. *)
+let test_bench_documents_validate () =
+  let bench_files dir =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6 && String.sub f 0 6 = "BENCH_" && Filename.check_suffix f ".json")
+    |> List.sort String.compare
+  in
+  (* Under [dune runtest] the baselines sit one level up from the test
+     cwd (copied there by the dep glob); under [dune exec] from the
+     project root they are in the cwd itself. *)
+  let dir = if bench_files "." <> [] then "." else ".." in
+  let files = bench_files dir in
+  check Alcotest.bool "found benchmark documents" true (List.length files >= 7);
+  List.iter
+    (fun f ->
+      match Bench_json.validate_file (Filename.concat dir f) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" f e)
+    files
+
+let test_bench_validate_rejects () =
+  let reject name doc =
+    match Obs.Json.parse doc with
+    | Error e -> Alcotest.failf "%s: test document does not parse: %s" name e
+    | Ok json -> (
+      match Bench_json.validate json with
+      | Ok () -> Alcotest.failf "%s: validated" name
+      | Error _ -> ())
+  in
+  reject "unknown schema" {|{"schema":"semperos-nonesuch-1","rows":[]}|};
+  reject "missing top-level key" {|{"schema":"semperos-engine-1"}|};
+  reject "empty row array" {|{"schema":"semperos-engine-1","samples":[]}|};
+  reject "row missing a key"
+    {|{"schema":"semperos-engine-1","samples":[{"backend":"heap","op":"drain"}]}|};
+  reject "schema-less document without a path" {|{"table3":[]}|}
+
+(* ------------------------------------------------------------------ *)
 (* Broadcast revocation baseline                                       *)
 
 let test_broadcast_correctness () =
@@ -314,6 +356,9 @@ let suite =
     Alcotest.test_case "incremental audit detects corruption" `Quick
       test_incremental_detects_corruption;
     Alcotest.test_case "incremental audit full fallback" `Quick test_incremental_full_fallback;
+    Alcotest.test_case "bench documents match their schemas" `Quick test_bench_documents_validate;
+    Alcotest.test_case "bench validator rejects malformed documents" `Quick
+      test_bench_validate_rejects;
     Alcotest.test_case "broadcast correctness" `Quick test_broadcast_correctness;
     Alcotest.test_case "broadcast pays the scan" `Quick test_broadcast_pays_scan;
   ]
