@@ -130,6 +130,9 @@ let () =
       (* Not part of [all] either: BENCH_balance.json is its own
          deliverable, regenerated only when the balancer changes. *)
       ("balance", fun () -> Semper_harness.Skew.bench ());
+      (* Likewise its own deliverable: BENCH_fleet.json is regenerated
+         only when the elastic-fleet subsystem changes. *)
+      ("fleet", fun () -> Semper_harness.Fleetbench.bench ());
       (* Likewise: BENCH_batch.json is regenerated only when the
          batching fabric changes. *)
       ("batch", fun () -> Semper_harness.Batchbench.run ());

@@ -351,10 +351,10 @@ let trace_cmd =
     Term.(const run $ workload $ kernels $ instances $ tail)
 
 let fuzz_cmd =
-  let run workload_seed fault_seed runs kernels vpes ops no_delay no_dup no_drop no_stall
+  let run workload_seed fault_seed runs kernels vpes ops spares no_delay no_dup no_drop no_stall
       no_retry verbose jobs =
-    if kernels < 1 || kernels > Cost.max_kernels then begin
-      Fmt.epr "error: --kernels must be in [1, %d]@." Cost.max_kernels;
+    if kernels < 1 || kernels + max 0 spares > Cost.max_kernels then begin
+      Fmt.epr "error: --kernels plus --spares must be in [1, %d]@." Cost.max_kernels;
       exit 2
     end;
     if vpes < 1 || (vpes + kernels - 1) / kernels > Cost.max_pes_per_kernel then begin
@@ -367,8 +367,8 @@ let fuzz_cmd =
       exit 2
     end;
     let spec =
-      Fuzz.spec ~kernels ~vpes ~ops ~delay:(not no_delay) ~dup:(not no_dup) ~drop:(not no_drop)
-        ~stall:(not no_stall) ~retry:(not no_retry) ()
+      Fuzz.spec ~kernels ~vpes ~ops ~spares ~delay:(not no_delay) ~dup:(not no_dup)
+        ~drop:(not no_drop) ~stall:(not no_stall) ~retry:(not no_retry) ()
     in
     (* Non-default options must ride along in the replay hint, or the
        printed command would not reproduce the failure. *)
@@ -380,6 +380,7 @@ let fuzz_cmd =
              (kernels <> 3, Fmt.str "--kernels %d" kernels);
              (vpes <> 6, Fmt.str "--vpes %d" vpes);
              (ops <> 40, Fmt.str "--ops %d" ops);
+             (spares <> 0, Fmt.str "--spares %d" spares);
              (no_delay, "--no-delay");
              (no_dup, "--no-dup");
              (no_drop, "--no-drop");
@@ -414,6 +415,10 @@ let fuzz_cmd =
   let kernels = Arg.(value & opt int 3 & info [ "kernels"; "k" ] ~docv:"K" ~doc:"PE groups.") in
   let vpes = Arg.(value & opt int 6 & info [ "vpes" ] ~docv:"V" ~doc:"VPEs in the workload.") in
   let ops = Arg.(value & opt int 40 & info [ "ops" ] ~docv:"O" ~doc:"Workload steps per run.") in
+  let spares =
+    Arg.(value & opt int 0 & info [ "spares" ] ~docv:"S"
+         ~doc:"Spare kernels; adds fleet join/drain transitions to the workload.")
+  in
   let flag name doc = Arg.(value & flag & info [ name ] ~doc) in
   let no_delay = flag "no-delay" "Disable delay injection." in
   let no_dup = flag "no-dup" "Disable duplicate delivery." in
@@ -428,8 +433,8 @@ let fuzz_cmd =
        ~doc:
          "Fuzz the distributed capability protocols under injected faults. Every run is \
           deterministic in (workload seed, fault seed); failures print the exact pair to replay.")
-    Term.(const run $ wseed $ fseed $ runs $ kernels $ vpes $ ops $ no_delay $ no_dup $ no_drop
-          $ no_stall $ no_retry $ verbose $ jobs_arg)
+    Term.(const run $ wseed $ fseed $ runs $ kernels $ vpes $ ops $ spares $ no_delay $ no_dup
+          $ no_drop $ no_stall $ no_retry $ verbose $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Recorded figure runs: record / replay / shrink.
@@ -520,11 +525,11 @@ let replay_cmd =
     Term.(const run $ dir_arg $ from_ $ json_out_arg $ jobs_arg)
 
 let shrink_cmd =
-  let run workload_seed fault_seed kernels vpes ops no_delay no_dup no_drop no_stall no_retry
-      every out =
+  let run workload_seed fault_seed kernels vpes ops spares no_delay no_dup no_drop no_stall
+      no_retry every out =
     let spec =
-      Fuzz.spec ~kernels ~vpes ~ops ~delay:(not no_delay) ~dup:(not no_dup) ~drop:(not no_drop)
-        ~stall:(not no_stall) ~retry:(not no_retry) ()
+      Fuzz.spec ~kernels ~vpes ~ops ~spares ~delay:(not no_delay) ~dup:(not no_dup)
+        ~drop:(not no_drop) ~stall:(not no_stall) ~retry:(not no_retry) ()
     in
     match Fuzz.shrink ~spec ?checkpoint_every:every ~workload_seed ~fault_seed () with
     | Error e ->
@@ -554,6 +559,10 @@ let shrink_cmd =
   let kernels = Arg.(value & opt int 3 & info [ "kernels"; "k" ] ~docv:"K" ~doc:"PE groups.") in
   let vpes = Arg.(value & opt int 6 & info [ "vpes" ] ~docv:"V" ~doc:"VPEs in the workload.") in
   let ops = Arg.(value & opt int 40 & info [ "ops" ] ~docv:"O" ~doc:"Workload steps per run.") in
+  let spares =
+    Arg.(value & opt int 0 & info [ "spares" ] ~docv:"S"
+         ~doc:"Spare kernels; adds fleet join/drain transitions to the workload.")
+  in
   let flag name doc = Arg.(value & flag & info [ name ] ~doc) in
   let no_delay = flag "no-delay" "Disable delay injection." in
   let no_dup = flag "no-dup" "Disable duplicate delivery." in
@@ -574,8 +583,8 @@ let shrink_cmd =
          "Minimise a failing fuzz case to its smallest failing op-prefix by delta debugging \
           from checkpoints. Deterministic: the same seeds always shrink to the same minimal \
           case.")
-    Term.(const run $ wseed $ fseed $ kernels $ vpes $ ops $ no_delay $ no_dup $ no_drop
-          $ no_stall $ no_retry $ every $ out)
+    Term.(const run $ wseed $ fseed $ kernels $ vpes $ ops $ spares $ no_delay $ no_dup
+          $ no_drop $ no_stall $ no_retry $ every $ out)
 
 let bench_cmd =
   let run mode smoke out =
@@ -586,6 +595,11 @@ let bench_cmd =
     | "balance" ->
       let preset = if smoke then Semper_harness.Skew.Smoke else Semper_harness.Skew.Full in
       Semper_harness.Skew.bench ~preset ?path:out ()
+    | "fleet" ->
+      let preset =
+        if smoke then Semper_harness.Fleetbench.Smoke else Semper_harness.Fleetbench.Full
+      in
+      Semper_harness.Fleetbench.bench ~preset ?path:out ()
     | "batch" ->
       let preset =
         if smoke then Semper_harness.Batchbench.Smoke else Semper_harness.Batchbench.Full
@@ -601,15 +615,16 @@ let bench_cmd =
       Semper_harness.Enginebench.run ~preset ?path:out ()
     | m ->
       Fmt.epr
-        "error: unknown bench mode %S (expected: wallclock, balance, batch, scale, or engine)@."
+        "error: unknown bench mode %S (expected: wallclock, balance, fleet, batch, scale, or \
+         engine)@."
         m;
       exit 2
   in
   let mode =
     Arg.(value & pos 0 string "wallclock" & info [] ~docv:"MODE"
          ~doc:
-           "Benchmark mode: $(b,wallclock), $(b,balance), $(b,batch), $(b,scale), or \
-            $(b,engine).")
+           "Benchmark mode: $(b,wallclock), $(b,balance), $(b,fleet), $(b,batch), $(b,scale), \
+            or $(b,engine).")
   in
   let smoke =
     Arg.(value & flag & info [ "smoke" ]
@@ -625,7 +640,9 @@ let bench_cmd =
          "Standalone benchmark deliverables. $(b,wallclock) measures the simulator's own \
           host throughput (events/s; host-dependent by construction, the only output exempt \
           from the byte-identity contract). $(b,balance) runs the skewed-workload load-balancer \
-          ablation (BENCH_balance.json). $(b,batch) runs every workload with IKC batching off \
+          ablation (BENCH_balance.json). $(b,fleet) runs the elastic-fleet autoscaling benchmark \
+          (BENCH_fleet.json): an overloaded two-kernel system scaling out to absorb a surge and \
+          back, with per-transition safety checks. $(b,batch) runs every workload with IKC batching off \
           and on (BENCH_batch.json); both are deterministic. $(b,scale) measures throughput, \
           heap, GC, and audit cost at 1K/2K/4K PEs (BENCH_scale.json; host-dependent like \
           wallclock). $(b,engine) measures schedule/cancel/drain throughput of the two event-queue \

@@ -26,13 +26,13 @@ module Policy = struct
   (* Lowest-id tie-break on both sides: iterate from the highest kernel
      id down and let >= / <= comparisons overwrite, so among equals the
      smallest id survives. Deterministic by construction. *)
-  let decide t ~occupancy ~cooldown ~inflight =
+  let decide ?(eligible = fun _ -> true) t ~occupancy ~cooldown ~inflight =
     match t with
     | Static -> None
     | Threshold { high; low; margin; cooldown = _ } ->
       let n = Array.length occupancy in
       let busy k = List.exists (fun (a, b) -> a = k || b = k) inflight in
-      let free k = cooldown.(k) = 0 && not (busy k) in
+      let free k = eligible k && cooldown.(k) = 0 && not (busy k) in
       let src = ref (-1) in
       for k = n - 1 downto 0 do
         if occupancy.(k) >= high && free k && (!src < 0 || occupancy.(k) >= occupancy.(!src))
@@ -48,6 +48,50 @@ module Policy = struct
       if !src >= 0 && !dst >= 0 && occupancy.(!src) -. occupancy.(!dst) >= margin then
         Some { src = !src; dst = !dst }
       else None
+end
+
+module Fleet_policy = struct
+  type t = { high : float; low : float; cooldown : int; min_active : int }
+
+  type decision =
+    | Scale_out
+    | Scale_in of int
+    | Hold
+
+  let default = { high = 0.60; low = 0.20; cooldown = 4; min_active = 2 }
+
+  (* Fleet sizing is a function of *mean* Active occupancy, not of any
+     single kernel: VPE migration (Policy above) already spreads a
+     hotspot across the Active set, so the fleet only needs to grow when
+     the whole set is saturated and shrink when the whole set idles.
+     The high/low gap is the hysteresis band; cooldown/inflight gating
+     is the caller's job (the autoscaler ticks while a transition is in
+     flight and must hold). *)
+  let decide t ~occupancy ~active ~joinable ~drainable =
+    match active with
+    | [] -> Hold
+    | _ ->
+      let mean =
+        List.fold_left (fun a k -> a +. occupancy.(k)) 0.0 active
+        /. float_of_int (List.length active)
+      in
+      if mean >= t.high then if joinable = [] then Hold else Scale_out
+      else if mean <= t.low && List.length active > t.min_active then begin
+        (* Drain the emptiest drainable Active kernel; strict < with an
+           ascending fold makes the lowest id win ties. *)
+        let best =
+          List.fold_left
+            (fun acc k ->
+              if not (drainable k) then acc
+              else
+                match acc with
+                | None -> Some k
+                | Some b -> if occupancy.(k) < occupancy.(b) then Some k else acc)
+            None active
+        in
+        match best with Some k -> Scale_in k | None -> Hold
+      end
+      else Hold
 end
 
 type migration = { m_at : int64; m_vpe : int; m_src : int; m_dst : int }
@@ -224,7 +268,13 @@ let rec tick t =
     Obs.Registry.incr t.ctr_ticks;
     Array.iteri (fun i c -> if c > 0 then t.cooldown.(i) <- c - 1) t.cooldown;
     let occupancy = sample_occupancy t in
-    (match Policy.decide t.pol ~occupancy ~cooldown:t.cooldown ~inflight:t.inflight with
+    (* Only Active kernels may shed or receive VPEs: a Draining kernel
+       is evacuating (the migrate_vpe destination gate would refuse it)
+       and Spare/Retired kernels hold no partitions. *)
+    let eligible k =
+      Membership.kernel_state (System.membership t.sys) k = Membership.Active
+    in
+    (match Policy.decide ~eligible t.pol ~occupancy ~cooldown:t.cooldown ~inflight:t.inflight with
     | Some d -> execute t d
     | None -> ());
     (* Re-arm unless the workload reports completion: the engine must be

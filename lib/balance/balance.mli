@@ -40,16 +40,63 @@ module Policy : sig
   (** Pure decision function (exposed for unit tests). [occupancy] is
       indexed by kernel id; [cooldown] holds remaining ineligibility
       ticks per kernel; [inflight] lists kernel pairs with a migration
-      still in flight (both members of a pair are ineligible). Ties are
-      broken towards the lowest kernel id on both sides. Returns [None]
-      when no pair clears the thresholds and the margin. *)
+      still in flight (both members of a pair are ineligible);
+      [eligible] (default: everyone) restricts both sides — the live
+      tick passes "lifecycle state is [Active]", keeping Spare/Joining/
+      Draining/Retired kernels out of VPE migration. Ties are broken
+      towards the lowest kernel id on both sides. Returns [None] when
+      no pair clears the thresholds and the margin. *)
   val decide :
+    ?eligible:(int -> bool) ->
     t ->
     occupancy:float array ->
     cooldown:int array ->
     inflight:(int * int) list ->
     decision option
 end
+
+(** Fleet-wide sizing policy: decides when the {e number} of Active
+    kernels should change, complementing {!Policy}, which only shuffles
+    VPEs among a fixed Active set. Pure — the autoscaler in [lib/fleet]
+    owns cooldown and in-flight gating and drives the actual
+    [Fleet.join]/[Fleet.drain] transitions. *)
+module Fleet_policy : sig
+  type t = {
+    high : float;
+        (** mean Active-kernel occupancy at or above this → scale out *)
+    low : float;
+        (** mean Active-kernel occupancy at or below this → scale in;
+            the [low]–[high] gap is the hysteresis band *)
+    cooldown : int;  (** autoscaler ticks to hold after any transition *)
+    min_active : int;  (** never drain below this many Active kernels *)
+  }
+
+  type decision =
+    | Scale_out  (** join one Spare/Retired kernel *)
+    | Scale_in of int  (** drain this kernel (the emptiest drainable) *)
+    | Hold
+
+  (** [{ high = 0.60; low = 0.20; cooldown = 4; min_active = 2 }] *)
+  val default : t
+
+  (** [decide t ~occupancy ~active ~joinable ~drainable]: [active] is
+      the sorted list of Active kernel ids, [joinable] the kernels that
+      could be scaled out (Spare or Retired), [drainable] a safety gate
+      consulted per Active kernel before naming it for scale-in.
+      Scale-in ties break towards the lowest kernel id. *)
+  val decide :
+    t ->
+    occupancy:float array ->
+    active:int list ->
+    joinable:int list ->
+    drainable:(int -> bool) ->
+    decision
+end
+
+(** EWMA smoothing factor both control loops (VPE balancing here, fleet
+    sizing in [lib/fleet]) apply to windowed occupancy samples: only
+    load sustained across several windows reaches a policy. *)
+val ewma_alpha : float
 
 (** One executed (or in-flight) migration, in decision order. *)
 type migration = { m_at : int64; m_vpe : int; m_src : int; m_dst : int }

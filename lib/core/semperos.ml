@@ -26,6 +26,9 @@
     - {!Balance}, {!Skew}: the autonomic load balancer
       (occupancy-driven VPE migration) and its skewed-workload
       benchmark.
+    - {!Fleet}, {!Fleetbench}: the elastic kernel fleet (runtime
+      join/drain/leave with live partition rebalancing, plus the
+      occupancy-driven autoscaler) and its autoscaling benchmark.
     - {!Domain_pool}, {!Runner}, {!Bench_json}: the parallel experiment
       runner — independent runs fan out over OCaml domains with
       deterministic, submission-order result collection. *)
@@ -80,7 +83,9 @@ module Batchbench = Semper_harness.Batchbench
 module Scale = Semper_harness.Scale
 module Enginebench = Semper_harness.Enginebench
 module Balance = Semper_balance.Balance
+module Fleet = Semper_fleet.Fleet
 module Skew = Semper_harness.Skew
+module Fleetbench = Semper_harness.Fleetbench
 
 (** Version of this reproduction. *)
 let version = "1.0.0"

@@ -25,6 +25,15 @@ type kernel_id = int
     flight between two kernels. Carries the PE id. *)
 exception Mid_handoff of int
 
+(** Kernel lifecycle, replicated alongside the partition table by the
+    fleet protocol ([lib/fleet]): [Spare] kernels are booted but hold
+    no partitions and serve no work; [Joining] kernels are absorbing
+    partitions; [Active] kernels serve normally (the default — kernels
+    never mentioned in a state update are Active); [Draining] kernels
+    refuse new work while evacuating; [Retired] kernels hold nothing
+    and may later rejoin. *)
+type kernel_state = Spare | Joining | Active | Draining | Retired
+
 type t
 
 val create : unit -> t
@@ -62,6 +71,29 @@ val in_handoff : t -> int -> bool
 
 val is_sealed : t -> bool
 
+(** [reassign_partition t ~pes ~kernel] moves a whole partition set —
+    every PE of a retiring or shedding kernel — in one step. The flip is
+    atomic on this replica: all PEs are validated (assigned, not
+    mid-handoff) before any mapping changes, so a resolve racing the
+    update observes either the old owner for every PE or the new owner
+    for every PE, never a half-moved partition. Raises like
+    {!reassign}; on raise the table is untouched. *)
+val reassign_partition : t -> pes:int list -> kernel:kernel_id -> unit
+
+(** Lifecycle state of a kernel on this replica; [Active] for kernels
+    never mentioned in a state update. *)
+val kernel_state : t -> kernel_id -> kernel_state
+
+(** Record a kernel lifecycle transition on this replica. Replicas
+    apply whatever the fleet broadcast tells them; transition legality
+    is enforced by [lib/fleet], not here. *)
+val set_kernel_state : t -> kernel:kernel_id -> kernel_state -> unit
+
+(** All explicitly-recorded kernel states, sorted by kernel id. Kernels
+    absent from the list are [Active]. Used by the fuzz convergence
+    oracle to compare replicas. *)
+val kernel_states : t -> (kernel_id * kernel_state) list
+
 (** Raises [Not_found] for an unassigned PE, {!Mid_handoff} for a PE
     whose records are in flight. *)
 val kernel_of_pe : t -> int -> kernel_id
@@ -92,6 +124,7 @@ val copy : t -> t
 type snapshot = {
   s_table : (int * kernel_id) list;
   s_handoff : int list;
+  s_states : (kernel_id * kernel_state) list;
   s_sealed : bool;
 }
 

@@ -139,7 +139,8 @@ let restore t s =
 let droppable = function
   | "obtain_req" | "obtain_reply" | "delegate_req" | "delegate_reply" | "delegate_ack"
   | "open_sess_req" | "open_sess_reply" | "revoke_req" | "revoke_reply" | "migrate_update"
-  | "migrate_ack" | "migrate_caps" | "remove_child" | "srv_announce" | "batch" ->
+  | "migrate_ack" | "migrate_caps" | "remove_child" | "srv_announce" | "batch"
+  | "fleet_state" | "part_update" | "part_records" ->
     true
   | _ -> false
 

@@ -1,0 +1,460 @@
+module Engine = Semper_sim.Engine
+module Server = Semper_sim.Server
+module Membership = Semper_ddl.Membership
+module Cap = Semper_caps.Cap
+module Mapdb = Semper_caps.Mapdb
+module Obs = Semper_obs.Obs
+module System = Semper_kernel.System
+module Kernel = Semper_kernel.Kernel
+module Vpe = Semper_kernel.Vpe
+module Balance = Semper_balance.Balance
+
+let src_log = Logs.Src.create "semper.fleet" ~doc:"Elastic kernel fleet"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+(* How often a blocked join/drain step re-checks the system, and how
+   many re-checks it tolerates before declaring the transition wedged.
+   A step blocks only on transient conditions (a syscall in flight on a
+   VPE about to move, a revoke wave marking a partition, credit windows
+   refilling), all of which resolve within a few hundred cycles — the
+   cap exists so a protocol bug fails loudly instead of spinning the
+   engine forever. *)
+let poll_interval = 500L
+let poll_max = 20_000
+
+let state sys k = Membership.kernel_state (System.membership sys) k
+
+let kernel_ids sys = List.init (System.kernel_count sys) Fun.id
+
+let active_kernels sys =
+  List.filter (fun k -> state sys k = Membership.Active) (kernel_ids sys)
+
+let joinable_kernels sys =
+  List.filter
+    (fun k ->
+      match state sys k with Membership.Spare | Membership.Retired -> true | _ -> false)
+    (kernel_ids sys)
+
+let alive_count sys k =
+  List.length (List.filter Vpe.is_alive (Kernel.local_vpes (System.kernel sys k)))
+
+let hosts_service sys ~kernel =
+  Mapdb.fold
+    (fun acc cap -> acc || match cap.Cap.kind with Cap.Srv_cap _ -> true | _ -> false)
+    false
+    (Kernel.mapdb (System.kernel sys kernel))
+
+(* Lifecycle transitions flow through two membership layers: the
+   system-level replica (spawn routing, PE-allocation gates, audit)
+   flips synchronously here, then the kernel holding the transition
+   broadcasts it reliably to every kernel replica. *)
+let set_state sys ~on ~kernel st done_k =
+  Membership.set_kernel_state (System.membership sys) ~kernel st;
+  Kernel.announce_state (System.kernel sys on) ~kernel st done_k
+
+(* A partition may move only while no record in it is marked (a revoke
+   wave may be sweeping it and the record wave does not carry marks)
+   and it holds no service capability (peers cache the directory entry,
+   which pins the service's kernel). *)
+let partition_quiet k ~pe =
+  List.for_all
+    (fun (cap : Cap.t) ->
+      (not (Cap.is_marked cap))
+      && match cap.Cap.kind with Cap.Srv_cap _ -> false | _ -> true)
+    (Mapdb.caps_of_pe (Kernel.mapdb k) ~pe)
+
+let vpe_movable (vpe : Vpe.t) = (not vpe.Vpe.frozen) && not vpe.Vpe.syscall_pending
+
+(* One partition-handoff wave, with the system-level replica flipped in
+   step (the Balance executor does the same for single-VPE moves).
+   [on_wave] sees the wave's wall-clock span — the bound on how long
+   the moved VPEs' syscalls stalled. *)
+let handoff ?on_wave sys ~src ~pes ~vpes ~dst done_k =
+  Membership.reassign_partition (System.membership sys) ~pes ~kernel:dst;
+  let started = System.now sys in
+  Kernel.handoff_partitions (System.kernel sys src) ~pes ~vpes ~dst (fun () ->
+      (match on_wave with
+      | Some f -> f (Int64.sub (System.now sys) started)
+      | None -> ());
+      done_k ())
+
+let wedged what ~kernel =
+  failwith
+    (Printf.sprintf "Fleet.%s: kernel %d did not make progress after %d polls" what kernel
+       poll_max)
+
+(* ------------------------------------------------------------------ *)
+(* Join                                                                *)
+
+(* A rejoining kernel first takes its boot-time partition range back
+   from whichever kernels absorbed it at retirement. Group-local PE
+   allocation hands out exactly this range, so membership must route it
+   here again before the first spawn — otherwise a fresh VPE's records
+   would live at a kernel that does not manage it (hosting-invariant
+   break). The partitions hold at most exited-VPE shells and VPEs that
+   migrated away with their PE and are now carried home. *)
+let rec reclaim_home ?on_wave sys ~kernel ~polls done_k =
+  if polls > poll_max then wedged "join" ~kernel;
+  let m = System.membership sys in
+  let mid_handoff = ref false in
+  let owners = Hashtbl.create 4 in
+  List.iter
+    (fun pe ->
+      match Membership.kernel_of_pe m pe with
+      | owner ->
+        if owner <> kernel then
+          Hashtbl.replace owners owner
+            (pe :: (try Hashtbl.find owners owner with Not_found -> []))
+      | exception Membership.Mid_handoff _ -> mid_handoff := true)
+    (System.home_pes sys ~kernel);
+  if !mid_handoff then
+    Engine.after (System.engine sys) poll_interval (fun () ->
+        reclaim_home ?on_wave sys ~kernel ~polls:(polls + 1) done_k)
+  else begin
+    let groups =
+      Hashtbl.fold (fun o pes acc -> (o, List.sort compare pes) :: acc) owners []
+      |> List.sort compare
+    in
+    let rec step groups polls =
+      match groups with
+      | [] -> done_k ()
+      | (owner, pes) :: rest ->
+        if polls > poll_max then wedged "join" ~kernel;
+        let k = System.kernel sys owner in
+        let vpes =
+          List.filter (fun (v : Vpe.t) -> List.mem v.Vpe.pe pes) (Kernel.local_vpes k)
+        in
+        if
+          List.for_all vpe_movable vpes
+          && List.for_all (fun pe -> partition_quiet k ~pe) pes
+        then
+          handoff ?on_wave sys ~src:owner ~pes ~vpes ~dst:kernel (fun () -> step rest 0)
+        else
+          Engine.after (System.engine sys) poll_interval (fun () ->
+              step groups (polls + 1))
+    in
+    step groups 0
+  end
+
+(* Pull a fair share of the running VPEs onto the joining kernel: the
+   newcomer absorbs waves from whichever Active kernel currently has
+   the most alive VPEs until it holds 1/(a+1) of the live population
+   (recomputed each wave, so clients exiting mid-join shrink the goal
+   rather than wedging it). A VPE is taken only in an instant when it
+   is movable — no syscall in flight, partition unmarked — so under a
+   busy open-loop workload the absorb polls until enough of them hit a
+   compute gap. Moving a VPE moves its whole PE partition; capability
+   links are key-routed and survive the move untouched. *)
+let absorb_load ?on_wave sys ~kernel done_k =
+  let rec wave ~polls =
+    if polls > poll_max then wedged "join" ~kernel;
+    let actives = List.filter (fun k -> k <> kernel) (active_kernels sys) in
+    let others_alive = List.fold_left (fun a k -> a + alive_count sys k) 0 actives in
+    let mine = alive_count sys kernel in
+    let target = (others_alive + mine) / (List.length actives + 1) in
+    if mine >= target then done_k ()
+    else begin
+      (* Busiest donor first (lowest id on ties); within it, the sorted
+         VPE-id order local_vpes guarantees. *)
+      let ordered =
+        List.sort
+          (fun a b ->
+            match Int.compare (alive_count sys b) (alive_count sys a) with
+            | 0 -> Int.compare a b
+            | c -> c)
+          actives
+      in
+      let pick =
+        List.fold_left
+          (fun acc src ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+              let k = System.kernel sys src in
+              let movable =
+                List.filter
+                  (fun (v : Vpe.t) ->
+                    Vpe.is_alive v && vpe_movable v && partition_quiet k ~pe:v.Vpe.pe)
+                  (Kernel.local_vpes k)
+              in
+              if movable = [] then None else Some (src, movable))
+          None ordered
+      in
+      match pick with
+      | None ->
+        Engine.after (System.engine sys) poll_interval (fun () -> wave ~polls:(polls + 1))
+      | Some (src, movable) ->
+        let take n l = List.filteri (fun i _ -> i < n) l in
+        let vpes = take (target - mine) movable in
+        let pes = List.sort compare (List.map (fun (v : Vpe.t) -> v.Vpe.pe) vpes) in
+        handoff ?on_wave sys ~src ~pes ~vpes ~dst:kernel (fun () -> wave ~polls:0)
+    end
+  in
+  wave ~polls:0
+
+let join ?on_wave sys ~kernel done_k =
+  (match state sys kernel with
+  | Membership.Spare | Membership.Retired -> ()
+  | Membership.Joining | Membership.Active | Membership.Draining ->
+    invalid_arg "Fleet.join: kernel is neither spare nor retired");
+  Log.info (fun m -> m "kernel %d joining" kernel);
+  set_state sys ~on:kernel ~kernel Membership.Joining (fun () ->
+      reclaim_home ?on_wave sys ~kernel ~polls:0 (fun () ->
+          absorb_load ?on_wave sys ~kernel (fun () ->
+              set_state sys ~on:kernel ~kernel Membership.Active (fun () ->
+                  Log.info (fun m -> m "kernel %d active" kernel);
+                  done_k ()))))
+
+(* ------------------------------------------------------------------ *)
+(* Drain / leave                                                       *)
+
+(* Evacuation destination: the Active kernel with the fewest alive
+   VPEs, lowest id on ties. Re-picked every wave, so a long drain
+   spreads its load instead of dumping it on one peer. *)
+let pick_dst sys ~excluding =
+  let actives = List.filter (fun k -> k <> excluding) (active_kernels sys) in
+  match actives with
+  | [] -> invalid_arg "Fleet.drain: no active kernel left to evacuate to"
+  | first :: rest ->
+    List.fold_left
+      (fun best k -> if alive_count sys k < alive_count sys best then k else best)
+      first rest
+
+(* Move every partition the kernel still owns — loaded ones, exited-VPE
+   shells, free PEs, and the kernel's own PE — wave by wave until its
+   replica maps nothing here. Partitions that are transiently busy
+   (syscall in flight, revoke marking) are skipped this wave and
+   retried. *)
+let rec evacuate ?on_wave sys ~kernel ~polls done_k =
+  if polls > poll_max then wedged "drain evacuation" ~kernel;
+  let k = System.kernel sys kernel in
+  match Membership.pes_of_kernel (Kernel.membership k) kernel with
+  | [] -> done_k ()
+  | pes ->
+    let vpes_here = Kernel.local_vpes k in
+    let movable_pes =
+      List.filter
+        (fun pe ->
+          partition_quiet k ~pe
+          && List.for_all
+               (fun (v : Vpe.t) -> v.Vpe.pe <> pe || vpe_movable v)
+               vpes_here)
+        pes
+    in
+    if movable_pes = [] then
+      Engine.after (System.engine sys) poll_interval (fun () ->
+          evacuate ?on_wave sys ~kernel ~polls:(polls + 1) done_k)
+    else begin
+      let dst = pick_dst sys ~excluding:kernel in
+      let vpes =
+        List.filter (fun (v : Vpe.t) -> List.mem v.Vpe.pe movable_pes) vpes_here
+      in
+      handoff ?on_wave sys ~src:kernel ~pes:movable_pes ~vpes ~dst (fun () ->
+          evacuate ?on_wave sys ~kernel ~polls:0 done_k)
+    end
+
+(* Retirement gate: the kernel manages no partition, hosts no VPE and
+   no capability record, and its control plane is quiescent (nothing
+   pending or awaiting retransmission, credit windows full). Deferred
+   revoke children parked at peers re-resolve ownership by key on every
+   retry, so once the partitions have flipped they chase the new owner,
+   never the retiree. *)
+let rec retire_when_quiescent sys ~kernel ~polls done_k =
+  if polls > poll_max then begin
+    let k = System.kernel sys kernel in
+    failwith
+      (Printf.sprintf
+         "Fleet.drain retirement: kernel %d did not make progress after %d polls \
+          (pes=%d vpes=%d records=%d; %s)"
+         kernel poll_max
+         (List.length (Membership.pes_of_kernel (Kernel.membership k) kernel))
+         (Kernel.vpe_count k)
+         (Mapdb.count (Kernel.mapdb k))
+         (Kernel.quiescence_report k))
+  end;
+  let k = System.kernel sys kernel in
+  if
+    Membership.pes_of_kernel (Kernel.membership k) kernel = []
+    && Kernel.vpe_count k = 0
+    && Mapdb.count (Kernel.mapdb k) = 0
+    && Kernel.quiescent k
+  then done_k ()
+  else
+    Engine.after (System.engine sys) poll_interval (fun () ->
+        retire_when_quiescent sys ~kernel ~polls:(polls + 1) done_k)
+
+let drain ?on_wave sys ~kernel done_k =
+  if state sys kernel <> Membership.Active then
+    invalid_arg "Fleet.drain: kernel is not active";
+  if List.filter (fun k -> k <> kernel) (active_kernels sys) = [] then
+    invalid_arg "Fleet.drain: cannot drain the last active kernel";
+  if hosts_service sys ~kernel then
+    invalid_arg "Fleet.drain: kernel hosts a service (directory entries pin it)";
+  Log.info (fun m -> m "kernel %d draining" kernel);
+  set_state sys ~on:kernel ~kernel Membership.Draining (fun () ->
+      evacuate ?on_wave sys ~kernel ~polls:0 (fun () ->
+          retire_when_quiescent sys ~kernel ~polls:0 (fun () ->
+              set_state sys ~on:kernel ~kernel Membership.Retired (fun () ->
+                  Log.info (fun m -> m "kernel %d retired" kernel);
+                  done_k ()))))
+
+let leave = drain
+
+let drainable sys ~kernel =
+  state sys kernel = Membership.Active
+  && (not (hosts_service sys ~kernel))
+  && List.filter (fun k -> k <> kernel) (active_kernels sys) <> []
+
+(* ------------------------------------------------------------------ *)
+(* Autoscaler                                                          *)
+
+module Auto = struct
+  type transition = {
+    t_kind : [ `Join | `Drain ];
+    t_kernel : int;
+    t_start : int64;
+    mutable t_finish : int64 option;
+    mutable t_max_wave : int64;
+        (* longest single handoff wave — the syscall-stall bound for
+           the VPEs that wave carried *)
+  }
+
+  type t = {
+    sys : System.t;
+    pol : Balance.Fleet_policy.t;
+    interval : int64;
+    stop_when : unit -> bool;
+    on_transition : transition -> unit;
+    last_busy : int64 array;
+    smoothed : float array;
+    mutable cooldown_left : int;
+    mutable inflight : bool;
+    mutable transitions : transition list; (* reverse chronological *)
+    mutable tick_count : int;
+    mutable timer : Engine.handle option;
+    mutable running : bool;
+    ctr_ticks : Obs.Registry.counter;
+    ctr_joins : Obs.Registry.counter;
+    ctr_drains : Obs.Registry.counter;
+  }
+
+  let create ?(policy = Balance.Fleet_policy.default) ?(interval = 50_000L)
+      ?(stop_when = fun () -> false) ?(on_transition = fun _ -> ()) sys =
+    let n = System.kernel_count sys in
+    let obs = System.obs sys in
+    {
+      sys;
+      pol = policy;
+      interval;
+      stop_when;
+      on_transition;
+      last_busy = Array.make n 0L;
+      smoothed = Array.make n 0.0;
+      cooldown_left = 0;
+      inflight = false;
+      transitions = [];
+      tick_count = 0;
+      timer = None;
+      running = false;
+      ctr_ticks = Obs.Registry.counter obs "fleet.ticks";
+      ctr_joins = Obs.Registry.counter obs "fleet.joins";
+      ctr_drains = Obs.Registry.counter obs "fleet.drains";
+    }
+
+  let transitions t = List.rev t.transitions
+  let ticks t = t.tick_count
+  let occupancy t = Array.copy t.smoothed
+
+  (* Same EWMA the VPE balancer uses: only load sustained across
+     several windows reaches the sizing policy, so a burst/gap phase
+     never triggers a join. *)
+  let sample_occupancy t =
+    List.iter
+      (fun k ->
+        let id = Kernel.id k in
+        let busy = Server.busy_cycles (Kernel.server k) in
+        let delta = Int64.sub busy t.last_busy.(id) in
+        t.last_busy.(id) <- busy;
+        let o = Int64.to_float delta /. Int64.to_float t.interval in
+        let o = if o > 1.0 then 1.0 else o in
+        t.smoothed.(id) <-
+          (Balance.ewma_alpha *. o) +. ((1.0 -. Balance.ewma_alpha) *. t.smoothed.(id)))
+      (System.kernels t.sys);
+    Array.copy t.smoothed
+
+  let execute t decision =
+    let finish tr () =
+      tr.t_finish <- Some (System.now t.sys);
+      t.inflight <- false;
+      t.on_transition tr
+    in
+    let transition kind kernel ctr run =
+      let tr =
+        {
+          t_kind = kind;
+          t_kernel = kernel;
+          t_start = System.now t.sys;
+          t_finish = None;
+          t_max_wave = 0L;
+        }
+      in
+      t.transitions <- tr :: t.transitions;
+      t.inflight <- true;
+      t.cooldown_left <- t.pol.Balance.Fleet_policy.cooldown;
+      Obs.Registry.incr ctr;
+      run
+        ~on_wave:(fun span -> if span > tr.t_max_wave then tr.t_max_wave <- span)
+        (finish tr)
+    in
+    match decision with
+    | Balance.Fleet_policy.Hold -> ()
+    | Balance.Fleet_policy.Scale_out -> (
+      match joinable_kernels t.sys with
+      | [] -> ()
+      | kernel :: _ ->
+        Log.info (fun m -> m "tick %d: scale out, joining kernel %d" t.tick_count kernel);
+        transition `Join kernel t.ctr_joins (fun ~on_wave k ->
+            join ~on_wave t.sys ~kernel k))
+    | Balance.Fleet_policy.Scale_in kernel ->
+      Log.info (fun m -> m "tick %d: scale in, draining kernel %d" t.tick_count kernel);
+      transition `Drain kernel t.ctr_drains (fun ~on_wave k ->
+          drain ~on_wave t.sys ~kernel k)
+
+  let rec tick t =
+    t.timer <- None;
+    if t.running then begin
+      t.tick_count <- t.tick_count + 1;
+      Obs.Registry.incr t.ctr_ticks;
+      let occupancy = sample_occupancy t in
+      if t.inflight then () (* one transition at a time *)
+      else if t.cooldown_left > 0 then t.cooldown_left <- t.cooldown_left - 1
+      else
+        execute t
+          (Balance.Fleet_policy.decide t.pol ~occupancy ~active:(active_kernels t.sys)
+             ~joinable:(joinable_kernels t.sys)
+             ~drainable:(fun k -> drainable t.sys ~kernel:k));
+      if t.stop_when () && not t.inflight then t.running <- false
+      else
+        t.timer <-
+          Some (Engine.after_cancellable (System.engine t.sys) t.interval (fun () -> tick t))
+    end
+
+  let start t =
+    if not t.running then begin
+      t.running <- true;
+      List.iter
+        (fun k -> t.last_busy.(Kernel.id k) <- Server.busy_cycles (Kernel.server k))
+        (System.kernels t.sys);
+      t.timer <-
+        Some (Engine.after_cancellable (System.engine t.sys) t.interval (fun () -> tick t))
+    end
+
+  let stop t =
+    t.running <- false;
+    match t.timer with
+    | Some h ->
+      Engine.cancel (System.engine t.sys) h;
+      t.timer <- None
+    | None -> ()
+end

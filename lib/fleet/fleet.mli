@@ -1,0 +1,127 @@
+(** Elastic kernel fleet: runtime kernel join, drain, and leave with
+    live partition rebalancing.
+
+    The boot-time fleet is fixed in SemperOS (kernels and their PE
+    groups are laid out before the first VPE spawns); this subsystem
+    makes its {e size} a runtime quantity. Kernels provisioned as
+    spares ({!Semper_kernel.System.config}[.spare_kernels]) boot into
+    the [Spare] lifecycle state — booted, connected, but owning only
+    their empty home partitions and serving no work. {!join} brings one
+    into service; {!drain} (or its alias {!leave}) takes an Active
+    kernel out again. Both are asynchronous state machines driven by
+    the simulation engine, built entirely from the reliable primitives
+    underneath: op-tagged lifecycle broadcasts
+    ({!Semper_kernel.Kernel.announce_state}), bulk partition handoff
+    with mid-handoff deferral
+    ({!Semper_kernel.Kernel.handoff_partitions}), and the frozen-VPE
+    syscall hold in {!Semper_kernel.System.syscall}. In-flight resolves
+    against a moving partition defer loudly and retry — they never
+    observe a stale owner.
+
+    Lifecycle: [Spare → Joining → Active → Draining → Retired], with
+    [Retired → Joining] allowed so a retired kernel can rejoin.
+
+    {!Auto} closes the loop: an EWMA occupancy monitor drives
+    {!Semper_balance.Balance.Fleet_policy} and executes at most one
+    join/drain transition at a time, with cooldown hysteresis. *)
+
+(** [join ?on_wave sys ~kernel done_k] boots [kernel] (currently
+    [Spare] or [Retired], else [Invalid_argument]) into service:
+    announces [Joining] to every kernel, reclaims the kernel's
+    boot-time home partitions from whichever kernels absorbed them at
+    retirement (group-local PE allocation hands out exactly that
+    range, so membership must route it here before the first spawn),
+    absorbs a fair share of movable VPE partitions from the Active
+    kernels via bulk record handoff, then announces [Active] and runs
+    [done_k]. [on_wave] observes each handoff wave's wall-clock span —
+    the syscall-stall bound for the VPEs that wave froze. *)
+val join :
+  ?on_wave:(int64 -> unit) ->
+  Semper_kernel.System.t ->
+  kernel:int ->
+  (unit -> unit) ->
+  unit
+
+(** [drain ?on_wave sys ~kernel done_k] takes an [Active] kernel out of
+    service: announces [Draining] (new work is refused — PE allocation
+    on a non-Active kernel yields [E_no_pe]), evacuates every partition
+    it owns wave by wave (loaded partitions move with their VPEs to the
+    least-loaded Active kernel; transiently busy partitions — syscall
+    in flight, revoke marking — are retried), then retires only once
+    the kernel manages no partition, hosts no VPE or capability record,
+    and its control plane is quiescent (see
+    {!Semper_kernel.Kernel.quiescent}; deferred revoke children parked
+    at peers re-resolve by key, so they chase the new owners). Raises
+    [Invalid_argument] if the kernel is not Active, is the last Active
+    kernel, or hosts a service (peers cache directory entries, which
+    pin the service's kernel). *)
+val drain :
+  ?on_wave:(int64 -> unit) ->
+  Semper_kernel.System.t ->
+  kernel:int ->
+  (unit -> unit) ->
+  unit
+
+(** {!drain} under its paper-facing name: a kernel leaving the fleet. *)
+val leave :
+  ?on_wave:(int64 -> unit) ->
+  Semper_kernel.System.t ->
+  kernel:int ->
+  (unit -> unit) ->
+  unit
+
+(** Would {!drain} accept this kernel right now? (Active, not the last
+    Active kernel, hosts no service.) The autoscaler's scale-in safety
+    gate; exposed for tests. *)
+val drainable : Semper_kernel.System.t -> kernel:int -> bool
+
+(** Autoscaler: the fleet-wide control loop. Samples every kernel PE's
+    busy-cycle counter on a periodic engine tick, smooths it with the
+    balancer's EWMA, and feeds mean Active occupancy to
+    {!Semper_balance.Balance.Fleet_policy} — scale-out joins the
+    lowest-id Spare/Retired kernel, scale-in drains the emptiest
+    drainable one. At most one transition runs at a time, and a
+    cooldown of policy ticks follows each. *)
+module Auto : sig
+  (** One executed (or in-flight) fleet transition. *)
+  type transition = {
+    t_kind : [ `Join | `Drain ];
+    t_kernel : int;
+    t_start : int64;
+    mutable t_finish : int64 option;  (** [None] while in flight *)
+    mutable t_max_wave : int64;
+        (** longest single handoff wave — the bound on how long any
+            VPE's syscalls stalled during this transition *)
+  }
+
+  type t
+
+  (** [create ?policy ?interval ?stop_when sys]. [interval] is the
+      control-tick period in cycles (default 50_000). [stop_when] is
+      polled each tick; once true (and no transition is in flight) the
+      timer is not re-armed. [on_transition] runs at each transition's
+      completion (the benchmark hangs its per-transition safety checks
+      there). Registers [fleet.ticks]/[fleet.joins]/[fleet.drains]
+      counters in the system's metrics registry. *)
+  val create :
+    ?policy:Semper_balance.Balance.Fleet_policy.t ->
+    ?interval:int64 ->
+    ?stop_when:(unit -> bool) ->
+    ?on_transition:(transition -> unit) ->
+    Semper_kernel.System.t ->
+    t
+
+  (** Arm the control tick. No-op if already running. *)
+  val start : t -> unit
+
+  (** Cancel the control tick. Safe when not running. *)
+  val stop : t -> unit
+
+  (** Transitions decided so far, chronological. *)
+  val transitions : t -> transition list
+
+  val ticks : t -> int
+
+  (** Current smoothed occupancy per kernel id (a copy). *)
+  val occupancy : t -> float array
+end

@@ -129,6 +129,8 @@ let shapes =
       } );
     ( "semperos-balance-1",
       { sh_top = [ "config"; "static"; "balanced"; "improvement" ]; sh_rows = [] } );
+    ( "semperos-fleet-1",
+      { sh_top = [ "config"; "fixed"; "elastic"; "improvement" ]; sh_rows = [] } );
     ( "semperos-scale-2",
       {
         sh_top = [ "jobs"; "rows" ];

@@ -4,6 +4,9 @@ module Vpe = Semper_kernel.Vpe
 module Cost = Semper_kernel.Cost
 module P = Semper_kernel.Protocol
 module Perms = Semper_caps.Perms
+module Mapdb = Semper_caps.Mapdb
+module Membership = Semper_ddl.Membership
+module Fleet = Semper_fleet.Fleet
 module Fault = Semper_fault.Fault
 module Rng = Semper_util.Rng
 module Engine = Semper_sim.Engine
@@ -14,6 +17,7 @@ type spec = {
   kernels : int;
   vpes : int;
   ops : int;
+  spares : int;
   delay : bool;
   dup : bool;
   drop : bool;
@@ -21,9 +25,9 @@ type spec = {
   retry : bool;
 }
 
-let spec ?(kernels = 3) ?(vpes = 6) ?(ops = 40) ?(delay = true) ?(dup = true) ?(drop = true)
-    ?(stall = true) ?(retry = true) () =
-  { kernels; vpes; ops; delay; dup; drop; stall; retry }
+let spec ?(kernels = 3) ?(vpes = 6) ?(ops = 40) ?(spares = 0) ?(delay = true) ?(dup = true)
+    ?(drop = true) ?(stall = true) ?(retry = true) () =
+  { kernels; vpes; ops; spares; delay; dup; drop; stall; retry }
 
 let default_spec = spec ()
 
@@ -35,6 +39,7 @@ type outcome = {
   ok_replies : int;
   err_replies : int;
   migrations : int;
+  fleet_ops : int;
   injected_delays : int;
   injected_dups : int;
   injected_drops : int;
@@ -83,6 +88,7 @@ type state = {
   mutable ok : int;
   mutable errs : int;
   mutable migrations : int;
+  mutable fleet_ops : int;
   mutable failures : string list;  (* reversed; [finish] restores order *)
   mutable step_no : int;
   (* An exception anywhere in the workload skips the remaining steps and
@@ -115,8 +121,8 @@ let start ?(spec = default_spec) ~workload_seed ~fault_seed () =
   let pes = max 2 ((s.vpes + s.kernels - 1) / s.kernels) in
   let sys =
     System.create
-      (System.config ~kernels:s.kernels ~user_pes_per_kernel:pes ~fault:(profile s fault_seed)
-         ~retry:s.retry ())
+      (System.config ~kernels:s.kernels ~spare_kernels:s.spares ~user_pes_per_kernel:pes
+         ~fault:(profile s fault_seed) ~retry:s.retry ())
   in
   let vpes = Array.init s.vpes (fun i -> System.spawn_vpe sys ~kernel:(i mod s.kernels)) in
   let st =
@@ -133,6 +139,7 @@ let start ?(spec = default_spec) ~workload_seed ~fault_seed () =
       ok = 0;
       errs = 0;
       migrations = 0;
+      fleet_ops = 0;
       failures = [];
       step_no = 0;
       crashed = None;
@@ -145,6 +152,97 @@ let start ?(spec = default_spec) ~workload_seed ~fault_seed () =
      ignore (System.run sys)
    with exn -> st.crashed <- Some (Printexc.to_string exn));
   st
+
+(* Fleet oracles, run with the engine drained (after each fleet
+   transition and again at [finish]):
+
+   - {b convergence}: every kernel's membership replica agrees with the
+     system replica on both partition routing and kernel lifecycle
+     states, with no mid-handoff mark left behind — a lost or
+     misapplied [fleet_state]/[part_update] would leave a replica
+     routing to a stale owner;
+   - {b no-stranded}: a [Spare] or [Retired] kernel holds no capability
+     record and no VPE (and a Retired one owns no partition) — a lost
+     [part_records] wave would strand records on a kernel that no
+     longer serves lookups. *)
+let fleet_oracles st =
+  let sys = st.sys in
+  let sys_mem = System.membership sys in
+  let fail fmt = Printf.ksprintf (fun s -> st.failures <- s :: st.failures) fmt in
+  let all_pes =
+    List.concat_map (fun k -> Membership.pes_of_kernel sys_mem k) (Membership.kernels sys_mem)
+  in
+  List.iter
+    (fun k ->
+      let mem = Kernel.membership k in
+      if Membership.kernel_states mem <> Membership.kernel_states sys_mem then
+        fail "fleet: kernel %d lifecycle replica diverged from the system replica" (Kernel.id k);
+      List.iter
+        (fun pe ->
+          match Membership.kernel_of_pe mem pe with
+          | owner ->
+            if owner <> Membership.kernel_of_pe sys_mem pe then
+              fail "fleet: kernel %d routes PE %d to kernel %d, system replica says %d"
+                (Kernel.id k) pe owner
+                (Membership.kernel_of_pe sys_mem pe)
+          | exception Membership.Mid_handoff _ ->
+            fail "fleet: kernel %d marks PE %d mid-handoff at quiescence" (Kernel.id k) pe)
+        all_pes)
+    (System.kernels sys);
+  List.iter
+    (fun k ->
+      match Membership.kernel_state sys_mem (Kernel.id k) with
+      | Membership.Spare | Membership.Retired ->
+        let caps = Mapdb.count (Kernel.mapdb k) in
+        let vpes = Kernel.vpe_count k in
+        if caps > 0 then
+          fail "fleet: %d capability records stranded on out-of-service kernel %d" caps
+            (Kernel.id k);
+        if vpes > 0 then
+          fail "fleet: %d VPEs stranded on out-of-service kernel %d" vpes (Kernel.id k);
+        if
+          Membership.kernel_state sys_mem (Kernel.id k) = Membership.Retired
+          && Membership.pes_of_kernel sys_mem (Kernel.id k) <> []
+        then fail "fleet: retired kernel %d still owns partitions" (Kernel.id k)
+      | _ -> ())
+    (System.kernels sys)
+
+(* One join or drain, run to completion from quiescence, oracles after.
+   Reached only when the spec provisions spare kernels, so specs
+   without spares draw exactly the pre-fleet RNG stream. *)
+let fleet_action st =
+  let sys = st.sys in
+  ignore (System.run sys);
+  let mem = System.membership sys in
+  let ids = List.init (System.kernel_count sys) Fun.id in
+  let joinable =
+    List.filter
+      (fun k ->
+        match Membership.kernel_state mem k with
+        | Membership.Spare | Membership.Retired -> true
+        | _ -> false)
+      ids
+  in
+  let drainable = List.filter (fun k -> Fleet.drainable sys ~kernel:k) ids in
+  let act kind kernel f =
+    let finished = ref false in
+    f (fun () -> finished := true);
+    ignore (System.run sys);
+    if not !finished then
+      st.failures <-
+        Printf.sprintf "fleet: %s of kernel %d never completed" kind kernel :: st.failures
+    else begin
+      st.fleet_ops <- st.fleet_ops + 1;
+      fleet_oracles st
+    end
+  in
+  match (joinable, drainable) with
+  | [], [] -> ()
+  | j :: _, [] -> act "join" j (fun k -> Fleet.join sys ~kernel:j k)
+  | [], d :: _ -> act "drain" d (fun k -> Fleet.drain sys ~kernel:d k)
+  | j :: _, d :: _ ->
+    if Rng.bool st.rng then act "join" j (fun k -> Fleet.join sys ~kernel:j k)
+    else act "drain" d (fun k -> Fleet.drain sys ~kernel:d k)
 
 let step_body st =
   let s = st.st_spec in
@@ -179,6 +277,11 @@ let step_body st =
        is still in flight, exercising interleavings. *)
     ignore
       (System.run ~until:(Int64.add (System.now sys) (Int64.of_int (500 + Rng.int rng 4_000))) sys)
+  | n when n < 98 && s.spares > 0 && Rng.int rng 3 = 0 ->
+    (* Fleet transition: join a spare/retired kernel or drain an
+       Active one, with faults hitting the lifecycle broadcasts and
+       partition waves like any other op-tagged traffic. *)
+    fleet_action st
   | n when n < 98 ->
     (* Migration needs quiescence; skip when the candidate cannot
        legally move right now. *)
@@ -188,6 +291,9 @@ let step_body st =
     if
       Vpe.is_alive v && (not v.Vpe.syscall_pending) && (not v.Vpe.frozen)
       && dst <> v.Vpe.kernel
+      (* The live balancer only targets Active kernels; a drained boot
+         kernel would be refused by the migrate_vpe safety gate. *)
+      && Membership.kernel_state (System.membership sys) dst = Membership.Active
     then begin
       System.migrate_vpe sys v ~to_kernel:dst;
       st.migrations <- st.migrations + 1;
@@ -302,7 +408,10 @@ let finish ?inc st =
                     (Kernel.id k) peer credits Cost.max_inflight
                   :: st.failures)
             (Kernel.credit_windows k))
-        (System.kernels sys)
+        (System.kernels sys);
+      (* Fleet oracles: membership replicas converged, nothing stranded
+         on out-of-service kernels. *)
+      fleet_oracles st
     with exn -> st.failures <- ("exception: " ^ Printexc.to_string exn) :: st.failures));
   let leaked = try System.shutdown sys with _ -> -1 in
   if leaked <> 0 then
@@ -336,6 +445,7 @@ let finish ?inc st =
     ok_replies = st.ok;
     err_replies = st.errs;
     migrations = st.migrations;
+    fleet_ops = st.fleet_ops;
     injected_delays = inj.Fault.delays;
     injected_dups = inj.Fault.dups;
     injected_drops = inj.Fault.drops;
@@ -528,6 +638,7 @@ module Case = struct
     line "kernels %d" s.kernels;
     line "vpes %d" s.vpes;
     line "ops %d" s.ops;
+    if s.spares > 0 then line "spares %d" s.spares;
     line "faults %s"
       (String.concat ","
          (List.filter_map
@@ -570,6 +681,9 @@ module Case = struct
       let* kernels = int_field "kernels" in
       let* vpes = int_field "vpes" in
       let* ops = int_field "ops" in
+      (* Cases written before the fleet existed carry no [spares] line;
+         zero reproduces their RNG stream exactly. *)
+      let* spares = match field "spares" with None -> Ok 0 | Some _ -> int_field "spares" in
       let faults =
         match field "faults" with
         | Some v -> String.split_on_char ',' v |> List.filter (fun t -> t <> "")
@@ -586,8 +700,8 @@ module Case = struct
         {
           name = Option.value (field "name") ~default:"unnamed";
           spec =
-            spec ~kernels ~vpes ~ops ~delay:(has "delay") ~dup:(has "dup") ~drop:(has "drop")
-              ~stall:(has "stall") ~retry ();
+            spec ~kernels ~vpes ~ops ~spares ~delay:(has "delay") ~dup:(has "dup")
+              ~drop:(has "drop") ~stall:(has "stall") ~retry ();
           workload_seed;
           fault_seed;
           expect;
@@ -622,10 +736,10 @@ end
 
 let outcome_line o =
   Printf.sprintf
-    "w=%d f=%d calls=%d replies=%d ok=%d err=%d migr=%d inj[delay=%d dup=%d drop=%d stall=%d] \
-     retries=%d dups_seen=%d leaked=%d %s"
+    "w=%d f=%d calls=%d replies=%d ok=%d err=%d migr=%d fleet=%d inj[delay=%d dup=%d drop=%d \
+     stall=%d] retries=%d dups_seen=%d leaked=%d %s"
     o.workload_seed o.fault_seed o.syscalls o.replies o.ok_replies o.err_replies o.migrations
-    o.injected_delays o.injected_dups o.injected_drops o.injected_stalls o.retries o.dup_ikc
+    o.fleet_ops o.injected_delays o.injected_dups o.injected_drops o.injected_stalls o.retries o.dup_ikc
     o.caps_leaked
     (match o.failures with
     | [] -> "PASS"

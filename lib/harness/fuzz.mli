@@ -33,6 +33,17 @@ type spec = {
   kernels : int;
   vpes : int;
   ops : int;  (** number of random workload steps *)
+  spares : int;
+      (** kernels provisioned [Spare]. When positive, the workload
+          vocabulary gains fleet transitions ({!Semper_fleet.Fleet.join}
+          and [drain], run from quiescence with faults hitting their
+          broadcasts and partition waves) plus two oracles after each
+          transition and at quiescence: membership replicas converge
+          (routing, lifecycle states, no mid-handoff residue) and no
+          capability record or VPE is stranded on an out-of-service
+          kernel. Zero (the default) draws exactly the pre-fleet RNG
+          stream, so existing seeds and corpus cases replay
+          bit-identically. *)
   delay : bool;
   dup : bool;
   drop : bool;
@@ -44,6 +55,7 @@ val spec :
   ?kernels:int ->
   ?vpes:int ->
   ?ops:int ->
+  ?spares:int ->
   ?delay:bool ->
   ?dup:bool ->
   ?drop:bool ->
@@ -63,6 +75,7 @@ type outcome = {
   ok_replies : int;
   err_replies : int;
   migrations : int;
+  fleet_ops : int;  (** completed fleet join/drain transitions *)
   injected_delays : int;
   injected_dups : int;
   injected_drops : int;

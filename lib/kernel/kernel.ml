@@ -133,6 +133,30 @@ type pending =
      the destination's install acknowledgement (retransmitted through
      the regular [register_retry] path). *)
   | P_migrate_caps of { mc_vpe : Vpe.t; mc_done : unit -> unit }
+  (* Fleet lifecycle broadcast ([Ik_fleet_state]) awaiting every peer's
+     ack; same shape as a migrate-update broadcast. *)
+  | P_fleet of fleet_op
+  (* Phase 1 of a bulk partition handoff: the [Ik_part_update]
+     broadcast awaiting every peer's ack before the records move. *)
+  | P_part of part_op
+  (* Phase 2 of a bulk partition handoff: the framed record wave
+     awaiting the destination's install acknowledgement. *)
+  | P_part_caps of { pc_vpes : Vpe.t list; pc_done : unit -> unit }
+
+and fleet_op = {
+  f_peers : (int, unit) Hashtbl.t;
+  f_done : unit -> unit;
+  mutable f_timer : Engine.handle option;
+}
+
+and part_op = {
+  p_pes : int list;
+  p_vpes : Vpe.t list;
+  p_dst : int;
+  p_peers : (int, unit) Hashtbl.t;
+  p_done : unit -> unit;
+  mutable p_timer : Engine.handle option;
+}
 
 and migrate_op = {
   m_vpe : Vpe.t;
@@ -569,7 +593,10 @@ let ikc_op : P.ikc -> int = function
   | P.Ik_migrate_ack { op }
   | P.Ik_migrate_caps { op; _ }
   | P.Ik_remove_child { op; _ }
-  | P.Ik_srv_announce { op; _ } ->
+  | P.Ik_srv_announce { op; _ }
+  | P.Ik_fleet_state { op; _ }
+  | P.Ik_part_update { op; _ }
+  | P.Ik_part_records { op; _ } ->
     op
   | P.Ik_shutdown _ | P.Ik_batch _ -> -1
 
@@ -660,6 +687,10 @@ let rec transmit_ikc t ~dst (ikc : P.ikc) =
       match ikc with
       | P.Ik_batch { msgs; _ } ->
         (c t).Cost.batch_header_bytes + (List.length msgs * (c t).Cost.ikc_bytes)
+      (* A bulk partition handoff ships its record wave as one framed
+         transfer sized like a batch: header plus one slot per record. *)
+      | P.Ik_part_records { records; _ } ->
+        (c t).Cost.batch_header_bytes + (max 1 (List.length records) * (c t).Cost.ikc_bytes)
       | _ -> (c t).Cost.ikc_bytes
     in
     Fabric.send ~tag:(P.ikc_name ikc) t.fabric ~src:t.pe ~dst:peer.pe ~bytes (fun () ->
@@ -876,7 +907,13 @@ and fail_exhausted_op t op =
         m "kernel %d: migrate_caps for VPE %d exhausted retries; records lost" t.id
           mc_vpe.Vpe.id);
     mc_done ()
-  | Some (P_revoke _ | P_migrate _) ->
+  | Some (P_part_caps { pc_done; _ }) ->
+    (* Same limbo as an exhausted migrate_caps, for a whole partition
+       wave. *)
+    Hashtbl.remove t.pending_ops op;
+    Log.err (fun m -> m "kernel %d: part_records exhausted retries; records lost" t.id);
+    pc_done ()
+  | Some (P_revoke _ | P_migrate _ | P_fleet _ | P_part _) ->
     (* Not retried through [register_retry]; nothing to fail. *)
     ()
 
@@ -894,6 +931,16 @@ and remote_dup t ~src_kernel ~op =
   | Some (R_done { dst; msg }) ->
     Obs.Registry.incr t.ctr.dup_ikc;
     return_credit t ~src_kernel;
+    (* The requester retransmitted, so the cached reply may have been
+       dropped — and a dropped reply leaks the credit it consumed,
+       since replies ride the requester's retry loop instead of their
+       own. Refund it before the resend, exactly like a register_retry
+       retransmission; the window clamp absorbs the refund when the
+       original reply actually survived. On a perfect fabric no reply
+       is ever lost — the retransmission just outran a slow reply — so
+       the refund stands down and the credit flow stays exactly the
+       paper's. *)
+    if Fabric.has_injector t.fabric then receive_credit t ~peer:dst;
     ikc_send t ~dst msg;
     true
 
@@ -1694,7 +1741,7 @@ and handle_syscall t (vpe : Vpe.t) (call : P.syscall) =
                   other.on_complete <- (fun () -> finish_syscall t vpe P.R_ok) :: other.on_complete )
             | Some
                 ( P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_revoke_msg _
-                | P_migrate _ | P_migrate_caps _ )
+                | P_migrate _ | P_migrate_caps _ | P_fleet _ | P_part _ | P_part_caps _ )
             | None ->
               (dispatch, fun () -> finish_syscall t vpe P.R_ok))
           | Cap.Alive ->
@@ -1866,7 +1913,7 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
             | Some (P_revoke rop) -> revoke_release t rop
             | Some
                 ( P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_migrate _
-                | P_migrate_caps _ )
+                | P_migrate_caps _ | P_fleet _ | P_part _ | P_part_caps _ )
             | None ->
               (* Redelivered reply for a message op already retired. *)
               Obs.Registry.incr t.ctr.dup_ikc) ))
@@ -1927,6 +1974,37 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
               Hashtbl.remove t.pending_ops op;
               clear_retry t op;
               mc_done ()
+            | Some (P_fleet f) ->
+              (* Lifecycle broadcast: same ack-counting discipline as a
+                 migrate-update broadcast. *)
+              if Hashtbl.mem f.f_peers src_kernel then begin
+                Hashtbl.remove f.f_peers src_kernel;
+                if Hashtbl.length f.f_peers = 0 then begin
+                  Hashtbl.remove t.pending_ops op;
+                  Option.iter (Engine.cancel t.engine) f.f_timer;
+                  f.f_timer <- None;
+                  f.f_done ()
+                end
+              end
+              else Obs.Registry.incr t.ctr.dup_ikc
+            | Some (P_part p) ->
+              (* Bulk partition-update broadcast: once every replica has
+                 flipped (or marked mid-handoff), ship the records. *)
+              if Hashtbl.mem p.p_peers src_kernel then begin
+                Hashtbl.remove p.p_peers src_kernel;
+                if Hashtbl.length p.p_peers = 0 then begin
+                  Hashtbl.remove t.pending_ops op;
+                  Option.iter (Engine.cancel t.engine) p.p_timer;
+                  p.p_timer <- None;
+                  part_transfer t ~pes:p.p_pes ~vpes:p.p_vpes ~dst:p.p_dst ~done_k:p.p_done
+                end
+              end
+              else Obs.Registry.incr t.ctr.dup_ikc
+            | Some (P_part_caps { pc_done; _ }) ->
+              (* The destination installed the partition wave. *)
+              Hashtbl.remove t.pending_ops op;
+              clear_retry t op;
+              pc_done ()
             | Some
                 ( P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_revoke _
                 | P_revoke_msg _ )
@@ -1982,6 +2060,94 @@ and deliver_ikc t ~src_kernel (ikc : P.ikc) =
                and every open_sess routed here failed forever. *)
             return_credit t ~ack_op:op ~src_kernel;
             Hashtbl.replace t.directory name srv_key ))
+  | P.Ik_fleet_state { op; src_kernel = origin; kernel; state } ->
+    if remote_dup t ~src_kernel ~op then ()
+    else
+      job t (fun () ->
+          ( 100L,
+            fun () ->
+              return_credit t ~src_kernel;
+              (* Idempotent replica write: redeliveries re-record the same
+                 state. *)
+              Membership.set_kernel_state t.membership ~kernel state;
+              finish_remote t ~op ~dst:origin (P.Ik_migrate_ack { op }) ))
+  | P.Ik_part_update { op; src_kernel = origin; pes; new_kernel } ->
+    if remote_dup t ~src_kernel ~op then ()
+    else
+      job t (fun () ->
+          ( Int64.mul (Int64.of_int (max 1 (List.length pes))) 200L,
+            fun () ->
+              return_credit t ~src_kernel;
+              (if new_kernel = t.id then
+                 (* Destination of the handoff: mark every PE mid-handoff
+                    instead of reassigning — lookups must not route here
+                    until the records actually arrive (Ik_part_records).
+                    The guards keep a redelivered update idempotent. *)
+                 List.iter
+                   (fun pe ->
+                     if
+                       (not (Membership.in_handoff t.membership pe))
+                       && (try Membership.kernel_of_pe t.membership pe <> t.id
+                           with Not_found -> false)
+                     then Membership.begin_handoff t.membership ~pe)
+                   pes
+               else begin
+                 (* Bystander replica: any PE this replica still holds
+                    mid-handoff (it was the destination of an earlier
+                    move) completes to the new owner; the rest flip as
+                    one atomic bulk reassignment. *)
+                 let marked, unmarked =
+                   List.partition (fun pe -> Membership.in_handoff t.membership pe) pes
+                 in
+                 List.iter
+                   (fun pe -> Membership.complete_handoff t.membership ~pe ~kernel:new_kernel)
+                   marked;
+                 Membership.reassign_partition t.membership ~pes:unmarked ~kernel:new_kernel
+               end);
+              finish_remote t ~op ~dst:origin (P.Ik_migrate_ack { op }) ))
+  | P.Ik_part_records { op; src_kernel = origin; pes; vpes = vids; records } ->
+    if remote_dup t ~src_kernel ~op then ()
+    else
+      job t (fun () ->
+          (* Installing the wave costs time proportional to the records
+             carried, like a migrate_caps install. *)
+          ( Int64.mul (Int64.of_int (max 1 (List.length records))) 150L,
+            fun () ->
+              return_credit t ~src_kernel;
+              List.iter
+                (fun (r : P.migrated_cap) ->
+                  let cap =
+                    Cap.make ~key:r.P.m_key ~kind:r.P.m_kind ~owner_vpe:r.P.m_owner
+                      ?parent:r.P.m_parent ()
+                  in
+                  (* Future keys minted here must not collide with object
+                     ids allocated by the previous owning kernel. *)
+                  Mapdb.bump_obj t.mapdb (Key.obj r.P.m_key);
+                  Mapdb.insert t.mapdb cap;
+                  Mapdb.set_children t.mapdb r.P.m_key r.P.m_children)
+                records;
+              (* The partitions' VPEs are ours now. *)
+              List.iter
+                (fun vid ->
+                  match t.env.locate_vpe vid with
+                  | Some vpe ->
+                    Hashtbl.replace t.vpes vid vpe;
+                    Thread_pool.add_vpe_thread t.threads;
+                    vpe.Vpe.frozen <- false
+                  | None -> Log.err (fun m -> m "kernel %d: handed-off VPE %d unknown" t.id vid))
+                vids;
+              (* Only now can lookups route here: end every PE's handoff
+                 window (fall back to a plain reassign when a test ships
+                 the wave without a preceding update). *)
+              List.iter
+                (fun pe ->
+                  if Membership.in_handoff t.membership pe then
+                    Membership.complete_handoff t.membership ~pe ~kernel:t.id
+                  else if
+                    try Membership.kernel_of_pe t.membership pe <> t.id with Not_found -> true
+                  then Membership.reassign t.membership ~pe ~kernel:t.id)
+                pes;
+              finish_remote t ~op ~dst:origin (P.Ik_migrate_ack { op }) ))
   | P.Ik_shutdown { src_kernel = origin } ->
     job t (fun () ->
         ( 100L,
@@ -2077,7 +2243,7 @@ and handle_obtain_reply t ~op ~result =
       end)
   | Some
       ( P_delegate_src _ | P_delegate_dst _ | P_open_sess _ | P_revoke _ | P_revoke_msg _
-      | P_migrate _ | P_migrate_caps _ )
+      | P_migrate _ | P_migrate_caps _ | P_fleet _ | P_part _ | P_part_caps _ )
   | None ->
     (* Redelivered reply: the obtain already completed. *)
     Obs.Registry.incr t.ctr.dup_ikc;
@@ -2167,7 +2333,8 @@ and handle_delegate_reply t ~op ~result =
         send_ack false child_key;
         finish_syscall t client (P.R_err P.E_in_revocation)))
   | Some
-      ( P_obtain _ | P_delegate_dst _ | P_open_sess _ | P_revoke _ | P_revoke_msg _ | P_migrate _ | P_migrate_caps _ )
+      ( P_obtain _ | P_delegate_dst _ | P_open_sess _ | P_revoke _ | P_revoke_msg _ | P_migrate _
+      | P_migrate_caps _ | P_fleet _ | P_part _ | P_part_caps _ )
   | None -> (
     (* Redelivered reply after the handshake completed here: re-send
        the cached ack in case the original ack was lost. *)
@@ -2215,7 +2382,8 @@ and handle_delegate_ack t ~op ~child_key ~commit =
     (* Handshake over: release the thread held since the request. *)
     Thread_pool.release t.threads)
   | Some
-      ( P_obtain _ | P_delegate_src _ | P_open_sess _ | P_revoke _ | P_revoke_msg _ | P_migrate _ | P_migrate_caps _ )
+      ( P_obtain _ | P_delegate_src _ | P_open_sess _ | P_revoke _ | P_revoke_msg _ | P_migrate _
+      | P_migrate_caps _ | P_fleet _ | P_part _ | P_part_caps _ )
   | None ->
     (* Redelivered ack: the handshake already completed and its thread
        was already released — releasing again would corrupt the pool. *)
@@ -2267,7 +2435,7 @@ and handle_open_sess_reply t ~op ~result =
       end)
   | Some
       ( P_obtain _ | P_delegate_src _ | P_delegate_dst _ | P_revoke _ | P_revoke_msg _
-      | P_migrate _ | P_migrate_caps _ )
+      | P_migrate _ | P_migrate_caps _ | P_fleet _ | P_part _ | P_part_caps _ )
   | None ->
     (* Redelivered reply: the session open already completed. *)
     Obs.Registry.incr t.ctr.dup_ikc;
@@ -2309,6 +2477,58 @@ and migrate_transfer t ~(vpe : Vpe.t) ~dst ~done_k =
           (* The transfer is retransmitted until the destination acks the
              install — a lost Ik_migrate_caps would otherwise leak every
              record of the VPE. [done_k] fires on that ack. *)
+          register_retry t op ~dst msg ))
+
+(* Phase 2 of a bulk partition handoff: extract every record of the
+   moving partitions, detach their VPEs, and ship the whole set to the
+   destination as one framed record wave. *)
+and part_transfer t ~pes ~(vpes : Vpe.t list) ~dst ~done_k =
+  job t (fun () ->
+      let records =
+        List.concat_map
+          (fun pe ->
+            List.map
+              (fun (cap : Cap.t) ->
+                {
+                  P.m_key = cap.Cap.key;
+                  m_kind = cap.Cap.kind;
+                  m_owner = cap.Cap.owner_vpe;
+                  m_parent = cap.Cap.parent;
+                  m_children = Mapdb.children t.mapdb cap.Cap.key;
+                })
+              (Mapdb.caps_of_pe t.mapdb ~pe))
+          pes
+      in
+      List.iter (fun (r : P.migrated_cap) -> Mapdb.remove t.mapdb r.P.m_key) records;
+      List.iter
+        (fun (vpe : Vpe.t) ->
+          Hashtbl.remove t.vpes vpe.Vpe.id;
+          Thread_pool.remove_vpe_thread t.threads;
+          vpe.Vpe.kernel <- dst)
+        vpes;
+      (* The records are gone from this kernel: our own replica may now
+         route the partitions to their new owner. *)
+      List.iter (fun pe -> Membership.complete_handoff t.membership ~pe ~kernel:dst) pes;
+      ( Int64.mul (Int64.of_int (max 1 (List.length records))) 150L,
+        fun () ->
+          trace_event t ~kind:"part_transfer" ~src:t.id ~dst
+            ~detail:
+              (Printf.sprintf "pes=%d vpes=%d caps=%d" (List.length pes) (List.length vpes)
+                 (List.length records))
+            ();
+          let op = fresh_op t in
+          Hashtbl.add t.pending_ops op (P_part_caps { pc_vpes = vpes; pc_done = done_k });
+          let msg =
+            P.Ik_part_records
+              {
+                op;
+                src_kernel = t.id;
+                pes;
+                vpes = List.map (fun (v : Vpe.t) -> v.Vpe.id) vpes;
+                records;
+              }
+          in
+          ikc_send t ~dst msg;
           register_retry t op ~dst msg ))
 
 (* ------------------------------------------------------------------ *)
@@ -2363,6 +2583,10 @@ let install_new_cap t ~owner ~kind ?parent () =
 let migrate_vpe t ~(vpe : Vpe.t) ~dst done_k =
   if dst = t.id then invalid_arg "Kernel.migrate_vpe: already managed here";
   if not (Hashtbl.mem t.registry dst) then invalid_arg "Kernel.migrate_vpe: no such kernel";
+  (* Safety gate: never migrate onto a kernel that is not (or no
+     longer) serving — a mid-leave destination would strand the VPE. *)
+  if Membership.kernel_state t.membership dst <> Membership.Active then
+    invalid_arg "Kernel.migrate_vpe: destination kernel is not active";
   if not (Vpe.is_alive vpe) then invalid_arg "Kernel.migrate_vpe: VPE is dead";
   if vpe.Vpe.syscall_pending then invalid_arg "Kernel.migrate_vpe: VPE has a syscall in flight";
   if vpe.Vpe.frozen then invalid_arg "Kernel.migrate_vpe: VPE is already migrating";
@@ -2417,6 +2641,162 @@ let migrate_vpe t ~(vpe : Vpe.t) ~dst done_k =
               mig.mtimer <-
                 Some (Engine.after_cancellable t.engine (retry_interval (c t) 0) (tick 0))
             end ))
+
+(* Reliable fleet-state broadcast: record the transition on our own
+   replica, tell every peer, and run [done_k] once all have acked.
+   Same retransmission discipline as a migrate-update broadcast. *)
+let announce_state t ~kernel state done_k =
+  Membership.set_kernel_state t.membership ~kernel state;
+  trace_event t ~kind:"fleet_state" ~src:t.id ~dst:kernel
+    ~detail:
+      (match state with
+      | Membership.Spare -> "spare"
+      | Membership.Joining -> "joining"
+      | Membership.Active -> "active"
+      | Membership.Draining -> "draining"
+      | Membership.Retired -> "retired")
+    ();
+  let peers = Hashtbl.fold (fun kid _ acc -> if kid <> t.id then kid :: acc else acc) t.registry [] in
+  match peers with
+  | [] -> done_k ()
+  | peers ->
+    let op = fresh_op t in
+    let f_peers = Hashtbl.create (List.length peers) in
+    List.iter (fun kid -> Hashtbl.replace f_peers kid ()) peers;
+    let fop = { f_peers; f_done = done_k; f_timer = None } in
+    Hashtbl.add t.pending_ops op (P_fleet fop);
+    let update = P.Ik_fleet_state { op; src_kernel = t.id; kernel; state } in
+    job t (fun () ->
+        ( Int64.mul (Int64.of_int (List.length peers)) 100L,
+          fun () ->
+            List.iter (fun kid -> ikc_send t ~dst:kid update) peers;
+            if (c t).Cost.retry_max > 0 then begin
+              let rec tick attempts () =
+                match Hashtbl.find_opt t.pending_ops op with
+                | Some (P_fleet f) when attempts < (c t).Cost.retry_max ->
+                  List.iter
+                    (fun kid ->
+                      Obs.Registry.incr t.ctr.retries;
+                      receive_credit t ~peer:kid;
+                      ikc_send t ~dst:kid update)
+                    (List.sort compare (Hashtbl.fold (fun kid () acc -> kid :: acc) f.f_peers []));
+                  f.f_timer <-
+                    Some
+                      (Engine.after_cancellable t.engine
+                         (retry_interval (c t) (attempts + 1))
+                         (tick (attempts + 1)))
+                | Some _ | None -> ()
+              in
+              fop.f_timer <-
+                Some (Engine.after_cancellable t.engine (retry_interval (c t) 0) (tick 0))
+            end ))
+
+(* Bulk partition handoff (fleet join/drain): move every capability
+   record and VPE of the partitions in [pes] to [dst] in one two-phase
+   exchange — the membership broadcast flips (or mid-handoff-marks)
+   every replica, then one framed record wave ships the data. *)
+let handoff_partitions t ~pes ~vpes ~dst done_k =
+  if dst = t.id then invalid_arg "Kernel.handoff_partitions: already managed here";
+  if not (Hashtbl.mem t.registry dst) then invalid_arg "Kernel.handoff_partitions: no such kernel";
+  if pes = [] then invalid_arg "Kernel.handoff_partitions: empty partition set";
+  (match Membership.kernel_state t.membership dst with
+  | Membership.Active | Membership.Joining -> ()
+  | Membership.Spare | Membership.Draining | Membership.Retired ->
+    invalid_arg "Kernel.handoff_partitions: destination kernel is not accepting partitions");
+  List.iter
+    (fun (vpe : Vpe.t) ->
+      if vpe.Vpe.syscall_pending then
+        invalid_arg "Kernel.handoff_partitions: VPE has a syscall in flight";
+      if vpe.Vpe.frozen then invalid_arg "Kernel.handoff_partitions: VPE is already migrating")
+    vpes;
+  (* Freeze the moving VPEs and mark every PE mid-handoff on our own
+     replica: in-flight resolves defer loudly instead of misrouting. *)
+  List.iter (fun (vpe : Vpe.t) -> vpe.Vpe.frozen <- true) vpes;
+  List.iter (fun pe -> Membership.begin_handoff t.membership ~pe) pes;
+  trace_event t ~kind:"handoff_start" ~src:t.id ~dst
+    ~detail:(Printf.sprintf "pes=%d vpes=%d" (List.length pes) (List.length vpes)) ();
+  let peers = Hashtbl.fold (fun kid _ acc -> if kid <> t.id then kid :: acc else acc) t.registry [] in
+  match peers with
+  | [] -> part_transfer t ~pes ~vpes ~dst ~done_k
+  | peers ->
+    let op = fresh_op t in
+    let p_peers = Hashtbl.create (List.length peers) in
+    List.iter (fun kid -> Hashtbl.replace p_peers kid ()) peers;
+    let pop = { p_pes = pes; p_vpes = vpes; p_dst = dst; p_peers; p_done = done_k; p_timer = None } in
+    Hashtbl.add t.pending_ops op (P_part pop);
+    let update = P.Ik_part_update { op; src_kernel = t.id; pes; new_kernel = dst } in
+    job t (fun () ->
+        ( Int64.mul (Int64.of_int (List.length peers)) 200L,
+          fun () ->
+            List.iter (fun kid -> ikc_send t ~dst:kid update) peers;
+            if (c t).Cost.retry_max > 0 then begin
+              let rec tick attempts () =
+                match Hashtbl.find_opt t.pending_ops op with
+                | Some (P_part p) when attempts < (c t).Cost.retry_max ->
+                  List.iter
+                    (fun kid ->
+                      Obs.Registry.incr t.ctr.retries;
+                      receive_credit t ~peer:kid;
+                      ikc_send t ~dst:kid update)
+                    (List.sort compare (Hashtbl.fold (fun kid () acc -> kid :: acc) p.p_peers []));
+                  p.p_timer <-
+                    Some
+                      (Engine.after_cancellable t.engine
+                         (retry_interval (c t) (attempts + 1))
+                         (tick (attempts + 1)))
+                | Some _ | None -> ()
+              in
+              pop.p_timer <-
+                Some (Engine.after_cancellable t.engine (retry_interval (c t) 0) (tick 0))
+            end ))
+
+(* Control-plane quiescence: nothing pending, nothing awaiting
+   retransmission, no batched sends parked in a slot window, no
+   absorbed credit returns owed, and every send-credit window back at
+   the §5.1 bound. A kernel may retire only when this holds with its
+   VPE table and mapping database empty. *)
+let quiescent t =
+  Hashtbl.length t.pending_ops = 0
+  && Hashtbl.length t.retry_msgs = 0
+  && Hashtbl.fold (fun _ bs acc -> acc && Queue.is_empty bs.bq) t.batch_queues true
+  && Hashtbl.fold (fun _ o acc -> acc && o.o_left = 0 && o.o_acks = []) t.batch_owed true
+  && Hashtbl.fold (fun _ (credits, q) acc -> acc && !credits = Cost.max_inflight && Queue.is_empty q)
+       t.credits true
+
+let quiescence_report t =
+  let parts = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> parts := s :: !parts) fmt in
+  let pend_kind = function
+    | P_obtain _ -> "obtain"
+    | P_delegate_src _ -> "delegate_src"
+    | P_delegate_dst _ -> "delegate_dst"
+    | P_open_sess _ -> "open_sess"
+    | P_revoke _ -> "revoke"
+    | P_revoke_msg _ -> "revoke_msg"
+    | P_migrate _ -> "migrate"
+    | P_migrate_caps _ -> "migrate_caps"
+    | P_fleet _ -> "fleet"
+    | P_part _ -> "part"
+    | P_part_caps _ -> "part_caps"
+  in
+  Hashtbl.iter (fun op p -> add "pending op %d (%s)" op (pend_kind p)) t.pending_ops;
+  Hashtbl.iter (fun op _ -> add "retrying msg op %d" op) t.retry_msgs;
+  Hashtbl.iter
+    (fun dst bs ->
+      if not (Queue.is_empty bs.bq) then add "batch queue to %d holds %d" dst (Queue.length bs.bq))
+    t.batch_queues;
+  Hashtbl.iter
+    (fun src o ->
+      if o.o_left <> 0 || o.o_acks <> [] then
+        add "owes %d credit acks to %d (%d parked)" o.o_left src (List.length o.o_acks))
+    t.batch_owed;
+  Hashtbl.iter
+    (fun dst (credits, q) ->
+      if !credits <> Cost.max_inflight || not (Queue.is_empty q) then
+        add "credit window to %d at %d/%d (%d queued)" dst !credits Cost.max_inflight
+          (Queue.length q))
+    t.credits;
+  if !parts = [] then "quiescent" else String.concat "; " (List.sort compare !parts)
 
 let check_invariants t =
   let errors = ref (Mapdb.check_local_links t.mapdb) in

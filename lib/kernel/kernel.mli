@@ -168,6 +168,41 @@ val install_new_cap :
     destination has acknowledged the records. *)
 val migrate_vpe : t -> vpe:Vpe.t -> dst:int -> (unit -> unit) -> unit
 
+(** Reliable fleet lifecycle broadcast: record [state] for [kernel] on
+    this kernel's replica, announce it to every peer with an op-tagged
+    [Ik_fleet_state] (retransmitted until each peer acks), and run the
+    continuation once all acks are in. *)
+val announce_state :
+  t -> kernel:int -> Semper_ddl.Membership.kernel_state -> (unit -> unit) -> unit
+
+(** Bulk partition handoff (fleet join/drain): move every capability
+    record and VPE of the partitions in [pes] to [dst] in one two-phase
+    exchange. Phase 1 freezes the listed VPEs, marks every PE
+    mid-handoff here, and broadcasts an [Ik_part_update] (the
+    destination marks mid-handoff, bystanders flip atomically via
+    [Membership.reassign_partition]); once every peer has acked, phase
+    2 ships all records and VPEs as one framed [Ik_part_records] wave,
+    retransmitted until the destination acks the install. In-flight
+    resolves against the moving partitions hit [Mid_handoff] deferral
+    throughout — never a stale owner. Raises [Invalid_argument] if the
+    destination is not [Active]/[Joining], a listed VPE is mid-syscall
+    or already migrating, or [pes] is empty. [vpes] must be exactly the
+    VPEs living on [pes]. *)
+val handoff_partitions :
+  t -> pes:int list -> vpes:Vpe.t list -> dst:int -> (unit -> unit) -> unit
+
+(** Control-plane quiescence: no pending operations, no messages
+    awaiting retransmission, no batched sends parked in a slot window,
+    no absorbed credit returns owed, and every send-credit window back
+    at the §5.1 bound. Retirement additionally requires {!vpe_count}
+    zero and an empty mapping database — see [Fleet.drain]. *)
+val quiescent : t -> bool
+
+(** What blocks {!quiescent}, one clause per obstacle, sorted —
+    ["quiescent"] when nothing does. Fleet wedge diagnostics embed
+    this in their failure message. *)
+val quiescence_report : t -> string
+
 (** Run the mapping-database consistency check plus kernel-level
     invariants; returns human-readable violations (empty = healthy). *)
 val check_invariants : t -> string list

@@ -148,6 +148,30 @@ type ikc =
   | Ik_srv_announce of { op : int; name : string; srv_key : Key.t; kernel : int }
       (** directory replication; op-tagged per peer and retried until
           acked — the receive is an idempotent directory write *)
+  | Ik_fleet_state of {
+      op : int;
+      src_kernel : int;
+      kernel : int;
+      state : Semper_ddl.Membership.kernel_state;
+    }
+      (** kernel lifecycle transition (join/drain/retire) broadcast to
+          every peer; acked with {!Ik_migrate_ack} per peer *)
+  | Ik_part_update of { op : int; src_kernel : int; pes : int list; new_kernel : int }
+      (** bulk membership flip for a whole partition set: the new owner
+          marks every PE mid-handoff, other replicas
+          [reassign_partition] the set atomically; acked with
+          {!Ik_migrate_ack} per peer *)
+  | Ik_part_records of {
+      op : int;
+      src_kernel : int;
+      pes : int list;
+      vpes : int list;
+      records : migrated_cap list;
+    }
+      (** framed record wave carrying every capability record of the
+          partitions in [pes] plus the VPEs living there; sized like an
+          {!Ik_batch} frame and acked by the destination once
+          installed *)
   | Ik_shutdown of { src_kernel : int }
   | Ik_batch of { src_kernel : int; msgs : ikc list }
       (** framed multi-message: every [Ik_*] queued for the same peer

@@ -9,6 +9,11 @@ module Obs = Semper_obs.Obs
 
 type config = {
   kernels : int;
+  (* Kernels booted but held out of service ([Spare] lifecycle state):
+     they own their home partitions yet serve no work until a
+     [Fleet.join] activates them. 0 (the default) reproduces the fixed
+     boot-time fleet byte-for-byte. *)
+  spare_kernels : int;
   user_pes_per_kernel : int;
   mode : Cost.mode;
   noc : Fabric.config;
@@ -23,6 +28,7 @@ type config = {
 let default_config =
   {
     kernels = 2;
+    spare_kernels = 0;
     user_pes_per_kernel = 8;
     mode = Cost.Semperos;
     noc = Fabric.default_config;
@@ -34,11 +40,13 @@ let default_config =
     engine_queue = Engine.Timer_wheel;
   }
 
-let config ?(kernels = 2) ?(user_pes_per_kernel = 8) ?(mode = Cost.Semperos)
-    ?(noc = Fabric.default_config) ?(batching = false) ?(broadcast = false) ?fault
-    ?(retry = true) ?(trace_capacity = 8192) ?(engine_queue = Engine.Timer_wheel) () =
+let config ?(kernels = 2) ?(spare_kernels = 0) ?(user_pes_per_kernel = 8)
+    ?(mode = Cost.Semperos) ?(noc = Fabric.default_config) ?(batching = false)
+    ?(broadcast = false) ?fault ?(retry = true) ?(trace_capacity = 8192)
+    ?(engine_queue = Engine.Timer_wheel) () =
   {
     kernels;
+    spare_kernels;
     user_pes_per_kernel;
     mode;
     noc;
@@ -51,6 +59,9 @@ let config ?(kernels = 2) ?(user_pes_per_kernel = 8) ?(mode = Cost.Semperos)
   }
 
 type group = { kernel_pe : int; free : int Queue.t }
+
+(* Kernels booted in total, spares included. *)
+let total_kernels cfg = cfg.kernels + cfg.spare_kernels
 
 type t = {
   cfg : config;
@@ -81,16 +92,28 @@ let kernel t i =
   | None -> invalid_arg "System.kernel: no such kernel"
 
 let kernels t =
-  List.init t.cfg.kernels (fun i -> kernel t i)
+  List.init (total_kernels t.cfg) (fun i -> kernel t i)
 
-let kernel_count t = t.cfg.kernels
-let pe_count t = t.cfg.kernels * (1 + t.cfg.user_pes_per_kernel)
+let kernel_count t = total_kernels t.cfg
+let boot_kernels t = t.cfg.kernels
+let pe_count t = total_kernels t.cfg * (1 + t.cfg.user_pes_per_kernel)
 let find_vpe t vid = Hashtbl.find_opt t.vpes vid
 let now t = Engine.now t.engine
 
 let free_pes t ~kernel =
-  if kernel < 0 || kernel >= t.cfg.kernels then invalid_arg "System.free_pes: no such kernel";
+  if kernel < 0 || kernel >= total_kernels t.cfg then
+    invalid_arg "System.free_pes: no such kernel";
   Queue.length t.groups.(kernel).free
+
+(* The PE range a kernel's group was built with at boot: its kernel PE
+   plus its user PEs. Partition ownership may drift away through fleet
+   handoffs; [Fleet.join] reclaims this range so group-local PE
+   allocation and the membership replicas agree again. *)
+let home_pes t ~kernel =
+  if kernel < 0 || kernel >= total_kernels t.cfg then
+    invalid_arg "System.home_pes: no such kernel";
+  let group_size = 1 + t.cfg.user_pes_per_kernel in
+  List.init group_size (fun u -> (kernel * group_size) + u)
 
 let register_vpe t ~pe ~kernel:kid =
   let id = t.next_vpe in
@@ -102,11 +125,12 @@ let register_vpe t ~pe ~kernel:kid =
 
 let create cfg =
   if cfg.kernels <= 0 then invalid_arg "System.create: need at least one kernel";
-  if cfg.kernels > Cost.max_kernels then
+  if cfg.spare_kernels < 0 then invalid_arg "System.create: negative spare kernels";
+  if total_kernels cfg > Cost.max_kernels then
     invalid_arg "System.create: more kernels than the DTU endpoints support (64)";
   if cfg.user_pes_per_kernel > Cost.max_pes_per_kernel then
     invalid_arg "System.create: more PEs per kernel than syscall slots support (192)";
-  let total = cfg.kernels * (1 + cfg.user_pes_per_kernel) in
+  let total = total_kernels cfg * (1 + cfg.user_pes_per_kernel) in
   let topology = Topology.square total in
   let obs = Obs.Registry.create () in
   let engine = Engine.create ~obs ~queue:cfg.engine_queue () in
@@ -116,7 +140,7 @@ let create cfg =
   let membership = Membership.create () in
   let group_size = 1 + cfg.user_pes_per_kernel in
   let groups =
-    Array.init cfg.kernels (fun g ->
+    Array.init (total_kernels cfg) (fun g ->
         let base = g * group_size in
         let free = Queue.create () in
         for u = 1 to cfg.user_pes_per_kernel do
@@ -124,12 +148,18 @@ let create cfg =
         done;
         { kernel_pe = base; free })
   in
-  for g = 0 to cfg.kernels - 1 do
+  for g = 0 to total_kernels cfg - 1 do
     for p = g * group_size to (g * group_size) + group_size - 1 do
       Membership.assign membership ~pe:p ~kernel:g
     done
   done;
   Membership.seal membership;
+  (* Spares boot with their lifecycle state recorded before the
+     per-kernel replicas are copied, so every replica agrees from
+     cycle 0. *)
+  for g = cfg.kernels to total_kernels cfg - 1 do
+    Membership.set_kernel_state membership ~kernel:g Membership.Spare
+  done;
   (* Every PE gets a DTU; only kernel DTUs stay privileged (§2.2). *)
   for p = 0 to total - 1 do
     let dtu = Dtu.create grid ~pe:p in
@@ -144,7 +174,7 @@ let create cfg =
         plan)
       cfg.fault
   in
-  let registry = Hashtbl.create cfg.kernels in
+  let registry = Hashtbl.create (total_kernels cfg) in
   let t =
     {
       cfg;
@@ -166,7 +196,14 @@ let create cfg =
       Kernel.locate_vpe = (fun vid -> Hashtbl.find_opt t.vpes vid);
       alloc_pe =
         (fun ~kernel ->
-          if kernel < 0 || kernel >= cfg.kernels then None
+          (* A kernel that is not serving (spare, joining, draining,
+             retired) refuses to place new VPEs: the caller sees
+             E_no_pe, the fleet's "refuses new work" contract. *)
+          if
+            kernel < 0
+            || kernel >= total_kernels cfg
+            || Membership.kernel_state t.membership kernel <> Membership.Active
+          then None
           else
             let g = groups.(kernel) in
             if Queue.is_empty g.free then None else Some (Queue.pop g.free));
@@ -183,18 +220,20 @@ let create cfg =
     let base = if cfg.broadcast then Cost.with_broadcast base else base in
     if cfg.retry then base else Cost.without_retries base
   in
-  for g = 0 to cfg.kernels - 1 do
+  for g = 0 to total_kernels cfg - 1 do
     (* Each kernel holds its own replica of the membership table, as in
        the paper (Figure 2) — PE migration must update all of them. *)
     ignore
       (Kernel.create ~obs ~trace ~engine ~fabric ~grid ~id:g ~pe:groups.(g).kernel_pe
          ~membership:(Membership.copy membership) ~cost ~env ~registry
-         ~kernel_count:cfg.kernels ())
+         ~kernel_count:(total_kernels cfg) ())
   done;
   t
 
 let spawn_vpe ?pe t ~kernel:kid =
-  if kid < 0 || kid >= t.cfg.kernels then invalid_arg "System.spawn_vpe: no such kernel";
+  if kid < 0 || kid >= total_kernels t.cfg then invalid_arg "System.spawn_vpe: no such kernel";
+  if Membership.kernel_state t.membership kid <> Membership.Active then
+    invalid_arg "System.spawn_vpe: kernel is not active";
   let g = t.groups.(kid) in
   let pe =
     match pe with
@@ -238,7 +277,7 @@ let total_cap_ops t =
 let check_invariants t = List.concat_map Kernel.check_invariants (kernels t)
 
 let migrate_vpe t (vpe : Vpe.t) ~to_kernel =
-  if to_kernel < 0 || to_kernel >= t.cfg.kernels then
+  if to_kernel < 0 || to_kernel >= total_kernels t.cfg then
     invalid_arg "System.migrate_vpe: no such kernel";
   (* Quiesce the system first: migration is only defined with no
      in-flight operations touching the VPE. *)
@@ -274,7 +313,7 @@ let snapshot t =
     s_obs = Obs.Registry.dump t.obs;
     s_trace = Obs.Trace.dump t.trace;
     s_kernels =
-      List.init t.cfg.kernels (fun i -> (i, Kernel.snapshot (kernel t i)));
+      List.init (total_kernels t.cfg) (fun i -> (i, Kernel.snapshot (kernel t i)));
     s_vpes =
       Hashtbl.fold (fun id v acc -> (id, Vpe.snapshot v) :: acc) t.vpes []
       |> List.sort (fun (a, _) (b, _) -> Int.compare a b);

@@ -7,6 +7,10 @@
 
 type config = {
   kernels : int;
+  spare_kernels : int;
+      (** kernels booted but held out of service ([Spare] lifecycle
+          state) until a [Fleet.join] activates them; 0 reproduces the
+          fixed boot-time fleet byte-for-byte *)
   user_pes_per_kernel : int;
   mode : Cost.mode;
   noc : Semper_noc.Fabric.config;
@@ -29,6 +33,7 @@ val default_config : config
 (** 640 PEs as in the paper's testbed (§5.1): adjust per experiment. *)
 val config :
   ?kernels:int ->
+  ?spare_kernels:int ->
   ?user_pes_per_kernel:int ->
   ?mode:Cost.mode ->
   ?noc:Semper_noc.Fabric.config ->
@@ -66,18 +71,34 @@ val obs : t -> Semper_obs.Obs.Registry.t
     seeds give byte-identical traces). *)
 val trace_buffer : t -> Semper_obs.Obs.Trace.t
 val kernel : t -> int -> Kernel.t
+
+(** Every booted kernel, spares included. *)
 val kernels : t -> Kernel.t list
+
+(** Kernels booted in total, spares included. *)
 val kernel_count : t -> int
+
+(** Kernels that boot [Active] (the [config.kernels] field); ids
+    [boot_kernels t .. kernel_count t - 1] are the spares. *)
+val boot_kernels : t -> int
+
 val pe_count : t -> int
 
 (** Boot-time VPE spawn: allocates a free user PE in the kernel's group
-    (or uses [pe]). Raises [Invalid_argument] when the group is full. *)
+    (or uses [pe]). Raises [Invalid_argument] when the group is full or
+    the kernel is not in the [Active] lifecycle state. *)
 val spawn_vpe : ?pe:int -> t -> kernel:int -> Vpe.t
 
 val find_vpe : t -> int -> Vpe.t option
 
 (** Free user PEs remaining in a group. *)
 val free_pes : t -> kernel:int -> int
+
+(** The PE range a kernel's group was built with at boot (kernel PE
+    first). Partition ownership may drift through fleet handoffs;
+    [Fleet.join] reclaims this range so group-local PE allocation and
+    the membership replicas agree again. *)
+val home_pes : t -> kernel:int -> int list
 
 (** Shorthand for [Kernel.syscall] on the VPE's managing kernel. *)
 val syscall : t -> Vpe.t -> Protocol.syscall -> (Protocol.reply -> unit) -> unit

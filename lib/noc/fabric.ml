@@ -55,6 +55,7 @@ let create ?obs engine topology config =
 let topology t = t.topology
 let engine t = t.engine
 let set_injector t inj = t.injector <- inj
+let has_injector t = t.injector <> None
 
 (* The latency formula lives here and nowhere else: [latency] is the
    public quote and [send] charges exactly the same amount, so the two

@@ -41,6 +41,11 @@ val engine : t -> Semper_sim.Engine.t
 (** Install (or clear) the fault injector. *)
 val set_injector : t -> injector option -> unit
 
+(** Is a fault injector installed? Without one, delivery is perfect —
+    a message is never lost, so loss-recovery heuristics (credit
+    refunds for presumed-dropped replies) can stand down. *)
+val has_injector : t -> bool
+
 (** [send t ~src ~dst ~bytes k] delivers after the modelled latency and
     then runs [k]. [tag] names the protocol message class for the
     injector; untagged sends are never dropped or duplicated. Raises if

@@ -1,0 +1,64 @@
+(* Smoke gate for the elastic fleet, run from the [fleet-smoke] dune
+   alias (hooked into [dune runtest]). Runs the smoke preset of the
+   autoscale benchmark end to end and asserts the contract the fleet
+   must keep — the fleet actually scales out under the surge and
+   settles back at the boot size, every transition's safety checks and
+   the final capability audit come back clean, and the JSON report is
+   well shaped — without pinning any host-dependent number. *)
+
+open Semperos
+
+let failed = ref false
+
+let check name ok =
+  if not ok then begin
+    failed := true;
+    Printf.printf "FAILED: %s\n" name
+  end
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let () =
+  let cfg = Fleetbench.config_of_preset Fleetbench.Smoke in
+  let fixed = Fleetbench.run ~elastic:false cfg in
+  let elastic = Fleetbench.run cfg in
+  check "fixed: audit clean" (fixed.Fleetbench.audit_errors = []);
+  check "fixed: no transitions" (fixed.Fleetbench.transitions = []);
+  check "fixed: stays at boot size" (fixed.Fleetbench.peak_active = cfg.Fleetbench.boot);
+  check "elastic: audit clean" (elastic.Fleetbench.audit_errors = []);
+  check "elastic: transition checks clean" (elastic.Fleetbench.transition_errors = []);
+  check "elastic: scaled out under the surge"
+    (elastic.Fleetbench.peak_active > cfg.Fleetbench.boot);
+  check "elastic: settled back at boot size"
+    (elastic.Fleetbench.final_active = cfg.Fleetbench.boot);
+  check "elastic: both joins and drains ran"
+    (List.exists (fun t -> t.Fleet.Auto.t_kind = `Join) elastic.Fleetbench.transitions
+    && List.exists (fun t -> t.Fleet.Auto.t_kind = `Drain) elastic.Fleetbench.transitions);
+  check "elastic: every transition finished"
+    (List.for_all
+       (fun t -> t.Fleet.Auto.t_finish <> None)
+       elastic.Fleetbench.transitions);
+  check "elastic: stall bound is finite and positive"
+    (elastic.Fleetbench.max_wave > 0L);
+  (* The written report must be valid JSON naming its schema. *)
+  let path = Filename.temp_file "fleet_smoke" ".json" in
+  Fleetbench.bench ~preset:Fleetbench.Smoke ~path ();
+  let ic = open_in path in
+  let doc = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  (match Obs.Json.parse doc with
+  | Ok _ -> ()
+  | Error e -> check (Printf.sprintf "report is valid JSON (%s)" e) false);
+  check "report names the schema" (contains doc "\"schema\":\"semperos-fleet-1\"");
+  List.iter
+    (fun key -> check (Printf.sprintf "report has %s" key) (contains doc key))
+    [
+      "\"fixed\""; "\"elastic\""; "\"transitions\""; "\"peak_active\"";
+      "\"max_wave_cycles\""; "\"surge_speedup\"";
+    ];
+  if !failed then exit 1;
+  print_endline "fleet-smoke: OK"

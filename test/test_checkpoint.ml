@@ -381,6 +381,86 @@ let test_midhandoff_parked_revoke_completes_after_resume () =
   check Alcotest.string "drained states are byte-identical"
     (System.fingerprint r.hr_sys) (System.fingerprint copy.hr_sys)
 
+(* ------------------------------------------------------------------ *)
+(* Snapshots inside a fleet join                                       *)
+
+(* Same shape as the migration-window tests, but the in-flight machine
+   is a whole [Fleet.join]: lifecycle broadcast acked, home-partition
+   reclaim waves mid-flight. The image must capture the join exactly
+   where it stood and resume it to the same final state as the
+   original. *)
+type join_root = {
+  jr_sys : System.t;
+  jr_vpes : Vpe.t list;
+  mutable jr_joined : bool;
+}
+
+let test_midjoin_snapshot_resumes_byte_identically () =
+  let sys =
+    System.create (System.config ~kernels:2 ~spare_kernels:1 ~user_pes_per_kernel:4 ())
+  in
+  let vpes = List.map (fun k -> System.spawn_vpe sys ~kernel:k) [ 0; 0; 0; 1; 1; 1 ] in
+  List.iter
+    (fun v ->
+      match
+        System.syscall_sync sys v (Protocol.Sys_alloc_mem { size = 4096L; perms = Perms.rw })
+      with
+      | Protocol.R_sel _ -> ()
+      | rep -> Alcotest.failf "alloc: %a" Protocol.pp_reply rep)
+    vpes;
+  let r = { jr_sys = sys; jr_vpes = vpes; jr_joined = false } in
+  Fleet.join sys ~kernel:2 (fun () -> r.jr_joined <- true);
+  (* land inside a reclaim wave: some replica holds a mid-handoff mark
+     while the join is still running *)
+  let wave_live r =
+    List.exists
+      (fun k ->
+        let m = Kernel.membership k in
+        List.exists (Membership.in_handoff m)
+          (List.init (System.pe_count r.jr_sys) Fun.id))
+      (System.kernels r.jr_sys)
+  in
+  let steps = ref 0 in
+  while not (wave_live r) && not r.jr_joined && !steps < 10_000 do
+    incr steps;
+    ignore
+      (System.run ~until:(Int64.add (System.now r.jr_sys) 100L) r.jr_sys)
+  done;
+  check Alcotest.bool "snapshot point is mid-join" true (wave_live r && not r.jr_joined);
+  check Alcotest.bool "joiner announced on some replica" true
+    (List.exists
+       (fun k -> Membership.kernel_state (Kernel.membership k) 2 = Membership.Joining)
+       (System.kernels r.jr_sys));
+  let img =
+    Checkpoint.save ~kind:"fleet-join" ~label:"mid-join"
+      ~fingerprint:(System.fingerprint r.jr_sys) r
+  in
+  let copy =
+    match Checkpoint.load ~kind:"fleet-join" img with
+    | Error e -> Alcotest.failf "restore: %s" e
+    | Ok (h, (copy : join_root)) ->
+        System.rebind copy.jr_sys;
+        check Alcotest.string "restored fingerprint matches the header"
+          h.Checkpoint.fingerprint (System.fingerprint copy.jr_sys);
+        copy
+  in
+  check Alcotest.bool "join still in flight after restore" false copy.jr_joined;
+  check Alcotest.bool "reclaim wave still live after restore" true (wave_live copy);
+  let settle what r =
+    ignore (System.run r.jr_sys);
+    check Alcotest.bool (what ^ ": join finished") true r.jr_joined;
+    check Alcotest.bool (what ^ ": active on every replica") true
+      (List.for_all
+         (fun k -> Membership.kernel_state (Kernel.membership k) 2 = Membership.Active)
+         (System.kernels r.jr_sys));
+    check Alcotest.bool (what ^ ": no mark survives") false (wave_live r);
+    Audit.check r.jr_sys
+  in
+  settle "resumed copy" copy;
+  settle "original" r;
+  check Alcotest.string "joined states are byte-identical"
+    (System.fingerprint r.jr_sys) (System.fingerprint copy.jr_sys)
+
 let suite =
   [
     Alcotest.test_case "image round-trip preserves header and payload" `Quick
@@ -411,4 +491,6 @@ let suite =
       test_midhandoff_snapshot_restores_frozen_vpe;
     Alcotest.test_case "parked revoke completes after resume" `Quick
       test_midhandoff_parked_revoke_completes_after_resume;
+    Alcotest.test_case "mid-join snapshot resumes byte-identically" `Quick
+      test_midjoin_snapshot_resumes_byte_identically;
   ]

@@ -17,6 +17,7 @@ let () =
       ("channels", Test_channels.suite);
       ("migration", Test_migration.suite);
       ("balance", Test_balance.suite);
+      ("fleet", Test_fleet.suite);
       ("system", Test_system.suite);
       ("m3fs", Test_m3fs.suite);
       ("trace", Test_trace.suite);
